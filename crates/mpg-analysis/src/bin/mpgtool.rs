@@ -1,0 +1,380 @@
+//! `mpgtool` — command-line front end for the trace/replay pipeline.
+//!
+//! ```text
+//! mpgtool demo <workload> [--ranks N] [--seed S] <trace-dir>
+//!     Run a built-in workload on the simulated platform and write its
+//!     per-rank trace files. Workloads: ring, stencil, master-worker,
+//!     solver, pipeline, transpose, summa (summa needs --ranks 8).
+//!
+//! mpgtool stats <trace-dir>
+//!     Event/kind statistics and the communication matrix.
+//!
+//! mpgtool validate <trace-dir>
+//!     Structural validation (§4.3 preconditions).
+//!
+//! mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES]
+//!                [--per-byte CPB] [--seed S] [--history FILE]
+//!     Replay under an injected-perturbation model; print per-rank drifts.
+//!     With --history, append the result to an analysis-history log (§7).
+//!
+//! mpgtool dot <trace-dir>
+//!     Print the message-passing graph as Graphviz DOT (Fig. 5).
+//!
+//! mpgtool export <trace-dir>
+//!     Print the trace in the line-oriented text interchange format.
+//!
+//! mpgtool import <text-file> <trace-dir>
+//!     Convert a text-format trace into a binary trace directory.
+//!
+//! mpgtool timeline <trace-dir> [--width N]
+//!     ASCII per-rank phase timelines (Fig. 1).
+//!
+//! mpgtool diff <trace-dir-a> <trace-dir-b>
+//!     Compare two traces' per-kind time accounting.
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use mpg_analysis::history::{record_from_report, HistoryStore};
+use mpg_apps::{
+    AllreduceSolver, GridSumma, MasterWorker, Pipeline, Stencil, TokenRing, Transpose, Workload,
+};
+use mpg_core::timeline::render_trace_gantt;
+use mpg_core::{dot, PerturbationModel, ReplayConfig, Replayer};
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::Simulation;
+use mpg_trace::{text_to_trace, trace_stats, trace_to_text, validate_trace, FileTraceSet};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("mpgtool: {msg}");
+    eprintln!("run with no arguments for usage");
+    ExitCode::from(2)
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!(
+        "  mpgtool demo <ring|stencil|master-worker|solver|pipeline|transpose|summa> \
+         [--ranks N] [--seed S] <trace-dir>"
+    );
+    eprintln!("  mpgtool stats <trace-dir>");
+    eprintln!("  mpgtool validate <trace-dir>");
+    eprintln!(
+        "  mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES] [--per-byte CPB] \
+         [--seed S] [--history FILE]"
+    );
+    eprintln!("  mpgtool dot <trace-dir>");
+    eprintln!("  mpgtool export <trace-dir>");
+    eprintln!("  mpgtool import <text-file> <trace-dir>");
+    eprintln!("  mpgtool timeline <trace-dir> [--width N]");
+    eprintln!("  mpgtool diff <trace-dir-a> <trace-dir-b>");
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` out of `args`, returning the value.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
+    Some(match name {
+        "ring" => Box::new(TokenRing { traversals: 5, particles_per_rank: 16, work_per_pair: 25 }),
+        "stencil" => Box::new(Stencil {
+            iters: 20,
+            cells_per_rank: 2_000,
+            work_per_cell: 40,
+            halo_bytes: 1_024,
+        }),
+        "master-worker" => Box::new(MasterWorker {
+            tasks: 64,
+            task_work: 200_000,
+            task_bytes: 128,
+            result_bytes: 128,
+        }),
+        "solver" => {
+            Box::new(AllreduceSolver { iters: 20, local_work: 200_000, vector_bytes: 256 })
+        }
+        "pipeline" => Box::new(Pipeline { waves: 20, work_per_stage: 100_000, payload: 512 }),
+        "transpose" => Box::new(Transpose {
+            steps: 10,
+            rows_per_rank: 32,
+            work_per_element: 10,
+            block_bytes: 512,
+        }),
+        // Requires --ranks 8 (a 2×4 grid).
+        "summa" => Box::new(GridSumma {
+            rows: 2,
+            cols: 4,
+            panel_bytes: 4_096,
+            local_work: 200_000,
+        }),
+        _ => return None,
+    })
+}
+
+fn open_trace(dir: &str) -> Result<mpg_trace::MemTrace, String> {
+    let set = FileTraceSet::open(Path::new(dir)).map_err(|e| e.to_string())?;
+    set.load().map_err(|e| e.to_string())
+}
+
+fn cmd_demo(mut args: Vec<String>) -> ExitCode {
+    let ranks: u32 = take_flag(&mut args, "--ranks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let [name, dir] = args.as_slice() else {
+        return fail("demo needs a workload name and a trace directory");
+    };
+    let Some(w) = workload_by_name(name) else {
+        return fail(&format!("unknown workload '{name}'"));
+    };
+    let outcome = match Simulation::new(ranks, PlatformSignature::quiet("mpgtool"))
+        .seed(seed)
+        .run(|ctx| w.run(ctx))
+    {
+        Ok(o) => o,
+        Err(e) => return fail(&format!("simulation failed: {e}")),
+    };
+    if let Err(e) = outcome.trace.save(&PathBuf::from(dir)) {
+        return fail(&format!("writing trace: {e}"));
+    }
+    println!(
+        "traced '{name}' on {ranks} ranks: {} events, makespan {} cycles -> {dir}",
+        outcome.trace.total_events(),
+        outcome.makespan()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(args: Vec<String>) -> ExitCode {
+    let [dir] = args.as_slice() else {
+        return fail("stats needs a trace directory");
+    };
+    match open_trace(dir) {
+        Ok(trace) => {
+            print!("{}", trace_stats(&trace).render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_validate(args: Vec<String>) -> ExitCode {
+    let [dir] = args.as_slice() else {
+        return fail("validate needs a trace directory");
+    };
+    match open_trace(dir) {
+        Ok(trace) => {
+            let violations = validate_trace(&trace);
+            if violations.is_empty() {
+                println!("ok: {} events across {} ranks", trace.total_events(), trace.num_ranks());
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    println!("violation: {v:?}");
+                }
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_replay(mut args: Vec<String>) -> ExitCode {
+    let os_mean: f64 = take_flag(&mut args, "--os")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let latency: f64 = take_flag(&mut args, "--latency")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let per_byte: f64 = take_flag(&mut args, "--per-byte")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0);
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let history = take_flag(&mut args, "--history");
+    let [dir] = args.as_slice() else {
+        return fail("replay needs a trace directory");
+    };
+    let trace = match open_trace(dir) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+
+    let mut model = PerturbationModel::quiet("mpgtool");
+    if os_mean > 0.0 {
+        model.os_local = Dist::Exponential { mean: os_mean }.into();
+    }
+    if latency > 0.0 {
+        model.latency = Dist::Constant(latency).into();
+    }
+    model.per_byte = per_byte;
+    model.name = format!("os={os_mean} latency={latency} per_byte={per_byte}");
+
+    let report = match Replayer::new(ReplayConfig::new(model).seed(seed)).run(&trace) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("replay failed: {e}")),
+    };
+    println!("model: {}", report.model_name);
+    for (r, (drift, finish)) in report
+        .final_drift
+        .iter()
+        .zip(&report.projected_finish_local)
+        .enumerate()
+    {
+        println!("rank {r:>4}: drift {drift:>12}  projected finish {finish}");
+    }
+    println!(
+        "max drift {}, mean {:.0}, message domination {:.2}",
+        report.max_final_drift(),
+        report.mean_final_drift(),
+        report.message_domination_ratio()
+    );
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+    if let Some(hist) = history {
+        let store = HistoryStore::at(Path::new(&hist));
+        let rec = record_from_report(dir, seed, &report, "mpgtool replay");
+        if let Err(e) = store.append(&rec) {
+            return fail(&format!("writing history: {e}"));
+        }
+        let n = store.for_trace(dir).map(|v| v.len()).unwrap_or(0);
+        println!("history: appended to {hist} ({n} record(s) for this trace)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_dot(args: Vec<String>) -> ExitCode {
+    let [dir] = args.as_slice() else {
+        return fail("dot needs a trace directory");
+    };
+    let trace = match open_trace(dir) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let report = match Replayer::new(
+        ReplayConfig::new(PerturbationModel::quiet("dot")).record_graph(true),
+    )
+    .run(&trace)
+    {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("replay failed: {e}")),
+    };
+    print!("{}", dot::to_dot(report.graph.as_ref().expect("graph recorded"), dir));
+    ExitCode::SUCCESS
+}
+
+fn cmd_export(args: Vec<String>) -> ExitCode {
+    let [dir] = args.as_slice() else {
+        return fail("export needs a trace directory");
+    };
+    match open_trace(dir) {
+        Ok(trace) => {
+            print!("{}", trace_to_text(&trace));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_import(args: Vec<String>) -> ExitCode {
+    let [file, dir] = args.as_slice() else {
+        return fail("import needs a text file and a trace directory");
+    };
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {file}: {e}")),
+    };
+    let trace = match text_to_trace(&text) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("parsing {file}: {e}")),
+    };
+    let violations = validate_trace(&trace);
+    if !violations.is_empty() {
+        eprintln!("mpgtool: warning: imported trace has {} violation(s)", violations.len());
+    }
+    if let Err(e) = trace.save(&PathBuf::from(dir)) {
+        return fail(&format!("writing trace: {e}"));
+    }
+    println!(
+        "imported {} events across {} ranks -> {dir}",
+        trace.total_events(),
+        trace.num_ranks()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_timeline(mut args: Vec<String>) -> ExitCode {
+    let width: usize = take_flag(&mut args, "--width")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+    let [dir] = args.as_slice() else {
+        return fail("timeline needs a trace directory");
+    };
+    match open_trace(dir) {
+        Ok(trace) => {
+            print!("{}", render_trace_gantt(&trace, width.clamp(10, 400)));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn cmd_diff(args: Vec<String>) -> ExitCode {
+    let [a, b] = args.as_slice() else {
+        return fail("diff needs two trace directories");
+    };
+    let (ta, tb) = match (open_trace(a), open_trace(b)) {
+        (Ok(x), Ok(y)) => (x, y),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+    let (sa, sb) = (trace_stats(&ta), trace_stats(&tb));
+    println!("{:>12} {:>20} {:>20} {:>10}", "kind", a, b, "ratio");
+    let kinds: std::collections::BTreeSet<&str> =
+        sa.by_kind.keys().chain(sb.by_kind.keys()).copied().collect();
+    for kind in kinds {
+        let ca = sa.by_kind.get(kind).map_or(0, |k| k.total_cycles);
+        let cb = sb.by_kind.get(kind).map_or(0, |k| k.total_cycles);
+        let ratio = if ca == 0 { f64::INFINITY } else { cb as f64 / ca as f64 };
+        println!("{kind:>12} {ca:>20} {cb:>20} {ratio:>10.3}");
+    }
+    println!(
+        "{:>12} {:>20} {:>20} {:>10.3}",
+        "total span",
+        sa.total_span,
+        sb.total_span,
+        if sa.total_span == 0 { f64::INFINITY } else { sb.total_span as f64 / sa.total_span as f64 }
+    );
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    match cmd.as_str() {
+        "demo" => cmd_demo(args),
+        "stats" => cmd_stats(args),
+        "validate" => cmd_validate(args),
+        "replay" => cmd_replay(args),
+        "dot" => cmd_dot(args),
+        "export" => cmd_export(args),
+        "import" => cmd_import(args),
+        "timeline" => cmd_timeline(args),
+        "diff" => cmd_diff(args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,62 @@
+//! E1 — Fig. 1: alternating phases of computation and messaging.
+
+use mpg_apps::{TokenRing, Workload};
+use mpg_core::timeline::{phases, render_phases, PhaseKind};
+use mpg_noise::PlatformSignature;
+use mpg_sim::Simulation;
+
+use super::{Experiment, ExperimentResult};
+use crate::table::Table;
+
+/// Extracts and renders the per-rank phase timeline of a traced run.
+pub struct Phases;
+
+impl Experiment for Phases {
+    fn id(&self) -> &'static str {
+        "e1"
+    }
+
+    fn title(&self) -> &'static str {
+        "Fig. 1 — alternating compute (c_i) / messaging (m_i) phases"
+    }
+
+    fn run(&self, quick: bool) -> ExperimentResult {
+        let p = if quick { 4 } else { 8 };
+        let ring = TokenRing {
+            traversals: 2,
+            particles_per_rank: 16,
+            work_per_pair: 20,
+        };
+        let out = Simulation::new(p, PlatformSignature::quiet("lab"))
+            .ideal_clocks()
+            .seed(1)
+            .run(|ctx| ring.run(ctx))
+            .expect("token ring runs");
+
+        let mut table = Table::new(
+            "per-rank phase structure",
+            &["rank", "compute phases", "messaging phases", "compute %", "messaging %"],
+        );
+        let mut notes = vec![String::from("phase render (C=compute, m=messaging, .=single):")];
+        for r in 0..p as usize {
+            let ph = phases(out.trace.rank(r));
+            let total: u64 = ph.iter().map(|x| x.duration()).sum();
+            let sum_kind = |k: PhaseKind| -> (usize, u64) {
+                ph.iter()
+                    .filter(|x| x.kind == k)
+                    .fold((0, 0), |(n, d), x| (n + 1, d + x.duration()))
+            };
+            let (cn, cd) = sum_kind(PhaseKind::Compute);
+            let (mn, md) = sum_kind(PhaseKind::Messaging);
+            table.row(vec![
+                r.to_string(),
+                cn.to_string(),
+                mn.to_string(),
+                crate::table::pct(cd as f64 / total as f64),
+                crate::table::pct(md as f64 / total as f64),
+            ]);
+            notes.push(format!("rank {r}: {}", render_phases(&ph, 72)));
+        }
+        ExperimentResult { id: self.id(), title: self.title(), tables: vec![table], notes }
+    }
+}

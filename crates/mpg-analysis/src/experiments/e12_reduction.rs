@@ -1,0 +1,118 @@
+//! E12 — §6/§7 future work: modeling *reduced* noise with negative deltas.
+//!
+//! "We would also like to investigate modeling reduced noise from that
+//! observed in the traced runs to explore how performance could be expected
+//! to change if the run was performed on a system with *less* noise."
+//!
+//! Implemented: trace on a noisy platform, replay with negated noise
+//! distributions (floored so no compute interval shrinks below its pure
+//! work), compare against a direct quiet-platform simulation.
+
+use mpg_apps::{AllreduceSolver, TokenRing, Workload};
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer, SignedDist};
+use mpg_micro::measure_signature;
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::Simulation;
+
+use super::{Experiment, ExperimentResult};
+use crate::table::{pct, Table};
+
+/// Negative-delta (noise-removal) replay.
+pub struct NoiseReduction;
+
+impl Experiment for NoiseReduction {
+    fn id(&self) -> &'static str {
+        "e12"
+    }
+
+    fn title(&self) -> &'static str {
+        "§7 future work — negative deltas: replaying toward a quieter platform"
+    }
+
+    fn run(&self, quick: bool) -> ExperimentResult {
+        let p: u32 = if quick { 4 } else { 8 };
+        let samples = if quick { 200 } else { 1_000 };
+        let noisy = PlatformSignature::noisy("noisy", 2.0);
+        let quiet = PlatformSignature::quiet("quiet");
+
+        let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
+            (
+                "token-ring",
+                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+            ),
+            (
+                "allreduce-solver",
+                Box::new(AllreduceSolver {
+                    iters: if quick { 5 } else { 20 },
+                    local_work: 500_000,
+                    vector_bytes: 256,
+                }),
+            ),
+        ];
+
+        // Measure the noisy platform's per-interval noise; negate it.
+        let sig_noisy = measure_signature(&noisy, 1_000_000, samples, 121);
+        let mut model = PerturbationModel::quiet("denoise");
+        model.os_local =
+            SignedDist::negative(Dist::Empirical(sig_noisy.ftq_noise.clone()));
+        model.os_quantum = Some(sig_noisy.ftq_quantum);
+        model.latency = SignedDist::negative(Dist::Constant(
+            (sig_noisy.latency.mean() - 2_000.0).max(0.0),
+        ));
+
+        let mut table = Table::new(
+            format!("noisy trace → quiet prediction via negative deltas (p = {p})"),
+            &["workload", "noisy traced", "predicted quiet", "true quiet", "rel err", "speedup"],
+        );
+        for (name, w) in &workloads {
+            let noisy_run = Simulation::new(p, noisy.clone())
+                .ideal_clocks()
+                .seed(120)
+                .run(|ctx| w.run(ctx))
+                .expect("noisy run");
+            let quiet_truth = Simulation::new(p, quiet.clone())
+                .ideal_clocks()
+                .seed(120)
+                .run(|ctx| w.run(ctx))
+                .expect("quiet run")
+                .makespan() as f64;
+            // Arrival-bound semantics: negative message deltas may pull
+            // receive completions earlier (see ReplayConfig::arrival_bound).
+            let report = Replayer::new(
+                ReplayConfig::new(model.clone()).seed(6).arrival_bound(true),
+            )
+            .run(&noisy_run.trace)
+            .expect("replay");
+            let predicted = *report
+                .projected_finish_local
+                .iter()
+                .max()
+                .expect("ranks") as f64;
+            let traced = noisy_run.makespan() as f64;
+            table.row(vec![
+                name.to_string(),
+                format!("{traced:.0}"),
+                format!("{predicted:.0}"),
+                format!("{quiet_truth:.0}"),
+                pct((predicted - quiet_truth) / quiet_truth),
+                crate::table::f(traced / predicted),
+            ]);
+        }
+        ExperimentResult {
+            id: self.id(),
+            title: self.title(),
+            tables: vec![table],
+            notes: vec![
+                "Expected shape: predicted-quiet sits between the noisy traced time and \
+                 the true quiet time — the replay only removes noise the trace can *prove* \
+                 was there (compute stretch beyond pure work, measured latency excess). \
+                 Compute-dominated workloads (the solver) denoise accurately; \
+                 messaging-dominated ones (the ring) keep noise that hid inside wait \
+                 intervals, which order-only analysis cannot attribute (§4.1) — the \
+                 fundamental asymmetry that makes noise *reduction* harder than noise \
+                 injection, and why the paper left it as future work."
+                    .into(),
+            ],
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! E13 — §4.2: absorbed vs propagated perturbations across applications.
+//!
+//! "We also can explore how varying parameters affects not only overall
+//! runtime, but regions within the graph where perturbations are absorbed
+//! or fully propagated, corresponding to tolerant or highly sensitive code,
+//! respectively."
+//!
+//! Four communication patterns × a noise-amplitude sweep; the table reports
+//! each application's drift, message-arm domination, and the
+//! absorbed/propagated split.
+
+use mpg_apps::{AllreduceSolver, MasterWorker, Pipeline, TokenRing, Workload};
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer};
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::Simulation;
+
+use super::{Experiment, ExperimentResult};
+use crate::table::{f, Table};
+
+/// Application sensitivity sweep.
+pub struct Sensitivity;
+
+impl Experiment for Sensitivity {
+    fn id(&self) -> &'static str {
+        "e13"
+    }
+
+    fn title(&self) -> &'static str {
+        "§4.2 — absorbed vs propagated perturbations per application"
+    }
+
+    fn run(&self, quick: bool) -> ExperimentResult {
+        let p: u32 = if quick { 4 } else { 16 };
+        let reps = if quick { 1 } else { 3 };
+        let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
+            (
+                "token-ring",
+                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+            ),
+            (
+                "allreduce-solver",
+                Box::new(AllreduceSolver {
+                    iters: if quick { 4 } else { 10 },
+                    local_work: 100_000,
+                    vector_bytes: 128,
+                }),
+            ),
+            (
+                "master-worker",
+                Box::new(MasterWorker {
+                    tasks: if quick { 12 } else { 60 },
+                    task_work: 100_000,
+                    task_bytes: 64,
+                    result_bytes: 64,
+                }),
+            ),
+            (
+                "pipeline",
+                Box::new(Pipeline {
+                    waves: if quick { 4 } else { 16 },
+                    work_per_stage: 100_000,
+                    payload: 512,
+                }),
+            ),
+        ];
+
+        let amplitudes: Vec<f64> =
+            if quick { vec![1_000.0, 20_000.0] } else { vec![1_000.0, 10_000.0, 100_000.0] };
+
+        let mut table = Table::new(
+            format!("noise sensitivity by communication pattern (p = {p})"),
+            &[
+                "workload", "noise mean", "mean drift", "drift spread", "msg domination",
+                "absorbed", "propagated", "prop. share",
+            ],
+        );
+        for (name, w) in &workloads {
+            let trace = Simulation::new(p, PlatformSignature::quiet("lab"))
+                .ideal_clocks()
+                .seed(130)
+                .run(|ctx| w.run(ctx))
+                .expect("trace")
+                .trace;
+            for &amp in &amplitudes {
+                let mut drift_sum = 0.0;
+                let mut spread_sum = 0.0;
+                let mut dom_sum = 0.0;
+                let mut absorbed = 0i64;
+                let mut propagated = 0i64;
+                for rep in 0..reps {
+                    let mut model = PerturbationModel::quiet("sens");
+                    model.os_local = Dist::Exponential { mean: amp }.into();
+                    let report =
+                        Replayer::new(ReplayConfig::new(model).seed(131 + rep as u64))
+                            .run(&trace)
+                            .expect("replay");
+                    drift_sum += report.mean_final_drift();
+                    let min = *report.final_drift.iter().min().expect("ranks") as f64;
+                    let max = *report.final_drift.iter().max().expect("ranks") as f64;
+                    spread_sum += max - min;
+                    dom_sum += report.message_domination_ratio();
+                    absorbed += report.stats.absorbed_message_drift;
+                    propagated += report.stats.propagated_message_drift;
+                }
+                let n = reps as f64;
+                let prop_share = propagated as f64 / (absorbed + propagated).max(1) as f64;
+                table.row(vec![
+                    name.to_string(),
+                    format!("{amp:.0}"),
+                    format!("{:.0}", drift_sum / n),
+                    format!("{:.0}", spread_sum / n),
+                    f(dom_sum / n),
+                    (absorbed / reps as i64).to_string(),
+                    (propagated / reps as i64).to_string(),
+                    f(prop_share),
+                ]);
+            }
+        }
+        ExperimentResult {
+            id: self.id(),
+            title: self.title(),
+            tables: vec![table],
+            notes: vec![
+                "Expected shape: the allreduce solver shows zero drift spread (every \
+                 collective equalizes all ranks to the slowest — total coupling) and the \
+                 highest propagated share; master-worker and the pipeline show large \
+                 spreads (perturbations stay where they land or flow one way); mean \
+                 drift scales linearly with the injected amplitude for all patterns."
+                    .into(),
+            ],
+        }
+    }
+}

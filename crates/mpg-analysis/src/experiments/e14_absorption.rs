@@ -1,0 +1,121 @@
+//! E14 (ablation) — §4.1: what trusting clocks buys and costs.
+//!
+//! Compares the paper's order-only conservative replay against the
+//! measured-slack mode (which estimates per-message slack from cross-rank
+//! timestamps) on a slack-rich workload, under synchronized and skewed
+//! trace clocks. The point being demonstrated: measured slack improves
+//! accuracy *only* with a global clock, and silently corrupts without one
+//! — the reason §4.1 avoids cross-rank timestamps.
+
+use mpg_core::{AbsorptionMode, PerturbationModel, ReplayConfig, Replayer, SlackEstimate};
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::{RankCtx, Simulation};
+use mpg_trace::ClockModel;
+
+use super::{Experiment, ExperimentResult};
+use crate::table::{pct, Table};
+
+/// Absorption-mode ablation.
+pub struct AbsorptionAblation;
+
+/// A slack-rich pattern: producers send early, the consumer receives late.
+fn program(ctx: &mut RankCtx) {
+    let p = ctx.size();
+    if ctx.rank() == 0 {
+        for _ in 0..10 {
+            ctx.compute(2_000_000); // consumer busy: messages wait
+            for src in 1..p {
+                ctx.recv(src, 0);
+            }
+        }
+    } else {
+        for _ in 0..10 {
+            ctx.compute(100_000);
+            ctx.send(0, 0, 256);
+        }
+    }
+}
+
+impl Experiment for AbsorptionAblation {
+    fn id(&self) -> &'static str {
+        "e14"
+    }
+
+    fn title(&self) -> &'static str {
+        "ablation §4.1 — conservative vs measured-slack absorption, with/without clock sync"
+    }
+
+    fn run(&self, quick: bool) -> ExperimentResult {
+        let p: u32 = if quick { 3 } else { 8 };
+        let make = |skewed: bool| {
+            let clocks = if skewed {
+                // Producers' clocks run 10M cycles ahead of the consumer's:
+                // cross-clock (recv_end − send_start) goes negative and the
+                // "measured" slack collapses to zero.
+                (0..p)
+                    .map(|r| ClockModel {
+                        offset: if r == 0 { 0 } else { 10_000_000 },
+                        drift_ppm: 0.0,
+                    })
+                    .collect()
+            } else {
+                vec![ClockModel::ideal(); p as usize]
+            };
+            Simulation::new(p, PlatformSignature::quiet("lab"))
+                .seed(140)
+                .clocks(clocks)
+                .run(program)
+                .expect("runs")
+        };
+        let synced = make(false);
+        let skewed = make(true);
+
+        // Ground truth: messages idle ~1.9M cycles each, so an injected
+        // latency below that should be *fully absorbed* (zero slowdown).
+        let mut model = PerturbationModel::quiet("lat+50k");
+        model.latency = Dist::Constant(50_000.0).into();
+        let est = SlackEstimate { latency: 2_000.0, cycles_per_byte: 0.5, overhead: 300.0 };
+
+        let run = |trace: &mpg_trace::MemTrace, mode: AbsorptionMode| {
+            Replayer::new(
+                ReplayConfig::new(model.clone()).seed(9).ack_arm(false).absorption(mode),
+            )
+            .run(trace)
+            .expect("replays")
+            .max_final_drift()
+        };
+
+        let mut table = Table::new(
+            format!("predicted slowdown for +50k-cycle latency that real slack absorbs (p = {p})"),
+            &["clocks", "conservative Δ", "measured-slack Δ", "truth Δ"],
+        );
+        let truth = 0i64; // the slack genuinely absorbs the injection
+        for (name, trace) in [("synchronized", &synced.trace), ("skewed", &skewed.trace)] {
+            table.row(vec![
+                name.to_string(),
+                run(trace, AbsorptionMode::Conservative).to_string(),
+                run(trace, AbsorptionMode::MeasuredSlack(est)).to_string(),
+                truth.to_string(),
+            ]);
+        }
+
+        let cons_sync = run(&synced.trace, AbsorptionMode::Conservative);
+        let slack_sync = run(&synced.trace, AbsorptionMode::MeasuredSlack(est));
+        let slack_skew = run(&skewed.trace, AbsorptionMode::MeasuredSlack(est));
+        ExperimentResult {
+            id: self.id(),
+            title: self.title(),
+            tables: vec![table],
+            notes: vec![format!(
+                "Expected shape: conservative over-predicts identically on both traces \
+                 (clock-invariant, {}); measured-slack is near-exact with synchronized \
+                 clocks ({}, err {}) but unreliable under skew ({}). This is §4.1's \
+                 trade quantified.",
+                cons_sync,
+                slack_sync,
+                pct(slack_sync as f64 - truth as f64),
+                slack_skew
+            )],
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! E16 (ablation) — §5: assumed-distribution (method 1) vs empirical
+//! (method 2) parameterization.
+//!
+//! "Two methods can be used to generate parameters for analysis given the
+//! output of microbenchmarks. First, one can estimate parameters for
+//! assumed distributions … The second method … is to use the data itself to
+//! build an empirical distribution."
+//!
+//! Both methods parameterize the same cross-platform prediction; the table
+//! reports which assumed family best fits the target platform's FTQ noise
+//! and how each method's runtime prediction compares to ground truth.
+
+use mpg_apps::{AllreduceSolver, TokenRing, Workload};
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer};
+use mpg_micro::{delta_model, measure_signature};
+use mpg_noise::{best_fit, PlatformSignature};
+use mpg_sim::Simulation;
+
+use super::{Experiment, ExperimentResult};
+use crate::table::{f, pct, Table};
+
+/// Method-1 vs method-2 parameterization.
+pub struct Parameterization;
+
+impl Experiment for Parameterization {
+    fn id(&self) -> &'static str {
+        "e16"
+    }
+
+    fn title(&self) -> &'static str {
+        "ablation §5 — assumed-distribution vs empirical parameterization"
+    }
+
+    fn run(&self, quick: bool) -> ExperimentResult {
+        let p: u32 = if quick { 4 } else { 16 };
+        let samples = if quick { 300 } else { 2_000 };
+        let quiet = PlatformSignature::quiet("quiet");
+        let target = PlatformSignature::noisy("target", 1.0);
+
+        let sig_quiet = measure_signature(&quiet, 1_000_000, samples, 161);
+        let sig_target = measure_signature(&target, 1_000_000, samples, 162);
+
+        // Method 2: the empirical delta model (the pipeline default).
+        let empirical_model = delta_model("empirical", &sig_quiet, &sig_target);
+
+        // Method 1: fit assumed families to the measured samples and build
+        // the same-shape model from the fitted distributions.
+        let noise_samples: Vec<f64> = sig_target.ftq_noise.samples().to_vec();
+        let noise_fits = best_fit(&noise_samples);
+        let latency_deltas: Vec<f64> = sig_target
+            .latency
+            .samples()
+            .iter()
+            .map(|&x| (x - sig_quiet.latency.mean()).max(0.0))
+            .collect();
+        let latency_fits = best_fit(&latency_deltas);
+        let mut fitted_model = PerturbationModel::quiet("fitted");
+        if let Some((_, d, _)) = noise_fits.first() {
+            fitted_model.os_local = d.clone().into();
+            fitted_model.os_quantum = Some(sig_target.ftq_quantum);
+        }
+        if let Some((_, d, _)) = latency_fits.first() {
+            fitted_model.latency = d.clone().into();
+        }
+        fitted_model.per_byte = empirical_model.per_byte;
+
+        let mut fit_table = Table::new(
+            "best-fit families for the target's measured perturbations (method 1)",
+            &["measurement", "best family", "KS", "runner-up", "KS "],
+        );
+        for (what, fits) in [("FTQ noise", &noise_fits), ("latency delta", &latency_fits)] {
+            if fits.len() >= 2 {
+                fit_table.row(vec![
+                    what.to_string(),
+                    fits[0].0.to_string(),
+                    f(fits[0].2),
+                    fits[1].0.to_string(),
+                    f(fits[1].2),
+                ]);
+            }
+        }
+
+        let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
+            (
+                "token-ring",
+                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+            ),
+            (
+                "allreduce-solver",
+                Box::new(AllreduceSolver {
+                    iters: if quick { 5 } else { 20 },
+                    local_work: 200_000,
+                    vector_bytes: 256,
+                }),
+            ),
+        ];
+        let mut pred_table = Table::new(
+            format!("prediction error by parameterization method (p = {p})"),
+            &["workload", "truth", "method 1 (fitted) err", "method 2 (empirical) err"],
+        );
+        for (name, w) in &workloads {
+            let trace = Simulation::new(p, quiet.clone())
+                .ideal_clocks()
+                .seed(163)
+                .run(|ctx| w.run(ctx))
+                .expect("quiet trace")
+                .trace;
+            let truth = Simulation::new(p, target.clone())
+                .ideal_clocks()
+                .seed(163)
+                .run(|ctx| w.run(ctx))
+                .expect("target run")
+                .makespan() as f64;
+            let predict = |model: &PerturbationModel| {
+                let report = Replayer::new(ReplayConfig::new(model.clone()).seed(9))
+                    .run(&trace)
+                    .expect("replay");
+                *report.projected_finish_local.iter().max().expect("ranks") as f64
+            };
+            pred_table.row(vec![
+                name.to_string(),
+                format!("{truth:.0}"),
+                pct((predict(&fitted_model) - truth) / truth),
+                pct((predict(&empirical_model) - truth) / truth),
+            ]);
+        }
+        ExperimentResult {
+            id: self.id(),
+            title: self.title(),
+            tables: vec![fit_table, pred_table],
+            notes: vec![
+                "Expected shape: both methods land in the same error band when the \
+                 assumed family fits well (low KS); the empirical method needs no family \
+                 choice and cannot be mis-specified — §5's argument for carrying the \
+                 measured distribution itself."
+                    .into(),
+            ],
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Analysis-experiment history (§7 future work).
+//!
+//! "The second area of work is to provide a mechanism to provide a richer
+//! set of parameters to the simulation, and maintain a history of analysis
+//! experiments that are performed using our tools."
+//!
+//! A [`HistoryStore`] is an append-only, line-oriented log of
+//! [`AnalysisRecord`]s — enough to answer "what did we already try against
+//! this trace, with which parameters, and what came out". The format is a
+//! deliberately simple `key=value` line per record (no external
+//! serialization dependency), escaped so values may contain spaces.
+
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+
+/// One recorded analysis run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisRecord {
+    /// Caller-chosen label of the trace (e.g. directory name or workload).
+    pub trace: String,
+    /// Perturbation-model name.
+    pub model: String,
+    /// Replay seed.
+    pub seed: u64,
+    /// Number of ranks.
+    pub ranks: u32,
+    /// Maximum final drift (cycles).
+    pub max_drift: i64,
+    /// Mean final drift (cycles).
+    pub mean_drift: f64,
+    /// Free-form note.
+    pub note: String,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n").replace(' ', "\\s")
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('s') => out.push(' '),
+                Some('\\') => out.push('\\'),
+                Some(other) => out.push(other),
+                None => {}
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl AnalysisRecord {
+    fn to_line(&self) -> String {
+        let mut line = String::new();
+        write!(
+            line,
+            "trace={} model={} seed={} ranks={} max_drift={} mean_drift={} note={}",
+            escape(&self.trace),
+            escape(&self.model),
+            self.seed,
+            self.ranks,
+            self.max_drift,
+            self.mean_drift,
+            escape(&self.note)
+        )
+        .expect("write to string");
+        line
+    }
+
+    fn from_line(line: &str) -> Option<Self> {
+        let mut trace = None;
+        let mut model = None;
+        let mut seed = None;
+        let mut ranks = None;
+        let mut max_drift = None;
+        let mut mean_drift = None;
+        let mut note = None;
+        for field in line.split(' ') {
+            let (key, value) = field.split_once('=')?;
+            match key {
+                "trace" => trace = Some(unescape(value)),
+                "model" => model = Some(unescape(value)),
+                "seed" => seed = value.parse().ok(),
+                "ranks" => ranks = value.parse().ok(),
+                "max_drift" => max_drift = value.parse().ok(),
+                "mean_drift" => mean_drift = value.parse().ok(),
+                "note" => note = Some(unescape(value)),
+                _ => {} // forward compatibility: ignore unknown keys
+            }
+        }
+        Some(Self {
+            trace: trace?,
+            model: model?,
+            seed: seed?,
+            ranks: ranks?,
+            max_drift: max_drift?,
+            mean_drift: mean_drift?,
+            note: note.unwrap_or_default(),
+        })
+    }
+}
+
+/// Append-only store of analysis records.
+#[derive(Debug, Clone)]
+pub struct HistoryStore {
+    path: PathBuf,
+}
+
+impl HistoryStore {
+    /// Opens (or will create on first append) a history file.
+    pub fn at(path: &Path) -> Self {
+        Self { path: path.to_path_buf() }
+    }
+
+    /// Appends one record.
+    pub fn append(&self, rec: &AnalysisRecord) -> std::io::Result<()> {
+        let mut f = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        writeln!(f, "{}", rec.to_line())
+    }
+
+    /// Loads every parseable record (silently skipping corrupt lines, so a
+    /// partially written final line never blocks reading the history).
+    pub fn load(&self) -> std::io::Result<Vec<AnalysisRecord>> {
+        let Ok(f) = std::fs::File::open(&self.path) else {
+            return Ok(Vec::new()); // no history yet
+        };
+        Ok(BufReader::new(f)
+            .lines()
+            .map_while(Result::ok)
+            .filter_map(|l| AnalysisRecord::from_line(&l))
+            .collect())
+    }
+
+    /// Records already stored for a given trace label.
+    pub fn for_trace(&self, trace: &str) -> std::io::Result<Vec<AnalysisRecord>> {
+        Ok(self.load()?.into_iter().filter(|r| r.trace == trace).collect())
+    }
+}
+
+/// Builds a record from a replay report.
+pub fn record_from_report(
+    trace: &str,
+    seed: u64,
+    report: &mpg_core::ReplayReport,
+    note: &str,
+) -> AnalysisRecord {
+    AnalysisRecord {
+        trace: trace.to_string(),
+        model: report.model_name.clone(),
+        seed,
+        ranks: report.final_drift.len() as u32,
+        max_drift: report.max_final_drift(),
+        mean_drift: report.mean_final_drift(),
+        note: note.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace: &str, seed: u64) -> AnalysisRecord {
+        AnalysisRecord {
+            trace: trace.into(),
+            model: "noisy target v2".into(),
+            seed,
+            ranks: 16,
+            max_drift: 123_456,
+            mean_drift: 100_000.5,
+            note: "sweep step 3\nwith newline".into(),
+        }
+    }
+
+    #[test]
+    fn line_roundtrip() {
+        let r = rec("ring/128", 7);
+        let parsed = AnalysisRecord::from_line(&r.to_line()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn store_appends_and_filters() {
+        let path = std::env::temp_dir().join(format!("mpg-hist-{}.log", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let store = HistoryStore::at(&path);
+        assert!(store.load().unwrap().is_empty());
+        store.append(&rec("a", 1)).unwrap();
+        store.append(&rec("b", 2)).unwrap();
+        store.append(&rec("a", 3)).unwrap();
+        assert_eq!(store.load().unwrap().len(), 3);
+        let a = store.for_trace("a").unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[1].seed, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_lines_skipped() {
+        let path = std::env::temp_dir().join(format!("mpg-hist-c-{}.log", std::process::id()));
+        std::fs::write(&path, "garbage line\n").unwrap();
+        let store = HistoryStore::at(&path);
+        store.append(&rec("x", 1)).unwrap();
+        let loaded = store.load().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].trace, "x");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! Plain-text result tables.
+
+use std::fmt::Write as _;
+
+/// A titled table with a header row, rendered as aligned monospace text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (each must match `headers.len()`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "## {}", self.title).unwrap();
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                let _ = write!(s, "{:>width$}", cells[i], width = widths[i]);
+            }
+            s
+        };
+        writeln!(out, "{}", line(&self.headers, &widths)).unwrap();
+        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))).unwrap();
+        for row in &self.rows {
+            writeln!(out, "{}", line(row, &widths)).unwrap();
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 significant decimals.
+pub fn f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        // header + rule + 2 rows
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456), "1.235");
+        assert_eq!(pct(0.1234), "12.3%");
+    }
+}

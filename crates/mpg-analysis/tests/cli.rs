@@ -1,0 +1,167 @@
+//! End-to-end tests of the `mpgtool` CLI: demo → validate → stats →
+//! replay (+history) → dot, all against real files.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn mpgtool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mpgtool"))
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mpgtool-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn full_cli_pipeline() {
+    let dir = tmp("pipeline");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // demo
+    let out = mpgtool()
+        .args(["demo", "ring", "--ranks", "4", "--seed", "3"])
+        .arg(&dir)
+        .output()
+        .expect("spawn mpgtool");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("traced 'ring' on 4 ranks"), "{stdout}");
+
+    // validate
+    let out = mpgtool().arg("validate").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("ok:"));
+
+    // stats
+    let out = mpgtool().arg("stats").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("compute"), "{stdout}");
+    assert!(stdout.contains("communicating pairs"), "{stdout}");
+
+    // replay with model + history
+    let hist = tmp("history.log");
+    let _ = std::fs::remove_file(&hist);
+    let out = mpgtool()
+        .arg("replay")
+        .arg(&dir)
+        .args(["--latency", "500", "--seed", "7", "--history"])
+        .arg(&hist)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("max drift"), "{stdout}");
+    assert!(stdout.contains("history: appended"), "{stdout}");
+    // Drift must be positive: 500 cycles per hop on a ring.
+    assert!(!stdout.contains("max drift 0,"), "{stdout}");
+    assert!(hist.exists());
+
+    // Second replay appends a second record.
+    mpgtool()
+        .arg("replay")
+        .arg(&dir)
+        .args(["--latency", "100", "--history"])
+        .arg(&hist)
+        .output()
+        .unwrap();
+    let hist_content = std::fs::read_to_string(&hist).unwrap();
+    assert_eq!(hist_content.lines().count(), 2);
+
+    // dot
+    let out = mpgtool().arg("dot").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("cluster_rank0"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_file(&hist).unwrap();
+}
+
+#[test]
+fn identity_replay_via_cli_is_zero_drift() {
+    let dir = tmp("identity");
+    let _ = std::fs::remove_dir_all(&dir);
+    mpgtool()
+        .args(["demo", "solver", "--ranks", "3"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let out = mpgtool().arg("replay").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("max drift 0, mean 0"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = mpgtool().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = mpgtool().args(["demo", "no-such-workload", "/tmp/x"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = mpgtool().args(["stats", "/nonexistent-mpg-dir"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn all_demo_workloads_produce_valid_traces() {
+    for name in ["ring", "stencil", "master-worker", "solver", "pipeline", "transpose"] {
+        let dir = tmp(&format!("wl-{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = mpgtool()
+            .args(["demo", name, "--ranks", "4"])
+            .arg(&dir)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{name}: {}", String::from_utf8_lossy(&out.stderr));
+        let out = mpgtool().arg("validate").arg(&dir).output().unwrap();
+        assert!(out.status.success(), "{name} trace invalid");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn export_import_roundtrip_via_cli() {
+    let dir = tmp("exp");
+    let dir2 = tmp("exp2");
+    let txt = tmp("exp.txt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+    mpgtool().args(["demo", "pipeline", "--ranks", "3"]).arg(&dir).output().unwrap();
+    let out = mpgtool().arg("export").arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    std::fs::write(&txt, &out.stdout).unwrap();
+    let out = mpgtool().arg("import").arg(&txt).arg(&dir2).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // Re-export of the import must be byte-identical.
+    let reexport = mpgtool().arg("export").arg(&dir2).output().unwrap();
+    assert_eq!(std::fs::read(&txt).unwrap(), reexport.stdout);
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&dir2).unwrap();
+    std::fs::remove_file(&txt).unwrap();
+}
+
+#[test]
+fn timeline_and_diff_render() {
+    let dir = tmp("tl");
+    let _ = std::fs::remove_dir_all(&dir);
+    mpgtool().args(["demo", "solver", "--ranks", "3"]).arg(&dir).output().unwrap();
+    let out = mpgtool().args(["timeline"]).arg(&dir).args(["--width", "60"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rank    0"), "{stdout}");
+    assert!(stdout.contains("legend:"), "{stdout}");
+
+    let out = mpgtool().arg("diff").arg(&dir).arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Same trace on both sides: every ratio is exactly 1.000.
+    assert!(stdout.contains("1.000"), "{stdout}");
+    assert!(stdout.contains("allreduce"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

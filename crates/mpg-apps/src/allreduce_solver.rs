@@ -1,0 +1,93 @@
+//! A CG-like iterative solver: local compute + global allreduce per
+//! iteration.
+//!
+//! §3.2: "The presence of collective operations is often a primary source
+//! of performance degradation in a parallel program because a single slow
+//! processor will induce idle time in all other processors." This workload
+//! is the collective-dominated extreme in the sensitivity study: every
+//! iteration synchronizes all ranks twice (the two inner products of CG).
+
+use crate::{Cycles, Workload};
+use mpg_sim::RankCtx;
+
+/// Parameters for the solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllreduceSolver {
+    /// Solver iterations.
+    pub iters: u32,
+    /// Local matrix-vector work per iteration (cycles).
+    pub local_work: Cycles,
+    /// Reduced vector size (bytes) per allreduce.
+    pub vector_bytes: u64,
+}
+
+impl Workload for AllreduceSolver {
+    fn name(&self) -> &'static str {
+        "allreduce-solver"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        for _ in 0..self.iters {
+            // SpMV + axpy phase.
+            ctx.compute(self.local_work);
+            // First inner product.
+            ctx.allreduce(self.vector_bytes);
+            // Update phase (smaller).
+            ctx.compute(self.local_work / 4);
+            // Convergence-check inner product.
+            ctx.allreduce(self.vector_bytes);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpg_noise::PlatformSignature;
+    use mpg_sim::Simulation;
+    use mpg_trace::EventKind;
+
+    #[test]
+    fn collective_count() {
+        let s = AllreduceSolver { iters: 7, local_work: 1_000, vector_bytes: 16 };
+        let out = Simulation::new(4, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(|ctx| s.run(ctx))
+            .unwrap();
+        assert_eq!(out.stats.collectives, 14);
+        for r in 0..4 {
+            let allreduces = out
+                .trace
+                .rank(r)
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Allreduce { .. }))
+                .count();
+            assert_eq!(allreduces, 14);
+        }
+    }
+
+    #[test]
+    fn single_slow_rank_drags_everyone() {
+        // Replay with noise on local edges: collective coupling means every
+        // rank's drift tracks the worst perturbation.
+        let s = AllreduceSolver { iters: 10, local_work: 100_000, vector_bytes: 64 };
+        let out = Simulation::new(4, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(|ctx| s.run(ctx))
+            .unwrap();
+        let mut model = mpg_core::PerturbationModel::quiet("noise");
+        model.os_local = mpg_noise::Dist::Exponential { mean: 5_000.0 }.into();
+        let report = mpg_core::Replayer::new(mpg_core::ReplayConfig::new(model).seed(9))
+            .run(&out.trace)
+            .unwrap();
+        let min = *report.final_drift.iter().min().unwrap();
+        let max = *report.final_drift.iter().max().unwrap();
+        assert!(max > 0);
+        // All ranks leave the last allreduce together: tight drift spread.
+        assert!(
+            max - min < max / 4 + 1,
+            "collective coupling should equalize drift: {:?}",
+            report.final_drift
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! A wavefront pipeline: rank `r` consumes from `r−1` and feeds `r+1`.
+//!
+//! Perturbations propagate strictly *downstream*: noise on rank 0 delays
+//! everyone, noise on the last rank delays only itself (until the next
+//! wave's backpressure under synchronous sends). The asymmetry makes this
+//! the directional case in the absorbed-vs-propagated study (E13).
+
+use crate::{Cycles, Workload};
+use mpg_sim::RankCtx;
+
+/// Parameters for the pipeline sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Number of waves pushed through the pipeline.
+    pub waves: u32,
+    /// Compute per stage per wave (cycles).
+    pub work_per_stage: Cycles,
+    /// Payload forwarded between stages (bytes).
+    pub payload: u64,
+}
+
+impl Workload for Pipeline {
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        let p = ctx.size();
+        let r = ctx.rank();
+        for w in 0..self.waves {
+            let tag = w % 4;
+            if r > 0 {
+                ctx.recv(r - 1, tag);
+            }
+            ctx.compute(self.work_per_stage);
+            if r + 1 < p {
+                // Nonblocking forward so stage r can start the next wave
+                // while the data drains downstream.
+                let req = ctx.isend(r + 1, tag, self.payload);
+                ctx.wait(req);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpg_noise::PlatformSignature;
+    use mpg_sim::Simulation;
+
+    #[test]
+    fn completes_for_various_sizes() {
+        for p in [1u32, 2, 4, 7] {
+            let w = Pipeline { waves: 3, work_per_stage: 1_000, payload: 64 };
+            let out = Simulation::new(p, PlatformSignature::quiet("t"))
+                .ideal_clocks()
+                .run(|ctx| w.run(ctx))
+                .unwrap_or_else(|e| panic!("p={p}: {e}"));
+            assert!(mpg_trace::validate_trace(&out.trace).is_empty(), "p={p}");
+        }
+    }
+
+    #[test]
+    fn downstream_finishes_later() {
+        let w = Pipeline { waves: 5, work_per_stage: 10_000, payload: 128 };
+        let out = Simulation::new(4, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(|ctx| w.run(ctx))
+            .unwrap();
+        // The last stage can only finish after the full sweep reaches it.
+        assert!(out.finish_times[3] > out.finish_times[0]);
+    }
+
+    #[test]
+    fn upstream_noise_propagates_downstream() {
+        // Inject latency on message edges: the sink's drift accumulates one
+        // delta per hop on its critical path, upstream ranks fewer.
+        let w = Pipeline { waves: 4, work_per_stage: 10_000, payload: 128 };
+        let out = Simulation::new(4, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(|ctx| w.run(ctx))
+            .unwrap();
+        let mut model = mpg_core::PerturbationModel::quiet("lat");
+        model.latency = mpg_noise::Dist::Constant(1_000.0).into();
+        let report = mpg_core::Replayer::new(mpg_core::ReplayConfig::new(model).ack_arm(false))
+            .run(&out.trace)
+            .unwrap();
+        // Strictly non-decreasing drift along the pipeline.
+        for r in 1..4 {
+            assert!(
+                report.final_drift[r] >= report.final_drift[r - 1],
+                "{:?}",
+                report.final_drift
+            );
+        }
+        assert!(report.final_drift[3] > report.final_drift[0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! The token-ring n-body workload (§6.1).
+//!
+//! "For *p* processors, it is possible then to divide up the *n* particles
+//! into sets of *n/p* on each processor. Each processor *pᵢ* then packages
+//! up the set of particles that it 'owns', and passes it to the
+//! *(i+1 mod p)*-th processor… this is repeated *p* times until each
+//! processor receives the token containing its local particle set."
+//!
+//! One traversal = `p` hops; with `traversals = T` the program makes `T·p`
+//! hops per rank. The paper's headline observation: injecting a constant
+//! `c` cycles of perturbation per message hop increases every rank's
+//! runtime by ≈ `c · T · p` — which experiment E6 reproduces.
+
+use crate::{Cycles, Workload};
+use mpg_sim::RankCtx;
+use mpg_trace::Rank;
+
+/// Parameters for the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokenRing {
+    /// Number of full ring traversals (`T`). The paper's experiment uses a
+    /// multi-traversal run ("if the ring was traversed 10 times…").
+    pub traversals: u32,
+    /// Particles owned per rank (`n/p`).
+    pub particles_per_rank: u32,
+    /// Compute cost of one particle–particle interaction (cycles).
+    pub work_per_pair: Cycles,
+}
+
+impl TokenRing {
+    /// Token payload size: particles × (3 position + 3 velocity + mass) × 8
+    /// bytes.
+    pub fn token_bytes(&self) -> u64 {
+        u64::from(self.particles_per_rank) * 7 * 8
+    }
+
+    /// Pure compute per hop: local particles × token particles.
+    pub fn work_per_hop(&self) -> Cycles {
+        Cycles::from(self.particles_per_rank) * Cycles::from(self.particles_per_rank)
+            * self.work_per_pair
+    }
+
+    /// Total hops each rank participates in.
+    pub fn hops(&self, p: u32) -> u64 {
+        u64::from(self.traversals) * u64::from(p)
+    }
+}
+
+impl Workload for TokenRing {
+    fn name(&self) -> &'static str {
+        "token-ring"
+    }
+
+    fn run(&self, ctx: &mut RankCtx) {
+        let p = ctx.size();
+        let next: Rank = (ctx.rank() + 1) % p;
+        let prev: Rank = (ctx.rank() + p - 1) % p;
+        let bytes = self.token_bytes();
+        for _ in 0..self.traversals {
+            for _ in 0..p {
+                // Compute interactions between local particles and the
+                // current token, then pass it on. sendrecv avoids the
+                // classic ring deadlock under synchronous sends.
+                ctx.compute(self.work_per_hop());
+                ctx.sendrecv(next, 0, bytes, prev, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpg_noise::PlatformSignature;
+    use mpg_sim::Simulation;
+    use mpg_trace::EventKind;
+
+    #[test]
+    fn message_count_is_traversals_times_p() {
+        let ring = TokenRing { traversals: 3, particles_per_rank: 2, work_per_pair: 5 };
+        let out = Simulation::new(5, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(|ctx| ring.run(ctx))
+            .unwrap();
+        // Each rank sends traversals × p tokens.
+        assert_eq!(out.stats.messages, 3 * 5 * 5);
+        for r in 0..5 {
+            let isends = out
+                .trace
+                .rank(r)
+                .iter()
+                .filter(|e| matches!(e.kind, EventKind::Isend { .. }))
+                .count() as u64;
+            assert_eq!(isends, ring.hops(5));
+        }
+    }
+
+    #[test]
+    fn ranks_finish_together_on_quiet_platform() {
+        let ring = TokenRing { traversals: 2, particles_per_rank: 4, work_per_pair: 10 };
+        let out = Simulation::new(4, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(|ctx| ring.run(ctx))
+            .unwrap();
+        let min = out.finish_times.iter().min().unwrap();
+        let max = out.finish_times.iter().max().unwrap();
+        // Fully synchronous ring: spread bounded by one hop's pipeline slack.
+        assert!(max - min < 10_000, "spread = {}", max - min);
+    }
+
+    #[test]
+    fn token_bytes_scale_with_particles() {
+        let a = TokenRing { traversals: 1, particles_per_rank: 10, work_per_pair: 1 };
+        let b = TokenRing { traversals: 1, particles_per_rank: 20, work_per_pair: 1 };
+        assert_eq!(b.token_bytes(), 2 * a.token_bytes());
+        assert_eq!(b.work_per_hop(), 4 * a.work_per_hop());
+    }
+}

@@ -1,0 +1,25 @@
+//! E13 (§4.2): full sensitivity-analysis cost per application — one replay
+//! with sensitivity accounting across each communication pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_bench::{sensitivity_workloads, standard_model, trace_workload};
+use mpg_core::{ReplayConfig, Replayer};
+
+fn bench_sensitivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("app_sensitivity");
+    group.sample_size(15);
+    for (name, w) in sensitivity_workloads() {
+        let trace = trace_workload(w.as_ref(), 8, 13);
+        group.throughput(Throughput::Elements(trace.total_events() as u64));
+        group.bench_with_input(BenchmarkId::new("replay", name), &trace, |b, trace| {
+            let replayer = Replayer::new(
+                ReplayConfig::new(standard_model()).seed(13).timeline_stride(16),
+            );
+            b.iter(|| replayer.run(trace).expect("replays"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sensitivity);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E4 (Fig. 4): analysis cost of the abstract log(p) collective model vs
+//! the explicit butterfly expansion — the paper's space/time-efficiency
+//! claim, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpg_apps::AllreduceSolver;
+use mpg_bench::{standard_model, trace_workload, trace_workload_expanded};
+use mpg_core::{ReplayConfig, Replayer};
+
+fn bench_collective(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collective_model");
+    group.sample_size(15);
+    let solver = AllreduceSolver { iters: 10, local_work: 10_000, vector_bytes: 64 };
+    for p in [8u32, 32, 128] {
+        let abstract_trace = trace_workload(&solver, p, 4);
+        let expanded_trace = trace_workload_expanded(&solver, p, 4);
+        group.bench_with_input(
+            BenchmarkId::new("abstract_logp", p),
+            &abstract_trace,
+            |b, trace| {
+                let replayer =
+                    Replayer::new(ReplayConfig::new(standard_model()).seed(3).ack_arm(false));
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explicit_butterfly", p),
+            &expanded_trace,
+            |b, trace| {
+                let replayer =
+                    Replayer::new(ReplayConfig::new(standard_model()).seed(3).ack_arm(false));
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_collective);
+criterion_main!(benches);

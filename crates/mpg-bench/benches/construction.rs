@@ -1,0 +1,29 @@
+//! Graph construction / matching throughput: identity replay over traces of
+//! increasing length (the §4.2 streaming path, no perturbation sampling).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_bench::ring_trace;
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer};
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(20);
+    for traversals in [2u32, 8, 32] {
+        let trace = ring_trace(8, traversals);
+        let events = trace.total_events() as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::new("identity_replay_events", events),
+            &trace,
+            |b, trace| {
+                let replayer =
+                    Replayer::new(ReplayConfig::new(PerturbationModel::quiet("id")));
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

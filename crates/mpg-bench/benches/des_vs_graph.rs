@@ -1,0 +1,40 @@
+//! E8 (§1/§1.1): analysis throughput of direct graph traversal vs the
+//! general discrete-event (Dimemas-like) replay on identical traces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_bench::{ring_trace, standard_model};
+use mpg_core::{ReplayConfig, Replayer};
+use mpg_des::{DimemasReplay, MachineModel};
+use mpg_noise::PlatformSignature;
+
+fn bench_des_vs_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_vs_graph");
+    group.sample_size(15);
+    for traversals in [8u32, 32] {
+        let trace = ring_trace(8, traversals);
+        let events = trace.total_events() as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::new("graph_traversal", events),
+            &trace,
+            |b, trace| {
+                let replayer = Replayer::new(ReplayConfig::new(standard_model()).seed(8));
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dimemas_des", events),
+            &trace,
+            |b, trace| {
+                let model =
+                    MachineModel::from_signature(&PlatformSignature::noisy("target", 1.0));
+                let replayer = DimemasReplay::new(model);
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des_vs_graph);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E9 (§5): sampling throughput of the perturbation distribution families
+//! and the empirical (inverse-transform ECDF) path that replays live on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_noise::{Dist, Empirical, SampleDist, StreamRng};
+
+fn bench_distributions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distributions");
+    group.throughput(Throughput::Elements(1));
+    let mut rng = StreamRng::new(9, 0);
+    let empirical = {
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| Dist::Exponential { mean: 500.0 }.sample_f64(&mut rng))
+            .collect();
+        Empirical::from_samples(&xs)
+    };
+    let families: Vec<(&str, Dist)> = vec![
+        ("constant", Dist::Constant(700.0)),
+        ("uniform", Dist::Uniform { lo: 0.0, hi: 1_000.0 }),
+        ("exponential", Dist::Exponential { mean: 500.0 }),
+        ("normal", Dist::Normal { mean: 500.0, std_dev: 100.0 }),
+        ("lognormal", Dist::LogNormal { mu: 6.0, sigma: 0.5 }),
+        ("pareto", Dist::Pareto { x_m: 100.0, alpha: 2.5 }),
+        ("empirical_10k", Dist::Empirical(empirical)),
+        (
+            "mixture",
+            Dist::mixture(0.9, Dist::Exponential { mean: 200.0 }, Dist::Constant(5_000.0)),
+        ),
+    ];
+    for (name, dist) in families {
+        group.bench_with_input(BenchmarkId::new("sample", name), &dist, |b, d| {
+            let mut rng = StreamRng::new(10, 1);
+            b.iter(|| d.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distributions);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E2 (Fig. 2 / Eq. 1): replay throughput over blocking send/recv traffic
+//! with active perturbation sampling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_bench::standard_model;
+use mpg_core::{ReplayConfig, Replayer};
+use mpg_noise::PlatformSignature;
+use mpg_sim::Simulation;
+
+fn blocking_trace(iters: u32) -> mpg_trace::MemTrace {
+    Simulation::new(2, PlatformSignature::quiet("bench"))
+        .ideal_clocks()
+        .run(|ctx| {
+            for i in 0..iters {
+                if ctx.rank() == 0 {
+                    ctx.send(1, i % 4, 1024);
+                    ctx.recv(1, i % 4);
+                } else {
+                    ctx.recv(0, i % 4);
+                    ctx.send(0, i % 4, 1024);
+                }
+            }
+        })
+        .expect("runs")
+        .trace
+}
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_blocking");
+    group.sample_size(20);
+    for iters in [100u32, 1_000] {
+        let trace = blocking_trace(iters);
+        group.throughput(Throughput::Elements(trace.total_events() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("perturbed_pingpong", iters),
+            &trace,
+            |b, trace| {
+                let replayer = Replayer::new(ReplayConfig::new(standard_model()).seed(1));
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E3 (Fig. 3 / Eq. 2): replay throughput over nonblocking traffic — the
+//! request-table path (isend/irecv/waitall) rather than blocking matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_apps::Stencil;
+use mpg_bench::{standard_model, trace_workload};
+use mpg_core::{ReplayConfig, Replayer};
+
+fn bench_nonblocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_nonblocking");
+    group.sample_size(20);
+    for iters in [10u32, 50] {
+        let stencil =
+            Stencil { iters, cells_per_rank: 200, work_per_cell: 20, halo_bytes: 1_024 };
+        let trace = trace_workload(&stencil, 8, 3);
+        group.throughput(Throughput::Elements(trace.total_events() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("stencil_halo", iters),
+            &trace,
+            |b, trace| {
+                let replayer = Replayer::new(ReplayConfig::new(standard_model()).seed(2));
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonblocking);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E6 (§6.1): replay cost of the headline 128-rank token-ring sweep — one
+//! perturbation level of the experiment, measured end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_apps::TokenRing;
+use mpg_bench::trace_workload;
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer};
+
+fn bench_token_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("token_ring");
+    group.sample_size(10);
+    for p in [16u32, 64, 128] {
+        let ring = TokenRing { traversals: 10, particles_per_rank: 8, work_per_pair: 20 };
+        let trace = trace_workload(&ring, p, 6);
+        group.throughput(Throughput::Elements(trace.total_events() as u64));
+        group.bench_with_input(BenchmarkId::new("replay_700cyc", p), &trace, |b, trace| {
+            let model = PerturbationModel::per_message_constant("ring", 700.0);
+            let replayer = Replayer::new(ReplayConfig::new(model).ack_arm(false));
+            b.iter(|| replayer.run(trace).expect("replays"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_token_ring);
+criterion_main!(benches);

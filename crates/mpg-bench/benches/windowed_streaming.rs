@@ -1,0 +1,38 @@
+//! E7 (§4.2): streaming replay vs full-graph recording — the time cost of
+//! materializing the explicit graph instead of streaming a bounded window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_bench::{ring_trace, standard_model};
+use mpg_core::{ReplayConfig, Replayer};
+
+fn bench_windowed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("windowed_streaming");
+    group.sample_size(15);
+    for traversals in [8u32, 32] {
+        let trace = ring_trace(8, traversals);
+        let events = trace.total_events() as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::new("streaming", events),
+            &trace,
+            |b, trace| {
+                let replayer = Replayer::new(ReplayConfig::new(standard_model()).seed(7));
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("record_full_graph", events),
+            &trace,
+            |b, trace| {
+                let replayer = Replayer::new(
+                    ReplayConfig::new(standard_model()).seed(7).record_graph(true),
+                );
+                b.iter(|| replayer.run(trace).expect("replays"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_windowed);
+criterion_main!(benches);

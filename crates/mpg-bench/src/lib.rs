@@ -1,0 +1,71 @@
+//! Shared fixtures for the benchmark suite: canonical traces and models so
+//! every bench measures the same artifacts the experiments report.
+
+use mpg_apps::{AllreduceSolver, MasterWorker, Pipeline, Stencil, TokenRing, Workload};
+use mpg_core::PerturbationModel;
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::{CollectiveMode, Simulation};
+use mpg_trace::MemTrace;
+
+/// Traces a workload on the quiet platform with ideal clocks.
+pub fn trace_workload(w: &dyn Workload, p: u32, seed: u64) -> MemTrace {
+    Simulation::new(p, PlatformSignature::quiet("bench"))
+        .ideal_clocks()
+        .seed(seed)
+        .run(|ctx| w.run(ctx))
+        .expect("bench workload runs")
+        .trace
+}
+
+/// Traces a workload with expanded (point-to-point) collectives.
+pub fn trace_workload_expanded(w: &dyn Workload, p: u32, seed: u64) -> MemTrace {
+    Simulation::new(p, PlatformSignature::quiet("bench"))
+        .ideal_clocks()
+        .collective_mode(CollectiveMode::Expanded)
+        .seed(seed)
+        .run(|ctx| w.run(ctx))
+        .expect("bench workload runs")
+        .trace
+}
+
+/// A token ring sized so its trace has roughly `events_target` events.
+pub fn ring_trace(p: u32, traversals: u32) -> MemTrace {
+    let ring = TokenRing { traversals, particles_per_rank: 8, work_per_pair: 20 };
+    trace_workload(&ring, p, 1)
+}
+
+/// The standard mixed perturbation model used across benches.
+pub fn standard_model() -> PerturbationModel {
+    let mut m = PerturbationModel::quiet("bench");
+    m.os_local = Dist::Exponential { mean: 500.0 }.into();
+    m.latency = Dist::Exponential { mean: 700.0 }.into();
+    m.per_byte = 0.05;
+    m
+}
+
+/// The four sensitivity-study workloads at bench scale.
+pub fn sensitivity_workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
+    vec![
+        (
+            "token-ring",
+            Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 25 })
+                as Box<dyn Workload>,
+        ),
+        (
+            "stencil",
+            Box::new(Stencil { iters: 10, cells_per_rank: 500, work_per_cell: 20, halo_bytes: 512 }),
+        ),
+        (
+            "master-worker",
+            Box::new(MasterWorker { tasks: 40, task_work: 50_000, task_bytes: 64, result_bytes: 64 }),
+        ),
+        (
+            "allreduce-solver",
+            Box::new(AllreduceSolver { iters: 10, local_work: 100_000, vector_bytes: 128 }),
+        ),
+        (
+            "pipeline",
+            Box::new(Pipeline { waves: 10, work_per_stage: 50_000, payload: 256 }),
+        ),
+    ]
+}

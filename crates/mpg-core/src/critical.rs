@@ -1,0 +1,237 @@
+//! Critical-path extraction from a recorded message-passing graph.
+//!
+//! §4.2 closes with the goal of locating *where* a program is sensitive:
+//! beyond per-rank totals, the binding chain of `max()` arms — the path
+//! along which injected perturbation actually reached the final node — is
+//! the precise answer. Walking the recorded graph backwards from the most
+//! drifted finalize, always following the arm that produced each node's
+//! drift, yields that chain.
+
+use std::collections::HashMap;
+
+use crate::graph::{Edge, EventGraph, NodeId, Point};
+use crate::perturb::DeltaClass;
+use crate::Drift;
+
+/// One step of the critical path (in reverse-walk order: sink first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalStep {
+    /// The edge whose arm bound the sink's drift.
+    pub edge: Edge,
+    /// Drift at the edge's sink.
+    pub drift_at_dst: Drift,
+}
+
+/// Aggregate description of a critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// The rank whose final node anchors the path.
+    pub rank: u32,
+    /// Final drift being explained.
+    pub final_drift: Drift,
+    /// Steps from the final node back to the first zero-drift node.
+    pub steps: Vec<CriticalStep>,
+    /// Injected delta along the path attributed to local (OS) edges.
+    pub local_contribution: Drift,
+    /// Injected delta along the path attributed to message edges.
+    pub message_contribution: Drift,
+    /// Injected delta along the path attributed to collective edges.
+    pub collective_contribution: Drift,
+    /// How many distinct ranks the path traverses.
+    pub ranks_touched: usize,
+}
+
+impl CriticalPath {
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "rank {} drift {} over {} steps ({} ranks): local {}, message {}, collective {}",
+            self.rank,
+            self.final_drift,
+            self.steps.len(),
+            self.ranks_touched,
+            self.local_contribution,
+            self.message_contribution,
+            self.collective_contribution
+        )
+    }
+}
+
+/// Extracts the critical path explaining the largest final drift in a
+/// recorded graph. Returns `None` when no drift was accumulated (identity
+/// replay) or the graph is empty.
+///
+/// Only meaningful for non-negative perturbation models (the recorded graph
+/// anchors drifts at zero, matching the streaming engine in that regime).
+pub fn critical_path(graph: &EventGraph) -> Option<CriticalPath> {
+    let drifts = graph.propagate();
+    // Anchor: the maximally drifted final end node.
+    let finals = graph.final_drifts();
+    let (rank, &final_drift) = finals
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &d)| d)
+        .map(|(r, d)| (r as u32, d))?;
+    if final_drift <= 0 {
+        return None;
+    }
+    // Find that rank's last labeled end node.
+    let mut anchor: Option<NodeId> = None;
+    for (node, _) in graph.nodes() {
+        if node.rank == rank && node.point == Point::End && !node.hub
+            && anchor.is_none_or(|a| node.seq > a.seq) {
+                anchor = Some(*node);
+            }
+    }
+    let mut current = anchor?;
+
+    // Reverse adjacency.
+    let mut incoming: HashMap<NodeId, Vec<&Edge>> = HashMap::new();
+    for e in graph.edges() {
+        incoming.entry(e.dst).or_default().push(e);
+    }
+
+    let mut steps = Vec::new();
+    let mut local = 0;
+    let mut message = 0;
+    let mut collective = 0;
+    let mut ranks = std::collections::BTreeSet::new();
+    ranks.insert(rank);
+
+    loop {
+        let d_cur = drifts.get(&current).copied().unwrap_or(0);
+        if d_cur <= 0 {
+            break;
+        }
+        // The binding arm: the incoming edge whose source drift + sampled
+        // delta reproduces this node's drift.
+        let Some(best) = incoming.get(&current).and_then(|edges| {
+            edges
+                .iter()
+                .map(|e| {
+                    let cand = drifts.get(&e.src).copied().unwrap_or(0) + e.sampled;
+                    (cand, *e)
+                })
+                .max_by_key(|&(cand, e)| (cand, e.src))
+                .filter(|&(cand, _)| cand >= d_cur)
+        }) else {
+            break; // drift came from the zero anchor
+        };
+        let (_, e) = best;
+        match e.class {
+            DeltaClass::None => {}
+            DeltaClass::OsLocal | DeltaClass::OsRemote => local += e.sampled,
+            DeltaClass::Lambda | DeltaClass::Transfer { .. } | DeltaClass::MessagePath { .. } => {
+                message += e.sampled
+            }
+            DeltaClass::CollectiveRounds { .. } => collective += e.sampled,
+        }
+        ranks.insert(e.src.rank);
+        steps.push(CriticalStep { edge: e.clone(), drift_at_dst: d_cur });
+        current = e.src;
+        if steps.len() > graph.edge_count() {
+            // Defensive: a cycle would indicate a recording bug.
+            break;
+        }
+    }
+
+    Some(CriticalPath {
+        rank,
+        final_drift,
+        steps,
+        local_contribution: local,
+        message_contribution: message,
+        collective_contribution: collective,
+        ranks_touched: ranks.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::PerturbationModel;
+    use crate::replay::{ReplayConfig, Replayer};
+    use mpg_noise::{Dist, PlatformSignature};
+    use mpg_sim::Simulation;
+
+    fn replay_graph(
+        f: impl Fn(&mut mpg_sim::RankCtx) + Sync,
+        model: PerturbationModel,
+    ) -> crate::report::ReplayReport {
+        let trace = Simulation::new(3, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(f)
+            .unwrap()
+            .trace;
+        Replayer::new(ReplayConfig::new(model).seed(1).record_graph(true))
+            .run(&trace)
+            .unwrap()
+    }
+
+    #[test]
+    fn identity_has_no_critical_path() {
+        let report = replay_graph(|ctx| ctx.compute(1_000), PerturbationModel::quiet("id"));
+        assert!(critical_path(report.graph.as_ref().unwrap()).is_none());
+    }
+
+    #[test]
+    fn local_noise_path_stays_on_one_rank() {
+        let mut m = PerturbationModel::quiet("m");
+        m.os_local = Dist::Constant(100.0).into();
+        let report = replay_graph(
+            |ctx| {
+                for _ in 0..5 {
+                    ctx.compute(1_000);
+                }
+            },
+            m,
+        );
+        let cp = critical_path(report.graph.as_ref().unwrap()).expect("path exists");
+        assert_eq!(cp.final_drift, 500);
+        assert_eq!(cp.local_contribution, 500);
+        assert_eq!(cp.message_contribution, 0);
+        assert_eq!(cp.ranks_touched, 1);
+        assert!(cp.summary().contains("local 500"));
+    }
+
+    #[test]
+    fn message_chain_crosses_ranks() {
+        let mut m = PerturbationModel::quiet("m");
+        m.latency = Dist::Constant(250.0).into();
+        let report = replay_graph(
+            |ctx| match ctx.rank() {
+                0 => ctx.send(1, 0, 64),
+                1 => {
+                    ctx.recv(0, 0);
+                    ctx.send(2, 0, 64);
+                }
+                _ => {
+                    ctx.recv(1, 0);
+                }
+            },
+            m,
+        );
+        let cp = critical_path(report.graph.as_ref().unwrap()).expect("path exists");
+        // The deepest drift belongs to a sender waiting for acks or the
+        // terminal receiver; either way the path crosses ranks and is
+        // message-dominated.
+        assert!(cp.ranks_touched >= 2, "{}", cp.summary());
+        assert!(cp.message_contribution > 0);
+        assert_eq!(cp.local_contribution, 0);
+    }
+
+    #[test]
+    fn collective_contribution_identified() {
+        let mut m = PerturbationModel::quiet("m");
+        m.latency = Dist::Constant(300.0).into();
+        let report = replay_graph(
+            |ctx| {
+                ctx.compute(1_000);
+                ctx.allreduce(64);
+            },
+            m,
+        );
+        let cp = critical_path(report.graph.as_ref().unwrap()).expect("path exists");
+        assert!(cp.collective_contribution > 0, "{}", cp.summary());
+    }
+}

@@ -1,0 +1,264 @@
+//! The explicit message-passing graph representation (§2, §4.2).
+//!
+//! "An event is split into two subevents: a start subevent and an end
+//! subevent… Each edge connects two subevents with an edge weight equal to
+//! the delay incurred between its source and sink subevents."
+//!
+//! The streaming replayer can optionally *record* the graph it walks; the
+//! result is an [`EventGraph`] whose edges carry both the structural
+//! annotation ([`DeltaClass`]) and the delta
+//! actually sampled for that edge. The graph supports an independent
+//! generic propagation pass ([`EventGraph::propagate`]) with no knowledge of
+//! MPI semantics — the paper's "semantics embedded in the graph, not the
+//! walker" design — which the test suite checks against the streaming
+//! engine's drifts.
+
+use std::collections::HashMap;
+
+use crate::perturb::DeltaClass;
+use crate::{Cycles, Drift};
+use mpg_trace::{Rank, Seq};
+
+/// Which subevent of an event a node refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Point {
+    /// Entry into the operation.
+    Start,
+    /// Exit from the operation.
+    End,
+}
+
+/// A graph node: one subevent. The virtual hub of a collective (Fig. 4's
+/// "single processor" junction) is represented as the `End` subevent of the
+/// lowest participating rank with `hub == true`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Owning rank.
+    pub rank: Rank,
+    /// Event sequence number on that rank.
+    pub seq: Seq,
+    /// Start or end subevent.
+    pub point: Point,
+    /// Marks the synthetic collective hub node.
+    pub hub: bool,
+}
+
+impl NodeId {
+    /// Start subevent of `(rank, seq)`.
+    pub fn start(rank: Rank, seq: Seq) -> Self {
+        Self { rank, seq, point: Point::Start, hub: false }
+    }
+
+    /// End subevent of `(rank, seq)`.
+    pub fn end(rank: Rank, seq: Seq) -> Self {
+        Self { rank, seq, point: Point::End, hub: false }
+    }
+
+    /// The synthetic hub node for the collective at `(rank, seq)`.
+    pub fn hub(rank: Rank, seq: Seq) -> Self {
+        Self { rank, seq, point: Point::End, hub: true }
+    }
+}
+
+/// One graph edge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Edge {
+    /// Source subevent.
+    pub src: NodeId,
+    /// Sink subevent.
+    pub dst: NodeId,
+    /// Original weight: the traced interval for local edges, zero for
+    /// message edges (§6).
+    pub base: Cycles,
+    /// Structural annotation (where Figs. 2–4 place a `δ`).
+    pub class: DeltaClass,
+    /// The delta actually sampled for this edge during the recording replay.
+    pub sampled: Drift,
+    /// True for message edges (cross-rank), false for local edges.
+    pub is_message: bool,
+}
+
+/// Human-readable node label, for DOT export and debugging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeLabel {
+    /// Event kind name ("send", "recv", "compute", …).
+    pub kind: &'static str,
+    /// Local timestamp of the subevent.
+    pub t: Cycles,
+}
+
+/// The recorded message-passing graph.
+#[derive(Debug, Default, Clone)]
+pub struct EventGraph {
+    /// Edges in creation order — a valid topological order by construction
+    /// (the recorder only emits an edge once its source drift is resolved).
+    edges: Vec<Edge>,
+    labels: HashMap<NodeId, NodeLabel>,
+    ranks: usize,
+}
+
+impl EventGraph {
+    /// Creates an empty graph over `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        Self { edges: Vec::new(), labels: HashMap::new(), ranks }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Adds an edge (recorder use).
+    pub fn add_edge(&mut self, edge: Edge) {
+        self.edges.push(edge);
+    }
+
+    /// Attaches a label to a node (recorder use; idempotent).
+    pub fn label(&mut self, node: NodeId, kind: &'static str, t: Cycles) {
+        self.labels.entry(node).or_insert(NodeLabel { kind, t });
+    }
+
+    /// All edges in topological (creation) order.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Node label lookup.
+    pub fn node_label(&self, node: &NodeId) -> Option<&NodeLabel> {
+        self.labels.get(node)
+    }
+
+    /// All labeled nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = (&NodeId, &NodeLabel)> {
+        self.labels.iter()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of labeled nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Generic perturbation propagation: walks edges in topological order
+    /// computing `D(dst) = max(D(dst), D(src) + sampled(edge))`, with every
+    /// node's drift defaulting to 0 (the "no earlier than original" anchor
+    /// of Eq. 1 — valid whenever no sampled delta is negative).
+    ///
+    /// This pass knows nothing about MPI: all semantics were baked into the
+    /// edge structure when the graph was recorded.
+    pub fn propagate(&self) -> HashMap<NodeId, Drift> {
+        let mut drift: HashMap<NodeId, Drift> = HashMap::new();
+        for e in &self.edges {
+            let d_src = drift.get(&e.src).copied().unwrap_or(0);
+            let candidate = d_src + e.sampled;
+            let entry = drift.entry(e.dst).or_insert(0);
+            if candidate > *entry {
+                *entry = candidate;
+            }
+        }
+        drift
+    }
+
+    /// The largest drift over each rank's final (maximum-seq) end node —
+    /// the graph-walk equivalent of the streaming report's final drifts.
+    pub fn final_drifts(&self) -> Vec<Drift> {
+        let drifts = self.propagate();
+        let mut finals: Vec<(Seq, Drift)> = vec![(0, 0); self.ranks];
+        for (node, label) in &self.labels {
+            let _ = label;
+            if node.hub || node.point != Point::End {
+                continue;
+            }
+            let d = drifts.get(node).copied().unwrap_or(0);
+            let slot = &mut finals[node.rank as usize];
+            if node.seq >= slot.0 {
+                *slot = (node.seq, d);
+            }
+        }
+        finals.into_iter().map(|(_, d)| d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(src: NodeId, dst: NodeId, sampled: Drift) -> Edge {
+        Edge {
+            src,
+            dst,
+            base: 0,
+            class: DeltaClass::None,
+            sampled,
+            is_message: false,
+        }
+    }
+
+    #[test]
+    fn propagate_chain() {
+        let mut g = EventGraph::new(1);
+        let a = NodeId::start(0, 0);
+        let b = NodeId::end(0, 0);
+        let c = NodeId::end(0, 1);
+        g.add_edge(edge(a, b, 10));
+        g.add_edge(edge(b, c, 5));
+        let d = g.propagate();
+        assert_eq!(d.get(&b), Some(&10));
+        assert_eq!(d.get(&c), Some(&15));
+    }
+
+    #[test]
+    fn propagate_max_of_arms() {
+        let mut g = EventGraph::new(2);
+        let s = NodeId::start(0, 1);
+        let r = NodeId::start(1, 1);
+        let re = NodeId::end(1, 1);
+        g.add_edge(edge(s, re, 100)); // message arm
+        g.add_edge(edge(r, re, 30)); // local arm
+        let d = g.propagate();
+        assert_eq!(d.get(&re), Some(&100));
+    }
+
+    #[test]
+    fn zero_anchor_holds() {
+        // Negative sampled deltas never pull a drift below zero in the
+        // generic pass.
+        let mut g = EventGraph::new(1);
+        let a = NodeId::start(0, 0);
+        let b = NodeId::end(0, 0);
+        g.add_edge(edge(a, b, -50));
+        let d = g.propagate();
+        assert_eq!(d.get(&b), Some(&0));
+    }
+
+    #[test]
+    fn final_drifts_take_last_end() {
+        let mut g = EventGraph::new(1);
+        let e0 = NodeId::end(0, 0);
+        let e5 = NodeId::end(0, 5);
+        g.label(e0, "init", 0);
+        g.label(e5, "finalize", 100);
+        g.add_edge(edge(NodeId::start(0, 0), e0, 7));
+        g.add_edge(edge(e0, e5, 3));
+        assert_eq!(g.final_drifts(), vec![10]);
+    }
+
+    #[test]
+    fn labels_idempotent() {
+        let mut g = EventGraph::new(1);
+        let n = NodeId::start(0, 0);
+        g.label(n, "send", 5);
+        g.label(n, "recv", 9);
+        assert_eq!(g.node_label(&n).unwrap().kind, "send");
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn hub_nodes_distinct() {
+        assert_ne!(NodeId::hub(0, 3), NodeId::end(0, 3));
+    }
+}

@@ -1,0 +1,1504 @@
+//! The streaming perturbation replay engine (§4.2, §6).
+//!
+//! "As the graph is streamed through the tool, the `max()` operators defined
+//! in Section 3 are applied to modify the times of each node in the graph
+//! based on the simulated perturbation deltas added to both message and
+//! local edges. The end result is a final modified timestamp on the final
+//! node for each processor corresponding to the `MPI_Finalize` event."
+//!
+//! # Constraint semantics (drift space)
+//!
+//! With `D(v) = t'(v) − t(v)` per subevent in its own rank's clock:
+//!
+//! * gap & local edges: `D(start_i) = D(end_{i-1})`; a compute interval ends
+//!   at `D(end) = max(D(start) + δ_os, floor)`;
+//! * blocking pair (Eq. 1 / Fig. 2):
+//!   `D(recv_end) = max(D(recv_start), D(send_start) + δ_λ1 + δ_t(d) + δ_os2)`,
+//!   `D(send_end) = max(D(send_start) + δ_os1, D(recv_end) + δ_λ2)`;
+//! * nonblocking (Eq. 2 / Fig. 3): isend/irecv ends carry their start
+//!   drifts; the matched `Wait` end receives the message/ack arms;
+//! * collectives (Fig. 4): `hub = max_i(D(enter_i) + lδ_i)` with `lδ_i`
+//!   sampling ⌈log₂ p⌉ rounds of noise + latency + transfer; every rank
+//!   leaves with the hub drift.
+//!
+//! The *floor* arms implement the future-work negative-delta mode: an event
+//! may finish earlier than traced, but a compute interval can shrink by at
+//! most its originally-stolen time (`duration − work`), any other interval
+//! by at most its duration, and nothing ever completes before its
+//! dependencies.
+//!
+//! Matching is order-only (§4.1); cross-rank timestamps are consulted only
+//! in the optional [`AbsorptionMode::MeasuredSlack`] mode, which exists to
+//! demonstrate why the paper avoids them.
+
+use std::collections::HashMap;
+
+use crate::graph::{Edge, EventGraph, NodeId};
+use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel};
+use crate::report::{ArmKind, ReplayError, ReplayReport, ReplayStats};
+use crate::stream::{MatchState, PendingRecv, SendRecord, SenderRef};
+use crate::{Cycles, Drift};
+use mpg_trace::{EventKind, EventRecord, MemTrace, Rank, ReqId, TraceError};
+
+/// How receiver-side slack interacts with incoming message drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AbsorptionMode {
+    /// Order-only (the paper's default): a delayed sender delays the
+    /// receiver's completion by its full drift. Conservative, but valid
+    /// with arbitrarily skewed per-rank clocks.
+    Conservative,
+    /// Estimate per-message slack from cross-rank timestamps:
+    /// `slack = max(0, t(recv_end) − t(send_start) − est(bytes))`, and
+    /// subtract it from the message arm. **Requires synchronized trace
+    /// clocks** — under skewed clocks this produces garbage, which is
+    /// exactly the §4.1 argument for order-only matching (experiment E-abl).
+    MeasuredSlack(SlackEstimate),
+}
+
+/// Transfer-time estimate used by [`AbsorptionMode::MeasuredSlack`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackEstimate {
+    /// Estimated one-way latency (cycles).
+    pub latency: f64,
+    /// Estimated per-byte transfer cost (cycles/byte).
+    pub cycles_per_byte: f64,
+    /// Estimated per-operation software overhead (cycles).
+    pub overhead: f64,
+}
+
+impl SlackEstimate {
+    fn transfer(&self, bytes: u64) -> f64 {
+        self.overhead + self.latency + self.cycles_per_byte * bytes as f64
+    }
+}
+
+/// Replay configuration.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// The injected-perturbation model.
+    pub model: PerturbationModel,
+    /// RNG seed; replays are deterministic under (trace, model, seed).
+    pub seed: u64,
+    /// Slack handling (default [`AbsorptionMode::Conservative`]).
+    pub absorption: AbsorptionMode,
+    /// Model sends as synchronous (acknowledgement arm of Eq. 1, default
+    /// `true`). Set `false` to replay traces taken under an eager protocol.
+    pub ack_arm: bool,
+    /// Record the walked graph into the report (memory ∝ trace size; off by
+    /// default to preserve the streaming bound).
+    pub record_graph: bool,
+    /// Emit a per-rank `(t_end, drift)` timeline sample every this many
+    /// events (0 disables).
+    pub timeline_stride: usize,
+    /// Assume receive completions were **arrival-dominated**: the local arm
+    /// of a message-completing event becomes its shrink floor instead of its
+    /// start drift, letting *negative* message deltas pull completions
+    /// earlier. Required for meaningful noise-reduction replays (§7 future
+    /// work); identity replays still produce zero drift. Default `false`
+    /// (the paper's conservative posted-bound semantics).
+    pub arrival_bound: bool,
+}
+
+impl ReplayConfig {
+    /// Defaults: conservative absorption, synchronous sends, no graph
+    /// recording, no timeline.
+    pub fn new(model: PerturbationModel) -> Self {
+        Self {
+            model,
+            seed: 0,
+            absorption: AbsorptionMode::Conservative,
+            ack_arm: true,
+            record_graph: false,
+            timeline_stride: 0,
+            arrival_bound: false,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the absorption mode.
+    pub fn absorption(mut self, mode: AbsorptionMode) -> Self {
+        self.absorption = mode;
+        self
+    }
+
+    /// Enables/disables the synchronous acknowledgement arm.
+    pub fn ack_arm(mut self, on: bool) -> Self {
+        self.ack_arm = on;
+        self
+    }
+
+    /// Enables graph recording.
+    pub fn record_graph(mut self, on: bool) -> Self {
+        self.record_graph = on;
+        self
+    }
+
+    /// Enables timeline sampling.
+    pub fn timeline_stride(mut self, stride: usize) -> Self {
+        self.timeline_stride = stride;
+        self
+    }
+
+    /// Enables arrival-bound receive semantics (negative-delta mode).
+    pub fn arrival_bound(mut self, on: bool) -> Self {
+        self.arrival_bound = on;
+        self
+    }
+}
+
+/// The replay driver.
+pub struct Replayer {
+    config: ReplayConfig,
+}
+
+impl Replayer {
+    /// Creates a replayer.
+    pub fn new(config: ReplayConfig) -> Self {
+        Self { config }
+    }
+
+    /// Replays an in-memory trace.
+    pub fn run(&self, trace: &MemTrace) -> Result<ReplayReport, ReplayError> {
+        self.run_streams(trace.streams())
+    }
+
+    /// Replays per-rank event streams (the arbitrarily-large-trace path:
+    /// pair with [`FileTraceSet::streams`](mpg_trace::FileTraceSet::streams)).
+    pub fn run_streams<'a>(
+        &self,
+        streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>>,
+    ) -> Result<ReplayReport, ReplayError> {
+        Engine::new(&self.config, streams).run()
+    }
+}
+
+#[derive(Debug)]
+enum ReqState {
+    /// Isend awaiting acknowledgement.
+    PendingSend,
+    /// Irecv queued in the match state, message record not yet arrived.
+    PendingRecvWaiting,
+    /// Irecv's message record available; the wait computes the arm.
+    RecvReady(SendRecord),
+    /// Send request resolved. `candidate` (if any) is the ack arm; `edges`
+    /// are `(source node, sampled delta)` pairs whose max reproduces the
+    /// candidate in the recorded graph.
+    SendReady {
+        candidate: Option<Drift>,
+        edges: Vec<(NodeId, Drift)>,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CollEntry {
+    rank: Rank,
+    drift: Drift,
+    start_node: NodeId,
+}
+
+#[derive(Debug)]
+struct CollSlot {
+    kind_name: &'static str,
+    bytes: u64,
+    root_full_rounds: Option<Rank>, // Bcast: only the root samples rounds
+    rounds: u32,
+    entries: Vec<CollEntry>,
+}
+
+#[derive(Debug)]
+struct CollDone {
+    hub: Drift,
+    hub_node: NodeId,
+    remaining: usize,
+}
+
+struct Cursor<'a> {
+    it: Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>,
+    current: Option<EventRecord>,
+    drift: Drift,
+    last_end_local: Cycles,
+    last_end_node: Option<NodeId>,
+    done: bool,
+    reqs: HashMap<ReqId, ReqState>,
+    coll_epoch: u64,
+    scratch_epoch: u64,
+    posted: bool,
+    scratch_os1: Drift,
+    /// Resolved ack for a blocked synchronous send: the candidate drift and
+    /// the graph edges reproducing it.
+    pending_ack: Option<(Drift, Vec<(NodeId, Drift)>)>,
+    events_done: u64,
+}
+
+struct Engine<'a> {
+    cfg: &'a ReplayConfig,
+    sampler: PerturbSampler,
+    matches: MatchState,
+    cursors: Vec<Cursor<'a>>,
+    coll_slots: HashMap<u64, CollSlot>,
+    coll_done: HashMap<u64, CollDone>,
+    open_reqs: usize,
+    coll_entries: usize,
+    stats: ReplayStats,
+    warnings: Vec<String>,
+    graph: Option<EventGraph>,
+    timeline: Vec<Vec<(Cycles, Drift)>>,
+}
+
+impl<'a> Engine<'a> {
+    fn new(
+        cfg: &'a ReplayConfig,
+        streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>>,
+    ) -> Self {
+        let p = streams.len();
+        Self {
+            sampler: PerturbSampler::new(cfg.model.clone(), p, cfg.seed),
+            matches: MatchState::new(),
+            cursors: streams
+                .into_iter()
+                .map(|it| Cursor {
+                    it,
+                    current: None,
+                    drift: 0,
+                    last_end_local: 0,
+                    last_end_node: None,
+                    done: false,
+                    reqs: HashMap::new(),
+                    coll_epoch: 0,
+                    scratch_epoch: 0,
+                    posted: false,
+                    scratch_os1: 0,
+                    pending_ack: None,
+                    events_done: 0,
+                })
+                .collect(),
+            coll_slots: HashMap::new(),
+            coll_done: HashMap::new(),
+            open_reqs: 0,
+            coll_entries: 0,
+            stats: ReplayStats::default(),
+            warnings: Vec::new(),
+            graph: cfg.record_graph.then(|| EventGraph::new(p)),
+            timeline: vec![Vec::new(); p],
+            cfg,
+        }
+    }
+
+    fn run(mut self) -> Result<ReplayReport, ReplayError> {
+        let p = self.cursors.len();
+        loop {
+            let mut progress = false;
+            for r in 0..p {
+                while self.step(r as Rank)? {
+                    progress = true;
+                }
+            }
+            if self.cursors.iter().all(|c| c.done) {
+                break;
+            }
+            if !progress {
+                let stuck: Vec<String> = self
+                    .cursors
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(r, c)| {
+                        c.current
+                            .as_ref()
+                            .map(|e| format!("rank {r} stuck at seq {} ({})", e.seq, e.kind.name()))
+                    })
+                    .collect();
+                return Err(ReplayError::Corrupt(format!(
+                    "matching made no progress: {}",
+                    stuck.join("; ")
+                )));
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(mut self) -> Result<ReplayReport, ReplayError> {
+        let leaked: usize = self.cursors.iter().map(|c| c.reqs.len()).sum();
+        if leaked > 0 || self.matches.unmatched_sends() > 0 || self.matches.unmatched_recvs() > 0
+        {
+            // §4.3: both sides used asynchronous calls without completing
+            // synchronization; perturbed ordering cannot be guaranteed.
+            self.warnings.push(format!(
+                "unsynchronized asynchronous traffic: {} open request(s), {} unmatched \
+                 send(s), {} unmatched receive(s); perturbed event ordering is not \
+                 guaranteed to be correct",
+                leaked,
+                self.matches.unmatched_sends(),
+                self.matches.unmatched_recvs()
+            ));
+        }
+        self.stats.window_high_water = self.matches.high_water();
+        let final_drift: Vec<Drift> = self.cursors.iter().map(|c| c.drift).collect();
+        let projected_finish_local = self
+            .cursors
+            .iter()
+            .map(|c| c.last_end_local.saturating_add_signed(c.drift))
+            .collect();
+        Ok(ReplayReport {
+            model_name: self.cfg.model.name.clone(),
+            final_drift,
+            projected_finish_local,
+            warnings: self.warnings,
+            stats: self.stats,
+            timeline: self.timeline,
+            graph: self.graph,
+        })
+    }
+
+    /// Attempts to make progress on rank `r`; returns true when an event
+    /// completed.
+    fn step(&mut self, r: Rank) -> Result<bool, ReplayError> {
+        let ri = r as usize;
+        if self.cursors[ri].current.is_none() {
+            if self.cursors[ri].done {
+                return Ok(false);
+            }
+            match self.cursors[ri].it.next() {
+                None => {
+                    self.cursors[ri].done = true;
+                    return Ok(false);
+                }
+                Some(Err(e)) => return Err(ReplayError::Trace(e.to_string())),
+                Some(Ok(ev)) => {
+                    if ev.rank != r {
+                        return Err(ReplayError::Corrupt(format!(
+                            "stream {r} yielded an event for rank {}",
+                            ev.rank
+                        )));
+                    }
+                    if ev.t_end < ev.t_start || ev.t_start < self.cursors[ri].last_end_local {
+                        return Err(ReplayError::Corrupt(format!(
+                            "rank {r} event {} is non-monotonic in its local clock",
+                            ev.seq
+                        )));
+                    }
+                    // The gap edge from the previous end must precede every
+                    // edge of this event, so the recorded edge order stays
+                    // topological (EventGraph::propagate is a single pass).
+                    if let Some(g) = self.graph.as_mut() {
+                        let start = NodeId::start(r, ev.seq);
+                        g.label(start, ev.kind.name(), ev.t_start);
+                        if let Some(prev) = self.cursors[ri].last_end_node {
+                            g.add_edge(Edge {
+                                src: prev,
+                                dst: start,
+                                base: ev.t_start - self.cursors[ri].last_end_local,
+                                class: DeltaClass::None,
+                                sampled: 0,
+                                is_message: false,
+                            });
+                        }
+                    }
+                    self.cursors[ri].current = Some(ev);
+                    self.cursors[ri].posted = false;
+                }
+            }
+        }
+        // Take the event out of the cursor; blocked paths put it back. This
+        // avoids re-cloning (and re-allocating waitall request vectors) on
+        // every poll of a blocked rank — the engine's hottest path.
+        let ev = self.cursors[ri].current.take().expect("current set above");
+        let d0 = self.cursors[ri].drift;
+        let dur = ev.duration() as Drift;
+        // Floor: how early may this event end relative to its traced end?
+        // A compute interval can shrink by at most its originally-stolen
+        // time; the `.min(0)` guards against clock-drift rounding making the
+        // local duration a cycle shorter than the work (the floor must never
+        // *add* time).
+        let floor = match ev.kind {
+            EventKind::Compute { work } => d0 + (work as Drift - dur).min(0),
+            _ => d0 - dur,
+        };
+
+        let blocked = |engine: &mut Self, ev: EventRecord| {
+            let slot = ev.rank as usize;
+            engine.cursors[slot].current = Some(ev);
+            Ok(false)
+        };
+        match ev.kind.clone() {
+            EventKind::Init | EventKind::Finalize => {
+                self.intra_edge(r, &ev, DeltaClass::None, 0);
+                self.complete(r, &ev, d0.max(floor), None);
+            }
+            EventKind::Compute { work } => {
+                let delta = self.sampler.sample_os_scaled(r, work);
+                self.stats.injected_total += delta;
+                let d_end = (d0 + delta).max(floor);
+                if let Some(g) = self.graph.as_mut() {
+                    g.add_edge(Edge {
+                        src: NodeId::start(r, ev.seq),
+                        dst: NodeId::end(r, ev.seq),
+                        base: ev.duration(),
+                        class: DeltaClass::OsLocal,
+                        sampled: delta,
+                        is_message: false,
+                    });
+                }
+                self.complete(r, &ev, d_end, None);
+            }
+            EventKind::Send { peer, tag, bytes, protocol } => {
+                // §3.1.1: the send variant decides whether the completion is
+                // coupled to the receiver (the Eq. 1 acknowledgement arm).
+                let acked = match protocol {
+                    mpg_trace::SendProtocol::Standard => self.cfg.ack_arm,
+                    mpg_trace::SendProtocol::Synchronous => true,
+                    mpg_trace::SendProtocol::Buffered
+                    | mpg_trace::SendProtocol::Ready => false,
+                };
+                if !self.cursors[ri].posted {
+                    self.post_send(
+                        r,
+                        &ev,
+                        peer,
+                        tag,
+                        bytes,
+                        if acked {
+                            SenderRef::BlockedSend { rank: r }
+                        } else {
+                            SenderRef::Done
+                        },
+                    )?;
+                }
+                if acked {
+                    let Some((candidate, ack_edges)) = self.cursors[ri].pending_ack.take()
+                    else {
+                        return blocked(self, ev); // awaiting acknowledgement
+                    };
+                    let os1 = self.cursors[ri].scratch_os1;
+                    let local_arm =
+                        if self.cfg.arrival_bound { floor } else { d0 + os1 };
+                    let d_end = local_arm.max(candidate).max(floor);
+                    if let Some(g) = self.graph.as_mut() {
+                        g.add_edge(Edge {
+                            src: NodeId::start(r, ev.seq),
+                            dst: NodeId::end(r, ev.seq),
+                            base: ev.duration(),
+                            class: DeltaClass::OsLocal,
+                            sampled: os1,
+                            is_message: false,
+                        });
+                        for (src, sampled) in ack_edges {
+                            g.add_edge(Edge {
+                                src,
+                                dst: NodeId::end(r, ev.seq),
+                                base: 0,
+                                class: DeltaClass::Lambda,
+                                sampled,
+                                is_message: true,
+                            });
+                        }
+                    }
+                    self.note_arm(d_end, local_arm, candidate, floor);
+                    self.complete(r, &ev, d_end, None);
+                } else {
+                    let os1 = self.cursors[ri].scratch_os1;
+                    let d_end = (d0 + os1).max(floor);
+                    if let Some(g) = self.graph.as_mut() {
+                        g.add_edge(Edge {
+                            src: NodeId::start(r, ev.seq),
+                            dst: NodeId::end(r, ev.seq),
+                            base: ev.duration(),
+                            class: DeltaClass::OsLocal,
+                            sampled: os1,
+                            is_message: false,
+                        });
+                    }
+                    self.complete(r, &ev, d_end, None);
+                }
+            }
+            EventKind::Recv { peer, tag, bytes, .. } => {
+                let Some(rec) = self.matches.take_send(peer, r, tag) else {
+                    return blocked(self, ev); // sender not processed yet
+                };
+                self.stats.messages_matched += 1;
+                let msg_arm = self.msg_candidate(&rec, ev.t_end);
+                let local_arm = if self.cfg.arrival_bound { floor } else { d0 };
+                let d_end = local_arm.max(msg_arm).max(floor);
+                let recv_node = NodeId::end(r, ev.seq);
+                if let Some(g) = self.graph.as_mut() {
+                    g.add_edge(Edge {
+                        src: NodeId::start(r, ev.seq),
+                        dst: recv_node,
+                        base: ev.duration(),
+                        class: DeltaClass::None,
+                        sampled: 0,
+                        is_message: false,
+                    });
+                    g.add_edge(Edge {
+                        src: rec.src_node,
+                        dst: recv_node,
+                        base: 0,
+                        class: DeltaClass::MessagePath { bytes },
+                        sampled: msg_arm - rec.d_src,
+                        is_message: true,
+                    });
+                }
+                self.note_arm(d_end, local_arm, msg_arm, floor);
+                self.account_absorption(local_arm, msg_arm);
+                self.resolve_ack(
+                    rec.sender,
+                    d_end + rec.ack_lambda,
+                    vec![(recv_node, rec.ack_lambda)],
+                )?;
+                self.complete(r, &ev, d_end, None);
+            }
+            EventKind::Isend { peer, tag, bytes, req } => {
+                // Register the request before offering the send: a pending
+                // receive on the peer can resolve the acknowledgement
+                // synchronously inside post_send.
+                let state = if self.cfg.ack_arm {
+                    ReqState::PendingSend
+                } else {
+                    ReqState::SendReady { candidate: None, edges: Vec::new() }
+                };
+                self.cursors[ri].reqs.insert(req, state);
+                self.post_send(
+                    r,
+                    &ev,
+                    peer,
+                    tag,
+                    bytes,
+                    if self.cfg.ack_arm {
+                        SenderRef::Request { rank: r, req }
+                    } else {
+                        SenderRef::Done
+                    },
+                )?;
+                self.open_reqs += 1;
+                self.note_window();
+                self.intra_edge(r, &ev, DeltaClass::None, 0);
+                self.complete(r, &ev, d0, None);
+            }
+            EventKind::Irecv { peer, tag, req, .. } => {
+                let end_node = NodeId::end(r, ev.seq);
+                let state = match self.matches.take_send(peer, r, tag) {
+                    Some(rec) => {
+                        self.stats.messages_matched += 1;
+                        // The receive's data arrives independently of any
+                        // later wait; the synchronous acknowledgement leaves
+                        // at that arrival (matching the simulator), so it is
+                        // resolved here, not at the wait — this is what keeps
+                        // symmetric exchange patterns acyclic.
+                        self.ack_at_arrival(&rec, d0, end_node)?;
+                        ReqState::RecvReady(rec)
+                    }
+                    None => {
+                        self.matches.queue_pending_recv(
+                            peer,
+                            r,
+                            PendingRecv { tag, req, rank: r, d_posted: d0, end_node },
+                        );
+                        ReqState::PendingRecvWaiting
+                    }
+                };
+                self.cursors[ri].reqs.insert(req, state);
+                self.open_reqs += 1;
+                self.note_window();
+                self.intra_edge(r, &ev, DeltaClass::None, 0);
+                self.complete(r, &ev, d0, None);
+            }
+            EventKind::Wait { req } => {
+                return match self.complete_waits(r, &ev, &[req], d0, floor)? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::WaitAll { ref reqs } => {
+                let reqs = reqs.clone();
+                return match self.complete_waits(r, &ev, &reqs, d0, floor)? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::WaitSome { ref completed, .. } => {
+                let completed = completed.clone();
+                return match self.complete_waits(r, &ev, &completed, d0, floor)? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Barrier { comm_size } => {
+                return match self.step_collective(r, &ev, "barrier", 0, comm_size, None, d0, floor)? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Bcast { root, bytes, comm_size } => {
+                return match self.step_collective(r,
+                    &ev,
+                    "bcast",
+                    bytes,
+                    comm_size,
+                    Some(root),
+                    d0,
+                    floor,
+                )? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Reduce { root, bytes, comm_size } => {
+                let _ = root; // the simplified Reduce model is root-agnostic
+                return match self.step_collective(r, &ev, "reduce", bytes, comm_size, None, d0, floor)? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Allreduce { bytes, comm_size } => {
+                return match self.step_collective(r, &ev, "allreduce", bytes, comm_size, None, d0, floor,
+                )? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Scatter { root, bytes, comm_size } => {
+                return match self.step_collective(r,
+                    &ev,
+                    "scatter",
+                    bytes,
+                    comm_size,
+                    Some(root),
+                    d0,
+                    floor,
+                )? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Gather { root, bytes, comm_size } => {
+                let _ = root; // simplified single-round model, root-agnostic
+                return match self.step_collective(r, &ev, "gather", bytes, comm_size, None, d0, floor)? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Allgather { bytes, comm_size } => {
+                return match self.step_collective(r, &ev, "allgather", bytes, comm_size, None, d0, floor,
+                )? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Alltoall { bytes, comm_size } => {
+                return match self.step_collective(r, &ev, "alltoall", bytes, comm_size, None, d0, floor,
+                )? {
+                    true => Ok(true),
+                    false => blocked(self, ev),
+                };
+            }
+            EventKind::Test { req, completed } => {
+                if completed {
+                    // A successful probe completes the request exactly like a
+                    // single-request wait (§4.3: the traced outcome is kept).
+                    return match self.complete_waits(r, &ev, &[req], d0, floor)? {
+                        true => Ok(true),
+                        false => blocked(self, ev),
+                    };
+                }
+                // A failed probe is a local no-op; the request stays open.
+                self.intra_edge(r, &ev, DeltaClass::None, 0);
+                self.complete(r, &ev, d0.max(floor), None);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Samples the forward path and offers the send record; resolves a
+    /// pending nonblocking receive when one was queued first.
+    fn post_send(
+        &mut self,
+        r: Rank,
+        ev: &EventRecord,
+        peer: Rank,
+        tag: u32,
+        bytes: u64,
+        sender: SenderRef,
+    ) -> Result<(), ReplayError> {
+        let ri = r as usize;
+        let d0 = self.cursors[ri].drift;
+        let os1 = self.sampler.sample_os_scaled(r, ev.duration());
+        let d_path = self.sampler.sample(r, DeltaClass::MessagePath { bytes });
+        let lambda2 = self.sampler.sample(r, DeltaClass::Lambda);
+        self.stats.injected_total += os1 + d_path + lambda2;
+        self.cursors[ri].scratch_os1 = os1;
+        self.cursors[ri].posted = true;
+        let rec = SendRecord {
+            tag,
+            bytes,
+            d_src: d0,
+            d_msg: d0 + d_path,
+            ack_lambda: lambda2,
+            sender,
+            src_node: NodeId::start(r, ev.seq),
+            send_start_local: ev.t_start,
+        };
+        if let Some((pr, rec)) = self.matches.offer_send(r, peer, rec) {
+            self.stats.messages_matched += 1;
+            self.ack_at_arrival(&rec, pr.d_posted, pr.end_node)?;
+            match self.cursors[pr.rank as usize].reqs.get_mut(&pr.req) {
+                Some(target @ ReqState::PendingRecvWaiting) => {
+                    *target = ReqState::RecvReady(rec);
+                }
+                other => {
+                    return Err(ReplayError::Corrupt(format!(
+                        "pending receive for rank {} req {} in state {other:?}",
+                        pr.rank, pr.req
+                    )))
+                }
+            }
+        }
+        self.note_window();
+        Ok(())
+    }
+
+    /// Message-arm candidate for a record completing at `recv_end_local`.
+    fn msg_candidate(&self, rec: &SendRecord, recv_end_local: Cycles) -> Drift {
+        match self.cfg.absorption {
+            AbsorptionMode::Conservative => rec.d_msg,
+            AbsorptionMode::MeasuredSlack(est) => {
+                let slack = (recv_end_local as f64
+                    - rec.send_start_local as f64
+                    - est.transfer(rec.bytes))
+                .max(0.0) as Drift;
+                rec.d_msg - slack
+            }
+        }
+    }
+
+    /// Delivers a resolved acknowledgement to the send side. `candidate` is
+    /// the completed drift constraint; `edges` reproduce it in the recorded
+    /// graph.
+    fn resolve_ack(
+        &mut self,
+        sender: SenderRef,
+        candidate: Drift,
+        edges: Vec<(NodeId, Drift)>,
+    ) -> Result<(), ReplayError> {
+        match sender {
+            SenderRef::Done => {}
+            SenderRef::BlockedSend { rank } => {
+                self.cursors[rank as usize].pending_ack = Some((candidate, edges));
+            }
+            SenderRef::Request { rank, req } => {
+                match self.cursors[rank as usize].reqs.get_mut(&req) {
+                    Some(slot @ ReqState::PendingSend) => {
+                        *slot = ReqState::SendReady { candidate: Some(candidate), edges };
+                    }
+                    other => {
+                        return Err(ReplayError::Corrupt(format!(
+                            "acknowledgement for rank {rank} req {req} in state {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the sender-side acknowledgement for a message completed by
+    /// a *nonblocking* receive: the ack leaves at message arrival,
+    /// `max(D(irecv_end), message arm) + λ2`, independent of when the
+    /// receiver eventually waits.
+    fn ack_at_arrival(
+        &mut self,
+        rec: &SendRecord,
+        d_posted: Drift,
+        recv_end_node: NodeId,
+    ) -> Result<(), ReplayError> {
+        if matches!(rec.sender, SenderRef::Done) {
+            return Ok(());
+        }
+        let arrival = d_posted.max(rec.d_msg);
+        let candidate = arrival + rec.ack_lambda;
+        let edges = vec![
+            (recv_end_node, rec.ack_lambda),
+            (rec.src_node, rec.d_msg - rec.d_src + rec.ack_lambda),
+        ];
+        self.resolve_ack(rec.sender, candidate, edges)
+    }
+
+    /// Completes a wait-family event over the requests in `reqs` (for
+    /// waitsome, the trace's completed set). Returns false when any request
+    /// is still unresolved.
+    fn complete_waits(
+        &mut self,
+        r: Rank,
+        ev: &EventRecord,
+        reqs: &[ReqId],
+        d0: Drift,
+        floor: Drift,
+    ) -> Result<bool, ReplayError> {
+        let ri = r as usize;
+        // Phase 1: all requests resolved?
+        for req in reqs {
+            match self.cursors[ri].reqs.get(req) {
+                None => {
+                    return Err(ReplayError::Corrupt(format!(
+                        "rank {r} waits on unknown request {req}"
+                    )))
+                }
+                Some(ReqState::PendingSend) | Some(ReqState::PendingRecvWaiting) => {
+                    return Ok(false)
+                }
+                Some(_) => {}
+            }
+        }
+        // Phase 2: fold arms. (Acknowledgements were already resolved at
+        // message arrival, when each request completed.)
+        let wait_end = NodeId::end(r, ev.seq);
+        let mut msg_arm_max: Option<Drift> = None;
+        let mut edges = Vec::new();
+        for req in reqs {
+            match self.cursors[ri].reqs.remove(req).expect("checked above") {
+                ReqState::RecvReady(rec) => {
+                    let cand = self.msg_candidate(&rec, ev.t_end);
+                    msg_arm_max = Some(msg_arm_max.map_or(cand, |m| m.max(cand)));
+                    edges.push(Edge {
+                        src: rec.src_node,
+                        dst: wait_end,
+                        base: 0,
+                        class: DeltaClass::MessagePath { bytes: rec.bytes },
+                        sampled: cand - rec.d_src,
+                        is_message: true,
+                    });
+                }
+                ReqState::SendReady { candidate, edges: ack_edges } => {
+                    if let Some(c) = candidate {
+                        msg_arm_max = Some(msg_arm_max.map_or(c, |m| m.max(c)));
+                        for (src, sampled) in ack_edges {
+                            edges.push(Edge {
+                                src,
+                                dst: wait_end,
+                                base: 0,
+                                class: DeltaClass::Lambda,
+                                sampled,
+                                is_message: true,
+                            });
+                        }
+                    }
+                }
+                other => unreachable!("unresolved request slipped through: {other:?}"),
+            }
+            self.open_reqs -= 1;
+        }
+        let local_arm = if self.cfg.arrival_bound && msg_arm_max.is_some() {
+            floor
+        } else {
+            d0
+        };
+        let d_end = match msg_arm_max {
+            Some(m) => local_arm.max(m).max(floor),
+            None => local_arm.max(floor),
+        };
+        if let Some(g) = self.graph.as_mut() {
+            g.add_edge(Edge {
+                src: NodeId::start(r, ev.seq),
+                dst: wait_end,
+                base: ev.duration(),
+                class: DeltaClass::None,
+                sampled: 0,
+                is_message: false,
+            });
+            for e in edges {
+                g.add_edge(e);
+            }
+        }
+        if let Some(m) = msg_arm_max {
+            self.note_arm(d_end, local_arm, m, floor);
+            self.account_absorption(local_arm, m);
+        }
+        self.complete(r, ev, d_end, None);
+        Ok(true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn step_collective(
+        &mut self,
+        r: Rank,
+        ev: &EventRecord,
+        kind_name: &'static str,
+        bytes: u64,
+        comm_size: u32,
+        bcast_root: Option<Rank>,
+        d0: Drift,
+        floor: Drift,
+    ) -> Result<bool, ReplayError> {
+        let p = self.cursors.len() as u32;
+        if comm_size != p {
+            return Err(ReplayError::Corrupt(format!(
+                "collective on rank {r} names comm size {comm_size}, trace has {p} ranks"
+            )));
+        }
+        let ri = r as usize;
+        if !self.cursors[ri].posted {
+            let epoch = self.cursors[ri].coll_epoch;
+            self.cursors[ri].coll_epoch += 1;
+            self.cursors[ri].scratch_epoch = epoch;
+            self.cursors[ri].posted = true;
+            let rounds = match kind_name {
+                "reduce" | "gather" => 1,
+                "alltoall" => p.saturating_sub(1),
+                _ => (p as f64).log2().ceil() as u32,
+            };
+            let slot = self.coll_slots.entry(epoch).or_insert_with(|| CollSlot {
+                kind_name,
+                bytes,
+                root_full_rounds: bcast_root,
+                rounds,
+                entries: Vec::new(),
+            });
+            if slot.kind_name != kind_name || slot.bytes != bytes {
+                return Err(ReplayError::CollectiveMismatch(format!(
+                    "epoch {epoch}: rank {r} called {kind_name}({bytes}B) but epoch began \
+                     with {}({}B)",
+                    slot.kind_name, slot.bytes
+                )));
+            }
+            slot.entries.push(CollEntry {
+                rank: r,
+                drift: d0,
+                start_node: NodeId::start(r, ev.seq),
+            });
+            let full = slot.entries.len() == p as usize;
+            self.coll_entries += 1;
+            self.note_window();
+            if full {
+                let slot = self.coll_slots.remove(&epoch).expect("slot just filled");
+                self.resolve_collective(epoch, slot);
+            }
+        }
+        let epoch = self.cursors[ri].scratch_epoch;
+        let Some(done) = self.coll_done.get_mut(&epoch) else {
+            return Ok(false); // peers not all arrived
+        };
+        let hub = done.hub;
+        let hub_node = done.hub_node;
+        done.remaining -= 1;
+        if done.remaining == 0 {
+            self.coll_done.remove(&epoch);
+        }
+        self.coll_entries -= 1;
+        let d_end = hub.max(floor);
+        if let Some(g) = self.graph.as_mut() {
+            g.add_edge(Edge {
+                src: hub_node,
+                dst: NodeId::end(r, ev.seq),
+                base: 0,
+                class: DeltaClass::None,
+                sampled: 0,
+                is_message: true,
+            });
+        }
+        self.stats.arm_wins[ArmKind::Collective as usize] += 1;
+        // The hub is this rank's incoming arm: drift below it was imposed by
+        // the slowest participant (propagated), drift it already had is
+        // hidden behind the hub (absorbed). Same accounting as p2p arms.
+        self.account_absorption(d0, hub);
+        self.complete(r, ev, d_end, None);
+        Ok(true)
+    }
+
+    /// Computes the hub drift for a filled collective slot (Fig. 4):
+    /// `hub = max_i(D(enter_i) + lδ_i)`.
+    fn resolve_collective(&mut self, epoch: u64, mut slot: CollSlot) {
+        slot.entries.sort_unstable_by_key(|e| e.rank);
+        self.stats.collectives += 1;
+        let mut hub = Drift::MIN;
+        let hub_anchor = slot.entries.first().expect("non-empty slot");
+        let hub_node = NodeId::hub(hub_anchor.rank, hub_anchor.start_node.seq);
+        let mut edges = Vec::new();
+        for e in &slot.entries {
+            let rounds = match slot.root_full_rounds {
+                Some(root) if e.rank != root => 0,
+                _ => slot.rounds,
+            };
+            let l_delta = self.sampler.sample(
+                e.rank,
+                DeltaClass::CollectiveRounds { rounds, bytes: slot.bytes },
+            );
+            self.stats.injected_total += l_delta;
+            hub = hub.max(e.drift + l_delta);
+            edges.push(Edge {
+                src: e.start_node,
+                dst: hub_node,
+                base: 0,
+                class: DeltaClass::CollectiveRounds { rounds, bytes: slot.bytes },
+                sampled: l_delta,
+                is_message: true,
+            });
+        }
+        if let Some(g) = self.graph.as_mut() {
+            for e in edges {
+                g.add_edge(e);
+            }
+        }
+        self.coll_done.insert(
+            epoch,
+            CollDone { hub, hub_node, remaining: slot.entries.len() },
+        );
+    }
+
+    /// Finishes an event: advances drift, emits gap edge + labels, samples
+    /// the timeline, clears the cursor.
+    fn complete(&mut self, r: Rank, ev: &EventRecord, d_end: Drift, _info: Option<()>) {
+        let ri = r as usize;
+        if let Some(g) = self.graph.as_mut() {
+            g.label(NodeId::end(r, ev.seq), ev.kind.name(), ev.t_end);
+        }
+        let c = &mut self.cursors[ri];
+        c.drift = d_end;
+        c.last_end_local = ev.t_end;
+        c.last_end_node = Some(NodeId::end(r, ev.seq));
+        c.current = None;
+        c.posted = false;
+        c.events_done += 1;
+        self.stats.events += 1;
+        if self.cfg.timeline_stride > 0 && c.events_done.is_multiple_of(self.cfg.timeline_stride as u64) {
+            self.timeline[ri].push((ev.t_end, d_end));
+        }
+    }
+
+    fn intra_edge(&mut self, r: Rank, ev: &EventRecord, class: DeltaClass, sampled: Drift) {
+        if let Some(g) = self.graph.as_mut() {
+            g.add_edge(Edge {
+                src: NodeId::start(r, ev.seq),
+                dst: NodeId::end(r, ev.seq),
+                base: ev.duration(),
+                class,
+                sampled,
+                is_message: false,
+            });
+        }
+    }
+
+    fn note_window(&mut self) {
+        self.matches.note_external(self.open_reqs + self.coll_entries);
+    }
+
+    fn note_arm(&mut self, d_end: Drift, local: Drift, msg: Drift, floor: Drift) {
+        let arm = if d_end == floor && floor > local && floor > msg {
+            ArmKind::Floor
+        } else if msg >= local {
+            ArmKind::Message
+        } else {
+            ArmKind::Local
+        };
+        self.stats.arm_wins[arm as usize] += 1;
+    }
+
+    /// §4.2 sensitivity accounting: how much incoming message drift was
+    /// hidden behind the receiver's own delay (absorbed) vs pushed its
+    /// completion later (propagated).
+    fn account_absorption(&mut self, local_arm: Drift, msg_arm: Drift) {
+        self.stats.absorbed_message_drift += msg_arm.min(local_arm).max(0);
+        self.stats.propagated_message_drift += (msg_arm - local_arm).max(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perturb::SignedDist;
+    use mpg_noise::{Dist, PlatformSignature};
+    use mpg_sim::{CollectiveMode, Simulation};
+
+    fn quiet_sim(p: u32, f: impl Fn(&mut mpg_sim::RankCtx) + Sync) -> MemTrace {
+        Simulation::new(p, PlatformSignature::quiet("lab"))
+            .ideal_clocks()
+            .run(f)
+            .unwrap()
+            .trace
+    }
+
+    fn replay(trace: &MemTrace, model: PerturbationModel) -> ReplayReport {
+        Replayer::new(ReplayConfig::new(model).seed(42)).run(trace).unwrap()
+    }
+
+    #[test]
+    fn identity_replay_zero_drift() {
+        let trace = quiet_sim(4, |ctx| {
+            ctx.compute(10_000);
+            let p = ctx.size();
+            ctx.sendrecv((ctx.rank() + 1) % p, 0, 512, (ctx.rank() + p - 1) % p, 0);
+            ctx.allreduce(64);
+        });
+        let report = replay(&trace, PerturbationModel::quiet("identity"));
+        assert_eq!(report.final_drift, vec![0; 4]);
+        assert_eq!(report.stats.injected_total, 0);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn local_noise_accumulates_on_single_rank() {
+        let trace = quiet_sim(1, |ctx| {
+            for _ in 0..10 {
+                ctx.compute(1_000);
+            }
+        });
+        let mut model = PerturbationModel::quiet("noise");
+        model.os_local = Dist::Constant(500.0).into();
+        let report = replay(&trace, model);
+        // 10 compute edges × 500 cycles.
+        assert_eq!(report.final_drift, vec![5_000]);
+    }
+
+    #[test]
+    fn eq1_blocking_pair_drift() {
+        // Fig. 2 subgraph: sender's end takes the ack arm; receiver takes
+        // the message arm.
+        let trace = quiet_sim(2, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 0, 1000);
+            } else {
+                ctx.recv(0, 0);
+            }
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.latency = Dist::Constant(300.0).into();
+        model.os_remote = Dist::Constant(70.0).into();
+        model.per_byte = 0.1; // 1000 B → 100 cycles
+        let report = replay(&trace, model);
+        // Receiver: message path = λ1 + t(d) + os2 = 300 + 100 + 70 = 470.
+        assert_eq!(report.final_drift[1], 470);
+        // Sender: ack arm = recv drift + λ2 = 470 + 300 = 770.
+        assert_eq!(report.final_drift[0], 770);
+        assert_eq!(report.stats.messages_matched, 1);
+    }
+
+    #[test]
+    fn nonblocking_wait_receives_drift() {
+        // Fig. 3: isend/irecv return immediately; the waits see the arms.
+        let trace = quiet_sim(2, |ctx| {
+            if ctx.rank() == 0 {
+                let s = ctx.isend(1, 0, 100);
+                ctx.compute(50_000);
+                ctx.wait(s);
+            } else {
+                let r = ctx.irecv(0, 0);
+                ctx.compute(1_000);
+                ctx.wait(r);
+            }
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.latency = Dist::Constant(400.0).into();
+        let report = replay(&trace, model);
+        // Receiver wait: message arm = 400 + 10 (per-byte 0) = 400.
+        assert_eq!(report.final_drift[1], 400);
+        // Sender wait: ack = 400 + 400 = 800, but sender computed 50k cycles
+        // so its local arm is 0 drift… ack arm dominates: 800.
+        assert_eq!(report.final_drift[0], 800);
+    }
+
+    #[test]
+    fn collective_propagates_max() {
+        let trace = quiet_sim(4, |ctx| {
+            ctx.compute(10_000);
+            ctx.allreduce(8);
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.latency = Dist::Constant(100.0).into();
+        let report = replay(&trace, model);
+        // rounds = log2(4) = 2; every rank's lδ = 2×100 = 200; hub = 200.
+        assert_eq!(report.final_drift, vec![200; 4]);
+        assert_eq!(report.stats.collectives, 1);
+    }
+
+    #[test]
+    fn bcast_charges_root_only() {
+        let trace = quiet_sim(4, |ctx| {
+            ctx.bcast(2, 64);
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.latency = Dist::Constant(100.0).into();
+        let report = replay(&trace, model);
+        // Only root samples rounds: hub = 2 rounds × 100 = 200 for everyone.
+        assert_eq!(report.final_drift, vec![200; 4]);
+    }
+
+    #[test]
+    fn message_domination_detected() {
+        let trace = quiet_sim(2, |ctx| {
+            for _ in 0..20 {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, 64);
+                } else {
+                    ctx.recv(0, 0);
+                }
+            }
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.latency = Dist::Constant(1000.0).into();
+        let report = replay(&trace, model);
+        assert!(report.message_domination_ratio() > 0.9);
+        assert!(report.stats.propagated_message_drift > 0);
+    }
+
+    #[test]
+    fn negative_deltas_shrink_but_respect_floor() {
+        // Trace on a noisy platform, then replay with negated noise: the
+        // drift must go negative but no compute interval may shrink below
+        // its pure work.
+        let out = Simulation::new(1, PlatformSignature::noisy("noisy", 4.0))
+            .ideal_clocks()
+            .seed(3)
+            .run(|ctx| {
+                for _ in 0..50 {
+                    ctx.compute(100_000);
+                }
+            })
+            .unwrap();
+        let stolen = out.stats.noise_stolen as i64;
+        assert!(stolen > 0, "need a noisy trace for this test");
+        let mut model = PerturbationModel::quiet("denoise");
+        model.os_local = SignedDist::negative(Dist::Constant(1e12));
+        let report = replay(&out.trace, model);
+        // Maximum possible speedup = total stolen time; the floor must bind
+        // exactly there.
+        assert_eq!(report.final_drift[0], -stolen);
+    }
+
+    #[test]
+    fn graph_recording_matches_streaming() {
+        let trace = quiet_sim(4, |ctx| {
+            let p = ctx.size();
+            ctx.compute(5_000);
+            if ctx.rank() % 2 == 0 {
+                ctx.send((ctx.rank() + 1) % p, 1, 256);
+            } else {
+                ctx.recv((ctx.rank() + p - 1) % p, 1);
+            }
+            ctx.barrier();
+            ctx.allreduce(32);
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.os_local = Dist::Exponential { mean: 700.0 }.into();
+        model.latency = Dist::Exponential { mean: 900.0 }.into();
+        let report = Replayer::new(
+            ReplayConfig::new(model).seed(11).record_graph(true),
+        )
+        .run(&trace)
+        .unwrap();
+        let graph = report.graph.as_ref().expect("graph recorded");
+        // The generic, semantics-free graph walk must agree with the
+        // streaming engine on every rank's final drift.
+        assert_eq!(graph.final_drifts(), report.final_drift);
+        assert!(graph.edge_count() > 0);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let trace = quiet_sim(3, |ctx| {
+            ctx.compute(1_000);
+            ctx.allreduce(8);
+            ctx.compute(1_000);
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.os_local = Dist::Exponential { mean: 500.0 }.into();
+        let a = Replayer::new(ReplayConfig::new(model.clone()).seed(5)).run(&trace).unwrap();
+        let b = Replayer::new(ReplayConfig::new(model.clone()).seed(5)).run(&trace).unwrap();
+        let c = Replayer::new(ReplayConfig::new(model).seed(6)).run(&trace).unwrap();
+        assert_eq!(a.final_drift, b.final_drift);
+        assert_ne!(a.final_drift, c.final_drift);
+    }
+
+    #[test]
+    fn skewed_clocks_same_drift_as_ideal() {
+        // §4.1: order-only analysis must be invariant to per-rank clock skew.
+        let prog = |ctx: &mut mpg_sim::RankCtx| {
+            let p = ctx.size();
+            ctx.compute(10_000);
+            ctx.sendrecv((ctx.rank() + 1) % p, 0, 128, (ctx.rank() + p - 1) % p, 0);
+            ctx.allreduce(16);
+        };
+        let ideal = Simulation::new(4, PlatformSignature::quiet("l"))
+            .ideal_clocks()
+            .run(prog)
+            .unwrap()
+            .trace;
+        let skewed = Simulation::new(4, PlatformSignature::quiet("l")).run(prog).unwrap().trace;
+        let mut model = PerturbationModel::quiet("m");
+        model.latency = Dist::Constant(500.0).into();
+        let a = replay(&ideal, model.clone());
+        let b = replay(&skewed, model);
+        assert_eq!(a.final_drift, b.final_drift);
+    }
+
+    #[test]
+    fn waitall_takes_worst_request() {
+        let trace = quiet_sim(3, |ctx| {
+            if ctx.rank() == 0 {
+                let a = ctx.irecv(1, 1);
+                let b = ctx.irecv(2, 2);
+                ctx.waitall(&[a, b]);
+            } else {
+                ctx.compute(1_000 * u64::from(ctx.rank()));
+                ctx.send(0, ctx.rank(), 64);
+            }
+        });
+        let mut model = PerturbationModel::quiet("m");
+        // Both messages carry +800 of injected latency → waitall drift 800.
+        model.latency = Dist::Constant(800.0).into();
+        let report = replay(&trace, model);
+        assert_eq!(report.final_drift[0], 800);
+        // The blocking senders take the ack arm: wait drift + λ2.
+        assert_eq!(report.final_drift[1], 1600);
+        assert_eq!(report.final_drift[2], 1600);
+    }
+
+    #[test]
+    fn expanded_collective_trace_replays_as_p2p() {
+        let trace = Simulation::new(8, PlatformSignature::quiet("l"))
+            .collective_mode(CollectiveMode::Expanded)
+            .ideal_clocks()
+            .run(|ctx| {
+                ctx.compute(1_000);
+                ctx.allreduce(64);
+            })
+            .unwrap()
+            .trace;
+        let mut model = PerturbationModel::quiet("m");
+        model.latency = Dist::Constant(100.0).into();
+        let report = replay(&trace, model);
+        assert_eq!(report.stats.collectives, 0);
+        assert!(report.stats.messages_matched > 0);
+        assert!(report.max_final_drift() > 0);
+    }
+
+    #[test]
+    fn corrupt_trace_detected() {
+        use mpg_trace::EventKind;
+        // A recv with no matching send anywhere.
+        let mut mt = MemTrace::new(2);
+        for r in 0..2u32 {
+            mt.push(EventRecord {
+                rank: r,
+                seq: 0,
+                t_start: 0,
+                t_end: 10,
+                kind: EventKind::Init,
+            });
+        }
+        mt.push(EventRecord {
+            rank: 0,
+            seq: 1,
+            t_start: 10,
+            t_end: 20,
+            kind: EventKind::Recv { peer: 1, tag: 0, bytes: 8, posted_any: false },
+        });
+        mt.push(EventRecord {
+            rank: 0,
+            seq: 2,
+            t_start: 20,
+            t_end: 30,
+            kind: EventKind::Finalize,
+        });
+        mt.push(EventRecord {
+            rank: 1,
+            seq: 1,
+            t_start: 10,
+            t_end: 20,
+            kind: EventKind::Finalize,
+        });
+        let err = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("m")))
+            .run(&mt)
+            .unwrap_err();
+        assert!(matches!(err, ReplayError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn leaked_requests_warn() {
+        use mpg_trace::EventKind;
+        // An isend that is never waited on: §4.3's warning case.
+        let mut mt = MemTrace::new(2);
+        for r in 0..2u32 {
+            mt.push(EventRecord {
+                rank: r,
+                seq: 0,
+                t_start: 0,
+                t_end: 10,
+                kind: EventKind::Init,
+            });
+        }
+        mt.push(EventRecord {
+            rank: 0,
+            seq: 1,
+            t_start: 10,
+            t_end: 20,
+            kind: EventKind::Isend { peer: 1, tag: 0, bytes: 8, req: 1 },
+        });
+        mt.push(EventRecord {
+            rank: 0,
+            seq: 2,
+            t_start: 20,
+            t_end: 30,
+            kind: EventKind::Finalize,
+        });
+        mt.push(EventRecord {
+            rank: 1,
+            seq: 1,
+            t_start: 10,
+            t_end: 20,
+            kind: EventKind::Finalize,
+        });
+        let report = Replayer::new(
+            ReplayConfig::new(PerturbationModel::quiet("m")).ack_arm(false),
+        )
+        .run(&mt)
+        .unwrap();
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].contains("unsynchronized"));
+    }
+
+    #[test]
+    fn timeline_sampling() {
+        let trace = quiet_sim(1, |ctx| {
+            for _ in 0..100 {
+                ctx.compute(1_000);
+            }
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.os_local = Dist::Constant(10.0).into();
+        let report = Replayer::new(
+            ReplayConfig::new(model).timeline_stride(10),
+        )
+        .run(&trace)
+        .unwrap();
+        let tl = &report.timeline[0];
+        assert!(tl.len() >= 9, "{}", tl.len());
+        // Drift grows monotonically for pure local noise.
+        assert!(tl.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn window_bounded_for_long_synchronous_traces() {
+        // A long ping-pong keeps at most O(1) retained state regardless of
+        // trace length (§4.2's windowed claim).
+        let trace = quiet_sim(2, |ctx| {
+            for i in 0..500 {
+                if ctx.rank() == 0 {
+                    ctx.send(1, i % 7, 64);
+                    ctx.recv(1, i % 7);
+                } else {
+                    ctx.recv(0, i % 7);
+                    ctx.send(0, i % 7, 64);
+                }
+            }
+        });
+        let report = replay(&trace, PerturbationModel::quiet("m"));
+        assert!(report.stats.events > 2000);
+        assert!(
+            report.stats.window_high_water <= 8,
+            "window {} should not scale with trace length",
+            report.stats.window_high_water
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Order-based matching state for the streaming replay (§4.1).
+//!
+//! "Each message event is guaranteed to have a counterpart, and this
+//! counterpart can be found simply by processing each event in order on each
+//! processor."
+//!
+//! Traces record the *matched* source and tag for every receive (wildcards
+//! are resolved by the run itself), so replay matching reduces to per
+//! `(src, dst)` channel FIFOs with tag-selective scans — the same
+//! non-overtaking discipline MPI guarantees and the simulator implements.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::NodeId;
+use crate::{Cycles, Drift};
+use mpg_trace::{Rank, ReqId, Tag};
+
+/// Who completes the send side of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderRef {
+    /// A blocking synchronous send: the sending rank's cursor is stalled on
+    /// the send event until the acknowledgement drift arrives.
+    BlockedSend {
+        /// Sending rank.
+        rank: Rank,
+    },
+    /// A nonblocking send: the acknowledgement resolves request `req`.
+    Request {
+        /// Sending rank.
+        rank: Rank,
+        /// The isend's request id.
+        req: ReqId,
+    },
+    /// The sender completed locally (eager protocol / `ack_arm` disabled);
+    /// no acknowledgement flows back.
+    Done,
+}
+
+/// One message offered by a processed send event, waiting for its receive.
+#[derive(Debug, Clone)]
+pub struct SendRecord {
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload size.
+    pub bytes: u64,
+    /// Drift of the send's start subevent, `D(send_start)`.
+    pub d_src: Drift,
+    /// Drift candidate carried by the forward message path:
+    /// `D(send_start) + δ_λ1 + δ_t(d) + δ_os2` (already sampled).
+    pub d_msg: Drift,
+    /// Pre-sampled acknowledgement latency `δ_λ2`.
+    pub ack_lambda: Drift,
+    /// How the sender completes.
+    pub sender: SenderRef,
+    /// The send's start subevent (graph recording).
+    pub src_node: NodeId,
+    /// Send-start timestamp in the *sender's local clock* (only the
+    /// measured-slack absorption mode reads this — deliberately cross-clock).
+    pub send_start_local: Cycles,
+}
+
+/// A receive posted before its message record arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRecv {
+    /// Matched tag (exact — resolved by the original run).
+    pub tag: Tag,
+    /// The irecv request this will resolve (pending receives are only
+    /// queued for nonblocking receives; a blocking receive stalls its
+    /// cursor instead).
+    pub req: ReqId,
+    /// Receiving rank.
+    pub rank: Rank,
+    /// Drift of the irecv's end subevent (the receive-side arrival anchor
+    /// for acknowledgements).
+    pub d_posted: Drift,
+    /// The irecv's end subevent (graph recording).
+    pub end_node: NodeId,
+}
+
+#[derive(Debug, Default)]
+struct Channel {
+    sends: VecDeque<SendRecord>,
+    pending_recvs: VecDeque<PendingRecv>,
+}
+
+/// All cross-rank matching state, with window accounting.
+#[derive(Debug, Default)]
+pub struct MatchState {
+    channels: HashMap<(Rank, Rank), Channel>,
+    retained: usize,
+    high_water: usize,
+}
+
+impl MatchState {
+    /// Creates empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bump(&mut self, delta: isize) {
+        self.retained = (self.retained as isize + delta) as usize;
+        self.high_water = self.high_water.max(self.retained);
+    }
+
+    /// Extra retained items tracked by the caller (open requests,
+    /// collective entries) folded into the high-water mark.
+    pub fn note_external(&mut self, external: usize) {
+        self.high_water = self.high_water.max(self.retained + external);
+    }
+
+    /// Peak retained items (the §4.2 window bound).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Currently retained items.
+    pub fn retained(&self) -> usize {
+        self.retained
+    }
+
+    /// Offers a send record on `(src, dst)`. If a pending (nonblocking)
+    /// receive was queued first for this tag, returns it — the caller
+    /// resolves that request; otherwise the record is queued.
+    pub fn offer_send(
+        &mut self,
+        src: Rank,
+        dst: Rank,
+        rec: SendRecord,
+    ) -> Option<(PendingRecv, SendRecord)> {
+        let ch = self.channels.entry((src, dst)).or_default();
+        if let Some(i) = ch.pending_recvs.iter().position(|p| p.tag == rec.tag) {
+            let pr = ch.pending_recvs.remove(i).unwrap();
+            self.bump(-1);
+            return Some((pr, rec));
+        }
+        ch.sends.push_back(rec);
+        self.bump(1);
+        None
+    }
+
+    /// Takes the earliest queued send with `tag` on `(src, dst)`, if any.
+    pub fn take_send(&mut self, src: Rank, dst: Rank, tag: Tag) -> Option<SendRecord> {
+        let ch = self.channels.get_mut(&(src, dst))?;
+        let i = ch.sends.iter().position(|s| s.tag == tag)?;
+        let rec = ch.sends.remove(i).unwrap();
+        self.bump(-1);
+        Some(rec)
+    }
+
+    /// Queues a nonblocking receive that found no send record yet. Must be
+    /// called in post order per channel so later sends resolve receives in
+    /// MPI order.
+    pub fn queue_pending_recv(&mut self, src: Rank, dst: Rank, pr: PendingRecv) {
+        self.channels.entry((src, dst)).or_default().pending_recvs.push_back(pr);
+        self.bump(1);
+    }
+
+    /// Count of unmatched send records (post-replay §4.3 diagnostics).
+    pub fn unmatched_sends(&self) -> usize {
+        self.channels.values().map(|c| c.sends.len()).sum()
+    }
+
+    /// Count of unmatched pending receives.
+    pub fn unmatched_recvs(&self) -> usize {
+        self.channels.values().map(|c| c.pending_recvs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(tag: Tag, req: mpg_trace::ReqId) -> PendingRecv {
+        PendingRecv { tag, req, rank: 1, d_posted: 0, end_node: NodeId::end(1, 0) }
+    }
+
+    fn rec(tag: Tag, d_msg: Drift) -> SendRecord {
+        SendRecord {
+            tag,
+            bytes: 8,
+            d_src: 0,
+            d_msg,
+            ack_lambda: 0,
+            sender: SenderRef::Done,
+            src_node: NodeId::start(0, 0),
+            send_start_local: 0,
+        }
+    }
+
+    #[test]
+    fn fifo_per_tag() {
+        let mut m = MatchState::new();
+        assert!(m.offer_send(0, 1, rec(5, 10)).is_none());
+        assert!(m.offer_send(0, 1, rec(5, 20)).is_none());
+        assert!(m.offer_send(0, 1, rec(7, 30)).is_none());
+        assert_eq!(m.take_send(0, 1, 5).unwrap().d_msg, 10);
+        assert_eq!(m.take_send(0, 1, 7).unwrap().d_msg, 30);
+        assert_eq!(m.take_send(0, 1, 5).unwrap().d_msg, 20);
+        assert!(m.take_send(0, 1, 5).is_none());
+    }
+
+    #[test]
+    fn pending_recv_resolves_in_post_order() {
+        let mut m = MatchState::new();
+        m.queue_pending_recv(0, 1, pending(5, 1));
+        m.queue_pending_recv(0, 1, pending(5, 2));
+        let (pr, _) = m.offer_send(0, 1, rec(5, 10)).unwrap();
+        assert_eq!(pr.req, 1);
+        let (pr, _) = m.offer_send(0, 1, rec(5, 20)).unwrap();
+        assert_eq!(pr.req, 2);
+    }
+
+    #[test]
+    fn pending_recv_tag_selective() {
+        let mut m = MatchState::new();
+        m.queue_pending_recv(0, 1, pending(9, 1));
+        // A tag-5 send must not satisfy the tag-9 pending receive.
+        assert!(m.offer_send(0, 1, rec(5, 10)).is_none());
+        assert_eq!(m.unmatched_sends(), 1);
+        assert_eq!(m.unmatched_recvs(), 1);
+    }
+
+    #[test]
+    fn channels_are_directional() {
+        let mut m = MatchState::new();
+        m.offer_send(0, 1, rec(5, 10));
+        assert!(m.take_send(1, 0, 5).is_none());
+        assert!(m.take_send(0, 1, 5).is_some());
+    }
+
+    #[test]
+    fn window_accounting() {
+        let mut m = MatchState::new();
+        m.offer_send(0, 1, rec(5, 1));
+        m.offer_send(0, 1, rec(5, 2));
+        assert_eq!(m.retained(), 2);
+        m.take_send(0, 1, 5);
+        assert_eq!(m.retained(), 1);
+        assert_eq!(m.high_water(), 2);
+        m.note_external(10);
+        assert_eq!(m.high_water(), 11);
+    }
+}

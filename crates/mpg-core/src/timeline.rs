@@ -1,0 +1,201 @@
+//! Phase-timeline extraction (Fig. 1).
+//!
+//! "On a given processor, the program alternates between periods of local
+//! computation and resource usage, and interaction with remote processors
+//! via message-passing events."
+//!
+//! [`phases`] folds one rank's event stream into that alternating sequence,
+//! merging adjacent events of the same flavour; [`render_phases`] draws the
+//! figure as ASCII for the experiment binaries.
+
+use crate::Cycles;
+use mpg_trace::{EventKind, EventRecord, MemTrace};
+
+/// Coarse phase flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// Local computation (`c_i` in Fig. 1).
+    Compute,
+    /// Message-passing activity (`m_i`), pairwise or collective.
+    Messaging,
+    /// Single-node bookkeeping (init/finalize).
+    Single,
+}
+
+/// One merged phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// Flavour.
+    pub kind: PhaseKind,
+    /// Phase start (local clock).
+    pub t_start: Cycles,
+    /// Phase end (local clock).
+    pub t_end: Cycles,
+    /// Number of trace events merged into this phase.
+    pub events: usize,
+}
+
+impl Phase {
+    /// Phase duration.
+    pub fn duration(&self) -> Cycles {
+        self.t_end - self.t_start
+    }
+}
+
+fn kind_of(e: &EventKind) -> PhaseKind {
+    match e {
+        EventKind::Compute { .. } => PhaseKind::Compute,
+        EventKind::Init | EventKind::Finalize => PhaseKind::Single,
+        _ => PhaseKind::Messaging,
+    }
+}
+
+/// Folds a rank's events into alternating phases. Gaps between events are
+/// attributed to the preceding phase (they are application think-time).
+pub fn phases(events: &[EventRecord]) -> Vec<Phase> {
+    let mut out: Vec<Phase> = Vec::new();
+    for e in events {
+        let kind = kind_of(&e.kind);
+        match out.last_mut() {
+            Some(last) if last.kind == kind => {
+                last.t_end = e.t_end;
+                last.events += 1;
+            }
+            _ => out.push(Phase { kind, t_start: e.t_start, t_end: e.t_end, events: 1 }),
+        }
+    }
+    out
+}
+
+/// Renders phases as one text line (`CCCCmmCCmm…`), `width` chars wide,
+/// each char covering an equal slice of the rank's span: `C` compute,
+/// `m` messaging, `.` single-node.
+pub fn render_phases(phases: &[Phase], width: usize) -> String {
+    let Some(first) = phases.first() else {
+        return String::new();
+    };
+    let last = phases.last().expect("non-empty");
+    let span = (last.t_end - first.t_start).max(1);
+    let mut out = String::with_capacity(width);
+    for i in 0..width {
+        let t = first.t_start + span * i as u64 / width as u64;
+        let ch = phases
+            .iter()
+            .find(|p| t < p.t_end)
+            .map(|p| match p.kind {
+                PhaseKind::Compute => 'C',
+                PhaseKind::Messaging => 'm',
+                PhaseKind::Single => '.',
+            })
+            .unwrap_or(' ');
+        out.push(ch);
+    }
+    out
+}
+
+/// Renders a whole trace as a per-rank Gantt chart, one line per rank, all
+/// lines sharing the time axis of the longest rank (in each rank's local
+/// clock — §4.1: lines are *not* cross-rank aligned, and say so).
+pub fn render_trace_gantt(trace: &MemTrace, width: usize) -> String {
+    let mut out = String::new();
+    out.push_str("per-rank phase timelines (local clocks; lines are not mutually aligned)\n");
+    for r in 0..trace.num_ranks() {
+        let ph = phases(trace.rank(r));
+        out.push_str(&format!("rank {r:>4} |{}|\n", render_phases(&ph, width)));
+    }
+    let compute: u64 = (0..trace.num_ranks())
+        .flat_map(|r| phases(trace.rank(r)))
+        .filter(|p| p.kind == PhaseKind::Compute)
+        .map(|p| p.duration())
+        .sum();
+    let messaging: u64 = (0..trace.num_ranks())
+        .flat_map(|r| phases(trace.rank(r)))
+        .filter(|p| p.kind == PhaseKind::Messaging)
+        .map(|p| p.duration())
+        .sum();
+    let total = (compute + messaging).max(1);
+    out.push_str(&format!(
+        "legend: C compute ({:.0}%), m messaging ({:.0}%), . bookkeeping\n",
+        compute as f64 / total as f64 * 100.0,
+        messaging as f64 / total as f64 * 100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, t0: u64, t1: u64, kind: EventKind) -> EventRecord {
+        EventRecord { rank: 0, seq, t_start: t0, t_end: t1, kind }
+    }
+
+    fn sample() -> Vec<EventRecord> {
+        vec![
+            ev(0, 0, 10, EventKind::Init),
+            ev(1, 10, 100, EventKind::Compute { work: 90 }),
+            ev(2, 100, 120, EventKind::Send { peer: 1, tag: 0, bytes: 8, protocol: Default::default() }),
+            ev(3, 120, 140, EventKind::Recv { peer: 1, tag: 0, bytes: 8, posted_any: false }),
+            ev(4, 140, 200, EventKind::Compute { work: 60 }),
+            ev(5, 200, 210, EventKind::Finalize),
+        ]
+    }
+
+    #[test]
+    fn phases_alternate_and_merge() {
+        let p = phases(&sample());
+        let kinds: Vec<PhaseKind> = p.iter().map(|x| x.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PhaseKind::Single,
+                PhaseKind::Compute,
+                PhaseKind::Messaging,
+                PhaseKind::Compute,
+                PhaseKind::Single
+            ]
+        );
+        // The two messaging events merged.
+        assert_eq!(p[2].events, 2);
+        assert_eq!(p[2].duration(), 40);
+    }
+
+    #[test]
+    fn empty_trace_no_phases() {
+        assert!(phases(&[]).is_empty());
+        assert_eq!(render_phases(&[], 10), "");
+    }
+
+    #[test]
+    fn render_covers_width() {
+        let p = phases(&sample());
+        let s = render_phases(&p, 42);
+        assert_eq!(s.len(), 42);
+        assert!(s.contains('C'));
+        assert!(s.contains('m'));
+        assert!(s.starts_with('.'));
+    }
+
+    #[test]
+    fn gantt_renders_every_rank() {
+        let mut trace = MemTrace::new(3);
+        for r in 0..3u32 {
+            for (i, e) in sample().into_iter().enumerate() {
+                trace.push(EventRecord { rank: r, seq: i as u64, ..e });
+            }
+        }
+        let g = render_trace_gantt(&trace, 40);
+        assert_eq!(g.lines().count(), 3 + 2); // header + 3 ranks + legend
+        assert!(g.contains("rank    0"));
+        assert!(g.contains("legend:"));
+    }
+
+    #[test]
+    fn render_proportions_roughly_match() {
+        let p = phases(&sample());
+        let s = render_phases(&p, 210);
+        let compute = s.chars().filter(|&c| c == 'C').count();
+        // Compute spans 90 + 60 = 150 of 210 cycles.
+        assert!((140..=160).contains(&compute), "compute={compute}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Agreement metrics between the graph-traversal analyzer and the DES
+//! baseline (experiment E8).
+
+/// Pairwise comparison of two predicted makespans against a ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agreement {
+    /// Ground-truth makespan (e.g. a direct simulation on the target
+    /// platform).
+    pub truth: f64,
+    /// Graph-traversal prediction.
+    pub graph: f64,
+    /// DES (Dimemas-like) prediction.
+    pub des: f64,
+}
+
+impl Agreement {
+    /// Relative error of the graph prediction.
+    pub fn graph_rel_err(&self) -> f64 {
+        rel_err(self.graph, self.truth)
+    }
+
+    /// Relative error of the DES prediction.
+    pub fn des_rel_err(&self) -> f64 {
+        rel_err(self.des, self.truth)
+    }
+
+    /// Relative disagreement between the two predictors.
+    pub fn mutual_rel_err(&self) -> f64 {
+        rel_err(self.graph, self.des)
+    }
+}
+
+fn rel_err(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        if a == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (a - b).abs() / b.abs()
+    }
+}
+
+/// Convenience constructor.
+pub fn agreement(truth: f64, graph: f64, des: f64) -> Agreement {
+    Agreement { truth, graph, des }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_errors() {
+        let a = agreement(100.0, 110.0, 90.0);
+        assert!((a.graph_rel_err() - 0.1).abs() < 1e-12);
+        assert!((a.des_rel_err() - 0.1).abs() < 1e-12);
+        assert!((a.mutual_rel_err() - 20.0 / 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_truth() {
+        let a = agreement(0.0, 0.0, 5.0);
+        assert_eq!(a.graph_rel_err(), 0.0);
+        assert_eq!(a.des_rel_err(), f64::INFINITY);
+    }
+}

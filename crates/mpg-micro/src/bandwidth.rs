@@ -1,0 +1,105 @@
+//! Bandwidth microbenchmark (§5.2).
+//!
+//! "A bandwidth benchmark is similar, except with messages of a significant
+//! size in one direction, with an acknowledgment returned to the sender.
+//! The size of the large message must be sufficiently large so as to make
+//! the latency component negligible in the overall time."
+
+use mpg_noise::{PlatformSignature, Summary};
+use mpg_sim::Simulation;
+use mpg_trace::EventKind;
+
+/// Output of a bandwidth run.
+#[derive(Debug, Clone)]
+pub struct BandwidthResult {
+    /// Message size used (bytes).
+    pub bytes: u64,
+    /// Per-transfer effective cost samples (cycles **per byte**, ack
+    /// round-trip removed via the measured small-message latency).
+    pub cycles_per_byte: Vec<f64>,
+    /// Summary of `cycles_per_byte`.
+    pub summary: Summary,
+}
+
+/// Measures effective per-byte cost with `iters` one-way transfers of
+/// `bytes`, subtracting `latency_estimate` (from a prior ping-pong) for the
+/// wire latency and acknowledgement.
+pub fn bandwidth(
+    platform: &PlatformSignature,
+    bytes: u64,
+    iters: usize,
+    latency_estimate: f64,
+    seed: u64,
+) -> BandwidthResult {
+    assert!(bytes > 0, "bandwidth probe needs a payload");
+    let out = Simulation::new(2, platform.clone())
+        .seed(seed)
+        .ideal_clocks()
+        .send_mode(mpg_sim::SendMode::Eager { threshold: u64::MAX })
+        .run(|ctx| {
+            for _ in 0..iters {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, bytes);
+                    ctx.recv(1, 1); // 0-byte acknowledgement
+                } else {
+                    ctx.recv(0, 0);
+                    ctx.send(0, 1, 0);
+                }
+            }
+        })
+        .expect("bandwidth probe runs");
+    let events = out.trace.rank(0);
+    let mut cycles_per_byte = Vec::with_capacity(iters);
+    let mut send_start = None;
+    for e in events {
+        match e.kind {
+            EventKind::Send { .. } => send_start = Some(e.t_start),
+            EventKind::Recv { .. } => {
+                let s: u64 = send_start.take().expect("recv follows send");
+                let round = (e.t_end - s) as f64;
+                // Remove two one-way latencies (data hop + ack hop).
+                let transfer = (round - 2.0 * latency_estimate).max(0.0);
+                cycles_per_byte.push(transfer / bytes as f64);
+            }
+            _ => {}
+        }
+    }
+    let summary = Summary::of(&cycles_per_byte);
+    BandwidthResult { bytes, cycles_per_byte, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pingpong::pingpong;
+
+    #[test]
+    fn recovers_quiet_platform_rate() {
+        let platform = PlatformSignature::quiet("q");
+        let lat = pingpong(&platform, 0, 20, 1).summary.mean;
+        let r = bandwidth(&platform, 1 << 20, 20, lat, 2);
+        // True rate is 0.5 cycles/byte; overheads shrink relative to 1 MiB.
+        assert!(
+            (r.summary.mean - 0.5).abs() < 0.01,
+            "cycles/byte = {}",
+            r.summary.mean
+        );
+    }
+
+    #[test]
+    fn large_messages_estimate_better_than_small() {
+        let platform = PlatformSignature::quiet("q");
+        let lat = pingpong(&platform, 0, 20, 1).summary.mean;
+        let small = bandwidth(&platform, 4096, 20, lat, 2);
+        let big = bandwidth(&platform, 1 << 22, 20, lat, 2);
+        let err_small = (small.summary.mean - 0.5).abs();
+        let err_big = (big.summary.mean - 0.5).abs();
+        assert!(err_big <= err_small, "{err_big} vs {err_small}");
+    }
+
+    #[test]
+    #[should_panic(expected = "payload")]
+    fn zero_bytes_rejected() {
+        bandwidth(&PlatformSignature::quiet("q"), 0, 1, 0.0, 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Deriving an injected-delta model for cross-platform prediction (§6).
+//!
+//! "…if we generate a trace on a system with relatively low noise…, we can
+//! parameterize the simulation with performance parameters measured on a
+//! system with higher noise to explore how the program can be expected to
+//! perform on a system composed of higher noise processors."
+//!
+//! The replay layer injects *deltas* on top of a trace. To predict platform
+//! B from a trace taken on platform A, the injected model must carry the
+//! *difference* between the two platforms' measured signatures:
+//!
+//! * per-interval OS noise: B's FTQ distribution with A's mean subtracted
+//!   (sample-wise, clamped at zero — the usual case is A ≈ quiet);
+//! * latency: the sample-wise difference of B's and A's one-way quantiles;
+//! * per-byte cost: `B.cycles_per_byte − A.cycles_per_byte`.
+
+use mpg_core::PerturbationModel;
+use mpg_noise::{Dist, Empirical};
+
+use crate::signature::MeasuredSignature;
+
+/// Shifts an empirical distribution down by `baseline`, clamping at zero.
+fn shifted(e: &Empirical, baseline: f64) -> Dist {
+    let samples: Vec<f64> = e.samples().iter().map(|&x| (x - baseline).max(0.0)).collect();
+    Dist::Empirical(Empirical::from_samples(&samples))
+}
+
+/// Builds the injected-delta [`PerturbationModel`] that, applied to a trace
+/// from platform `a`, predicts behaviour on platform `b`.
+///
+/// Both signatures must come from [`measure_signature`] runs with the same
+/// FTQ quantum so the per-interval noise distributions are comparable.
+///
+/// [`measure_signature`]: crate::signature::measure_signature
+pub fn delta_model(name: &str, a: &MeasuredSignature, b: &MeasuredSignature) -> PerturbationModel {
+    assert_eq!(
+        a.ftq_quantum, b.ftq_quantum,
+        "FTQ quanta must match for comparable noise distributions"
+    );
+    let mut m = PerturbationModel::quiet(name);
+    m.os_local = shifted(&b.ftq_noise, a.ftq_noise.mean()).into();
+    // The FTQ samples describe noise per quantum of work; the replay must
+    // scale them to each local edge's length or short compute phases get
+    // charged full-quantum noise.
+    m.os_quantum = Some(a.ftq_quantum);
+    m.latency = shifted(&b.latency, a.latency.mean()).into();
+    m.per_byte = (b.cycles_per_byte - a.cycles_per_byte).max(0.0);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::measure_signature;
+    use mpg_noise::PlatformSignature;
+
+    #[test]
+    fn quiet_to_quiet_is_nearly_identity() {
+        let a = measure_signature(&PlatformSignature::quiet("a"), 1_000_000, 100, 1);
+        let b = measure_signature(&PlatformSignature::quiet("b"), 1_000_000, 100, 2);
+        let m = delta_model("a->b", &a, &b);
+        assert_eq!(m.mean_delta(mpg_core::DeltaClass::OsLocal), 0.0);
+        assert!(m.per_byte.abs() < 0.01);
+    }
+
+    #[test]
+    fn quiet_to_noisy_injects_noise() {
+        let a = measure_signature(&PlatformSignature::quiet("a"), 1_000_000, 300, 1);
+        let b = measure_signature(&PlatformSignature::noisy("b", 1.0), 1_000_000, 300, 2);
+        let m = delta_model("a->b", &a, &b);
+        assert!(m.mean_delta(mpg_core::DeltaClass::OsLocal) > 0.0);
+        assert!(m.mean_delta(mpg_core::DeltaClass::Lambda) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quanta must match")]
+    fn mismatched_quanta_rejected() {
+        let a = measure_signature(&PlatformSignature::quiet("a"), 1_000_000, 50, 1);
+        let b = measure_signature(&PlatformSignature::quiet("b"), 500_000, 50, 2);
+        delta_model("bad", &a, &b);
+    }
+}

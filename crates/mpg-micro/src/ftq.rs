@@ -1,0 +1,127 @@
+//! The fixed time quantum (FTQ) microbenchmark (§5.1, citing \[16\]).
+//!
+//! "The fixed time quantum (FTQ) microbenchmark … probes for periodic
+//! perturbations in a large number of fine grained workloads."
+//!
+//! On real hardware FTQ spins on the cycle counter, counting work units
+//! completed per fixed quantum; OS preemption shows up as missing work. On
+//! the simulated platform we issue fixed `work` compute intervals and
+//! measure how much longer than `work` each took — the same observable
+//! (time stolen per quantum), read directly.
+
+use mpg_noise::{Empirical, PlatformSignature, Summary};
+use mpg_sim::Simulation;
+
+use crate::Cycles;
+
+/// Output of one FTQ run.
+#[derive(Debug, Clone)]
+pub struct FtqResult {
+    /// Quantum length used (cycles of intended work).
+    pub quantum: Cycles,
+    /// Per-quantum stolen time samples (cycles).
+    pub stolen: Vec<f64>,
+    /// Convenience summary of `stolen`.
+    pub summary: Summary,
+}
+
+impl FtqResult {
+    /// Builds the empirical per-quantum noise distribution (§5 method 2).
+    pub fn empirical(&self) -> Empirical {
+        Empirical::from_samples(&self.stolen)
+    }
+
+    /// Fraction of CPU stolen: `mean(stolen) / (quantum + mean(stolen))`.
+    pub fn overhead_fraction(&self) -> f64 {
+        let m = self.summary.mean;
+        m / (self.quantum as f64 + m)
+    }
+}
+
+/// Runs FTQ on one simulated node of `platform`: `quanta` intervals of
+/// `quantum` cycles each.
+pub fn ftq(platform: &PlatformSignature, quantum: Cycles, quanta: usize, seed: u64) -> FtqResult {
+    let out = Simulation::new(1, platform.clone())
+        .seed(seed)
+        .ideal_clocks()
+        .run(|ctx| {
+            for _ in 0..quanta {
+                ctx.compute(quantum);
+            }
+        })
+        .expect("single-rank FTQ cannot deadlock");
+    let stolen: Vec<f64> = out
+        .trace
+        .rank(0)
+        .iter()
+        .filter_map(|e| match e.kind {
+            mpg_trace::EventKind::Compute { work } => {
+                Some((e.duration() - work) as f64)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(stolen.len(), quanta);
+    let summary = Summary::of(&stolen);
+    FtqResult { quantum, stolen, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpg_noise::{NoiseProcess, OsNoiseModel};
+
+    #[test]
+    fn quiet_platform_steals_nothing() {
+        let r = ftq(&PlatformSignature::quiet("q"), 100_000, 200, 1);
+        assert_eq!(r.summary.max, 0.0);
+        assert_eq!(r.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn noisy_platform_measured_close_to_generative_truth() {
+        let platform = PlatformSignature::noisy("n", 1.0);
+        let truth = platform.os_noise.mean_overhead_fraction();
+        let r = ftq(&platform, 1_000_000, 2_000, 2);
+        let measured = r.overhead_fraction();
+        assert!(
+            (measured - truth).abs() < truth * 0.35,
+            "measured {measured} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn periodic_daemon_visible_in_quantum_histogram() {
+        // A daemon with period ≈ 2 quanta hits every other quantum; the
+        // sample set must be strongly bimodal.
+        let mut platform = PlatformSignature::quiet("periodic");
+        platform.os_noise = OsNoiseModel::PeriodicDaemon {
+            period: 200_000,
+            phase: 0,
+            duration: 5_000,
+            jitter: mpg_noise::Dist::Zero,
+        };
+        let r = ftq(&platform, 100_000, 1_000, 3);
+        let zeros = r.stolen.iter().filter(|&&x| x == 0.0).count();
+        let hits = r.stolen.iter().filter(|&&x| x == 5_000.0).count();
+        assert_eq!(zeros + hits, 1_000);
+        assert!((450..=550).contains(&zeros), "zeros={zeros}");
+    }
+
+    #[test]
+    fn empirical_distribution_resamples_in_range() {
+        let platform = PlatformSignature::noisy("n", 1.0);
+        let r = ftq(&platform, 500_000, 500, 4);
+        let e = r.empirical();
+        assert_eq!(e.len(), 500);
+        assert!(e.mean() >= 0.0);
+    }
+
+    #[test]
+    fn determinism() {
+        let p = PlatformSignature::noisy("n", 1.0);
+        let a = ftq(&p, 100_000, 100, 7);
+        let b = ftq(&p, 100_000, 100, 7);
+        assert_eq!(a.stolen, b.stolen);
+    }
+}

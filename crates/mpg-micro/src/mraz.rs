@@ -1,0 +1,103 @@
+//! Mraz's point-to-point noise probe (§5.1, citing \[11\]).
+//!
+//! "The point-to-point messaging microbenchmark described by Mraz uses a
+//! simple message-passing program to probe the effect of noise on
+//! message-passing programs."
+//!
+//! Unlike FTQ (which sees noise from the CPU's perspective), this probe
+//! sees the *combined* effect of OS noise and interconnect jitter on a tight
+//! message loop interleaved with small compute bursts — the quantity that
+//! actually couples into application messaging.
+
+use mpg_noise::{Empirical, PlatformSignature, Summary};
+use mpg_sim::Simulation;
+use mpg_trace::EventKind;
+
+use crate::Cycles;
+
+/// Output of a Mraz probe run.
+#[derive(Debug, Clone)]
+pub struct MrazResult {
+    /// Compute burst between exchanges (cycles).
+    pub burst: Cycles,
+    /// Per-iteration excess over the best iteration (cycles): the noise
+    /// floor is subtracted so the samples isolate *variability*, which is
+    /// what Mraz's variance-reduction work targeted.
+    pub excess: Vec<f64>,
+    /// Summary of `excess`.
+    pub summary: Summary,
+}
+
+impl MrazResult {
+    /// Empirical distribution of per-iteration excess.
+    pub fn empirical(&self) -> Empirical {
+        Empirical::from_samples(&self.excess)
+    }
+}
+
+/// Runs `iters` iterations of (compute `burst`; exchange a small message)
+/// between two nodes and reports per-iteration variability seen by rank 0.
+pub fn mraz(platform: &PlatformSignature, burst: Cycles, iters: usize, seed: u64) -> MrazResult {
+    let out = Simulation::new(2, platform.clone())
+        .seed(seed)
+        .ideal_clocks()
+        .send_mode(mpg_sim::SendMode::Eager { threshold: u64::MAX })
+        .run(|ctx| {
+            for _ in 0..iters {
+                ctx.compute(burst);
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, 64);
+                    ctx.recv(1, 1);
+                } else {
+                    ctx.recv(0, 0);
+                    ctx.send(0, 1, 64);
+                }
+            }
+        })
+        .expect("mraz probe runs");
+    // Iteration span on rank 0: compute start → recv end.
+    let events = out.trace.rank(0);
+    let mut iter_times = Vec::with_capacity(iters);
+    let mut start = None;
+    for e in events {
+        match e.kind {
+            EventKind::Compute { .. } => start = Some(e.t_start),
+            EventKind::Recv { .. } => {
+                let s: u64 = start.take().expect("compute precedes recv");
+                iter_times.push((e.t_end - s) as f64);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(iter_times.len(), iters);
+    let best = iter_times.iter().copied().fold(f64::INFINITY, f64::min);
+    let excess: Vec<f64> = iter_times.iter().map(|t| t - best).collect();
+    let summary = Summary::of(&excess);
+    MrazResult { burst, excess, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_platform_has_zero_excess() {
+        let r = mraz(&PlatformSignature::quiet("q"), 10_000, 100, 1);
+        assert_eq!(r.summary.max, 0.0);
+    }
+
+    #[test]
+    fn noisy_platform_has_positive_excess() {
+        let r = mraz(&PlatformSignature::noisy("n", 1.0), 100_000, 500, 2);
+        assert!(r.summary.max > 0.0);
+        assert!(r.summary.mean > 0.0);
+        assert_eq!(r.excess.iter().copied().fold(f64::INFINITY, f64::min), 0.0);
+    }
+
+    #[test]
+    fn noisier_platform_larger_excess() {
+        let lo = mraz(&PlatformSignature::noisy("lo", 0.5), 100_000, 500, 3);
+        let hi = mraz(&PlatformSignature::noisy("hi", 4.0), 100_000, 500, 3);
+        assert!(hi.summary.mean > lo.summary.mean);
+    }
+}

@@ -1,0 +1,114 @@
+//! Ping-pong latency microbenchmark (§5.2).
+//!
+//! "Given the lack of an accurate, high-precision global clock across
+//! communicating processors, the latency benchmark uses a traditional
+//! ping-style message exchange between two processors" — the round-trip is
+//! timed on one node and halved, relying on the paper's symmetric-link
+//! i.i.d. assumption.
+
+use mpg_noise::{Empirical, PlatformSignature, Summary};
+use mpg_sim::Simulation;
+use mpg_trace::EventKind;
+
+use crate::Cycles;
+
+/// Output of a ping-pong run.
+#[derive(Debug, Clone)]
+pub struct PingPongResult {
+    /// Message size used for the ping (bytes).
+    pub bytes: u64,
+    /// Estimated one-way times: half of each measured round trip (cycles).
+    pub one_way: Vec<f64>,
+    /// Summary of `one_way`.
+    pub summary: Summary,
+}
+
+impl PingPongResult {
+    /// Empirical one-way latency distribution.
+    pub fn empirical(&self) -> Empirical {
+        Empirical::from_samples(&self.one_way)
+    }
+}
+
+/// Runs `iters` ping-pong exchanges of `bytes` between two simulated nodes.
+///
+/// Round trips are measured rank-0-side as the span from send start to
+/// recv end — a single local clock, as on hardware.
+pub fn pingpong(
+    platform: &PlatformSignature,
+    bytes: u64,
+    iters: usize,
+    seed: u64,
+) -> PingPongResult {
+    let out = Simulation::new(2, platform.clone())
+        .seed(seed)
+        .ideal_clocks()
+        // Eager sends so the forward message does not wait for an ack —
+        // otherwise the "round trip" would contain two acks as well.
+        .send_mode(mpg_sim::SendMode::Eager { threshold: u64::MAX })
+        .run(|ctx| {
+            for _ in 0..iters {
+                if ctx.rank() == 0 {
+                    ctx.send(1, 0, bytes);
+                    ctx.recv(1, 1);
+                } else {
+                    ctx.recv(0, 0);
+                    ctx.send(0, 1, bytes);
+                }
+            }
+        })
+        .expect("pingpong runs");
+    // Pair each rank-0 send start with the following recv end.
+    let events = out.trace.rank(0);
+    let mut one_way = Vec::with_capacity(iters);
+    let mut send_start: Option<Cycles> = None;
+    for e in events {
+        match e.kind {
+            EventKind::Send { .. } => send_start = Some(e.t_start),
+            EventKind::Recv { .. } => {
+                let s = send_start.take().expect("recv follows send");
+                one_way.push((e.t_end - s) as f64 / 2.0);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(one_way.len(), iters);
+    let summary = Summary::of(&one_way);
+    PingPongResult { bytes, one_way, summary }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_latency_recovers_platform_constant() {
+        let platform = PlatformSignature::quiet("q");
+        // 0-byte pings: one way = o(300) + λ(2000) [+ receiver-side o folds
+        // into the next hop's measurement symmetrically].
+        let r = pingpong(&platform, 0, 50, 1);
+        // Measured one-way must sit within a software-overhead margin of λ.
+        let err = (r.summary.mean - 2_000.0).abs();
+        assert!(err < 700.0, "mean={}", r.summary.mean);
+        // And be perfectly repeatable on a quiet platform.
+        assert_eq!(r.summary.min, r.summary.max);
+    }
+
+    #[test]
+    fn latency_grows_with_message_size() {
+        let platform = PlatformSignature::quiet("q");
+        let small = pingpong(&platform, 0, 20, 1);
+        let big = pingpong(&platform, 100_000, 20, 1);
+        // 100 kB at 0.5 cycles/byte adds 50k cycles each way.
+        assert!(big.summary.mean > small.summary.mean + 49_000.0);
+    }
+
+    #[test]
+    fn noisy_platform_shows_spread() {
+        let r = pingpong(&PlatformSignature::noisy("n", 1.0), 0, 300, 2);
+        assert!(r.summary.std_dev > 0.0);
+        assert!(r.summary.max > r.summary.min);
+        let e = r.empirical();
+        assert!(e.quantile(0.99) >= e.quantile(0.5));
+    }
+}

@@ -1,0 +1,112 @@
+//! Assembling a measured platform signature (§5).
+//!
+//! "…this signature is provided to the analysis tools, along with an
+//! application trace, to estimate the behavior of the program on the new
+//! platform."
+
+use mpg_noise::{BandwidthModel, Dist, Empirical, OsNoiseModel, PlatformSignature};
+
+use crate::bandwidth::bandwidth;
+use crate::ftq::ftq;
+use crate::mraz::{mraz, MrazResult};
+use crate::pingpong::pingpong;
+use crate::Cycles;
+
+/// A platform signature rebuilt purely from microbenchmark measurements,
+/// with the raw distributions retained for inspection.
+#[derive(Debug, Clone)]
+pub struct MeasuredSignature {
+    /// The reassembled signature (empirical distributions inside).
+    pub signature: PlatformSignature,
+    /// FTQ per-quantum stolen-time distribution.
+    pub ftq_noise: Empirical,
+    /// FTQ quantum used (needed to scale the noise to other interval
+    /// lengths).
+    pub ftq_quantum: Cycles,
+    /// One-way latency distribution from ping-pong.
+    pub latency: Empirical,
+    /// Effective cycles/byte from the bandwidth probe.
+    pub cycles_per_byte: f64,
+    /// Mraz point-to-point excess distribution.
+    pub mraz: MrazResult,
+}
+
+/// Runs the full microbenchmark suite against `platform` and reassembles a
+/// signature from the measurements alone.
+///
+/// `quantum` is the FTQ quantum; `samples` scales every probe's iteration
+/// count (use ≥ 500 for distributions stable enough for replay, per the
+/// law-of-large-numbers discussion in §5).
+pub fn measure_signature(
+    platform: &PlatformSignature,
+    quantum: Cycles,
+    samples: usize,
+    seed: u64,
+) -> MeasuredSignature {
+    let f = ftq(platform, quantum, samples, seed ^ 0xF7);
+    let p = pingpong(platform, 0, samples, seed ^ 0x91);
+    let b = bandwidth(platform, 1 << 20, (samples / 10).max(8), p.summary.mean, seed ^ 0xB3);
+    let m = mraz(platform, quantum / 10, samples, seed ^ 0x3A);
+
+    let ftq_noise = f.empirical();
+    let latency = p.empirical();
+    let cycles_per_byte = b.summary.mean.max(0.0);
+    let signature = PlatformSignature {
+        name: format!("measured:{}", platform.name),
+        latency: Dist::Empirical(latency.clone()),
+        bandwidth: BandwidthModel {
+            cycles_per_byte,
+            per_message: Dist::Zero,
+        },
+        // Per-quantum noise becomes a per-interval empirical process; the
+        // replay layer samples it per local edge.
+        os_noise: OsNoiseModel::PerInterval(Dist::Empirical(ftq_noise.clone())),
+        sw_overhead: platform.sw_overhead,
+    };
+    MeasuredSignature {
+        signature,
+        ftq_noise,
+        ftq_quantum: quantum,
+        latency,
+        cycles_per_byte,
+        mraz: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_platform_measures_quiet() {
+        let m = measure_signature(&PlatformSignature::quiet("q"), 1_000_000, 100, 1);
+        assert_eq!(m.ftq_noise.mean(), 0.0);
+        assert!((m.cycles_per_byte - 0.5).abs() < 0.01);
+        // Latency estimate within overhead slack of the true 2000.
+        assert!((m.latency.mean() - 2_000.0).abs() < 700.0);
+    }
+
+    #[test]
+    fn noisy_platform_measures_noise() {
+        let m = measure_signature(&PlatformSignature::noisy("n", 1.0), 1_000_000, 400, 2);
+        assert!(m.ftq_noise.mean() > 0.0);
+        assert!(m.mraz.summary.mean > 0.0);
+        // Measured latency should exceed the quiet baseline's 2000 on
+        // average (the noisy platform mixes in an exponential tail).
+        assert!(m.latency.mean() > 2_000.0);
+    }
+
+    #[test]
+    fn measured_signature_is_usable_as_platform() {
+        // The reassembled signature must itself drive a simulation.
+        let m = measure_signature(&PlatformSignature::noisy("n", 1.0), 500_000, 200, 3);
+        let out = mpg_sim::Simulation::new(2, m.signature.clone())
+            .seed(4)
+            .run(|ctx| {
+                ctx.compute(100_000);
+                ctx.barrier();
+            })
+            .unwrap();
+        assert!(out.makespan() > 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! Parametric distribution fitting (§5, method 1).
+//!
+//! "First, one can estimate parameters for assumed distributions of the
+//! parameters. For example, it is generally assumed that queueing time can
+//! be modeled as an exponential distribution, and the parameter of the
+//! distribution can be estimated from experimental measurements."
+//!
+//! Estimators for the families the perturbation models use, plus a
+//! Kolmogorov–Smirnov statistic against the fitted CDF and a
+//! [`best_fit`] helper that picks the family with the smallest KS distance
+//! — letting experiments compare method 1 (assumed family) against
+//! method 2 (raw empirical distribution).
+
+use crate::dist::Dist;
+
+/// Fits an exponential by maximum likelihood (mean = sample mean).
+/// Returns `None` for empty or all-zero samples.
+pub fn fit_exponential(samples: &[f64]) -> Option<Dist> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (mean > 0.0).then_some(Dist::Exponential { mean })
+}
+
+/// Fits a normal by moments.
+pub fn fit_normal(samples: &[f64]) -> Option<Dist> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    Some(Dist::Normal { mean, std_dev: var.sqrt() })
+}
+
+/// Fits a log-normal by moments of `ln(x)`; zero/negative samples are
+/// shifted out by a tiny epsilon. Returns `None` when fewer than two
+/// positive samples exist.
+pub fn fit_lognormal(samples: &[f64]) -> Option<Dist> {
+    let logs: Vec<f64> = samples.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    if logs.len() < 2 {
+        return None;
+    }
+    let n = logs.len() as f64;
+    let mu = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n - 1.0);
+    Some(Dist::LogNormal { mu, sigma: var.sqrt() })
+}
+
+/// Fits a Pareto: scale = sample min, shape by MLE.
+pub fn fit_pareto(samples: &[f64]) -> Option<Dist> {
+    let x_m = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    if !x_m.is_finite() || x_m <= 0.0 {
+        return None;
+    }
+    let sum_log: f64 = samples.iter().map(|x| (x / x_m).ln()).sum();
+    if sum_log <= 0.0 {
+        return None;
+    }
+    let alpha = samples.len() as f64 / sum_log;
+    Some(Dist::Pareto { x_m, alpha })
+}
+
+/// Theoretical CDF of a fitted family at `x` (only for the families the
+/// fitters produce).
+fn cdf(dist: &Dist, x: f64) -> f64 {
+    match dist {
+        Dist::Exponential { mean } => {
+            if x <= 0.0 {
+                0.0
+            } else {
+                1.0 - (-x / mean).exp()
+            }
+        }
+        Dist::Normal { mean, std_dev } => {
+            if *std_dev <= 0.0 {
+                return f64::from(u8::from(x >= *mean));
+            }
+            0.5 * (1.0 + erf((x - mean) / (std_dev * std::f64::consts::SQRT_2)))
+        }
+        Dist::LogNormal { mu, sigma } => {
+            if x <= 0.0 {
+                0.0
+            } else {
+                0.5 * (1.0 + erf((x.ln() - mu) / (sigma * std::f64::consts::SQRT_2)))
+            }
+        }
+        Dist::Pareto { x_m, alpha } => {
+            if x < *x_m {
+                0.0
+            } else {
+                1.0 - (x_m / x).powf(*alpha)
+            }
+        }
+        _ => unreachable!("cdf only defined for fitted families"),
+    }
+}
+
+/// Abramowitz–Stegun rational approximation of the error function
+/// (|error| < 1.5e-7, ample for KS statistics).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// One-sample Kolmogorov–Smirnov statistic of `samples` against a fitted
+/// family's CDF.
+pub fn ks_statistic(samples: &[f64], dist: &Dist) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let n = sorted.len() as f64;
+    let mut d: f64 = 0.0;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(dist, x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// Fits every family and returns `(name, fitted dist, ks)` sorted by
+/// ascending KS distance — the method-1 answer to "which assumed
+/// distribution describes these measurements".
+pub fn best_fit(samples: &[f64]) -> Vec<(&'static str, Dist, f64)> {
+    let mut out = Vec::new();
+    if let Some(d) = fit_exponential(samples) {
+        out.push(("exponential", d.clone(), ks_statistic(samples, &d)));
+    }
+    if let Some(d) = fit_normal(samples) {
+        out.push(("normal", d.clone(), ks_statistic(samples, &d)));
+    }
+    if let Some(d) = fit_lognormal(samples) {
+        out.push(("lognormal", d.clone(), ks_statistic(samples, &d)));
+    }
+    if let Some(d) = fit_pareto(samples) {
+        out.push(("pareto", d.clone(), ks_statistic(samples, &d)));
+    }
+    out.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("no NaN KS"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::rng::StreamRng;
+
+    fn draw(d: &Dist, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StreamRng::new(seed, 0);
+        (0..n).map(|_| d.sample_f64(&mut rng)).collect()
+    }
+
+    #[test]
+    fn exponential_recovers_mean() {
+        let xs = draw(&Dist::Exponential { mean: 400.0 }, 50_000, 1);
+        let Some(Dist::Exponential { mean }) = fit_exponential(&xs) else {
+            panic!("fit failed")
+        };
+        assert!((mean - 400.0).abs() < 10.0, "mean={mean}");
+        assert!(ks_statistic(&xs, &Dist::Exponential { mean }) < 0.01);
+    }
+
+    #[test]
+    fn normal_recovers_moments() {
+        let xs = draw(&Dist::Normal { mean: 5_000.0, std_dev: 300.0 }, 50_000, 2);
+        let Some(Dist::Normal { mean, std_dev }) = fit_normal(&xs) else {
+            panic!("fit failed")
+        };
+        assert!((mean - 5_000.0).abs() < 15.0);
+        assert!((std_dev - 300.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn lognormal_recovers_parameters() {
+        let xs = draw(&Dist::LogNormal { mu: 6.0, sigma: 0.4 }, 50_000, 3);
+        let Some(Dist::LogNormal { mu, sigma }) = fit_lognormal(&xs) else {
+            panic!("fit failed")
+        };
+        assert!((mu - 6.0).abs() < 0.02, "mu={mu}");
+        assert!((sigma - 0.4).abs() < 0.02, "sigma={sigma}");
+    }
+
+    #[test]
+    fn pareto_recovers_shape() {
+        let xs = draw(&Dist::Pareto { x_m: 100.0, alpha: 2.5 }, 50_000, 4);
+        let Some(Dist::Pareto { x_m, alpha }) = fit_pareto(&xs) else {
+            panic!("fit failed")
+        };
+        assert!((x_m - 100.0).abs() < 1.0);
+        assert!((alpha - 2.5).abs() < 0.1, "alpha={alpha}");
+    }
+
+    #[test]
+    fn best_fit_identifies_the_generating_family() {
+        for (name, d) in [
+            ("exponential", Dist::Exponential { mean: 700.0 }),
+            ("lognormal", Dist::LogNormal { mu: 5.0, sigma: 0.8 }),
+            ("normal", Dist::Normal { mean: 10_000.0, std_dev: 500.0 }),
+        ] {
+            let xs = draw(&d, 20_000, 7);
+            let ranked = best_fit(&xs);
+            assert_eq!(ranked[0].0, name, "expected {name}, got {:?}", ranked[0]);
+        }
+    }
+
+    #[test]
+    fn ks_detects_wrong_family() {
+        let xs = draw(&Dist::Exponential { mean: 500.0 }, 20_000, 8);
+        let wrong = Dist::Normal { mean: 500.0, std_dev: 500.0 };
+        let right = fit_exponential(&xs).expect("fits");
+        assert!(ks_statistic(&xs, &right) < 0.02);
+        assert!(ks_statistic(&xs, &wrong) > 0.05);
+    }
+
+    #[test]
+    fn erf_sane() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(10.0) - 1.0).abs() < 1e-7);
+        assert!((erf(-10.0) + 1.0).abs() < 1e-7);
+        // erf(1) ≈ 0.8427
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(fit_exponential(&[]).is_none());
+        assert!(fit_exponential(&[0.0, 0.0]).is_none());
+        assert!(fit_normal(&[1.0]).is_none());
+        assert!(fit_lognormal(&[0.0, -1.0]).is_none());
+        assert!(fit_pareto(&[0.0, 1.0]).is_none());
+        assert_eq!(ks_statistic(&[], &Dist::Exponential { mean: 1.0 }), 0.0);
+    }
+}

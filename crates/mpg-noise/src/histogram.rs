@@ -1,0 +1,245 @@
+//! Fixed- and logarithmic-bin histograms for microbenchmark output.
+//!
+//! The FTQ microbenchmark (§5.1) produces large sample sets whose shape —
+//! a dominant mode plus periodic outlier modes from daemon activity — is the
+//! platform's noise fingerprint. Histograms provide a compact fingerprint
+//! representation and the text rendering used by the experiment binaries.
+
+/// Bin-edge strategy for a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Binning {
+    /// `count` equal-width bins over `[lo, hi)`.
+    Linear {
+        /// Inclusive lower edge of the first bin.
+        lo: f64,
+        /// Exclusive upper edge of the last bin.
+        hi: f64,
+        /// Number of bins (> 0).
+        count: usize,
+    },
+    /// Power-of-two bins: bin `i` covers `[2^i, 2^(i+1))`, with bin 0 also
+    /// catching values below 1. Suits heavy-tailed latency data.
+    Log2 {
+        /// Number of bins (> 0).
+        count: usize,
+    },
+}
+
+/// A counting histogram with under/overflow tracking.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    binning: Binning,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if the binning has zero bins or an empty range.
+    pub fn new(binning: Binning) -> Self {
+        let count = match binning {
+            Binning::Linear { lo, hi, count } => {
+                assert!(count > 0, "zero bins");
+                assert!(hi > lo, "empty range");
+                count
+            }
+            Binning::Log2 { count } => {
+                assert!(count > 0, "zero bins");
+                count
+            }
+        };
+        Self {
+            binning,
+            counts: vec![0; count],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    fn bin_of(&self, x: f64) -> Option<usize> {
+        match self.binning {
+            Binning::Linear { lo, hi, count } => {
+                if x < lo {
+                    None
+                } else if x >= hi {
+                    Some(count) // overflow sentinel
+                } else {
+                    Some(((x - lo) / (hi - lo) * count as f64) as usize)
+                }
+            }
+            Binning::Log2 { count } => {
+                if x < 0.0 {
+                    None
+                } else if x < 1.0 {
+                    Some(0)
+                } else {
+                    let b = x.log2().floor() as usize;
+                    Some(b.min(count)) // >= count becomes overflow sentinel
+                }
+            }
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        match self.bin_of(x) {
+            None => self.underflow += 1,
+            Some(b) if b >= self.counts.len() => self.overflow += 1,
+            Some(b) => self.counts[b] += 1,
+        }
+    }
+
+    /// Records many observations.
+    pub fn record_all(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.record(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Observations below the first bin.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the last bin edge.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The `(lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        match self.binning {
+            Binning::Linear { lo, hi, count } => {
+                let w = (hi - lo) / count as f64;
+                (lo + w * i as f64, lo + w * (i + 1) as f64)
+            }
+            Binning::Log2 { .. } => {
+                if i == 0 {
+                    (0.0, 2.0)
+                } else {
+                    (2f64.powi(i as i32), 2f64.powi(i as i32 + 1))
+                }
+            }
+        }
+    }
+
+    /// Index of the most populated bin, or `None` when empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        if self.total == self.underflow + self.overflow {
+            return None;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+    }
+
+    /// Renders an ASCII bar chart, one line per bin (skipping empty leading /
+    /// trailing bins), used by the experiment drivers.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let first = self.counts.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = self
+            .counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(self.counts.len().saturating_sub(1));
+        let mut out = String::new();
+        for i in first..=last {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((self.counts[i] as usize * width / max as usize).max(
+                usize::from(self.counts[i] > 0),
+            ));
+            out.push_str(&format!("[{lo:>12.0}, {hi:>12.0})  {:>8}  {bar}\n", self.counts[i]));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("underflow: {}\n", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("overflow: {}\n", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning() {
+        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 100.0, count: 10 });
+        h.record(0.0);
+        h.record(5.0);
+        h.record(95.0);
+        h.record(99.999);
+        h.record(100.0); // overflow (hi exclusive)
+        h.record(-1.0); // underflow
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn log2_binning() {
+        let mut h = Histogram::new(Binning::Log2 { count: 8 });
+        h.record(0.0); // bin 0
+        h.record(1.5); // bin 0 ([1,2))
+        h.record(2.0); // bin 1
+        h.record(255.0); // bin 7
+        h.record(256.0); // overflow
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[7], 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn mode_and_render() {
+        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 10.0, count: 5 });
+        h.record_all(&[1.0, 1.5, 1.7, 9.0]);
+        assert_eq!(h.mode_bin(), Some(0));
+        let s = h.render(20);
+        assert!(s.contains('#'));
+        // Only non-empty span rendered: bins 0 and 4 present, middle shown too.
+        assert!(s.lines().count() >= 2);
+    }
+
+    #[test]
+    fn empty_mode_is_none() {
+        let h = Histogram::new(Binning::Log2 { count: 4 });
+        assert_eq!(h.mode_bin(), None);
+    }
+
+    #[test]
+    fn bin_edges_linear() {
+        let h = Histogram::new(Binning::Linear { lo: 10.0, hi: 20.0, count: 5 });
+        assert_eq!(h.bin_edges(0), (10.0, 12.0));
+        assert_eq!(h.bin_edges(4), (18.0, 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bins")]
+    fn zero_bins_panics() {
+        Histogram::new(Binning::Log2 { count: 0 });
+    }
+}

@@ -1,0 +1,256 @@
+//! Generative operating-system noise processes (§5.1).
+//!
+//! "Operating system noise is the result of time lost to non-application
+//! tasks due to operating system kernel or daemons requiring compute time."
+//!
+//! These processes drive the *simulated platform*: when a rank performs `w`
+//! cycles of application work starting at local time `t`, the platform's
+//! noise model decides how much extra wall time the interval takes. They are
+//! the generative counterpart of what the FTQ and Mraz microbenchmarks
+//! (crate `mpg-micro`) later *measure*, closing the paper's loop:
+//! platform → microbenchmark → empirical distribution → replay parameter.
+
+use crate::dist::{Dist, SampleDist};
+use crate::rng::StreamRng;
+use crate::Cycles;
+
+/// A process that maps `(start_time, work)` intervals to stolen cycles.
+pub trait NoiseProcess {
+    /// Extra cycles the interval `[start, start + work)` of application work
+    /// loses to the OS. Deterministic given the RNG stream state.
+    fn stolen(&self, start: Cycles, work: Cycles, rng: &mut StreamRng) -> Cycles;
+
+    /// Long-run average fraction of CPU stolen (0 = noiseless). Used for
+    /// analytic expectations in tests and experiment predictions.
+    fn mean_overhead_fraction(&self) -> f64;
+}
+
+/// Closed set of OS-noise models for the simulated platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsNoiseModel {
+    /// A noiseless (lightweight-kernel / bproc-like, §6) compute node.
+    Quiet,
+    /// A daemon that wakes every `period` cycles and runs for `duration`
+    /// cycles (plus jitter). The number of hits on an interval is the number
+    /// of period boundaries it crosses — the deterministic phase structure
+    /// is what FTQ is designed to expose.
+    PeriodicDaemon {
+        /// Wakeup period (cycles); must be > 0.
+        period: Cycles,
+        /// Phase offset of the first wakeup (cycles).
+        phase: Cycles,
+        /// Cost of one wakeup (cycles).
+        duration: Cycles,
+        /// Extra per-hit jitter distribution.
+        jitter: Dist,
+    },
+    /// Memoryless interrupts: hit count over `w` cycles is Poisson with mean
+    /// `w / mean_interarrival`; each hit costs a sample of `duration`.
+    PoissonInterrupts {
+        /// Mean cycles between interrupts; must be > 0.
+        mean_interarrival: f64,
+        /// Per-interrupt cost distribution.
+        duration: Dist,
+    },
+    /// Context-free jitter: one sample of the distribution per interval,
+    /// independent of interval length. This is the model the *analyzer* uses
+    /// when replaying with a measured per-event distribution.
+    PerInterval(Dist),
+    /// Sum of independent component processes.
+    Composite(Vec<OsNoiseModel>),
+}
+
+impl OsNoiseModel {
+    /// A conventional "noisy full-service OS" profile: a scheduler tick
+    /// daemon plus memoryless heavier interrupts. `scale` multiplies all
+    /// magnitudes (1.0 ≈ a few percent overhead).
+    pub fn standard_noisy(scale: f64) -> Self {
+        OsNoiseModel::Composite(vec![
+            OsNoiseModel::PeriodicDaemon {
+                period: 1_000_000,
+                phase: 0,
+                duration: (10_000.0 * scale) as Cycles,
+                jitter: Dist::Exponential { mean: 1_000.0 * scale },
+            },
+            OsNoiseModel::PoissonInterrupts {
+                mean_interarrival: 5_000_000.0,
+                duration: Dist::Exponential { mean: 50_000.0 * scale },
+            },
+        ])
+    }
+}
+
+/// Samples a Poisson variate. Knuth's product method for small means, a
+/// clamped normal approximation for large ones (adequate for noise-hit
+/// counts, where relative error at large counts is negligible).
+pub fn poisson(mean: f64, rng: &mut StreamRng) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.uniform01();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = mean + mean.sqrt() * rng.standard_normal();
+        x.round().max(0.0) as u64
+    }
+}
+
+impl NoiseProcess for OsNoiseModel {
+    fn stolen(&self, start: Cycles, work: Cycles, rng: &mut StreamRng) -> Cycles {
+        match self {
+            OsNoiseModel::Quiet => 0,
+            OsNoiseModel::PeriodicDaemon { period, phase, duration, jitter } => {
+                debug_assert!(*period > 0);
+                let end = start + work;
+                // Wakeups strictly inside (start, end]; the count of k with
+                // phase + k*period in that range.
+                let before = start.saturating_sub(*phase) / period
+                    + u64::from(start >= *phase);
+                let upto = end.saturating_sub(*phase) / period + u64::from(end >= *phase);
+                let hits = upto.saturating_sub(before);
+                let mut total = 0u64;
+                for _ in 0..hits {
+                    total += duration + jitter.sample(rng);
+                }
+                total
+            }
+            OsNoiseModel::PoissonInterrupts { mean_interarrival, duration } => {
+                debug_assert!(*mean_interarrival > 0.0);
+                let hits = poisson(work as f64 / mean_interarrival, rng);
+                let mut total = 0u64;
+                for _ in 0..hits {
+                    total += duration.sample(rng);
+                }
+                total
+            }
+            OsNoiseModel::PerInterval(d) => d.sample(rng),
+            OsNoiseModel::Composite(parts) => parts
+                .iter()
+                .map(|p| p.stolen(start, work, rng))
+                .sum(),
+        }
+    }
+
+    fn mean_overhead_fraction(&self) -> f64 {
+        match self {
+            OsNoiseModel::Quiet => 0.0,
+            OsNoiseModel::PeriodicDaemon { period, duration, jitter, .. } => {
+                (*duration as f64 + jitter.mean()) / *period as f64
+            }
+            OsNoiseModel::PoissonInterrupts { mean_interarrival, duration } => {
+                duration.mean() / mean_interarrival
+            }
+            // Per-interval overhead depends on interval length, which the
+            // process does not know; report 0 and let callers reason with
+            // the distribution mean directly.
+            OsNoiseModel::PerInterval(_) => 0.0,
+            OsNoiseModel::Composite(parts) => {
+                parts.iter().map(|p| p.mean_overhead_fraction()).sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_steals_nothing() {
+        let mut rng = StreamRng::new(1, 0);
+        assert_eq!(OsNoiseModel::Quiet.stolen(0, 1_000_000, &mut rng), 0);
+        assert_eq!(OsNoiseModel::Quiet.mean_overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn periodic_daemon_hit_count_exact() {
+        let m = OsNoiseModel::PeriodicDaemon {
+            period: 100,
+            phase: 0,
+            duration: 7,
+            jitter: Dist::Zero,
+        };
+        let mut rng = StreamRng::new(2, 0);
+        // (0, 1000]: wakeups at 100..=1000 → 10 hits.
+        assert_eq!(m.stolen(0, 1000, &mut rng), 70);
+        // (50, 250]: wakeups at 100, 200 → 2 hits.
+        assert_eq!(m.stolen(50, 200, &mut rng), 14);
+        // Interval with no boundary.
+        assert_eq!(m.stolen(101, 98, &mut rng), 0);
+    }
+
+    #[test]
+    fn periodic_daemon_partition_invariance() {
+        // Splitting an interval must not change total hits.
+        let m = OsNoiseModel::PeriodicDaemon {
+            period: 97,
+            phase: 13,
+            duration: 5,
+            jitter: Dist::Zero,
+        };
+        let mut rng = StreamRng::new(3, 0);
+        let whole = m.stolen(0, 10_000, &mut rng);
+        let mut split = 0;
+        let mut t = 0;
+        for w in [123, 4567, 10_000 - 123 - 4567] {
+            split += m.stolen(t, w, &mut rng);
+            t += w;
+        }
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut rng = StreamRng::new(4, 0);
+        let n = 50_000;
+        let sum: u64 = (0..n).map(|_| poisson(3.5, &mut rng)).sum();
+        let est = sum as f64 / n as f64;
+        assert!((est - 3.5).abs() < 0.05, "est={est}");
+        // Large-mean path.
+        let sum: u64 = (0..n).map(|_| poisson(200.0, &mut rng)).sum();
+        let est = sum as f64 / n as f64;
+        assert!((est - 200.0).abs() < 0.5, "est={est}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn poisson_interrupt_overhead_matches_analytic() {
+        let m = OsNoiseModel::PoissonInterrupts {
+            mean_interarrival: 10_000.0,
+            duration: Dist::Constant(100.0),
+        };
+        assert!((m.mean_overhead_fraction() - 0.01).abs() < 1e-12);
+        let mut rng = StreamRng::new(5, 0);
+        let work: u64 = 1_000_000;
+        let trials = 2_000;
+        let total: u64 = (0..trials).map(|_| m.stolen(0, work, &mut rng)).sum();
+        let frac = total as f64 / (work * trials) as f64;
+        assert!((frac - 0.01).abs() < 0.001, "frac={frac}");
+    }
+
+    #[test]
+    fn composite_sums_components() {
+        let m = OsNoiseModel::Composite(vec![
+            OsNoiseModel::PerInterval(Dist::Constant(10.0)),
+            OsNoiseModel::PerInterval(Dist::Constant(32.0)),
+        ]);
+        let mut rng = StreamRng::new(6, 0);
+        assert_eq!(m.stolen(0, 1, &mut rng), 42);
+    }
+
+    #[test]
+    fn standard_noisy_overhead_small_but_positive() {
+        let m = OsNoiseModel::standard_noisy(1.0);
+        let f = m.mean_overhead_fraction();
+        assert!(f > 0.001 && f < 0.2, "fraction={f}");
+    }
+}

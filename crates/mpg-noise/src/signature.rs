@@ -1,0 +1,168 @@
+//! Platform signatures (§5).
+//!
+//! "Each parallel platform has a signature that is defined by the set of
+//! metrics determined by various microbenchmarks, and this signature is
+//! provided to the analysis tools, along with an application trace, to
+//! estimate the behavior of the program on the new platform."
+//!
+//! A [`PlatformSignature`] plays two roles in this workspace:
+//!
+//! * it **configures the simulated platform** (`mpg-sim`), where it is
+//!   ground truth, and
+//! * a *measured* signature — rebuilt from microbenchmark runs by
+//!   `mpg-micro` — parameterizes the **replay** (`mpg-core`), exactly as the
+//!   paper prescribes.
+
+use crate::dist::{Dist, SampleDist};
+use crate::noise_model::OsNoiseModel;
+use crate::rng::StreamRng;
+use crate::Cycles;
+
+/// Message-size-to-transfer-time model: `cycles = size_bytes * cycles_per
+/// _byte + sample(per_message_overhead)`.
+///
+/// §5.2: "bandwidth (how much data can be transmitted in a quantum of time)";
+/// variations in bandwidth "must be modeled as a function of the message
+/// size", which is the paper's `δ_t(d)` term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandwidthModel {
+    /// Deterministic per-byte cost (cycles/byte). A 1 GB/s link on a 1 GHz
+    /// clock is 1.0; faster links are fractional.
+    pub cycles_per_byte: f64,
+    /// Stochastic per-message transfer perturbation (cycles), covering
+    /// protocol and contention effects that scale with message count rather
+    /// than size.
+    pub per_message: Dist,
+}
+
+impl BandwidthModel {
+    /// An ideal fixed-rate link.
+    pub fn fixed(cycles_per_byte: f64) -> Self {
+        Self { cycles_per_byte, per_message: Dist::Zero }
+    }
+
+    /// Samples the transfer time for a message of `bytes`.
+    pub fn transfer_cycles(&self, bytes: u64, rng: &mut StreamRng) -> Cycles {
+        let det = (bytes as f64 * self.cycles_per_byte).round() as Cycles;
+        det + self.per_message.sample(rng)
+    }
+
+    /// Mean transfer time for a message of `bytes`.
+    pub fn mean_transfer(&self, bytes: u64) -> f64 {
+        bytes as f64 * self.cycles_per_byte + self.per_message.mean()
+    }
+}
+
+/// The full set of performance parameters describing one platform.
+///
+/// The paper's two benchmark assumptions (§5.2) are encoded here: link
+/// performance is symmetric (one latency distribution serves both
+/// directions) and successive messages draw i.i.d. samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformSignature {
+    /// Human-readable platform name, carried into experiment records.
+    pub name: String,
+    /// Per-hop wire latency distribution (cycles), independent of size.
+    pub latency: Dist,
+    /// Size-dependent transfer model (`δ_t(d)`).
+    pub bandwidth: BandwidthModel,
+    /// Compute-node OS noise process.
+    pub os_noise: OsNoiseModel,
+    /// Per-operation messaging-layer software overhead (cycles) charged on
+    /// entry to every send/receive (the `o` of LogP-family models).
+    pub sw_overhead: Cycles,
+}
+
+impl PlatformSignature {
+    /// An idealized quiet platform: fixed latency/bandwidth, no OS noise.
+    /// This is the "lightweight kernel" baseline of §6 on which traces are
+    /// generated before exploring noisier targets.
+    pub fn quiet(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            latency: Dist::Constant(2_000.0),
+            bandwidth: BandwidthModel::fixed(0.5),
+            os_noise: OsNoiseModel::Quiet,
+            sw_overhead: 300,
+        }
+    }
+
+    /// A full-service-OS platform with `scale` controlling noise magnitude
+    /// and moderately jittery interconnect.
+    pub fn noisy(name: &str, scale: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            latency: Dist::mixture(
+                0.95,
+                Dist::Normal { mean: 2_000.0, std_dev: 200.0 },
+                Dist::Exponential { mean: 8_000.0 * scale },
+            ),
+            bandwidth: BandwidthModel {
+                cycles_per_byte: 0.5,
+                per_message: Dist::Exponential { mean: 500.0 * scale },
+            },
+            os_noise: OsNoiseModel::standard_noisy(scale),
+            sw_overhead: 300,
+        }
+    }
+
+    /// Samples one-way wire latency.
+    pub fn sample_latency(&self, rng: &mut StreamRng) -> Cycles {
+        self.latency.sample(rng)
+    }
+
+    /// Mean one-way latency.
+    pub fn mean_latency(&self) -> f64 {
+        self.latency.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_fixed_is_linear() {
+        let b = BandwidthModel::fixed(2.0);
+        let mut rng = StreamRng::new(1, 0);
+        assert_eq!(b.transfer_cycles(0, &mut rng), 0);
+        assert_eq!(b.transfer_cycles(100, &mut rng), 200);
+        assert_eq!(b.mean_transfer(1000), 2000.0);
+    }
+
+    #[test]
+    fn bandwidth_per_message_adds() {
+        let b = BandwidthModel {
+            cycles_per_byte: 1.0,
+            per_message: Dist::Constant(50.0),
+        };
+        let mut rng = StreamRng::new(2, 0);
+        assert_eq!(b.transfer_cycles(10, &mut rng), 60);
+    }
+
+    #[test]
+    fn quiet_platform_is_deterministic() {
+        let p = PlatformSignature::quiet("q");
+        let mut a = StreamRng::new(3, 0);
+        let mut b = StreamRng::new(99, 1);
+        assert_eq!(p.sample_latency(&mut a), p.sample_latency(&mut b));
+        assert!(matches!(p.os_noise, OsNoiseModel::Quiet));
+    }
+
+    #[test]
+    fn noisy_platform_latency_mean_above_quiet() {
+        let q = PlatformSignature::quiet("q");
+        let n = PlatformSignature::noisy("n", 1.0);
+        assert!(n.mean_latency() > q.mean_latency());
+    }
+
+    #[test]
+    fn noisy_scale_monotone() {
+        use crate::noise_model::NoiseProcess;
+        let low = PlatformSignature::noisy("l", 0.5);
+        let high = PlatformSignature::noisy("h", 2.0);
+        assert!(
+            high.os_noise.mean_overhead_fraction() > low.os_noise.mean_overhead_fraction()
+        );
+    }
+}

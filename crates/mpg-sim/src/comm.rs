@@ -1,0 +1,420 @@
+//! Sub-communicators (`MPI_Comm_split` and friends).
+//!
+//! The paper's prototype (like its §6 experiments) lives on `COMM_WORLD`;
+//! this module supplies the rest of MPI-1's communicator surface as a layer
+//! **over point-to-point** — the way production MPI libraries implement
+//! collectives on derived communicators. Consequences that keep the
+//! analysis story intact:
+//!
+//! * traces contain only ordinary p2p events (no format change), so the
+//!   §4.1 order-only matcher handles sub-communicator traffic natively;
+//! * the cost of a split is modeled as an allgather over the parent (the
+//!   color/key exchange a real split performs);
+//! * collective algorithms are the same binomial/butterfly/ring expansions
+//!   as [`collective`](crate::collective), rank-translated through the
+//!   member table.
+//!
+//! Because the simulator does not transport payload *contents*, membership
+//! is computed from caller-supplied `color`/`key` **functions of the global
+//! rank** — every rank evaluates the same deterministic mapping, covering
+//! the standard grid/row/column split idioms.
+
+use crate::collective::COLL_TAG_BASE;
+use crate::rank::RankCtx;
+use mpg_noise::rng::splitmix64;
+use mpg_trace::{Rank, Tag};
+
+/// A communicator: an ordered subset of world ranks.
+///
+/// The member order defines each participant's *virtual rank* (its rank
+/// within this communicator), exactly like `MPI_Comm_rank` on the derived
+/// communicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comm {
+    id: u32,
+    members: Vec<Rank>,
+    my_vrank: u32,
+}
+
+impl Comm {
+    /// The world communicator as seen from `ctx`.
+    pub fn world(ctx: &RankCtx) -> Self {
+        Self {
+            id: 0,
+            members: (0..ctx.size()).collect(),
+            my_vrank: ctx.rank(),
+        }
+    }
+
+    /// Builds a communicator from an explicit member list (must contain
+    /// `me`, be duplicate-free, and every caller must pass the same order).
+    ///
+    /// # Panics
+    /// Panics when `me` is not a member.
+    pub fn from_members(id: u32, members: Vec<Rank>, me: Rank) -> Self {
+        let my_vrank = members
+            .iter()
+            .position(|&r| r == me)
+            .expect("calling rank must be a member of the communicator") as u32;
+        Self { id, members, my_vrank }
+    }
+
+    /// Communicator identity (0 = world); equal across all members.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Number of members (`MPI_Comm_size`).
+    pub fn size(&self) -> u32 {
+        self.members.len() as u32
+    }
+
+    /// This rank's position within the communicator (`MPI_Comm_rank`).
+    pub fn vrank(&self) -> u32 {
+        self.my_vrank
+    }
+
+    /// The members, in virtual-rank order.
+    pub fn members(&self) -> &[Rank] {
+        &self.members
+    }
+
+    /// Global rank of virtual rank `v`.
+    pub fn translate(&self, v: u32) -> Rank {
+        self.members[v as usize]
+    }
+
+    /// Tag namespace for this communicator's collectives: 64 disjoint
+    /// sub-ranges above [`COLL_TAG_BASE`]. Legal MPI programs order
+    /// blocking collectives consistently per rank pair, so tag reuse across
+    /// communicators sharing a namespace still matches correctly.
+    fn tag_base(&self) -> Tag {
+        COLL_TAG_BASE + 0x1000 + (self.id % 64) * 0x800
+    }
+}
+
+/// Generic expanded collectives over a communicator view. Mirrors the
+/// world algorithms in [`collective`](crate::collective) with virtual-rank
+/// translation.
+mod on {
+    use super::Comm;
+    use crate::rank::RankCtx;
+    use mpg_trace::Tag;
+
+    fn combine_work(bytes: u64) -> u64 {
+        100 + bytes
+    }
+
+    fn sendrecv(ctx: &mut RankCtx, comm: &Comm, to_v: u32, from_v: u32, tag: Tag, bytes: u64) {
+        let to = comm.translate(to_v);
+        let from = comm.translate(from_v);
+        if to == ctx.rank() && from == ctx.rank() {
+            return; // self-exchange: nothing to model
+        }
+        ctx.sendrecv(to, tag, bytes, from, tag);
+    }
+
+    pub fn barrier(ctx: &mut RankCtx, comm: &Comm) {
+        let p = comm.size();
+        if p == 1 {
+            return;
+        }
+        let v = comm.vrank();
+        let base = comm.tag_base();
+        let mut dist = 1u32;
+        let mut round = 0;
+        while dist < p {
+            sendrecv(ctx, comm, (v + dist) % p, (v + p - dist) % p, base + round, 1);
+            dist <<= 1;
+            round += 1;
+        }
+    }
+
+    pub fn bcast(ctx: &mut RankCtx, comm: &Comm, root_v: u32, bytes: u64) {
+        let p = comm.size();
+        if p == 1 {
+            return;
+        }
+        let v = comm.vrank();
+        let relative = (v + p - root_v) % p;
+        let tag = comm.tag_base() + 0x100;
+        let mut mask = 1u32;
+        while mask < p {
+            if relative & mask != 0 {
+                let src_v = (v + p - mask) % p;
+                ctx.recv(comm.translate(src_v), tag);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                let dst_v = (v + mask) % p;
+                ctx.send(comm.translate(dst_v), tag, bytes);
+            }
+            mask >>= 1;
+        }
+    }
+
+    pub fn reduce(ctx: &mut RankCtx, comm: &Comm, root_v: u32, bytes: u64) {
+        let p = comm.size();
+        if p == 1 {
+            return;
+        }
+        let v = comm.vrank();
+        let relative = (v + p - root_v) % p;
+        let tag = comm.tag_base() + 0x200;
+        let mut mask = 1u32;
+        while mask < p {
+            if relative & mask == 0 {
+                let child = relative | mask;
+                if child < p {
+                    let src_v = (child + root_v) % p;
+                    ctx.recv(comm.translate(src_v), tag);
+                    ctx.compute(combine_work(bytes));
+                }
+            } else {
+                let parent_v = ((relative & !mask) + root_v) % p;
+                ctx.send(comm.translate(parent_v), tag, bytes);
+                return;
+            }
+            mask <<= 1;
+        }
+    }
+
+    pub fn allreduce(ctx: &mut RankCtx, comm: &Comm, bytes: u64) {
+        let p = comm.size();
+        if p == 1 {
+            return;
+        }
+        if p.is_power_of_two() {
+            let v = comm.vrank();
+            let mut mask = 1u32;
+            let mut round = 0;
+            while mask < p {
+                let partner = v ^ mask;
+                sendrecv(ctx, comm, partner, partner, comm.tag_base() + 0x300 + round, bytes);
+                ctx.compute(combine_work(bytes));
+                mask <<= 1;
+                round += 1;
+            }
+        } else {
+            reduce(ctx, comm, 0, bytes);
+            bcast(ctx, comm, 0, bytes);
+        }
+    }
+
+    pub fn allgather(ctx: &mut RankCtx, comm: &Comm, bytes: u64) {
+        let p = comm.size();
+        if p == 1 {
+            return;
+        }
+        let v = comm.vrank();
+        for step in 0..p - 1 {
+            sendrecv(
+                ctx,
+                comm,
+                (v + 1) % p,
+                (v + p - 1) % p,
+                comm.tag_base() + 0x400 + step,
+                bytes,
+            );
+        }
+    }
+}
+
+impl RankCtx {
+    /// The world communicator.
+    pub fn comm_world(&self) -> Comm {
+        Comm::world(self)
+    }
+
+    /// Splits `parent` into sub-communicators by `color`, ordered by `key`
+    /// then global rank within each color (`MPI_Comm_split`). Every member
+    /// of `parent` must call this with the *same* mapping functions; the
+    /// color/key exchange a real split performs is modeled as an 8-byte
+    /// allgather over the parent.
+    pub fn comm_split(
+        &mut self,
+        parent: &Comm,
+        color: impl Fn(Rank) -> u32,
+        key: impl Fn(Rank) -> u32,
+    ) -> Comm {
+        // Model the metadata exchange cost.
+        on::allgather(self, parent, 8);
+
+        let me = self.rank();
+        let my_color = color(me);
+        let mut members: Vec<Rank> = parent
+            .members()
+            .iter()
+            .copied()
+            .filter(|&r| color(r) == my_color)
+            .collect();
+        members.sort_by_key(|&r| (key(r), r));
+        let id = (splitmix64((u64::from(parent.id()) << 32) | u64::from(my_color)) % u64::from(u32::MAX))
+            as u32
+            | 1; // never collides with world's 0
+        Comm::from_members(id, members, me)
+    }
+
+    /// Barrier over `comm`.
+    pub fn barrier_on(&mut self, comm: &Comm) {
+        on::barrier(self, comm);
+    }
+
+    /// Broadcast of `bytes` from virtual rank `root_v` over `comm`.
+    pub fn bcast_on(&mut self, comm: &Comm, root_v: u32, bytes: u64) {
+        on::bcast(self, comm, root_v, bytes);
+    }
+
+    /// Reduction of `bytes` to virtual rank `root_v` over `comm`.
+    pub fn reduce_on(&mut self, comm: &Comm, root_v: u32, bytes: u64) {
+        on::reduce(self, comm, root_v, bytes);
+    }
+
+    /// All-reduce of `bytes` over `comm`.
+    pub fn allreduce_on(&mut self, comm: &Comm, bytes: u64) {
+        on::allreduce(self, comm, bytes);
+    }
+
+    /// All-gather of `bytes` per member over `comm`.
+    pub fn allgather_on(&mut self, comm: &Comm, bytes: u64) {
+        on::allgather(self, comm, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Simulation;
+    use mpg_noise::PlatformSignature;
+    use mpg_trace::{validate_trace, MemTrace};
+
+    fn run(p: u32, f: impl Fn(&mut RankCtx) + Sync) -> MemTrace {
+        Simulation::new(p, PlatformSignature::quiet("t"))
+            .ideal_clocks()
+            .run(f)
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn world_comm_is_identity() {
+        let trace = run(4, |ctx| {
+            let world = ctx.comm_world();
+            assert_eq!(world.size(), 4);
+            assert_eq!(world.vrank(), ctx.rank());
+            assert_eq!(world.translate(2), 2);
+            ctx.barrier_on(&world);
+        });
+        assert!(validate_trace(&trace).is_empty());
+    }
+
+    #[test]
+    fn even_odd_split_collectives() {
+        let trace = run(6, |ctx| {
+            let world = ctx.comm_world();
+            let sub = ctx.comm_split(&world, |r| r % 2, |r| r);
+            assert_eq!(sub.size(), 3);
+            assert_eq!(sub.vrank(), ctx.rank() / 2);
+            ctx.allreduce_on(&sub, 64);
+            ctx.barrier_on(&sub);
+            ctx.bcast_on(&sub, 0, 128);
+            ctx.reduce_on(&sub, 0, 64);
+            ctx.allgather_on(&sub, 32);
+            ctx.barrier(); // world barrier still fine afterwards
+        });
+        assert!(validate_trace(&trace).is_empty());
+    }
+
+    #[test]
+    fn grid_row_col_splits() {
+        // 2×3 grid: rows {0,1,2},{3,4,5}; cols {0,3},{1,4},{2,5}.
+        let trace = run(6, |ctx| {
+            let world = ctx.comm_world();
+            let row = ctx.comm_split(&world, |r| r / 3, |r| r);
+            let col = ctx.comm_split(&world, |r| r % 3, |r| r);
+            assert_eq!(row.size(), 3);
+            assert_eq!(col.size(), 2);
+            ctx.allreduce_on(&row, 256);
+            ctx.allreduce_on(&col, 256);
+        });
+        assert!(validate_trace(&trace).is_empty());
+    }
+
+    #[test]
+    fn comm_ids_differ_by_color_and_match_within() {
+        run(4, |ctx| {
+            let world = ctx.comm_world();
+            let sub = ctx.comm_split(&world, |r| r % 2, |r| r);
+            // Same color → same id everywhere (deterministic function).
+            let expected =
+                (splitmix64(u64::from(ctx.rank() % 2)) % u64::from(u32::MAX)) as u32 | 1;
+            assert_eq!(sub.id(), expected);
+            assert_ne!(sub.id(), 0);
+        });
+    }
+
+    #[test]
+    fn key_reorders_vranks() {
+        run(4, |ctx| {
+            let world = ctx.comm_world();
+            // Reverse ordering: key = p - rank.
+            let sub = ctx.comm_split(&world, |_| 0, |r| 100 - r);
+            assert_eq!(sub.size(), 4);
+            assert_eq!(sub.vrank(), 3 - ctx.rank());
+            assert_eq!(sub.translate(0), 3);
+            ctx.bcast_on(&sub, 0, 64); // root is global rank 3
+        });
+    }
+
+    #[test]
+    fn singleton_comms_are_noops() {
+        let trace = run(3, |ctx| {
+            let world = ctx.comm_world();
+            let solo = ctx.comm_split(&world, |r| r, |r| r); // every rank alone
+            assert_eq!(solo.size(), 1);
+            ctx.barrier_on(&solo);
+            ctx.allreduce_on(&solo, 1024);
+            ctx.bcast_on(&solo, 0, 8);
+        });
+        assert!(validate_trace(&trace).is_empty());
+    }
+
+    #[test]
+    fn subcomm_traffic_replays_and_drift_stays_in_comm() {
+        // Two disjoint halves; only one half does a latency-heavy exchange
+        // loop. Injected latency must drift that half only.
+        let trace = run(4, |ctx| {
+            let world = ctx.comm_world();
+            let half = ctx.comm_split(&world, |r| r / 2, |r| r);
+            if ctx.rank() < 2 {
+                for _ in 0..10 {
+                    ctx.allreduce_on(&half, 64);
+                }
+            } else {
+                ctx.compute(1_000);
+            }
+        });
+        assert!(validate_trace(&trace).is_empty());
+        let mut model = mpg_core::PerturbationModel::quiet("m");
+        model.latency = mpg_noise::Dist::Constant(1_000.0).into();
+        let report = mpg_core::Replayer::new(
+            mpg_core::ReplayConfig::new(model).ack_arm(false),
+        )
+        .run(&trace)
+        .unwrap();
+        // The busy half accumulated drift; beyond the shared split cost the
+        // idle half accumulated far less.
+        assert!(report.final_drift[0] > report.final_drift[2] * 2);
+        assert_eq!(report.final_drift[0], report.final_drift[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a member")]
+    fn from_members_requires_membership() {
+        Comm::from_members(5, vec![1, 2], 0);
+    }
+}

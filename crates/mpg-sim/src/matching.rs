@@ -1,0 +1,244 @@
+//! MPI message-matching engine.
+//!
+//! Implements the envelope-matching rules the analyzer later relies on
+//! (§4.1: every message event in a completed run has a counterpart):
+//!
+//! * **Non-overtaking**: messages from one sender to one receiver that match
+//!   the same receive pattern are matched in send order.
+//! * **Posted-receive order**: an arriving send matches the *earliest posted*
+//!   receive whose `(source, tag)` pattern accepts it.
+//! * **Wildcard receives** (`ANY_SOURCE`) choose among candidate messages by
+//!   earliest arrival time (ties broken by source rank) — a deterministic
+//!   stand-in for "whichever message got there first".
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::message::{MsgInFlight, PostedRecv};
+use mpg_trace::{Rank, ANY_SOURCE};
+
+/// Pure matching state: in-flight (unexpected) messages and posted receives.
+#[derive(Debug, Default)]
+pub struct MatchEngine {
+    /// Unmatched sends, FIFO per (src, dst) channel.
+    in_flight: HashMap<(Rank, Rank), VecDeque<MsgInFlight>>,
+    /// Unmatched posted receives per destination, in post order.
+    posted: HashMap<Rank, Vec<PostedRecv>>,
+    next_order: u64,
+}
+
+impl MatchEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Monotone order stamp for posted receives.
+    pub fn next_post_order(&mut self) -> u64 {
+        let o = self.next_order;
+        self.next_order += 1;
+        o
+    }
+
+    /// Offers a send to the engine. If a posted receive accepts it, the
+    /// matched pair is returned; otherwise the message is queued.
+    pub fn post_send(&mut self, msg: MsgInFlight) -> Option<(MsgInFlight, PostedRecv)> {
+        let posted = self.posted.entry(msg.dst).or_default();
+        if let Some(i) = posted.iter().position(|pr| pr.matches(msg.src, msg.tag)) {
+            return Some((msg, posted.remove(i)));
+        }
+        self.in_flight
+            .entry((msg.src, msg.dst))
+            .or_default()
+            .push_back(msg);
+        None
+    }
+
+    /// Offers a posted receive. If an in-flight message matches, the matched
+    /// pair is returned; otherwise the receive is queued.
+    pub fn post_recv(&mut self, pr: PostedRecv) -> Option<(MsgInFlight, PostedRecv)> {
+        if pr.src_pattern == ANY_SOURCE {
+            // Candidate = first tag-matching message per source channel;
+            // choose the earliest arrival (then lowest source) for
+            // determinism.
+            let mut best: Option<(u64, Rank, usize)> = None;
+            for (&(src, dst), q) in &self.in_flight {
+                if dst != pr.dst {
+                    continue;
+                }
+                if let Some(i) = q.iter().position(|m| pr.matches(m.src, m.tag)) {
+                    let key = (q[i].arrival, src, i);
+                    if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                        best = Some(key);
+                    }
+                }
+            }
+            if let Some((_, src, i)) = best {
+                let q = self.in_flight.get_mut(&(src, pr.dst)).unwrap();
+                let msg = q.remove(i).unwrap();
+                if q.is_empty() {
+                    self.in_flight.remove(&(src, pr.dst));
+                }
+                return Some((msg, pr));
+            }
+        } else if let Some(q) = self.in_flight.get_mut(&(pr.src_pattern, pr.dst)) {
+            if let Some(i) = q.iter().position(|m| pr.matches(m.src, m.tag)) {
+                let msg = q.remove(i).unwrap();
+                if q.is_empty() {
+                    self.in_flight.remove(&(pr.src_pattern, pr.dst));
+                }
+                return Some((msg, pr));
+            }
+        }
+        self.posted.entry(pr.dst).or_default().push(pr);
+        None
+    }
+
+    /// Number of unmatched in-flight messages (bounded-memory accounting for
+    /// the windowed analyzer and for leak checks at finalize).
+    pub fn in_flight_count(&self) -> usize {
+        self.in_flight.values().map(VecDeque::len).sum()
+    }
+
+    /// Number of unmatched posted receives.
+    pub fn posted_count(&self) -> usize {
+        self.posted.values().map(Vec::len).sum()
+    }
+
+    /// Human-readable dump of unmatched state (deadlock diagnostics).
+    pub fn dump(&self) -> String {
+        let mut parts = Vec::new();
+        for ((s, d), q) in &self.in_flight {
+            parts.push(format!("{} unmatched msg(s) {s}->{d}", q.len()));
+        }
+        for (d, q) in &self.posted {
+            for pr in q {
+                parts.push(format!(
+                    "recv posted on {d} for src={} tag={}",
+                    pr.src_pattern, pr.tag_pattern
+                ));
+            }
+        }
+        parts.sort();
+        parts.join(", ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Party;
+    use mpg_trace::{ANY_SOURCE, ANY_TAG};
+
+    fn msg(src: Rank, dst: Rank, tag: u32, arrival: u64) -> MsgInFlight {
+        MsgInFlight {
+            src,
+            dst,
+            tag,
+            bytes: 8,
+            send_enter: 0,
+            arrival,
+            ack_latency: 0,
+            sender: Party::Blocking,
+            sender_done: false,
+        }
+    }
+
+    fn recv(dst: Rank, src: Rank, tag: u32, order: u64) -> PostedRecv {
+        PostedRecv {
+            dst,
+            src_pattern: src,
+            tag_pattern: tag,
+            posted_at: 0,
+            receiver: Party::Blocking,
+            order,
+        }
+    }
+
+    #[test]
+    fn send_then_recv_matches() {
+        let mut e = MatchEngine::new();
+        assert!(e.post_send(msg(0, 1, 5, 100)).is_none());
+        let (m, _) = e.post_recv(recv(1, 0, 5, 0)).expect("should match");
+        assert_eq!(m.tag, 5);
+        assert_eq!(e.in_flight_count(), 0);
+        assert_eq!(e.posted_count(), 0);
+    }
+
+    #[test]
+    fn recv_then_send_matches() {
+        let mut e = MatchEngine::new();
+        assert!(e.post_recv(recv(1, 0, 5, 0)).is_none());
+        let (_, pr) = e.post_send(msg(0, 1, 5, 100)).expect("should match");
+        assert_eq!(pr.tag_pattern, 5);
+    }
+
+    #[test]
+    fn non_overtaking_same_pattern() {
+        let mut e = MatchEngine::new();
+        e.post_send(msg(0, 1, 5, 300)); // first sent, arrives later
+        e.post_send(msg(0, 1, 5, 100));
+        let (m, _) = e.post_recv(recv(1, 0, 5, 0)).unwrap();
+        // Send order wins over arrival order within a channel.
+        assert_eq!(m.arrival, 300);
+    }
+
+    #[test]
+    fn tag_selectivity_skips_non_matching() {
+        let mut e = MatchEngine::new();
+        e.post_send(msg(0, 1, 3, 100));
+        e.post_send(msg(0, 1, 5, 200));
+        let (m, _) = e.post_recv(recv(1, 0, 5, 0)).unwrap();
+        assert_eq!(m.tag, 5);
+        assert_eq!(e.in_flight_count(), 1); // tag-3 message still queued
+    }
+
+    #[test]
+    fn posted_receive_order_respected() {
+        let mut e = MatchEngine::new();
+        e.post_recv(recv(1, 0, ANY_TAG, 0));
+        e.post_recv(recv(1, 0, 5, 1));
+        let (_, pr) = e.post_send(msg(0, 1, 5, 100)).unwrap();
+        // Earliest posted matching receive (the ANY_TAG one) wins.
+        assert_eq!(pr.order, 0);
+    }
+
+    #[test]
+    fn any_source_picks_earliest_arrival() {
+        let mut e = MatchEngine::new();
+        e.post_send(msg(2, 1, 5, 500));
+        e.post_send(msg(3, 1, 5, 200));
+        let (m, _) = e.post_recv(recv(1, ANY_SOURCE, 5, 0)).unwrap();
+        assert_eq!(m.src, 3);
+        // Next wildcard gets the remaining one.
+        let (m2, _) = e.post_recv(recv(1, ANY_SOURCE, 5, 1)).unwrap();
+        assert_eq!(m2.src, 2);
+    }
+
+    #[test]
+    fn any_source_tie_breaks_by_rank() {
+        let mut e = MatchEngine::new();
+        e.post_send(msg(7, 1, 5, 100));
+        e.post_send(msg(2, 1, 5, 100));
+        let (m, _) = e.post_recv(recv(1, ANY_SOURCE, 5, 0)).unwrap();
+        assert_eq!(m.src, 2);
+    }
+
+    #[test]
+    fn wrong_destination_never_matches() {
+        let mut e = MatchEngine::new();
+        e.post_send(msg(0, 2, 5, 100));
+        assert!(e.post_recv(recv(1, 0, 5, 0)).is_none());
+        assert_eq!(e.in_flight_count(), 1);
+        assert_eq!(e.posted_count(), 1);
+    }
+
+    #[test]
+    fn dump_mentions_leftovers() {
+        let mut e = MatchEngine::new();
+        e.post_send(msg(0, 2, 5, 100));
+        e.post_recv(recv(1, 0, 5, 0));
+        let d = e.dump();
+        assert!(d.contains("0->2"));
+        assert!(d.contains("recv posted on 1"));
+    }
+}

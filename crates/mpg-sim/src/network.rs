@@ -1,0 +1,111 @@
+//! The interconnect model: samples per-message latency, transfer, and
+//! acknowledgement times from the platform signature.
+//!
+//! All sampling for a message happens **at send issue, on the sender's
+//! stream**, so the coordinator's processing order can never perturb the
+//! random sequence (a requirement for bit-level determinism).
+
+use crate::Cycles;
+use mpg_noise::{PlatformSignature, SampleDist, StreamRng};
+
+/// Pre-sampled timing for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgTiming {
+    /// One-way wire latency (the paper's `δ_λ1` position).
+    pub latency: Cycles,
+    /// Size-dependent transfer time (`δ_t(d)`).
+    pub transfer: Cycles,
+    /// Return-path latency for synchronous-completion acknowledgement
+    /// (`δ_λ2`).
+    pub ack_latency: Cycles,
+}
+
+/// Samples message timings against one platform.
+#[derive(Debug)]
+pub struct NetworkModel {
+    signature: PlatformSignature,
+    /// One RNG per sender rank; message n from rank r is the nth draw on
+    /// stream r regardless of global interleaving.
+    send_rngs: Vec<StreamRng>,
+}
+
+impl NetworkModel {
+    /// Stream-label namespace for network draws (distinct from noise RNGs).
+    const STREAM_NET: u64 = 0x004E_4554;
+
+    /// Creates the model for `ranks` ranks.
+    pub fn new(signature: PlatformSignature, ranks: usize, seed: u64) -> Self {
+        let send_rngs = (0..ranks)
+            .map(|r| StreamRng::new(seed, Self::STREAM_NET ^ ((r as u64) << 20)))
+            .collect();
+        Self { signature, send_rngs }
+    }
+
+    /// Samples the timing of a message of `bytes` from `src`.
+    pub fn sample(&mut self, src: u32, bytes: u64) -> MsgTiming {
+        let rng = &mut self.send_rngs[src as usize];
+        MsgTiming {
+            latency: self.signature.latency.sample(rng),
+            transfer: self.signature.bandwidth.transfer_cycles(bytes, rng),
+            ack_latency: self.signature.latency.sample(rng),
+        }
+    }
+
+    /// Per-operation messaging-software overhead.
+    pub fn sw_overhead(&self) -> Cycles {
+        self.signature.sw_overhead
+    }
+
+    /// Deterministic cost of copying an eager message into the transport
+    /// buffer (the eager send completes after this, independent of the
+    /// receiver).
+    pub fn inject_cost(&self, bytes: u64) -> Cycles {
+        (bytes as f64 * self.signature.bandwidth.cycles_per_byte).round() as Cycles
+    }
+
+    /// The platform this model samples.
+    pub fn signature(&self) -> &PlatformSignature {
+        &self.signature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpg_noise::PlatformSignature;
+
+    #[test]
+    fn quiet_platform_sampling_is_constant() {
+        let mut n = NetworkModel::new(PlatformSignature::quiet("q"), 2, 1);
+        let a = n.sample(0, 1000);
+        let b = n.sample(0, 1000);
+        assert_eq!(a, b);
+        assert_eq!(a.latency, 2000);
+        assert_eq!(a.transfer, 500); // 1000 bytes * 0.5 cpb
+    }
+
+    #[test]
+    fn per_sender_streams_are_independent_of_interleaving() {
+        let sig = PlatformSignature::noisy("n", 1.0);
+        let mut x = NetworkModel::new(sig.clone(), 2, 42);
+        let mut y = NetworkModel::new(sig, 2, 42);
+        // x: rank0, rank0, rank1 — y: rank1, rank0, rank0.
+        let x0a = x.sample(0, 64);
+        let x0b = x.sample(0, 64);
+        let x1 = x.sample(1, 64);
+        let y1 = y.sample(1, 64);
+        let y0a = y.sample(0, 64);
+        let y0b = y.sample(0, 64);
+        assert_eq!(x0a, y0a);
+        assert_eq!(x0b, y0b);
+        assert_eq!(x1, y1);
+    }
+
+    #[test]
+    fn bigger_messages_take_longer_on_average() {
+        let mut n = NetworkModel::new(PlatformSignature::noisy("n", 1.0), 1, 7);
+        let small: u64 = (0..200).map(|_| n.sample(0, 100).transfer).sum();
+        let big: u64 = (0..200).map(|_| n.sample(0, 100_000).transfer).sum();
+        assert!(big > small * 10);
+    }
+}

@@ -1,0 +1,366 @@
+//! The rank-side API: what a simulated MPI program calls.
+//!
+//! Every method on [`RankCtx`] traps into the coordinator over a channel and
+//! blocks the rank's thread until the coordinator has advanced virtual time
+//! and replied. From the program's perspective these behave exactly like the
+//! corresponding MPI-1 calls; from the simulator's perspective each call is
+//! one event to sequence.
+
+use crossbeam_channel::{Receiver, Sender};
+
+use crate::collective;
+use crate::message::RecvInfo;
+use crate::program::CollectiveMode;
+use crate::Cycles;
+use mpg_trace::{Rank, ReqId, SendProtocol, Tag};
+
+/// Sentinel panic payload used to unwind rank threads when the simulation
+/// aborts; the thread wrapper recognizes and swallows it.
+pub(crate) const ABORT: &str = "__mpg_sim_abort__";
+
+/// A nonblocking-request handle (MPI's `MPI_Request`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Req(pub(crate) ReqId);
+
+/// Operations a rank can request from the coordinator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Op {
+    Init,
+    Compute { work: Cycles },
+    Send { dst: Rank, tag: Tag, bytes: u64, protocol: SendProtocol },
+    Recv { src: Rank, tag: Tag },
+    Isend { dst: Rank, tag: Tag, bytes: u64 },
+    Irecv { src: Rank, tag: Tag },
+    Wait { req: ReqId },
+    WaitAll { reqs: Vec<ReqId> },
+    WaitSome { reqs: Vec<ReqId> },
+    Test { req: ReqId },
+    Barrier,
+    Bcast { root: Rank, bytes: u64 },
+    Reduce { root: Rank, bytes: u64 },
+    Allreduce { bytes: u64 },
+    Scatter { root: Rank, bytes: u64 },
+    Gather { root: Rank, bytes: u64 },
+    Allgather { bytes: u64 },
+    Alltoall { bytes: u64 },
+    Finalize,
+}
+
+impl Op {
+    /// Short description for deadlock diagnostics.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Op::Send { dst, tag, protocol, .. } => {
+                format!("send(dst={dst}, tag={tag}, {protocol:?})")
+            }
+            Op::Recv { src, tag } => format!("recv(src={src}, tag={tag})"),
+            Op::Wait { req } => format!("wait(req={req})"),
+            Op::WaitAll { reqs } => format!("waitall({} reqs)", reqs.len()),
+            Op::WaitSome { reqs } => format!("waitsome({} reqs)", reqs.len()),
+            Op::Barrier => "barrier".into(),
+            Op::Bcast { root, .. } => format!("bcast(root={root})"),
+            Op::Reduce { root, .. } => format!("reduce(root={root})"),
+            Op::Allreduce { .. } => "allreduce".into(),
+            Op::Scatter { root, .. } => format!("scatter(root={root})"),
+            Op::Gather { root, .. } => format!("gather(root={root})"),
+            Op::Allgather { .. } => "allgather".into(),
+            Op::Alltoall { .. } => "alltoall".into(),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// Coordinator replies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Reply {
+    /// Operation finished; the rank's clock is now `now`.
+    Done { now: Cycles },
+    /// A blocking receive finished.
+    Recv { now: Cycles, info: RecvInfo },
+    /// A nonblocking operation was posted; `req` identifies it.
+    Started { now: Cycles, req: ReqId },
+    /// A wait finished; `info` is present when it completed a receive.
+    WaitDone { now: Cycles, info: Option<RecvInfo> },
+    /// A waitsome finished with the given completed subset.
+    SomeDone { now: Cycles, completed: Vec<ReqId> },
+    /// A test probe returned: `completed` tells whether the request
+    /// finished; `info` carries the envelope for completed receives.
+    TestDone { now: Cycles, completed: bool, info: Option<RecvInfo> },
+}
+
+/// Messages from rank threads to the coordinator.
+#[derive(Debug)]
+pub(crate) enum Incoming {
+    /// The rank requests an operation.
+    Op { rank: Rank, op: Op },
+    /// The rank's thread terminated abnormally (panic in user code).
+    Panicked { rank: Rank, message: String },
+}
+
+/// Per-rank MPI-like handle passed to rank programs.
+pub struct RankCtx {
+    rank: Rank,
+    size: u32,
+    now: Cycles,
+    tx: Sender<Incoming>,
+    rx: Receiver<Reply>,
+    pub(crate) collective_mode: CollectiveMode,
+    pub(crate) finalized: bool,
+}
+
+impl RankCtx {
+    pub(crate) fn new(
+        rank: Rank,
+        size: u32,
+        tx: Sender<Incoming>,
+        rx: Receiver<Reply>,
+        collective_mode: CollectiveMode,
+    ) -> Self {
+        Self { rank, size, now: 0, tx, rx, collective_mode, finalized: false }
+    }
+
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// Number of ranks in the job (MPI's `MPI_Comm_size` on `COMM_WORLD`).
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Current virtual time on this rank's clock (cycles).
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    fn call(&mut self, op: Op) -> Reply {
+        assert!(!self.finalized, "MPI call after finalize");
+        if self.tx.send(Incoming::Op { rank: self.rank, op }).is_err() {
+            std::panic::panic_any(ABORT);
+        }
+        match self.rx.recv() {
+            // A closed channel means the coordinator aborted; unwind.
+            Err(_) => std::panic::panic_any(ABORT),
+            Ok(reply) => {
+                self.now = match &reply {
+                    Reply::Done { now }
+                    | Reply::Recv { now, .. }
+                    | Reply::Started { now, .. }
+                    | Reply::WaitDone { now, .. }
+                    | Reply::SomeDone { now, .. }
+                    | Reply::TestDone { now, .. } => *now,
+                };
+                reply
+            }
+        }
+    }
+
+    fn expect_done(&mut self, op: Op) {
+        match self.call(op) {
+            Reply::Done { .. } => {}
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    pub(crate) fn init(&mut self) {
+        self.expect_done(Op::Init);
+    }
+
+    pub(crate) fn finalize(&mut self) {
+        self.expect_done(Op::Finalize);
+        self.finalized = true;
+    }
+
+    /// Performs `work` cycles of local computation (the platform may stretch
+    /// the interval with OS noise).
+    pub fn compute(&mut self, work: Cycles) {
+        self.expect_done(Op::Compute { work });
+    }
+
+    /// Blocking standard send (`MPI_Send`): completion follows the
+    /// platform's configured protocol (synchronous by default, matching the
+    /// paper's Eq. 1).
+    pub fn send(&mut self, dst: Rank, tag: Tag, bytes: u64) {
+        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Standard });
+    }
+
+    /// Synchronous send (`MPI_Ssend`, §3.1.1): always completes only after
+    /// the matching receive, regardless of the platform's eager threshold.
+    pub fn ssend(&mut self, dst: Rank, tag: Tag, bytes: u64) {
+        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Synchronous });
+    }
+
+    /// Buffered send (`MPI_Bsend`, §3.1.1): always completes after the local
+    /// buffer copy, independent of the receiver.
+    pub fn bsend(&mut self, dst: Rank, tag: Tag, bytes: u64) {
+        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Buffered });
+    }
+
+    /// Ready send (`MPI_Rsend`, §3.1.1): requires the matching receive to be
+    /// already posted; calling it otherwise is an erroneous program and
+    /// aborts the simulation with an error.
+    pub fn rsend(&mut self, dst: Rank, tag: Tag, bytes: u64) {
+        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Ready });
+    }
+
+    /// Blocking receive from `src` (or [`mpg_trace::ANY_SOURCE`]) with `tag`
+    /// (or [`mpg_trace::ANY_TAG`]). Returns the matched envelope.
+    pub fn recv(&mut self, src: Rank, tag: Tag) -> RecvInfo {
+        match self.call(Op::Recv { src, tag }) {
+            Reply::Recv { info, .. } => info,
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    /// Nonblocking send; complete with [`wait`](Self::wait) or friends.
+    pub fn isend(&mut self, dst: Rank, tag: Tag, bytes: u64) -> Req {
+        match self.call(Op::Isend { dst, tag, bytes }) {
+            Reply::Started { req, .. } => Req(req),
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    /// Nonblocking receive.
+    pub fn irecv(&mut self, src: Rank, tag: Tag) -> Req {
+        match self.call(Op::Irecv { src, tag }) {
+            Reply::Started { req, .. } => Req(req),
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    /// Blocks until `req` completes; returns the envelope when it was a
+    /// receive.
+    pub fn wait(&mut self, req: Req) -> Option<RecvInfo> {
+        match self.call(Op::Wait { req: req.0 }) {
+            Reply::WaitDone { info, .. } => info,
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    /// Blocks until every request in `reqs` completes.
+    pub fn waitall(&mut self, reqs: &[Req]) {
+        match self.call(Op::WaitAll { reqs: reqs.iter().map(|r| r.0).collect() }) {
+            Reply::WaitDone { .. } => {}
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    /// Blocks until at least one request completes; returns the completed
+    /// subset.
+    pub fn waitsome(&mut self, reqs: &[Req]) -> Vec<Req> {
+        match self.call(Op::WaitSome { reqs: reqs.iter().map(|r| r.0).collect() }) {
+            Reply::SomeDone { completed, .. } => completed.into_iter().map(Req).collect(),
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    /// Nonblocking completion probe (MPI's `MPI_Test`): returns
+    /// `Some(envelope)` when the request completed (consuming it; the
+    /// envelope is `Some` only for receives), `None` when it is still in
+    /// flight (the request stays live).
+    #[allow(clippy::option_option)]
+    pub fn test(&mut self, req: Req) -> Option<Option<RecvInfo>> {
+        match self.call(Op::Test { req: req.0 }) {
+            Reply::TestDone { completed, info, .. } => completed.then_some(info),
+            other => unreachable!("coordinator protocol violation: {other:?}"),
+        }
+    }
+
+    /// Combined send-to-`dst` / receive-from-`src` (MPI's `MPI_Sendrecv`),
+    /// built on nonblocking primitives so it cannot deadlock in rings.
+    pub fn sendrecv(
+        &mut self,
+        dst: Rank,
+        send_tag: Tag,
+        bytes: u64,
+        src: Rank,
+        recv_tag: Tag,
+    ) -> RecvInfo {
+        let r = self.irecv(src, recv_tag);
+        let s = self.isend(dst, send_tag, bytes);
+        let info = self.wait(r).expect("irecv wait returns envelope");
+        self.wait(s);
+        info
+    }
+
+    /// Barrier over all ranks.
+    pub fn barrier(&mut self) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Barrier),
+            CollectiveMode::Expanded => collective::expanded_barrier(self),
+        }
+    }
+
+    /// Broadcast of `bytes` from `root`.
+    pub fn bcast(&mut self, root: Rank, bytes: u64) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Bcast { root, bytes }),
+            CollectiveMode::Expanded => collective::expanded_bcast(self, root, bytes),
+        }
+    }
+
+    /// Reduction of `bytes` to `root`.
+    pub fn reduce(&mut self, root: Rank, bytes: u64) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Reduce { root, bytes }),
+            CollectiveMode::Expanded => collective::expanded_reduce(self, root, bytes),
+        }
+    }
+
+    /// All-reduce of `bytes` (Fig. 4's operator).
+    pub fn allreduce(&mut self, bytes: u64) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Allreduce { bytes }),
+            CollectiveMode::Expanded => collective::expanded_allreduce(self, bytes),
+        }
+    }
+
+    /// Scatter of `bytes` per rank from `root`.
+    pub fn scatter(&mut self, root: Rank, bytes: u64) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Scatter { root, bytes }),
+            CollectiveMode::Expanded => collective::expanded_scatter(self, root, bytes),
+        }
+    }
+
+    /// Gather of `bytes` per rank to `root`.
+    pub fn gather(&mut self, root: Rank, bytes: u64) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Gather { root, bytes }),
+            CollectiveMode::Expanded => collective::expanded_gather(self, root, bytes),
+        }
+    }
+
+    /// All-gather of `bytes` per rank.
+    pub fn allgather(&mut self, bytes: u64) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Allgather { bytes }),
+            CollectiveMode::Expanded => collective::expanded_allgather(self, bytes),
+        }
+    }
+
+    /// All-to-all personalized exchange of `bytes` per pair.
+    pub fn alltoall(&mut self, bytes: u64) {
+        match self.collective_mode {
+            CollectiveMode::Abstract => self.expect_done(Op::Alltoall { bytes }),
+            CollectiveMode::Expanded => collective::expanded_alltoall(self, bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_describe_is_short() {
+        assert_eq!(
+            Op::Send { dst: 3, tag: 1, bytes: 10, protocol: SendProtocol::Standard }
+                .describe(),
+            "send(dst=3, tag=1, Standard)"
+        );
+        assert_eq!(Op::Barrier.describe(), "barrier");
+        assert_eq!(Op::WaitAll { reqs: vec![1, 2, 3] }.describe(), "waitall(3 reqs)");
+    }
+}

@@ -1,0 +1,163 @@
+//! PMPI-style trace emission from the coordinator.
+//!
+//! Records arrive from the coordinator in *completion* order, which for one
+//! rank can differ from sequence order in exactly one case: an `Irecv`
+//! record is held back until its match resolves the actual source (a real
+//! PMPI wrapper has the same constraint — the status is only known at the
+//! wait). [`SeqBuffer`] reorders per rank, releasing the densely-numbered
+//! prefix, so streaming sinks still write in order with bounded memory.
+//!
+//! Timestamps handed to a tracer are **global** virtual times; the tracer
+//! converts them to each rank's local clock via its [`ClockModel`], so the
+//! traces leaving the simulator are unsynchronized exactly like real
+//! multi-node traces (§4.1).
+
+use std::collections::BTreeMap;
+
+use mpg_trace::{ClockModel, EventRecord, MemTrace, Seq};
+
+/// Per-rank sequence reordering buffer.
+#[derive(Debug, Default)]
+pub struct SeqBuffer {
+    next: Seq,
+    held: BTreeMap<Seq, EventRecord>,
+}
+
+impl SeqBuffer {
+    /// Inserts a record; returns every record now releasable in order.
+    pub fn push(&mut self, rec: EventRecord) -> Vec<EventRecord> {
+        debug_assert!(rec.seq >= self.next, "duplicate or stale seq {}", rec.seq);
+        self.held.insert(rec.seq, rec);
+        let mut out = Vec::new();
+        while let Some(rec) = self.held.remove(&self.next) {
+            self.next += 1;
+            out.push(rec);
+        }
+        out
+    }
+
+    /// Records still held (nonzero at finish indicates a coordinator bug or
+    /// an aborted run).
+    pub fn pending(&self) -> usize {
+        self.held.len()
+    }
+}
+
+/// Sink for simulator-produced events.
+pub trait Tracer: Send {
+    /// Accepts one record with **global** timestamps; may arrive out of
+    /// per-rank sequence order (bounded by outstanding requests).
+    fn emit(&mut self, rec: EventRecord);
+
+    /// Flushes and finalizes. Returns a trace when the sink collects one.
+    fn finish(&mut self) -> Result<Option<MemTrace>, String>;
+}
+
+/// Discards everything (benchmark mode).
+#[derive(Debug, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn emit(&mut self, _rec: EventRecord) {}
+    fn finish(&mut self) -> Result<Option<MemTrace>, String> {
+        Ok(None)
+    }
+}
+
+/// Collects an in-memory [`MemTrace`], applying per-rank clock models.
+#[derive(Debug)]
+pub struct MemTracer {
+    clocks: Vec<ClockModel>,
+    buffers: Vec<SeqBuffer>,
+    trace: MemTrace,
+}
+
+impl MemTracer {
+    /// Creates a tracer for `ranks` ranks with the given clock models
+    /// (`clocks.len() == ranks`).
+    pub fn new(clocks: Vec<ClockModel>) -> Self {
+        let ranks = clocks.len();
+        Self {
+            clocks,
+            buffers: (0..ranks).map(|_| SeqBuffer::default()).collect(),
+            trace: MemTrace::new(ranks),
+        }
+    }
+}
+
+impl Tracer for MemTracer {
+    fn emit(&mut self, mut rec: EventRecord) {
+        let clock = &self.clocks[rec.rank as usize];
+        rec.t_start = clock.to_local(rec.t_start);
+        rec.t_end = clock.to_local(rec.t_end);
+        for ready in self.buffers[rec.rank as usize].push(rec) {
+            self.trace.push(ready);
+        }
+    }
+
+    fn finish(&mut self) -> Result<Option<MemTrace>, String> {
+        if let Some(n) = self.buffers.iter().map(SeqBuffer::pending).find(|&n| n > 0) {
+            return Err(format!("{n} trace records never released (gap in seq)"));
+        }
+        Ok(Some(std::mem::take(&mut self.trace)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpg_trace::EventKind;
+
+    fn rec(rank: u32, seq: u64, t: u64) -> EventRecord {
+        EventRecord {
+            rank,
+            seq,
+            t_start: t,
+            t_end: t + 10,
+            kind: EventKind::Compute { work: 10 },
+        }
+    }
+
+    #[test]
+    fn seqbuffer_releases_in_order() {
+        let mut b = SeqBuffer::default();
+        assert!(b.push(rec(0, 1, 10)).is_empty());
+        assert!(b.push(rec(0, 2, 20)).is_empty());
+        let out = b.push(rec(0, 0, 0));
+        assert_eq!(out.iter().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn memtracer_applies_clock_and_orders() {
+        let clocks = vec![
+            ClockModel { offset: 1000, drift_ppm: 0.0 },
+            ClockModel::ideal(),
+        ];
+        let mut t = MemTracer::new(clocks);
+        t.emit(rec(0, 1, 100));
+        t.emit(rec(1, 0, 50));
+        t.emit(rec(0, 0, 0));
+        let trace = t.finish().unwrap().unwrap();
+        let r0 = trace.rank(0);
+        assert_eq!(r0.len(), 2);
+        assert_eq!(r0[0].seq, 0);
+        assert_eq!(r0[0].t_start, 1000); // offset applied
+        assert_eq!(r0[1].t_start, 1100);
+        assert_eq!(trace.rank(1)[0].t_start, 50);
+    }
+
+    #[test]
+    fn memtracer_detects_gaps() {
+        let mut t = MemTracer::new(vec![ClockModel::ideal()]);
+        t.emit(rec(0, 1, 0));
+        assert!(t.finish().is_err());
+    }
+
+    #[test]
+    fn null_tracer_returns_nothing() {
+        let mut t = NullTracer;
+        t.emit(rec(0, 0, 0));
+        assert_eq!(t.finish().unwrap(), None);
+    }
+}

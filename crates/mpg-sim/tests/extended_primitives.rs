@@ -1,0 +1,210 @@
+//! Tests for the extended MPI-1 surface: `MPI_Test` and the
+//! scatter/gather/allgather/alltoall collectives, in both abstract and
+//! expanded modes (the paper's "expand to support more of the MPI-1
+//! primitives" future-work item).
+
+use mpg_noise::PlatformSignature;
+use mpg_sim::{CollectiveMode, RankCtx, Simulation};
+use mpg_trace::{validate_trace, EventKind, MemTrace};
+
+fn run(p: u32, mode: CollectiveMode, f: impl Fn(&mut RankCtx) + Sync) -> MemTrace {
+    Simulation::new(p, PlatformSignature::quiet("t"))
+        .ideal_clocks()
+        .collective_mode(mode)
+        .run(f)
+        .unwrap()
+        .trace
+}
+
+#[test]
+fn test_probe_pending_then_done() {
+    let trace = run(2, CollectiveMode::Abstract, |ctx| {
+        if ctx.rank() == 0 {
+            let r = ctx.irecv(1, 0);
+            // Probe immediately: the peer computes first, so this must be
+            // pending.
+            assert!(ctx.test(r).is_none());
+            ctx.compute(10_000_000);
+            // Now the message has long arrived.
+            let info = ctx.test(r).expect("completed").expect("receive envelope");
+            assert_eq!(info.src, 1);
+            assert_eq!(info.bytes, 64);
+        } else {
+            ctx.compute(1_000_000);
+            ctx.send(0, 0, 64);
+        }
+    });
+    assert!(validate_trace(&trace).is_empty());
+    let tests: Vec<bool> = trace
+        .rank(0)
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Test { completed, .. } => Some(completed),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(tests, vec![false, true]);
+}
+
+#[test]
+fn test_probe_loop_with_compute_overlap() {
+    // The classic test-loop: poll while doing useful work.
+    let trace = run(2, CollectiveMode::Abstract, |ctx| {
+        if ctx.rank() == 0 {
+            let r = ctx.irecv(1, 0);
+            let mut polls = 0;
+            loop {
+                if ctx.test(r).is_some() {
+                    break;
+                }
+                ctx.compute(50_000);
+                polls += 1;
+                assert!(polls < 1_000, "test never completed");
+            }
+        } else {
+            ctx.compute(500_000);
+            ctx.send(0, 0, 8);
+        }
+    });
+    assert!(validate_trace(&trace).is_empty());
+}
+
+#[test]
+fn abstract_collectives_complete_and_synchronize() {
+    for p in [2u32, 3, 4, 8] {
+        let trace = run(p, CollectiveMode::Abstract, |ctx| {
+            ctx.scatter(0, 128);
+            ctx.compute(10_000);
+            ctx.gather(0, 128);
+            ctx.allgather(64);
+            ctx.alltoall(32);
+        });
+        assert!(validate_trace(&trace).is_empty(), "p={p}");
+        for r in 0..p as usize {
+            let names: Vec<&str> = trace
+                .rank(r)
+                .iter()
+                .filter(|e| e.kind.is_collective())
+                .map(|e| e.kind.name())
+                .collect();
+            assert_eq!(names, vec!["scatter", "gather", "allgather", "alltoall"], "p={p}");
+        }
+    }
+}
+
+#[test]
+fn expanded_scatter_gather_message_counts() {
+    for p in [2u32, 4, 5, 8] {
+        let trace = run(p, CollectiveMode::Expanded, |ctx| {
+            ctx.scatter(0, 256);
+        });
+        assert!(validate_trace(&trace).is_empty(), "p={p}");
+        // Tree scatter moves exactly p−1 messages.
+        let sends: usize = (0..p as usize)
+            .map(|r| {
+                trace
+                    .rank(r)
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(sends, (p - 1) as usize, "scatter p={p}");
+
+        let trace = run(p, CollectiveMode::Expanded, |ctx| {
+            ctx.gather(0, 256);
+        });
+        assert!(validate_trace(&trace).is_empty(), "p={p}");
+        let sends: usize = (0..p as usize)
+            .map(|r| {
+                trace
+                    .rank(r)
+                    .iter()
+                    .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(sends, (p - 1) as usize, "gather p={p}");
+    }
+}
+
+#[test]
+fn expanded_allgather_and_alltoall_complete() {
+    for p in [2u32, 3, 4, 6, 8] {
+        let trace = run(p, CollectiveMode::Expanded, |ctx| {
+            ctx.allgather(64);
+            ctx.alltoall(32);
+        });
+        assert!(validate_trace(&trace).is_empty(), "p={p}");
+        // Neither leaves any abstract collective events behind.
+        for r in 0..p as usize {
+            assert!(trace.rank(r).iter().all(|e| !e.kind.is_collective()));
+        }
+    }
+}
+
+#[test]
+fn scatter_root_charged_like_bcast() {
+    // Scatter with heavy injected latency: the root's rounds dominate.
+    let trace = run(4, CollectiveMode::Abstract, |ctx| {
+        ctx.scatter(2, 1024);
+    });
+    let mut model = mpg_core::PerturbationModel::quiet("m");
+    model.latency = mpg_noise::Dist::Constant(500.0).into();
+    let report = mpg_core::Replayer::new(mpg_core::ReplayConfig::new(model))
+        .run(&trace)
+        .unwrap();
+    // 2 rounds (log2 4) charged to the root only → hub = 1000 for everyone.
+    assert_eq!(report.final_drift, vec![1000; 4]);
+}
+
+#[test]
+fn alltoall_charges_p_minus_one_rounds() {
+    let trace = run(4, CollectiveMode::Abstract, |ctx| {
+        ctx.alltoall(0);
+    });
+    let mut model = mpg_core::PerturbationModel::quiet("m");
+    model.latency = mpg_noise::Dist::Constant(100.0).into();
+    let report = mpg_core::Replayer::new(mpg_core::ReplayConfig::new(model))
+        .run(&trace)
+        .unwrap();
+    // p−1 = 3 rounds × 100 cycles.
+    assert_eq!(report.final_drift, vec![300; 4]);
+}
+
+#[test]
+fn replay_identity_on_extended_primitives() {
+    for mode in [CollectiveMode::Abstract, CollectiveMode::Expanded] {
+        let trace = run(4, mode, |ctx| {
+            // Ring exchange: receive from the previous rank, send to the next.
+            let r = ctx.irecv((ctx.rank() + 3) % 4, 3);
+            let s = ctx.isend((ctx.rank() + 1) % 4, 3, 16);
+            ctx.waitall(&[r, s]);
+            ctx.scatter(0, 64);
+            ctx.gather(0, 64);
+            ctx.allgather(32);
+            ctx.alltoall(16);
+        });
+        let report = mpg_core::Replayer::new(mpg_core::ReplayConfig::new(
+            mpg_core::PerturbationModel::quiet("id"),
+        ))
+        .run(&trace)
+        .unwrap();
+        assert_eq!(report.final_drift, vec![0; 4], "{mode:?}");
+    }
+}
+
+#[test]
+fn dimemas_handles_extended_primitives() {
+    let trace = run(4, CollectiveMode::Abstract, |ctx| {
+        ctx.compute(10_000);
+        ctx.scatter(0, 128);
+        ctx.gather(0, 128);
+        ctx.allgather(64);
+        ctx.alltoall(32);
+    });
+    let model =
+        mpg_des::MachineModel::from_signature(&PlatformSignature::quiet("t"));
+    let report = mpg_des::DimemasReplay::new(model).run(&trace).unwrap();
+    assert!(report.makespan() > 10_000);
+}

@@ -1,0 +1,187 @@
+//! §3.1.1's three blocking-send forms — synchronous, buffered, ready —
+//! exercised through the simulator and verified end-to-end in the replay.
+
+use mpg_noise::PlatformSignature;
+use mpg_sim::{SendMode, SimError, Simulation};
+use mpg_trace::{EventKind, SendProtocol};
+
+#[test]
+fn ssend_blocks_until_receiver_even_under_eager_platform() {
+    // Even with a fully-eager platform protocol, MPI_Ssend must couple to
+    // the receiver.
+    let out = Simulation::new(2, PlatformSignature::quiet("t"))
+        .ideal_clocks()
+        .send_mode(SendMode::Eager { threshold: u64::MAX })
+        .run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.ssend(1, 0, 64);
+            } else {
+                ctx.compute(1_000_000);
+                ctx.recv(0, 0);
+            }
+        })
+        .unwrap();
+    let send = &out.trace.rank(0)[1];
+    assert!(matches!(
+        send.kind,
+        EventKind::Send { protocol: SendProtocol::Synchronous, .. }
+    ));
+    // Send end covers the receiver's million-cycle delay plus the ack.
+    assert!(send.t_end > 1_000_000, "ssend returned early: {}", send.t_end);
+}
+
+#[test]
+fn bsend_returns_locally_even_under_sync_platform() {
+    let out = Simulation::new(2, PlatformSignature::quiet("t"))
+        .ideal_clocks()
+        .run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.bsend(1, 0, 100);
+            } else {
+                ctx.compute(1_000_000);
+                ctx.recv(0, 0);
+            }
+        })
+        .unwrap();
+    let send = &out.trace.rank(0)[1];
+    assert!(matches!(
+        send.kind,
+        EventKind::Send { protocol: SendProtocol::Buffered, .. }
+    ));
+    // o(300) + inject(50): no receiver coupling.
+    assert_eq!(send.duration(), 350);
+}
+
+#[test]
+fn bsend_bsend_exchange_cannot_deadlock() {
+    // The classic head-to-head exchange that deadlocks with synchronous
+    // sends is the textbook Bsend use case.
+    Simulation::new(2, PlatformSignature::quiet("t"))
+        .run(|ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.bsend(peer, 0, 64);
+            ctx.recv(peer, 0);
+        })
+        .unwrap();
+}
+
+#[test]
+fn rsend_with_posted_receive_succeeds() {
+    let out = Simulation::new(2, PlatformSignature::quiet("t"))
+        .ideal_clocks()
+        .run(|ctx| {
+            if ctx.rank() == 0 {
+                let r = ctx.irecv(1, 0);
+                // Tell the peer the receive is posted.
+                ctx.send(1, 9, 1);
+                ctx.wait(r);
+            } else {
+                ctx.recv(0, 9);
+                ctx.rsend(0, 0, 64);
+            }
+        })
+        .unwrap();
+    let rsend = out
+        .trace
+        .rank(1)
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::Send { protocol: SendProtocol::Ready, .. }))
+        .expect("rsend traced");
+    // Local completion: o + inject only.
+    assert_eq!(rsend.duration(), 332);
+}
+
+#[test]
+fn rsend_without_posted_receive_is_an_error() {
+    let err = Simulation::new(2, PlatformSignature::quiet("t"))
+        .run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.rsend(1, 0, 64);
+            } else {
+                ctx.compute(1_000);
+                ctx.recv(0, 0);
+            }
+        })
+        .unwrap_err();
+    match err {
+        SimError::InvalidOperation { rank: 0, detail } => {
+            assert!(detail.contains("ready send"), "{detail}");
+        }
+        other => panic!("expected invalid-operation, got {other}"),
+    }
+}
+
+#[test]
+fn replay_honors_per_event_protocols() {
+    // One of each send form toward a slow receiver; inject latency and check
+    // whose completion moves.
+    let out = Simulation::new(2, PlatformSignature::quiet("t"))
+        .ideal_clocks()
+        .run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.ssend(1, 1, 64);
+                ctx.bsend(1, 2, 64);
+                ctx.recv(1, 3);
+            } else {
+                ctx.recv(0, 1);
+                ctx.recv(0, 2);
+                ctx.send(1 - 1, 3, 8); // handshake back (standard send)
+            }
+        })
+        .unwrap();
+    let mut model = mpg_core::PerturbationModel::quiet("m");
+    model.latency = mpg_noise::Dist::Constant(1_000.0).into();
+    // Global ack_arm off: only the Ssend may keep its acknowledgement arm.
+    let report = mpg_core::Replayer::new(
+        mpg_core::ReplayConfig::new(model).ack_arm(false).record_graph(true),
+    )
+    .run(&out.trace)
+    .unwrap();
+    let graph = report.graph.as_ref().unwrap();
+    let drifts = graph.propagate();
+    // Find rank 0's send end drifts in order: ssend then bsend.
+    let sends: Vec<i64> = out
+        .trace
+        .rank(0)
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Send { .. }))
+        .map(|e| {
+            drifts
+                .get(&mpg_core::NodeId::end(0, e.seq))
+                .copied()
+                .unwrap_or(0)
+        })
+        .collect();
+    assert_eq!(sends.len(), 2);
+    // Ssend: forward λ (1000) + ack λ (1000) = 2000 drift. The following
+    // Bsend inherits that chain drift but adds nothing of its own (no
+    // acknowledgement arm).
+    assert_eq!(sends[0], 2_000, "{sends:?}");
+    assert_eq!(sends[1], sends[0], "bsend must not add drift: {sends:?}");
+}
+
+#[test]
+fn protocols_roundtrip_through_disk() {
+    let out = Simulation::new(2, PlatformSignature::quiet("t"))
+        .ideal_clocks()
+        .run(|ctx| {
+            if ctx.rank() == 0 {
+                ctx.ssend(1, 0, 8);
+                ctx.bsend(1, 1, 8);
+            } else {
+                ctx.recv(0, 0);
+                ctx.recv(0, 1);
+            }
+        })
+        .unwrap();
+    let dir = std::env::temp_dir().join(format!("mpg-proto-{}", std::process::id()));
+    out.trace.save(&dir).unwrap();
+    let loaded = mpg_trace::FileTraceSet::open(&dir).unwrap().load().unwrap();
+    assert_eq!(loaded, out.trace);
+    // And through the text format.
+    let text = mpg_trace::trace_to_text(&out.trace);
+    assert!(text.contains("proto=sync"));
+    assert!(text.contains("proto=buffered"));
+    assert_eq!(mpg_trace::text_to_trace(&text).unwrap(), out.trace);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,119 @@
+//! Per-rank clock models (§4.1, "Avoiding clock synchronization").
+//!
+//! "It is tempting, although misleading, to infer information about two
+//! processors using their local timestamps and clocks."
+//!
+//! The simulated platform stamps each rank's trace through its own
+//! [`ClockModel`] — an offset plus drift against true simulation time — so
+//! the traces delivered to the analyzer are *unsynchronized by construction*.
+//! Any analyzer code that accidentally compares timestamps across ranks
+//! produces visibly wrong answers under a skewed clock, which integration
+//! tests exploit.
+
+use crate::Cycles;
+
+/// Affine local-clock model: `local = offset + global * (1 + drift_ppm/1e6)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockModel {
+    /// Constant offset (cycles) of this rank's clock at global time 0.
+    pub offset: Cycles,
+    /// Rate error in parts per million. Real oscillators sit within
+    /// ±100 ppm; tests use larger values to amplify misuse.
+    pub drift_ppm: f64,
+}
+
+impl ClockModel {
+    /// A perfectly synchronized clock.
+    pub fn ideal() -> Self {
+        Self { offset: 0, drift_ppm: 0.0 }
+    }
+
+    /// A deterministic pseudo-random skew for `rank`: offsets spread over
+    /// ~1e9 cycles and drifts within ±50 ppm, both derived from the rank id
+    /// so traces are reproducible.
+    pub fn skewed(rank: u32) -> Self {
+        // Small inline mix; this crate stays dependency-free.
+        let mut z = (u64::from(rank) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z ^= z >> 31;
+        z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z ^= z >> 29;
+        let offset = z % 1_000_000_000;
+        let drift_ppm = ((z >> 32) % 101) as f64 - 50.0;
+        Self { offset, drift_ppm }
+    }
+
+    /// Maps true simulation time to this rank's local timestamp.
+    ///
+    /// Only the drift *delta* goes through floating point so that large
+    /// timestamps survive exactly when `drift_ppm == 0`.
+    pub fn to_local(&self, global: Cycles) -> Cycles {
+        let skew = (global as f64 * (self.drift_ppm / 1e6)).round() as i64;
+        (self.offset + global).saturating_add_signed(skew)
+    }
+
+    /// Inverse of [`to_local`](Self::to_local) (saturating below the offset).
+    pub fn to_global(&self, local: Cycles) -> Cycles {
+        let elapsed = local.saturating_sub(self.offset);
+        let skew = (elapsed as f64 * (self.drift_ppm / 1e6) / (1.0 + self.drift_ppm / 1e6))
+            .round() as i64;
+        elapsed.saturating_add_signed(-skew)
+    }
+}
+
+impl Default for ClockModel {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_is_identity() {
+        let c = ClockModel::ideal();
+        for t in [0u64, 1, 1_000_000, u64::MAX / 4] {
+            assert_eq!(c.to_local(t), t);
+            assert_eq!(c.to_global(t), t);
+        }
+    }
+
+    #[test]
+    fn local_preserves_order() {
+        let c = ClockModel::skewed(17);
+        let mut prev = c.to_local(0);
+        for t in (0..10_000u64).step_by(97) {
+            let l = c.to_local(t);
+            assert!(l >= prev);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn roundtrip_within_rounding() {
+        let c = ClockModel { offset: 123_456, drift_ppm: 37.5 };
+        for t in [0u64, 1, 999, 1_000_000, 123_456_789] {
+            let back = c.to_global(c.to_local(t));
+            assert!(back.abs_diff(t) <= 1, "t={t} back={back}");
+        }
+    }
+
+    #[test]
+    fn skewed_is_deterministic_and_varied() {
+        assert_eq!(ClockModel::skewed(5), ClockModel::skewed(5));
+        assert_ne!(ClockModel::skewed(5), ClockModel::skewed(6));
+        // Offsets genuinely separate ranks' clock readings.
+        let a = ClockModel::skewed(0).to_local(1000);
+        let b = ClockModel::skewed(1).to_local(1000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn drift_bounds() {
+        for r in 0..500 {
+            let c = ClockModel::skewed(r);
+            assert!(c.drift_ppm.abs() <= 50.0);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Trace sets: one event stream per rank, in memory or on disk.
+//!
+//! The analyzer is generic over per-rank record iterators, so both backends
+//! feed it identically: [`MemTrace`] keeps everything in core (tests, small
+//! runs); [`FileTraceSet`] lays one `rank-N.mpg` file per rank plus a small
+//! `meta.txt` in a directory and streams on read, preserving the paper's
+//! arbitrarily-large-trace property.
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::event::EventRecord;
+use crate::reader::TraceReader;
+use crate::writer::TraceWriter;
+use crate::TraceError;
+
+/// A boxed per-rank stream of decoded records — the shape the analyzer's
+/// `run_streams` consumes.
+pub type BoxedEventStream<'a> = Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>;
+
+/// An in-memory trace set: `events[rank]` is that rank's ordered stream.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemTrace {
+    events: Vec<Vec<EventRecord>>,
+}
+
+impl MemTrace {
+    /// Creates an empty trace set for `ranks` ranks.
+    pub fn new(ranks: usize) -> Self {
+        Self { events: vec![Vec::new(); ranks] }
+    }
+
+    /// Builds from pre-assembled per-rank vectors.
+    pub fn from_ranks(events: Vec<Vec<EventRecord>>) -> Self {
+        Self { events }
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Total event count across ranks.
+    pub fn total_events(&self) -> usize {
+        self.events.iter().map(Vec::len).sum()
+    }
+
+    /// Appends an event to its rank's stream.
+    pub fn push(&mut self, rec: EventRecord) {
+        self.events[rec.rank as usize].push(rec);
+    }
+
+    /// One rank's stream.
+    pub fn rank(&self, rank: usize) -> &[EventRecord] {
+        &self.events[rank]
+    }
+
+    /// Infallible per-rank iterator (cloned records).
+    pub fn iter_rank(&self, rank: usize) -> impl Iterator<Item = EventRecord> + '_ {
+        self.events[rank].iter().cloned()
+    }
+
+    /// Per-rank fallible iterators in rank order, the shape the graph
+    /// builder consumes.
+    pub fn streams(&self) -> Vec<BoxedEventStream<'_>> {
+        (0..self.num_ranks())
+            .map(|r| Box::new(self.iter_rank(r).map(Ok)) as BoxedEventStream<'_>)
+            .collect()
+    }
+
+    /// Writes this trace set to `dir` as a [`FileTraceSet`].
+    pub fn save(&self, dir: &Path) -> Result<FileTraceSet, TraceError> {
+        fs::create_dir_all(dir)?;
+        for (r, events) in self.events.iter().enumerate() {
+            let f = File::create(FileTraceSet::rank_path(dir, r))?;
+            let mut w = TraceWriter::new(BufWriter::new(f), 1 << 16);
+            for e in events {
+                w.record(e)?;
+            }
+            w.finish()?;
+        }
+        let mut meta = File::create(dir.join("meta.txt"))?;
+        writeln!(meta, "ranks={}", self.num_ranks())?;
+        Ok(FileTraceSet { dir: dir.to_path_buf(), ranks: self.num_ranks() })
+    }
+}
+
+/// An on-disk trace set directory.
+#[derive(Debug, Clone)]
+pub struct FileTraceSet {
+    dir: PathBuf,
+    ranks: usize,
+}
+
+impl FileTraceSet {
+    fn rank_path(dir: &Path, rank: usize) -> PathBuf {
+        dir.join(format!("rank-{rank}.mpg"))
+    }
+
+    /// Opens an existing trace directory, reading `meta.txt` for the rank
+    /// count.
+    pub fn open(dir: &Path) -> Result<Self, TraceError> {
+        let meta = fs::read_to_string(dir.join("meta.txt"))?;
+        let ranks = meta
+            .lines()
+            .find_map(|l| l.strip_prefix("ranks="))
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .ok_or_else(|| TraceError::Corrupt("meta.txt missing ranks=".into()))?;
+        for r in 0..ranks {
+            if !Self::rank_path(dir, r).exists() {
+                return Err(TraceError::Corrupt(format!("missing trace for rank {r}")));
+            }
+        }
+        Ok(Self { dir: dir.to_path_buf(), ranks })
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Streaming reader for one rank.
+    pub fn reader(&self, rank: usize) -> Result<TraceReader<BufReader<File>>, TraceError> {
+        let f = File::open(Self::rank_path(&self.dir, rank))?;
+        TraceReader::new(BufReader::new(f), rank as u32)
+    }
+
+    /// Per-rank fallible iterators, the shape the graph builder consumes.
+    pub fn streams(&self) -> Result<Vec<BoxedEventStream<'static>>, TraceError> {
+        (0..self.ranks)
+            .map(|r| self.reader(r).map(|rd| Box::new(rd) as BoxedEventStream<'static>))
+            .collect()
+    }
+
+    /// Loads the whole set into memory (small traces / tests).
+    pub fn load(&self) -> Result<MemTrace, TraceError> {
+        let mut events = Vec::with_capacity(self.ranks);
+        for r in 0..self.ranks {
+            events.push(self.reader(r)?.collect::<Result<Vec<_>, _>>()?);
+        }
+        Ok(MemTrace::from_ranks(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn sample_trace() -> MemTrace {
+        let mut t = MemTrace::new(2);
+        for r in 0..2u32 {
+            t.push(EventRecord {
+                rank: r,
+                seq: 0,
+                t_start: 0,
+                t_end: 10,
+                kind: EventKind::Init,
+            });
+            t.push(EventRecord {
+                rank: r,
+                seq: 1,
+                t_start: 10,
+                t_end: 100,
+                kind: EventKind::Compute { work: 90 },
+            });
+            t.push(EventRecord {
+                rank: r,
+                seq: 2,
+                t_start: 100,
+                t_end: 110,
+                kind: EventKind::Finalize,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn mem_roundtrip_through_disk() {
+        let dir = std::env::temp_dir().join(format!("mpg-test-{}", std::process::id()));
+        let t = sample_trace();
+        let fset = t.save(&dir).unwrap();
+        let reopened = FileTraceSet::open(&dir).unwrap();
+        assert_eq!(reopened.num_ranks(), 2);
+        let loaded = reopened.load().unwrap();
+        assert_eq!(loaded, t);
+        drop(fset);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_missing_dir_fails() {
+        assert!(FileTraceSet::open(Path::new("/nonexistent-mpg-dir")).is_err());
+    }
+
+    #[test]
+    fn streams_yield_rank_order() {
+        let t = sample_trace();
+        let streams = t.streams();
+        assert_eq!(streams.len(), 2);
+        for (r, s) in streams.into_iter().enumerate() {
+            let events: Vec<_> = s.collect::<Result<_, _>>().unwrap();
+            assert!(events.iter().all(|e| e.rank as usize == r));
+            assert_eq!(events.len(), 3);
+        }
+    }
+
+    #[test]
+    fn total_events() {
+        assert_eq!(sample_trace().total_events(), 6);
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! Event traces for message-passing programs (§4 of the paper).
+//!
+//! "Each processor creates an event trace that records the local timestamp,
+//! the event type, and event metadata for each event that occurs. … Each MPI
+//! primitive to be recorded is wrapped with a lightweight PMPI wrapper that
+//! records the event in a memory resident buffer. The buffer is dumped to an
+//! event trace file when it becomes full."
+//!
+//! This crate defines the event model ([`EventRecord`]/[`EventKind`]), a
+//! compact varint binary codec, the buffered [`TraceWriter`] mirroring the
+//! PMPI wrapper's flush-on-full behaviour, streaming readers for arbitrarily
+//! large traces, per-rank [`ClockModel`]s (traces deliberately carry
+//! *unsynchronized* clocks, §4.1), and structural validation.
+//!
+//! The crate is dependency-free so every other crate can speak traces.
+
+pub mod clock;
+pub mod codec;
+pub mod event;
+pub mod fileset;
+pub mod reader;
+pub mod stats;
+pub mod text;
+pub mod validate;
+pub mod writer;
+
+pub use clock::ClockModel;
+pub use event::{EventKind, EventRecord, Rank, ReqId, SendProtocol, Seq, Tag, ANY_SOURCE, ANY_TAG};
+pub use fileset::{FileTraceSet, MemTrace};
+pub use reader::TraceReader;
+pub use stats::{trace_stats, TraceStats};
+pub use text::{text_to_trace, trace_to_text};
+pub use validate::{validate_rank_trace, validate_trace, Violation};
+pub use writer::TraceWriter;
+
+/// Cycle-denominated local timestamp, matching `mpg_noise::Cycles` without
+/// creating a dependency.
+pub type Cycles = u64;
+
+/// Errors arising while reading or decoding trace data.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or truncated record stream.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Corrupt(m) => write!(f, "corrupt trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}

@@ -1,0 +1,159 @@
+//! Trace statistics: what the trace spends its time on and who talks to
+//! whom — the first thing an analyst renders from a new trace, and the
+//! input to deciding which perturbation classes matter.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, EventRecord};
+use crate::{Cycles, MemTrace};
+
+/// Per-kind accounting for one rank (or aggregated).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KindStats {
+    /// Events of this kind.
+    pub count: u64,
+    /// Total traced time in them (cycles).
+    pub total_cycles: Cycles,
+}
+
+/// Statistics over a whole trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Aggregated per event-kind name.
+    pub by_kind: BTreeMap<&'static str, KindStats>,
+    /// Bytes sent per (src, dst) pair (from send-side events).
+    pub comm_matrix: BTreeMap<(u32, u32), u64>,
+    /// Total events.
+    pub events: u64,
+    /// Sum of per-rank traced spans.
+    pub total_span: Cycles,
+    /// Time in compute events (cycles).
+    pub compute_cycles: Cycles,
+    /// Time in communication events (cycles).
+    pub comm_cycles: Cycles,
+}
+
+impl TraceStats {
+    /// Fraction of traced time spent communicating (or blocked in
+    /// communication calls).
+    pub fn comm_fraction(&self) -> f64 {
+        let denom = (self.compute_cycles + self.comm_cycles) as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.comm_cycles as f64 / denom
+        }
+    }
+
+    /// Accounts one record.
+    pub fn push(&mut self, e: &EventRecord) {
+        self.events += 1;
+        let entry = self.by_kind.entry(e.kind.name()).or_default();
+        entry.count += 1;
+        entry.total_cycles += e.duration();
+        match &e.kind {
+            EventKind::Compute { .. } => self.compute_cycles += e.duration(),
+            k if k.is_communication() => self.comm_cycles += e.duration(),
+            _ => {}
+        }
+        match &e.kind {
+            EventKind::Send { peer, bytes, .. } | EventKind::Isend { peer, bytes, .. } => {
+                *self.comm_matrix.entry((e.rank, *peer)).or_default() += bytes;
+            }
+            _ => {}
+        }
+    }
+
+    /// Renders a compact text summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} events, comm fraction {:.1}%\n",
+            self.events,
+            self.comm_fraction() * 100.0
+        ));
+        for (name, ks) in &self.by_kind {
+            out.push_str(&format!(
+                "  {name:>10}: {:>8} events, {:>14} cycles\n",
+                ks.count, ks.total_cycles
+            ));
+        }
+        if !self.comm_matrix.is_empty() {
+            let pairs = self.comm_matrix.len();
+            let bytes: u64 = self.comm_matrix.values().sum();
+            out.push_str(&format!("  {pairs} communicating pairs, {bytes} bytes total\n"));
+        }
+        out
+    }
+}
+
+/// Computes statistics over an in-memory trace.
+pub fn trace_stats(trace: &MemTrace) -> TraceStats {
+    let mut stats = TraceStats::default();
+    for r in 0..trace.num_ranks() {
+        let events = trace.rank(r);
+        if let (Some(first), Some(last)) = (events.first(), events.last()) {
+            stats.total_span += last.t_end - first.t_start;
+        }
+        for e in events {
+            stats.push(e);
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: u32, seq: u64, t0: u64, t1: u64, kind: EventKind) -> EventRecord {
+        EventRecord { rank, seq, t_start: t0, t_end: t1, kind }
+    }
+
+    fn sample() -> MemTrace {
+        let mut t = MemTrace::new(2);
+        t.push(ev(0, 0, 0, 10, EventKind::Init));
+        t.push(ev(0, 1, 10, 110, EventKind::Compute { work: 100 }));
+        t.push(ev(0, 2, 110, 150, EventKind::Send { peer: 1, tag: 0, bytes: 500, protocol: Default::default() }));
+        t.push(ev(0, 3, 150, 160, EventKind::Finalize));
+        t.push(ev(1, 0, 0, 10, EventKind::Init));
+        t.push(ev(1, 1, 10, 150, EventKind::Recv { peer: 0, tag: 0, bytes: 500, posted_any: false }));
+        t.push(ev(1, 2, 150, 160, EventKind::Finalize));
+        t
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let s = trace_stats(&sample());
+        assert_eq!(s.events, 7);
+        assert_eq!(s.by_kind["compute"].count, 1);
+        assert_eq!(s.by_kind["compute"].total_cycles, 100);
+        assert_eq!(s.by_kind["send"].count, 1);
+        assert_eq!(s.compute_cycles, 100);
+        assert_eq!(s.comm_cycles, 40 + 140);
+        assert!((s.comm_fraction() - 180.0 / 280.0).abs() < 1e-12);
+        assert_eq!(s.total_span, 160 + 160);
+    }
+
+    #[test]
+    fn comm_matrix_tracks_bytes() {
+        let s = trace_stats(&sample());
+        assert_eq!(s.comm_matrix.get(&(0, 1)), Some(&500));
+        assert_eq!(s.comm_matrix.get(&(1, 0)), None);
+    }
+
+    #[test]
+    fn render_mentions_kinds() {
+        let s = trace_stats(&sample());
+        let r = s.render();
+        assert!(r.contains("compute"));
+        assert!(r.contains("communicating pairs"));
+    }
+
+    #[test]
+    fn empty_trace() {
+        let s = trace_stats(&MemTrace::new(3));
+        assert_eq!(s.events, 0);
+        assert_eq!(s.comm_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Line-oriented text trace format (interop bridge).
+//!
+//! §7 plans to adopt external tracing formats (KOJAK's EPILOG). This module
+//! provides the interchange half of that story today: a stable,
+//! human-readable, line-per-event format that external tools (or awk) can
+//! produce and consume, convertible losslessly to and from the binary
+//! format.
+//!
+//! Grammar (whitespace-separated, one event per line, `#` comments):
+//!
+//! ```text
+//! <t_start> <t_end> <kind> [field...]
+//! ```
+//!
+//! with per-kind fields matching the [`EventKind`] variants, e.g.
+//! `120 180 send peer=1 tag=0 bytes=4096`.
+
+use std::fmt::Write as _;
+
+use crate::event::{EventKind, EventRecord, SendProtocol};
+use crate::{MemTrace, TraceError};
+
+fn kv(out: &mut String, key: &str, value: impl std::fmt::Display) {
+    let _ = write!(out, " {key}={value}");
+}
+
+fn reqs_field(out: &mut String, key: &str, reqs: &[u64]) {
+    let joined: Vec<String> = reqs.iter().map(u64::to_string).collect();
+    let _ = write!(out, " {key}={}", joined.join(","));
+}
+
+/// Renders one event as a text line (without trailing newline).
+pub fn event_to_line(e: &EventRecord) -> String {
+    let mut out = format!("{} {} {}", e.t_start, e.t_end, e.kind.name());
+    match &e.kind {
+        EventKind::Init | EventKind::Finalize => {}
+        EventKind::Compute { work } => kv(&mut out, "work", work),
+        EventKind::Send { peer, tag, bytes, protocol } => {
+            kv(&mut out, "peer", peer);
+            kv(&mut out, "tag", tag);
+            kv(&mut out, "bytes", bytes);
+            if *protocol != SendProtocol::Standard {
+                let name = match protocol {
+                    SendProtocol::Standard => unreachable!(),
+                    SendProtocol::Synchronous => "sync",
+                    SendProtocol::Buffered => "buffered",
+                    SendProtocol::Ready => "ready",
+                };
+                kv(&mut out, "proto", name);
+            }
+        }
+        EventKind::Recv { peer, tag, bytes, posted_any } => {
+            kv(&mut out, "peer", peer);
+            kv(&mut out, "tag", tag);
+            kv(&mut out, "bytes", bytes);
+            kv(&mut out, "any", u8::from(*posted_any));
+        }
+        EventKind::Isend { peer, tag, bytes, req } => {
+            kv(&mut out, "peer", peer);
+            kv(&mut out, "tag", tag);
+            kv(&mut out, "bytes", bytes);
+            kv(&mut out, "req", req);
+        }
+        EventKind::Irecv { peer, tag, bytes, req, posted_any } => {
+            kv(&mut out, "peer", peer);
+            kv(&mut out, "tag", tag);
+            kv(&mut out, "bytes", bytes);
+            kv(&mut out, "req", req);
+            kv(&mut out, "any", u8::from(*posted_any));
+        }
+        EventKind::Wait { req } => kv(&mut out, "req", req),
+        EventKind::WaitAll { reqs } => reqs_field(&mut out, "reqs", reqs),
+        EventKind::WaitSome { reqs, completed } => {
+            reqs_field(&mut out, "reqs", reqs);
+            reqs_field(&mut out, "completed", completed);
+        }
+        EventKind::Test { req, completed } => {
+            kv(&mut out, "req", req);
+            kv(&mut out, "completed", u8::from(*completed));
+        }
+        EventKind::Barrier { comm_size } => kv(&mut out, "comm", comm_size),
+        EventKind::Bcast { root, bytes, comm_size }
+        | EventKind::Scatter { root, bytes, comm_size }
+        | EventKind::Gather { root, bytes, comm_size }
+        | EventKind::Reduce { root, bytes, comm_size } => {
+            kv(&mut out, "root", root);
+            kv(&mut out, "bytes", bytes);
+            kv(&mut out, "comm", comm_size);
+        }
+        EventKind::Allreduce { bytes, comm_size }
+        | EventKind::Allgather { bytes, comm_size }
+        | EventKind::Alltoall { bytes, comm_size } => {
+            kv(&mut out, "bytes", bytes);
+            kv(&mut out, "comm", comm_size);
+        }
+    }
+    out
+}
+
+/// Renders a whole trace: a `ranks=N` header, then one `rank N` section per
+/// rank with its events.
+pub fn trace_to_text(trace: &MemTrace) -> String {
+    let mut out = format!("# mpg text trace v1\nranks={}\n", trace.num_ranks());
+    for r in 0..trace.num_ranks() {
+        let _ = writeln!(out, "rank {r}");
+        for e in trace.rank(r) {
+            let _ = writeln!(out, "{}", event_to_line(e));
+        }
+    }
+    out
+}
+
+struct Fields<'a> {
+    pairs: Vec<(&'a str, &'a str)>,
+}
+
+impl<'a> Fields<'a> {
+    fn parse(tokens: &[&'a str]) -> Result<Self, TraceError> {
+        let pairs = tokens
+            .iter()
+            .map(|t| {
+                t.split_once('=')
+                    .ok_or_else(|| TraceError::Corrupt(format!("bad field '{t}'")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { pairs })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Result<T, TraceError> {
+        let raw = self
+            .pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| TraceError::Corrupt(format!("missing field '{key}'")))?;
+        raw.parse()
+            .map_err(|_| TraceError::Corrupt(format!("unparseable field '{key}={raw}'")))
+    }
+
+    fn get_list(&self, key: &str) -> Result<Vec<u64>, TraceError> {
+        let raw = self
+            .pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .ok_or_else(|| TraceError::Corrupt(format!("missing field '{key}'")))?;
+        if raw.is_empty() {
+            return Ok(Vec::new());
+        }
+        raw.split(',')
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| TraceError::Corrupt(format!("bad list item '{s}'")))
+            })
+            .collect()
+    }
+}
+
+/// Parses one event line (`rank`/`seq` provided by the section parser).
+pub fn line_to_event(line: &str, rank: u32, seq: u64) -> Result<EventRecord, TraceError> {
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    if tokens.len() < 3 {
+        return Err(TraceError::Corrupt(format!("short event line '{line}'")));
+    }
+    let t_start: u64 = tokens[0]
+        .parse()
+        .map_err(|_| TraceError::Corrupt(format!("bad t_start '{}'", tokens[0])))?;
+    let t_end: u64 = tokens[1]
+        .parse()
+        .map_err(|_| TraceError::Corrupt(format!("bad t_end '{}'", tokens[1])))?;
+    let f = Fields::parse(&tokens[3..])?;
+    let kind = match tokens[2] {
+        "init" => EventKind::Init,
+        "finalize" => EventKind::Finalize,
+        "compute" => EventKind::Compute { work: f.get("work")? },
+        "send" => EventKind::Send {
+            peer: f.get("peer")?,
+            tag: f.get("tag")?,
+            bytes: f.get("bytes")?,
+            protocol: match f.get::<String>("proto").ok().as_deref() {
+                None => SendProtocol::Standard,
+                Some("sync") => SendProtocol::Synchronous,
+                Some("buffered") => SendProtocol::Buffered,
+                Some("ready") => SendProtocol::Ready,
+                Some(other) => {
+                    return Err(TraceError::Corrupt(format!("unknown proto '{other}'")))
+                }
+            },
+        },
+        "recv" => EventKind::Recv {
+            peer: f.get("peer")?,
+            tag: f.get("tag")?,
+            bytes: f.get("bytes")?,
+            posted_any: f.get::<u8>("any")? != 0,
+        },
+        "isend" => EventKind::Isend {
+            peer: f.get("peer")?,
+            tag: f.get("tag")?,
+            bytes: f.get("bytes")?,
+            req: f.get("req")?,
+        },
+        "irecv" => EventKind::Irecv {
+            peer: f.get("peer")?,
+            tag: f.get("tag")?,
+            bytes: f.get("bytes")?,
+            req: f.get("req")?,
+            posted_any: f.get::<u8>("any")? != 0,
+        },
+        "wait" => EventKind::Wait { req: f.get("req")? },
+        "waitall" => EventKind::WaitAll { reqs: f.get_list("reqs")? },
+        "waitsome" => EventKind::WaitSome {
+            reqs: f.get_list("reqs")?,
+            completed: f.get_list("completed")?,
+        },
+        "test" => EventKind::Test {
+            req: f.get("req")?,
+            completed: f.get::<u8>("completed")? != 0,
+        },
+        "barrier" => EventKind::Barrier { comm_size: f.get("comm")? },
+        "bcast" => EventKind::Bcast {
+            root: f.get("root")?,
+            bytes: f.get("bytes")?,
+            comm_size: f.get("comm")?,
+        },
+        "scatter" => EventKind::Scatter {
+            root: f.get("root")?,
+            bytes: f.get("bytes")?,
+            comm_size: f.get("comm")?,
+        },
+        "gather" => EventKind::Gather {
+            root: f.get("root")?,
+            bytes: f.get("bytes")?,
+            comm_size: f.get("comm")?,
+        },
+        "reduce" => EventKind::Reduce {
+            root: f.get("root")?,
+            bytes: f.get("bytes")?,
+            comm_size: f.get("comm")?,
+        },
+        "allreduce" => EventKind::Allreduce {
+            bytes: f.get("bytes")?,
+            comm_size: f.get("comm")?,
+        },
+        "allgather" => EventKind::Allgather {
+            bytes: f.get("bytes")?,
+            comm_size: f.get("comm")?,
+        },
+        "alltoall" => EventKind::Alltoall {
+            bytes: f.get("bytes")?,
+            comm_size: f.get("comm")?,
+        },
+        other => return Err(TraceError::Corrupt(format!("unknown event kind '{other}'"))),
+    };
+    Ok(EventRecord { rank, seq, t_start, t_end, kind })
+}
+
+/// Parses a whole text trace.
+pub fn text_to_trace(text: &str) -> Result<MemTrace, TraceError> {
+    let mut lines = text.lines().filter(|l| {
+        let t = l.trim();
+        !t.is_empty() && !t.starts_with('#')
+    });
+    let header = lines
+        .next()
+        .ok_or_else(|| TraceError::Corrupt("empty text trace".into()))?;
+    let ranks: usize = header
+        .trim()
+        .strip_prefix("ranks=")
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| TraceError::Corrupt(format!("expected 'ranks=N', got '{header}'")))?;
+    let mut trace = MemTrace::new(ranks);
+    let mut current: Option<u32> = None;
+    let mut seq = 0u64;
+    for line in lines {
+        let t = line.trim();
+        if let Some(r) = t.strip_prefix("rank ") {
+            let r: u32 = r
+                .trim()
+                .parse()
+                .map_err(|_| TraceError::Corrupt(format!("bad rank header '{t}'")))?;
+            if r as usize >= ranks {
+                return Err(TraceError::Corrupt(format!("rank {r} out of range (ranks={ranks})")));
+            }
+            current = Some(r);
+            seq = 0;
+            continue;
+        }
+        let rank = current.ok_or_else(|| {
+            TraceError::Corrupt("event line before any 'rank N' header".into())
+        })?;
+        trace.push(line_to_event(t, rank, seq)?);
+        seq += 1;
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_trace;
+
+    fn full_kind_trace() -> MemTrace {
+        let kinds: Vec<EventKind> = vec![
+            EventKind::Init,
+            EventKind::Compute { work: 500 },
+            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Standard },
+            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Synchronous },
+            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Buffered },
+            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Ready },
+            EventKind::Recv { peer: 1, tag: 2, bytes: 64, posted_any: true },
+            EventKind::Isend { peer: 1, tag: 0, bytes: 8, req: 1 },
+            EventKind::Irecv { peer: 1, tag: 0, bytes: 8, req: 2, posted_any: false },
+            EventKind::Test { req: 1, completed: false },
+            EventKind::Wait { req: 1 },
+            EventKind::WaitAll { reqs: vec![2] },
+            EventKind::WaitSome { reqs: vec![], completed: vec![] },
+            EventKind::Barrier { comm_size: 2 },
+            EventKind::Bcast { root: 0, bytes: 4, comm_size: 2 },
+            EventKind::Reduce { root: 1, bytes: 4, comm_size: 2 },
+            EventKind::Allreduce { bytes: 4, comm_size: 2 },
+            EventKind::Scatter { root: 0, bytes: 4, comm_size: 2 },
+            EventKind::Gather { root: 0, bytes: 4, comm_size: 2 },
+            EventKind::Allgather { bytes: 4, comm_size: 2 },
+            EventKind::Alltoall { bytes: 4, comm_size: 2 },
+            EventKind::Finalize,
+        ];
+        let mut t = MemTrace::new(2);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            t.push(EventRecord {
+                rank: 0,
+                seq: i as u64,
+                t_start: i as u64 * 10,
+                t_end: i as u64 * 10 + 5,
+                kind,
+            });
+        }
+        t.push(EventRecord { rank: 1, seq: 0, t_start: 0, t_end: 1, kind: EventKind::Init });
+        t
+    }
+
+    #[test]
+    fn roundtrip_every_kind() {
+        let t = full_kind_trace();
+        let text = trace_to_text(&t);
+        let back = text_to_trace(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# hello\n\nranks=1\n# section\nrank 0\n0 5 init\n\n5 10 finalize\n";
+        let t = text_to_trace(text).unwrap();
+        assert_eq!(t.rank(0).len(), 2);
+        assert_eq!(t.rank(0)[1].kind, EventKind::Finalize);
+    }
+
+    #[test]
+    fn errors_are_described() {
+        for (text, needle) in [
+            ("", "empty"),
+            ("nope", "ranks="),
+            ("ranks=1\n0 5 init", "before any"),
+            ("ranks=1\nrank 5\n0 5 init", "out of range"),
+            ("ranks=1\nrank 0\n0 5 zorp", "unknown event kind"),
+            ("ranks=1\nrank 0\n0 5 send peer=1", "missing field"),
+            ("ranks=1\nrank 0\nx 5 init", "bad t_start"),
+        ] {
+            let err = text_to_trace(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{text:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn simulated_trace_roundtrips_and_stays_valid() {
+        use mpg_noise_for_tests::*;
+        let t = traced();
+        assert!(validate_trace(&t).is_empty());
+        let back = text_to_trace(&trace_to_text(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    /// Tiny shim so this dependency-free crate can still test against a
+    /// realistic trace: hand-built, mirroring simulator output shape.
+    mod mpg_noise_for_tests {
+        use super::*;
+
+        pub fn traced() -> MemTrace {
+            let mut t = MemTrace::new(2);
+            for r in 0..2u32 {
+                let peer = 1 - r;
+                let mut push = |seq, t0, t1, kind| {
+                    t.push(EventRecord { rank: r, seq, t_start: t0, t_end: t1, kind });
+                };
+                push(0, 0, 10, EventKind::Init);
+                push(1, 10, 100, EventKind::Compute { work: 90 });
+                if r == 0 {
+                    push(2, 100, 200, EventKind::Send { peer, tag: 0, bytes: 32, protocol: SendProtocol::Standard });
+                } else {
+                    push(2, 100, 200, EventKind::Recv { peer, tag: 0, bytes: 32, posted_any: false });
+                }
+                push(3, 200, 210, EventKind::Finalize);
+            }
+            t
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Structural validation of traces (§4.3's precondition).
+//!
+//! "The process of taking traces and merging them into a single
+//! message-passing graph has the benefit of using the fact that the program
+//! did run correctly in the first place." Validation checks that the input
+//! actually has that shape before the analyzer trusts it: per-rank
+//! monotonicity, init/finalize bracketing, dense sequence numbers, and
+//! single-use request handles.
+
+use std::collections::HashSet;
+
+use crate::event::{EventKind, EventRecord};
+use crate::MemTrace;
+
+/// One structural problem found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Events overlap or run backwards in the local clock.
+    NonMonotonic {
+        /// Offending rank.
+        rank: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+    /// Sequence numbers are not dense from zero.
+    BadSeq {
+        /// Offending rank.
+        rank: u32,
+        /// Expected sequence number.
+        expected: u64,
+        /// Found sequence number.
+        found: u64,
+    },
+    /// The first event is not `Init`.
+    MissingInit {
+        /// Offending rank.
+        rank: u32,
+    },
+    /// The last event is not `Finalize`.
+    MissingFinalize {
+        /// Offending rank.
+        rank: u32,
+    },
+    /// A record's rank field disagrees with the stream it came from.
+    WrongRank {
+        /// Stream rank.
+        stream: u32,
+        /// Record rank.
+        record: u32,
+    },
+    /// A request id was initiated twice before completion.
+    DuplicateRequest {
+        /// Offending rank.
+        rank: u32,
+        /// The reused request id.
+        req: u64,
+    },
+    /// A wait references a request that was never initiated (or already
+    /// completed).
+    UnknownRequest {
+        /// Offending rank.
+        rank: u32,
+        /// The unknown request id.
+        req: u64,
+    },
+    /// A request was initiated but never completed by any wait.
+    LeakedRequest {
+        /// Offending rank.
+        rank: u32,
+        /// The dangling request id.
+        req: u64,
+    },
+    /// An event references itself as peer.
+    SelfMessage {
+        /// Offending rank.
+        rank: u32,
+        /// Sequence number of the offending event.
+        seq: u64,
+    },
+}
+
+/// Validates one rank's stream; `rank` is the stream index.
+pub fn validate_rank_trace(rank: u32, events: &[EventRecord]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut last_end = 0u64;
+    let mut open_reqs: HashSet<u64> = HashSet::new();
+
+    match events.first() {
+        Some(e) if e.kind == EventKind::Init => {}
+        _ => out.push(Violation::MissingInit { rank }),
+    }
+    match events.last() {
+        Some(e) if e.kind == EventKind::Finalize => {}
+        _ => out.push(Violation::MissingFinalize { rank }),
+    }
+
+    for (i, e) in events.iter().enumerate() {
+        if e.rank != rank {
+            out.push(Violation::WrongRank { stream: rank, record: e.rank });
+        }
+        if e.seq != i as u64 {
+            out.push(Violation::BadSeq { rank, expected: i as u64, found: e.seq });
+        }
+        if e.t_end < e.t_start || e.t_start < last_end {
+            out.push(Violation::NonMonotonic { rank, seq: e.seq });
+        }
+        last_end = last_end.max(e.t_end);
+
+        match &e.kind {
+            EventKind::Send { peer, .. } | EventKind::Recv { peer, .. }
+                if *peer == rank => {
+                    out.push(Violation::SelfMessage { rank, seq: e.seq });
+                }
+            EventKind::Isend { peer, req, .. } | EventKind::Irecv { peer, req, .. } => {
+                if *peer == rank {
+                    out.push(Violation::SelfMessage { rank, seq: e.seq });
+                }
+                if !open_reqs.insert(*req) {
+                    out.push(Violation::DuplicateRequest { rank, req: *req });
+                }
+            }
+            EventKind::Wait { req }
+                if !open_reqs.remove(req) => {
+                    out.push(Violation::UnknownRequest { rank, req: *req });
+                }
+            EventKind::WaitAll { reqs } => {
+                for req in reqs {
+                    if !open_reqs.remove(req) {
+                        out.push(Violation::UnknownRequest { rank, req: *req });
+                    }
+                }
+            }
+            EventKind::WaitSome { completed, .. } => {
+                for req in completed {
+                    if !open_reqs.remove(req) {
+                        out.push(Violation::UnknownRequest { rank, req: *req });
+                    }
+                }
+            }
+            EventKind::Test { req, completed } => {
+                if *completed {
+                    if !open_reqs.remove(req) {
+                        out.push(Violation::UnknownRequest { rank, req: *req });
+                    }
+                } else if !open_reqs.contains(req) {
+                    out.push(Violation::UnknownRequest { rank, req: *req });
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut leaked: Vec<u64> = open_reqs.into_iter().collect();
+    leaked.sort_unstable();
+    for req in leaked {
+        out.push(Violation::LeakedRequest { rank, req });
+    }
+    out
+}
+
+/// Validates every rank of an in-memory trace set.
+pub fn validate_trace(trace: &MemTrace) -> Vec<Violation> {
+    (0..trace.num_ranks())
+        .flat_map(|r| validate_rank_trace(r as u32, trace.rank(r)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(rank: u32, seq: u64, t0: u64, t1: u64, kind: EventKind) -> EventRecord {
+        EventRecord { rank, seq, t_start: t0, t_end: t1, kind }
+    }
+
+    fn good_rank() -> Vec<EventRecord> {
+        vec![
+            ev(0, 0, 0, 5, EventKind::Init),
+            ev(0, 1, 5, 10, EventKind::Isend { peer: 1, tag: 0, bytes: 4, req: 1 }),
+            ev(0, 2, 10, 50, EventKind::Compute { work: 40 }),
+            ev(0, 3, 50, 90, EventKind::Wait { req: 1 }),
+            ev(0, 4, 90, 95, EventKind::Finalize),
+        ]
+    }
+
+    #[test]
+    fn clean_trace_validates() {
+        assert!(validate_rank_trace(0, &good_rank()).is_empty());
+    }
+
+    #[test]
+    fn detects_non_monotonic() {
+        let mut t = good_rank();
+        t[2].t_start = 8; // overlaps previous end 10? 8 < 10 → violation
+        let v = validate_rank_trace(0, &t);
+        assert!(v.contains(&Violation::NonMonotonic { rank: 0, seq: 2 }));
+    }
+
+    #[test]
+    fn detects_backwards_interval() {
+        let mut t = good_rank();
+        t[2].t_end = 9;
+        t[2].t_start = 10;
+        let v = validate_rank_trace(0, &t);
+        assert!(v.iter().any(|x| matches!(x, Violation::NonMonotonic { seq: 2, .. })));
+    }
+
+    #[test]
+    fn detects_missing_brackets() {
+        let t = &good_rank()[1..4];
+        let v = validate_rank_trace(0, t);
+        assert!(v.contains(&Violation::MissingInit { rank: 0 }));
+        assert!(v.contains(&Violation::MissingFinalize { rank: 0 }));
+        // seq now starts at 1
+        assert!(v.iter().any(|x| matches!(x, Violation::BadSeq { .. })));
+    }
+
+    #[test]
+    fn detects_request_misuse() {
+        let mut t = good_rank();
+        // Duplicate initiation.
+        t.insert(
+            2,
+            ev(0, 2, 10, 12, EventKind::Isend { peer: 1, tag: 0, bytes: 4, req: 1 }),
+        );
+        // Renumber.
+        for (i, e) in t.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        // Fix times.
+        t[3].t_start = 12;
+        let v = validate_rank_trace(0, &t);
+        assert!(v.contains(&Violation::DuplicateRequest { rank: 0, req: 1 }));
+    }
+
+    #[test]
+    fn detects_unknown_and_leaked() {
+        let t = vec![
+            ev(0, 0, 0, 5, EventKind::Init),
+            ev(0, 1, 5, 10, EventKind::Isend { peer: 1, tag: 0, bytes: 4, req: 7 }),
+            ev(0, 2, 10, 20, EventKind::Wait { req: 99 }),
+            ev(0, 3, 20, 25, EventKind::Finalize),
+        ];
+        let v = validate_rank_trace(0, &t);
+        assert!(v.contains(&Violation::UnknownRequest { rank: 0, req: 99 }));
+        assert!(v.contains(&Violation::LeakedRequest { rank: 0, req: 7 }));
+    }
+
+    #[test]
+    fn detects_self_message() {
+        let t = vec![
+            ev(0, 0, 0, 5, EventKind::Init),
+            ev(
+                0,
+                1,
+                5,
+                10,
+                EventKind::Send { peer: 0, tag: 0, bytes: 4, protocol: Default::default() },
+            ),
+            ev(0, 2, 10, 15, EventKind::Finalize),
+        ];
+        let v = validate_rank_trace(0, &t);
+        assert!(v.contains(&Violation::SelfMessage { rank: 0, seq: 1 }));
+    }
+
+    #[test]
+    fn detects_wrong_rank() {
+        let mut t = good_rank();
+        t[1].rank = 4;
+        let v = validate_rank_trace(0, &t);
+        assert!(v.contains(&Violation::WrongRank { stream: 0, record: 4 }));
+    }
+
+    #[test]
+    fn whole_trace_validation_aggregates() {
+        let mut mt = MemTrace::new(2);
+        for e in good_rank() {
+            mt.push(e);
+        }
+        // rank 1 left empty → missing init+finalize.
+        let v = validate_trace(&mt);
+        assert_eq!(
+            v,
+            vec![
+                Violation::MissingInit { rank: 1 },
+                Violation::MissingFinalize { rank: 1 }
+            ]
+        );
+    }
+}

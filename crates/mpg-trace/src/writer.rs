@@ -1,0 +1,136 @@
+//! Buffered trace writer mirroring the paper's PMPI wrapper (§4).
+//!
+//! "…records the event in a memory resident buffer. The buffer is dumped to
+//! an event trace file when it becomes full, and is then reset to empty for
+//! future events. The size of this buffer can be tuned to compensate for
+//! event frequency and overhead for I/O."
+
+use std::io::Write;
+
+use crate::codec::{Encoder, MAGIC};
+use crate::event::EventRecord;
+use crate::TraceError;
+
+/// Buffered, flush-on-full writer for one rank's event stream.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    encoder: Encoder,
+    buf: Vec<u8>,
+    capacity: usize,
+    flushes: u64,
+    records: u64,
+    wrote_header: bool,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer whose memory-resident buffer holds roughly
+    /// `buffer_bytes` of encoded records before spilling to `sink`.
+    pub fn new(sink: W, buffer_bytes: usize) -> Self {
+        Self {
+            sink,
+            encoder: Encoder::new(),
+            buf: Vec::with_capacity(buffer_bytes.max(64)),
+            capacity: buffer_bytes.max(64),
+            flushes: 0,
+            records: 0,
+            wrote_header: false,
+        }
+    }
+
+    /// Records one event; spills the buffer when full.
+    pub fn record(&mut self, rec: &EventRecord) -> Result<(), TraceError> {
+        if !self.wrote_header {
+            self.sink.write_all(MAGIC)?;
+            self.wrote_header = true;
+        }
+        self.encoder.encode(rec, &mut self.buf);
+        self.records += 1;
+        if self.buf.len() >= self.capacity {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn spill(&mut self) -> Result<(), TraceError> {
+        if !self.buf.is_empty() {
+            self.sink.write_all(&self.buf)?;
+            self.buf.clear();
+            self.flushes += 1;
+        }
+        Ok(())
+    }
+
+    /// Flushes remaining buffered records and the sink; returns the sink.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        if !self.wrote_header {
+            self.sink.write_all(MAGIC)?;
+        }
+        self.spill()?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+
+    /// Number of buffer spills so far (tracer-overhead diagnostics).
+    pub fn flush_count(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Number of records written so far.
+    pub fn record_count(&self) -> u64 {
+        self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::reader::TraceReader;
+
+    fn rec(seq: u64, t: u64) -> EventRecord {
+        EventRecord {
+            rank: 0,
+            seq,
+            t_start: t,
+            t_end: t + 5,
+            kind: EventKind::Compute { work: 5 },
+        }
+    }
+
+    #[test]
+    fn writes_header_and_roundtrips() {
+        let mut w = TraceWriter::new(Vec::new(), 1 << 16);
+        for i in 0..10 {
+            w.record(&rec(i, i * 10)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(&bytes[..4], MAGIC);
+        let out: Vec<_> = TraceReader::new(bytes.as_slice(), 0)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9], rec(9, 90));
+    }
+
+    #[test]
+    fn small_buffer_flushes_repeatedly() {
+        let mut w = TraceWriter::new(Vec::new(), 64);
+        for i in 0..1000 {
+            w.record(&rec(i, i * 10)).unwrap();
+        }
+        assert!(w.flush_count() > 5, "flushes={}", w.flush_count());
+        assert_eq!(w.record_count(), 1000);
+        let bytes = w.finish().unwrap();
+        let n = TraceReader::new(bytes.as_slice(), 0).unwrap().count();
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn empty_trace_still_has_header() {
+        let w = TraceWriter::new(Vec::new(), 1024);
+        let bytes = w.finish().unwrap();
+        assert_eq!(&bytes[..], MAGIC);
+        assert_eq!(TraceReader::new(bytes.as_slice(), 0).unwrap().count(), 0);
+    }
+}

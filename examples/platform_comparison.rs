@@ -1,0 +1,67 @@
+//! Cross-platform what-if analysis (§5 + §6): microbenchmark two platforms,
+//! build the injected-delta model between them, and predict how a workload
+//! traced on the quiet platform would run on the noisy one — validated
+//! against a direct simulation.
+//!
+//! ```text
+//! cargo run --release --example platform_comparison
+//! ```
+
+use mpg::apps::{Stencil, Workload};
+use mpg::core::{ReplayConfig, Replayer};
+use mpg::micro::{delta_model, measure_signature};
+use mpg::noise::PlatformSignature;
+use mpg::sim::Simulation;
+
+fn main() {
+    let quiet = PlatformSignature::quiet("lightweight-kernel");
+    let noisy = PlatformSignature::noisy("full-service-os", 2.0);
+
+    println!("microbenchmarking both platforms (FTQ / ping-pong / bandwidth / Mraz)…");
+    let sig_quiet = measure_signature(&quiet, 1_000_000, 1_000, 1);
+    let sig_noisy = measure_signature(&noisy, 1_000_000, 1_000, 2);
+    for s in [&sig_quiet, &sig_noisy] {
+        println!(
+            "  {:>24}: FTQ noise mean {:>8.0} cyc/quantum, latency mean {:>6.0}, {:.3} cyc/B",
+            s.signature.name,
+            s.ftq_noise.mean(),
+            s.latency.mean(),
+            s.cycles_per_byte
+        );
+    }
+
+    let injected = delta_model("quiet->noisy", &sig_quiet, &sig_noisy);
+    println!(
+        "\ninjected-delta model: os mean {:.0} cyc/quantum, latency mean {:.0}, per-byte {:.4}",
+        injected.os_local.mean(),
+        injected.latency.mean(),
+        injected.per_byte
+    );
+
+    let stencil = Stencil { iters: 30, cells_per_rank: 2_000, work_per_cell: 40, halo_bytes: 2_048 };
+    let traced = Simulation::new(8, quiet)
+        .ideal_clocks()
+        .seed(3)
+        .run(|ctx| stencil.run(ctx))
+        .expect("quiet trace");
+    let report = Replayer::new(ReplayConfig::new(injected).seed(4))
+        .run(&traced.trace)
+        .expect("replay");
+    let predicted = *report.projected_finish_local.iter().max().expect("ranks");
+
+    let truth = Simulation::new(8, noisy)
+        .ideal_clocks()
+        .seed(3)
+        .run(|ctx| stencil.run(ctx))
+        .expect("noisy run")
+        .makespan();
+
+    println!("\nstencil on 8 ranks:");
+    println!("  traced on quiet      : {:>12} cycles", traced.makespan());
+    println!("  predicted on noisy   : {predicted:>12} cycles");
+    println!("  direct sim on noisy  : {truth:>12} cycles");
+    println!(
+        "  prediction error     : {:>11.1}%",
+        (predicted as f64 - truth as f64) / truth as f64 * 100.0
+    );
+}

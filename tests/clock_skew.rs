@@ -1,0 +1,143 @@
+//! §4.1, "Avoiding clock synchronization" — the analyzer must be invariant
+//! to arbitrary per-rank clock skew, and the (deliberately provided)
+//! clock-trusting mode must *not* be.
+
+use mpg::apps::{AllreduceSolver, MasterWorker, Pipeline, Stencil, TokenRing, Workload};
+use mpg::core::{AbsorptionMode, PerturbationModel, ReplayConfig, Replayer, SlackEstimate};
+use mpg::noise::{Dist, PlatformSignature};
+use mpg::sim::Simulation;
+use mpg::trace::ClockModel;
+
+fn workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
+    vec![
+        (
+            "token-ring",
+            Box::new(TokenRing { traversals: 2, particles_per_rank: 8, work_per_pair: 25 }),
+        ),
+        (
+            "stencil",
+            Box::new(Stencil { iters: 4, cells_per_rank: 500, work_per_cell: 20, halo_bytes: 256 }),
+        ),
+        (
+            "master-worker",
+            Box::new(MasterWorker { tasks: 12, task_work: 50_000, task_bytes: 64, result_bytes: 64 }),
+        ),
+        (
+            "allreduce-solver",
+            Box::new(AllreduceSolver { iters: 5, local_work: 100_000, vector_bytes: 128 }),
+        ),
+        (
+            "pipeline",
+            Box::new(Pipeline { waves: 4, work_per_stage: 50_000, payload: 256 }),
+        ),
+    ]
+}
+
+/// Extreme skew: offsets of hundreds of seconds and drifts far beyond real
+/// oscillators.
+fn extreme_clocks(p: u32) -> Vec<ClockModel> {
+    (0..p)
+        .map(|r| ClockModel {
+            offset: u64::from(r) * 1_000_000_000_000,
+            drift_ppm: f64::from(r) * 37.0 - 50.0,
+        })
+        .collect()
+}
+
+#[test]
+fn order_only_replay_is_skew_invariant_for_every_workload() {
+    for (name, w) in workloads() {
+        let p = 4u32;
+        let run = |clocks: Option<Vec<ClockModel>>| {
+            let mut sim = Simulation::new(p, PlatformSignature::quiet("lab")).seed(21);
+            sim = match clocks {
+                Some(c) => sim.clocks(c),
+                None => sim.ideal_clocks(),
+            };
+            sim.run(|ctx| w.run(ctx)).unwrap().trace
+        };
+        let ideal = run(None);
+        let skewed = run(Some(extreme_clocks(p)));
+
+        let mut model = PerturbationModel::quiet("m");
+        model.os_local = Dist::Exponential { mean: 900.0 }.into();
+        model.latency = Dist::Constant(400.0).into();
+        let a = Replayer::new(ReplayConfig::new(model.clone()).seed(5)).run(&ideal).unwrap();
+        let b = Replayer::new(ReplayConfig::new(model).seed(5)).run(&skewed).unwrap();
+        assert_eq!(a.final_drift, b.final_drift, "{name} drift depends on clocks");
+        assert_eq!(
+            a.stats.messages_matched, b.stats.messages_matched,
+            "{name} matching depends on clocks"
+        );
+    }
+}
+
+#[test]
+fn measured_slack_mode_breaks_under_skew() {
+    // The clock-trusting mode exists to demonstrate the paper's point: on
+    // synchronized traces it absorbs sender drift into measured receiver
+    // slack; under skewed clocks the "measured" slack is fiction.
+    //
+    // Scenario with genuine slack: rank 0 sends immediately, rank 1 computes
+    // for a long time before receiving — the message waits, so injected
+    // latency should be absorbed entirely.
+    let program = |ctx: &mut mpg::sim::RankCtx| {
+        if ctx.rank() == 0 {
+            ctx.send(1, 0, 64);
+        } else {
+            ctx.compute(5_000_000);
+            ctx.recv(0, 0);
+        }
+    };
+    let run = |clocks: Vec<ClockModel>| {
+        Simulation::new(2, PlatformSignature::quiet("lab"))
+            .seed(22)
+            .clocks(clocks)
+            .run(program)
+            .unwrap()
+            .trace
+    };
+    let ideal = run(vec![ClockModel::ideal(); 2]);
+    // Rank 0's clock runs far ahead: cross-clock send→recv differences go
+    // negative, so the measured slack collapses to zero.
+    let skewed = run(vec![
+        ClockModel { offset: 1_000_000_000_000, drift_ppm: 0.0 },
+        ClockModel::ideal(),
+    ]);
+
+    let mut model = PerturbationModel::quiet("m");
+    model.latency = Dist::Constant(700.0).into();
+    let est = SlackEstimate { latency: 2_000.0, cycles_per_byte: 0.5, overhead: 300.0 };
+    let cfg = |trace: &mpg::trace::MemTrace| {
+        Replayer::new(
+            ReplayConfig::new(model.clone())
+                .seed(5)
+                .ack_arm(false)
+                .absorption(AbsorptionMode::MeasuredSlack(est)),
+        )
+        .run(trace)
+        .unwrap()
+    };
+    let a = cfg(&ideal);
+    let b = cfg(&skewed);
+    // Synchronized clocks: ~5M cycles of real slack absorbs the 700-cycle
+    // injection completely.
+    assert_eq!(a.final_drift[1], 0, "{:?}", a.final_drift);
+    // Skewed clocks: slack is (wrongly) measured as zero, the injection
+    // propagates — the mode is corrupted, which is §4.1's argument.
+    assert_eq!(b.final_drift[1], 700, "{:?}", b.final_drift);
+}
+
+#[test]
+fn trace_timestamps_really_are_unsynchronized_by_default() {
+    let out = Simulation::new(3, PlatformSignature::quiet("lab"))
+        .seed(23)
+        .run(|ctx| {
+            ctx.barrier();
+        })
+        .unwrap();
+    // The barrier ends "simultaneously" in global time, but each rank's
+    // local record of it must disagree (different clock offsets).
+    let ends: Vec<u64> = (0..3).map(|r| out.trace.rank(r).last().unwrap().t_end).collect();
+    assert!(ends.windows(2).any(|w| w[0] != w[1]), "{ends:?}");
+}

@@ -1,0 +1,68 @@
+//! Whole-pipeline determinism: identical seeds must reproduce simulations,
+//! microbenchmarks, and replays bit for bit — across every crate boundary.
+
+use mpg::apps::{MasterWorker, Workload};
+use mpg::core::{PerturbationModel, ReplayConfig, Replayer};
+use mpg::des::{DimemasReplay, MachineModel};
+use mpg::micro::measure_signature;
+use mpg::noise::{Dist, PlatformSignature};
+use mpg::sim::Simulation;
+
+#[test]
+fn simulation_deterministic_across_noise_and_wildcards() {
+    // Master-worker exercises ANY_SOURCE matching — the hardest thing to
+    // keep deterministic under a threaded runtime.
+    let w = MasterWorker { tasks: 40, task_work: 30_000, task_bytes: 64, result_bytes: 32 };
+    let run = || {
+        Simulation::new(5, PlatformSignature::noisy("n", 1.5))
+            .seed(777)
+            .run(|ctx| w.run(ctx))
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.finish_times, b.finish_times);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn replay_deterministic_and_seed_sensitive() {
+    let w = MasterWorker { tasks: 20, task_work: 30_000, task_bytes: 64, result_bytes: 32 };
+    let trace = Simulation::new(4, PlatformSignature::quiet("q"))
+        .seed(1)
+        .run(|ctx| w.run(ctx))
+        .unwrap()
+        .trace;
+    let mut model = PerturbationModel::quiet("m");
+    model.os_local = Dist::Exponential { mean: 1_000.0 }.into();
+    let r = |seed: u64| {
+        Replayer::new(ReplayConfig::new(model.clone()).seed(seed)).run(&trace).unwrap()
+    };
+    assert_eq!(r(9).final_drift, r(9).final_drift);
+    assert_ne!(r(9).final_drift, r(10).final_drift);
+}
+
+#[test]
+fn microbenchmarks_deterministic() {
+    let p = PlatformSignature::noisy("n", 1.0);
+    let a = measure_signature(&p, 500_000, 300, 42);
+    let b = measure_signature(&p, 500_000, 300, 42);
+    assert_eq!(a.ftq_noise, b.ftq_noise);
+    assert_eq!(a.latency, b.latency);
+    assert_eq!(a.cycles_per_byte, b.cycles_per_byte);
+}
+
+#[test]
+fn des_baseline_deterministic() {
+    let w = MasterWorker { tasks: 20, task_work: 30_000, task_bytes: 64, result_bytes: 32 };
+    let trace = Simulation::new(4, PlatformSignature::quiet("q"))
+        .seed(2)
+        .run(|ctx| w.run(ctx))
+        .unwrap()
+        .trace;
+    let model = MachineModel::from_signature(&PlatformSignature::quiet("q"));
+    let a = DimemasReplay::new(model.clone()).run(&trace).unwrap();
+    let b = DimemasReplay::new(model).run(&trace).unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,185 @@
+//! Failure injection: the analyzer must handle *arbitrary* (including
+//! malformed) traces by returning an error — never panicking, hanging, or
+//! silently producing garbage. "The process of taking traces … has the
+//! benefit of using the fact that the program did run correctly" (§4.3);
+//! these tests cover the inputs where that assumption is violated.
+
+use proptest::prelude::*;
+
+use mpg::core::{PerturbationModel, ReplayConfig, Replayer};
+use mpg::des::{DimemasReplay, MachineModel};
+use mpg::noise::PlatformSignature;
+use mpg::trace::{EventKind, EventRecord, MemTrace};
+
+/// Arbitrary event kinds with small id spaces so collisions (duplicate
+/// requests, mismatched collectives, dangling peers) actually happen.
+fn kind_strategy(p: u32) -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::Init),
+        Just(EventKind::Finalize),
+        (1u64..10_000).prop_map(|work| EventKind::Compute { work }),
+        ((0..p), (0u32..3), (0u64..1_000), (0u8..4)).prop_map(|(peer, tag, bytes, pr)| {
+            EventKind::Send {
+                peer,
+                tag,
+                bytes,
+                protocol: match pr {
+                    0 => mpg::trace::SendProtocol::Standard,
+                    1 => mpg::trace::SendProtocol::Synchronous,
+                    2 => mpg::trace::SendProtocol::Buffered,
+                    _ => mpg::trace::SendProtocol::Ready,
+                },
+            }
+        }),
+        ((0..p), (0u32..3), (0u64..1_000)).prop_map(|(peer, tag, bytes)| EventKind::Recv {
+            peer,
+            tag,
+            bytes,
+            posted_any: false
+        }),
+        ((0..p), (0u32..3), (0u64..1_000), (1u64..6)).prop_map(|(peer, tag, bytes, req)| {
+            EventKind::Isend { peer, tag, bytes, req }
+        }),
+        ((0..p), (0u32..3), (0u64..1_000), (1u64..6)).prop_map(|(peer, tag, bytes, req)| {
+            EventKind::Irecv { peer, tag, bytes, req, posted_any: false }
+        }),
+        (1u64..6).prop_map(|req| EventKind::Wait { req }),
+        prop::collection::vec(1u64..6, 0..4).prop_map(|reqs| EventKind::WaitAll { reqs }),
+        ((1u64..6), any::<bool>())
+            .prop_map(|(req, completed)| EventKind::Test { req, completed }),
+        (1u32..6).prop_map(|comm_size| EventKind::Barrier { comm_size }),
+        ((0..p), (0u64..100), (1u32..6)).prop_map(|(root, bytes, comm_size)| {
+            EventKind::Bcast { root, bytes, comm_size }
+        }),
+        ((0u64..100), (1u32..6))
+            .prop_map(|(bytes, comm_size)| EventKind::Allreduce { bytes, comm_size }),
+        ((0u64..100), (1u32..6))
+            .prop_map(|(bytes, comm_size)| EventKind::Alltoall { bytes, comm_size }),
+    ]
+}
+
+fn arbitrary_trace(p: u32) -> impl Strategy<Value = MemTrace> {
+    prop::collection::vec(
+        prop::collection::vec((1u32..500, 1u32..500, kind_strategy(p)), 0..20),
+        1..=p as usize,
+    )
+    .prop_map(move |ranks| {
+        let mut mt = MemTrace::new(ranks.len());
+        for (r, events) in ranks.into_iter().enumerate() {
+            let mut t = 0u64;
+            for (i, (gap, dur, kind)) in events.into_iter().enumerate() {
+                let t_start = t + u64::from(gap);
+                let t_end = t_start + u64::from(dur);
+                t = t_end;
+                mt.push(EventRecord {
+                    rank: r as u32,
+                    seq: i as u64,
+                    t_start,
+                    t_end,
+                    kind,
+                });
+            }
+        }
+        mt
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The graph replayer terminates on arbitrary garbage with Ok or a
+    /// diagnostic error — no panic, no hang.
+    #[test]
+    fn replay_never_panics_on_garbage(trace in arbitrary_trace(4)) {
+        let replayer = Replayer::new(
+            ReplayConfig::new(PerturbationModel::quiet("fuzz")).record_graph(true),
+        );
+        let _ = replayer.run(&trace); // Ok or Err both acceptable
+    }
+
+    /// Same for the DES baseline.
+    #[test]
+    fn dimemas_never_panics_on_garbage(trace in arbitrary_trace(4)) {
+        let model = MachineModel::from_signature(&PlatformSignature::quiet("fuzz"));
+        let _ = DimemasReplay::new(model).run(&trace);
+    }
+
+    /// When a garbage trace happens to replay cleanly with the identity
+    /// model, the result must be zero drift — garbage in, *consistent*
+    /// garbage out.
+    #[test]
+    fn garbage_identity_replay_is_still_identity(trace in arbitrary_trace(3)) {
+        let replayer = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("fuzz")));
+        if let Ok(report) = replayer.run(&trace) {
+            prop_assert!(report.final_drift.iter().all(|&d| d == 0));
+        }
+    }
+}
+
+#[test]
+fn truncated_trace_stream_reports_error() {
+    // A trace whose stream dies mid-way must surface as ReplayError::Trace.
+    use mpg::trace::TraceError;
+    let streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>>>> = vec![
+        Box::new(
+            vec![
+                Ok(EventRecord {
+                    rank: 0,
+                    seq: 0,
+                    t_start: 0,
+                    t_end: 10,
+                    kind: EventKind::Init,
+                }),
+                Err(TraceError::Corrupt("disk died".into())),
+            ]
+            .into_iter(),
+        ),
+    ];
+    let err = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("t")))
+        .run_streams(streams)
+        .unwrap_err();
+    assert!(matches!(err, mpg::core::ReplayError::Trace(_)), "{err}");
+}
+
+#[test]
+fn backwards_clock_reports_corrupt() {
+    let mut mt = MemTrace::new(1);
+    mt.push(EventRecord { rank: 0, seq: 0, t_start: 0, t_end: 100, kind: EventKind::Init });
+    mt.push(EventRecord {
+        rank: 0,
+        seq: 1,
+        t_start: 50, // overlaps the previous event
+        t_end: 60,
+        kind: EventKind::Finalize,
+    });
+    let err = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("t")))
+        .run(&mt)
+        .unwrap_err();
+    assert!(matches!(err, mpg::core::ReplayError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn collective_size_mismatch_reports_corrupt() {
+    let mut mt = MemTrace::new(2);
+    for r in 0..2u32 {
+        mt.push(EventRecord { rank: r, seq: 0, t_start: 0, t_end: 10, kind: EventKind::Init });
+        mt.push(EventRecord {
+            rank: r,
+            seq: 1,
+            t_start: 10,
+            t_end: 20,
+            kind: EventKind::Barrier { comm_size: 99 },
+        });
+        mt.push(EventRecord {
+            rank: r,
+            seq: 2,
+            t_start: 20,
+            t_end: 30,
+            kind: EventKind::Finalize,
+        });
+    }
+    let err = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("t")))
+        .run(&mt)
+        .unwrap_err();
+    assert!(matches!(err, mpg::core::ReplayError::Corrupt(_)), "{err}");
+}

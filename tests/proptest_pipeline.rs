@@ -1,0 +1,170 @@
+//! Property tests over randomized workloads: the analyzer's core invariants
+//! must hold for *any* valid communication structure, not just the
+//! hand-written apps.
+
+use proptest::prelude::*;
+
+use mpg::core::{PerturbationModel, ReplayConfig, Replayer};
+use mpg::noise::{Dist, PlatformSignature};
+use mpg::sim::{RankCtx, Simulation};
+use mpg::trace::{validate_trace, MemTrace};
+
+/// A randomized but deadlock-free SPMD program: a sequence of phases, each
+/// either local compute, a ring shift, a pairwise exchange, or a collective.
+#[derive(Debug, Clone)]
+enum Phase {
+    Compute(u64),
+    RingShift { bytes: u64 },
+    PairExchange { bytes: u64, nonblocking: bool },
+    Barrier,
+    Allreduce { bytes: u64 },
+    Bcast { root_idx: u32, bytes: u64 },
+    /// Split into even/odd sub-communicators and allreduce within each.
+    SplitAllreduce { bytes: u64 },
+}
+
+fn phase_strategy() -> impl Strategy<Value = Phase> {
+    prop_oneof![
+        (1_000u64..200_000).prop_map(Phase::Compute),
+        (1u64..8_192).prop_map(|bytes| Phase::RingShift { bytes }),
+        ((1u64..8_192), any::<bool>())
+            .prop_map(|(bytes, nonblocking)| Phase::PairExchange { bytes, nonblocking }),
+        Just(Phase::Barrier),
+        (1u64..4_096).prop_map(|bytes| Phase::Allreduce { bytes }),
+        ((0u32..64), (1u64..4_096)).prop_map(|(root_idx, bytes)| Phase::Bcast { root_idx, bytes }),
+        (1u64..2_048).prop_map(|bytes| Phase::SplitAllreduce { bytes }),
+    ]
+}
+
+fn run_phases(ctx: &mut RankCtx, phases: &[Phase]) {
+    let p = ctx.size();
+    let r = ctx.rank();
+    for ph in phases {
+        match *ph {
+            Phase::Compute(work) => ctx.compute(work),
+            Phase::RingShift { bytes } => {
+                ctx.sendrecv((r + 1) % p, 7, bytes, (r + p - 1) % p, 7);
+            }
+            Phase::PairExchange { bytes, nonblocking } => {
+                // Partner within pairs (0↔1, 2↔3, …); odd rank out idles.
+                let partner = if r.is_multiple_of(2) { r + 1 } else { r - 1 };
+                if partner >= p {
+                    ctx.compute(1_000);
+                    continue;
+                }
+                if nonblocking {
+                    let a = ctx.irecv(partner, 9);
+                    let b = ctx.isend(partner, 9, bytes);
+                    ctx.waitall(&[a, b]);
+                } else if r.is_multiple_of(2) {
+                    ctx.send(partner, 9, bytes);
+                    ctx.recv(partner, 9);
+                } else {
+                    ctx.recv(partner, 9);
+                    ctx.send(partner, 9, bytes);
+                }
+            }
+            Phase::Barrier => ctx.barrier(),
+            Phase::Allreduce { bytes } => ctx.allreduce(bytes),
+            Phase::Bcast { root_idx, bytes } => ctx.bcast(root_idx % p, bytes),
+            Phase::SplitAllreduce { bytes } => {
+                let world = ctx.comm_world();
+                let sub = ctx.comm_split(&world, |gr| gr % 2, |gr| gr);
+                ctx.allreduce_on(&sub, bytes);
+            }
+        }
+    }
+}
+
+fn trace_of(phases: &[Phase], p: u32, seed: u64) -> MemTrace {
+    Simulation::new(p, PlatformSignature::quiet("prop"))
+        .seed(seed)
+        .run(|ctx| run_phases(ctx, phases))
+        .expect("generated program must not deadlock")
+        .trace
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Any generated trace is structurally valid and the identity replay
+    /// reproduces it exactly (zero drift everywhere).
+    #[test]
+    fn identity_replay_is_exact(
+        phases in prop::collection::vec(phase_strategy(), 1..12),
+        p in 2u32..6,
+        seed in 0u64..1_000,
+    ) {
+        let trace = trace_of(&phases, p, seed);
+        prop_assert!(validate_trace(&trace).is_empty());
+        let report = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("id")))
+            .run(&trace)
+            .unwrap();
+        prop_assert_eq!(report.final_drift, vec![0; p as usize]);
+        prop_assert!(report.warnings.is_empty());
+    }
+
+    /// Drift is monotone in the injected constant: more noise per edge can
+    /// never finish earlier.
+    #[test]
+    fn drift_monotone_in_injection(
+        phases in prop::collection::vec(phase_strategy(), 1..10),
+        p in 2u32..5,
+    ) {
+        let trace = trace_of(&phases, p, 3);
+        let drift_at = |c: f64| {
+            let mut m = PerturbationModel::quiet("mono");
+            m.latency = Dist::Constant(c).into();
+            m.os_local = Dist::Constant(c / 2.0).into();
+            Replayer::new(ReplayConfig::new(m)).run(&trace).unwrap().final_drift
+        };
+        let lo = drift_at(100.0);
+        let hi = drift_at(1_000.0);
+        for (l, h) in lo.iter().zip(hi.iter()) {
+            prop_assert!(h >= l, "lo={lo:?} hi={hi:?}");
+        }
+    }
+
+    /// The recorded explicit graph's generic propagation agrees with the
+    /// streaming engine on every rank (semantics live in the graph, §2).
+    #[test]
+    fn graph_walk_equals_streaming(
+        phases in prop::collection::vec(phase_strategy(), 1..10),
+        p in 2u32..5,
+        seed in 0u64..100,
+    ) {
+        let trace = trace_of(&phases, p, seed);
+        let mut m = PerturbationModel::quiet("g");
+        m.latency = Dist::Exponential { mean: 700.0 }.into();
+        m.os_local = Dist::Exponential { mean: 300.0 }.into();
+        let report = Replayer::new(ReplayConfig::new(m).seed(seed).record_graph(true))
+            .run(&trace)
+            .unwrap();
+        let graph = report.graph.as_ref().unwrap();
+        prop_assert_eq!(graph.final_drifts(), report.final_drift);
+    }
+
+    /// Replay drift is invariant to per-rank clock skew (§4.1).
+    #[test]
+    fn skew_invariance(
+        phases in prop::collection::vec(phase_strategy(), 1..8),
+        p in 2u32..5,
+    ) {
+        let ideal = Simulation::new(p, PlatformSignature::quiet("prop"))
+            .ideal_clocks()
+            .seed(4)
+            .run(|ctx| run_phases(ctx, &phases))
+            .unwrap()
+            .trace;
+        let skewed = Simulation::new(p, PlatformSignature::quiet("prop"))
+            .seed(4)
+            .run(|ctx| run_phases(ctx, &phases))
+            .unwrap()
+            .trace;
+        let mut m = PerturbationModel::quiet("s");
+        m.latency = Dist::Constant(500.0).into();
+        let a = Replayer::new(ReplayConfig::new(m.clone()).seed(1)).run(&ideal).unwrap();
+        let b = Replayer::new(ReplayConfig::new(m).seed(1)).run(&skewed).unwrap();
+        prop_assert_eq!(a.final_drift, b.final_drift);
+    }
+}
