@@ -9,13 +9,24 @@
 //! mpgtool stats <trace-dir>
 //!     Event/kind statistics and the communication matrix.
 //!
-//! mpgtool validate <trace-dir>
-//!     Structural validation (§4.3 preconditions).
+//! mpgtool validate <trace-dir> [--json]
+//!     Structural validation (§4.3 preconditions), reported as MPG-* rule
+//!     diagnostics.
+//!
+//! mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]...
+//!     Static defect analysis: match resolution, deadlock cycles, graph
+//!     causality, wildcard races, collective consistency. Advisory
+//!     (info-severity) findings are hidden unless --all is given; --deny
+//!     escalates a rule to error severity. Exit code contract: 0 when no
+//!     error-severity diagnostic fired, 1 when at least one did, 2 on
+//!     usage or I/O errors.
 //!
 //! mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES]
-//!                [--per-byte CPB] [--seed S] [--history FILE]
+//!                [--per-byte CPB] [--seed S] [--history FILE] [--lint]
 //!     Replay under an injected-perturbation model; print per-rank drifts.
 //!     With --history, append the result to an analysis-history log (§7).
+//!     With --lint, refuse to replay a trace that has error-severity lint
+//!     diagnostics.
 //!
 //! mpgtool dot <trace-dir>
 //!     Print the message-passing graph as Graphviz DOT (Fig. 5).
@@ -44,7 +55,10 @@ use mpg_core::timeline::render_trace_gantt;
 use mpg_core::{dot, PerturbationModel, ReplayConfig, Replayer};
 use mpg_noise::{Dist, PlatformSignature};
 use mpg_sim::Simulation;
-use mpg_trace::{text_to_trace, trace_stats, trace_to_text, validate_trace, FileTraceSet};
+use mpg_trace::{
+    sort_diagnostics, text_to_trace, trace_stats, trace_to_text, validate_trace,
+    validate_trace_diagnostics, Diagnostic, FileTraceSet, Rule, Severity,
+};
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("mpgtool: {msg}");
@@ -59,10 +73,11 @@ fn usage() -> ExitCode {
          [--ranks N] [--seed S] <trace-dir>"
     );
     eprintln!("  mpgtool stats <trace-dir>");
-    eprintln!("  mpgtool validate <trace-dir>");
+    eprintln!("  mpgtool validate <trace-dir> [--json]");
+    eprintln!("  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]...");
     eprintln!(
         "  mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES] [--per-byte CPB] \
-         [--seed S] [--history FILE]"
+         [--seed S] [--history FILE] [--lint]"
     );
     eprintln!("  mpgtool dot <trace-dir>");
     eprintln!("  mpgtool export <trace-dir>");
@@ -83,9 +98,29 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
     Some(v)
 }
 
+/// Pulls a bare `--flag` switch out of `args`.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Renders diagnostics as a JSON array (one object per diagnostic).
+fn diags_to_json(diags: &[&Diagnostic]) -> String {
+    let objs: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+    format!("[{}]", objs.join(","))
+}
+
 fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
     Some(match name {
-        "ring" => Box::new(TokenRing { traversals: 5, particles_per_rank: 16, work_per_pair: 25 }),
+        "ring" => Box::new(TokenRing {
+            traversals: 5,
+            particles_per_rank: 16,
+            work_per_pair: 25,
+        }),
         "stencil" => Box::new(Stencil {
             iters: 20,
             cells_per_rank: 2_000,
@@ -98,10 +133,16 @@ fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
             task_bytes: 128,
             result_bytes: 128,
         }),
-        "solver" => {
-            Box::new(AllreduceSolver { iters: 20, local_work: 200_000, vector_bytes: 256 })
-        }
-        "pipeline" => Box::new(Pipeline { waves: 20, work_per_stage: 100_000, payload: 512 }),
+        "solver" => Box::new(AllreduceSolver {
+            iters: 20,
+            local_work: 200_000,
+            vector_bytes: 256,
+        }),
+        "pipeline" => Box::new(Pipeline {
+            waves: 20,
+            work_per_stage: 100_000,
+            payload: 512,
+        }),
         "transpose" => Box::new(Transpose {
             steps: 10,
             rows_per_rank: 32,
@@ -168,24 +209,99 @@ fn cmd_stats(args: Vec<String>) -> ExitCode {
     }
 }
 
-fn cmd_validate(args: Vec<String>) -> ExitCode {
+fn cmd_validate(mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
     let [dir] = args.as_slice() else {
         return fail("validate needs a trace directory");
     };
     match open_trace(dir) {
         Ok(trace) => {
-            let violations = validate_trace(&trace);
-            if violations.is_empty() {
-                println!("ok: {} events across {} ranks", trace.total_events(), trace.num_ranks());
+            let mut diags = validate_trace_diagnostics(&trace);
+            sort_diagnostics(&mut diags);
+            let shown: Vec<&Diagnostic> = diags.iter().collect();
+            if json {
+                println!("{}", diags_to_json(&shown));
+            } else if diags.is_empty() {
+                println!(
+                    "ok: {} events across {} ranks",
+                    trace.total_events(),
+                    trace.num_ranks()
+                );
+            } else {
+                for d in &shown {
+                    println!("{d}");
+                }
+            }
+            if diags.is_empty() {
                 ExitCode::SUCCESS
             } else {
-                for v in &violations {
-                    println!("violation: {v:?}");
-                }
                 ExitCode::FAILURE
             }
         }
         Err(e) => fail(&e),
+    }
+}
+
+/// `mpgtool lint`: the full static-analysis pipeline of `mpg-lint`.
+///
+/// Exit code contract (also used by `validate`): 0 when no error-severity
+/// diagnostic fired, 1 when at least one did, 2 on usage or I/O errors.
+fn cmd_lint(mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
+    let all = take_switch(&mut args, "--all");
+    let mut deny: Vec<Rule> = Vec::new();
+    while let Some(code) = take_flag(&mut args, "--deny") {
+        match Rule::from_code(&code) {
+            Some(r) => deny.push(r),
+            None => return fail(&format!("unknown rule '{code}' for --deny")),
+        }
+    }
+    let [dir] = args.as_slice() else {
+        return fail("lint needs a trace directory");
+    };
+    let trace = match open_trace(dir) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let mut diags = mpg_lint::lint_full(&trace);
+    for d in &mut diags {
+        if deny.contains(&d.rule) {
+            d.severity = Severity::Error;
+        }
+    }
+    sort_diagnostics(&mut diags);
+    let shown: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| all || d.severity >= Severity::Warning)
+        .collect();
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if json {
+        println!("{}", diags_to_json(&shown));
+    } else {
+        for d in &shown {
+            println!("{d}");
+        }
+        let hidden = diags.len() - shown.len();
+        let mut summary =
+            format!(
+            "lint: {errors} error(s), {} warning(s), {} advisory(ies) in {} events across {} ranks",
+            diags.iter().filter(|d| d.severity == Severity::Warning).count(),
+            diags.iter().filter(|d| d.severity == Severity::Info).count(),
+            trace.total_events(),
+            trace.num_ranks()
+        );
+        if hidden > 0 {
+            summary.push_str(&format!(" ({hidden} hidden; use --all)"));
+        }
+        println!("{summary}");
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -203,6 +319,7 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         .and_then(|v| v.parse().ok())
         .unwrap_or(0);
     let history = take_flag(&mut args, "--history");
+    let lint = take_switch(&mut args, "--lint");
     let [dir] = args.as_slice() else {
         return fail("replay needs a trace directory");
     };
@@ -221,8 +338,22 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     model.per_byte = per_byte;
     model.name = format!("os={os_mean} latency={latency} per_byte={per_byte}");
 
-    let report = match Replayer::new(ReplayConfig::new(model).seed(seed)).run(&trace) {
+    let mut cfg = ReplayConfig::new(model).seed(seed);
+    if lint {
+        cfg = cfg.gate(mpg_lint::replay_gate());
+    }
+    let report = match Replayer::new(cfg).run(&trace) {
         Ok(r) => r,
+        Err(mpg_core::ReplayError::Gated(diags)) => {
+            for d in &diags {
+                eprintln!("mpgtool: {d}");
+            }
+            eprintln!(
+                "mpgtool: trace rejected by lint gate ({} error(s))",
+                diags.len()
+            );
+            return ExitCode::FAILURE;
+        }
         Err(e) => return fail(&format!("replay failed: {e}")),
     };
     println!("model: {}", report.model_name);
@@ -263,15 +394,17 @@ fn cmd_dot(args: Vec<String>) -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(&e),
     };
-    let report = match Replayer::new(
-        ReplayConfig::new(PerturbationModel::quiet("dot")).record_graph(true),
-    )
-    .run(&trace)
-    {
-        Ok(r) => r,
-        Err(e) => return fail(&format!("replay failed: {e}")),
-    };
-    print!("{}", dot::to_dot(report.graph.as_ref().expect("graph recorded"), dir));
+    let report =
+        match Replayer::new(ReplayConfig::new(PerturbationModel::quiet("dot")).record_graph(true))
+            .run(&trace)
+        {
+            Ok(r) => r,
+            Err(e) => return fail(&format!("replay failed: {e}")),
+        };
+    print!(
+        "{}",
+        dot::to_dot(report.graph.as_ref().expect("graph recorded"), dir)
+    );
     ExitCode::SUCCESS
 }
 
@@ -302,7 +435,10 @@ fn cmd_import(args: Vec<String>) -> ExitCode {
     };
     let violations = validate_trace(&trace);
     if !violations.is_empty() {
-        eprintln!("mpgtool: warning: imported trace has {} violation(s)", violations.len());
+        eprintln!(
+            "mpgtool: warning: imported trace has {} violation(s)",
+            violations.len()
+        );
     }
     if let Err(e) = trace.save(&PathBuf::from(dir)) {
         return fail(&format!("writing trace: {e}"));
@@ -341,12 +477,20 @@ fn cmd_diff(args: Vec<String>) -> ExitCode {
     };
     let (sa, sb) = (trace_stats(&ta), trace_stats(&tb));
     println!("{:>12} {:>20} {:>20} {:>10}", "kind", a, b, "ratio");
-    let kinds: std::collections::BTreeSet<&str> =
-        sa.by_kind.keys().chain(sb.by_kind.keys()).copied().collect();
+    let kinds: std::collections::BTreeSet<&str> = sa
+        .by_kind
+        .keys()
+        .chain(sb.by_kind.keys())
+        .copied()
+        .collect();
     for kind in kinds {
         let ca = sa.by_kind.get(kind).map_or(0, |k| k.total_cycles);
         let cb = sb.by_kind.get(kind).map_or(0, |k| k.total_cycles);
-        let ratio = if ca == 0 { f64::INFINITY } else { cb as f64 / ca as f64 };
+        let ratio = if ca == 0 {
+            f64::INFINITY
+        } else {
+            cb as f64 / ca as f64
+        };
         println!("{kind:>12} {ca:>20} {cb:>20} {ratio:>10.3}");
     }
     println!(
@@ -354,7 +498,11 @@ fn cmd_diff(args: Vec<String>) -> ExitCode {
         "total span",
         sa.total_span,
         sb.total_span,
-        if sa.total_span == 0 { f64::INFINITY } else { sb.total_span as f64 / sa.total_span as f64 }
+        if sa.total_span == 0 {
+            f64::INFINITY
+        } else {
+            sb.total_span as f64 / sa.total_span as f64
+        }
     );
     ExitCode::SUCCESS
 }
@@ -369,6 +517,7 @@ fn main() -> ExitCode {
         "demo" => cmd_demo(args),
         "stats" => cmd_stats(args),
         "validate" => cmd_validate(args),
+        "lint" => cmd_lint(args),
         "replay" => cmd_replay(args),
         "dot" => cmd_dot(args),
         "export" => cmd_export(args),

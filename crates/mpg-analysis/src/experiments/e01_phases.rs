@@ -35,9 +35,17 @@ impl Experiment for Phases {
 
         let mut table = Table::new(
             "per-rank phase structure",
-            &["rank", "compute phases", "messaging phases", "compute %", "messaging %"],
+            &[
+                "rank",
+                "compute phases",
+                "messaging phases",
+                "compute %",
+                "messaging %",
+            ],
         );
-        let mut notes = vec![String::from("phase render (C=compute, m=messaging, .=single):")];
+        let mut notes = vec![String::from(
+            "phase render (C=compute, m=messaging, .=single):",
+        )];
         for r in 0..p as usize {
             let ph = phases(out.trace.rank(r));
             let total: u64 = ph.iter().map(|x| x.duration()).sum();
@@ -57,6 +65,11 @@ impl Experiment for Phases {
             ]);
             notes.push(format!("rank {r}: {}", render_phases(&ph, 72)));
         }
-        ExperimentResult { id: self.id(), title: self.title(), tables: vec![table], notes }
+        ExperimentResult {
+            id: self.id(),
+            title: self.title(),
+            tables: vec![table],
+            notes,
+        }
     }
 }

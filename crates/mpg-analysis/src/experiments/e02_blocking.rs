@@ -56,8 +56,14 @@ impl Experiment for BlockingPair {
         let mut table = Table::new(
             "Eq. 1 closed form vs replay (d = 4096 B)",
             &[
-                "δλ", "δt/byte", "δos2", "predicted D(recv)", "measured D(recv)",
-                "predicted D(send)", "measured D(send)", "exact",
+                "δλ",
+                "δt/byte",
+                "δos2",
+                "predicted D(recv)",
+                "measured D(recv)",
+                "predicted D(send)",
+                "measured D(send)",
+                "exact",
             ],
         );
         for (lambda, per_byte, os2) in sweeps {
@@ -65,7 +71,9 @@ impl Experiment for BlockingPair {
             model.latency = Dist::Constant(lambda).into();
             model.per_byte = per_byte;
             model.os_remote = Dist::Constant(os2).into();
-            let report = Replayer::new(ReplayConfig::new(model)).run(&trace).expect("replays");
+            let report = Replayer::new(ReplayConfig::new(model))
+                .run(&trace)
+                .expect("replays");
             let pred_recv = (lambda + per_byte * bytes as f64 + os2).round() as i64;
             let pred_send = pred_recv + lambda.round() as i64;
             let exact = report.final_drift[1] == pred_recv && report.final_drift[0] == pred_send;

@@ -67,7 +67,7 @@ impl Experiment for NonblockingPair {
                     .unwrap_or(0);
                 let expected = match (&ev.kind, r) {
                     (EventKind::Isend { .. }, _) | (EventKind::Irecv { .. }, _) => "0",
-                    (EventKind::Wait { .. }, 1) => "700",  // δλ1
+                    (EventKind::Wait { .. }, 1) => "700", // δλ1
                     (EventKind::Wait { .. }, 0) => "1400", // ack: δλ1 + δλ2
                     _ => "-",
                 };
@@ -99,10 +99,17 @@ impl Experiment for NonblockingPair {
             })
             .expect("interleaved pair runs")
             .trace;
-        let report2 = Replayer::new(ReplayConfig::new(model)).run(&trace2).expect("replays");
+        let report2 = Replayer::new(ReplayConfig::new(model))
+            .run(&trace2)
+            .expect("replays");
         let mut table2 = Table::new(
             "interleaved requests: waitall takes the worst arm",
-            &["outstanding reqs", "D(recv waitall)", "D(send waitall)", "warnings"],
+            &[
+                "outstanding reqs",
+                "D(recv waitall)",
+                "D(send waitall)",
+                "warnings",
+            ],
         );
         table2.row(vec![
             depth.to_string(),

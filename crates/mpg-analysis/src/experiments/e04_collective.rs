@@ -30,12 +30,23 @@ impl Experiment for CollectiveModel {
     }
 
     fn run(&self, quick: bool) -> ExperimentResult {
-        let sizes: Vec<u32> = if quick { vec![4, 8] } else { vec![4, 16, 64, 256] };
+        let sizes: Vec<u32> = if quick {
+            vec![4, 8]
+        } else {
+            vec![4, 16, 64, 256]
+        };
         let mut table = Table::new(
             "per-collective drift and analysis cost (δλ = 1000/hop)",
             &[
-                "p", "rounds", "abstract drift", "butterfly drift", "ratio",
-                "abstract events", "butterfly events", "abstract µs", "butterfly µs",
+                "p",
+                "rounds",
+                "abstract drift",
+                "butterfly drift",
+                "ratio",
+                "abstract events",
+                "butterfly events",
+                "abstract µs",
+                "butterfly µs",
             ],
         );
         for p in sizes {

@@ -48,11 +48,10 @@ impl Experiment for DotExport {
             .expect("blocking chain runs")
             .trace;
 
-        let report = Replayer::new(
-            ReplayConfig::new(PerturbationModel::quiet("fig5")).record_graph(true),
-        )
-        .run(&trace)
-        .expect("replays");
+        let report =
+            Replayer::new(ReplayConfig::new(PerturbationModel::quiet("fig5")).record_graph(true))
+                .run(&trace)
+                .expect("replays");
         let graph = report.graph.expect("graph recorded");
         let dot = to_dot(&graph, "fig5-blocking-trace");
 
@@ -79,6 +78,11 @@ impl Experiment for DotExport {
         notes.push("first lines of the DOT output:".into());
         notes.extend(dot.lines().take(12).map(|l| format!("  {l}")));
 
-        ExperimentResult { id: self.id(), title: self.title(), tables: vec![table], notes }
+        ExperimentResult {
+            id: self.id(),
+            title: self.title(),
+            tables: vec![table],
+            notes,
+        }
     }
 }

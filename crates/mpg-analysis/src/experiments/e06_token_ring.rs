@@ -37,7 +37,11 @@ impl Experiment for TokenRingSweep {
     fn run(&self, quick: bool) -> ExperimentResult {
         let p: u32 = if quick { 16 } else { 128 };
         let traversals = 10u32;
-        let ring = TokenRing { traversals, particles_per_rank: 8, work_per_pair: 20 };
+        let ring = TokenRing {
+            traversals,
+            particles_per_rank: 8,
+            work_per_pair: 20,
+        };
         let out = Simulation::new(p, PlatformSignature::quiet("bproc-like"))
             .ideal_clocks()
             .seed(61)
@@ -47,8 +51,12 @@ impl Experiment for TokenRingSweep {
         let mut table = Table::new(
             format!("token ring, p = {p}, T = {traversals} traversals"),
             &[
-                "noise/msg (cycles)", "predicted Δ = noise·T·p", "measured mean Δ",
-                "measured min Δ", "measured max Δ", "mean/pred",
+                "noise/msg (cycles)",
+                "predicted Δ = noise·T·p",
+                "measured mean Δ",
+                "measured min Δ",
+                "measured max Δ",
+                "mean/pred",
             ],
         );
         let mut worst_ratio_err: f64 = 0.0;
@@ -64,7 +72,11 @@ impl Experiment for TokenRingSweep {
             let mean = report.mean_final_drift();
             let min = *report.final_drift.iter().min().expect("ranks") as f64;
             let max = *report.final_drift.iter().max().expect("ranks") as f64;
-            let ratio = if predicted == 0.0 { 1.0 } else { mean / predicted };
+            let ratio = if predicted == 0.0 {
+                1.0
+            } else {
+                mean / predicted
+            };
             if predicted > 0.0 {
                 worst_ratio_err = worst_ratio_err.max((ratio - 1.0).abs());
             }

@@ -29,15 +29,27 @@ impl Experiment for WindowedStreaming {
     }
 
     fn run(&self, quick: bool) -> ExperimentResult {
-        let traversal_counts: Vec<u32> =
-            if quick { vec![1, 4] } else { vec![1, 4, 16, 64] };
+        let traversal_counts: Vec<u32> = if quick {
+            vec![1, 4]
+        } else {
+            vec![1, 4, 16, 64]
+        };
         let p = 8;
         let mut table = Table::new(
             "retained state vs trace length (token ring, p = 8)",
-            &["traversals", "trace events", "stream window high-water", "full graph edges"],
+            &[
+                "traversals",
+                "trace events",
+                "stream window high-water",
+                "full graph edges",
+            ],
         );
         for traversals in traversal_counts {
-            let ring = TokenRing { traversals, particles_per_rank: 4, work_per_pair: 10 };
+            let ring = TokenRing {
+                traversals,
+                particles_per_rank: 4,
+                work_per_pair: 10,
+            };
             let trace = Simulation::new(p, PlatformSignature::quiet("lab"))
                 .ideal_clocks()
                 .seed(7)
@@ -47,11 +59,10 @@ impl Experiment for WindowedStreaming {
             let streaming = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("w")))
                 .run(&trace)
                 .expect("replays");
-            let recorded = Replayer::new(
-                ReplayConfig::new(PerturbationModel::quiet("w")).record_graph(true),
-            )
-            .run(&trace)
-            .expect("replays");
+            let recorded =
+                Replayer::new(ReplayConfig::new(PerturbationModel::quiet("w")).record_graph(true))
+                    .run(&trace)
+                    .expect("replays");
             table.row(vec![
                 traversals.to_string(),
                 trace.total_events().to_string(),

@@ -71,10 +71,19 @@ impl Experiment for DesComparison {
         ];
 
         let mut table = Table::new(
-            format!("predicted makespan on '{}' from a '{}' trace (p = {p})", target.name, quiet.name),
+            format!(
+                "predicted makespan on '{}' from a '{}' trace (p = {p})",
+                target.name, quiet.name
+            ),
             &[
-                "workload", "truth", "graph pred", "graph err", "DES pred", "DES err",
-                "graph kev/s", "DES kev/s",
+                "workload",
+                "truth",
+                "graph pred",
+                "graph err",
+                "DES pred",
+                "DES err",
+                "graph kev/s",
+                "DES kev/s",
             ],
         );
         for (name, w) in &workloads {

@@ -33,11 +33,27 @@ impl Experiment for LlnConvergence {
     fn run(&self, quick: bool) -> ExperimentResult {
         let families: Vec<(&str, Dist)> = vec![
             ("exponential(500)", Dist::Exponential { mean: 500.0 }),
-            ("lognormal(6,0.5)", Dist::LogNormal { mu: 6.0, sigma: 0.5 }),
-            ("pareto(100,2.5)", Dist::Pareto { x_m: 100.0, alpha: 2.5 }),
+            (
+                "lognormal(6,0.5)",
+                Dist::LogNormal {
+                    mu: 6.0,
+                    sigma: 0.5,
+                },
+            ),
+            (
+                "pareto(100,2.5)",
+                Dist::Pareto {
+                    x_m: 100.0,
+                    alpha: 2.5,
+                },
+            ),
             (
                 "daemon-mixture",
-                Dist::mixture(0.9, Dist::Exponential { mean: 200.0 }, Dist::Constant(5_000.0)),
+                Dist::mixture(
+                    0.9,
+                    Dist::Exponential { mean: 200.0 },
+                    Dist::Constant(5_000.0),
+                ),
             ),
         ];
         let ns: Vec<usize> = if quick {

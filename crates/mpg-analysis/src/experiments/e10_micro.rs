@@ -34,8 +34,13 @@ impl Experiment for MicroSignatures {
         let mut table = Table::new(
             "measured platform signatures",
             &[
-                "platform", "FTQ overhead", "FTQ p99 (cyc)", "latency mean", "latency p99",
-                "cycles/byte", "Mraz excess mean",
+                "platform",
+                "FTQ overhead",
+                "FTQ p99 (cyc)",
+                "latency mean",
+                "latency p99",
+                "cycles/byte",
+                "Mraz excess mean",
             ],
         );
         for sig in &platforms {

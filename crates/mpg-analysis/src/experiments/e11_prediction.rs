@@ -38,7 +38,11 @@ impl Experiment for CrossPlatform {
         let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
             (
                 "token-ring",
-                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+                Box::new(TokenRing {
+                    traversals: 4,
+                    particles_per_rank: 8,
+                    work_per_pair: 50,
+                }),
             ),
             (
                 "stencil",
@@ -70,7 +74,14 @@ impl Experiment for CrossPlatform {
         let sig_quiet = measure_signature(&quiet, 1_000_000, samples, 111);
         let mut table = Table::new(
             format!("quiet trace → noisy target prediction (p = {p})"),
-            &["workload", "target scale", "traced", "predicted", "truth", "rel err"],
+            &[
+                "workload",
+                "target scale",
+                "traced",
+                "predicted",
+                "truth",
+                "rel err",
+            ],
         );
         for scale in [1.0f64, 4.0] {
             let target = PlatformSignature::noisy(&format!("noisy-{scale}"), scale);
@@ -91,11 +102,7 @@ impl Experiment for CrossPlatform {
                 let report = Replayer::new(ReplayConfig::new(injected.clone()).seed(5))
                     .run(&traced.trace)
                     .expect("replay");
-                let predicted = *report
-                    .projected_finish_local
-                    .iter()
-                    .max()
-                    .expect("ranks") as f64;
+                let predicted = *report.projected_finish_local.iter().max().expect("ranks") as f64;
                 table.row(vec![
                     name.to_string(),
                     format!("{scale}"),

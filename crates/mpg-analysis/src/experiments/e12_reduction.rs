@@ -38,7 +38,11 @@ impl Experiment for NoiseReduction {
         let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
             (
                 "token-ring",
-                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+                Box::new(TokenRing {
+                    traversals: 4,
+                    particles_per_rank: 8,
+                    work_per_pair: 50,
+                }),
             ),
             (
                 "allreduce-solver",
@@ -53,8 +57,7 @@ impl Experiment for NoiseReduction {
         // Measure the noisy platform's per-interval noise; negate it.
         let sig_noisy = measure_signature(&noisy, 1_000_000, samples, 121);
         let mut model = PerturbationModel::quiet("denoise");
-        model.os_local =
-            SignedDist::negative(Dist::Empirical(sig_noisy.ftq_noise.clone()));
+        model.os_local = SignedDist::negative(Dist::Empirical(sig_noisy.ftq_noise.clone()));
         model.os_quantum = Some(sig_noisy.ftq_quantum);
         model.latency = SignedDist::negative(Dist::Constant(
             (sig_noisy.latency.mean() - 2_000.0).max(0.0),
@@ -62,7 +65,14 @@ impl Experiment for NoiseReduction {
 
         let mut table = Table::new(
             format!("noisy trace → quiet prediction via negative deltas (p = {p})"),
-            &["workload", "noisy traced", "predicted quiet", "true quiet", "rel err", "speedup"],
+            &[
+                "workload",
+                "noisy traced",
+                "predicted quiet",
+                "true quiet",
+                "rel err",
+                "speedup",
+            ],
         );
         for (name, w) in &workloads {
             let noisy_run = Simulation::new(p, noisy.clone())
@@ -78,16 +88,11 @@ impl Experiment for NoiseReduction {
                 .makespan() as f64;
             // Arrival-bound semantics: negative message deltas may pull
             // receive completions earlier (see ReplayConfig::arrival_bound).
-            let report = Replayer::new(
-                ReplayConfig::new(model.clone()).seed(6).arrival_bound(true),
-            )
-            .run(&noisy_run.trace)
-            .expect("replay");
-            let predicted = *report
-                .projected_finish_local
-                .iter()
-                .max()
-                .expect("ranks") as f64;
+            let report =
+                Replayer::new(ReplayConfig::new(model.clone()).seed(6).arrival_bound(true))
+                    .run(&noisy_run.trace)
+                    .expect("replay");
+            let predicted = *report.projected_finish_local.iter().max().expect("ranks") as f64;
             let traced = noisy_run.makespan() as f64;
             table.row(vec![
                 name.to_string(),

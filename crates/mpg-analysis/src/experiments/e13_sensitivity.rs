@@ -35,7 +35,11 @@ impl Experiment for Sensitivity {
         let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
             (
                 "token-ring",
-                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+                Box::new(TokenRing {
+                    traversals: 4,
+                    particles_per_rank: 8,
+                    work_per_pair: 50,
+                }),
             ),
             (
                 "allreduce-solver",
@@ -64,14 +68,23 @@ impl Experiment for Sensitivity {
             ),
         ];
 
-        let amplitudes: Vec<f64> =
-            if quick { vec![1_000.0, 20_000.0] } else { vec![1_000.0, 10_000.0, 100_000.0] };
+        let amplitudes: Vec<f64> = if quick {
+            vec![1_000.0, 20_000.0]
+        } else {
+            vec![1_000.0, 10_000.0, 100_000.0]
+        };
 
         let mut table = Table::new(
             format!("noise sensitivity by communication pattern (p = {p})"),
             &[
-                "workload", "noise mean", "mean drift", "drift spread", "msg domination",
-                "absorbed", "propagated", "prop. share",
+                "workload",
+                "noise mean",
+                "mean drift",
+                "drift spread",
+                "msg domination",
+                "absorbed",
+                "propagated",
+                "prop. share",
             ],
         );
         for (name, w) in &workloads {
@@ -90,10 +103,9 @@ impl Experiment for Sensitivity {
                 for rep in 0..reps {
                     let mut model = PerturbationModel::quiet("sens");
                     model.os_local = Dist::Exponential { mean: amp }.into();
-                    let report =
-                        Replayer::new(ReplayConfig::new(model).seed(131 + rep as u64))
-                            .run(&trace)
-                            .expect("replay");
+                    let report = Replayer::new(ReplayConfig::new(model).seed(131 + rep as u64))
+                        .run(&trace)
+                        .expect("replay");
                     drift_sum += report.mean_final_drift();
                     let min = *report.final_drift.iter().min().expect("ranks") as f64;
                     let max = *report.final_drift.iter().max().expect("ranks") as f64;

@@ -74,11 +74,18 @@ impl Experiment for AbsorptionAblation {
         // latency below that should be *fully absorbed* (zero slowdown).
         let mut model = PerturbationModel::quiet("lat+50k");
         model.latency = Dist::Constant(50_000.0).into();
-        let est = SlackEstimate { latency: 2_000.0, cycles_per_byte: 0.5, overhead: 300.0 };
+        let est = SlackEstimate {
+            latency: 2_000.0,
+            cycles_per_byte: 0.5,
+            overhead: 300.0,
+        };
 
         let run = |trace: &mpg_trace::MemTrace, mode: AbsorptionMode| {
             Replayer::new(
-                ReplayConfig::new(model.clone()).seed(9).ack_arm(false).absorption(mode),
+                ReplayConfig::new(model.clone())
+                    .seed(9)
+                    .ack_arm(false)
+                    .absorption(mode),
             )
             .run(trace)
             .expect("replays")

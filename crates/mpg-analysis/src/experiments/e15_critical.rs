@@ -31,11 +31,19 @@ impl Experiment for CriticalRegions {
         let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
             (
                 "token-ring",
-                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+                Box::new(TokenRing {
+                    traversals: 4,
+                    particles_per_rank: 8,
+                    work_per_pair: 50,
+                }),
             ),
             (
                 "allreduce-solver",
-                Box::new(AllreduceSolver { iters: 8, local_work: 100_000, vector_bytes: 128 }),
+                Box::new(AllreduceSolver {
+                    iters: 8,
+                    local_work: 100_000,
+                    vector_bytes: 128,
+                }),
             ),
             (
                 "master-worker",
@@ -48,15 +56,24 @@ impl Experiment for CriticalRegions {
             ),
             (
                 "pipeline",
-                Box::new(Pipeline { waves: 8, work_per_stage: 100_000, payload: 256 }),
+                Box::new(Pipeline {
+                    waves: 8,
+                    work_per_stage: 100_000,
+                    payload: 256,
+                }),
             ),
         ];
 
         let mut path_table = Table::new(
             format!("critical path of the worst-drifted rank (p = {p})"),
             &[
-                "workload", "final drift", "path steps", "ranks touched",
-                "local Δ", "message Δ", "collective Δ",
+                "workload",
+                "final drift",
+                "path steps",
+                "ranks touched",
+                "local Δ",
+                "message Δ",
+                "collective Δ",
             ],
         );
         let mut region_table = Table::new(

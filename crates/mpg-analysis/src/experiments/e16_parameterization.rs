@@ -83,7 +83,11 @@ impl Experiment for Parameterization {
         let workloads: Vec<(&'static str, Box<dyn Workload>)> = vec![
             (
                 "token-ring",
-                Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 }),
+                Box::new(TokenRing {
+                    traversals: 4,
+                    particles_per_rank: 8,
+                    work_per_pair: 50,
+                }),
             ),
             (
                 "allreduce-solver",
@@ -96,7 +100,12 @@ impl Experiment for Parameterization {
         ];
         let mut pred_table = Table::new(
             format!("prediction error by parameterization method (p = {p})"),
-            &["workload", "truth", "method 1 (fitted) err", "method 2 (empirical) err"],
+            &[
+                "workload",
+                "truth",
+                "method 1 (fitted) err",
+                "method 2 (empirical) err",
+            ],
         );
         for (name, w) in &workloads {
             let trace = Simulation::new(p, quiet.clone())

@@ -35,7 +35,9 @@ pub struct AnalysisRecord {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('\n', "\\n").replace(' ', "\\s")
+    s.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace(' ', "\\s")
 }
 
 fn unescape(s: &str) -> String {
@@ -117,12 +119,17 @@ pub struct HistoryStore {
 impl HistoryStore {
     /// Opens (or will create on first append) a history file.
     pub fn at(path: &Path) -> Self {
-        Self { path: path.to_path_buf() }
+        Self {
+            path: path.to_path_buf(),
+        }
     }
 
     /// Appends one record.
     pub fn append(&self, rec: &AnalysisRecord) -> std::io::Result<()> {
-        let mut f = OpenOptions::new().create(true).append(true).open(&self.path)?;
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
         writeln!(f, "{}", rec.to_line())
     }
 
@@ -141,7 +148,11 @@ impl HistoryStore {
 
     /// Records already stored for a given trace label.
     pub fn for_trace(&self, trace: &str) -> std::io::Result<Vec<AnalysisRecord>> {
-        Ok(self.load()?.into_iter().filter(|r| r.trace == trace).collect())
+        Ok(self
+            .load()?
+            .into_iter()
+            .filter(|r| r.trace == trace)
+            .collect())
     }
 }
 

@@ -48,12 +48,18 @@ pub fn parallel_replays(
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("replay worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("replay worker panicked"))
+                .collect()
         });
     for (i, res) in outputs.into_iter().flatten() {
         results[i] = Some(res);
     }
-    results.into_iter().map(|r| r.expect("every slot filled")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -92,8 +98,10 @@ mod tests {
             assert_eq!(seq.final_drift, res.as_ref().unwrap().final_drift);
         }
         // Monotone latency sweep → monotone drift (order preserved).
-        let drifts: Vec<i64> =
-            parallel.iter().map(|r| r.as_ref().unwrap().max_final_drift()).collect();
+        let drifts: Vec<i64> = parallel
+            .iter()
+            .map(|r| r.as_ref().unwrap().max_final_drift())
+            .collect();
         assert!(drifts.windows(2).all(|w| w[0] <= w[1]), "{drifts:?}");
     }
 
@@ -111,7 +119,12 @@ mod tests {
             seq: 0,
             t_start: 0,
             t_end: 10,
-            kind: mpg_trace::EventKind::Recv { peer: 0, tag: 0, bytes: 0, posted_any: false },
+            kind: mpg_trace::EventKind::Recv {
+                peer: 0,
+                tag: 0,
+                bytes: 0,
+                posted_any: false,
+            },
         });
         let results = parallel_replays(&mt, vec![config(0.0), config(100.0)]);
         assert_eq!(results.len(), 2);

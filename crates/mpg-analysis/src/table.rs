@@ -69,7 +69,12 @@ impl Table {
             s
         };
         writeln!(out, "{}", line(&self.headers, &widths)).unwrap();
-        writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))).unwrap();
+        writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+        )
+        .unwrap();
         for row in &self.rows {
             writeln!(out, "{}", line(row, &widths)).unwrap();
         }

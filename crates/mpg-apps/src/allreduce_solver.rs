@@ -49,7 +49,11 @@ mod tests {
 
     #[test]
     fn collective_count() {
-        let s = AllreduceSolver { iters: 7, local_work: 1_000, vector_bytes: 16 };
+        let s = AllreduceSolver {
+            iters: 7,
+            local_work: 1_000,
+            vector_bytes: 16,
+        };
         let out = Simulation::new(4, PlatformSignature::quiet("t"))
             .ideal_clocks()
             .run(|ctx| s.run(ctx))
@@ -70,7 +74,11 @@ mod tests {
     fn single_slow_rank_drags_everyone() {
         // Replay with noise on local edges: collective coupling means every
         // rank's drift tracks the worst perturbation.
-        let s = AllreduceSolver { iters: 10, local_work: 100_000, vector_bytes: 64 };
+        let s = AllreduceSolver {
+            iters: 10,
+            local_work: 100_000,
+            vector_bytes: 64,
+        };
         let out = Simulation::new(4, PlatformSignature::quiet("t"))
             .ideal_clocks()
             .run(|ctx| s.run(ctx))

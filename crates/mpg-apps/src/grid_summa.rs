@@ -61,7 +61,12 @@ mod tests {
     use mpg_trace::validate_trace;
 
     fn summa(rows: u32, cols: u32) -> GridSumma {
-        GridSumma { rows, cols, panel_bytes: 4_096, local_work: 100_000 }
+        GridSumma {
+            rows,
+            cols,
+            panel_bytes: 4_096,
+            local_work: 100_000,
+        }
     }
 
     #[test]
@@ -114,6 +119,10 @@ mod tests {
         // Everyone ends at the final world allreduce: equal positive drifts.
         assert!(noisy.final_drift.iter().all(|&d| d > 0));
         let first = noisy.final_drift[0];
-        assert!(noisy.final_drift.iter().all(|&d| d == first), "{:?}", noisy.final_drift);
+        assert!(
+            noisy.final_drift.iter().all(|&d| d == first),
+            "{:?}",
+            noisy.final_drift
+        );
     }
 }

@@ -65,11 +65,33 @@ mod tests {
     #[test]
     fn all_workloads_trace_and_replay() {
         let workloads: Vec<Box<dyn Workload>> = vec![
-            Box::new(TokenRing { traversals: 2, particles_per_rank: 4, work_per_pair: 10 }),
-            Box::new(Stencil { iters: 3, cells_per_rank: 64, work_per_cell: 5, halo_bytes: 128 }),
-            Box::new(MasterWorker { tasks: 10, task_work: 1_000, result_bytes: 32, task_bytes: 16 }),
-            Box::new(AllreduceSolver { iters: 4, local_work: 2_000, vector_bytes: 64 }),
-            Box::new(Pipeline { waves: 3, work_per_stage: 1_000, payload: 64 }),
+            Box::new(TokenRing {
+                traversals: 2,
+                particles_per_rank: 4,
+                work_per_pair: 10,
+            }),
+            Box::new(Stencil {
+                iters: 3,
+                cells_per_rank: 64,
+                work_per_cell: 5,
+                halo_bytes: 128,
+            }),
+            Box::new(MasterWorker {
+                tasks: 10,
+                task_work: 1_000,
+                result_bytes: 32,
+                task_bytes: 16,
+            }),
+            Box::new(AllreduceSolver {
+                iters: 4,
+                local_work: 2_000,
+                vector_bytes: 64,
+            }),
+            Box::new(Pipeline {
+                waves: 3,
+                work_per_stage: 1_000,
+                payload: 64,
+            }),
             Box::new(Transpose {
                 steps: 2,
                 rows_per_rank: 8,

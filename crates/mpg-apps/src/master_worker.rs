@@ -82,7 +82,12 @@ mod tests {
     use mpg_trace::EventKind;
 
     fn mw(tasks: u32) -> MasterWorker {
-        MasterWorker { tasks, task_work: 10_000, task_bytes: 64, result_bytes: 32 }
+        MasterWorker {
+            tasks,
+            task_work: 10_000,
+            task_bytes: 64,
+            result_bytes: 32,
+        }
     }
 
     #[test]
@@ -133,11 +138,15 @@ mod tests {
             .ideal_clocks()
             .run(|ctx| w.run(ctx))
             .unwrap();
-        let any = out
-            .trace
-            .rank(0)
-            .iter()
-            .any(|e| matches!(e.kind, EventKind::Recv { posted_any: true, .. }));
+        let any = out.trace.rank(0).iter().any(|e| {
+            matches!(
+                e.kind,
+                EventKind::Recv {
+                    posted_any: true,
+                    ..
+                }
+            )
+        });
         assert!(any, "master's wildcard receives must be flagged");
     }
 

@@ -52,7 +52,11 @@ mod tests {
     #[test]
     fn completes_for_various_sizes() {
         for p in [1u32, 2, 4, 7] {
-            let w = Pipeline { waves: 3, work_per_stage: 1_000, payload: 64 };
+            let w = Pipeline {
+                waves: 3,
+                work_per_stage: 1_000,
+                payload: 64,
+            };
             let out = Simulation::new(p, PlatformSignature::quiet("t"))
                 .ideal_clocks()
                 .run(|ctx| w.run(ctx))
@@ -63,7 +67,11 @@ mod tests {
 
     #[test]
     fn downstream_finishes_later() {
-        let w = Pipeline { waves: 5, work_per_stage: 10_000, payload: 128 };
+        let w = Pipeline {
+            waves: 5,
+            work_per_stage: 10_000,
+            payload: 128,
+        };
         let out = Simulation::new(4, PlatformSignature::quiet("t"))
             .ideal_clocks()
             .run(|ctx| w.run(ctx))
@@ -76,7 +84,11 @@ mod tests {
     fn upstream_noise_propagates_downstream() {
         // Inject latency on message edges: the sink's drift accumulates one
         // delta per hop on its critical path, upstream ranks fewer.
-        let w = Pipeline { waves: 4, work_per_stage: 10_000, payload: 128 };
+        let w = Pipeline {
+            waves: 4,
+            work_per_stage: 10_000,
+            payload: 128,
+        };
         let out = Simulation::new(4, PlatformSignature::quiet("t"))
             .ideal_clocks()
             .run(|ctx| w.run(ctx))

@@ -60,7 +60,12 @@ mod tests {
     use mpg_sim::Simulation;
 
     fn stencil() -> Stencil {
-        Stencil { iters: 5, cells_per_rank: 100, work_per_cell: 50, halo_bytes: 256 }
+        Stencil {
+            iters: 5,
+            cells_per_rank: 100,
+            work_per_cell: 50,
+            halo_bytes: 256,
+        }
     }
 
     #[test]
@@ -91,7 +96,12 @@ mod tests {
     fn overlap_hides_halo_latency_on_quiet_platform() {
         // With large interior work, runtime should be ≈ iters × interior:
         // the halo transfers overlap the interior compute.
-        let s = Stencil { iters: 10, cells_per_rank: 10_000, work_per_cell: 100, halo_bytes: 64 };
+        let s = Stencil {
+            iters: 10,
+            cells_per_rank: 10_000,
+            work_per_cell: 100,
+            halo_bytes: 64,
+        };
         let out = Simulation::new(4, PlatformSignature::quiet("t"))
             .ideal_clocks()
             .run(|ctx| s.run(ctx))

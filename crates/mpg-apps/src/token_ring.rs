@@ -36,7 +36,8 @@ impl TokenRing {
 
     /// Pure compute per hop: local particles × token particles.
     pub fn work_per_hop(&self) -> Cycles {
-        Cycles::from(self.particles_per_rank) * Cycles::from(self.particles_per_rank)
+        Cycles::from(self.particles_per_rank)
+            * Cycles::from(self.particles_per_rank)
             * self.work_per_pair
     }
 
@@ -77,7 +78,11 @@ mod tests {
 
     #[test]
     fn message_count_is_traversals_times_p() {
-        let ring = TokenRing { traversals: 3, particles_per_rank: 2, work_per_pair: 5 };
+        let ring = TokenRing {
+            traversals: 3,
+            particles_per_rank: 2,
+            work_per_pair: 5,
+        };
         let out = Simulation::new(5, PlatformSignature::quiet("t"))
             .ideal_clocks()
             .run(|ctx| ring.run(ctx))
@@ -97,7 +102,11 @@ mod tests {
 
     #[test]
     fn ranks_finish_together_on_quiet_platform() {
-        let ring = TokenRing { traversals: 2, particles_per_rank: 4, work_per_pair: 10 };
+        let ring = TokenRing {
+            traversals: 2,
+            particles_per_rank: 4,
+            work_per_pair: 10,
+        };
         let out = Simulation::new(4, PlatformSignature::quiet("t"))
             .ideal_clocks()
             .run(|ctx| ring.run(ctx))
@@ -110,8 +119,16 @@ mod tests {
 
     #[test]
     fn token_bytes_scale_with_particles() {
-        let a = TokenRing { traversals: 1, particles_per_rank: 10, work_per_pair: 1 };
-        let b = TokenRing { traversals: 1, particles_per_rank: 20, work_per_pair: 1 };
+        let a = TokenRing {
+            traversals: 1,
+            particles_per_rank: 10,
+            work_per_pair: 1,
+        };
+        let b = TokenRing {
+            traversals: 1,
+            particles_per_rank: 20,
+            work_per_pair: 1,
+        };
         assert_eq!(b.token_bytes(), 2 * a.token_bytes());
         assert_eq!(b.work_per_hop(), 4 * a.work_per_hop());
     }

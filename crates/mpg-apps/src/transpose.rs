@@ -46,7 +46,12 @@ mod tests {
     use mpg_trace::{validate_trace, EventKind};
 
     fn transpose() -> Transpose {
-        Transpose { steps: 3, rows_per_rank: 10, work_per_element: 5, block_bytes: 256 }
+        Transpose {
+            steps: 3,
+            rows_per_rank: 10,
+            work_per_element: 5,
+            block_bytes: 256,
+        }
     }
 
     #[test]

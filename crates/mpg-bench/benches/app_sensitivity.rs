@@ -13,7 +13,9 @@ fn bench_sensitivity(c: &mut Criterion) {
         group.throughput(Throughput::Elements(trace.total_events() as u64));
         group.bench_with_input(BenchmarkId::new("replay", name), &trace, |b, trace| {
             let replayer = Replayer::new(
-                ReplayConfig::new(standard_model()).seed(13).timeline_stride(16),
+                ReplayConfig::new(standard_model())
+                    .seed(13)
+                    .timeline_stride(16),
             );
             b.iter(|| replayer.run(trace).expect("replays"));
         });

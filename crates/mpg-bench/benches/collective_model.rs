@@ -10,7 +10,11 @@ use mpg_core::{ReplayConfig, Replayer};
 fn bench_collective(c: &mut Criterion) {
     let mut group = c.benchmark_group("collective_model");
     group.sample_size(15);
-    let solver = AllreduceSolver { iters: 10, local_work: 10_000, vector_bytes: 64 };
+    let solver = AllreduceSolver {
+        iters: 10,
+        local_work: 10_000,
+        vector_bytes: 64,
+    };
     for p in [8u32, 32, 128] {
         let abstract_trace = trace_workload(&solver, p, 4);
         let expanded_trace = trace_workload_expanded(&solver, p, 4);

@@ -16,8 +16,7 @@ fn bench_construction(c: &mut Criterion) {
             BenchmarkId::new("identity_replay_events", events),
             &trace,
             |b, trace| {
-                let replayer =
-                    Replayer::new(ReplayConfig::new(PerturbationModel::quiet("id")));
+                let replayer = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("id")));
                 b.iter(|| replayer.run(trace).expect("replays"));
             },
         );

@@ -26,8 +26,7 @@ fn bench_des_vs_graph(c: &mut Criterion) {
             BenchmarkId::new("dimemas_des", events),
             &trace,
             |b, trace| {
-                let model =
-                    MachineModel::from_signature(&PlatformSignature::noisy("target", 1.0));
+                let model = MachineModel::from_signature(&PlatformSignature::noisy("target", 1.0));
                 let replayer = DimemasReplay::new(model);
                 b.iter(|| replayer.run(trace).expect("replays"));
             },

@@ -16,15 +16,43 @@ fn bench_distributions(c: &mut Criterion) {
     };
     let families: Vec<(&str, Dist)> = vec![
         ("constant", Dist::Constant(700.0)),
-        ("uniform", Dist::Uniform { lo: 0.0, hi: 1_000.0 }),
+        (
+            "uniform",
+            Dist::Uniform {
+                lo: 0.0,
+                hi: 1_000.0,
+            },
+        ),
         ("exponential", Dist::Exponential { mean: 500.0 }),
-        ("normal", Dist::Normal { mean: 500.0, std_dev: 100.0 }),
-        ("lognormal", Dist::LogNormal { mu: 6.0, sigma: 0.5 }),
-        ("pareto", Dist::Pareto { x_m: 100.0, alpha: 2.5 }),
+        (
+            "normal",
+            Dist::Normal {
+                mean: 500.0,
+                std_dev: 100.0,
+            },
+        ),
+        (
+            "lognormal",
+            Dist::LogNormal {
+                mu: 6.0,
+                sigma: 0.5,
+            },
+        ),
+        (
+            "pareto",
+            Dist::Pareto {
+                x_m: 100.0,
+                alpha: 2.5,
+            },
+        ),
         ("empirical_10k", Dist::Empirical(empirical)),
         (
             "mixture",
-            Dist::mixture(0.9, Dist::Exponential { mean: 200.0 }, Dist::Constant(5_000.0)),
+            Dist::mixture(
+                0.9,
+                Dist::Exponential { mean: 200.0 },
+                Dist::Constant(5_000.0),
+            ),
         ),
     ];
     for (name, dist) in families {

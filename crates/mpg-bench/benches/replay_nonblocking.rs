@@ -10,8 +10,12 @@ fn bench_nonblocking(c: &mut Criterion) {
     let mut group = c.benchmark_group("replay_nonblocking");
     group.sample_size(20);
     for iters in [10u32, 50] {
-        let stencil =
-            Stencil { iters, cells_per_rank: 200, work_per_cell: 20, halo_bytes: 1_024 };
+        let stencil = Stencil {
+            iters,
+            cells_per_rank: 200,
+            work_per_cell: 20,
+            halo_bytes: 1_024,
+        };
         let trace = trace_workload(&stencil, 8, 3);
         group.throughput(Throughput::Elements(trace.total_events() as u64));
         group.bench_with_input(

@@ -10,7 +10,11 @@ fn bench_token_ring(c: &mut Criterion) {
     let mut group = c.benchmark_group("token_ring");
     group.sample_size(10);
     for p in [16u32, 64, 128] {
-        let ring = TokenRing { traversals: 10, particles_per_rank: 8, work_per_pair: 20 };
+        let ring = TokenRing {
+            traversals: 10,
+            particles_per_rank: 8,
+            work_per_pair: 20,
+        };
         let trace = trace_workload(&ring, p, 6);
         group.throughput(Throughput::Elements(trace.total_events() as u64));
         group.bench_with_input(BenchmarkId::new("replay_700cyc", p), &trace, |b, trace| {

@@ -12,20 +12,18 @@ fn bench_windowed(c: &mut Criterion) {
         let trace = ring_trace(8, traversals);
         let events = trace.total_events() as u64;
         group.throughput(Throughput::Elements(events));
-        group.bench_with_input(
-            BenchmarkId::new("streaming", events),
-            &trace,
-            |b, trace| {
-                let replayer = Replayer::new(ReplayConfig::new(standard_model()).seed(7));
-                b.iter(|| replayer.run(trace).expect("replays"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("streaming", events), &trace, |b, trace| {
+            let replayer = Replayer::new(ReplayConfig::new(standard_model()).seed(7));
+            b.iter(|| replayer.run(trace).expect("replays"));
+        });
         group.bench_with_input(
             BenchmarkId::new("record_full_graph", events),
             &trace,
             |b, trace| {
                 let replayer = Replayer::new(
-                    ReplayConfig::new(standard_model()).seed(7).record_graph(true),
+                    ReplayConfig::new(standard_model())
+                        .seed(7)
+                        .record_graph(true),
                 );
                 b.iter(|| replayer.run(trace).expect("replays"));
             },

@@ -30,7 +30,11 @@ pub fn trace_workload_expanded(w: &dyn Workload, p: u32, seed: u64) -> MemTrace 
 
 /// A token ring sized so its trace has roughly `events_target` events.
 pub fn ring_trace(p: u32, traversals: u32) -> MemTrace {
-    let ring = TokenRing { traversals, particles_per_rank: 8, work_per_pair: 20 };
+    let ring = TokenRing {
+        traversals,
+        particles_per_rank: 8,
+        work_per_pair: 20,
+    };
     trace_workload(&ring, p, 1)
 }
 
@@ -48,24 +52,45 @@ pub fn sensitivity_workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
     vec![
         (
             "token-ring",
-            Box::new(TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 25 })
-                as Box<dyn Workload>,
+            Box::new(TokenRing {
+                traversals: 4,
+                particles_per_rank: 8,
+                work_per_pair: 25,
+            }) as Box<dyn Workload>,
         ),
         (
             "stencil",
-            Box::new(Stencil { iters: 10, cells_per_rank: 500, work_per_cell: 20, halo_bytes: 512 }),
+            Box::new(Stencil {
+                iters: 10,
+                cells_per_rank: 500,
+                work_per_cell: 20,
+                halo_bytes: 512,
+            }),
         ),
         (
             "master-worker",
-            Box::new(MasterWorker { tasks: 40, task_work: 50_000, task_bytes: 64, result_bytes: 64 }),
+            Box::new(MasterWorker {
+                tasks: 40,
+                task_work: 50_000,
+                task_bytes: 64,
+                result_bytes: 64,
+            }),
         ),
         (
             "allreduce-solver",
-            Box::new(AllreduceSolver { iters: 10, local_work: 100_000, vector_bytes: 128 }),
+            Box::new(AllreduceSolver {
+                iters: 10,
+                local_work: 100_000,
+                vector_bytes: 128,
+            }),
         ),
         (
             "pipeline",
-            Box::new(Pipeline { waves: 10, work_per_stage: 50_000, payload: 256 }),
+            Box::new(Pipeline {
+                waves: 10,
+                work_per_stage: 50_000,
+                payload: 256,
+            }),
         ),
     ]
 }

@@ -78,10 +78,13 @@ pub fn critical_path(graph: &EventGraph) -> Option<CriticalPath> {
     // Find that rank's last labeled end node.
     let mut anchor: Option<NodeId> = None;
     for (node, _) in graph.nodes() {
-        if node.rank == rank && node.point == Point::End && !node.hub
-            && anchor.is_none_or(|a| node.seq > a.seq) {
-                anchor = Some(*node);
-            }
+        if node.rank == rank
+            && node.point == Point::End
+            && !node.hub
+            && anchor.is_none_or(|a| node.seq > a.seq)
+        {
+            anchor = Some(*node);
+        }
     }
     let mut current = anchor?;
 
@@ -127,7 +130,10 @@ pub fn critical_path(graph: &EventGraph) -> Option<CriticalPath> {
             DeltaClass::CollectiveRounds { .. } => collective += e.sampled,
         }
         ranks.insert(e.src.rank);
-        steps.push(CriticalStep { edge: e.clone(), drift_at_dst: d_cur });
+        steps.push(CriticalStep {
+            edge: e.clone(),
+            drift_at_dst: d_cur,
+        });
         current = e.src;
         if steps.len() > graph.edge_count() {
             // Defensive: a cycle would indicate a recording bug.

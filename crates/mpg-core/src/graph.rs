@@ -46,17 +46,32 @@ pub struct NodeId {
 impl NodeId {
     /// Start subevent of `(rank, seq)`.
     pub fn start(rank: Rank, seq: Seq) -> Self {
-        Self { rank, seq, point: Point::Start, hub: false }
+        Self {
+            rank,
+            seq,
+            point: Point::Start,
+            hub: false,
+        }
     }
 
     /// End subevent of `(rank, seq)`.
     pub fn end(rank: Rank, seq: Seq) -> Self {
-        Self { rank, seq, point: Point::End, hub: false }
+        Self {
+            rank,
+            seq,
+            point: Point::End,
+            hub: false,
+        }
     }
 
     /// The synthetic hub node for the collective at `(rank, seq)`.
     pub fn hub(rank: Rank, seq: Seq) -> Self {
-        Self { rank, seq, point: Point::End, hub: true }
+        Self {
+            rank,
+            seq,
+            point: Point::End,
+            hub: true,
+        }
     }
 }
 
@@ -100,7 +115,11 @@ pub struct EventGraph {
 impl EventGraph {
     /// Creates an empty graph over `ranks` ranks.
     pub fn new(ranks: usize) -> Self {
-        Self { edges: Vec::new(), labels: HashMap::new(), ranks }
+        Self {
+            edges: Vec::new(),
+            labels: HashMap::new(),
+            ranks,
+        }
     }
 
     /// Number of ranks.
@@ -161,6 +180,52 @@ impl EventGraph {
             }
         }
         drift
+    }
+
+    /// Verifies the recorded graph is a DAG (Kahn's algorithm). On failure
+    /// returns the residue: every node left with unsatisfied predecessors,
+    /// i.e. the nodes on or downstream of a causal cycle, sorted for
+    /// deterministic reporting.
+    ///
+    /// The recorder emits edges in resolution order, which is acyclic by
+    /// construction — this check exists for graphs deserialized or stitched
+    /// from untrusted traces, where a causal cycle means the trace cannot
+    /// describe a run that actually happened (§4.1's completed-run
+    /// assumption).
+    pub fn verify_acyclic(&self) -> Result<(), Vec<NodeId>> {
+        let mut indegree: HashMap<NodeId, usize> = HashMap::new();
+        let mut out: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for e in &self.edges {
+            indegree.entry(e.src).or_insert(0);
+            *indegree.entry(e.dst).or_insert(0) += 1;
+            out.entry(e.src).or_default().push(e.dst);
+        }
+        let mut ready: Vec<NodeId> = indegree
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut remaining = indegree.len();
+        while let Some(n) = ready.pop() {
+            remaining -= 1;
+            for succ in out.get(&n).into_iter().flatten() {
+                let d = indegree.get_mut(succ).unwrap();
+                *d -= 1;
+                if *d == 0 {
+                    ready.push(*succ);
+                }
+            }
+        }
+        if remaining == 0 {
+            return Ok(());
+        }
+        let mut residue: Vec<NodeId> = indegree
+            .into_iter()
+            .filter(|&(_, d)| d > 0)
+            .map(|(n, _)| n)
+            .collect();
+        residue.sort_unstable();
+        Err(residue)
     }
 
     /// The largest drift over each rank's final (maximum-seq) end node —
@@ -260,5 +325,29 @@ mod tests {
     #[test]
     fn hub_nodes_distinct() {
         assert_ne!(NodeId::hub(0, 3), NodeId::end(0, 3));
+    }
+
+    #[test]
+    fn acyclic_graph_verifies() {
+        let mut g = EventGraph::new(2);
+        let a = NodeId::start(0, 0);
+        let b = NodeId::end(0, 0);
+        let c = NodeId::end(1, 0);
+        g.add_edge(edge(a, b, 1));
+        g.add_edge(edge(b, c, 1));
+        assert!(g.verify_acyclic().is_ok());
+    }
+
+    #[test]
+    fn cycle_is_detected_with_residue() {
+        let mut g = EventGraph::new(2);
+        let a = NodeId::end(0, 1);
+        let b = NodeId::end(1, 1);
+        let c = NodeId::end(1, 2);
+        g.add_edge(edge(a, b, 1));
+        g.add_edge(edge(b, a, 1)); // cycle a <-> b
+        g.add_edge(edge(b, c, 1)); // downstream of the cycle
+        let residue = g.verify_acyclic().unwrap_err();
+        assert!(residue.contains(&a) && residue.contains(&b));
     }
 }

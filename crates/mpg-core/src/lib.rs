@@ -73,9 +73,9 @@ pub mod timeline;
 
 pub use critical::{critical_path, CriticalPath};
 pub use graph::{Edge, EventGraph, NodeId, Point};
-pub use regions::{classify_regions, region_shares, Region, RegionKind};
 pub use perturb::{DeltaClass, PerturbationModel, SignedDist};
-pub use replay::{AbsorptionMode, ReplayConfig, Replayer, SlackEstimate};
+pub use regions::{classify_regions, region_shares, Region, RegionKind};
+pub use replay::{AbsorptionMode, ReplayConfig, Replayer, SlackEstimate, TraceGate};
 pub use report::{ArmKind, ReplayError, ReplayReport, ReplayStats};
 pub use timeline::{phases, render_phases, Phase, PhaseKind};
 

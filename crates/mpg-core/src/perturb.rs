@@ -103,7 +103,10 @@ impl SignedDist {
 
 impl From<Dist> for SignedDist {
     fn from(dist: Dist) -> Self {
-        Self { dist, negate: false }
+        Self {
+            dist,
+            negate: false,
+        }
     }
 }
 
@@ -268,7 +271,12 @@ impl PerturbSampler {
     /// applying quantum scaling when the model defines one.
     pub fn sample_os_scaled(&mut self, rank: u32, work: u64) -> Drift {
         let rngs = &mut self.rngs[rank as usize];
-        scaled_os(&self.model.os_local, self.model.os_quantum, work, &mut rngs[G_OS])
+        scaled_os(
+            &self.model.os_local,
+            self.model.os_quantum,
+            work,
+            &mut rngs[G_OS],
+        )
     }
 }
 
@@ -309,7 +317,10 @@ mod tests {
             DeltaClass::OsRemote,
             DeltaClass::Lambda,
             DeltaClass::Transfer { bytes: 4096 },
-            DeltaClass::CollectiveRounds { rounds: 7, bytes: 64 },
+            DeltaClass::CollectiveRounds {
+                rounds: 7,
+                bytes: 64,
+            },
         ] {
             assert_eq!(s.sample(0, class), 0, "{class:?}");
         }
@@ -349,9 +360,21 @@ mod tests {
         m.latency = Dist::Constant(100.0).into();
         m.os_local = Dist::Constant(10.0).into();
         let mut s = PerturbSampler::new(m.clone(), 1, 0);
-        let d = s.sample(0, DeltaClass::CollectiveRounds { rounds: 5, bytes: 0 });
+        let d = s.sample(
+            0,
+            DeltaClass::CollectiveRounds {
+                rounds: 5,
+                bytes: 0,
+            },
+        );
         assert_eq!(d, 5 * 110);
-        assert_eq!(m.mean_delta(DeltaClass::CollectiveRounds { rounds: 5, bytes: 0 }), 550.0);
+        assert_eq!(
+            m.mean_delta(DeltaClass::CollectiveRounds {
+                rounds: 5,
+                bytes: 0
+            }),
+            550.0
+        );
     }
 
     #[test]

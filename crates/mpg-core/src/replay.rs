@@ -37,8 +37,10 @@ use crate::graph::{Edge, EventGraph, NodeId};
 use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel};
 use crate::report::{ArmKind, ReplayError, ReplayReport, ReplayStats};
 use crate::stream::{MatchState, PendingRecv, SendRecord, SenderRef};
+use std::sync::Arc;
+
 use crate::{Cycles, Drift};
-use mpg_trace::{EventKind, EventRecord, MemTrace, Rank, ReqId, TraceError};
+use mpg_trace::{Diagnostic, EventKind, EventRecord, MemTrace, Rank, ReqId, Severity, TraceError};
 
 /// How receiver-side slack interacts with incoming message drift.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,6 +74,36 @@ impl SlackEstimate {
     }
 }
 
+/// The callback shape a [`TraceGate`] wraps: a trace checker producing
+/// shared [`Diagnostic`]s.
+pub type TraceChecker = dyn Fn(&MemTrace) -> Vec<Diagnostic> + Send + Sync;
+
+/// A pre-replay admission gate: any callback producing shared
+/// [`Diagnostic`]s for a trace (in practice `mpg-lint`'s full analysis,
+/// but any checker fits). When installed on a [`ReplayConfig`],
+/// [`Replayer::run`] refuses traces with error-severity diagnostics so
+/// downstream experiments fail fast instead of producing wrong drifts.
+#[derive(Clone)]
+pub struct TraceGate(Arc<TraceChecker>);
+
+impl TraceGate {
+    /// Wrap a diagnostic-producing callback.
+    pub fn new(f: impl Fn(&MemTrace) -> Vec<Diagnostic> + Send + Sync + 'static) -> Self {
+        TraceGate(Arc::new(f))
+    }
+
+    /// Run the gate's checker over a trace.
+    pub fn check(&self, trace: &MemTrace) -> Vec<Diagnostic> {
+        (self.0)(trace)
+    }
+}
+
+impl std::fmt::Debug for TraceGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceGate(..)")
+    }
+}
+
 /// Replay configuration.
 #[derive(Debug, Clone)]
 pub struct ReplayConfig {
@@ -97,6 +129,11 @@ pub struct ReplayConfig {
     /// work); identity replays still produce zero drift. Default `false`
     /// (the paper's conservative posted-bound semantics).
     pub arrival_bound: bool,
+    /// Optional admission gate run by [`Replayer::run`] before replay;
+    /// error-severity diagnostics abort with [`ReplayError::Gated`].
+    /// Applies only to in-memory traces (streamed replays cannot be
+    /// pre-scanned without buffering).
+    pub gate: Option<TraceGate>,
 }
 
 impl ReplayConfig {
@@ -111,6 +148,7 @@ impl ReplayConfig {
             record_graph: false,
             timeline_stride: 0,
             arrival_bound: false,
+            gate: None,
         }
     }
 
@@ -149,6 +187,12 @@ impl ReplayConfig {
         self.arrival_bound = on;
         self
     }
+
+    /// Installs a pre-replay admission gate.
+    pub fn gate(mut self, gate: TraceGate) -> Self {
+        self.gate = Some(gate);
+        self
+    }
 }
 
 /// The replay driver.
@@ -162,8 +206,21 @@ impl Replayer {
         Self { config }
     }
 
-    /// Replays an in-memory trace.
+    /// Replays an in-memory trace. When a [`TraceGate`] is configured, the
+    /// trace is checked first and error-severity diagnostics abort the
+    /// replay with [`ReplayError::Gated`].
     pub fn run(&self, trace: &MemTrace) -> Result<ReplayReport, ReplayError> {
+        if let Some(gate) = &self.config.gate {
+            let errors: Vec<String> = gate
+                .check(trace)
+                .into_iter()
+                .filter(|d| d.severity == Severity::Error)
+                .map(|d| d.to_string())
+                .collect();
+            if !errors.is_empty() {
+                return Err(ReplayError::Gated(errors));
+            }
+        }
         self.run_streams(trace.streams())
     }
 
@@ -323,8 +380,7 @@ impl<'a> Engine<'a> {
 
     fn finish(mut self) -> Result<ReplayReport, ReplayError> {
         let leaked: usize = self.cursors.iter().map(|c| c.reqs.len()).sum();
-        if leaked > 0 || self.matches.unmatched_sends() > 0 || self.matches.unmatched_recvs() > 0
-        {
+        if leaked > 0 || self.matches.unmatched_sends() > 0 || self.matches.unmatched_recvs() > 0 {
             // §4.3: both sides used asynchronous calls without completing
             // synchronization; perturbed ordering cannot be guaranteed.
             self.warnings.push(format!(
@@ -445,14 +501,18 @@ impl<'a> Engine<'a> {
                 }
                 self.complete(r, &ev, d_end, None);
             }
-            EventKind::Send { peer, tag, bytes, protocol } => {
+            EventKind::Send {
+                peer,
+                tag,
+                bytes,
+                protocol,
+            } => {
                 // §3.1.1: the send variant decides whether the completion is
                 // coupled to the receiver (the Eq. 1 acknowledgement arm).
                 let acked = match protocol {
                     mpg_trace::SendProtocol::Standard => self.cfg.ack_arm,
                     mpg_trace::SendProtocol::Synchronous => true,
-                    mpg_trace::SendProtocol::Buffered
-                    | mpg_trace::SendProtocol::Ready => false,
+                    mpg_trace::SendProtocol::Buffered | mpg_trace::SendProtocol::Ready => false,
                 };
                 if !self.cursors[ri].posted {
                     self.post_send(
@@ -469,13 +529,15 @@ impl<'a> Engine<'a> {
                     )?;
                 }
                 if acked {
-                    let Some((candidate, ack_edges)) = self.cursors[ri].pending_ack.take()
-                    else {
+                    let Some((candidate, ack_edges)) = self.cursors[ri].pending_ack.take() else {
                         return blocked(self, ev); // awaiting acknowledgement
                     };
                     let os1 = self.cursors[ri].scratch_os1;
-                    let local_arm =
-                        if self.cfg.arrival_bound { floor } else { d0 + os1 };
+                    let local_arm = if self.cfg.arrival_bound {
+                        floor
+                    } else {
+                        d0 + os1
+                    };
                     let d_end = local_arm.max(candidate).max(floor);
                     if let Some(g) = self.graph.as_mut() {
                         g.add_edge(Edge {
@@ -515,7 +577,9 @@ impl<'a> Engine<'a> {
                     self.complete(r, &ev, d_end, None);
                 }
             }
-            EventKind::Recv { peer, tag, bytes, .. } => {
+            EventKind::Recv {
+                peer, tag, bytes, ..
+            } => {
                 let Some(rec) = self.matches.take_send(peer, r, tag) else {
                     return blocked(self, ev); // sender not processed yet
                 };
@@ -551,14 +615,22 @@ impl<'a> Engine<'a> {
                 )?;
                 self.complete(r, &ev, d_end, None);
             }
-            EventKind::Isend { peer, tag, bytes, req } => {
+            EventKind::Isend {
+                peer,
+                tag,
+                bytes,
+                req,
+            } => {
                 // Register the request before offering the send: a pending
                 // receive on the peer can resolve the acknowledgement
                 // synchronously inside post_send.
                 let state = if self.cfg.ack_arm {
                     ReqState::PendingSend
                 } else {
-                    ReqState::SendReady { candidate: None, edges: Vec::new() }
+                    ReqState::SendReady {
+                        candidate: None,
+                        edges: Vec::new(),
+                    }
                 };
                 self.cursors[ri].reqs.insert(req, state);
                 self.post_send(
@@ -595,7 +667,13 @@ impl<'a> Engine<'a> {
                         self.matches.queue_pending_recv(
                             peer,
                             r,
-                            PendingRecv { tag, req, rank: r, d_posted: d0, end_node },
+                            PendingRecv {
+                                tag,
+                                req,
+                                rank: r,
+                                d_posted: d0,
+                                end_node,
+                            },
                         );
                         ReqState::PendingRecvWaiting
                     }
@@ -627,13 +705,20 @@ impl<'a> Engine<'a> {
                 };
             }
             EventKind::Barrier { comm_size } => {
-                return match self.step_collective(r, &ev, "barrier", 0, comm_size, None, d0, floor)? {
+                return match self
+                    .step_collective(r, &ev, "barrier", 0, comm_size, None, d0, floor)?
+                {
                     true => Ok(true),
                     false => blocked(self, ev),
                 };
             }
-            EventKind::Bcast { root, bytes, comm_size } => {
-                return match self.step_collective(r,
+            EventKind::Bcast {
+                root,
+                bytes,
+                comm_size,
+            } => {
+                return match self.step_collective(
+                    r,
                     &ev,
                     "bcast",
                     bytes,
@@ -646,22 +731,41 @@ impl<'a> Engine<'a> {
                     false => blocked(self, ev),
                 };
             }
-            EventKind::Reduce { root, bytes, comm_size } => {
+            EventKind::Reduce {
+                root,
+                bytes,
+                comm_size,
+            } => {
                 let _ = root; // the simplified Reduce model is root-agnostic
-                return match self.step_collective(r, &ev, "reduce", bytes, comm_size, None, d0, floor)? {
+                return match self
+                    .step_collective(r, &ev, "reduce", bytes, comm_size, None, d0, floor)?
+                {
                     true => Ok(true),
                     false => blocked(self, ev),
                 };
             }
             EventKind::Allreduce { bytes, comm_size } => {
-                return match self.step_collective(r, &ev, "allreduce", bytes, comm_size, None, d0, floor,
+                return match self.step_collective(
+                    r,
+                    &ev,
+                    "allreduce",
+                    bytes,
+                    comm_size,
+                    None,
+                    d0,
+                    floor,
                 )? {
                     true => Ok(true),
                     false => blocked(self, ev),
                 };
             }
-            EventKind::Scatter { root, bytes, comm_size } => {
-                return match self.step_collective(r,
+            EventKind::Scatter {
+                root,
+                bytes,
+                comm_size,
+            } => {
+                return match self.step_collective(
+                    r,
                     &ev,
                     "scatter",
                     bytes,
@@ -674,23 +778,38 @@ impl<'a> Engine<'a> {
                     false => blocked(self, ev),
                 };
             }
-            EventKind::Gather { root, bytes, comm_size } => {
+            EventKind::Gather {
+                root,
+                bytes,
+                comm_size,
+            } => {
                 let _ = root; // simplified single-round model, root-agnostic
-                return match self.step_collective(r, &ev, "gather", bytes, comm_size, None, d0, floor)? {
+                return match self
+                    .step_collective(r, &ev, "gather", bytes, comm_size, None, d0, floor)?
+                {
                     true => Ok(true),
                     false => blocked(self, ev),
                 };
             }
             EventKind::Allgather { bytes, comm_size } => {
-                return match self.step_collective(r, &ev, "allgather", bytes, comm_size, None, d0, floor,
+                return match self.step_collective(
+                    r,
+                    &ev,
+                    "allgather",
+                    bytes,
+                    comm_size,
+                    None,
+                    d0,
+                    floor,
                 )? {
                     true => Ok(true),
                     false => blocked(self, ev),
                 };
             }
             EventKind::Alltoall { bytes, comm_size } => {
-                return match self.step_collective(r, &ev, "alltoall", bytes, comm_size, None, d0, floor,
-                )? {
+                return match self
+                    .step_collective(r, &ev, "alltoall", bytes, comm_size, None, d0, floor)?
+                {
                     true => Ok(true),
                     false => blocked(self, ev),
                 };
@@ -765,10 +884,9 @@ impl<'a> Engine<'a> {
         match self.cfg.absorption {
             AbsorptionMode::Conservative => rec.d_msg,
             AbsorptionMode::MeasuredSlack(est) => {
-                let slack = (recv_end_local as f64
-                    - rec.send_start_local as f64
-                    - est.transfer(rec.bytes))
-                .max(0.0) as Drift;
+                let slack =
+                    (recv_end_local as f64 - rec.send_start_local as f64 - est.transfer(rec.bytes))
+                        .max(0.0) as Drift;
                 rec.d_msg - slack
             }
         }
@@ -791,7 +909,10 @@ impl<'a> Engine<'a> {
             SenderRef::Request { rank, req } => {
                 match self.cursors[rank as usize].reqs.get_mut(&req) {
                     Some(slot @ ReqState::PendingSend) => {
-                        *slot = ReqState::SendReady { candidate: Some(candidate), edges };
+                        *slot = ReqState::SendReady {
+                            candidate: Some(candidate),
+                            edges,
+                        };
                     }
                     other => {
                         return Err(ReplayError::Corrupt(format!(
@@ -871,7 +992,10 @@ impl<'a> Engine<'a> {
                         is_message: true,
                     });
                 }
-                ReqState::SendReady { candidate, edges: ack_edges } => {
+                ReqState::SendReady {
+                    candidate,
+                    edges: ack_edges,
+                } => {
                     if let Some(c) = candidate {
                         msg_arm_max = Some(msg_arm_max.map_or(c, |m| m.max(c)));
                         for (src, sampled) in ack_edges {
@@ -1023,7 +1147,10 @@ impl<'a> Engine<'a> {
             };
             let l_delta = self.sampler.sample(
                 e.rank,
-                DeltaClass::CollectiveRounds { rounds, bytes: slot.bytes },
+                DeltaClass::CollectiveRounds {
+                    rounds,
+                    bytes: slot.bytes,
+                },
             );
             self.stats.injected_total += l_delta;
             hub = hub.max(e.drift + l_delta);
@@ -1031,7 +1158,10 @@ impl<'a> Engine<'a> {
                 src: e.start_node,
                 dst: hub_node,
                 base: 0,
-                class: DeltaClass::CollectiveRounds { rounds, bytes: slot.bytes },
+                class: DeltaClass::CollectiveRounds {
+                    rounds,
+                    bytes: slot.bytes,
+                },
                 sampled: l_delta,
                 is_message: true,
             });
@@ -1043,7 +1173,11 @@ impl<'a> Engine<'a> {
         }
         self.coll_done.insert(
             epoch,
-            CollDone { hub, hub_node, remaining: slot.entries.len() },
+            CollDone {
+                hub,
+                hub_node,
+                remaining: slot.entries.len(),
+            },
         );
     }
 
@@ -1062,7 +1196,10 @@ impl<'a> Engine<'a> {
         c.posted = false;
         c.events_done += 1;
         self.stats.events += 1;
-        if self.cfg.timeline_stride > 0 && c.events_done.is_multiple_of(self.cfg.timeline_stride as u64) {
+        if self.cfg.timeline_stride > 0
+            && c.events_done
+                .is_multiple_of(self.cfg.timeline_stride as u64)
+        {
             self.timeline[ri].push((ev.t_end, d_end));
         }
     }
@@ -1081,7 +1218,8 @@ impl<'a> Engine<'a> {
     }
 
     fn note_window(&mut self) {
-        self.matches.note_external(self.open_reqs + self.coll_entries);
+        self.matches
+            .note_external(self.open_reqs + self.coll_entries);
     }
 
     fn note_arm(&mut self, d_end: Drift, local: Drift, msg: Drift, floor: Drift) {
@@ -1120,7 +1258,9 @@ mod tests {
     }
 
     fn replay(trace: &MemTrace, model: PerturbationModel) -> ReplayReport {
-        Replayer::new(ReplayConfig::new(model).seed(42)).run(trace).unwrap()
+        Replayer::new(ReplayConfig::new(model).seed(42))
+            .run(trace)
+            .unwrap()
     }
 
     #[test]
@@ -1282,11 +1422,9 @@ mod tests {
         let mut model = PerturbationModel::quiet("m");
         model.os_local = Dist::Exponential { mean: 700.0 }.into();
         model.latency = Dist::Exponential { mean: 900.0 }.into();
-        let report = Replayer::new(
-            ReplayConfig::new(model).seed(11).record_graph(true),
-        )
-        .run(&trace)
-        .unwrap();
+        let report = Replayer::new(ReplayConfig::new(model).seed(11).record_graph(true))
+            .run(&trace)
+            .unwrap();
         let graph = report.graph.as_ref().expect("graph recorded");
         // The generic, semantics-free graph walk must agree with the
         // streaming engine on every rank's final drift.
@@ -1303,9 +1441,15 @@ mod tests {
         });
         let mut model = PerturbationModel::quiet("m");
         model.os_local = Dist::Exponential { mean: 500.0 }.into();
-        let a = Replayer::new(ReplayConfig::new(model.clone()).seed(5)).run(&trace).unwrap();
-        let b = Replayer::new(ReplayConfig::new(model.clone()).seed(5)).run(&trace).unwrap();
-        let c = Replayer::new(ReplayConfig::new(model).seed(6)).run(&trace).unwrap();
+        let a = Replayer::new(ReplayConfig::new(model.clone()).seed(5))
+            .run(&trace)
+            .unwrap();
+        let b = Replayer::new(ReplayConfig::new(model.clone()).seed(5))
+            .run(&trace)
+            .unwrap();
+        let c = Replayer::new(ReplayConfig::new(model).seed(6))
+            .run(&trace)
+            .unwrap();
         assert_eq!(a.final_drift, b.final_drift);
         assert_ne!(a.final_drift, c.final_drift);
     }
@@ -1324,7 +1468,10 @@ mod tests {
             .run(prog)
             .unwrap()
             .trace;
-        let skewed = Simulation::new(4, PlatformSignature::quiet("l")).run(prog).unwrap().trace;
+        let skewed = Simulation::new(4, PlatformSignature::quiet("l"))
+            .run(prog)
+            .unwrap()
+            .trace;
         let mut model = PerturbationModel::quiet("m");
         model.latency = Dist::Constant(500.0).into();
         let a = replay(&ideal, model.clone());
@@ -1392,7 +1539,12 @@ mod tests {
             seq: 1,
             t_start: 10,
             t_end: 20,
-            kind: EventKind::Recv { peer: 1, tag: 0, bytes: 8, posted_any: false },
+            kind: EventKind::Recv {
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+                posted_any: false,
+            },
         });
         mt.push(EventRecord {
             rank: 0,
@@ -1433,7 +1585,12 @@ mod tests {
             seq: 1,
             t_start: 10,
             t_end: 20,
-            kind: EventKind::Isend { peer: 1, tag: 0, bytes: 8, req: 1 },
+            kind: EventKind::Isend {
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+                req: 1,
+            },
         });
         mt.push(EventRecord {
             rank: 0,
@@ -1449,11 +1606,9 @@ mod tests {
             t_end: 20,
             kind: EventKind::Finalize,
         });
-        let report = Replayer::new(
-            ReplayConfig::new(PerturbationModel::quiet("m")).ack_arm(false),
-        )
-        .run(&mt)
-        .unwrap();
+        let report = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("m")).ack_arm(false))
+            .run(&mt)
+            .unwrap();
         assert_eq!(report.warnings.len(), 1);
         assert!(report.warnings[0].contains("unsynchronized"));
     }
@@ -1467,11 +1622,9 @@ mod tests {
         });
         let mut model = PerturbationModel::quiet("m");
         model.os_local = Dist::Constant(10.0).into();
-        let report = Replayer::new(
-            ReplayConfig::new(model).timeline_stride(10),
-        )
-        .run(&trace)
-        .unwrap();
+        let report = Replayer::new(ReplayConfig::new(model).timeline_stride(10))
+            .run(&trace)
+            .unwrap();
         let tl = &report.timeline[0];
         assert!(tl.len() >= 9, "{}", tl.len());
         // Drift grows monotonically for pure local noise.

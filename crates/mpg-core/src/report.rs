@@ -111,6 +111,9 @@ pub enum ReplayError {
     Corrupt(String),
     /// Ranks disagreed on the collective sequence.
     CollectiveMismatch(String),
+    /// A configured [`TraceGate`](crate::TraceGate) rejected the trace
+    /// before replay; carries the rendered error-severity diagnostics.
+    Gated(Vec<String>),
 }
 
 impl std::fmt::Display for ReplayError {
@@ -119,6 +122,13 @@ impl std::fmt::Display for ReplayError {
             ReplayError::Trace(m) => write!(f, "trace error: {m}"),
             ReplayError::Corrupt(m) => write!(f, "corrupt trace: {m}"),
             ReplayError::CollectiveMismatch(m) => write!(f, "collective mismatch: {m}"),
+            ReplayError::Gated(diags) => {
+                write!(f, "trace rejected by lint gate ({} error(s))", diags.len())?;
+                if let Some(first) = diags.first() {
+                    write!(f, ": {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -151,7 +151,11 @@ impl MatchState {
     /// called in post order per channel so later sends resolve receives in
     /// MPI order.
     pub fn queue_pending_recv(&mut self, src: Rank, dst: Rank, pr: PendingRecv) {
-        self.channels.entry((src, dst)).or_default().pending_recvs.push_back(pr);
+        self.channels
+            .entry((src, dst))
+            .or_default()
+            .pending_recvs
+            .push_back(pr);
         self.bump(1);
     }
 
@@ -171,7 +175,13 @@ mod tests {
     use super::*;
 
     fn pending(tag: Tag, req: mpg_trace::ReqId) -> PendingRecv {
-        PendingRecv { tag, req, rank: 1, d_posted: 0, end_node: NodeId::end(1, 0) }
+        PendingRecv {
+            tag,
+            req,
+            rank: 1,
+            d_posted: 0,
+            end_node: NodeId::end(1, 0),
+        }
     }
 
     fn rec(tag: Tag, d_msg: Drift) -> SendRecord {

@@ -61,7 +61,12 @@ pub fn phases(events: &[EventRecord]) -> Vec<Phase> {
                 last.t_end = e.t_end;
                 last.events += 1;
             }
-            _ => out.push(Phase { kind, t_start: e.t_start, t_end: e.t_end, events: 1 }),
+            _ => out.push(Phase {
+                kind,
+                t_start: e.t_start,
+                t_end: e.t_end,
+                events: 1,
+            }),
         }
     }
     out
@@ -127,15 +132,41 @@ mod tests {
     use super::*;
 
     fn ev(seq: u64, t0: u64, t1: u64, kind: EventKind) -> EventRecord {
-        EventRecord { rank: 0, seq, t_start: t0, t_end: t1, kind }
+        EventRecord {
+            rank: 0,
+            seq,
+            t_start: t0,
+            t_end: t1,
+            kind,
+        }
     }
 
     fn sample() -> Vec<EventRecord> {
         vec![
             ev(0, 0, 10, EventKind::Init),
             ev(1, 10, 100, EventKind::Compute { work: 90 }),
-            ev(2, 100, 120, EventKind::Send { peer: 1, tag: 0, bytes: 8, protocol: Default::default() }),
-            ev(3, 120, 140, EventKind::Recv { peer: 1, tag: 0, bytes: 8, posted_any: false }),
+            ev(
+                2,
+                100,
+                120,
+                EventKind::Send {
+                    peer: 1,
+                    tag: 0,
+                    bytes: 8,
+                    protocol: Default::default(),
+                },
+            ),
+            ev(
+                3,
+                120,
+                140,
+                EventKind::Recv {
+                    peer: 1,
+                    tag: 0,
+                    bytes: 8,
+                    posted_any: false,
+                },
+            ),
             ev(4, 140, 200, EventKind::Compute { work: 60 }),
             ev(5, 200, 210, EventKind::Finalize),
         ]
@@ -181,7 +212,11 @@ mod tests {
         let mut trace = MemTrace::new(3);
         for r in 0..3u32 {
             for (i, e) in sample().into_iter().enumerate() {
-                trace.push(EventRecord { rank: r, seq: i as u64, ..e });
+                trace.push(EventRecord {
+                    rank: r,
+                    seq: i as u64,
+                    ..e
+                });
             }
         }
         let g = render_trace_gantt(&trace, 40);

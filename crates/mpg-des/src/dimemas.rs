@@ -176,8 +176,7 @@ impl<'m> Runner<'m> {
     fn new(model: &'m MachineModel, trace: &MemTrace) -> Self {
         let p = trace.num_ranks();
         // In-core load: the documented Dimemas contrast with streaming.
-        let events: Vec<Vec<EventRecord>> =
-            (0..p).map(|r| trace.rank(r).to_vec()).collect();
+        let events: Vec<Vec<EventRecord>> = (0..p).map(|r| trace.rank(r).to_vec()).collect();
         let mut queue = EventQueue::new();
         for r in 0..p {
             queue.schedule(0, r as Rank);
@@ -230,7 +229,9 @@ impl<'m> Runner<'m> {
     /// `max(arrival, receiver ready)`; the synchronous send completes one
     /// hop after the receive.
     fn transfer(&mut self, send_ready: Cycles, recv_ready: Cycles, bytes: u64) -> (Cycles, Cycles) {
-        let start = self.buses.acquire(send_ready, self.model.transfer_only(bytes));
+        let start = self
+            .buses
+            .acquire(send_ready, self.model.transfer_only(bytes));
         let recv_end = (start + self.model.wire(bytes)).max(recv_ready);
         let send_end = recv_end + self.model.hop();
         (recv_end, send_end)
@@ -279,11 +280,12 @@ impl<'m> Runner<'m> {
             | EventKind::Gather { comm_size, .. }
             | EventKind::Allgather { comm_size, .. }
             | EventKind::Alltoall { comm_size, .. }
-                if *comm_size != p => {
-                    return Err(DimemasError::Stuck(format!(
-                        "rank {r} collective names comm size {comm_size}, trace has {p} ranks"
-                    )));
-                }
+                if *comm_size != p =>
+            {
+                return Err(DimemasError::Stuck(format!(
+                    "rank {r} collective names comm size {comm_size}, trace has {p} ranks"
+                )));
+            }
             _ => {}
         }
         let t = self.states[ri].clock;
@@ -300,7 +302,12 @@ impl<'m> Runner<'m> {
                 let d = (ev.duration() as f64 * self.model.cpu_factor).round() as Cycles;
                 self.resume(r, t + d);
             }
-            EventKind::Send { peer, tag, bytes, protocol } => {
+            EventKind::Send {
+                peer,
+                tag,
+                bytes,
+                protocol,
+            } => {
                 // Buffered/ready sends complete locally (§3.1.1); standard
                 // and synchronous sends block until the transfer books.
                 let local_completion = matches!(
@@ -336,7 +343,12 @@ impl<'m> Runner<'m> {
                 });
                 self.states[ri].blocked = Blocked::AtSend;
             }
-            EventKind::Isend { peer, tag, bytes, req } => {
+            EventKind::Isend {
+                peer,
+                tag,
+                bytes,
+                req,
+            } => {
                 if !self.try_complete_against_receiver_nb(r, peer, tag, bytes, t + o, req) {
                     self.sends.entry((r, peer)).or_default().push(PendingSend {
                         tag,
@@ -365,10 +377,11 @@ impl<'m> Runner<'m> {
                     self.states[ri].completions.insert(req, recv_end);
                     self.maybe_wake_waiter(r);
                 } else {
-                    self.irecvs
-                        .entry((peer, r))
-                        .or_default()
-                        .push(PostedIrecv { tag, req, posted: t + o });
+                    self.irecvs.entry((peer, r)).or_default().push(PostedIrecv {
+                        tag,
+                        req,
+                        posted: t + o,
+                    });
                 }
                 self.resume(r, t + o);
             }
@@ -403,9 +416,13 @@ impl<'m> Runner<'m> {
                         EventKind::Reduce { bytes, .. } | EventKind::Gather { bytes, .. } => {
                             (1, bytes)
                         }
-                        EventKind::Bcast { bytes, comm_size, .. }
+                        EventKind::Bcast {
+                            bytes, comm_size, ..
+                        }
                         | EventKind::Allreduce { bytes, comm_size }
-                        | EventKind::Scatter { bytes, comm_size, .. }
+                        | EventKind::Scatter {
+                            bytes, comm_size, ..
+                        }
                         | EventKind::Allgather { bytes, comm_size } => {
                             ((f64::from(comm_size)).log2().ceil() as u32, bytes)
                         }
@@ -438,7 +455,9 @@ impl<'m> Runner<'m> {
             debug_assert_eq!(self.states[ps.src as usize].blocked, Blocked::AtSend);
             self.resume(ps.src, send_end);
         } else if let Some(req) = ps.req {
-            self.states[ps.src as usize].completions.insert(req, send_end);
+            self.states[ps.src as usize]
+                .completions
+                .insert(req, send_end);
             self.maybe_wake_waiter(ps.src);
         }
     }
@@ -453,8 +472,10 @@ impl<'m> Runner<'m> {
         bytes: u64,
         send_ready: Cycles,
     ) -> bool {
-        if let Blocked::AtRecv { src: want_src, tag: want_tag } =
-            self.states[dst as usize].blocked
+        if let Blocked::AtRecv {
+            src: want_src,
+            tag: want_tag,
+        } = self.states[dst as usize].blocked
         {
             if want_src == src && want_tag == tag {
                 let recv_ready = self.states[dst as usize].clock + self.model.overhead;
@@ -466,7 +487,9 @@ impl<'m> Runner<'m> {
         }
         if let Some(ir) = self.take_irecv(src, dst, tag) {
             let (recv_end, send_end) = self.transfer(send_ready, ir.posted, bytes);
-            self.states[dst as usize].completions.insert(ir.req, recv_end);
+            self.states[dst as usize]
+                .completions
+                .insert(ir.req, recv_end);
             self.maybe_wake_waiter(dst);
             self.resume(src, send_end);
             return true;
@@ -484,8 +507,10 @@ impl<'m> Runner<'m> {
         send_ready: Cycles,
         req: ReqId,
     ) -> bool {
-        if let Blocked::AtRecv { src: want_src, tag: want_tag } =
-            self.states[dst as usize].blocked
+        if let Blocked::AtRecv {
+            src: want_src,
+            tag: want_tag,
+        } = self.states[dst as usize].blocked
         {
             if want_src == src && want_tag == tag {
                 let recv_ready = self.states[dst as usize].clock + self.model.overhead;
@@ -498,7 +523,9 @@ impl<'m> Runner<'m> {
         }
         if let Some(ir) = self.take_irecv(src, dst, tag) {
             let (recv_end, send_end) = self.transfer(send_ready, ir.posted, bytes);
-            self.states[dst as usize].completions.insert(ir.req, recv_end);
+            self.states[dst as usize]
+                .completions
+                .insert(ir.req, recv_end);
             self.maybe_wake_waiter(dst);
             self.states[src as usize].completions.insert(req, send_end);
             self.maybe_wake_waiter(src);
@@ -517,8 +544,10 @@ impl<'m> Runner<'m> {
         bytes: u64,
         send_ready: Cycles,
     ) -> bool {
-        if let Blocked::AtRecv { src: want_src, tag: want_tag } =
-            self.states[dst as usize].blocked
+        if let Blocked::AtRecv {
+            src: want_src,
+            tag: want_tag,
+        } = self.states[dst as usize].blocked
         {
             if want_src == src && want_tag == tag {
                 let recv_ready = self.states[dst as usize].clock + self.model.overhead;
@@ -529,7 +558,9 @@ impl<'m> Runner<'m> {
         }
         if let Some(ir) = self.take_irecv(src, dst, tag) {
             let (recv_end, _send_end) = self.transfer(send_ready, ir.posted, bytes);
-            self.states[dst as usize].completions.insert(ir.req, recv_end);
+            self.states[dst as usize]
+                .completions
+                .insert(ir.req, recv_end);
             self.maybe_wake_waiter(dst);
             return true;
         }
@@ -544,10 +575,7 @@ impl<'m> Runner<'m> {
 
     fn block_on_waits(&mut self, r: Rank, reqs: Vec<ReqId>, t: Cycles, o: Cycles) {
         let st = &mut self.states[r as usize];
-        if reqs
-            .iter()
-            .all(|req| st.completions.contains_key(req))
-        {
+        if reqs.iter().all(|req| st.completions.contains_key(req)) {
             let latest = reqs
                 .iter()
                 .map(|req| st.completions.remove(req).expect("checked"))
@@ -634,8 +662,7 @@ mod tests {
         });
         let original_end = trace.rank(0).last().unwrap().t_end;
         let report = DimemasReplay::new(model()).run(&trace).unwrap();
-        let rel_err = (report.makespan() as f64 - original_end as f64).abs()
-            / original_end as f64;
+        let rel_err = (report.makespan() as f64 - original_end as f64).abs() / original_end as f64;
         assert!(rel_err < 0.05, "rel_err = {rel_err}");
     }
 
@@ -658,7 +685,10 @@ mod tests {
         let slowed = DimemasReplay::new(slow).run(&trace).unwrap().makespan();
         // Critical path gains ~2 wire hops × (20k − 2k) per iteration (the
         // ack hops overlap with the reverse transfer).
-        assert!(slowed > base + 20 * 2 * 15_000, "slowed={slowed} base={base}");
+        assert!(
+            slowed > base + 20 * 2 * 15_000,
+            "slowed={slowed} base={base}"
+        );
     }
 
     #[test]
@@ -675,7 +705,10 @@ mod tests {
         let free = DimemasReplay::new(model()).run(&trace).unwrap().makespan();
         let mut contended_model = model();
         contended_model.buses = 1;
-        let contended = DimemasReplay::new(contended_model).run(&trace).unwrap().makespan();
+        let contended = DimemasReplay::new(contended_model)
+            .run(&trace)
+            .unwrap()
+            .makespan();
         // One bus forces the four 512k-cycle transfers to serialize.
         assert!(
             contended > free + 3 * 500_000,
@@ -722,7 +755,12 @@ mod tests {
             seq: 0,
             t_start: 0,
             t_end: 10,
-            kind: EventKind::Recv { peer: 0, tag: 0, bytes: 0, posted_any: false },
+            kind: EventKind::Recv {
+                peer: 0,
+                tag: 0,
+                bytes: 0,
+                posted_any: false,
+            },
         });
         let err = DimemasReplay::new(model()).run(&mt).unwrap_err();
         assert!(matches!(err, DimemasError::Stuck(_)));

@@ -45,7 +45,11 @@ impl<T> EventQueue<T> {
     /// # Panics
     /// Panics if `at` is in the past — a DES must never travel backwards.
     pub fn schedule(&mut self, at: Cycles, payload: T) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let id = self.payloads.len() as u64;
         self.payloads.push(Some(payload));
         self.heap.push(Reverse((at, id)));
@@ -57,7 +61,9 @@ impl<T> EventQueue<T> {
         let Reverse((t, id)) = self.heap.pop()?;
         self.now = t;
         self.processed += 1;
-        let payload = self.payloads[id as usize].take().expect("event popped twice");
+        let payload = self.payloads[id as usize]
+            .take()
+            .expect("event popped twice");
         Some((t, payload))
     }
 
@@ -88,7 +94,9 @@ impl ResourcePool {
     /// A pool of `n` units; `n == 0` means unlimited (every acquire is
     /// immediate).
     pub fn new(n: usize) -> Self {
-        Self { free_at: vec![0; n] }
+        Self {
+            free_at: vec![0; n],
+        }
     }
 
     /// Books one unit for `[max(ready, unit_free), +duration)`; returns the

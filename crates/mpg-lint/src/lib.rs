@@ -1,0 +1,133 @@
+#![warn(missing_docs)]
+
+//! Static defect analysis of message-passing traces (`mpg-lint`).
+//!
+//! The replay engine of `mpg-core` assumes its input traces describe a
+//! correct, completed run (§4.1: every message event has a counterpart;
+//! §4.3: "the program did run correctly"). This crate checks that
+//! assumption *before* replay, reporting structured [`Diagnostic`]s with
+//! stable `MPG-*` rule codes through the same reporting path as
+//! `mpg_trace::validate`:
+//!
+//! | pass | defects | rules |
+//! |------|---------|-------|
+//! | 0 (validate) | per-rank structure | `MPG-CLOCK-NONMONO`, `MPG-BAD-SEQ`, `MPG-MISSING-INIT`, `MPG-MISSING-FINALIZE`, `MPG-WRONG-RANK`, `MPG-DUP-REQUEST`, `MPG-UNKNOWN-REQUEST`, `MPG-LEAKED-REQUEST`, `MPG-SELF-MESSAGE` |
+//! | 1 (match) | cross-rank match resolution | `MPG-UNMATCHED-SEND`, `MPG-UNMATCHED-RECV`, `MPG-TAG-MISMATCH`, `MPG-COUNT-MISMATCH`, `MPG-BAD-PEER` |
+//! | 2 (deadlock) | wait-for-graph cycles | `MPG-DEADLOCK` |
+//! | 3 (causality) | recorded-graph sanity | `MPG-CYCLE`, `MPG-CAUSALITY` |
+//! | 4 (wildcard) | nondeterministic matching | `MPG-WILD-RACE` |
+//! | 5 (collective) | collective consistency | `MPG-COLLECTIVE-SKEW` |
+//!
+//! Passes 1, 2, 4 and 5 run off one lockstep progress simulation
+//! ([`progress::lint_progress`]) that reuses the simulator's
+//! [`EnvelopeMatcher`](mpg_sim::EnvelopeMatcher) — the lint and the runtime
+//! share a single implementation of the MPI matching rules. Pass 3
+//! ([`graphcheck::lint_graph`]) inspects a recorded
+//! [`EventGraph`](mpg_core::EventGraph).
+//!
+//! [`replay_gate`] packages [`lint_trace`] as a
+//! [`TraceGate`](mpg_core::TraceGate) so `Replayer::run` can refuse traces
+//! with error-severity defects.
+
+mod envelope;
+pub mod graphcheck;
+pub mod progress;
+
+pub use graphcheck::lint_graph;
+pub use progress::lint_progress;
+
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer, TraceGate};
+use mpg_trace::{sort_diagnostics, Diagnostic, MemTrace, Rule, Severity};
+
+/// Lints an in-memory trace: validation (pass 0) plus the progress-
+/// simulation passes (1, 2, 4, 5). Diagnostics come back sorted worst
+/// first ([`sort_diagnostics`]).
+pub fn lint_trace(trace: &MemTrace) -> Vec<Diagnostic> {
+    let mut diags = mpg_trace::validate_trace_diagnostics(trace);
+    diags.extend(lint_progress(trace));
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// [`lint_trace`], then — when no error-severity defect was found — a
+/// quiet recording replay to stitch the event graph and run the causality
+/// pass (3) over it. If the replayer itself rejects a trace the earlier
+/// passes accepted, that is reported as `MPG-CYCLE` (the graph could not
+/// be stitched).
+pub fn lint_full(trace: &MemTrace) -> Vec<Diagnostic> {
+    let mut diags = lint_trace(trace);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        return diags;
+    }
+    let cfg = ReplayConfig::new(PerturbationModel::quiet("lint"))
+        .seed(0)
+        .record_graph(true);
+    match Replayer::new(cfg).run(trace) {
+        Ok(report) => {
+            if let Some(graph) = report.graph {
+                diags.extend(lint_graph(&graph));
+            }
+        }
+        Err(e) => {
+            diags.push(Diagnostic::new(
+                Rule::Cycle,
+                format!("event graph could not be stitched: {e}"),
+            ));
+        }
+    }
+    sort_diagnostics(&mut diags);
+    diags
+}
+
+/// A [`TraceGate`] that runs [`lint_trace`]; install it with
+/// [`ReplayConfig::gate`](mpg_core::ReplayConfig::gate) to make
+/// `Replayer::run` fail with `ReplayError::Gated` on error-severity
+/// diagnostics instead of replaying a defective trace.
+pub fn replay_gate() -> TraceGate {
+    TraceGate::new(lint_trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpg_trace::{EventKind, EventRecord};
+
+    fn one_rank_trace(kinds: Vec<EventKind>) -> MemTrace {
+        let mut mt = MemTrace::new(1);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let t = i as u64 * 10;
+            mt.push(EventRecord {
+                rank: 0,
+                seq: i as u64,
+                t_start: t,
+                t_end: t + 10,
+                kind,
+            });
+        }
+        mt
+    }
+
+    #[test]
+    fn trivial_trace_is_clean() {
+        let mt = one_rank_trace(vec![
+            EventKind::Init,
+            EventKind::Compute { work: 10 },
+            EventKind::Finalize,
+        ]);
+        assert!(lint_trace(&mt).is_empty());
+        assert!(lint_full(&mt).is_empty());
+    }
+
+    #[test]
+    fn gate_rejects_defective_trace() {
+        // Missing Init/Finalize: two error diagnostics from pass 0.
+        let mt = one_rank_trace(vec![EventKind::Compute { work: 10 }]);
+        let gate = replay_gate();
+        let errors: Vec<_> = gate
+            .check(&mt)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(!errors.is_empty());
+    }
+}

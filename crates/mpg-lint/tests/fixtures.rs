@@ -1,0 +1,398 @@
+//! Hand-built defective traces, one per lint rule, asserting the exact
+//! rule code and set of ranks each pass reports.
+
+use mpg_lint::lint_trace;
+use mpg_trace::{Diagnostic, EventKind, EventRecord, MemTrace, Rank, Rule, SendProtocol, Severity};
+
+/// Builds a trace from per-rank event-kind programs, wrapping each rank in
+/// Init/Finalize and assigning dense sequence numbers and monotone clocks
+/// so pass 0 stays quiet and only the seeded defect fires.
+fn trace_of(programs: Vec<Vec<EventKind>>) -> MemTrace {
+    let mut mt = MemTrace::new(programs.len());
+    for (rank, body) in programs.into_iter().enumerate() {
+        let mut kinds = vec![EventKind::Init];
+        kinds.extend(body);
+        kinds.push(EventKind::Finalize);
+        for (i, kind) in kinds.into_iter().enumerate() {
+            let t = i as u64 * 10;
+            mt.push(EventRecord {
+                rank: rank as Rank,
+                seq: i as u64,
+                t_start: t,
+                t_end: t + 10,
+                kind,
+            });
+        }
+    }
+    mt
+}
+
+fn send(peer: Rank, tag: u32, bytes: u64) -> EventKind {
+    EventKind::Send {
+        peer,
+        tag,
+        bytes,
+        protocol: SendProtocol::Standard,
+    }
+}
+
+fn ssend(peer: Rank, tag: u32, bytes: u64) -> EventKind {
+    EventKind::Send {
+        peer,
+        tag,
+        bytes,
+        protocol: SendProtocol::Synchronous,
+    }
+}
+
+fn recv(peer: Rank, tag: u32, bytes: u64) -> EventKind {
+    EventKind::Recv {
+        peer,
+        tag,
+        bytes,
+        posted_any: false,
+    }
+}
+
+fn recv_any(peer: Rank, tag: u32, bytes: u64) -> EventKind {
+    EventKind::Recv {
+        peer,
+        tag,
+        bytes,
+        posted_any: true,
+    }
+}
+
+struct Fixture {
+    name: &'static str,
+    trace: MemTrace,
+    rule: Rule,
+    ranks: Vec<Rank>,
+    /// When set, the fixture must produce diagnostics of this rule and
+    /// nothing else.
+    exclusive: bool,
+}
+
+fn fixtures() -> Vec<Fixture> {
+    vec![
+        Fixture {
+            // Classic head-to-head blocking receives: 0 and 1 each wait
+            // for the other's send, which is never reached.
+            name: "deadlock-cycle",
+            trace: trace_of(vec![
+                vec![recv(1, 0, 8), send(1, 0, 8)],
+                vec![recv(0, 0, 8), send(0, 0, 8)],
+            ]),
+            rule: Rule::Deadlock,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Synchronous sends head-to-head also cycle: each Ssend waits
+            // for the peer's receive, which sits behind the peer's Ssend.
+            name: "deadlock-ssend",
+            trace: trace_of(vec![
+                vec![ssend(1, 0, 8), recv(1, 0, 8)],
+                vec![ssend(0, 0, 8), recv(0, 0, 8)],
+            ]),
+            rule: Rule::Deadlock,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Rank 0 sends; rank 1 never posts a receive.
+            name: "orphan-send",
+            trace: trace_of(vec![vec![send(1, 7, 64)], vec![]]),
+            rule: Rule::UnmatchedSend,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Rank 1 expects a message rank 0 never sends.
+            name: "orphan-recv",
+            trace: trace_of(vec![vec![], vec![recv(0, 3, 8)]]),
+            rule: Rule::UnmatchedRecv,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Channel agrees, tag does not: the leftover pair is reported
+            // as one tag mismatch, not two unmatched envelopes.
+            name: "tag-mismatch",
+            trace: trace_of(vec![vec![send(1, 1, 8)], vec![recv(0, 2, 8)]]),
+            rule: Rule::TagMismatch,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Matched pair disagreeing on payload size (warning).
+            name: "count-mismatch",
+            trace: trace_of(vec![vec![send(1, 0, 64)], vec![recv(0, 0, 32)]]),
+            rule: Rule::CountMismatch,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Destination outside the communicator.
+            name: "bad-peer",
+            trace: trace_of(vec![vec![send(9, 0, 8)], vec![]]),
+            rule: Rule::BadPeer,
+            ranks: vec![0],
+            exclusive: true,
+        },
+        Fixture {
+            // Two wildcard receives on rank 0 resolved to different
+            // senders with nothing ordering them: the match is a race.
+            name: "wildcard-race",
+            trace: trace_of(vec![
+                vec![recv_any(1, 5, 8), recv_any(2, 5, 8)],
+                vec![send(0, 5, 8)],
+                vec![send(0, 5, 8)],
+            ]),
+            rule: Rule::WildRace,
+            ranks: vec![0, 1, 2],
+            exclusive: true,
+        },
+        Fixture {
+            // Ranks disagree on which collective epoch 0 is.
+            name: "collective-skew-kind",
+            trace: trace_of(vec![
+                vec![EventKind::Barrier { comm_size: 2 }],
+                vec![EventKind::Allreduce {
+                    bytes: 8,
+                    comm_size: 2,
+                }],
+            ]),
+            rule: Rule::CollectiveSkew,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Ranks agree on the op but disagree on the root.
+            name: "collective-skew-root",
+            trace: trace_of(vec![
+                vec![EventKind::Bcast {
+                    root: 0,
+                    bytes: 64,
+                    comm_size: 2,
+                }],
+                vec![EventKind::Bcast {
+                    root: 1,
+                    bytes: 64,
+                    comm_size: 2,
+                }],
+            ]),
+            rule: Rule::CollectiveSkew,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // A collective naming a communicator larger than the trace:
+            // traced collectives are always world-sized (sub-communicator
+            // collectives are expanded to point-to-point by the tracer).
+            name: "collective-skew-comm-size",
+            trace: trace_of(vec![
+                vec![EventKind::Barrier { comm_size: 3 }],
+                vec![EventKind::Barrier { comm_size: 3 }],
+            ]),
+            rule: Rule::CollectiveSkew,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Rank 1 exits without ever reaching the barrier rank 0 (and
+            // the analysis) waits at.
+            name: "collective-missing-rank",
+            trace: trace_of(vec![vec![EventKind::Barrier { comm_size: 2 }], vec![]]),
+            rule: Rule::CollectiveSkew,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+        Fixture {
+            // Wait on an irecv whose sender never shows up: the request
+            // pends forever and the posted envelope is left over.
+            name: "orphan-irecv",
+            trace: trace_of(vec![
+                vec![
+                    EventKind::Irecv {
+                        peer: 1,
+                        tag: 0,
+                        bytes: 8,
+                        req: 1,
+                        posted_any: false,
+                    },
+                    EventKind::Wait { req: 1 },
+                ],
+                vec![],
+            ]),
+            rule: Rule::UnmatchedRecv,
+            ranks: vec![0, 1],
+            exclusive: true,
+        },
+    ]
+}
+
+#[test]
+fn fixtures_trigger_exactly_their_rule() {
+    for f in fixtures() {
+        let diags = lint_trace(&f.trace);
+        let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == f.rule).collect();
+        assert!(
+            !hits.is_empty(),
+            "fixture {}: expected {:?}, got {:?}",
+            f.name,
+            f.rule.code(),
+            diags
+        );
+        assert!(
+            hits.iter().any(|d| d.ranks == f.ranks),
+            "fixture {}: expected ranks {:?}, got {:?}",
+            f.name,
+            f.ranks,
+            hits
+        );
+        if f.exclusive {
+            assert!(
+                diags.iter().all(|d| d.rule == f.rule),
+                "fixture {}: unexpected extra diagnostics {:?}",
+                f.name,
+                diags
+            );
+        }
+    }
+}
+
+#[test]
+fn fixture_severities_follow_rule_defaults() {
+    for f in fixtures() {
+        let diags = lint_trace(&f.trace);
+        for d in diags.iter().filter(|d| d.rule == f.rule) {
+            assert_eq!(d.severity, f.rule.default_severity(), "fixture {}", f.name);
+        }
+    }
+}
+
+#[test]
+fn deadlock_message_names_blocked_ops() {
+    let t = trace_of(vec![
+        vec![recv(1, 0, 8), send(1, 0, 8)],
+        vec![recv(0, 0, 8), send(0, 0, 8)],
+    ]);
+    let diags = lint_trace(&t);
+    let d = diags
+        .iter()
+        .find(|d| d.rule == Rule::Deadlock)
+        .expect("deadlock");
+    assert!(d.message.contains("rank 0"), "{}", d.message);
+    assert!(d.message.contains("rank 1"), "{}", d.message);
+    assert!(d.message.contains("recv"), "{}", d.message);
+}
+
+#[test]
+fn three_rank_deadlock_ring_is_one_cycle() {
+    // 0 waits on 1, 1 waits on 2, 2 waits on 0.
+    let t = trace_of(vec![
+        vec![recv(1, 0, 8), send(2, 0, 8)],
+        vec![recv(2, 0, 8), send(0, 0, 8)],
+        vec![recv(0, 0, 8), send(1, 0, 8)],
+    ]);
+    let diags = lint_trace(&t);
+    let cycles: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == Rule::Deadlock).collect();
+    assert_eq!(cycles.len(), 1, "{diags:?}");
+    assert_eq!(cycles[0].ranks, vec![0, 1, 2]);
+}
+
+#[test]
+fn wildcard_single_feasible_sender_is_not_a_race() {
+    // Wildcard receives that always resolve to the same sender carry no
+    // nondeterminism worth reporting.
+    let t = trace_of(vec![
+        vec![recv_any(1, 5, 8), recv_any(1, 5, 8)],
+        vec![send(0, 5, 8), send(0, 5, 8)],
+        vec![],
+    ]);
+    assert!(lint_trace(&t).is_empty());
+}
+
+#[test]
+fn wildcard_resolutions_separated_by_barrier_are_not_a_race() {
+    let barrier = || EventKind::Barrier { comm_size: 3 };
+    let t = trace_of(vec![
+        vec![recv_any(1, 5, 8), barrier(), recv_any(2, 5, 8)],
+        vec![send(0, 5, 8), barrier()],
+        vec![barrier(), send(0, 5, 8)],
+    ]);
+    let diags = lint_trace(&t);
+    assert!(
+        !diags.iter().any(|d| d.rule == Rule::WildRace),
+        "phases separated by a collective are ordered: {diags:?}"
+    );
+}
+
+#[test]
+fn matched_exchange_is_clean() {
+    let t = trace_of(vec![
+        vec![
+            send(1, 0, 16),
+            recv(1, 1, 16),
+            EventKind::Barrier { comm_size: 2 },
+        ],
+        vec![
+            recv(0, 0, 16),
+            send(0, 1, 16),
+            EventKind::Barrier { comm_size: 2 },
+        ],
+    ]);
+    assert_eq!(lint_trace(&t), Vec::<Diagnostic>::new());
+}
+
+#[test]
+fn nonblocking_exchange_is_clean() {
+    let t = trace_of(vec![
+        vec![
+            EventKind::Irecv {
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+                req: 1,
+                posted_any: false,
+            },
+            EventKind::Isend {
+                peer: 1,
+                tag: 1,
+                bytes: 8,
+                req: 2,
+            },
+            EventKind::WaitAll { reqs: vec![1, 2] },
+        ],
+        vec![
+            EventKind::Irecv {
+                peer: 0,
+                tag: 1,
+                bytes: 8,
+                req: 1,
+                posted_any: false,
+            },
+            EventKind::Isend {
+                peer: 0,
+                tag: 0,
+                bytes: 8,
+                req: 2,
+            },
+            EventKind::WaitAll { reqs: vec![1, 2] },
+        ],
+    ]);
+    assert_eq!(lint_trace(&t), Vec::<Diagnostic>::new());
+}
+
+#[test]
+fn error_count_gates_exit_semantics() {
+    // The CLI's exit-code contract keys off error-severity diagnostics;
+    // a count mismatch (warning) must not be one.
+    let warn_only = trace_of(vec![vec![send(1, 0, 64)], vec![recv(0, 0, 32)]]);
+    let diags = lint_trace(&warn_only);
+    assert!(
+        diags.iter().all(|d| d.severity < Severity::Error),
+        "{diags:?}"
+    );
+}

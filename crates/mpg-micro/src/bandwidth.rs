@@ -35,7 +35,9 @@ pub fn bandwidth(
     let out = Simulation::new(2, platform.clone())
         .seed(seed)
         .ideal_clocks()
-        .send_mode(mpg_sim::SendMode::Eager { threshold: u64::MAX })
+        .send_mode(mpg_sim::SendMode::Eager {
+            threshold: u64::MAX,
+        })
         .run(|ctx| {
             for _ in 0..iters {
                 if ctx.rank() == 0 {
@@ -65,7 +67,11 @@ pub fn bandwidth(
         }
     }
     let summary = Summary::of(&cycles_per_byte);
-    BandwidthResult { bytes, cycles_per_byte, summary }
+    BandwidthResult {
+        bytes,
+        cycles_per_byte,
+        summary,
+    }
 }
 
 #[cfg(test)]

@@ -21,7 +21,11 @@ use crate::signature::MeasuredSignature;
 
 /// Shifts an empirical distribution down by `baseline`, clamping at zero.
 fn shifted(e: &Empirical, baseline: f64) -> Dist {
-    let samples: Vec<f64> = e.samples().iter().map(|&x| (x - baseline).max(0.0)).collect();
+    let samples: Vec<f64> = e
+        .samples()
+        .iter()
+        .map(|&x| (x - baseline).max(0.0))
+        .collect();
     Dist::Empirical(Empirical::from_samples(&samples))
 }
 

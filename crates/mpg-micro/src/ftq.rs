@@ -55,15 +55,17 @@ pub fn ftq(platform: &PlatformSignature, quantum: Cycles, quanta: usize, seed: u
         .rank(0)
         .iter()
         .filter_map(|e| match e.kind {
-            mpg_trace::EventKind::Compute { work } => {
-                Some((e.duration() - work) as f64)
-            }
+            mpg_trace::EventKind::Compute { work } => Some((e.duration() - work) as f64),
             _ => None,
         })
         .collect();
     assert_eq!(stolen.len(), quanta);
     let summary = Summary::of(&stolen);
-    FtqResult { quantum, stolen, summary }
+    FtqResult {
+        quantum,
+        stolen,
+        summary,
+    }
 }
 
 #[cfg(test)]

@@ -41,7 +41,9 @@ pub fn mraz(platform: &PlatformSignature, burst: Cycles, iters: usize, seed: u64
     let out = Simulation::new(2, platform.clone())
         .seed(seed)
         .ideal_clocks()
-        .send_mode(mpg_sim::SendMode::Eager { threshold: u64::MAX })
+        .send_mode(mpg_sim::SendMode::Eager {
+            threshold: u64::MAX,
+        })
         .run(|ctx| {
             for _ in 0..iters {
                 ctx.compute(burst);
@@ -73,7 +75,11 @@ pub fn mraz(platform: &PlatformSignature, burst: Cycles, iters: usize, seed: u64
     let best = iter_times.iter().copied().fold(f64::INFINITY, f64::min);
     let excess: Vec<f64> = iter_times.iter().map(|t| t - best).collect();
     let summary = Summary::of(&excess);
-    MrazResult { burst, excess, summary }
+    MrazResult {
+        burst,
+        excess,
+        summary,
+    }
 }
 
 #[cfg(test)]

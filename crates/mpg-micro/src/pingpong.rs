@@ -45,7 +45,9 @@ pub fn pingpong(
         .ideal_clocks()
         // Eager sends so the forward message does not wait for an ack —
         // otherwise the "round trip" would contain two acks as well.
-        .send_mode(mpg_sim::SendMode::Eager { threshold: u64::MAX })
+        .send_mode(mpg_sim::SendMode::Eager {
+            threshold: u64::MAX,
+        })
         .run(|ctx| {
             for _ in 0..iters {
                 if ctx.rank() == 0 {
@@ -74,7 +76,11 @@ pub fn pingpong(
     }
     assert_eq!(one_way.len(), iters);
     let summary = Summary::of(&one_way);
-    PingPongResult { bytes, one_way, summary }
+    PingPongResult {
+        bytes,
+        one_way,
+        summary,
+    }
 }
 
 #[cfg(test)]

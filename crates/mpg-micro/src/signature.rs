@@ -45,7 +45,13 @@ pub fn measure_signature(
 ) -> MeasuredSignature {
     let f = ftq(platform, quantum, samples, seed ^ 0xF7);
     let p = pingpong(platform, 0, samples, seed ^ 0x91);
-    let b = bandwidth(platform, 1 << 20, (samples / 10).max(8), p.summary.mean, seed ^ 0xB3);
+    let b = bandwidth(
+        platform,
+        1 << 20,
+        (samples / 10).max(8),
+        p.summary.mean,
+        seed ^ 0xB3,
+    );
     let m = mraz(platform, quantum / 10, samples, seed ^ 0x3A);
 
     let ftq_noise = f.empirical();

@@ -118,9 +118,7 @@ impl Dist {
             Dist::Constant(c) => *c,
             Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.uniform01(),
             Dist::Exponential { mean } => rng.exponential(*mean),
-            Dist::Normal { mean, std_dev } => {
-                (mean + std_dev * rng.standard_normal()).max(0.0)
-            }
+            Dist::Normal { mean, std_dev } => (mean + std_dev * rng.standard_normal()).max(0.0),
             Dist::LogNormal { mu, sigma } => (mu + sigma * rng.standard_normal()).exp(),
             Dist::Pareto { x_m, alpha } => {
                 let u = 1.0 - rng.uniform01();
@@ -198,7 +196,10 @@ mod tests {
 
     #[test]
     fn uniform_bounds_and_mean() {
-        let d = Dist::Uniform { lo: 100.0, hi: 300.0 };
+        let d = Dist::Uniform {
+            lo: 100.0,
+            hi: 300.0,
+        };
         let mut rng = StreamRng::new(2, 0);
         for _ in 0..10_000 {
             let x = d.sample(&mut rng);
@@ -215,7 +216,10 @@ mod tests {
 
     #[test]
     fn normal_truncated_nonnegative() {
-        let d = Dist::Normal { mean: 10.0, std_dev: 100.0 };
+        let d = Dist::Normal {
+            mean: 10.0,
+            std_dev: 100.0,
+        };
         let mut rng = StreamRng::new(5, 0);
         for _ in 0..10_000 {
             // u64 return type already proves nonnegativity; check f64 path.
@@ -225,7 +229,10 @@ mod tests {
 
     #[test]
     fn pareto_min_respected_and_mean() {
-        let d = Dist::Pareto { x_m: 50.0, alpha: 3.0 };
+        let d = Dist::Pareto {
+            x_m: 50.0,
+            alpha: 3.0,
+        };
         let mut rng = StreamRng::new(6, 0);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 50);
@@ -233,14 +240,21 @@ mod tests {
         // analytic mean = 3*50/2 = 75
         assert!((sample_mean(&d, 300_000, 7) - 75.0).abs() < 2.0);
         assert_eq!(
-            Dist::Pareto { x_m: 1.0, alpha: 0.5 }.mean(),
+            Dist::Pareto {
+                x_m: 1.0,
+                alpha: 0.5
+            }
+            .mean(),
             f64::INFINITY
         );
     }
 
     #[test]
     fn spike_rate() {
-        let d = Dist::Spike { p: 0.25, magnitude: 1000.0 };
+        let d = Dist::Spike {
+            p: 0.25,
+            magnitude: 1000.0,
+        };
         let mut rng = StreamRng::new(8, 0);
         let n = 100_000;
         let hits = (0..n).filter(|_| d.sample(&mut rng) == 1000).count();
@@ -251,18 +265,17 @@ mod tests {
 
     #[test]
     fn mixture_mean() {
-        let d = Dist::mixture(
-            0.5,
-            Dist::Constant(0.0),
-            Dist::Constant(1000.0),
-        );
+        let d = Dist::mixture(0.5, Dist::Constant(0.0), Dist::Constant(1000.0));
         assert_eq!(d.mean(), 500.0);
         assert!((sample_mean(&d, 100_000, 9) - 500.0).abs() < 10.0);
     }
 
     #[test]
     fn lognormal_mean() {
-        let d = Dist::LogNormal { mu: 5.0, sigma: 0.5 };
+        let d = Dist::LogNormal {
+            mu: 5.0,
+            sigma: 0.5,
+        };
         let expect = (5.0f64 + 0.125).exp();
         assert!((sample_mean(&d, 300_000, 10) - expect).abs() < expect * 0.02);
     }

@@ -31,21 +31,31 @@ pub fn fit_normal(samples: &[f64]) -> Option<Dist> {
     let n = samples.len() as f64;
     let mean = samples.iter().sum::<f64>() / n;
     let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-    Some(Dist::Normal { mean, std_dev: var.sqrt() })
+    Some(Dist::Normal {
+        mean,
+        std_dev: var.sqrt(),
+    })
 }
 
 /// Fits a log-normal by moments of `ln(x)`; zero/negative samples are
 /// shifted out by a tiny epsilon. Returns `None` when fewer than two
 /// positive samples exist.
 pub fn fit_lognormal(samples: &[f64]) -> Option<Dist> {
-    let logs: Vec<f64> = samples.iter().filter(|&&x| x > 0.0).map(|x| x.ln()).collect();
+    let logs: Vec<f64> = samples
+        .iter()
+        .filter(|&&x| x > 0.0)
+        .map(|x| x.ln())
+        .collect();
     if logs.len() < 2 {
         return None;
     }
     let n = logs.len() as f64;
     let mu = logs.iter().sum::<f64>() / n;
     let var = logs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / (n - 1.0);
-    Some(Dist::LogNormal { mu, sigma: var.sqrt() })
+    Some(Dist::LogNormal {
+        mu,
+        sigma: var.sqrt(),
+    })
 }
 
 /// Fits a Pareto: scale = sample min, shape by MLE.
@@ -105,7 +115,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -152,7 +163,7 @@ pub fn best_fit(samples: &[f64]) -> Vec<(&'static str, Dist, f64)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::rng::StreamRng;
 
     fn draw(d: &Dist, n: usize, seed: u64) -> Vec<f64> {
@@ -172,7 +183,14 @@ mod tests {
 
     #[test]
     fn normal_recovers_moments() {
-        let xs = draw(&Dist::Normal { mean: 5_000.0, std_dev: 300.0 }, 50_000, 2);
+        let xs = draw(
+            &Dist::Normal {
+                mean: 5_000.0,
+                std_dev: 300.0,
+            },
+            50_000,
+            2,
+        );
         let Some(Dist::Normal { mean, std_dev }) = fit_normal(&xs) else {
             panic!("fit failed")
         };
@@ -182,7 +200,14 @@ mod tests {
 
     #[test]
     fn lognormal_recovers_parameters() {
-        let xs = draw(&Dist::LogNormal { mu: 6.0, sigma: 0.4 }, 50_000, 3);
+        let xs = draw(
+            &Dist::LogNormal {
+                mu: 6.0,
+                sigma: 0.4,
+            },
+            50_000,
+            3,
+        );
         let Some(Dist::LogNormal { mu, sigma }) = fit_lognormal(&xs) else {
             panic!("fit failed")
         };
@@ -192,7 +217,14 @@ mod tests {
 
     #[test]
     fn pareto_recovers_shape() {
-        let xs = draw(&Dist::Pareto { x_m: 100.0, alpha: 2.5 }, 50_000, 4);
+        let xs = draw(
+            &Dist::Pareto {
+                x_m: 100.0,
+                alpha: 2.5,
+            },
+            50_000,
+            4,
+        );
         let Some(Dist::Pareto { x_m, alpha }) = fit_pareto(&xs) else {
             panic!("fit failed")
         };
@@ -204,8 +236,20 @@ mod tests {
     fn best_fit_identifies_the_generating_family() {
         for (name, d) in [
             ("exponential", Dist::Exponential { mean: 700.0 }),
-            ("lognormal", Dist::LogNormal { mu: 5.0, sigma: 0.8 }),
-            ("normal", Dist::Normal { mean: 10_000.0, std_dev: 500.0 }),
+            (
+                "lognormal",
+                Dist::LogNormal {
+                    mu: 5.0,
+                    sigma: 0.8,
+                },
+            ),
+            (
+                "normal",
+                Dist::Normal {
+                    mean: 10_000.0,
+                    std_dev: 500.0,
+                },
+            ),
         ] {
             let xs = draw(&d, 20_000, 7);
             let ranked = best_fit(&xs);
@@ -216,7 +260,10 @@ mod tests {
     #[test]
     fn ks_detects_wrong_family() {
         let xs = draw(&Dist::Exponential { mean: 500.0 }, 20_000, 8);
-        let wrong = Dist::Normal { mean: 500.0, std_dev: 500.0 };
+        let wrong = Dist::Normal {
+            mean: 500.0,
+            std_dev: 500.0,
+        };
         let right = fit_exponential(&xs).expect("fits");
         assert!(ks_statistic(&xs, &right) < 0.02);
         assert!(ks_statistic(&xs, &wrong) > 0.05);

@@ -164,10 +164,14 @@ impl Histogram {
         let mut out = String::new();
         for i in first..=last {
             let (lo, hi) = self.bin_edges(i);
-            let bar = "#".repeat((self.counts[i] as usize * width / max as usize).max(
-                usize::from(self.counts[i] > 0),
+            let bar = "#".repeat(
+                (self.counts[i] as usize * width / max as usize)
+                    .max(usize::from(self.counts[i] > 0)),
+            );
+            out.push_str(&format!(
+                "[{lo:>12.0}, {hi:>12.0})  {:>8}  {bar}\n",
+                self.counts[i]
             ));
-            out.push_str(&format!("[{lo:>12.0}, {hi:>12.0})  {:>8}  {bar}\n", self.counts[i]));
         }
         if self.underflow > 0 {
             out.push_str(&format!("underflow: {}\n", self.underflow));
@@ -185,7 +189,11 @@ mod tests {
 
     #[test]
     fn linear_binning() {
-        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 100.0, count: 10 });
+        let mut h = Histogram::new(Binning::Linear {
+            lo: 0.0,
+            hi: 100.0,
+            count: 10,
+        });
         h.record(0.0);
         h.record(5.0);
         h.record(95.0);
@@ -215,7 +223,11 @@ mod tests {
 
     #[test]
     fn mode_and_render() {
-        let mut h = Histogram::new(Binning::Linear { lo: 0.0, hi: 10.0, count: 5 });
+        let mut h = Histogram::new(Binning::Linear {
+            lo: 0.0,
+            hi: 10.0,
+            count: 5,
+        });
         h.record_all(&[1.0, 1.5, 1.7, 9.0]);
         assert_eq!(h.mode_bin(), Some(0));
         let s = h.render(20);
@@ -232,7 +244,11 @@ mod tests {
 
     #[test]
     fn bin_edges_linear() {
-        let h = Histogram::new(Binning::Linear { lo: 10.0, hi: 20.0, count: 5 });
+        let h = Histogram::new(Binning::Linear {
+            lo: 10.0,
+            hi: 20.0,
+            count: 5,
+        });
         assert_eq!(h.bin_edges(0), (10.0, 12.0));
         assert_eq!(h.bin_edges(4), (18.0, 20.0));
     }

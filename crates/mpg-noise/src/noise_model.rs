@@ -70,11 +70,15 @@ impl OsNoiseModel {
                 period: 1_000_000,
                 phase: 0,
                 duration: (10_000.0 * scale) as Cycles,
-                jitter: Dist::Exponential { mean: 1_000.0 * scale },
+                jitter: Dist::Exponential {
+                    mean: 1_000.0 * scale,
+                },
             },
             OsNoiseModel::PoissonInterrupts {
                 mean_interarrival: 5_000_000.0,
-                duration: Dist::Exponential { mean: 50_000.0 * scale },
+                duration: Dist::Exponential {
+                    mean: 50_000.0 * scale,
+                },
             },
         ])
     }
@@ -108,13 +112,17 @@ impl NoiseProcess for OsNoiseModel {
     fn stolen(&self, start: Cycles, work: Cycles, rng: &mut StreamRng) -> Cycles {
         match self {
             OsNoiseModel::Quiet => 0,
-            OsNoiseModel::PeriodicDaemon { period, phase, duration, jitter } => {
+            OsNoiseModel::PeriodicDaemon {
+                period,
+                phase,
+                duration,
+                jitter,
+            } => {
                 debug_assert!(*period > 0);
                 let end = start + work;
                 // Wakeups strictly inside (start, end]; the count of k with
                 // phase + k*period in that range.
-                let before = start.saturating_sub(*phase) / period
-                    + u64::from(start >= *phase);
+                let before = start.saturating_sub(*phase) / period + u64::from(start >= *phase);
                 let upto = end.saturating_sub(*phase) / period + u64::from(end >= *phase);
                 let hits = upto.saturating_sub(before);
                 let mut total = 0u64;
@@ -123,7 +131,10 @@ impl NoiseProcess for OsNoiseModel {
                 }
                 total
             }
-            OsNoiseModel::PoissonInterrupts { mean_interarrival, duration } => {
+            OsNoiseModel::PoissonInterrupts {
+                mean_interarrival,
+                duration,
+            } => {
                 debug_assert!(*mean_interarrival > 0.0);
                 let hits = poisson(work as f64 / mean_interarrival, rng);
                 let mut total = 0u64;
@@ -133,22 +144,25 @@ impl NoiseProcess for OsNoiseModel {
                 total
             }
             OsNoiseModel::PerInterval(d) => d.sample(rng),
-            OsNoiseModel::Composite(parts) => parts
-                .iter()
-                .map(|p| p.stolen(start, work, rng))
-                .sum(),
+            OsNoiseModel::Composite(parts) => {
+                parts.iter().map(|p| p.stolen(start, work, rng)).sum()
+            }
         }
     }
 
     fn mean_overhead_fraction(&self) -> f64 {
         match self {
             OsNoiseModel::Quiet => 0.0,
-            OsNoiseModel::PeriodicDaemon { period, duration, jitter, .. } => {
-                (*duration as f64 + jitter.mean()) / *period as f64
-            }
-            OsNoiseModel::PoissonInterrupts { mean_interarrival, duration } => {
-                duration.mean() / mean_interarrival
-            }
+            OsNoiseModel::PeriodicDaemon {
+                period,
+                duration,
+                jitter,
+                ..
+            } => (*duration as f64 + jitter.mean()) / *period as f64,
+            OsNoiseModel::PoissonInterrupts {
+                mean_interarrival,
+                duration,
+            } => duration.mean() / mean_interarrival,
             // Per-interval overhead depends on interval length, which the
             // process does not know; report 0 and let callers reason with
             // the distribution mean directly.

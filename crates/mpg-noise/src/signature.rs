@@ -38,7 +38,10 @@ pub struct BandwidthModel {
 impl BandwidthModel {
     /// An ideal fixed-rate link.
     pub fn fixed(cycles_per_byte: f64) -> Self {
-        Self { cycles_per_byte, per_message: Dist::Zero }
+        Self {
+            cycles_per_byte,
+            per_message: Dist::Zero,
+        }
     }
 
     /// Samples the transfer time for a message of `bytes`.
@@ -94,12 +97,19 @@ impl PlatformSignature {
             name: name.to_string(),
             latency: Dist::mixture(
                 0.95,
-                Dist::Normal { mean: 2_000.0, std_dev: 200.0 },
-                Dist::Exponential { mean: 8_000.0 * scale },
+                Dist::Normal {
+                    mean: 2_000.0,
+                    std_dev: 200.0,
+                },
+                Dist::Exponential {
+                    mean: 8_000.0 * scale,
+                },
             ),
             bandwidth: BandwidthModel {
                 cycles_per_byte: 0.5,
-                per_message: Dist::Exponential { mean: 500.0 * scale },
+                per_message: Dist::Exponential {
+                    mean: 500.0 * scale,
+                },
             },
             os_noise: OsNoiseModel::standard_noisy(scale),
             sw_overhead: 300,
@@ -161,8 +171,6 @@ mod tests {
         use crate::noise_model::NoiseProcess;
         let low = PlatformSignature::noisy("l", 0.5);
         let high = PlatformSignature::noisy("h", 2.0);
-        assert!(
-            high.os_noise.mean_overhead_fraction() > low.os_noise.mean_overhead_fraction()
-        );
+        assert!(high.os_noise.mean_overhead_fraction() > low.os_noise.mean_overhead_fraction());
     }
 }

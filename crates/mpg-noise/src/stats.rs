@@ -87,8 +87,7 @@ impl Welford {
         let n = self.n + other.n;
         let d = other.mean - self.mean;
         let mean = self.mean + d * other.n as f64 / n as f64;
-        let m2 =
-            self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
+        let m2 = self.m2 + other.m2 + d * d * (self.n as f64 * other.n as f64) / n as f64;
         self.n = n;
         self.mean = mean;
         self.m2 = m2;
@@ -163,8 +162,7 @@ mod tests {
             w.push(x);
         }
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.variance() - var).abs() < 1e-12);
         assert_eq!(w.min(), 1.0);

@@ -55,8 +55,13 @@ impl Comm {
         let my_vrank = members
             .iter()
             .position(|&r| r == me)
-            .expect("calling rank must be a member of the communicator") as u32;
-        Self { id, members, my_vrank }
+            .expect("calling rank must be a member of the communicator")
+            as u32;
+        Self {
+            id,
+            members,
+            my_vrank,
+        }
     }
 
     /// Communicator identity (0 = world); equal across all members.
@@ -124,7 +129,14 @@ mod on {
         let mut dist = 1u32;
         let mut round = 0;
         while dist < p {
-            sendrecv(ctx, comm, (v + dist) % p, (v + p - dist) % p, base + round, 1);
+            sendrecv(
+                ctx,
+                comm,
+                (v + dist) % p,
+                (v + p - dist) % p,
+                base + round,
+                1,
+            );
             dist <<= 1;
             round += 1;
         }
@@ -194,7 +206,14 @@ mod on {
             let mut round = 0;
             while mask < p {
                 let partner = v ^ mask;
-                sendrecv(ctx, comm, partner, partner, comm.tag_base() + 0x300 + round, bytes);
+                sendrecv(
+                    ctx,
+                    comm,
+                    partner,
+                    partner,
+                    comm.tag_base() + 0x300 + round,
+                    bytes,
+                );
                 ctx.compute(combine_work(bytes));
                 mask <<= 1;
                 round += 1;
@@ -253,8 +272,8 @@ impl RankCtx {
             .filter(|&r| color(r) == my_color)
             .collect();
         members.sort_by_key(|&r| (key(r), r));
-        let id = (splitmix64((u64::from(parent.id()) << 32) | u64::from(my_color)) % u64::from(u32::MAX))
-            as u32
+        let id = (splitmix64((u64::from(parent.id()) << 32) | u64::from(my_color))
+            % u64::from(u32::MAX)) as u32
             | 1; // never collides with world's 0
         Comm::from_members(id, members, me)
     }
@@ -350,8 +369,7 @@ mod tests {
             let world = ctx.comm_world();
             let sub = ctx.comm_split(&world, |r| r % 2, |r| r);
             // Same color → same id everywhere (deterministic function).
-            let expected =
-                (splitmix64(u64::from(ctx.rank() % 2)) % u64::from(u32::MAX)) as u32 | 1;
+            let expected = (splitmix64(u64::from(ctx.rank() % 2)) % u64::from(u32::MAX)) as u32 | 1;
             assert_eq!(sub.id(), expected);
             assert_ne!(sub.id(), 0);
         });
@@ -401,11 +419,9 @@ mod tests {
         assert!(validate_trace(&trace).is_empty());
         let mut model = mpg_core::PerturbationModel::quiet("m");
         model.latency = mpg_noise::Dist::Constant(1_000.0).into();
-        let report = mpg_core::Replayer::new(
-            mpg_core::ReplayConfig::new(model).ack_arm(false),
-        )
-        .run(&trace)
-        .unwrap();
+        let report = mpg_core::Replayer::new(mpg_core::ReplayConfig::new(model).ack_arm(false))
+            .run(&trace)
+            .unwrap();
         // The busy half accumulated drift; beyond the shared split cost the
         // idle half accumulated far less.
         assert!(report.final_drift[0] > report.final_drift[2] * 2);

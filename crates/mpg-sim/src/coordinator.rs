@@ -81,7 +81,10 @@ enum ReqSlot {
     /// emit the trace record once the source is known.
     PendingRecv(IrecvStash),
     /// Completed at `time`.
-    Complete { time: Cycles, info: Option<RecvInfo> },
+    Complete {
+        time: Cycles,
+        info: Option<RecvInfo>,
+    },
 }
 
 #[derive(Debug)]
@@ -256,7 +259,9 @@ impl<'t> Coordinator<'t> {
                 .iter()
                 .enumerate()
                 .filter_map(|(r, s)| {
-                    s.parked.as_ref().map(|op| format!("rank {r}: {}", op.describe()))
+                    s.parked
+                        .as_ref()
+                        .map(|op| format!("rank {r}: {}", op.describe()))
                 })
                 .collect();
             let mut blocked = blocked;
@@ -270,13 +275,25 @@ impl<'t> Coordinator<'t> {
         let seq = st.seq;
         st.seq += 1;
         self.stats.events += 1;
-        self.tracer.emit(EventRecord { rank, seq, t_start, t_end, kind });
+        self.tracer.emit(EventRecord {
+            rank,
+            seq,
+            t_start,
+            t_end,
+            kind,
+        });
     }
 
     /// Emits a record with a pre-reserved sequence number (irecv patching).
     fn emit_at(&mut self, rank: Rank, seq: Seq, t_start: Cycles, t_end: Cycles, kind: EventKind) {
         self.stats.events += 1;
-        self.tracer.emit(EventRecord { rank, seq, t_start, t_end, kind });
+        self.tracer.emit(EventRecord {
+            rank,
+            seq,
+            t_start,
+            t_end,
+            kind,
+        });
     }
 
     fn reserve_seq(&mut self, rank: Rank) -> Seq {
@@ -296,7 +313,10 @@ impl<'t> Coordinator<'t> {
     }
 
     fn invalid(&self, rank: Rank, detail: impl Into<String>) -> SimError {
-        SimError::InvalidOperation { rank, detail: detail.into() }
+        SimError::InvalidOperation {
+            rank,
+            detail: detail.into(),
+        }
     }
 
     fn check_peer(&self, rank: Rank, peer: Rank, allow_any: bool) -> Result<(), SimError> {
@@ -320,14 +340,20 @@ impl<'t> Coordinator<'t> {
                 self.reply(rank, Reply::Done { now: end }, end);
             }
             Op::Compute { work } => {
-                let stolen =
-                    self.os_noise.stolen(t, work, &mut self.noise_rngs[rank as usize]);
+                let stolen = self
+                    .os_noise
+                    .stolen(t, work, &mut self.noise_rngs[rank as usize]);
                 self.stats.noise_stolen += stolen;
                 let end = t + work + stolen;
                 self.emit(rank, t, end, EventKind::Compute { work });
                 self.reply(rank, Reply::Done { now: end }, end);
             }
-            Op::Send { dst, tag, bytes, protocol } => {
+            Op::Send {
+                dst,
+                tag,
+                bytes,
+                protocol,
+            } => {
                 self.check_peer(rank, dst, false)?;
                 let timing = self.net.sample(rank, bytes);
                 // §3.1.1: the standard send follows the platform protocol;
@@ -357,12 +383,21 @@ impl<'t> Coordinator<'t> {
                         rank,
                         t,
                         end,
-                        EventKind::Send { peer: dst, tag, bytes, protocol },
+                        EventKind::Send {
+                            peer: dst,
+                            tag,
+                            bytes,
+                            protocol,
+                        },
                     );
                     self.reply(rank, Reply::Done { now: end }, end);
                 } else {
-                    self.states[rank as usize].parked =
-                        Some(Op::Send { dst, tag, bytes, protocol });
+                    self.states[rank as usize].parked = Some(Op::Send {
+                        dst,
+                        tag,
+                        bytes,
+                        protocol,
+                    });
                 }
                 let matched = self.engine.post_send(msg);
                 if protocol == SendProtocol::Ready && matched.is_none() {
@@ -421,7 +456,17 @@ impl<'t> Coordinator<'t> {
                     ReqSlot::PendingSend
                 };
                 self.states[rank as usize].reqs.insert(req, slot);
-                self.emit(rank, t, t + o, EventKind::Isend { peer: dst, tag, bytes, req });
+                self.emit(
+                    rank,
+                    t,
+                    t + o,
+                    EventKind::Isend {
+                        peer: dst,
+                        tag,
+                        bytes,
+                        req,
+                    },
+                );
                 if let Some((msg, pr)) = self.engine.post_send(msg) {
                     self.complete_match(msg, pr);
                 }
@@ -526,12 +571,8 @@ impl<'t> Coordinator<'t> {
             Op::Test { req } => {
                 let end = t + o;
                 let slot_ready = match self.states[rank as usize].reqs.get(&req) {
-                    None => {
-                        return Err(self.invalid(rank, format!("test on unknown req {req}")))
-                    }
-                    Some(ReqSlot::Complete { time, info }) if *time <= end => {
-                        Some((*time, *info))
-                    }
+                    None => return Err(self.invalid(rank, format!("test on unknown req {req}"))),
+                    Some(ReqSlot::Complete { time, info }) if *time <= end => Some((*time, *info)),
                     Some(_) => None,
                 };
                 let (completed, info) = match slot_ready {
@@ -544,7 +585,15 @@ impl<'t> Coordinator<'t> {
                     None => (false, None),
                 };
                 self.emit(rank, t, end, EventKind::Test { req, completed });
-                self.reply(rank, Reply::TestDone { now: end, completed, info }, end);
+                self.reply(
+                    rank,
+                    Reply::TestDone {
+                        now: end,
+                        completed,
+                        info,
+                    },
+                    end,
+                );
             }
             Op::Finalize => {
                 let end = t + FINALIZE_COST;
@@ -577,7 +626,11 @@ impl<'t> Coordinator<'t> {
     fn complete_match(&mut self, msg: MsgInFlight, pr: PostedRecv) {
         let o = self.net.sw_overhead();
         let recv_end = msg.arrival.max(pr.posted_at + o);
-        let info = RecvInfo { src: msg.src, tag: msg.tag, bytes: msg.bytes };
+        let info = RecvInfo {
+            src: msg.src,
+            tag: msg.tag,
+            bytes: msg.bytes,
+        };
         match pr.receiver {
             Party::Blocking => {
                 self.emit(
@@ -592,7 +645,14 @@ impl<'t> Coordinator<'t> {
                     },
                 );
                 self.states[pr.dst as usize].parked = None;
-                self.reply(pr.dst, Reply::Recv { now: recv_end, info }, recv_end);
+                self.reply(
+                    pr.dst,
+                    Reply::Recv {
+                        now: recv_end,
+                        info,
+                    },
+                    recv_end,
+                );
             }
             Party::Request(req) => {
                 let slot = self.states[pr.dst as usize]
@@ -601,7 +661,10 @@ impl<'t> Coordinator<'t> {
                     .expect("matched request missing from table");
                 let ReqSlot::PendingRecv(stash) = std::mem::replace(
                     slot,
-                    ReqSlot::Complete { time: recv_end, info: Some(info) },
+                    ReqSlot::Complete {
+                        time: recv_end,
+                        info: Some(info),
+                    },
                 ) else {
                     unreachable!("irecv request in non-pending state at match");
                 };
@@ -648,7 +711,10 @@ impl<'t> Coordinator<'t> {
                         .reqs
                         .get_mut(&req)
                         .expect("matched send request missing from table");
-                    *slot = ReqSlot::Complete { time: send_end, info: None };
+                    *slot = ReqSlot::Complete {
+                        time: send_end,
+                        info: None,
+                    };
                     self.worklist.insert(msg.src);
                 }
             }
@@ -682,9 +748,7 @@ impl<'t> Coordinator<'t> {
                 for req in reqs {
                     match self.states[rank as usize].reqs.get(req) {
                         None => {
-                            return Err(
-                                self.invalid(rank, format!("waitall on unknown req {req}"))
-                            )
+                            return Err(self.invalid(rank, format!("waitall on unknown req {req}")))
                         }
                         Some(ReqSlot::Complete { time, .. }) => latest = latest.max(*time),
                         Some(_) => return Ok(()), // still pending; stay parked
@@ -695,7 +759,14 @@ impl<'t> Coordinator<'t> {
                 }
                 self.emit(rank, t, latest, EventKind::WaitAll { reqs: reqs.clone() });
                 self.states[rank as usize].parked = None;
-                self.reply(rank, Reply::WaitDone { now: latest, info: None }, latest);
+                self.reply(
+                    rank,
+                    Reply::WaitDone {
+                        now: latest,
+                        info: None,
+                    },
+                    latest,
+                );
             }
             Op::WaitSome { ref reqs } => {
                 if reqs.is_empty() {
@@ -704,19 +775,27 @@ impl<'t> Coordinator<'t> {
                         rank,
                         t,
                         end,
-                        EventKind::WaitSome { reqs: Vec::new(), completed: Vec::new() },
+                        EventKind::WaitSome {
+                            reqs: Vec::new(),
+                            completed: Vec::new(),
+                        },
                     );
                     self.states[rank as usize].parked = None;
-                    self.reply(rank, Reply::SomeDone { now: end, completed: Vec::new() }, end);
+                    self.reply(
+                        rank,
+                        Reply::SomeDone {
+                            now: end,
+                            completed: Vec::new(),
+                        },
+                        end,
+                    );
                     return Ok(());
                 }
                 let mut min_done: Option<Cycles> = None;
                 for req in reqs {
                     match self.states[rank as usize].reqs.get(req) {
                         None => {
-                            return Err(
-                                self.invalid(rank, format!("waitsome on unknown req {req}"))
-                            )
+                            return Err(self.invalid(rank, format!("waitsome on unknown req {req}")))
                         }
                         Some(ReqSlot::Complete { time, .. }) => {
                             min_done = Some(min_done.map_or(*time, |m: Cycles| m.min(*time)));
@@ -745,10 +824,20 @@ impl<'t> Coordinator<'t> {
                     rank,
                     t,
                     end,
-                    EventKind::WaitSome { reqs: reqs.clone(), completed: completed.clone() },
+                    EventKind::WaitSome {
+                        reqs: reqs.clone(),
+                        completed: completed.clone(),
+                    },
                 );
                 self.states[rank as usize].parked = None;
-                self.reply(rank, Reply::SomeDone { now: end, completed }, end);
+                self.reply(
+                    rank,
+                    Reply::SomeDone {
+                        now: end,
+                        completed,
+                    },
+                    end,
+                );
             }
             _ => {}
         }
@@ -766,10 +855,10 @@ impl<'t> Coordinator<'t> {
         let epoch = st.coll_epoch;
         st.coll_epoch += 1;
         st.parked = Some(op);
-        let slot = self
-            .collectives
-            .entry(epoch)
-            .or_insert_with(|| CollSlot { kind: kind.clone(), entries: Vec::new() });
+        let slot = self.collectives.entry(epoch).or_insert_with(|| CollSlot {
+            kind: kind.clone(),
+            entries: Vec::new(),
+        });
         if slot.kind != kind {
             return Err(SimError::CollectiveMismatch {
                 epoch,
@@ -845,15 +934,38 @@ impl<'t> Coordinator<'t> {
 
         let kind_event = |_r: Rank| match slot.kind {
             CollKind::Barrier => EventKind::Barrier { comm_size: p },
-            CollKind::Bcast { root, bytes } => EventKind::Bcast { root, bytes, comm_size: p },
-            CollKind::Reduce { root, bytes } => EventKind::Reduce { root, bytes, comm_size: p },
-            CollKind::Allreduce { bytes } => EventKind::Allreduce { bytes, comm_size: p },
-            CollKind::Scatter { root, bytes } => {
-                EventKind::Scatter { root, bytes, comm_size: p }
-            }
-            CollKind::Gather { root, bytes } => EventKind::Gather { root, bytes, comm_size: p },
-            CollKind::Allgather { bytes } => EventKind::Allgather { bytes, comm_size: p },
-            CollKind::Alltoall { bytes } => EventKind::Alltoall { bytes, comm_size: p },
+            CollKind::Bcast { root, bytes } => EventKind::Bcast {
+                root,
+                bytes,
+                comm_size: p,
+            },
+            CollKind::Reduce { root, bytes } => EventKind::Reduce {
+                root,
+                bytes,
+                comm_size: p,
+            },
+            CollKind::Allreduce { bytes } => EventKind::Allreduce {
+                bytes,
+                comm_size: p,
+            },
+            CollKind::Scatter { root, bytes } => EventKind::Scatter {
+                root,
+                bytes,
+                comm_size: p,
+            },
+            CollKind::Gather { root, bytes } => EventKind::Gather {
+                root,
+                bytes,
+                comm_size: p,
+            },
+            CollKind::Allgather { bytes } => EventKind::Allgather {
+                bytes,
+                comm_size: p,
+            },
+            CollKind::Alltoall { bytes } => EventKind::Alltoall {
+                bytes,
+                comm_size: p,
+            },
         };
         for (r, enter) in enters {
             let end = hub.max(enter + o);

@@ -10,24 +10,103 @@
 //! * **Wildcard receives** (`ANY_SOURCE`) choose among candidate messages by
 //!   earliest arrival time (ties broken by source rank) — a deterministic
 //!   stand-in for "whichever message got there first".
+//!
+//! The semantics live in the generic [`EnvelopeMatcher`], parameterized
+//! over anything implementing [`SendEnvelope`]/[`RecvEnvelope`], so other
+//! consumers (notably `mpg-lint`'s static match-resolution pass) reuse the
+//! exact same matching rules on their own lightweight envelope types. The
+//! simulator's [`MatchEngine`] is a thin wrapper instantiated with
+//! [`MsgInFlight`]/[`PostedRecv`].
 
 use std::collections::{HashMap, VecDeque};
 
 use crate::message::{MsgInFlight, PostedRecv};
-use mpg_trace::{Rank, ANY_SOURCE};
+use mpg_trace::{Rank, Tag, ANY_SOURCE, ANY_TAG};
 
-/// Pure matching state: in-flight (unexpected) messages and posted receives.
-#[derive(Debug, Default)]
-pub struct MatchEngine {
+/// The send side of a message envelope, as the matcher sees it.
+pub trait SendEnvelope {
+    /// Sender rank.
+    fn src(&self) -> Rank;
+    /// Destination rank.
+    fn dst(&self) -> Rank;
+    /// Message tag.
+    fn tag(&self) -> Tag;
+    /// Arrival stamp used to order wildcard candidates (any monotone
+    /// quantity; the simulator uses global arrival time).
+    fn arrival(&self) -> u64;
+}
+
+/// The receive side of a message envelope, as the matcher sees it.
+pub trait RecvEnvelope {
+    /// Receiver rank.
+    fn dst(&self) -> Rank;
+    /// Source pattern (`ANY_SOURCE` allowed).
+    fn src_pattern(&self) -> Rank;
+    /// Tag pattern (`ANY_TAG` allowed).
+    fn tag_pattern(&self) -> Tag;
+
+    /// Does this receive accept a message with `(src, tag)`?
+    fn accepts(&self, src: Rank, tag: Tag) -> bool {
+        (self.src_pattern() == ANY_SOURCE || self.src_pattern() == src)
+            && (self.tag_pattern() == ANY_TAG || self.tag_pattern() == tag)
+    }
+}
+
+impl SendEnvelope for MsgInFlight {
+    fn src(&self) -> Rank {
+        self.src
+    }
+
+    fn dst(&self) -> Rank {
+        self.dst
+    }
+
+    fn tag(&self) -> Tag {
+        self.tag
+    }
+
+    fn arrival(&self) -> u64 {
+        self.arrival
+    }
+}
+
+impl RecvEnvelope for PostedRecv {
+    fn dst(&self) -> Rank {
+        self.dst
+    }
+
+    fn src_pattern(&self) -> Rank {
+        self.src_pattern
+    }
+
+    fn tag_pattern(&self) -> Tag {
+        self.tag_pattern
+    }
+}
+
+/// Pure matching state over generic envelopes: in-flight (unexpected)
+/// messages and posted receives.
+#[derive(Debug)]
+pub struct EnvelopeMatcher<S, R> {
     /// Unmatched sends, FIFO per (src, dst) channel.
-    in_flight: HashMap<(Rank, Rank), VecDeque<MsgInFlight>>,
+    in_flight: HashMap<(Rank, Rank), VecDeque<S>>,
     /// Unmatched posted receives per destination, in post order.
-    posted: HashMap<Rank, Vec<PostedRecv>>,
+    posted: HashMap<Rank, Vec<R>>,
     next_order: u64,
 }
 
-impl MatchEngine {
-    /// Creates an empty engine.
+impl<S, R> Default for EnvelopeMatcher<S, R> {
+    fn default() -> Self {
+        EnvelopeMatcher {
+            in_flight: HashMap::new(),
+            posted: HashMap::new(),
+            next_order: 0,
+        }
+    }
+}
+
+impl<S: SendEnvelope, R: RecvEnvelope> EnvelopeMatcher<S, R> {
+    /// Creates an empty matcher.
     pub fn new() -> Self {
         Self::default()
     }
@@ -39,15 +118,18 @@ impl MatchEngine {
         o
     }
 
-    /// Offers a send to the engine. If a posted receive accepts it, the
+    /// Offers a send to the matcher. If a posted receive accepts it, the
     /// matched pair is returned; otherwise the message is queued.
-    pub fn post_send(&mut self, msg: MsgInFlight) -> Option<(MsgInFlight, PostedRecv)> {
-        let posted = self.posted.entry(msg.dst).or_default();
-        if let Some(i) = posted.iter().position(|pr| pr.matches(msg.src, msg.tag)) {
+    pub fn post_send(&mut self, msg: S) -> Option<(S, R)> {
+        let posted = self.posted.entry(msg.dst()).or_default();
+        if let Some(i) = posted
+            .iter()
+            .position(|pr| pr.accepts(msg.src(), msg.tag()))
+        {
             return Some((msg, posted.remove(i)));
         }
         self.in_flight
-            .entry((msg.src, msg.dst))
+            .entry((msg.src(), msg.dst()))
             .or_default()
             .push_back(msg);
         None
@@ -55,42 +137,59 @@ impl MatchEngine {
 
     /// Offers a posted receive. If an in-flight message matches, the matched
     /// pair is returned; otherwise the receive is queued.
-    pub fn post_recv(&mut self, pr: PostedRecv) -> Option<(MsgInFlight, PostedRecv)> {
-        if pr.src_pattern == ANY_SOURCE {
-            // Candidate = first tag-matching message per source channel;
+    pub fn post_recv(&mut self, pr: R) -> Option<(S, R)> {
+        if pr.src_pattern() == ANY_SOURCE {
+            // Candidate = first pattern-matching message per source channel;
             // choose the earliest arrival (then lowest source) for
             // determinism.
             let mut best: Option<(u64, Rank, usize)> = None;
             for (&(src, dst), q) in &self.in_flight {
-                if dst != pr.dst {
+                if dst != pr.dst() {
                     continue;
                 }
-                if let Some(i) = q.iter().position(|m| pr.matches(m.src, m.tag)) {
-                    let key = (q[i].arrival, src, i);
+                if let Some(i) = q.iter().position(|m| pr.accepts(m.src(), m.tag())) {
+                    let key = (q[i].arrival(), src, i);
                     if best.is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
                         best = Some(key);
                     }
                 }
             }
             if let Some((_, src, i)) = best {
-                let q = self.in_flight.get_mut(&(src, pr.dst)).unwrap();
+                let q = self.in_flight.get_mut(&(src, pr.dst())).unwrap();
                 let msg = q.remove(i).unwrap();
                 if q.is_empty() {
-                    self.in_flight.remove(&(src, pr.dst));
+                    self.in_flight.remove(&(src, pr.dst()));
                 }
                 return Some((msg, pr));
             }
-        } else if let Some(q) = self.in_flight.get_mut(&(pr.src_pattern, pr.dst)) {
-            if let Some(i) = q.iter().position(|m| pr.matches(m.src, m.tag)) {
+        } else if let Some(q) = self.in_flight.get_mut(&(pr.src_pattern(), pr.dst())) {
+            if let Some(i) = q.iter().position(|m| pr.accepts(m.src(), m.tag())) {
                 let msg = q.remove(i).unwrap();
                 if q.is_empty() {
-                    self.in_flight.remove(&(pr.src_pattern, pr.dst));
+                    self.in_flight.remove(&(pr.src_pattern(), pr.dst()));
                 }
                 return Some((msg, pr));
             }
         }
-        self.posted.entry(pr.dst).or_default().push(pr);
+        self.posted.entry(pr.dst()).or_default().push(pr);
         None
+    }
+
+    /// Distinct source ranks with an in-flight message this receive would
+    /// accept, sorted ascending. For a wildcard receive, two or more
+    /// feasible sources at match time is exactly the nondeterminism the
+    /// `MPG-WILD-RACE` lint reports.
+    pub fn candidate_sources(&self, pr: &R) -> Vec<Rank> {
+        let mut srcs: Vec<Rank> = self
+            .in_flight
+            .iter()
+            .filter(|(&(_, dst), q)| {
+                dst == pr.dst() && q.iter().any(|m| pr.accepts(m.src(), m.tag()))
+            })
+            .map(|(&(src, _), _)| src)
+            .collect();
+        srcs.sort_unstable();
+        srcs
     }
 
     /// Number of unmatched in-flight messages (bounded-memory accounting for
@@ -104,19 +203,85 @@ impl MatchEngine {
         self.posted.values().map(Vec::len).sum()
     }
 
+    /// Every unmatched in-flight message, channel by channel.
+    pub fn iter_in_flight(&self) -> impl Iterator<Item = &S> {
+        self.in_flight.values().flatten()
+    }
+
+    /// Every unmatched posted receive.
+    pub fn iter_posted(&self) -> impl Iterator<Item = &R> {
+        self.posted.values().flatten()
+    }
+
+    /// Consume the matcher, returning the leftover unmatched sends and
+    /// receives in deterministic order (sends by channel then FIFO,
+    /// receives by destination then post order).
+    pub fn into_unmatched(self) -> (Vec<S>, Vec<R>) {
+        let mut channels: Vec<((Rank, Rank), VecDeque<S>)> = self.in_flight.into_iter().collect();
+        channels.sort_by_key(|&(ch, _)| ch);
+        let sends = channels.into_iter().flat_map(|(_, q)| q).collect();
+        let mut dests: Vec<(Rank, Vec<R>)> = self.posted.into_iter().collect();
+        dests.sort_by_key(|&(d, _)| d);
+        let recvs = dests.into_iter().flat_map(|(_, q)| q).collect();
+        (sends, recvs)
+    }
+}
+
+/// The simulator's matching state over [`MsgInFlight`]/[`PostedRecv`].
+#[derive(Debug, Default)]
+pub struct MatchEngine {
+    inner: EnvelopeMatcher<MsgInFlight, PostedRecv>,
+}
+
+impl MatchEngine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Monotone order stamp for posted receives.
+    pub fn next_post_order(&mut self) -> u64 {
+        self.inner.next_post_order()
+    }
+
+    /// Offers a send to the engine. If a posted receive accepts it, the
+    /// matched pair is returned; otherwise the message is queued.
+    pub fn post_send(&mut self, msg: MsgInFlight) -> Option<(MsgInFlight, PostedRecv)> {
+        self.inner.post_send(msg)
+    }
+
+    /// Offers a posted receive. If an in-flight message matches, the matched
+    /// pair is returned; otherwise the receive is queued.
+    pub fn post_recv(&mut self, pr: PostedRecv) -> Option<(MsgInFlight, PostedRecv)> {
+        self.inner.post_recv(pr)
+    }
+
+    /// Number of unmatched in-flight messages (bounded-memory accounting for
+    /// the windowed analyzer and for leak checks at finalize).
+    pub fn in_flight_count(&self) -> usize {
+        self.inner.in_flight_count()
+    }
+
+    /// Number of unmatched posted receives.
+    pub fn posted_count(&self) -> usize {
+        self.inner.posted_count()
+    }
+
     /// Human-readable dump of unmatched state (deadlock diagnostics).
     pub fn dump(&self) -> String {
-        let mut parts = Vec::new();
-        for ((s, d), q) in &self.in_flight {
-            parts.push(format!("{} unmatched msg(s) {s}->{d}", q.len()));
+        let mut counts: HashMap<(Rank, Rank), usize> = HashMap::new();
+        for m in self.inner.iter_in_flight() {
+            *counts.entry((m.src, m.dst)).or_default() += 1;
         }
-        for (d, q) in &self.posted {
-            for pr in q {
-                parts.push(format!(
-                    "recv posted on {d} for src={} tag={}",
-                    pr.src_pattern, pr.tag_pattern
-                ));
-            }
+        let mut parts = Vec::new();
+        for ((s, d), n) in counts {
+            parts.push(format!("{n} unmatched msg(s) {s}->{d}"));
+        }
+        for pr in self.inner.iter_posted() {
+            parts.push(format!(
+                "recv posted on {} for src={} tag={}",
+                pr.dst, pr.src_pattern, pr.tag_pattern
+            ));
         }
         parts.sort();
         parts.join(", ")
@@ -240,5 +405,31 @@ mod tests {
         let d = e.dump();
         assert!(d.contains("0->2"));
         assert!(d.contains("recv posted on 1"));
+    }
+
+    #[test]
+    fn candidate_sources_reports_feasible_senders() {
+        let mut e = EnvelopeMatcher::<MsgInFlight, PostedRecv>::new();
+        e.post_send(msg(3, 1, 5, 100));
+        e.post_send(msg(2, 1, 5, 200));
+        e.post_send(msg(4, 1, 9, 300)); // wrong tag
+        e.post_send(msg(5, 0, 5, 400)); // wrong destination
+        let pr = recv(1, ANY_SOURCE, 5, 0);
+        assert_eq!(e.candidate_sources(&pr), vec![2, 3]);
+        let specific = recv(1, 2, 5, 1);
+        assert_eq!(e.candidate_sources(&specific), vec![2]);
+    }
+
+    #[test]
+    fn into_unmatched_is_deterministic() {
+        let mut e = EnvelopeMatcher::<MsgInFlight, PostedRecv>::new();
+        e.post_send(msg(2, 1, 5, 200));
+        e.post_send(msg(0, 1, 5, 100));
+        e.post_recv(recv(3, 0, 7, 0));
+        let (sends, recvs) = e.into_unmatched();
+        let chans: Vec<(Rank, Rank)> = sends.iter().map(|m| (m.src, m.dst)).collect();
+        assert_eq!(chans, vec![(0, 1), (2, 1)]);
+        assert_eq!(recvs.len(), 1);
+        assert_eq!(recvs[0].dst, 3);
     }
 }

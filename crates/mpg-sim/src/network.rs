@@ -38,7 +38,10 @@ impl NetworkModel {
         let send_rngs = (0..ranks)
             .map(|r| StreamRng::new(seed, Self::STREAM_NET ^ ((r as u64) << 20)))
             .collect();
-        Self { signature, send_rngs }
+        Self {
+            signature,
+            send_rngs,
+        }
     }
 
     /// Samples the timing of a message of `bytes` from `src`.

@@ -198,18 +198,17 @@ impl Simulation {
                         ctx.finalize();
                     }));
                     if let Err(payload) = outcome {
-                        let is_abort = payload
-                            .downcast_ref::<&str>()
-                            .is_some_and(|s| *s == ABORT);
+                        let is_abort = payload.downcast_ref::<&str>().is_some_and(|s| *s == ABORT);
                         if !is_abort {
                             let message = payload
                                 .downcast_ref::<String>()
                                 .cloned()
-                                .or_else(|| {
-                                    payload.downcast_ref::<&str>().map(|s| s.to_string())
-                                })
+                                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
                                 .unwrap_or_else(|| "non-string panic".into());
-                            let _ = tx.send(Incoming::Panicked { rank: r as u32, message });
+                            let _ = tx.send(Incoming::Panicked {
+                                rank: r as u32,
+                                message,
+                            });
                         }
                     }
                 });
@@ -227,7 +226,11 @@ impl Simulation {
             .finish()
             .map_err(SimError::Trace)?
             .unwrap_or_else(|| MemTrace::new(self.ranks as usize));
-        Ok(SimOutcome { trace, finish_times, stats })
+        Ok(SimOutcome {
+            trace,
+            finish_times,
+            stats,
+        })
     }
 }
 
@@ -462,8 +465,7 @@ mod tests {
                     let r2 = ctx.irecv(1, 2);
                     let done = ctx.waitsome(&[r1, r2]);
                     assert_eq!(done.len(), 1);
-                    let rest: Vec<_> =
-                        [r1, r2].into_iter().filter(|r| !done.contains(r)).collect();
+                    let rest: Vec<_> = [r1, r2].into_iter().filter(|r| !done.contains(r)).collect();
                     ctx.waitall(&rest);
                 } else {
                     ctx.send(0, 1, 8);
@@ -496,6 +498,9 @@ mod tests {
                 }
             })
             .unwrap_err();
-        assert!(matches!(err, SimError::InvalidOperation { rank: 0, .. }), "{err}");
+        assert!(
+            matches!(err, SimError::InvalidOperation { rank: 0, .. }),
+            "{err}"
+        );
     }
 }

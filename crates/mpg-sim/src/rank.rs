@@ -26,23 +26,66 @@ pub struct Req(pub(crate) ReqId);
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum Op {
     Init,
-    Compute { work: Cycles },
-    Send { dst: Rank, tag: Tag, bytes: u64, protocol: SendProtocol },
-    Recv { src: Rank, tag: Tag },
-    Isend { dst: Rank, tag: Tag, bytes: u64 },
-    Irecv { src: Rank, tag: Tag },
-    Wait { req: ReqId },
-    WaitAll { reqs: Vec<ReqId> },
-    WaitSome { reqs: Vec<ReqId> },
-    Test { req: ReqId },
+    Compute {
+        work: Cycles,
+    },
+    Send {
+        dst: Rank,
+        tag: Tag,
+        bytes: u64,
+        protocol: SendProtocol,
+    },
+    Recv {
+        src: Rank,
+        tag: Tag,
+    },
+    Isend {
+        dst: Rank,
+        tag: Tag,
+        bytes: u64,
+    },
+    Irecv {
+        src: Rank,
+        tag: Tag,
+    },
+    Wait {
+        req: ReqId,
+    },
+    WaitAll {
+        reqs: Vec<ReqId>,
+    },
+    WaitSome {
+        reqs: Vec<ReqId>,
+    },
+    Test {
+        req: ReqId,
+    },
     Barrier,
-    Bcast { root: Rank, bytes: u64 },
-    Reduce { root: Rank, bytes: u64 },
-    Allreduce { bytes: u64 },
-    Scatter { root: Rank, bytes: u64 },
-    Gather { root: Rank, bytes: u64 },
-    Allgather { bytes: u64 },
-    Alltoall { bytes: u64 },
+    Bcast {
+        root: Rank,
+        bytes: u64,
+    },
+    Reduce {
+        root: Rank,
+        bytes: u64,
+    },
+    Allreduce {
+        bytes: u64,
+    },
+    Scatter {
+        root: Rank,
+        bytes: u64,
+    },
+    Gather {
+        root: Rank,
+        bytes: u64,
+    },
+    Allgather {
+        bytes: u64,
+    },
+    Alltoall {
+        bytes: u64,
+    },
     Finalize,
 }
 
@@ -50,7 +93,9 @@ impl Op {
     /// Short description for deadlock diagnostics.
     pub(crate) fn describe(&self) -> String {
         match self {
-            Op::Send { dst, tag, protocol, .. } => {
+            Op::Send {
+                dst, tag, protocol, ..
+            } => {
                 format!("send(dst={dst}, tag={tag}, {protocol:?})")
             }
             Op::Recv { src, tag } => format!("recv(src={src}, tag={tag})"),
@@ -85,7 +130,11 @@ pub(crate) enum Reply {
     SomeDone { now: Cycles, completed: Vec<ReqId> },
     /// A test probe returned: `completed` tells whether the request
     /// finished; `info` carries the envelope for completed receives.
-    TestDone { now: Cycles, completed: bool, info: Option<RecvInfo> },
+    TestDone {
+        now: Cycles,
+        completed: bool,
+        info: Option<RecvInfo>,
+    },
 }
 
 /// Messages from rank threads to the coordinator.
@@ -116,7 +165,15 @@ impl RankCtx {
         rx: Receiver<Reply>,
         collective_mode: CollectiveMode,
     ) -> Self {
-        Self { rank, size, now: 0, tx, rx, collective_mode, finalized: false }
+        Self {
+            rank,
+            size,
+            now: 0,
+            tx,
+            rx,
+            collective_mode,
+            finalized: false,
+        }
     }
 
     /// This rank's id in `0..size`.
@@ -136,7 +193,14 @@ impl RankCtx {
 
     fn call(&mut self, op: Op) -> Reply {
         assert!(!self.finalized, "MPI call after finalize");
-        if self.tx.send(Incoming::Op { rank: self.rank, op }).is_err() {
+        if self
+            .tx
+            .send(Incoming::Op {
+                rank: self.rank,
+                op,
+            })
+            .is_err()
+        {
             std::panic::panic_any(ABORT);
         }
         match self.rx.recv() {
@@ -182,26 +246,46 @@ impl RankCtx {
     /// platform's configured protocol (synchronous by default, matching the
     /// paper's Eq. 1).
     pub fn send(&mut self, dst: Rank, tag: Tag, bytes: u64) {
-        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Standard });
+        self.expect_done(Op::Send {
+            dst,
+            tag,
+            bytes,
+            protocol: SendProtocol::Standard,
+        });
     }
 
     /// Synchronous send (`MPI_Ssend`, §3.1.1): always completes only after
     /// the matching receive, regardless of the platform's eager threshold.
     pub fn ssend(&mut self, dst: Rank, tag: Tag, bytes: u64) {
-        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Synchronous });
+        self.expect_done(Op::Send {
+            dst,
+            tag,
+            bytes,
+            protocol: SendProtocol::Synchronous,
+        });
     }
 
     /// Buffered send (`MPI_Bsend`, §3.1.1): always completes after the local
     /// buffer copy, independent of the receiver.
     pub fn bsend(&mut self, dst: Rank, tag: Tag, bytes: u64) {
-        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Buffered });
+        self.expect_done(Op::Send {
+            dst,
+            tag,
+            bytes,
+            protocol: SendProtocol::Buffered,
+        });
     }
 
     /// Ready send (`MPI_Rsend`, §3.1.1): requires the matching receive to be
     /// already posted; calling it otherwise is an erroneous program and
     /// aborts the simulation with an error.
     pub fn rsend(&mut self, dst: Rank, tag: Tag, bytes: u64) {
-        self.expect_done(Op::Send { dst, tag, bytes, protocol: SendProtocol::Ready });
+        self.expect_done(Op::Send {
+            dst,
+            tag,
+            bytes,
+            protocol: SendProtocol::Ready,
+        });
     }
 
     /// Blocking receive from `src` (or [`mpg_trace::ANY_SOURCE`]) with `tag`
@@ -240,7 +324,9 @@ impl RankCtx {
 
     /// Blocks until every request in `reqs` completes.
     pub fn waitall(&mut self, reqs: &[Req]) {
-        match self.call(Op::WaitAll { reqs: reqs.iter().map(|r| r.0).collect() }) {
+        match self.call(Op::WaitAll {
+            reqs: reqs.iter().map(|r| r.0).collect(),
+        }) {
             Reply::WaitDone { .. } => {}
             other => unreachable!("coordinator protocol violation: {other:?}"),
         }
@@ -249,7 +335,9 @@ impl RankCtx {
     /// Blocks until at least one request completes; returns the completed
     /// subset.
     pub fn waitsome(&mut self, reqs: &[Req]) -> Vec<Req> {
-        match self.call(Op::WaitSome { reqs: reqs.iter().map(|r| r.0).collect() }) {
+        match self.call(Op::WaitSome {
+            reqs: reqs.iter().map(|r| r.0).collect(),
+        }) {
             Reply::SomeDone { completed, .. } => completed.into_iter().map(Req).collect(),
             other => unreachable!("coordinator protocol violation: {other:?}"),
         }
@@ -262,7 +350,9 @@ impl RankCtx {
     #[allow(clippy::option_option)]
     pub fn test(&mut self, req: Req) -> Option<Option<RecvInfo>> {
         match self.call(Op::Test { req: req.0 }) {
-            Reply::TestDone { completed, info, .. } => completed.then_some(info),
+            Reply::TestDone {
+                completed, info, ..
+            } => completed.then_some(info),
             other => unreachable!("coordinator protocol violation: {other:?}"),
         }
     }
@@ -356,11 +446,22 @@ mod tests {
     #[test]
     fn op_describe_is_short() {
         assert_eq!(
-            Op::Send { dst: 3, tag: 1, bytes: 10, protocol: SendProtocol::Standard }
-                .describe(),
+            Op::Send {
+                dst: 3,
+                tag: 1,
+                bytes: 10,
+                protocol: SendProtocol::Standard
+            }
+            .describe(),
             "send(dst=3, tag=1, Standard)"
         );
         assert_eq!(Op::Barrier.describe(), "barrier");
-        assert_eq!(Op::WaitAll { reqs: vec![1, 2, 3] }.describe(), "waitall(3 reqs)");
+        assert_eq!(
+            Op::WaitAll {
+                reqs: vec![1, 2, 3]
+            }
+            .describe(),
+            "waitall(3 reqs)"
+        );
     }
 }

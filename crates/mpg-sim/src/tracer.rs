@@ -131,7 +131,10 @@ mod tests {
     #[test]
     fn memtracer_applies_clock_and_orders() {
         let clocks = vec![
-            ClockModel { offset: 1000, drift_ppm: 0.0 },
+            ClockModel {
+                offset: 1000,
+                drift_ppm: 0.0,
+            },
             ClockModel::ideal(),
         ];
         let mut t = MemTracer::new(clocks);

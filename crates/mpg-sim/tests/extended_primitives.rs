@@ -87,7 +87,11 @@ fn abstract_collectives_complete_and_synchronize() {
                 .filter(|e| e.kind.is_collective())
                 .map(|e| e.kind.name())
                 .collect();
-            assert_eq!(names, vec!["scatter", "gather", "allgather", "alltoall"], "p={p}");
+            assert_eq!(
+                names,
+                vec!["scatter", "gather", "allgather", "alltoall"],
+                "p={p}"
+            );
         }
     }
 }
@@ -203,8 +207,7 @@ fn dimemas_handles_extended_primitives() {
         ctx.allgather(64);
         ctx.alltoall(32);
     });
-    let model =
-        mpg_des::MachineModel::from_signature(&PlatformSignature::quiet("t"));
+    let model = mpg_des::MachineModel::from_signature(&PlatformSignature::quiet("t"));
     let report = mpg_des::DimemasReplay::new(model).run(&trace).unwrap();
     assert!(report.makespan() > 10_000);
 }

@@ -11,7 +11,9 @@ fn ssend_blocks_until_receiver_even_under_eager_platform() {
     // the receiver.
     let out = Simulation::new(2, PlatformSignature::quiet("t"))
         .ideal_clocks()
-        .send_mode(SendMode::Eager { threshold: u64::MAX })
+        .send_mode(SendMode::Eager {
+            threshold: u64::MAX,
+        })
         .run(|ctx| {
             if ctx.rank() == 0 {
                 ctx.ssend(1, 0, 64);
@@ -24,10 +26,17 @@ fn ssend_blocks_until_receiver_even_under_eager_platform() {
     let send = &out.trace.rank(0)[1];
     assert!(matches!(
         send.kind,
-        EventKind::Send { protocol: SendProtocol::Synchronous, .. }
+        EventKind::Send {
+            protocol: SendProtocol::Synchronous,
+            ..
+        }
     ));
     // Send end covers the receiver's million-cycle delay plus the ack.
-    assert!(send.t_end > 1_000_000, "ssend returned early: {}", send.t_end);
+    assert!(
+        send.t_end > 1_000_000,
+        "ssend returned early: {}",
+        send.t_end
+    );
 }
 
 #[test]
@@ -46,7 +55,10 @@ fn bsend_returns_locally_even_under_sync_platform() {
     let send = &out.trace.rank(0)[1];
     assert!(matches!(
         send.kind,
-        EventKind::Send { protocol: SendProtocol::Buffered, .. }
+        EventKind::Send {
+            protocol: SendProtocol::Buffered,
+            ..
+        }
     ));
     // o(300) + inject(50): no receiver coupling.
     assert_eq!(send.duration(), 350);
@@ -85,7 +97,15 @@ fn rsend_with_posted_receive_succeeds() {
         .trace
         .rank(1)
         .iter()
-        .find(|e| matches!(e.kind, EventKind::Send { protocol: SendProtocol::Ready, .. }))
+        .find(|e| {
+            matches!(
+                e.kind,
+                EventKind::Send {
+                    protocol: SendProtocol::Ready,
+                    ..
+                }
+            )
+        })
         .expect("rsend traced");
     // Local completion: o + inject only.
     assert_eq!(rsend.duration(), 332);
@@ -133,7 +153,9 @@ fn replay_honors_per_event_protocols() {
     model.latency = mpg_noise::Dist::Constant(1_000.0).into();
     // Global ack_arm off: only the Ssend may keep its acknowledgement arm.
     let report = mpg_core::Replayer::new(
-        mpg_core::ReplayConfig::new(model).ack_arm(false).record_graph(true),
+        mpg_core::ReplayConfig::new(model)
+            .ack_arm(false)
+            .record_graph(true),
     )
     .run(&out.trace)
     .unwrap();

@@ -25,7 +25,10 @@ pub struct ClockModel {
 impl ClockModel {
     /// A perfectly synchronized clock.
     pub fn ideal() -> Self {
-        Self { offset: 0, drift_ppm: 0.0 }
+        Self {
+            offset: 0,
+            drift_ppm: 0.0,
+        }
     }
 
     /// A deterministic pseudo-random skew for `rank`: offsets spread over
@@ -54,8 +57,8 @@ impl ClockModel {
     /// Inverse of [`to_local`](Self::to_local) (saturating below the offset).
     pub fn to_global(&self, local: Cycles) -> Cycles {
         let elapsed = local.saturating_sub(self.offset);
-        let skew = (elapsed as f64 * (self.drift_ppm / 1e6) / (1.0 + self.drift_ppm / 1e6))
-            .round() as i64;
+        let skew =
+            (elapsed as f64 * (self.drift_ppm / 1e6) / (1.0 + self.drift_ppm / 1e6)).round() as i64;
         elapsed.saturating_add_signed(-skew)
     }
 }
@@ -92,7 +95,10 @@ mod tests {
 
     #[test]
     fn roundtrip_within_rounding() {
-        let c = ClockModel { offset: 123_456, drift_ppm: 37.5 };
+        let c = ClockModel {
+            offset: 123_456,
+            drift_ppm: 37.5,
+        };
         for t in [0u64, 1, 999, 1_000_000, 123_456_789] {
             let back = c.to_global(c.to_local(t));
             assert!(back.abs_diff(t) <= 1, "t={t} back={back}");

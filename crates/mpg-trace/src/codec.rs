@@ -92,7 +92,12 @@ impl Encoder {
             EventKind::Init => (K_INIT, None),
             EventKind::Finalize => (K_FINALIZE, None),
             EventKind::Compute { work } => (K_COMPUTE, Some(vec![*work])),
-            EventKind::Send { peer, tag, bytes, protocol } => {
+            EventKind::Send {
+                peer,
+                tag,
+                bytes,
+                protocol,
+            } => {
                 let k = match protocol {
                     SendProtocol::Standard => K_SEND,
                     SendProtocol::Synchronous => K_SEND_SYNC,
@@ -101,15 +106,31 @@ impl Encoder {
                 };
                 (k, Some(vec![u64::from(*peer), u64::from(*tag), *bytes]))
             }
-            EventKind::Recv { peer, tag, bytes, posted_any } => (
+            EventKind::Recv {
+                peer,
+                tag,
+                bytes,
+                posted_any,
+            } => (
                 if *posted_any { K_RECV_ANY } else { K_RECV },
                 Some(vec![u64::from(*peer), u64::from(*tag), *bytes]),
             ),
-            EventKind::Isend { peer, tag, bytes, req } => (
+            EventKind::Isend {
+                peer,
+                tag,
+                bytes,
+                req,
+            } => (
                 K_ISEND,
                 Some(vec![u64::from(*peer), u64::from(*tag), *bytes, *req]),
             ),
-            EventKind::Irecv { peer, tag, bytes, req, posted_any } => (
+            EventKind::Irecv {
+                peer,
+                tag,
+                bytes,
+                req,
+                posted_any,
+            } => (
                 if *posted_any { K_IRECV_ANY } else { K_IRECV },
                 Some(vec![u64::from(*peer), u64::from(*tag), *bytes, *req]),
             ),
@@ -127,11 +148,19 @@ impl Encoder {
                 (K_WAITSOME, Some(v))
             }
             EventKind::Barrier { comm_size } => (K_BARRIER, Some(vec![u64::from(*comm_size)])),
-            EventKind::Bcast { root, bytes, comm_size } => (
+            EventKind::Bcast {
+                root,
+                bytes,
+                comm_size,
+            } => (
                 K_BCAST,
                 Some(vec![u64::from(*root), *bytes, u64::from(*comm_size)]),
             ),
-            EventKind::Reduce { root, bytes, comm_size } => (
+            EventKind::Reduce {
+                root,
+                bytes,
+                comm_size,
+            } => (
                 K_REDUCE,
                 Some(vec![u64::from(*root), *bytes, u64::from(*comm_size)]),
             ),
@@ -139,14 +168,26 @@ impl Encoder {
                 (K_ALLREDUCE, Some(vec![*bytes, u64::from(*comm_size)]))
             }
             EventKind::Test { req, completed } => (
-                if *completed { K_TEST_DONE } else { K_TEST_PENDING },
+                if *completed {
+                    K_TEST_DONE
+                } else {
+                    K_TEST_PENDING
+                },
                 Some(vec![*req]),
             ),
-            EventKind::Scatter { root, bytes, comm_size } => (
+            EventKind::Scatter {
+                root,
+                bytes,
+                comm_size,
+            } => (
                 K_SCATTER,
                 Some(vec![u64::from(*root), *bytes, u64::from(*comm_size)]),
             ),
-            EventKind::Gather { root, bytes, comm_size } => (
+            EventKind::Gather {
+                root,
+                bytes,
+                comm_size,
+            } => (
                 K_GATHER,
                 Some(vec![u64::from(*root), *bytes, u64::from(*comm_size)]),
             ),
@@ -181,7 +222,11 @@ pub struct Decoder {
 impl Decoder {
     /// Creates a decoder producing records attributed to `rank`.
     pub fn new(rank: u32) -> Self {
-        Self { last_t: 0, rank, next_seq: 0 }
+        Self {
+            last_t: 0,
+            rank,
+            next_seq: 0,
+        }
     }
 
     /// Decodes one record from the front of `input`, advancing it.
@@ -259,7 +304,9 @@ impl Decoder {
                 }
                 EventKind::WaitSome { reqs, completed }
             }
-            K_BARRIER => EventKind::Barrier { comm_size: rank32(v(input)?, "comm")? },
+            K_BARRIER => EventKind::Barrier {
+                comm_size: rank32(v(input)?, "comm")?,
+            },
             K_BCAST => EventKind::Bcast {
                 root: rank32(v(input)?, "root")?,
                 bytes: v(input)?,
@@ -303,7 +350,13 @@ impl Decoder {
         self.last_t = t_end;
         let seq = self.next_seq;
         self.next_seq += 1;
-        Ok(Some(EventRecord { rank: self.rank, seq, t_start, t_end, kind }))
+        Ok(Some(EventRecord {
+            rank: self.rank,
+            seq,
+            t_start,
+            t_end,
+            kind,
+        }))
     }
 }
 
@@ -328,7 +381,13 @@ mod tests {
     }
 
     fn rec(seq: u64, t0: u64, t1: u64, kind: EventKind) -> EventRecord {
-        EventRecord { rank: 3, seq, t_start: t0, t_end: t1, kind }
+        EventRecord {
+            rank: 3,
+            seq,
+            t_start: t0,
+            t_end: t1,
+            kind,
+        }
     }
 
     #[test]
@@ -336,26 +395,188 @@ mod tests {
         roundtrip(vec![
             rec(0, 0, 50, EventKind::Init),
             rec(1, 100, 150, EventKind::Compute { work: 490 }),
-            rec(2, 200, 250, EventKind::Send { peer: 1, tag: 9, bytes: 4096, protocol: SendProtocol::Standard }),
-            rec(3, 300, 350, EventKind::Send { peer: 1, tag: 9, bytes: 1, protocol: SendProtocol::Synchronous }),
-            rec(4, 400, 450, EventKind::Send { peer: 1, tag: 9, bytes: 1, protocol: SendProtocol::Buffered }),
-            rec(5, 500, 550, EventKind::Send { peer: 1, tag: 9, bytes: 1, protocol: SendProtocol::Ready }),
-            rec(6, 600, 650, EventKind::Recv { peer: 2, tag: 0, bytes: 64, posted_any: true }),
-            rec(7, 700, 750, EventKind::Isend { peer: 0, tag: 1, bytes: 1, req: 77 }),
-            rec(8, 800, 850, EventKind::Irecv { peer: 1, tag: 1, bytes: 2, req: 78, posted_any: false }),
+            rec(
+                2,
+                200,
+                250,
+                EventKind::Send {
+                    peer: 1,
+                    tag: 9,
+                    bytes: 4096,
+                    protocol: SendProtocol::Standard,
+                },
+            ),
+            rec(
+                3,
+                300,
+                350,
+                EventKind::Send {
+                    peer: 1,
+                    tag: 9,
+                    bytes: 1,
+                    protocol: SendProtocol::Synchronous,
+                },
+            ),
+            rec(
+                4,
+                400,
+                450,
+                EventKind::Send {
+                    peer: 1,
+                    tag: 9,
+                    bytes: 1,
+                    protocol: SendProtocol::Buffered,
+                },
+            ),
+            rec(
+                5,
+                500,
+                550,
+                EventKind::Send {
+                    peer: 1,
+                    tag: 9,
+                    bytes: 1,
+                    protocol: SendProtocol::Ready,
+                },
+            ),
+            rec(
+                6,
+                600,
+                650,
+                EventKind::Recv {
+                    peer: 2,
+                    tag: 0,
+                    bytes: 64,
+                    posted_any: true,
+                },
+            ),
+            rec(
+                7,
+                700,
+                750,
+                EventKind::Isend {
+                    peer: 0,
+                    tag: 1,
+                    bytes: 1,
+                    req: 77,
+                },
+            ),
+            rec(
+                8,
+                800,
+                850,
+                EventKind::Irecv {
+                    peer: 1,
+                    tag: 1,
+                    bytes: 2,
+                    req: 78,
+                    posted_any: false,
+                },
+            ),
             rec(9, 900, 950, EventKind::Wait { req: 77 }),
-            rec(10, 1000, 1050, EventKind::WaitAll { reqs: vec![78, 79, 80] }),
-            rec(11, 1100, 1150, EventKind::WaitSome { reqs: vec![81, 82], completed: vec![82] }),
-            rec(12, 1200, 1250, EventKind::Test { req: 5, completed: true }),
-            rec(13, 1300, 1350, EventKind::Test { req: 5, completed: false }),
+            rec(
+                10,
+                1000,
+                1050,
+                EventKind::WaitAll {
+                    reqs: vec![78, 79, 80],
+                },
+            ),
+            rec(
+                11,
+                1100,
+                1150,
+                EventKind::WaitSome {
+                    reqs: vec![81, 82],
+                    completed: vec![82],
+                },
+            ),
+            rec(
+                12,
+                1200,
+                1250,
+                EventKind::Test {
+                    req: 5,
+                    completed: true,
+                },
+            ),
+            rec(
+                13,
+                1300,
+                1350,
+                EventKind::Test {
+                    req: 5,
+                    completed: false,
+                },
+            ),
             rec(14, 1400, 1450, EventKind::Barrier { comm_size: 128 }),
-            rec(15, 1500, 1550, EventKind::Bcast { root: 0, bytes: 8, comm_size: 128 }),
-            rec(16, 1600, 1650, EventKind::Reduce { root: 5, bytes: 8, comm_size: 128 }),
-            rec(17, 1700, 1750, EventKind::Allreduce { bytes: 16, comm_size: 128 }),
-            rec(18, 1800, 1850, EventKind::Scatter { root: 0, bytes: 32, comm_size: 128 }),
-            rec(19, 1900, 1950, EventKind::Gather { root: 1, bytes: 32, comm_size: 128 }),
-            rec(20, 2000, 2050, EventKind::Allgather { bytes: 8, comm_size: 128 }),
-            rec(21, 2100, 2150, EventKind::Alltoall { bytes: 4, comm_size: 128 }),
+            rec(
+                15,
+                1500,
+                1550,
+                EventKind::Bcast {
+                    root: 0,
+                    bytes: 8,
+                    comm_size: 128,
+                },
+            ),
+            rec(
+                16,
+                1600,
+                1650,
+                EventKind::Reduce {
+                    root: 5,
+                    bytes: 8,
+                    comm_size: 128,
+                },
+            ),
+            rec(
+                17,
+                1700,
+                1750,
+                EventKind::Allreduce {
+                    bytes: 16,
+                    comm_size: 128,
+                },
+            ),
+            rec(
+                18,
+                1800,
+                1850,
+                EventKind::Scatter {
+                    root: 0,
+                    bytes: 32,
+                    comm_size: 128,
+                },
+            ),
+            rec(
+                19,
+                1900,
+                1950,
+                EventKind::Gather {
+                    root: 1,
+                    bytes: 32,
+                    comm_size: 128,
+                },
+            ),
+            rec(
+                20,
+                2000,
+                2050,
+                EventKind::Allgather {
+                    bytes: 8,
+                    comm_size: 128,
+                },
+            ),
+            rec(
+                21,
+                2100,
+                2150,
+                EventKind::Alltoall {
+                    bytes: 4,
+                    comm_size: 128,
+                },
+            ),
             rec(22, 2200, 2250, EventKind::Finalize),
         ]);
     }

@@ -1,0 +1,413 @@
+//! Shared diagnostic model for trace validation and static lint analysis.
+//!
+//! Both the shallow per-rank preconditions of [`crate::validate`] (§4.3's
+//! "the program did run correctly" assumption) and the cross-rank defect
+//! passes of the `mpg-lint` crate report through one type: a
+//! [`Diagnostic`] carrying a stable [`Rule`] code, a [`Severity`], the
+//! ranks involved, and an optional primary `(rank, seq)` location. One
+//! reporting path means `mpgtool validate` and `mpgtool lint` render and
+//! serialize identically.
+
+use std::fmt;
+
+use crate::event::{Rank, Seq};
+use crate::validate::Violation;
+use crate::MemTrace;
+
+/// How bad a diagnostic is.
+///
+/// Ordering is by increasing badness: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory: legal structure that can destabilize replay predictions
+    /// (e.g. wildcard nondeterminism). Hidden by default in the CLI.
+    Info,
+    /// Suspicious but not fatal to replay.
+    Warning,
+    /// The trace is malformed or the program it records is defective;
+    /// replay results cannot be trusted.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in text and JSON output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Stable rule codes for every defect class the toolchain can report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    // ---- structural preconditions (validate pass, §4.3) ----
+    /// Local clock runs backwards or events overlap.
+    ClockNonMono,
+    /// Sequence numbers not dense from zero.
+    BadSeq,
+    /// First event is not `Init`.
+    MissingInit,
+    /// Last event is not `Finalize`.
+    MissingFinalize,
+    /// Record's rank disagrees with its stream.
+    WrongRank,
+    /// Request id initiated twice before completion.
+    DupRequest,
+    /// Wait references an unknown/completed request.
+    UnknownRequest,
+    /// Request initiated but never completed.
+    LeakedRequest,
+    /// Event names its own rank as peer.
+    SelfMessage,
+    // ---- cross-rank defects (lint passes) ----
+    /// Send with no matching receive anywhere in the trace.
+    UnmatchedSend,
+    /// Receive with no matching send anywhere in the trace.
+    UnmatchedRecv,
+    /// Send/receive pair agree on channel but disagree on tag.
+    TagMismatch,
+    /// Matched send/receive disagree on byte count.
+    CountMismatch,
+    /// Peer rank outside the communicator.
+    BadPeer,
+    /// Cycle in the wait-for graph over blocking operations.
+    Deadlock,
+    /// Stitched event graph is not a DAG.
+    Cycle,
+    /// Message edge points backwards in per-rank program order.
+    Causality,
+    /// Wildcard receive with ≥2 statically feasible senders.
+    WildRace,
+    /// Ranks disagree on collective op/root/participants.
+    CollectiveSkew,
+}
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::ClockNonMono,
+        Rule::BadSeq,
+        Rule::MissingInit,
+        Rule::MissingFinalize,
+        Rule::WrongRank,
+        Rule::DupRequest,
+        Rule::UnknownRequest,
+        Rule::LeakedRequest,
+        Rule::SelfMessage,
+        Rule::UnmatchedSend,
+        Rule::UnmatchedRecv,
+        Rule::TagMismatch,
+        Rule::CountMismatch,
+        Rule::BadPeer,
+        Rule::Deadlock,
+        Rule::Cycle,
+        Rule::Causality,
+        Rule::WildRace,
+        Rule::CollectiveSkew,
+    ];
+
+    /// The stable `MPG-*` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::ClockNonMono => "MPG-CLOCK-NONMONO",
+            Rule::BadSeq => "MPG-BAD-SEQ",
+            Rule::MissingInit => "MPG-MISSING-INIT",
+            Rule::MissingFinalize => "MPG-MISSING-FINALIZE",
+            Rule::WrongRank => "MPG-WRONG-RANK",
+            Rule::DupRequest => "MPG-DUP-REQUEST",
+            Rule::UnknownRequest => "MPG-UNKNOWN-REQUEST",
+            Rule::LeakedRequest => "MPG-LEAKED-REQUEST",
+            Rule::SelfMessage => "MPG-SELF-MESSAGE",
+            Rule::UnmatchedSend => "MPG-UNMATCHED-SEND",
+            Rule::UnmatchedRecv => "MPG-UNMATCHED-RECV",
+            Rule::TagMismatch => "MPG-TAG-MISMATCH",
+            Rule::CountMismatch => "MPG-COUNT-MISMATCH",
+            Rule::BadPeer => "MPG-BAD-PEER",
+            Rule::Deadlock => "MPG-DEADLOCK",
+            Rule::Cycle => "MPG-CYCLE",
+            Rule::Causality => "MPG-CAUSALITY",
+            Rule::WildRace => "MPG-WILD-RACE",
+            Rule::CollectiveSkew => "MPG-COLLECTIVE-SKEW",
+        }
+    }
+
+    /// Severity the rule fires at unless escalated (e.g. by `--deny`).
+    pub fn default_severity(self) -> Severity {
+        match self {
+            // Wildcard nondeterminism is legal MPI and common in
+            // master/worker load balancing; it only threatens replay
+            // *stability*, so it is advisory by default.
+            Rule::WildRace => Severity::Info,
+            // A leaked request or a byte-count mismatch degrades fidelity
+            // but the graph still stitches.
+            Rule::LeakedRequest | Rule::CountMismatch => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+
+    /// Parse a code (as printed by [`Rule::code`], case-insensitive).
+    pub fn from_code(code: &str) -> Option<Rule> {
+        Rule::ALL
+            .iter()
+            .copied()
+            .find(|r| r.code().eq_ignore_ascii_case(code))
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One defect found by validation or lint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Effective severity (defaults to [`Rule::default_severity`]).
+    pub severity: Severity,
+    /// Human-readable description.
+    pub message: String,
+    /// Every rank involved (sorted, deduplicated).
+    pub ranks: Vec<Rank>,
+    /// Primary `(rank, seq)` location, when one event is to blame.
+    pub span: Option<(Rank, Seq)>,
+}
+
+impl Diagnostic {
+    /// New diagnostic at the rule's default severity.
+    pub fn new(rule: Rule, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: rule.default_severity(),
+            message: message.into(),
+            ranks: Vec::new(),
+            span: None,
+        }
+    }
+
+    /// Attach a primary location (also records the rank as involved).
+    pub fn at(mut self, rank: Rank, seq: Seq) -> Self {
+        self.span = Some((rank, seq));
+        self.involving([rank])
+    }
+
+    /// Record involved ranks (sorted/deduplicated on insert).
+    pub fn involving(mut self, ranks: impl IntoIterator<Item = Rank>) -> Self {
+        self.ranks.extend(ranks);
+        self.ranks.sort_unstable();
+        self.ranks.dedup();
+        self
+    }
+
+    /// Override the severity (e.g. `--deny` escalation).
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Render as one JSON object (hand-rolled; this crate is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"rule\":\"");
+        s.push_str(self.rule.code());
+        s.push_str("\",\"severity\":\"");
+        s.push_str(self.severity.label());
+        s.push_str("\",\"message\":\"");
+        json_escape_into(&self.message, &mut s);
+        s.push_str("\",\"ranks\":[");
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&r.to_string());
+        }
+        s.push(']');
+        if let Some((rank, seq)) = self.span {
+            s.push_str(&format!(",\"rank\":{rank},\"seq\":{seq}"));
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.rule.code())?;
+        match self.span {
+            Some((rank, seq)) => write!(f, " rank {rank} seq {seq}: ")?,
+            None if !self.ranks.is_empty() => {
+                write!(f, " ranks {:?}: ", self.ranks)?;
+            }
+            None => write!(f, ": ")?,
+        }
+        f.write_str(&self.message)
+    }
+}
+
+/// Escape `s` as JSON string contents into `out`.
+pub fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl From<Violation> for Diagnostic {
+    fn from(v: Violation) -> Self {
+        match v {
+            Violation::NonMonotonic { rank, seq } => Diagnostic::new(
+                Rule::ClockNonMono,
+                "event overlaps its predecessor or runs backwards in the local clock",
+            )
+            .at(rank, seq),
+            Violation::BadSeq {
+                rank,
+                expected,
+                found,
+            } => Diagnostic::new(
+                Rule::BadSeq,
+                format!("sequence numbers not dense: expected {expected}, found {found}"),
+            )
+            .at(rank, found),
+            Violation::MissingInit { rank } => {
+                Diagnostic::new(Rule::MissingInit, "first event is not Init").involving([rank])
+            }
+            Violation::MissingFinalize { rank } => {
+                Diagnostic::new(Rule::MissingFinalize, "last event is not Finalize")
+                    .involving([rank])
+            }
+            Violation::WrongRank { stream, record } => Diagnostic::new(
+                Rule::WrongRank,
+                format!("record claims rank {record} but came from stream {stream}"),
+            )
+            .involving([stream, record]),
+            Violation::DuplicateRequest { rank, req } => Diagnostic::new(
+                Rule::DupRequest,
+                format!("request {req} initiated twice before completion"),
+            )
+            .involving([rank]),
+            Violation::UnknownRequest { rank, req } => Diagnostic::new(
+                Rule::UnknownRequest,
+                format!("wait references unknown or already-completed request {req}"),
+            )
+            .involving([rank]),
+            Violation::LeakedRequest { rank, req } => Diagnostic::new(
+                Rule::LeakedRequest,
+                format!("request {req} initiated but never completed"),
+            )
+            .involving([rank]),
+            Violation::SelfMessage { rank, seq } => {
+                Diagnostic::new(Rule::SelfMessage, "event names its own rank as peer").at(rank, seq)
+            }
+        }
+    }
+}
+
+/// [`crate::validate::validate_trace`] reported through the shared
+/// diagnostic path.
+pub fn validate_trace_diagnostics(trace: &MemTrace) -> Vec<Diagnostic> {
+    crate::validate::validate_trace(trace)
+        .into_iter()
+        .map(Diagnostic::from)
+        .collect()
+}
+
+/// Sort diagnostics for stable presentation: severity (worst first), then
+/// rule code, then location.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.rule.code().cmp(b.rule.code()))
+            .then_with(|| a.span.cmp(&b.span))
+            .then_with(|| a.ranks.cmp(&b.ranks))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, EventRecord};
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn rule_codes_roundtrip() {
+        for &rule in Rule::ALL {
+            assert_eq!(Rule::from_code(rule.code()), Some(rule));
+            assert_eq!(Rule::from_code(&rule.code().to_lowercase()), Some(rule));
+        }
+        assert_eq!(Rule::from_code("MPG-NOT-A-RULE"), None);
+    }
+
+    #[test]
+    fn display_and_json_shape() {
+        let d = Diagnostic::new(Rule::Deadlock, "cycle: 0 -> 1 -> 0").involving([1, 0, 1]);
+        assert_eq!(d.ranks, vec![0, 1]);
+        let text = d.to_string();
+        assert!(text.starts_with("error[MPG-DEADLOCK]"), "{text}");
+        let json = d.to_json();
+        assert!(json.contains("\"rule\":\"MPG-DEADLOCK\""), "{json}");
+        assert!(json.contains("\"ranks\":[0,1]"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let d = Diagnostic::new(Rule::BadSeq, "quote \" slash \\ newline \n");
+        let json = d.to_json();
+        assert!(json.contains("quote \\\" slash \\\\ newline \\n"), "{json}");
+    }
+
+    #[test]
+    fn violations_map_to_rules() {
+        let mut mt = MemTrace::new(1);
+        mt.push(EventRecord {
+            rank: 0,
+            seq: 0,
+            t_start: 0,
+            t_end: 5,
+            kind: EventKind::Compute { work: 5 },
+        });
+        let diags = validate_trace_diagnostics(&mt);
+        let rules: Vec<Rule> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&Rule::MissingInit));
+        assert!(rules.contains(&Rule::MissingFinalize));
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn sort_puts_errors_first() {
+        let mut diags = vec![
+            Diagnostic::new(Rule::WildRace, "advisory"),
+            Diagnostic::new(Rule::LeakedRequest, "leak".to_string()).involving([0]),
+            Diagnostic::new(Rule::Deadlock, "fatal"),
+        ];
+        sort_diagnostics(&mut diags);
+        assert_eq!(diags[0].rule, Rule::Deadlock);
+        assert_eq!(diags[2].rule, Rule::WildRace);
+    }
+}

@@ -308,14 +308,27 @@ mod tests {
             protocol: SendProtocol::Buffered
         }
         .is_collective());
-        assert!(EventKind::Isend { peer: 0, tag: 0, bytes: 0, req: 1 }.is_nonblocking_init());
+        assert!(EventKind::Isend {
+            peer: 0,
+            tag: 0,
+            bytes: 0,
+            req: 1
+        }
+        .is_nonblocking_init());
         assert!(EventKind::Wait { req: 1 }.is_wait());
         assert!(EventKind::WaitAll { reqs: vec![1, 2] }.is_wait());
     }
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(EventKind::Allreduce { bytes: 8, comm_size: 2 }.name(), "allreduce");
+        assert_eq!(
+            EventKind::Allreduce {
+                bytes: 8,
+                comm_size: 2
+            }
+            .name(),
+            "allreduce"
+        );
         assert_eq!(EventKind::Compute { work: 1 }.name(), "compute");
     }
 

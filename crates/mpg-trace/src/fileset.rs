@@ -28,7 +28,9 @@ pub struct MemTrace {
 impl MemTrace {
     /// Creates an empty trace set for `ranks` ranks.
     pub fn new(ranks: usize) -> Self {
-        Self { events: vec![Vec::new(); ranks] }
+        Self {
+            events: vec![Vec::new(); ranks],
+        }
     }
 
     /// Builds from pre-assembled per-rank vectors.
@@ -82,7 +84,10 @@ impl MemTrace {
         }
         let mut meta = File::create(dir.join("meta.txt"))?;
         writeln!(meta, "ranks={}", self.num_ranks())?;
-        Ok(FileTraceSet { dir: dir.to_path_buf(), ranks: self.num_ranks() })
+        Ok(FileTraceSet {
+            dir: dir.to_path_buf(),
+            ranks: self.num_ranks(),
+        })
     }
 }
 
@@ -112,7 +117,10 @@ impl FileTraceSet {
                 return Err(TraceError::Corrupt(format!("missing trace for rank {r}")));
             }
         }
-        Ok(Self { dir: dir.to_path_buf(), ranks })
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            ranks,
+        })
     }
 
     /// Number of ranks.
@@ -129,7 +137,10 @@ impl FileTraceSet {
     /// Per-rank fallible iterators, the shape the graph builder consumes.
     pub fn streams(&self) -> Result<Vec<BoxedEventStream<'static>>, TraceError> {
         (0..self.ranks)
-            .map(|r| self.reader(r).map(|rd| Box::new(rd) as BoxedEventStream<'static>))
+            .map(|r| {
+                self.reader(r)
+                    .map(|rd| Box::new(rd) as BoxedEventStream<'static>)
+            })
             .collect()
     }
 

@@ -18,6 +18,7 @@
 
 pub mod clock;
 pub mod codec;
+pub mod diag;
 pub mod event;
 pub mod fileset;
 pub mod reader;
@@ -27,6 +28,7 @@ pub mod validate;
 pub mod writer;
 
 pub use clock::ClockModel;
+pub use diag::{sort_diagnostics, validate_trace_diagnostics, Diagnostic, Rule, Severity};
 pub use event::{EventKind, EventRecord, Rank, ReqId, SendProtocol, Seq, Tag, ANY_SOURCE, ANY_TAG};
 pub use fileset::{FileTraceSet, MemTrace};
 pub use reader::TraceReader;

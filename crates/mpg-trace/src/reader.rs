@@ -130,7 +130,13 @@ mod tests {
     }
 
     fn rec(seq: u64, t: u64, kind: EventKind) -> EventRecord {
-        EventRecord { rank: 2, seq, t_start: t, t_end: t + 3, kind }
+        EventRecord {
+            rank: 2,
+            seq,
+            t_start: t,
+            t_end: t + 3,
+            kind,
+        }
     }
 
     #[test]
@@ -158,7 +164,18 @@ mod tests {
     #[test]
     fn truncated_stream_errors() {
         let records: Vec<_> = (0..3)
-            .map(|i| rec(i, i * 100, EventKind::Send { peer: 1, tag: 0, bytes: 1 << 40, protocol: Default::default() }))
+            .map(|i| {
+                rec(
+                    i,
+                    i * 100,
+                    EventKind::Send {
+                        peer: 1,
+                        tag: 0,
+                        bytes: 1 << 40,
+                        protocol: Default::default(),
+                    },
+                )
+            })
             .collect();
         let mut bytes = encode(&records);
         bytes.truncate(bytes.len() - 2);
@@ -188,7 +205,9 @@ mod tests {
                 rec(
                     i,
                     i * 1000,
-                    EventKind::WaitAll { reqs: vec![i, i + 1, i + 2] },
+                    EventKind::WaitAll {
+                        reqs: vec![i, i + 1, i + 2],
+                    },
                 )
             })
             .collect();

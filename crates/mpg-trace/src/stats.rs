@@ -81,7 +81,9 @@ impl TraceStats {
         if !self.comm_matrix.is_empty() {
             let pairs = self.comm_matrix.len();
             let bytes: u64 = self.comm_matrix.values().sum();
-            out.push_str(&format!("  {pairs} communicating pairs, {bytes} bytes total\n"));
+            out.push_str(&format!(
+                "  {pairs} communicating pairs, {bytes} bytes total\n"
+            ));
         }
         out
     }
@@ -107,17 +109,45 @@ mod tests {
     use super::*;
 
     fn ev(rank: u32, seq: u64, t0: u64, t1: u64, kind: EventKind) -> EventRecord {
-        EventRecord { rank, seq, t_start: t0, t_end: t1, kind }
+        EventRecord {
+            rank,
+            seq,
+            t_start: t0,
+            t_end: t1,
+            kind,
+        }
     }
 
     fn sample() -> MemTrace {
         let mut t = MemTrace::new(2);
         t.push(ev(0, 0, 0, 10, EventKind::Init));
         t.push(ev(0, 1, 10, 110, EventKind::Compute { work: 100 }));
-        t.push(ev(0, 2, 110, 150, EventKind::Send { peer: 1, tag: 0, bytes: 500, protocol: Default::default() }));
+        t.push(ev(
+            0,
+            2,
+            110,
+            150,
+            EventKind::Send {
+                peer: 1,
+                tag: 0,
+                bytes: 500,
+                protocol: Default::default(),
+            },
+        ));
         t.push(ev(0, 3, 150, 160, EventKind::Finalize));
         t.push(ev(1, 0, 0, 10, EventKind::Init));
-        t.push(ev(1, 1, 10, 150, EventKind::Recv { peer: 0, tag: 0, bytes: 500, posted_any: false }));
+        t.push(ev(
+            1,
+            1,
+            10,
+            150,
+            EventKind::Recv {
+                peer: 0,
+                tag: 0,
+                bytes: 500,
+                posted_any: false,
+            },
+        ));
         t.push(ev(1, 2, 150, 160, EventKind::Finalize));
         t
     }

@@ -35,7 +35,12 @@ pub fn event_to_line(e: &EventRecord) -> String {
     match &e.kind {
         EventKind::Init | EventKind::Finalize => {}
         EventKind::Compute { work } => kv(&mut out, "work", work),
-        EventKind::Send { peer, tag, bytes, protocol } => {
+        EventKind::Send {
+            peer,
+            tag,
+            bytes,
+            protocol,
+        } => {
             kv(&mut out, "peer", peer);
             kv(&mut out, "tag", tag);
             kv(&mut out, "bytes", bytes);
@@ -49,19 +54,35 @@ pub fn event_to_line(e: &EventRecord) -> String {
                 kv(&mut out, "proto", name);
             }
         }
-        EventKind::Recv { peer, tag, bytes, posted_any } => {
+        EventKind::Recv {
+            peer,
+            tag,
+            bytes,
+            posted_any,
+        } => {
             kv(&mut out, "peer", peer);
             kv(&mut out, "tag", tag);
             kv(&mut out, "bytes", bytes);
             kv(&mut out, "any", u8::from(*posted_any));
         }
-        EventKind::Isend { peer, tag, bytes, req } => {
+        EventKind::Isend {
+            peer,
+            tag,
+            bytes,
+            req,
+        } => {
             kv(&mut out, "peer", peer);
             kv(&mut out, "tag", tag);
             kv(&mut out, "bytes", bytes);
             kv(&mut out, "req", req);
         }
-        EventKind::Irecv { peer, tag, bytes, req, posted_any } => {
+        EventKind::Irecv {
+            peer,
+            tag,
+            bytes,
+            req,
+            posted_any,
+        } => {
             kv(&mut out, "peer", peer);
             kv(&mut out, "tag", tag);
             kv(&mut out, "bytes", bytes);
@@ -79,10 +100,26 @@ pub fn event_to_line(e: &EventRecord) -> String {
             kv(&mut out, "completed", u8::from(*completed));
         }
         EventKind::Barrier { comm_size } => kv(&mut out, "comm", comm_size),
-        EventKind::Bcast { root, bytes, comm_size }
-        | EventKind::Scatter { root, bytes, comm_size }
-        | EventKind::Gather { root, bytes, comm_size }
-        | EventKind::Reduce { root, bytes, comm_size } => {
+        EventKind::Bcast {
+            root,
+            bytes,
+            comm_size,
+        }
+        | EventKind::Scatter {
+            root,
+            bytes,
+            comm_size,
+        }
+        | EventKind::Gather {
+            root,
+            bytes,
+            comm_size,
+        }
+        | EventKind::Reduce {
+            root,
+            bytes,
+            comm_size,
+        } => {
             kv(&mut out, "root", root);
             kv(&mut out, "bytes", bytes);
             kv(&mut out, "comm", comm_size);
@@ -172,7 +209,9 @@ pub fn line_to_event(line: &str, rank: u32, seq: u64) -> Result<EventRecord, Tra
     let kind = match tokens[2] {
         "init" => EventKind::Init,
         "finalize" => EventKind::Finalize,
-        "compute" => EventKind::Compute { work: f.get("work")? },
+        "compute" => EventKind::Compute {
+            work: f.get("work")?,
+        },
         "send" => EventKind::Send {
             peer: f.get("peer")?,
             tag: f.get("tag")?,
@@ -182,9 +221,7 @@ pub fn line_to_event(line: &str, rank: u32, seq: u64) -> Result<EventRecord, Tra
                 Some("sync") => SendProtocol::Synchronous,
                 Some("buffered") => SendProtocol::Buffered,
                 Some("ready") => SendProtocol::Ready,
-                Some(other) => {
-                    return Err(TraceError::Corrupt(format!("unknown proto '{other}'")))
-                }
+                Some(other) => return Err(TraceError::Corrupt(format!("unknown proto '{other}'"))),
             },
         },
         "recv" => EventKind::Recv {
@@ -207,7 +244,9 @@ pub fn line_to_event(line: &str, rank: u32, seq: u64) -> Result<EventRecord, Tra
             posted_any: f.get::<u8>("any")? != 0,
         },
         "wait" => EventKind::Wait { req: f.get("req")? },
-        "waitall" => EventKind::WaitAll { reqs: f.get_list("reqs")? },
+        "waitall" => EventKind::WaitAll {
+            reqs: f.get_list("reqs")?,
+        },
         "waitsome" => EventKind::WaitSome {
             reqs: f.get_list("reqs")?,
             completed: f.get_list("completed")?,
@@ -216,7 +255,9 @@ pub fn line_to_event(line: &str, rank: u32, seq: u64) -> Result<EventRecord, Tra
             req: f.get("req")?,
             completed: f.get::<u8>("completed")? != 0,
         },
-        "barrier" => EventKind::Barrier { comm_size: f.get("comm")? },
+        "barrier" => EventKind::Barrier {
+            comm_size: f.get("comm")?,
+        },
         "bcast" => EventKind::Bcast {
             root: f.get("root")?,
             bytes: f.get("bytes")?,
@@ -251,7 +292,13 @@ pub fn line_to_event(line: &str, rank: u32, seq: u64) -> Result<EventRecord, Tra
         },
         other => return Err(TraceError::Corrupt(format!("unknown event kind '{other}'"))),
     };
-    Ok(EventRecord { rank, seq, t_start, t_end, kind })
+    Ok(EventRecord {
+        rank,
+        seq,
+        t_start,
+        t_end,
+        kind,
+    })
 }
 
 /// Parses a whole text trace.
@@ -279,15 +326,16 @@ pub fn text_to_trace(text: &str) -> Result<MemTrace, TraceError> {
                 .parse()
                 .map_err(|_| TraceError::Corrupt(format!("bad rank header '{t}'")))?;
             if r as usize >= ranks {
-                return Err(TraceError::Corrupt(format!("rank {r} out of range (ranks={ranks})")));
+                return Err(TraceError::Corrupt(format!(
+                    "rank {r} out of range (ranks={ranks})"
+                )));
             }
             current = Some(r);
             seq = 0;
             continue;
         }
-        let rank = current.ok_or_else(|| {
-            TraceError::Corrupt("event line before any 'rank N' header".into())
-        })?;
+        let rank = current
+            .ok_or_else(|| TraceError::Corrupt("event line before any 'rank N' header".into()))?;
         trace.push(line_to_event(t, rank, seq)?);
         seq += 1;
     }
@@ -303,25 +351,92 @@ mod tests {
         let kinds: Vec<EventKind> = vec![
             EventKind::Init,
             EventKind::Compute { work: 500 },
-            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Standard },
-            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Synchronous },
-            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Buffered },
-            EventKind::Send { peer: 1, tag: 2, bytes: 64, protocol: SendProtocol::Ready },
-            EventKind::Recv { peer: 1, tag: 2, bytes: 64, posted_any: true },
-            EventKind::Isend { peer: 1, tag: 0, bytes: 8, req: 1 },
-            EventKind::Irecv { peer: 1, tag: 0, bytes: 8, req: 2, posted_any: false },
-            EventKind::Test { req: 1, completed: false },
+            EventKind::Send {
+                peer: 1,
+                tag: 2,
+                bytes: 64,
+                protocol: SendProtocol::Standard,
+            },
+            EventKind::Send {
+                peer: 1,
+                tag: 2,
+                bytes: 64,
+                protocol: SendProtocol::Synchronous,
+            },
+            EventKind::Send {
+                peer: 1,
+                tag: 2,
+                bytes: 64,
+                protocol: SendProtocol::Buffered,
+            },
+            EventKind::Send {
+                peer: 1,
+                tag: 2,
+                bytes: 64,
+                protocol: SendProtocol::Ready,
+            },
+            EventKind::Recv {
+                peer: 1,
+                tag: 2,
+                bytes: 64,
+                posted_any: true,
+            },
+            EventKind::Isend {
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+                req: 1,
+            },
+            EventKind::Irecv {
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+                req: 2,
+                posted_any: false,
+            },
+            EventKind::Test {
+                req: 1,
+                completed: false,
+            },
             EventKind::Wait { req: 1 },
             EventKind::WaitAll { reqs: vec![2] },
-            EventKind::WaitSome { reqs: vec![], completed: vec![] },
+            EventKind::WaitSome {
+                reqs: vec![],
+                completed: vec![],
+            },
             EventKind::Barrier { comm_size: 2 },
-            EventKind::Bcast { root: 0, bytes: 4, comm_size: 2 },
-            EventKind::Reduce { root: 1, bytes: 4, comm_size: 2 },
-            EventKind::Allreduce { bytes: 4, comm_size: 2 },
-            EventKind::Scatter { root: 0, bytes: 4, comm_size: 2 },
-            EventKind::Gather { root: 0, bytes: 4, comm_size: 2 },
-            EventKind::Allgather { bytes: 4, comm_size: 2 },
-            EventKind::Alltoall { bytes: 4, comm_size: 2 },
+            EventKind::Bcast {
+                root: 0,
+                bytes: 4,
+                comm_size: 2,
+            },
+            EventKind::Reduce {
+                root: 1,
+                bytes: 4,
+                comm_size: 2,
+            },
+            EventKind::Allreduce {
+                bytes: 4,
+                comm_size: 2,
+            },
+            EventKind::Scatter {
+                root: 0,
+                bytes: 4,
+                comm_size: 2,
+            },
+            EventKind::Gather {
+                root: 0,
+                bytes: 4,
+                comm_size: 2,
+            },
+            EventKind::Allgather {
+                bytes: 4,
+                comm_size: 2,
+            },
+            EventKind::Alltoall {
+                bytes: 4,
+                comm_size: 2,
+            },
             EventKind::Finalize,
         ];
         let mut t = MemTrace::new(2);
@@ -334,7 +449,13 @@ mod tests {
                 kind,
             });
         }
-        t.push(EventRecord { rank: 1, seq: 0, t_start: 0, t_end: 1, kind: EventKind::Init });
+        t.push(EventRecord {
+            rank: 1,
+            seq: 0,
+            t_start: 0,
+            t_end: 1,
+            kind: EventKind::Init,
+        });
         t
     }
 
@@ -389,14 +510,40 @@ mod tests {
             for r in 0..2u32 {
                 let peer = 1 - r;
                 let mut push = |seq, t0, t1, kind| {
-                    t.push(EventRecord { rank: r, seq, t_start: t0, t_end: t1, kind });
+                    t.push(EventRecord {
+                        rank: r,
+                        seq,
+                        t_start: t0,
+                        t_end: t1,
+                        kind,
+                    });
                 };
                 push(0, 0, 10, EventKind::Init);
                 push(1, 10, 100, EventKind::Compute { work: 90 });
                 if r == 0 {
-                    push(2, 100, 200, EventKind::Send { peer, tag: 0, bytes: 32, protocol: SendProtocol::Standard });
+                    push(
+                        2,
+                        100,
+                        200,
+                        EventKind::Send {
+                            peer,
+                            tag: 0,
+                            bytes: 32,
+                            protocol: SendProtocol::Standard,
+                        },
+                    );
                 } else {
-                    push(2, 100, 200, EventKind::Recv { peer, tag: 0, bytes: 32, posted_any: false });
+                    push(
+                        2,
+                        100,
+                        200,
+                        EventKind::Recv {
+                            peer,
+                            tag: 0,
+                            bytes: 32,
+                            posted_any: false,
+                        },
+                    );
                 }
                 push(3, 200, 210, EventKind::Finalize);
             }

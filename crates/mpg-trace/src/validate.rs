@@ -96,10 +96,17 @@ pub fn validate_rank_trace(rank: u32, events: &[EventRecord]) -> Vec<Violation> 
 
     for (i, e) in events.iter().enumerate() {
         if e.rank != rank {
-            out.push(Violation::WrongRank { stream: rank, record: e.rank });
+            out.push(Violation::WrongRank {
+                stream: rank,
+                record: e.rank,
+            });
         }
         if e.seq != i as u64 {
-            out.push(Violation::BadSeq { rank, expected: i as u64, found: e.seq });
+            out.push(Violation::BadSeq {
+                rank,
+                expected: i as u64,
+                found: e.seq,
+            });
         }
         if e.t_end < e.t_start || e.t_start < last_end {
             out.push(Violation::NonMonotonic { rank, seq: e.seq });
@@ -107,10 +114,9 @@ pub fn validate_rank_trace(rank: u32, events: &[EventRecord]) -> Vec<Violation> 
         last_end = last_end.max(e.t_end);
 
         match &e.kind {
-            EventKind::Send { peer, .. } | EventKind::Recv { peer, .. }
-                if *peer == rank => {
-                    out.push(Violation::SelfMessage { rank, seq: e.seq });
-                }
+            EventKind::Send { peer, .. } | EventKind::Recv { peer, .. } if *peer == rank => {
+                out.push(Violation::SelfMessage { rank, seq: e.seq });
+            }
             EventKind::Isend { peer, req, .. } | EventKind::Irecv { peer, req, .. } => {
                 if *peer == rank {
                     out.push(Violation::SelfMessage { rank, seq: e.seq });
@@ -119,10 +125,9 @@ pub fn validate_rank_trace(rank: u32, events: &[EventRecord]) -> Vec<Violation> 
                     out.push(Violation::DuplicateRequest { rank, req: *req });
                 }
             }
-            EventKind::Wait { req }
-                if !open_reqs.remove(req) => {
-                    out.push(Violation::UnknownRequest { rank, req: *req });
-                }
+            EventKind::Wait { req } if !open_reqs.remove(req) => {
+                out.push(Violation::UnknownRequest { rank, req: *req });
+            }
             EventKind::WaitAll { reqs } => {
                 for req in reqs {
                     if !open_reqs.remove(req) {
@@ -169,13 +174,30 @@ mod tests {
     use super::*;
 
     fn ev(rank: u32, seq: u64, t0: u64, t1: u64, kind: EventKind) -> EventRecord {
-        EventRecord { rank, seq, t_start: t0, t_end: t1, kind }
+        EventRecord {
+            rank,
+            seq,
+            t_start: t0,
+            t_end: t1,
+            kind,
+        }
     }
 
     fn good_rank() -> Vec<EventRecord> {
         vec![
             ev(0, 0, 0, 5, EventKind::Init),
-            ev(0, 1, 5, 10, EventKind::Isend { peer: 1, tag: 0, bytes: 4, req: 1 }),
+            ev(
+                0,
+                1,
+                5,
+                10,
+                EventKind::Isend {
+                    peer: 1,
+                    tag: 0,
+                    bytes: 4,
+                    req: 1,
+                },
+            ),
             ev(0, 2, 10, 50, EventKind::Compute { work: 40 }),
             ev(0, 3, 50, 90, EventKind::Wait { req: 1 }),
             ev(0, 4, 90, 95, EventKind::Finalize),
@@ -201,7 +223,9 @@ mod tests {
         t[2].t_end = 9;
         t[2].t_start = 10;
         let v = validate_rank_trace(0, &t);
-        assert!(v.iter().any(|x| matches!(x, Violation::NonMonotonic { seq: 2, .. })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, Violation::NonMonotonic { seq: 2, .. })));
     }
 
     #[test]
@@ -220,7 +244,18 @@ mod tests {
         // Duplicate initiation.
         t.insert(
             2,
-            ev(0, 2, 10, 12, EventKind::Isend { peer: 1, tag: 0, bytes: 4, req: 1 }),
+            ev(
+                0,
+                2,
+                10,
+                12,
+                EventKind::Isend {
+                    peer: 1,
+                    tag: 0,
+                    bytes: 4,
+                    req: 1,
+                },
+            ),
         );
         // Renumber.
         for (i, e) in t.iter_mut().enumerate() {
@@ -236,7 +271,18 @@ mod tests {
     fn detects_unknown_and_leaked() {
         let t = vec![
             ev(0, 0, 0, 5, EventKind::Init),
-            ev(0, 1, 5, 10, EventKind::Isend { peer: 1, tag: 0, bytes: 4, req: 7 }),
+            ev(
+                0,
+                1,
+                5,
+                10,
+                EventKind::Isend {
+                    peer: 1,
+                    tag: 0,
+                    bytes: 4,
+                    req: 7,
+                },
+            ),
             ev(0, 2, 10, 20, EventKind::Wait { req: 99 }),
             ev(0, 3, 20, 25, EventKind::Finalize),
         ];
@@ -254,7 +300,12 @@ mod tests {
                 1,
                 5,
                 10,
-                EventKind::Send { peer: 0, tag: 0, bytes: 4, protocol: Default::default() },
+                EventKind::Send {
+                    peer: 0,
+                    tag: 0,
+                    bytes: 4,
+                    protocol: Default::default(),
+                },
             ),
             ev(0, 2, 10, 15, EventKind::Finalize),
         ];
@@ -267,7 +318,10 @@ mod tests {
         let mut t = good_rank();
         t[1].rank = 4;
         let v = validate_rank_trace(0, &t);
-        assert!(v.contains(&Violation::WrongRank { stream: 0, record: 4 }));
+        assert!(v.contains(&Violation::WrongRank {
+            stream: 0,
+            record: 4
+        }));
     }
 
     #[test]

@@ -37,11 +37,10 @@ fn main() {
         .expect("blocking chain runs")
         .trace;
 
-    let report = Replayer::new(
-        ReplayConfig::new(PerturbationModel::quiet("fig5")).record_graph(true),
-    )
-    .run(&trace)
-    .expect("replay");
+    let report =
+        Replayer::new(ReplayConfig::new(PerturbationModel::quiet("fig5")).record_graph(true))
+            .run(&trace)
+            .expect("replay");
     let graph = report.graph.expect("recorded");
     eprintln!(
         "graph: {} nodes, {} edges ({} message edges)",

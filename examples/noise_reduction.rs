@@ -18,7 +18,11 @@ use mpg::sim::Simulation;
 fn main() {
     let noisy = PlatformSignature::noisy("production", 2.0);
     let quiet = PlatformSignature::quiet("lightweight-kernel");
-    let solver = AllreduceSolver { iters: 25, local_work: 500_000, vector_bytes: 256 };
+    let solver = AllreduceSolver {
+        iters: 25,
+        local_work: 500_000,
+        vector_bytes: 256,
+    };
 
     println!("tracing solver on the noisy platform…");
     let noisy_run = Simulation::new(8, noisy.clone())
@@ -33,9 +37,7 @@ fn main() {
     let mut model = PerturbationModel::quiet("denoise");
     model.os_local = SignedDist::negative(Dist::Empirical(sig.ftq_noise.clone()));
     model.os_quantum = Some(sig.ftq_quantum);
-    model.latency = SignedDist::negative(Dist::Constant(
-        (sig.latency.mean() - 2_000.0).max(0.0),
-    ));
+    model.latency = SignedDist::negative(Dist::Constant((sig.latency.mean() - 2_000.0).max(0.0)));
 
     let report = Replayer::new(ReplayConfig::new(model).seed(9).arrival_bound(true))
         .run(&noisy_run.trace)
@@ -50,7 +52,10 @@ fn main() {
         .makespan();
 
     println!("\nallreduce solver on 8 ranks:");
-    println!("  traced on noisy platform : {:>12} cycles", noisy_run.makespan());
+    println!(
+        "  traced on noisy platform : {:>12} cycles",
+        noisy_run.makespan()
+    );
     println!("  predicted with noise gone: {predicted:>12} cycles");
     println!("  direct sim on quiet      : {truth:>12} cycles");
     println!(

@@ -38,7 +38,12 @@ fn main() {
         injected.per_byte
     );
 
-    let stencil = Stencil { iters: 30, cells_per_rank: 2_000, work_per_cell: 40, halo_bytes: 2_048 };
+    let stencil = Stencil {
+        iters: 30,
+        cells_per_rank: 2_000,
+        work_per_cell: 40,
+        halo_bytes: 2_048,
+    };
     let traced = Simulation::new(8, quiet)
         .ideal_clocks()
         .seed(3)

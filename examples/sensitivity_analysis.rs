@@ -14,15 +14,22 @@ use mpg::noise::{Dist, PlatformSignature};
 use mpg::sim::Simulation;
 
 fn main() {
-    let stencil =
-        Stencil { iters: 30, cells_per_rank: 2_000, work_per_cell: 40, halo_bytes: 2_048 };
+    let stencil = Stencil {
+        iters: 30,
+        cells_per_rank: 2_000,
+        work_per_cell: 40,
+        halo_bytes: 2_048,
+    };
     let trace = Simulation::new(8, PlatformSignature::quiet("lab"))
         .ideal_clocks()
         .seed(1)
         .run(|ctx| stencil.run(ctx))
         .expect("stencil runs")
         .trace;
-    println!("traced stencil: {} events on 8 ranks\n", trace.total_events());
+    println!(
+        "traced stencil: {} events on 8 ranks\n",
+        trace.total_events()
+    );
 
     // 1. Parallel amplitude sweep.
     let amplitudes: Vec<f64> = (0..8).map(|i| 500.0 * f64::from(1 << i)).collect();
@@ -34,7 +41,10 @@ fn main() {
             ReplayConfig::new(m).seed(2)
         })
         .collect();
-    println!("{:>12} {:>14} {:>16}", "noise mean", "max drift", "msg domination");
+    println!(
+        "{:>12} {:>14} {:>16}",
+        "noise mean", "max drift", "msg domination"
+    );
     for (amp, result) in amplitudes.iter().zip(parallel_replays(&trace, configs)) {
         let report = result.expect("replay succeeds");
         println!(
@@ -48,7 +58,10 @@ fn main() {
     let mut m = PerturbationModel::quiet("worst");
     m.os_local = Dist::Exponential { mean: 64_000.0 }.into();
     let report = Replayer::new(
-        ReplayConfig::new(m).seed(2).record_graph(true).timeline_stride(8),
+        ReplayConfig::new(m)
+            .seed(2)
+            .record_graph(true)
+            .timeline_stride(8),
     )
     .run(&trace)
     .expect("replay succeeds");

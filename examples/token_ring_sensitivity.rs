@@ -16,7 +16,11 @@ fn main() {
     let p: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
     let traversals: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(10);
 
-    let ring = TokenRing { traversals, particles_per_rank: 8, work_per_pair: 20 };
+    let ring = TokenRing {
+        traversals,
+        particles_per_rank: 8,
+        work_per_pair: 20,
+    };
     println!("tracing token ring: p = {p}, T = {traversals} …");
     let outcome = Simulation::new(p, PlatformSignature::quiet("bproc-like"))
         .ideal_clocks()
@@ -29,7 +33,10 @@ fn main() {
         outcome.makespan()
     );
 
-    println!("{:>12} {:>16} {:>16} {:>10}", "noise/msg", "predicted Δ", "measured Δ", "ratio");
+    println!(
+        "{:>12} {:>16} {:>16} {:>10}",
+        "noise/msg", "predicted Δ", "measured Δ", "ratio"
+    );
     for step in 0..=7 {
         let noise = f64::from(step * 100);
         let model = PerturbationModel::per_message_constant("sweep", noise);
@@ -38,7 +45,11 @@ fn main() {
             .expect("replay");
         let predicted = noise * f64::from(traversals) * f64::from(p);
         let measured = report.mean_final_drift();
-        let ratio = if predicted > 0.0 { measured / predicted } else { 1.0 };
+        let ratio = if predicted > 0.0 {
+            measured / predicted
+        } else {
+            1.0
+        };
         println!("{noise:>12.0} {predicted:>16.0} {measured:>16.0} {ratio:>10.4}");
     }
     println!("\n(§6.1: the change should equal increments × traversals × p on every rank)");

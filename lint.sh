@@ -1,0 +1,14 @@
+#!/bin/sh
+# Pre-PR gate: static analysis for the repo itself (the trace linter's
+# moral equivalent, aimed at this codebase). Run before every PR; CI and
+# reviewers assume it exits 0.
+set -eu
+cd "$(dirname "$0")"
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "lint: clean"

@@ -1,0 +1,144 @@
+//! Offline shim for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Provides the `bounded`/`unbounded` constructors with the
+//! crossbeam-style unified [`Sender`] type (cloneable in both flavours)
+//! that this workspace's simulator uses for rank/coordinator plumbing.
+
+use std::fmt;
+use std::sync::mpsc;
+
+/// Sending half of a channel.
+pub struct Sender<T>(SenderInner<T>);
+
+enum SenderInner<T> {
+    Unbounded(mpsc::Sender<T>),
+    Bounded(mpsc::SyncSender<T>),
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+/// Error returned by [`Sender::send`] when the receiver is gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when all senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel is currently empty.
+    Empty,
+    /// All senders disconnected.
+    Disconnected,
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender(SenderInner::Unbounded(tx)), Receiver(rx))
+}
+
+/// Create a bounded channel with capacity `cap` (0 = rendezvous).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(SenderInner::Bounded(tx)), Receiver(rx))
+}
+
+impl<T> Sender<T> {
+    /// Block until the message is enqueued (or return it on disconnect).
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        match &self.0 {
+            SenderInner::Unbounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+            SenderInner::Bounded(tx) => tx.send(msg).map_err(|e| SendError(e.0)),
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(match &self.0 {
+            SenderInner::Unbounded(tx) => SenderInner::Unbounded(tx.clone()),
+            SenderInner::Bounded(tx) => SenderInner::Bounded(tx.clone()),
+        })
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender disconnects.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv().map_err(|_| RecvError)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Iterate over received messages until disconnect.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        std::iter::from_fn(move || self.recv().ok())
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_roundtrip() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop((tx, tx2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn rendezvous_bounded() {
+        let (tx, rx) = bounded(1);
+        tx.send(7u32).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn cross_thread() {
+        let (tx, rx) = bounded(0);
+        let h = std::thread::spawn(move || tx.send(99u64).unwrap());
+        assert_eq!(rx.recv(), Ok(99));
+        h.join().unwrap();
+    }
+}

@@ -10,6 +10,7 @@ pub use mpg_analysis as analysis;
 pub use mpg_apps as apps;
 pub use mpg_core as core;
 pub use mpg_des as des;
+pub use mpg_lint as lint;
 pub use mpg_micro as micro;
 pub use mpg_noise as noise;
 pub use mpg_sim as sim;

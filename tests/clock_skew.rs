@@ -12,23 +12,45 @@ fn workloads() -> Vec<(&'static str, Box<dyn Workload>)> {
     vec![
         (
             "token-ring",
-            Box::new(TokenRing { traversals: 2, particles_per_rank: 8, work_per_pair: 25 }),
+            Box::new(TokenRing {
+                traversals: 2,
+                particles_per_rank: 8,
+                work_per_pair: 25,
+            }),
         ),
         (
             "stencil",
-            Box::new(Stencil { iters: 4, cells_per_rank: 500, work_per_cell: 20, halo_bytes: 256 }),
+            Box::new(Stencil {
+                iters: 4,
+                cells_per_rank: 500,
+                work_per_cell: 20,
+                halo_bytes: 256,
+            }),
         ),
         (
             "master-worker",
-            Box::new(MasterWorker { tasks: 12, task_work: 50_000, task_bytes: 64, result_bytes: 64 }),
+            Box::new(MasterWorker {
+                tasks: 12,
+                task_work: 50_000,
+                task_bytes: 64,
+                result_bytes: 64,
+            }),
         ),
         (
             "allreduce-solver",
-            Box::new(AllreduceSolver { iters: 5, local_work: 100_000, vector_bytes: 128 }),
+            Box::new(AllreduceSolver {
+                iters: 5,
+                local_work: 100_000,
+                vector_bytes: 128,
+            }),
         ),
         (
             "pipeline",
-            Box::new(Pipeline { waves: 4, work_per_stage: 50_000, payload: 256 }),
+            Box::new(Pipeline {
+                waves: 4,
+                work_per_stage: 50_000,
+                payload: 256,
+            }),
         ),
     ]
 }
@@ -62,9 +84,16 @@ fn order_only_replay_is_skew_invariant_for_every_workload() {
         let mut model = PerturbationModel::quiet("m");
         model.os_local = Dist::Exponential { mean: 900.0 }.into();
         model.latency = Dist::Constant(400.0).into();
-        let a = Replayer::new(ReplayConfig::new(model.clone()).seed(5)).run(&ideal).unwrap();
-        let b = Replayer::new(ReplayConfig::new(model).seed(5)).run(&skewed).unwrap();
-        assert_eq!(a.final_drift, b.final_drift, "{name} drift depends on clocks");
+        let a = Replayer::new(ReplayConfig::new(model.clone()).seed(5))
+            .run(&ideal)
+            .unwrap();
+        let b = Replayer::new(ReplayConfig::new(model).seed(5))
+            .run(&skewed)
+            .unwrap();
+        assert_eq!(
+            a.final_drift, b.final_drift,
+            "{name} drift depends on clocks"
+        );
         assert_eq!(
             a.stats.messages_matched, b.stats.messages_matched,
             "{name} matching depends on clocks"
@@ -101,13 +130,20 @@ fn measured_slack_mode_breaks_under_skew() {
     // Rank 0's clock runs far ahead: cross-clock send→recv differences go
     // negative, so the measured slack collapses to zero.
     let skewed = run(vec![
-        ClockModel { offset: 1_000_000_000_000, drift_ppm: 0.0 },
+        ClockModel {
+            offset: 1_000_000_000_000,
+            drift_ppm: 0.0,
+        },
         ClockModel::ideal(),
     ]);
 
     let mut model = PerturbationModel::quiet("m");
     model.latency = Dist::Constant(700.0).into();
-    let est = SlackEstimate { latency: 2_000.0, cycles_per_byte: 0.5, overhead: 300.0 };
+    let est = SlackEstimate {
+        latency: 2_000.0,
+        cycles_per_byte: 0.5,
+        overhead: 300.0,
+    };
     let cfg = |trace: &mpg::trace::MemTrace| {
         Replayer::new(
             ReplayConfig::new(model.clone())
@@ -138,6 +174,8 @@ fn trace_timestamps_really_are_unsynchronized_by_default() {
         .unwrap();
     // The barrier ends "simultaneously" in global time, but each rank's
     // local record of it must disagree (different clock offsets).
-    let ends: Vec<u64> = (0..3).map(|r| out.trace.rank(r).last().unwrap().t_end).collect();
+    let ends: Vec<u64> = (0..3)
+        .map(|r| out.trace.rank(r).last().unwrap().t_end)
+        .collect();
     assert!(ends.windows(2).any(|w| w[0] != w[1]), "{ends:?}");
 }

@@ -12,7 +12,12 @@ use mpg::sim::Simulation;
 fn simulation_deterministic_across_noise_and_wildcards() {
     // Master-worker exercises ANY_SOURCE matching — the hardest thing to
     // keep deterministic under a threaded runtime.
-    let w = MasterWorker { tasks: 40, task_work: 30_000, task_bytes: 64, result_bytes: 32 };
+    let w = MasterWorker {
+        tasks: 40,
+        task_work: 30_000,
+        task_bytes: 64,
+        result_bytes: 32,
+    };
     let run = || {
         Simulation::new(5, PlatformSignature::noisy("n", 1.5))
             .seed(777)
@@ -28,7 +33,12 @@ fn simulation_deterministic_across_noise_and_wildcards() {
 
 #[test]
 fn replay_deterministic_and_seed_sensitive() {
-    let w = MasterWorker { tasks: 20, task_work: 30_000, task_bytes: 64, result_bytes: 32 };
+    let w = MasterWorker {
+        tasks: 20,
+        task_work: 30_000,
+        task_bytes: 64,
+        result_bytes: 32,
+    };
     let trace = Simulation::new(4, PlatformSignature::quiet("q"))
         .seed(1)
         .run(|ctx| w.run(ctx))
@@ -37,7 +47,9 @@ fn replay_deterministic_and_seed_sensitive() {
     let mut model = PerturbationModel::quiet("m");
     model.os_local = Dist::Exponential { mean: 1_000.0 }.into();
     let r = |seed: u64| {
-        Replayer::new(ReplayConfig::new(model.clone()).seed(seed)).run(&trace).unwrap()
+        Replayer::new(ReplayConfig::new(model.clone()).seed(seed))
+            .run(&trace)
+            .unwrap()
     };
     assert_eq!(r(9).final_drift, r(9).final_drift);
     assert_ne!(r(9).final_drift, r(10).final_drift);
@@ -55,7 +67,12 @@ fn microbenchmarks_deterministic() {
 
 #[test]
 fn des_baseline_deterministic() {
-    let w = MasterWorker { tasks: 20, task_work: 30_000, task_bytes: 64, result_bytes: 32 };
+    let w = MasterWorker {
+        tasks: 20,
+        task_work: 30_000,
+        task_bytes: 64,
+        result_bytes: 32,
+    };
     let trace = Simulation::new(4, PlatformSignature::quiet("q"))
         .seed(2)
         .run(|ctx| w.run(ctx))

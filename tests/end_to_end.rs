@@ -14,7 +14,11 @@ fn unique_dir(tag: &str) -> std::path::PathBuf {
 
 #[test]
 fn disk_roundtrip_replay_matches_in_memory() {
-    let ring = TokenRing { traversals: 3, particles_per_rank: 8, work_per_pair: 25 };
+    let ring = TokenRing {
+        traversals: 3,
+        particles_per_rank: 8,
+        work_per_pair: 25,
+    };
     let out = Simulation::new(6, PlatformSignature::quiet("lab"))
         .seed(11)
         .run(|ctx| ring.run(ctx))
@@ -43,7 +47,12 @@ fn disk_roundtrip_replay_matches_in_memory() {
 
 #[test]
 fn noisy_trace_survives_disk_and_validates() {
-    let stencil = Stencil { iters: 6, cells_per_rank: 500, work_per_cell: 30, halo_bytes: 512 };
+    let stencil = Stencil {
+        iters: 6,
+        cells_per_rank: 500,
+        work_per_cell: 30,
+        halo_bytes: 512,
+    };
     let out = Simulation::new(4, PlatformSignature::noisy("prod", 1.0))
         .seed(12)
         .run(|ctx| stencil.run(ctx))
@@ -60,7 +69,11 @@ fn noisy_trace_survives_disk_and_validates() {
 fn simulated_truth_vs_replay_prediction_direction() {
     // Injecting the platform difference must move the prediction toward the
     // noisy truth, never away from the quiet baseline.
-    let ring = TokenRing { traversals: 4, particles_per_rank: 8, work_per_pair: 50 };
+    let ring = TokenRing {
+        traversals: 4,
+        particles_per_rank: 8,
+        work_per_pair: 50,
+    };
     let quiet = Simulation::new(4, PlatformSignature::quiet("q"))
         .ideal_clocks()
         .seed(13)
@@ -75,7 +88,9 @@ fn simulated_truth_vs_replay_prediction_direction() {
 
     let mut model = PerturbationModel::quiet("toward-noisy");
     model.latency = Dist::Exponential { mean: 800.0 }.into();
-    let report = Replayer::new(ReplayConfig::new(model).seed(3)).run(&quiet.trace).unwrap();
+    let report = Replayer::new(ReplayConfig::new(model).seed(3))
+        .run(&quiet.trace)
+        .unwrap();
     let predicted = *report.projected_finish_local.iter().max().unwrap();
     assert!(predicted > quiet.makespan());
 }

@@ -38,18 +38,32 @@ fn kind_strategy(p: u32) -> impl Strategy<Value = EventKind> {
             posted_any: false
         }),
         ((0..p), (0u32..3), (0u64..1_000), (1u64..6)).prop_map(|(peer, tag, bytes, req)| {
-            EventKind::Isend { peer, tag, bytes, req }
+            EventKind::Isend {
+                peer,
+                tag,
+                bytes,
+                req,
+            }
         }),
         ((0..p), (0u32..3), (0u64..1_000), (1u64..6)).prop_map(|(peer, tag, bytes, req)| {
-            EventKind::Irecv { peer, tag, bytes, req, posted_any: false }
+            EventKind::Irecv {
+                peer,
+                tag,
+                bytes,
+                req,
+                posted_any: false,
+            }
         }),
         (1u64..6).prop_map(|req| EventKind::Wait { req }),
         prop::collection::vec(1u64..6, 0..4).prop_map(|reqs| EventKind::WaitAll { reqs }),
-        ((1u64..6), any::<bool>())
-            .prop_map(|(req, completed)| EventKind::Test { req, completed }),
+        ((1u64..6), any::<bool>()).prop_map(|(req, completed)| EventKind::Test { req, completed }),
         (1u32..6).prop_map(|comm_size| EventKind::Barrier { comm_size }),
         ((0..p), (0u64..100), (1u32..6)).prop_map(|(root, bytes, comm_size)| {
-            EventKind::Bcast { root, bytes, comm_size }
+            EventKind::Bcast {
+                root,
+                bytes,
+                comm_size,
+            }
         }),
         ((0u64..100), (1u32..6))
             .prop_map(|(bytes, comm_size)| EventKind::Allreduce { bytes, comm_size }),
@@ -120,21 +134,19 @@ proptest! {
 fn truncated_trace_stream_reports_error() {
     // A trace whose stream dies mid-way must surface as ReplayError::Trace.
     use mpg::trace::TraceError;
-    let streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>>>> = vec![
-        Box::new(
-            vec![
-                Ok(EventRecord {
-                    rank: 0,
-                    seq: 0,
-                    t_start: 0,
-                    t_end: 10,
-                    kind: EventKind::Init,
-                }),
-                Err(TraceError::Corrupt("disk died".into())),
-            ]
-            .into_iter(),
-        ),
-    ];
+    let streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>>>> = vec![Box::new(
+        vec![
+            Ok(EventRecord {
+                rank: 0,
+                seq: 0,
+                t_start: 0,
+                t_end: 10,
+                kind: EventKind::Init,
+            }),
+            Err(TraceError::Corrupt("disk died".into())),
+        ]
+        .into_iter(),
+    )];
     let err = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("t")))
         .run_streams(streams)
         .unwrap_err();
@@ -144,7 +156,13 @@ fn truncated_trace_stream_reports_error() {
 #[test]
 fn backwards_clock_reports_corrupt() {
     let mut mt = MemTrace::new(1);
-    mt.push(EventRecord { rank: 0, seq: 0, t_start: 0, t_end: 100, kind: EventKind::Init });
+    mt.push(EventRecord {
+        rank: 0,
+        seq: 0,
+        t_start: 0,
+        t_end: 100,
+        kind: EventKind::Init,
+    });
     mt.push(EventRecord {
         rank: 0,
         seq: 1,
@@ -162,7 +180,13 @@ fn backwards_clock_reports_corrupt() {
 fn collective_size_mismatch_reports_corrupt() {
     let mut mt = MemTrace::new(2);
     for r in 0..2u32 {
-        mt.push(EventRecord { rank: r, seq: 0, t_start: 0, t_end: 10, kind: EventKind::Init });
+        mt.push(EventRecord {
+            rank: r,
+            seq: 0,
+            t_start: 0,
+            t_end: 10,
+            kind: EventKind::Init,
+        });
         mt.push(EventRecord {
             rank: r,
             seq: 1,
@@ -182,4 +206,194 @@ fn collective_size_mismatch_reports_corrupt() {
         .run(&mt)
         .unwrap_err();
     assert!(matches!(err, mpg::core::ReplayError::Corrupt(_)), "{err}");
+}
+
+// ---------------------------------------------------------------------------
+// Lint robustness: a good trace stays clean; any single corruption of a good
+// trace is caught with at least one diagnostic, and linting never panics.
+// ---------------------------------------------------------------------------
+
+use std::sync::OnceLock;
+
+use mpg::apps::{AllreduceSolver, Pipeline, Stencil, TokenRing, Workload};
+use mpg::noise::PlatformSignature as Sig;
+use mpg::sim::Simulation;
+use mpg::trace::Severity;
+
+/// Deterministic workloads with no wildcard receives: every event is
+/// load-bearing, so any structural mutation is observable.
+fn good_traces() -> &'static [MemTrace] {
+    static TRACES: OnceLock<Vec<MemTrace>> = OnceLock::new();
+    TRACES.get_or_init(|| {
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(TokenRing {
+                traversals: 3,
+                particles_per_rank: 8,
+                work_per_pair: 25,
+            }),
+            Box::new(Stencil {
+                iters: 4,
+                cells_per_rank: 500,
+                work_per_cell: 40,
+                halo_bytes: 256,
+            }),
+            Box::new(AllreduceSolver {
+                iters: 4,
+                local_work: 10_000,
+                vector_bytes: 64,
+            }),
+            Box::new(Pipeline {
+                waves: 4,
+                work_per_stage: 10_000,
+                payload: 128,
+            }),
+        ];
+        workloads
+            .iter()
+            .map(|w| {
+                Simulation::new(4, Sig::quiet("fuzz-lint"))
+                    .seed(7)
+                    .run(|ctx| w.run(ctx))
+                    .expect("workload simulates cleanly")
+                    .trace
+            })
+            .collect()
+    })
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Remove one event from a rank's stream.
+    Drop,
+    /// Append a second copy of one event right after the original.
+    Duplicate,
+    /// Swap one event with its successor (seq numbers keep their records).
+    Reorder,
+    /// Redirect a point-to-point event to the next rank over.
+    CorruptPeer,
+    /// Bump a point-to-point event's tag.
+    CorruptTag,
+}
+
+fn is_p2p(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::Send { .. }
+            | EventKind::Recv { .. }
+            | EventKind::Isend { .. }
+            | EventKind::Irecv { .. }
+    )
+}
+
+fn bump_peer(kind: &mut EventKind, p: u32) {
+    match kind {
+        EventKind::Send { peer, .. }
+        | EventKind::Recv { peer, .. }
+        | EventKind::Isend { peer, .. }
+        | EventKind::Irecv { peer, .. } => *peer = (*peer + 1) % p,
+        _ => unreachable!("mutation targets are point-to-point"),
+    }
+}
+
+fn bump_tag(kind: &mut EventKind) {
+    match kind {
+        EventKind::Send { tag, .. }
+        | EventKind::Recv { tag, .. }
+        | EventKind::Isend { tag, .. }
+        | EventKind::Irecv { tag, .. } => *tag += 1,
+        _ => unreachable!("mutation targets are point-to-point"),
+    }
+}
+
+/// Applies `mutation` near position `pos` of `rank`'s stream. Peer/tag
+/// corruption walks forward to the next point-to-point event (wrapping);
+/// structural mutations apply anywhere.
+fn mutate(trace: &MemTrace, rank: usize, pos: usize, mutation: Mutation) -> Option<MemTrace> {
+    let p = trace.num_ranks();
+    let mut ranks: Vec<Vec<EventRecord>> = (0..p).map(|r| trace.rank(r).to_vec()).collect();
+    let stream = &mut ranks[rank];
+    if stream.len() < 2 {
+        return None;
+    }
+    let pos = pos % stream.len();
+    match mutation {
+        Mutation::Drop => {
+            stream.remove(pos);
+        }
+        Mutation::Duplicate => {
+            let copy = stream[pos].clone();
+            stream.insert(pos + 1, copy);
+        }
+        Mutation::Reorder => {
+            let pos = pos.min(stream.len() - 2);
+            stream.swap(pos, pos + 1);
+            if stream[pos] == stream[pos + 1] {
+                return None; // swapping identical records is a no-op
+            }
+        }
+        Mutation::CorruptPeer | Mutation::CorruptTag => {
+            let len = stream.len();
+            let target = (0..len)
+                .map(|i| (pos + i) % len)
+                .find(|&i| is_p2p(&stream[i].kind))?;
+            match mutation {
+                Mutation::CorruptPeer => bump_peer(&mut stream[target].kind, p as u32),
+                Mutation::CorruptTag => bump_tag(&mut stream[target].kind),
+                _ => unreachable!(),
+            }
+        }
+    }
+    Some(MemTrace::from_ranks(ranks))
+}
+
+fn mutation_strategy() -> impl Strategy<Value = Mutation> {
+    prop_oneof![
+        Just(Mutation::Drop),
+        Just(Mutation::Duplicate),
+        Just(Mutation::Reorder),
+        Just(Mutation::CorruptPeer),
+        Just(Mutation::CorruptTag),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// Any single mutation of a good trace produces at least one
+    /// diagnostic — the lint passes have no blind spot a one-event
+    /// corruption can hide in — and linting never panics.
+    #[test]
+    fn mutated_good_trace_always_lints_dirty(
+        workload in 0usize..4,
+        rank in 0usize..4,
+        pos in 0usize..200,
+        mutation in mutation_strategy(),
+    ) {
+        let base = &good_traces()[workload];
+        if let Some(bad) = mutate(base, rank, pos, mutation) {
+            let diags = mpg::lint::lint_full(&bad);
+            prop_assert!(
+                !diags.is_empty(),
+                "{mutation:?} at rank {rank} pos {pos} of workload {workload} went undetected"
+            );
+        }
+    }
+
+    /// Garbage traces lint without panicking (diagnostics optional: some
+    /// random traces are genuinely well-formed).
+    #[test]
+    fn lint_never_panics_on_garbage(trace in arbitrary_trace(4)) {
+        let _ = mpg::lint::lint_full(&trace);
+    }
+}
+
+#[test]
+fn unmutated_workload_traces_lint_clean() {
+    for (i, trace) in good_traces().iter().enumerate() {
+        let diags = mpg::lint::lint_full(trace);
+        assert!(
+            diags.iter().all(|d| d.severity < Severity::Warning),
+            "workload {i} lints dirty: {diags:?}"
+        );
+    }
 }

@@ -10,7 +10,9 @@ fn kind_strategy() -> impl Strategy<Value = EventKind> {
     prop_oneof![
         Just(EventKind::Init),
         Just(EventKind::Finalize),
-        any::<u64>().prop_map(|work| EventKind::Compute { work: work % (1 << 40) }),
+        any::<u64>().prop_map(|work| EventKind::Compute {
+            work: work % (1 << 40)
+        }),
         (any::<u32>(), any::<u32>(), any::<u64>(), any::<u8>()).prop_map(
             |(peer, tag, bytes, pr)| EventKind::Send {
                 peer,
@@ -25,30 +27,56 @@ fn kind_strategy() -> impl Strategy<Value = EventKind> {
             }
         ),
         (any::<u32>(), any::<u32>(), any::<u64>(), any::<bool>()).prop_map(
-            |(peer, tag, bytes, posted_any)| EventKind::Recv { peer, tag, bytes, posted_any }
+            |(peer, tag, bytes, posted_any)| EventKind::Recv {
+                peer,
+                tag,
+                bytes,
+                posted_any
+            }
         ),
         (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
-            |(peer, tag, bytes, req)| EventKind::Isend { peer, tag, bytes, req }
+            |(peer, tag, bytes, req)| EventKind::Isend {
+                peer,
+                tag,
+                bytes,
+                req
+            }
         ),
-        (any::<u32>(), any::<u32>(), any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
-            |(peer, tag, bytes, req, posted_any)| EventKind::Irecv {
+        (
+            any::<u32>(),
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<bool>()
+        )
+            .prop_map(|(peer, tag, bytes, req, posted_any)| EventKind::Irecv {
                 peer,
                 tag,
                 bytes,
                 req,
                 posted_any
-            }
-        ),
+            }),
         any::<u64>().prop_map(|req| EventKind::Wait { req }),
         prop::collection::vec(any::<u64>(), 0..20).prop_map(|reqs| EventKind::WaitAll { reqs }),
-        (prop::collection::vec(any::<u64>(), 0..10), prop::collection::vec(any::<u64>(), 0..10))
+        (
+            prop::collection::vec(any::<u64>(), 0..10),
+            prop::collection::vec(any::<u64>(), 0..10)
+        )
             .prop_map(|(reqs, completed)| EventKind::WaitSome { reqs, completed }),
         any::<u32>().prop_map(|comm_size| EventKind::Barrier { comm_size }),
         (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(root, bytes, comm_size)| {
-            EventKind::Bcast { root, bytes, comm_size }
+            EventKind::Bcast {
+                root,
+                bytes,
+                comm_size,
+            }
         }),
         (any::<u32>(), any::<u64>(), any::<u32>()).prop_map(|(root, bytes, comm_size)| {
-            EventKind::Reduce { root, bytes, comm_size }
+            EventKind::Reduce {
+                root,
+                bytes,
+                comm_size,
+            }
         }),
         (any::<u64>(), any::<u32>())
             .prop_map(|(bytes, comm_size)| EventKind::Allreduce { bytes, comm_size }),
@@ -64,7 +92,13 @@ fn records(raw: Vec<(u32, u32, EventKind)>) -> Vec<EventRecord> {
             let t_start = t + u64::from(gap);
             let t_end = t_start + u64::from(dur);
             t = t_end;
-            EventRecord { rank: 3, seq: i as u64, t_start, t_end, kind }
+            EventRecord {
+                rank: 3,
+                seq: i as u64,
+                t_start,
+                t_end,
+                kind,
+            }
         })
         .collect()
 }

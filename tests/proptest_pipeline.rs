@@ -14,13 +14,25 @@ use mpg::trace::{validate_trace, MemTrace};
 #[derive(Debug, Clone)]
 enum Phase {
     Compute(u64),
-    RingShift { bytes: u64 },
-    PairExchange { bytes: u64, nonblocking: bool },
+    RingShift {
+        bytes: u64,
+    },
+    PairExchange {
+        bytes: u64,
+        nonblocking: bool,
+    },
     Barrier,
-    Allreduce { bytes: u64 },
-    Bcast { root_idx: u32, bytes: u64 },
+    Allreduce {
+        bytes: u64,
+    },
+    Bcast {
+        root_idx: u32,
+        bytes: u64,
+    },
     /// Split into even/odd sub-communicators and allreduce within each.
-    SplitAllreduce { bytes: u64 },
+    SplitAllreduce {
+        bytes: u64,
+    },
 }
 
 fn phase_strategy() -> impl Strategy<Value = Phase> {

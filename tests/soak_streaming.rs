@@ -13,7 +13,11 @@ use mpg::trace::FileTraceSet;
 #[test]
 fn long_trace_streams_from_disk_with_bounded_window() {
     // ~50k events: 8 ranks × (init + 250×16 ring hops × 5 events + finalize).
-    let ring = TokenRing { traversals: 250, particles_per_rank: 2, work_per_pair: 5 };
+    let ring = TokenRing {
+        traversals: 250,
+        particles_per_rank: 2,
+        work_per_pair: 5,
+    };
     let out = Simulation::new(8, PlatformSignature::quiet("soak"))
         .seed(404)
         .run(|ctx| ring.run(ctx))
