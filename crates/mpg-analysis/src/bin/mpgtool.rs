@@ -42,6 +42,12 @@
 //!
 //! mpgtool diff <trace-dir-a> <trace-dir-b>
 //!     Compare two traces' per-kind time accounting.
+//!
+//! mpgtool bench [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
+//!     Measure replay throughput (events/sec) on the pinned seed workloads.
+//!     With --out, write the machine-readable snapshot (BENCH_replay.json).
+//!     With --check, compare against a recorded snapshot and exit nonzero
+//!     if any workload regressed by more than PCT percent (default 20).
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -84,6 +90,7 @@ fn usage() -> ExitCode {
     eprintln!("  mpgtool import <text-file> <trace-dir>");
     eprintln!("  mpgtool timeline <trace-dir> [--width N]");
     eprintln!("  mpgtool diff <trace-dir-a> <trace-dir-b>");
+    eprintln!("  mpgtool bench [--out FILE] [--check FILE] [--threshold PCT] [--reps N]");
     ExitCode::from(2)
 }
 
@@ -371,6 +378,13 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         report.mean_final_drift(),
         report.message_domination_ratio()
     );
+    println!(
+        "scheduler: {} wakeups for {} events ({} matches), {} polls avoided",
+        report.stats.scheduler_wakeups,
+        report.stats.events,
+        report.stats.messages_matched,
+        report.stats.polls_avoided
+    );
     for w in &report.warnings {
         println!("warning: {w}");
     }
@@ -507,6 +521,56 @@ fn cmd_diff(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `mpgtool bench`: measure replay throughput on the pinned workloads,
+/// optionally writing the `BENCH_replay.json` snapshot and/or gating
+/// against a recorded one.
+fn cmd_bench(mut args: Vec<String>) -> ExitCode {
+    let out = take_flag(&mut args, "--out");
+    let check = take_flag(&mut args, "--check");
+    let threshold: f64 = take_flag(&mut args, "--threshold")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20.0);
+    let reps: u32 = take_flag(&mut args, "--reps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    if !args.is_empty() {
+        return fail(&format!("bench: unexpected argument '{}'", args[0]));
+    }
+    let snap = mpg_analysis::perf::measure(reps);
+    println!(
+        "{:>16} {:>6} {:>10} {:>14} {:>10} {:>13}",
+        "workload", "ranks", "events", "events/sec", "wakeups", "polls avoided"
+    );
+    for w in &snap.workloads {
+        println!(
+            "{:>16} {:>6} {:>10} {:>14.0} {:>10} {:>13}",
+            w.name, w.ranks, w.events, w.events_per_sec, w.scheduler_wakeups, w.polls_avoided
+        );
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, snap.to_json()) {
+            return fail(&format!("writing {path}: {e}"));
+        }
+        println!("snapshot: wrote {path}");
+    }
+    if let Some(path) = check {
+        let recorded = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("reading {path}: {e}")),
+        };
+        let msgs = mpg_analysis::perf::regressions(&recorded, &snap, threshold);
+        if msgs.is_empty() {
+            println!("check: within {threshold}% of {path}");
+        } else {
+            for m in &msgs {
+                eprintln!("mpgtool: bench regression: {m}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -524,6 +588,7 @@ fn main() -> ExitCode {
         "import" => cmd_import(args),
         "timeline" => cmd_timeline(args),
         "diff" => cmd_diff(args),
+        "bench" => cmd_bench(args),
         _ => usage(),
     }
 }

@@ -31,11 +31,13 @@
 
 pub mod experiments;
 pub mod history;
+pub mod perf;
 pub mod sweep;
 pub mod table;
 
 pub use experiments::{all_experiments, Experiment, ExperimentResult};
 pub use history::{record_from_report, AnalysisRecord, HistoryStore};
+pub use perf::{measure as measure_perf, regressions as perf_regressions, PerfSnapshot};
 pub use sweep::parallel_replays;
 pub use table::Table;
 

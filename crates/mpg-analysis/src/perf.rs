@@ -1,0 +1,395 @@
+//! Replay-throughput measurement and the tracked `BENCH_replay.json`
+//! perf snapshot.
+//!
+//! The paper's §4.2 pitch is that graph replay is *cheap* — a streaming
+//! pass over the trace. This module pins three replay-heavy workloads,
+//! measures events/sec through the full `Replayer` pipeline, and
+//! round-trips the results through a small JSON snapshot so `lint.sh` (and
+//! any CI) can fail a change that regresses replay throughput by more than
+//! a threshold. The snapshot also records the pre-scheduler polling
+//! engine's numbers, preserving the speedup evidence for the event-driven
+//! rewrite.
+
+use std::time::Instant;
+
+use mpg_apps::{Pipeline, Stencil, TokenRing, Workload};
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer};
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::Simulation;
+use mpg_trace::MemTrace;
+
+/// Events/sec of the pre-scheduler round-robin polling engine on the same
+/// pinned workloads (best of 5, recorded immediately before the
+/// event-driven scheduler landed). Kept so every snapshot documents the
+/// speedup baseline.
+pub const POLLING_BASELINE: [(&str, f64); 3] = [
+    ("token-ring-16", 5_345_832.0),
+    ("stencil-8", 4_048_870.0),
+    ("pipeline-32", 6_869_414.0),
+];
+
+/// The perturbation model applied in every throughput measurement (the
+/// bench suite's standard mixed model).
+pub fn perf_model() -> PerturbationModel {
+    let mut m = PerturbationModel::quiet("perf");
+    m.os_local = Dist::Exponential { mean: 500.0 }.into();
+    m.latency = Dist::Exponential { mean: 700.0 }.into();
+    m.per_byte = 0.05;
+    m
+}
+
+/// Iterations/sec of a fixed integer spin loop, measured alongside every
+/// snapshot and every check. The ratio between the recorded and current
+/// calibration estimates how much slower the host is right now (background
+/// load, different machine), so the regression gate can scale its floor and
+/// track the engine rather than the host. Deliberately does not touch the
+/// replay engine — that would cancel the very regressions the gate exists
+/// to catch.
+pub fn calibrate() -> f64 {
+    const ITERS: u64 = 20_000_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let mut x = 0x9e37_79b9_7f4a_7c15_u64;
+        let t = Instant::now();
+        for _ in 0..ITERS {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+        }
+        std::hint::black_box(x);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    ITERS as f64 / best
+}
+
+fn trace_of(w: &dyn Workload, p: u32) -> MemTrace {
+    Simulation::new(p, PlatformSignature::quiet("perf"))
+        .ideal_clocks()
+        .seed(1)
+        .run(|ctx| w.run(ctx))
+        .expect("pinned perf workload runs")
+        .trace
+}
+
+/// The pinned seed workloads: a blocked-heavy many-rank token ring
+/// (sendrecv chains — the polling engine's worst case for wasted polls), a
+/// waitall-heavy stencil, and a long-dependency-chain pipeline.
+pub fn pinned_traces() -> Vec<(&'static str, u32, MemTrace)> {
+    let ring = TokenRing {
+        traversals: 60,
+        particles_per_rank: 2,
+        work_per_pair: 1,
+    };
+    let stencil = Stencil {
+        iters: 300,
+        cells_per_rank: 10,
+        work_per_cell: 5,
+        halo_bytes: 256,
+    };
+    let pipeline = Pipeline {
+        waves: 100,
+        work_per_stage: 100,
+        payload: 64,
+    };
+    vec![
+        ("token-ring-16", 16, trace_of(&ring, 16)),
+        ("stencil-8", 8, trace_of(&stencil, 8)),
+        ("pipeline-32", 32, trace_of(&pipeline, 32)),
+    ]
+}
+
+/// One pinned workload's measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadPerf {
+    /// Pinned workload name.
+    pub name: String,
+    /// Rank count.
+    pub ranks: u32,
+    /// Events replayed per run.
+    pub events: u64,
+    /// Best-of-reps throughput.
+    pub events_per_sec: f64,
+    /// Ready-queue pops taken by the scheduler.
+    pub scheduler_wakeups: u64,
+    /// Round-robin polls the wakeup queue avoided.
+    pub polls_avoided: u64,
+}
+
+/// A full measurement snapshot (what `BENCH_replay.json` holds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfSnapshot {
+    /// Engine description recorded in the snapshot.
+    pub engine: String,
+    /// Timed repetitions per workload (best is kept).
+    pub reps: u32,
+    /// Host-speed calibration ([`calibrate`]) taken with the measurement.
+    pub calibration: f64,
+    /// Per-workload results.
+    pub workloads: Vec<WorkloadPerf>,
+}
+
+/// Measures every pinned workload: one warmup replay, then `reps` timed
+/// replays, keeping the best (noise on shared machines only ever slows a
+/// run down).
+pub fn measure(reps: u32) -> PerfSnapshot {
+    let reps = reps.max(1);
+    let mut workloads = Vec::new();
+    for (name, ranks, trace) in pinned_traces() {
+        let replayer = Replayer::new(ReplayConfig::new(perf_model()).seed(42));
+        let warm = replayer.run(&trace).expect("pinned workload replays");
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let rep = replayer.run(&trace).expect("pinned workload replays");
+            best = best.min(t.elapsed().as_secs_f64());
+            debug_assert_eq!(rep.stats.events, warm.stats.events);
+        }
+        workloads.push(WorkloadPerf {
+            name: name.to_string(),
+            ranks,
+            events: warm.stats.events,
+            events_per_sec: warm.stats.events as f64 / best,
+            scheduler_wakeups: warm.stats.scheduler_wakeups,
+            polls_avoided: warm.stats.polls_avoided,
+        });
+    }
+    PerfSnapshot {
+        engine: "event-driven ready-queue".to_string(),
+        reps,
+        calibration: calibrate(),
+        workloads,
+    }
+}
+
+impl PerfSnapshot {
+    /// Renders the snapshot as the `BENCH_replay.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"replay_throughput\",\n");
+        out.push_str(&format!("  \"engine\": \"{}\",\n", self.engine));
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!(
+            "  \"calibration_iters_per_sec\": {:.0},\n",
+            self.calibration
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            let baseline = POLLING_BASELINE
+                .iter()
+                .find(|(n, _)| *n == w.name)
+                .map(|(_, eps)| *eps);
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+            out.push_str(&format!("      \"ranks\": {},\n", w.ranks));
+            out.push_str(&format!("      \"events\": {},\n", w.events));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {:.0},\n",
+                w.events_per_sec
+            ));
+            out.push_str(&format!(
+                "      \"scheduler_wakeups\": {},\n",
+                w.scheduler_wakeups
+            ));
+            out.push_str(&format!("      \"polls_avoided\": {}", w.polls_avoided));
+            if let Some(b) = baseline {
+                out.push_str(&format!(
+                    ",\n      \"polling_baseline_events_per_sec\": {b:.0},\n"
+                ));
+                out.push_str(&format!(
+                    "      \"speedup_vs_polling\": {:.2}\n",
+                    w.events_per_sec / b
+                ));
+            } else {
+                out.push('\n');
+            }
+            out.push_str(if i + 1 == self.workloads.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Extracts the recorded host calibration from a snapshot document, if
+    /// present (older documents lack the key).
+    pub fn parse_calibration(json: &str) -> Option<f64> {
+        json.lines().find_map(|line| {
+            line.trim()
+                .strip_prefix("\"calibration_iters_per_sec\":")?
+                .trim()
+                .trim_end_matches(',')
+                .parse::<f64>()
+                .ok()
+        })
+    }
+
+    /// Extracts `(name, events_per_sec)` pairs from a snapshot document
+    /// written by [`to_json`]. Deliberately tolerant: it scans for the
+    /// keys rather than parsing full JSON, since both ends of the format
+    /// live in this file.
+    pub fn parse_events_per_sec(json: &str) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        let mut pending_name: Option<String> = None;
+        for line in json.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("\"name\":") {
+                let name = rest.trim().trim_end_matches(',').trim_matches('"');
+                pending_name = Some(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("\"events_per_sec\":") {
+                if let (Some(name), Ok(eps)) = (
+                    pending_name.take(),
+                    rest.trim().trim_end_matches(',').parse::<f64>(),
+                ) {
+                    out.push((name, eps));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Compares a fresh measurement against a recorded snapshot document.
+/// Returns one message per workload whose throughput fell more than
+/// `threshold_pct` percent below the recorded value; an empty vector means
+/// the gate passes. Workloads present on only one side are ignored (the
+/// pinned set may grow).
+///
+/// When both sides carry a host calibration, the recorded floor is scaled
+/// down by the host-speed ratio — a box that spins integers 30% slower
+/// right now (background load, weaker machine) is forgiven 30% of its
+/// replay throughput. The scale only ever *loosens* the gate (capped at
+/// 1.0): a faster host never tightens it, since calibration and replay
+/// don't speed up in lockstep.
+pub fn regressions(recorded_json: &str, current: &PerfSnapshot, threshold_pct: f64) -> Vec<String> {
+    let recorded = PerfSnapshot::parse_events_per_sec(recorded_json);
+    let host_scale = PerfSnapshot::parse_calibration(recorded_json)
+        .filter(|rec_cal| *rec_cal > 0.0 && current.calibration > 0.0)
+        .map_or(1.0, |rec_cal| (current.calibration / rec_cal).min(1.0));
+    let mut msgs = Vec::new();
+    for w in &current.workloads {
+        let Some((_, rec_eps)) = recorded.iter().find(|(n, _)| *n == w.name) else {
+            continue;
+        };
+        let scaled = rec_eps * host_scale;
+        let floor = scaled * (1.0 - threshold_pct / 100.0);
+        if w.events_per_sec < floor {
+            msgs.push(format!(
+                "{}: {:.0} events/sec is {:.1}% below the recorded {:.0} \
+                 (host-speed scale {:.2}, allowed drop {:.0}%)",
+                w.name,
+                w.events_per_sec,
+                (1.0 - w.events_per_sec / scaled) * 100.0,
+                rec_eps,
+                host_scale,
+                threshold_pct
+            ));
+        }
+    }
+    msgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(eps: &[(&str, f64)]) -> PerfSnapshot {
+        snapshot_cal(eps, 1.0e9)
+    }
+
+    fn snapshot_cal(eps: &[(&str, f64)], calibration: f64) -> PerfSnapshot {
+        PerfSnapshot {
+            engine: "test".into(),
+            reps: 1,
+            calibration,
+            workloads: eps
+                .iter()
+                .map(|(n, e)| WorkloadPerf {
+                    name: (*n).into(),
+                    ranks: 8,
+                    events: 1000,
+                    events_per_sec: *e,
+                    scheduler_wakeups: 10,
+                    polls_avoided: 5,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let snap = snapshot(&[("token-ring-16", 1.0e7), ("stencil-8", 5.0e6)]);
+        let parsed = PerfSnapshot::parse_events_per_sec(&snap.to_json());
+        assert_eq!(
+            parsed,
+            vec![
+                ("token-ring-16".to_string(), 1.0e7),
+                ("stencil-8".to_string(), 5.0e6)
+            ]
+        );
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_threshold() {
+        let recorded = snapshot(&[("a", 1.0e6), ("b", 1.0e6)]).to_json();
+        // 10% down: within a 20% allowance.
+        let ok = snapshot(&[("a", 9.0e5), ("b", 1.1e6)]);
+        assert!(regressions(&recorded, &ok, 20.0).is_empty());
+        // 30% down on one workload: the gate names it.
+        let bad = snapshot(&[("a", 7.0e5), ("b", 1.1e6)]);
+        let msgs = regressions(&recorded, &bad, 20.0);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].starts_with("a:"), "{msgs:?}");
+    }
+
+    #[test]
+    fn loaded_host_loosens_but_fast_host_never_tightens() {
+        let recorded = snapshot_cal(&[("a", 1.0e6)], 1.0e9).to_json();
+        assert_eq!(PerfSnapshot::parse_calibration(&recorded), Some(1.0e9));
+        // Host half as fast now: a 55% drop scales to ~10% and passes.
+        let loaded = snapshot_cal(&[("a", 4.5e5)], 0.5e9);
+        assert!(regressions(&recorded, &loaded, 20.0).is_empty());
+        // Same throughput drop at full host speed: the gate fires.
+        let slow = snapshot_cal(&[("a", 4.5e5)], 1.0e9);
+        assert_eq!(regressions(&recorded, &slow, 20.0).len(), 1);
+        // Host twice as fast: the floor must NOT double — unchanged
+        // throughput still passes.
+        let fast = snapshot_cal(&[("a", 1.0e6)], 2.0e9);
+        assert!(regressions(&recorded, &fast, 20.0).is_empty());
+        // A snapshot without the calibration key gates unscaled.
+        let legacy = recorded
+            .lines()
+            .filter(|l| !l.contains("calibration_iters_per_sec"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(PerfSnapshot::parse_calibration(&legacy), None);
+        assert_eq!(regressions(&legacy, &loaded, 20.0).len(), 1);
+    }
+
+    #[test]
+    fn unknown_workloads_are_ignored() {
+        let recorded = snapshot(&[("a", 1.0e6)]).to_json();
+        let current = snapshot(&[("new-workload", 1.0)]);
+        assert!(regressions(&recorded, &current, 20.0).is_empty());
+    }
+
+    #[test]
+    fn measure_smoke() {
+        // One rep over the pinned set: sane, internally-consistent numbers.
+        let snap = measure(1);
+        assert_eq!(snap.workloads.len(), 3);
+        for w in &snap.workloads {
+            assert!(w.events > 0 && w.events_per_sec > 0.0, "{w:?}");
+            // The tentpole invariant: turns never exceed events + matches
+            // (+ collective entries, absent from these point-to-point
+            // workloads' wakeup budget only via the epoch fill).
+            assert!(
+                w.scheduler_wakeups <= 2 * w.events,
+                "wakeups {} vs events {}",
+                w.scheduler_wakeups,
+                w.events
+            );
+        }
+    }
+}

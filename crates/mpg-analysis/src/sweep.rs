@@ -20,6 +20,14 @@ pub fn parallel_replays(
         .map(NonZeroUsize::get)
         .unwrap_or(4)
         .min(configs.len().max(1));
+    // Degenerate sweeps gain nothing from spawning: run on the caller's
+    // thread, so a single replay also keeps its natural panic behaviour.
+    if workers <= 1 || configs.len() <= 1 {
+        return configs
+            .into_iter()
+            .map(|cfg| Replayer::new(cfg).run(trace))
+            .collect();
+    }
     let jobs: Vec<(usize, ReplayConfig)> = configs.into_iter().enumerate().collect();
     let mut results: Vec<Option<Result<ReplayReport, ReplayError>>> =
         (0..jobs.len()).map(|_| None).collect();
@@ -40,17 +48,30 @@ pub fn parallel_replays(
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
-                    scope.spawn(move || {
+                    // Remember which configs the worker owns so a panic can
+                    // name them instead of surfacing a bare join error.
+                    let indices: Vec<usize> = chunk.iter().map(|(i, _)| *i).collect();
+                    let handle = scope.spawn(move || {
                         chunk
                             .into_iter()
                             .map(|(i, cfg)| (i, Replayer::new(cfg).run(trace)))
                             .collect::<Vec<_>>()
-                    })
+                    });
+                    (indices, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("replay worker panicked"))
+                .map(|(indices, h)| {
+                    h.join().unwrap_or_else(|payload| {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        panic!("replay worker for config(s) {indices:?} panicked: {msg}")
+                    })
+                })
                 .collect()
         });
     for (i, res) in outputs.into_iter().flatten() {
@@ -108,6 +129,17 @@ mod tests {
     #[test]
     fn empty_sweep() {
         assert!(parallel_replays(&trace(), Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn single_config_runs_in_place() {
+        // One config takes the no-spawn path and must match the sequential
+        // replay exactly.
+        let trace = trace();
+        let res = parallel_replays(&trace, vec![config(250.0)]);
+        assert_eq!(res.len(), 1);
+        let seq = Replayer::new(config(250.0)).run(&trace).unwrap();
+        assert_eq!(seq.final_drift, res[0].as_ref().unwrap().final_drift);
     }
 
     #[test]

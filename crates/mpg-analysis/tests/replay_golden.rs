@@ -1,0 +1,202 @@
+//! Golden equivalence suite for the event-driven replay scheduler.
+//!
+//! Every mpg-apps demo workload is simulated (seed 1, quiet platform,
+//! ideal clocks) and replayed under a noisy perturbation model (seed 42).
+//! The expected values below were captured from the round-robin polling
+//! engine immediately before the ready-queue scheduler replaced it; the
+//! scheduler must reproduce them bit-for-bit — drifts, arm wins, match
+//! counts, and even the order-sensitive streaming-window high-water mark.
+
+use mpg_apps::{
+    AllreduceSolver, GridSumma, MasterWorker, Pipeline, Stencil, TokenRing, Transpose, Workload,
+};
+use mpg_core::{PerturbationModel, ReplayConfig, Replayer};
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::Simulation;
+
+fn noisy_model() -> PerturbationModel {
+    let mut m = PerturbationModel::quiet("bench");
+    m.os_local = Dist::Exponential { mean: 500.0 }.into();
+    m.latency = Dist::Exponential { mean: 700.0 }.into();
+    m.per_byte = 0.05;
+    m
+}
+
+/// Expected per-workload observables recorded from the polling engine:
+/// (name, ranks, final_drift, arm_wins, messages_matched, window_high_water).
+type Golden = (&'static str, u32, &'static [i64], [u64; 4], u64, usize);
+
+fn check(w: &dyn Workload, golden: Golden) {
+    let (name, p, drift, arm_wins, matched, high_water) = golden;
+    let trace = Simulation::new(p, PlatformSignature::quiet("bench"))
+        .ideal_clocks()
+        .seed(1)
+        .run(|ctx| w.run(ctx))
+        .expect("workload simulates")
+        .trace;
+    let rep = Replayer::new(ReplayConfig::new(noisy_model()).seed(42))
+        .run(&trace)
+        .expect("workload replays");
+    assert_eq!(rep.final_drift, drift, "{name}: final_drift diverged");
+    assert_eq!(rep.stats.arm_wins, arm_wins, "{name}: arm_wins diverged");
+    assert_eq!(
+        rep.stats.messages_matched, matched,
+        "{name}: messages_matched diverged"
+    );
+    assert_eq!(
+        rep.stats.window_high_water, high_water,
+        "{name}: window_high_water diverged"
+    );
+    // The scheduler's O(events) bound: every ready-queue pop either retires
+    // an event or was triggered by exactly one resolution (match, request
+    // completion, or collective fill).
+    let bound =
+        rep.stats.events + rep.stats.messages_matched + rep.stats.collectives * u64::from(p);
+    assert!(
+        rep.stats.scheduler_wakeups <= bound,
+        "{name}: wakeups {} exceed the O(events) bound {bound} ({} events, {} matches, {} collectives)",
+        rep.stats.scheduler_wakeups,
+        rep.stats.events,
+        rep.stats.messages_matched,
+        rep.stats.collectives
+    );
+}
+
+#[test]
+fn token_ring_matches_polling_engine() {
+    check(
+        &TokenRing {
+            traversals: 3,
+            particles_per_rank: 8,
+            work_per_pair: 25,
+        },
+        (
+            "token-ring",
+            8,
+            &[61260, 58375, 59793, 63926, 63175, 63200, 62462, 62015][..],
+            [122, 262, 0, 0],
+            192,
+            12,
+        ),
+    );
+}
+
+#[test]
+fn stencil_matches_polling_engine() {
+    check(
+        &Stencil {
+            iters: 8,
+            cells_per_rank: 200,
+            work_per_cell: 20,
+            halo_bytes: 512,
+        },
+        (
+            "stencil",
+            8,
+            &[19619, 20100, 22333, 24675, 22822, 23187, 22765, 22932][..],
+            [2, 62, 0, 0],
+            112,
+            38,
+        ),
+    );
+}
+
+#[test]
+fn master_worker_matches_polling_engine() {
+    check(
+        &MasterWorker {
+            tasks: 24,
+            task_work: 50_000,
+            task_bytes: 64,
+            result_bytes: 64,
+        },
+        (
+            "master-worker",
+            8,
+            &[51578, 46505, 49259, 51559, 41186, 42416, 44026, 46121][..],
+            [38, 72, 0, 0],
+            55,
+            7,
+        ),
+    );
+}
+
+#[test]
+fn allreduce_solver_matches_polling_engine() {
+    check(
+        &AllreduceSolver {
+            iters: 10,
+            local_work: 100_000,
+            vector_bytes: 128,
+        },
+        (
+            "allreduce-solver",
+            8,
+            &[
+                129838, 129838, 129838, 129838, 129838, 129838, 129838, 129838,
+            ][..],
+            [0, 0, 160, 0],
+            0,
+            8,
+        ),
+    );
+}
+
+#[test]
+fn pipeline_matches_polling_engine() {
+    check(
+        &Pipeline {
+            waves: 10,
+            work_per_stage: 50_000,
+            payload: 256,
+        },
+        (
+            "pipeline",
+            8,
+            &[26352, 28801, 30457, 32917, 36654, 37054, 38704, 37983][..],
+            [14, 126, 0, 0],
+            70,
+            8,
+        ),
+    );
+}
+
+#[test]
+fn transpose_matches_polling_engine() {
+    check(
+        &Transpose {
+            steps: 5,
+            rows_per_rank: 16,
+            work_per_element: 10,
+            block_bytes: 256,
+        },
+        (
+            "transpose",
+            8,
+            &[69154, 69734, 69894, 68856, 68989, 68851, 69952, 68847][..],
+            [0, 0, 40, 0],
+            0,
+            8,
+        ),
+    );
+}
+
+#[test]
+fn grid_summa_matches_polling_engine() {
+    check(
+        &GridSumma {
+            rows: 2,
+            cols: 4,
+            panel_bytes: 1_024,
+            local_work: 50_000,
+        },
+        (
+            "grid-summa",
+            8,
+            &[49976, 49976, 49976, 49976, 49976, 49976, 49976, 49976][..],
+            [88, 216, 8, 0],
+            152,
+            12,
+        ),
+    );
+}

@@ -1,0 +1,28 @@
+//! Replay-scheduler throughput: events/sec through the event-driven
+//! ready-queue engine on the pinned perf workloads (the same fixtures
+//! `mpgtool bench` snapshots into `BENCH_replay.json`).
+//!
+//! Two stress shapes dominate the pinned set: a blocked-heavy many-rank
+//! token ring (sendrecv chains — the worst case for a polling scheduler,
+//! which re-visits every blocked rank each pass) and a waitall-heavy
+//! stencil (bulk request resolution per scheduling turn).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_analysis::perf::{perf_model, pinned_traces};
+use mpg_core::{ReplayConfig, Replayer};
+
+fn bench_replay_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replay_throughput");
+    group.sample_size(20);
+    for (name, _ranks, trace) in pinned_traces() {
+        group.throughput(Throughput::Elements(trace.total_events() as u64));
+        group.bench_with_input(BenchmarkId::new("events", name), &trace, |b, trace| {
+            let replayer = Replayer::new(ReplayConfig::new(perf_model()).seed(42));
+            b.iter(|| replayer.run(trace).expect("replays"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_throughput);
+criterion_main!(benches);

@@ -31,7 +31,7 @@
 //! in the optional [`AbsorptionMode::MeasuredSlack`] mode, which exists to
 //! demonstrate why the paper avoids them.
 
-use std::collections::HashMap;
+use std::collections::VecDeque;
 
 use crate::graph::{Edge, EventGraph, NodeId};
 use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel};
@@ -221,7 +221,17 @@ impl Replayer {
                 return Err(ReplayError::Gated(errors));
             }
         }
-        self.run_streams(trace.streams())
+        // Concrete (non-boxed) iterators: the engine monomorphizes over the
+        // stream type, so the per-event load is a direct, inlinable call
+        // instead of a virtual dispatch through `Box<dyn Iterator>`.
+        let streams: Vec<_> = (0..trace.num_ranks())
+            .map(|r| {
+                trace
+                    .iter_rank(r)
+                    .map(Ok as fn(EventRecord) -> Result<EventRecord, TraceError>)
+            })
+            .collect();
+        Engine::new(&self.config, streams).run()
     }
 
     /// Replays per-rank event streams (the arbitrarily-large-trace path:
@@ -231,6 +241,44 @@ impl Replayer {
         streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>>,
     ) -> Result<ReplayReport, ReplayError> {
         Engine::new(&self.config, streams).run()
+    }
+}
+
+/// Inline storage for the (at most two) `(source node, sampled delta)`
+/// graph edges that reproduce a resolved acknowledgement. Only the graph
+/// recorder consumes them, but they ride along every acknowledgement, so
+/// they live inline: the hot path allocates nothing whether or not
+/// recording is enabled.
+#[derive(Debug, Clone, Copy)]
+struct AckEdges {
+    len: u8,
+    items: [(NodeId, Drift); 2],
+}
+
+impl AckEdges {
+    fn none() -> Self {
+        Self {
+            len: 0,
+            items: [(NodeId::start(0, 0), 0); 2],
+        }
+    }
+
+    fn one(e: (NodeId, Drift)) -> Self {
+        Self {
+            len: 1,
+            items: [e, e],
+        }
+    }
+
+    fn two(a: (NodeId, Drift), b: (NodeId, Drift)) -> Self {
+        Self {
+            len: 2,
+            items: [a, b],
+        }
+    }
+
+    fn as_slice(&self) -> &[(NodeId, Drift)] {
+        &self.items[..self.len as usize]
     }
 }
 
@@ -247,8 +295,115 @@ enum ReqState {
     /// candidate in the recorded graph.
     SendReady {
         candidate: Option<Drift>,
-        edges: Vec<(NodeId, Drift)>,
+        edges: AckEdges,
     },
+}
+
+/// How far outside the live window a request id may fall before it is
+/// routed to the spill store instead of growing the dense deque.
+const REQ_DENSE_GAP: u64 = 1024;
+
+/// Dense request-state storage. Request ids are allocated monotonically
+/// per rank, so the live ids occupy a sliding window; a deque indexed by
+/// `id - base` gives O(1), hash-free access on the wait-family hot path.
+/// Ids far outside the window — possible only in corrupt or handwritten
+/// traces — spill into a small linear-scan side table, so adversarial
+/// inputs cannot force huge allocations.
+#[derive(Debug, Default)]
+struct ReqTable {
+    base: ReqId,
+    slots: VecDeque<Option<ReqState>>,
+    live: usize,
+    spill: Vec<(ReqId, ReqState)>,
+}
+
+impl ReqTable {
+    fn len(&self) -> usize {
+        self.live + self.spill.len()
+    }
+
+    fn get(&self, req: ReqId) -> Option<&ReqState> {
+        if req >= self.base {
+            let off = req - self.base;
+            if off < self.slots.len() as u64 {
+                return self.slots[off as usize].as_ref();
+            }
+        }
+        self.spill.iter().find(|(k, _)| *k == req).map(|(_, s)| s)
+    }
+
+    fn get_mut(&mut self, req: ReqId) -> Option<&mut ReqState> {
+        if req >= self.base {
+            let off = req - self.base;
+            if off < self.slots.len() as u64 {
+                return self.slots[off as usize].as_mut();
+            }
+        }
+        self.spill
+            .iter_mut()
+            .find(|(k, _)| *k == req)
+            .map(|(_, s)| s)
+    }
+
+    /// Inserts `st` under `req`, replacing (without complaint, matching
+    /// the map it replaces) any state a corrupt trace left there.
+    fn insert(&mut self, req: ReqId, st: ReqState) {
+        if self.live == 0 && self.spill.is_empty() {
+            self.slots.clear();
+            self.base = req;
+        } else if req < self.base {
+            let gap = self.base - req;
+            if gap > REQ_DENSE_GAP {
+                return self.spill_insert(req, st);
+            }
+            for _ in 0..gap {
+                self.slots.push_front(None);
+            }
+            self.base = req;
+        }
+        let off = req - self.base;
+        if off < self.slots.len() as u64 {
+            if self.slots[off as usize].replace(st).is_none() {
+                self.live += 1;
+            }
+        } else if off - self.slots.len() as u64 <= REQ_DENSE_GAP {
+            while (self.slots.len() as u64) < off {
+                self.slots.push_back(None);
+            }
+            self.slots.push_back(Some(st));
+            self.live += 1;
+        } else {
+            self.spill_insert(req, st);
+        }
+    }
+
+    fn spill_insert(&mut self, req: ReqId, st: ReqState) {
+        match self.spill.iter_mut().find(|(k, _)| *k == req) {
+            Some(slot) => slot.1 = st,
+            None => self.spill.push((req, st)),
+        }
+    }
+
+    fn remove(&mut self, req: ReqId) -> Option<ReqState> {
+        if req >= self.base {
+            let off = req - self.base;
+            if off < self.slots.len() as u64 {
+                let got = self.slots[off as usize].take();
+                if got.is_some() {
+                    self.live -= 1;
+                    // Completed ids leave holes at the front as the window
+                    // slides; reclaim them so memory stays O(window).
+                    while matches!(self.slots.front(), Some(None)) {
+                        self.slots.pop_front();
+                        self.base += 1;
+                    }
+                }
+                return got;
+            }
+        }
+        let i = self.spill.iter().position(|(k, _)| *k == req)?;
+        Some(self.spill.swap_remove(i).1)
+    }
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -274,48 +429,170 @@ struct CollDone {
     remaining: usize,
 }
 
-struct Cursor<'a> {
-    it: Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>,
+/// Lifecycle of one collective epoch.
+#[derive(Debug)]
+enum CollState {
+    /// No rank has entered this epoch yet (or it fully drained).
+    Vacant,
+    /// Entries accumulating until all `p` ranks arrive.
+    Filling(CollSlot),
+    /// Hub resolved; participants drain until `remaining` hits zero.
+    Done(CollDone),
+}
+
+/// Dense epoch-indexed collective state. Epochs are handed out
+/// sequentially per rank, so the live ones occupy a sliding window; a
+/// deque indexed by `epoch - base` replaces the hash maps the polling
+/// engine kept.
+#[derive(Debug, Default)]
+struct CollTable {
+    base: u64,
+    slots: VecDeque<CollState>,
+}
+
+impl CollTable {
+    /// The state cell for `epoch`, growing the window as needed. `None`
+    /// only for an epoch that already fully drained (unreachable through
+    /// the engine's sequential epoch counters, but kept panic-free).
+    fn state_mut(&mut self, epoch: u64) -> Option<&mut CollState> {
+        let off = epoch.checked_sub(self.base)? as usize;
+        while self.slots.len() <= off {
+            self.slots.push_back(CollState::Vacant);
+        }
+        Some(&mut self.slots[off])
+    }
+
+    /// Marks an epoch fully drained and slides the window forward.
+    fn clear(&mut self, epoch: u64) {
+        if let Some(off) = epoch.checked_sub(self.base) {
+            if (off as usize) < self.slots.len() {
+                self.slots[off as usize] = CollState::Vacant;
+            }
+        }
+        while matches!(self.slots.front(), Some(CollState::Vacant)) {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+struct Cursor<I> {
+    it: I,
     current: Option<EventRecord>,
     drift: Drift,
     last_end_local: Cycles,
     last_end_node: Option<NodeId>,
     done: bool,
-    reqs: HashMap<ReqId, ReqState>,
+    reqs: ReqTable,
     coll_epoch: u64,
     scratch_epoch: u64,
     posted: bool,
     scratch_os1: Drift,
     /// Resolved ack for a blocked synchronous send: the candidate drift and
     /// the graph edges reproducing it.
-    pending_ack: Option<(Drift, Vec<(NodeId, Drift)>)>,
+    pending_ack: Option<(Drift, AckEdges)>,
     events_done: u64,
+    /// Scheduler turn count when this rank went to sleep (blocked); used
+    /// for the polls-avoided estimate.
+    slept_at: Option<u64>,
 }
 
-struct Engine<'a> {
+/// Sentinel for "no rank is currently draining".
+const NO_RANK: Rank = Rank::MAX;
+
+/// The scheduler's ready set, popped in circular rank order starting just
+/// past the last rank that ran.
+///
+/// Circular order matters: it makes the event-driven engine retire
+/// productive steps in exactly the sequence the round-robin poller did
+/// (a poll of a blocked rank was side-effect-free, so the productive
+/// subsequence fully determines state evolution). That keeps every
+/// order-sensitive observable — `window_high_water`, recorded-graph edge
+/// order — bit-identical to the old engine, not merely equivalent.
+#[derive(Debug, Default)]
+struct ReadySet {
+    /// One bit per rank.
+    words: Vec<u64>,
+    len: usize,
+    /// Scan start: the rank after the last one popped.
+    pos: usize,
+    ranks: usize,
+}
+
+impl ReadySet {
+    fn new(ranks: usize) -> Self {
+        Self {
+            words: vec![0; ranks.div_ceil(64)],
+            len: 0,
+            pos: 0,
+            ranks,
+        }
+    }
+
+    /// Marks `r` ready; duplicate inserts are dropped.
+    fn insert(&mut self, r: usize) {
+        let (w, b) = (r / 64, 1u64 << (r % 64));
+        if self.words[w] & b == 0 {
+            self.words[w] |= b;
+            self.len += 1;
+        }
+    }
+
+    /// Takes the first ready rank at or after the scan position, wrapping
+    /// around once. O(p/64) worst case, O(1) when the next ready rank is
+    /// nearby (the common case).
+    fn pop(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let start_w = self.pos / 64;
+        let mut i = start_w;
+        // First visit of the start word masks off ranks below `pos`; if the
+        // scan wraps all the way back, the word is re-read in full so those
+        // low bits are found on the second visit.
+        let mut w = self.words[start_w] & (!0u64 << (self.pos % 64));
+        loop {
+            if w != 0 {
+                let r = i * 64 + w.trailing_zeros() as usize;
+                self.words[i] &= !(1u64 << (r % 64));
+                self.len -= 1;
+                self.pos = if r + 1 >= self.ranks { 0 } else { r + 1 };
+                return Some(r);
+            }
+            i = if i + 1 == self.words.len() { 0 } else { i + 1 };
+            w = self.words[i];
+        }
+    }
+}
+
+struct Engine<'a, I> {
     cfg: &'a ReplayConfig,
     sampler: PerturbSampler,
     matches: MatchState,
-    cursors: Vec<Cursor<'a>>,
-    coll_slots: HashMap<u64, CollSlot>,
-    coll_done: HashMap<u64, CollDone>,
+    cursors: Vec<Cursor<I>>,
+    colls: CollTable,
     open_reqs: usize,
     coll_entries: usize,
+    /// Ranks able to make progress, popped in circular rank order.
+    ready: ReadySet,
+    /// The rank currently draining in `run` — wakes for it are redundant,
+    /// because its final blocked check happens after all in-step state
+    /// changes.
+    running: Rank,
+    /// Scheduler turns taken so far (for the polls-avoided estimate).
+    pops: u64,
     stats: ReplayStats,
     warnings: Vec<String>,
     graph: Option<EventGraph>,
     timeline: Vec<Vec<(Cycles, Drift)>>,
 }
 
-impl<'a> Engine<'a> {
-    fn new(
-        cfg: &'a ReplayConfig,
-        streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>>,
-    ) -> Self {
+impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
+    fn new(cfg: &'a ReplayConfig, streams: Vec<I>) -> Self {
         let p = streams.len();
         Self {
             sampler: PerturbSampler::new(cfg.model.clone(), p, cfg.seed),
-            matches: MatchState::new(),
+            matches: MatchState::with_ranks(p),
             cursors: streams
                 .into_iter()
                 .map(|it| Cursor {
@@ -325,19 +602,22 @@ impl<'a> Engine<'a> {
                     last_end_local: 0,
                     last_end_node: None,
                     done: false,
-                    reqs: HashMap::new(),
+                    reqs: ReqTable::default(),
                     coll_epoch: 0,
                     scratch_epoch: 0,
                     posted: false,
                     scratch_os1: 0,
                     pending_ack: None,
                     events_done: 0,
+                    slept_at: None,
                 })
                 .collect(),
-            coll_slots: HashMap::new(),
-            coll_done: HashMap::new(),
+            colls: CollTable::default(),
             open_reqs: 0,
             coll_entries: 0,
+            ready: ReadySet::new(p),
+            running: NO_RANK,
+            pops: 0,
             stats: ReplayStats::default(),
             warnings: Vec::new(),
             graph: cfg.record_graph.then(|| EventGraph::new(p)),
@@ -347,35 +627,68 @@ impl<'a> Engine<'a> {
     }
 
     fn run(mut self) -> Result<ReplayReport, ReplayError> {
-        let p = self.cursors.len();
-        loop {
-            let mut progress = false;
-            for r in 0..p {
-                while self.step(r as Rank)? {
-                    progress = true;
-                }
+        // Seed the ready set: initially every rank can make progress.
+        for r in 0..self.cursors.len() {
+            self.ready.insert(r);
+        }
+        // O(events) drain: a rank is popped only when it was last known
+        // able to progress — at start, or after one of its wakeup sources
+        // fired (acknowledgement delivered, matching send offered, a
+        // wait-family request resolved, collective epoch filled). Each pop
+        // runs the rank until it blocks again or its stream ends.
+        while let Some(ri) = self.ready.pop() {
+            let r = ri as Rank;
+            self.running = r;
+            self.stats.scheduler_wakeups += 1;
+            if let Some(slept) = self.cursors[ri].slept_at.take() {
+                // Every scheduler turn that elapsed while this rank slept
+                // is a pass on which the round-robin engine would have
+                // re-polled it to no effect.
+                self.stats.polls_avoided += self.pops - slept;
             }
-            if self.cursors.iter().all(|c| c.done) {
-                break;
-            }
-            if !progress {
-                let stuck: Vec<String> = self
-                    .cursors
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(r, c)| {
-                        c.current
-                            .as_ref()
-                            .map(|e| format!("rank {r} stuck at seq {} ({})", e.seq, e.kind.name()))
-                    })
-                    .collect();
-                return Err(ReplayError::Corrupt(format!(
-                    "matching made no progress: {}",
-                    stuck.join("; ")
-                )));
+            self.pops += 1;
+            while self.step(r)? {}
+            self.running = NO_RANK;
+            if !self.cursors[ri].done {
+                self.cursors[ri].slept_at = Some(self.pops);
             }
         }
+        // The queue drained with live cursors: no wakeup source can ever
+        // fire again, so the remaining ranks are deadlocked (the polling
+        // engine's no-progress diagnostic, reached without O(p·events)
+        // polling).
+        if self.cursors.iter().any(|c| !c.done) {
+            let stuck: Vec<String> = self
+                .cursors
+                .iter()
+                .enumerate()
+                .filter_map(|(r, c)| {
+                    c.current
+                        .as_ref()
+                        .map(|e| format!("rank {r} stuck at seq {} ({})", e.seq, e.kind.name()))
+                })
+                .collect();
+            return Err(ReplayError::Corrupt(format!(
+                "matching made no progress: {}",
+                stuck.join("; ")
+            )));
+        }
         self.finish()
+    }
+
+    /// Enqueues `r` for another scheduling turn. Called exactly when one
+    /// of the things `r` can block on resolves; redundant wakes (rank
+    /// already queued, currently draining, or finished) are dropped, as
+    /// are wakes for out-of-range ranks named by corrupt traces.
+    fn wake(&mut self, r: Rank) {
+        let ri = r as usize;
+        if r == self.running || ri >= self.cursors.len() {
+            return;
+        }
+        if self.cursors[ri].done {
+            return;
+        }
+        self.ready.insert(ri);
     }
 
     fn finish(mut self) -> Result<ReplayReport, ReplayError> {
@@ -411,7 +724,8 @@ impl<'a> Engine<'a> {
     }
 
     /// Attempts to make progress on rank `r`; returns true when an event
-    /// completed.
+    /// completed. A blocked event is put back and the rank sleeps until a
+    /// wakeup source re-enqueues it.
     fn step(&mut self, r: Rank) -> Result<bool, ReplayError> {
         let ri = r as usize;
         if self.cursors[ri].current.is_none() {
@@ -459,9 +773,9 @@ impl<'a> Engine<'a> {
                 }
             }
         }
-        // Take the event out of the cursor; blocked paths put it back. This
-        // avoids re-cloning (and re-allocating waitall request vectors) on
-        // every poll of a blocked rank — the engine's hottest path.
+        // Take the event out of the cursor; blocked paths put it back
+        // below. The kind is matched by reference — cloning it here would
+        // copy waitall request vectors on every scheduling turn.
         let ev = self.cursors[ri].current.take().expect("current set above");
         let d0 = self.cursors[ri].drift;
         let dur = ev.duration() as Drift;
@@ -475,18 +789,14 @@ impl<'a> Engine<'a> {
             _ => d0 - dur,
         };
 
-        let blocked = |engine: &mut Self, ev: EventRecord| {
-            let slot = ev.rank as usize;
-            engine.cursors[slot].current = Some(ev);
-            Ok(false)
-        };
-        match ev.kind.clone() {
+        let completed = match &ev.kind {
             EventKind::Init | EventKind::Finalize => {
                 self.intra_edge(r, &ev, DeltaClass::None, 0);
                 self.complete(r, &ev, d0.max(floor), None);
+                true
             }
             EventKind::Compute { work } => {
-                let delta = self.sampler.sample_os_scaled(r, work);
+                let delta = self.sampler.sample_os_scaled(r, *work);
                 self.stats.injected_total += delta;
                 let d_end = (d0 + delta).max(floor);
                 if let Some(g) = self.graph.as_mut() {
@@ -500,6 +810,7 @@ impl<'a> Engine<'a> {
                     });
                 }
                 self.complete(r, &ev, d_end, None);
+                true
             }
             EventKind::Send {
                 peer,
@@ -507,6 +818,7 @@ impl<'a> Engine<'a> {
                 bytes,
                 protocol,
             } => {
+                let (peer, tag, bytes) = (*peer, *tag, *bytes);
                 // §3.1.1: the send variant decides whether the completion is
                 // coupled to the receiver (the Eq. 1 acknowledgement arm).
                 let acked = match protocol {
@@ -529,38 +841,41 @@ impl<'a> Engine<'a> {
                     )?;
                 }
                 if acked {
-                    let Some((candidate, ack_edges)) = self.cursors[ri].pending_ack.take() else {
-                        return blocked(self, ev); // awaiting acknowledgement
-                    };
-                    let os1 = self.cursors[ri].scratch_os1;
-                    let local_arm = if self.cfg.arrival_bound {
-                        floor
-                    } else {
-                        d0 + os1
-                    };
-                    let d_end = local_arm.max(candidate).max(floor);
-                    if let Some(g) = self.graph.as_mut() {
-                        g.add_edge(Edge {
-                            src: NodeId::start(r, ev.seq),
-                            dst: NodeId::end(r, ev.seq),
-                            base: ev.duration(),
-                            class: DeltaClass::OsLocal,
-                            sampled: os1,
-                            is_message: false,
-                        });
-                        for (src, sampled) in ack_edges {
-                            g.add_edge(Edge {
-                                src,
-                                dst: NodeId::end(r, ev.seq),
-                                base: 0,
-                                class: DeltaClass::Lambda,
-                                sampled,
-                                is_message: true,
-                            });
+                    match self.cursors[ri].pending_ack.take() {
+                        None => false, // awaiting acknowledgement
+                        Some((candidate, ack_edges)) => {
+                            let os1 = self.cursors[ri].scratch_os1;
+                            let local_arm = if self.cfg.arrival_bound {
+                                floor
+                            } else {
+                                d0 + os1
+                            };
+                            let d_end = local_arm.max(candidate).max(floor);
+                            if let Some(g) = self.graph.as_mut() {
+                                g.add_edge(Edge {
+                                    src: NodeId::start(r, ev.seq),
+                                    dst: NodeId::end(r, ev.seq),
+                                    base: ev.duration(),
+                                    class: DeltaClass::OsLocal,
+                                    sampled: os1,
+                                    is_message: false,
+                                });
+                                for &(src, sampled) in ack_edges.as_slice() {
+                                    g.add_edge(Edge {
+                                        src,
+                                        dst: NodeId::end(r, ev.seq),
+                                        base: 0,
+                                        class: DeltaClass::Lambda,
+                                        sampled,
+                                        is_message: true,
+                                    });
+                                }
+                            }
+                            self.note_arm(d_end, local_arm, candidate, floor);
+                            self.complete(r, &ev, d_end, None);
+                            true
                         }
                     }
-                    self.note_arm(d_end, local_arm, candidate, floor);
-                    self.complete(r, &ev, d_end, None);
                 } else {
                     let os1 = self.cursors[ri].scratch_os1;
                     let d_end = (d0 + os1).max(floor);
@@ -575,45 +890,51 @@ impl<'a> Engine<'a> {
                         });
                     }
                     self.complete(r, &ev, d_end, None);
+                    true
                 }
             }
             EventKind::Recv {
                 peer, tag, bytes, ..
             } => {
-                let Some(rec) = self.matches.take_send(peer, r, tag) else {
-                    return blocked(self, ev); // sender not processed yet
-                };
-                self.stats.messages_matched += 1;
-                let msg_arm = self.msg_candidate(&rec, ev.t_end);
-                let local_arm = if self.cfg.arrival_bound { floor } else { d0 };
-                let d_end = local_arm.max(msg_arm).max(floor);
-                let recv_node = NodeId::end(r, ev.seq);
-                if let Some(g) = self.graph.as_mut() {
-                    g.add_edge(Edge {
-                        src: NodeId::start(r, ev.seq),
-                        dst: recv_node,
-                        base: ev.duration(),
-                        class: DeltaClass::None,
-                        sampled: 0,
-                        is_message: false,
-                    });
-                    g.add_edge(Edge {
-                        src: rec.src_node,
-                        dst: recv_node,
-                        base: 0,
-                        class: DeltaClass::MessagePath { bytes },
-                        sampled: msg_arm - rec.d_src,
-                        is_message: true,
-                    });
+                match self.matches.take_send(*peer, r, *tag) {
+                    // Sender not processed yet; post_send wakes this rank
+                    // when a record lands on the channel.
+                    None => false,
+                    Some(rec) => {
+                        self.stats.messages_matched += 1;
+                        let msg_arm = self.msg_candidate(&rec, ev.t_end);
+                        let local_arm = if self.cfg.arrival_bound { floor } else { d0 };
+                        let d_end = local_arm.max(msg_arm).max(floor);
+                        let recv_node = NodeId::end(r, ev.seq);
+                        if let Some(g) = self.graph.as_mut() {
+                            g.add_edge(Edge {
+                                src: NodeId::start(r, ev.seq),
+                                dst: recv_node,
+                                base: ev.duration(),
+                                class: DeltaClass::None,
+                                sampled: 0,
+                                is_message: false,
+                            });
+                            g.add_edge(Edge {
+                                src: rec.src_node,
+                                dst: recv_node,
+                                base: 0,
+                                class: DeltaClass::MessagePath { bytes: *bytes },
+                                sampled: msg_arm - rec.d_src,
+                                is_message: true,
+                            });
+                        }
+                        self.note_arm(d_end, local_arm, msg_arm, floor);
+                        self.account_absorption(local_arm, msg_arm);
+                        self.resolve_ack(
+                            rec.sender,
+                            d_end + rec.ack_lambda,
+                            AckEdges::one((recv_node, rec.ack_lambda)),
+                        )?;
+                        self.complete(r, &ev, d_end, None);
+                        true
+                    }
                 }
-                self.note_arm(d_end, local_arm, msg_arm, floor);
-                self.account_absorption(local_arm, msg_arm);
-                self.resolve_ack(
-                    rec.sender,
-                    d_end + rec.ack_lambda,
-                    vec![(recv_node, rec.ack_lambda)],
-                )?;
-                self.complete(r, &ev, d_end, None);
             }
             EventKind::Isend {
                 peer,
@@ -621,6 +942,7 @@ impl<'a> Engine<'a> {
                 bytes,
                 req,
             } => {
+                let (peer, tag, bytes, req) = (*peer, *tag, *bytes, *req);
                 // Register the request before offering the send: a pending
                 // receive on the peer can resolve the acknowledgement
                 // synchronously inside post_send.
@@ -629,7 +951,7 @@ impl<'a> Engine<'a> {
                 } else {
                     ReqState::SendReady {
                         candidate: None,
-                        edges: Vec::new(),
+                        edges: AckEdges::none(),
                     }
                 };
                 self.cursors[ri].reqs.insert(req, state);
@@ -649,8 +971,10 @@ impl<'a> Engine<'a> {
                 self.note_window();
                 self.intra_edge(r, &ev, DeltaClass::None, 0);
                 self.complete(r, &ev, d0, None);
+                true
             }
             EventKind::Irecv { peer, tag, req, .. } => {
+                let (peer, tag, req) = (*peer, *tag, *req);
                 let end_node = NodeId::end(r, ev.seq);
                 let state = match self.matches.take_send(peer, r, tag) {
                     Some(rec) => {
@@ -683,150 +1007,74 @@ impl<'a> Engine<'a> {
                 self.note_window();
                 self.intra_edge(r, &ev, DeltaClass::None, 0);
                 self.complete(r, &ev, d0, None);
+                true
             }
             EventKind::Wait { req } => {
-                return match self.complete_waits(r, &ev, &[req], d0, floor)? {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
+                self.complete_waits(r, &ev, std::slice::from_ref(req), d0, floor)?
             }
-            EventKind::WaitAll { ref reqs } => {
-                let reqs = reqs.clone();
-                return match self.complete_waits(r, &ev, &reqs, d0, floor)? {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
-            }
-            EventKind::WaitSome { ref completed, .. } => {
-                let completed = completed.clone();
-                return match self.complete_waits(r, &ev, &completed, d0, floor)? {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
+            EventKind::WaitAll { reqs } => self.complete_waits(r, &ev, reqs, d0, floor)?,
+            EventKind::WaitSome { completed, .. } => {
+                self.complete_waits(r, &ev, completed, d0, floor)?
             }
             EventKind::Barrier { comm_size } => {
-                return match self
-                    .step_collective(r, &ev, "barrier", 0, comm_size, None, d0, floor)?
-                {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
+                self.step_collective(r, &ev, "barrier", 0, *comm_size, None, d0, floor)?
             }
             EventKind::Bcast {
                 root,
                 bytes,
                 comm_size,
             } => {
-                return match self.step_collective(
-                    r,
-                    &ev,
-                    "bcast",
-                    bytes,
-                    comm_size,
-                    Some(root),
-                    d0,
-                    floor,
-                )? {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
+                self.step_collective(r, &ev, "bcast", *bytes, *comm_size, Some(*root), d0, floor)?
             }
             EventKind::Reduce {
-                root,
+                root: _, // the simplified Reduce model is root-agnostic
                 bytes,
                 comm_size,
-            } => {
-                let _ = root; // the simplified Reduce model is root-agnostic
-                return match self
-                    .step_collective(r, &ev, "reduce", bytes, comm_size, None, d0, floor)?
-                {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
-            }
+            } => self.step_collective(r, &ev, "reduce", *bytes, *comm_size, None, d0, floor)?,
             EventKind::Allreduce { bytes, comm_size } => {
-                return match self.step_collective(
-                    r,
-                    &ev,
-                    "allreduce",
-                    bytes,
-                    comm_size,
-                    None,
-                    d0,
-                    floor,
-                )? {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
+                self.step_collective(r, &ev, "allreduce", *bytes, *comm_size, None, d0, floor)?
             }
             EventKind::Scatter {
                 root,
                 bytes,
                 comm_size,
-            } => {
-                return match self.step_collective(
-                    r,
-                    &ev,
-                    "scatter",
-                    bytes,
-                    comm_size,
-                    Some(root),
-                    d0,
-                    floor,
-                )? {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
-            }
+            } => self.step_collective(
+                r,
+                &ev,
+                "scatter",
+                *bytes,
+                *comm_size,
+                Some(*root),
+                d0,
+                floor,
+            )?,
             EventKind::Gather {
-                root,
+                root: _, // simplified single-round model, root-agnostic
                 bytes,
                 comm_size,
-            } => {
-                let _ = root; // simplified single-round model, root-agnostic
-                return match self
-                    .step_collective(r, &ev, "gather", bytes, comm_size, None, d0, floor)?
-                {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
-            }
+            } => self.step_collective(r, &ev, "gather", *bytes, *comm_size, None, d0, floor)?,
             EventKind::Allgather { bytes, comm_size } => {
-                return match self.step_collective(
-                    r,
-                    &ev,
-                    "allgather",
-                    bytes,
-                    comm_size,
-                    None,
-                    d0,
-                    floor,
-                )? {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
+                self.step_collective(r, &ev, "allgather", *bytes, *comm_size, None, d0, floor)?
             }
             EventKind::Alltoall { bytes, comm_size } => {
-                return match self
-                    .step_collective(r, &ev, "alltoall", bytes, comm_size, None, d0, floor)?
-                {
-                    true => Ok(true),
-                    false => blocked(self, ev),
-                };
+                self.step_collective(r, &ev, "alltoall", *bytes, *comm_size, None, d0, floor)?
             }
             EventKind::Test { req, completed } => {
-                if completed {
+                if *completed {
                     // A successful probe completes the request exactly like a
                     // single-request wait (§4.3: the traced outcome is kept).
-                    return match self.complete_waits(r, &ev, &[req], d0, floor)? {
-                        true => Ok(true),
-                        false => blocked(self, ev),
-                    };
+                    self.complete_waits(r, &ev, std::slice::from_ref(req), d0, floor)?
+                } else {
+                    // A failed probe is a local no-op; the request stays open.
+                    self.intra_edge(r, &ev, DeltaClass::None, 0);
+                    self.complete(r, &ev, d0.max(floor), None);
+                    true
                 }
-                // A failed probe is a local no-op; the request stays open.
-                self.intra_edge(r, &ev, DeltaClass::None, 0);
-                self.complete(r, &ev, d0.max(floor), None);
             }
+        };
+        if !completed {
+            self.cursors[ri].current = Some(ev);
+            return Ok(false);
         }
         Ok(true)
     }
@@ -863,7 +1111,7 @@ impl<'a> Engine<'a> {
         if let Some((pr, rec)) = self.matches.offer_send(r, peer, rec) {
             self.stats.messages_matched += 1;
             self.ack_at_arrival(&rec, pr.d_posted, pr.end_node)?;
-            match self.cursors[pr.rank as usize].reqs.get_mut(&pr.req) {
+            match self.cursors[pr.rank as usize].reqs.get_mut(pr.req) {
                 Some(target @ ReqState::PendingRecvWaiting) => {
                     *target = ReqState::RecvReady(rec);
                 }
@@ -874,6 +1122,12 @@ impl<'a> Engine<'a> {
                     )))
                 }
             }
+            // The receiver may be blocked in a wait on this request.
+            self.wake(pr.rank);
+        } else {
+            // The record landed on the channel; the peer may be blocked in
+            // a `Recv` waiting for exactly this send.
+            self.wake(peer);
         }
         self.note_window();
         Ok(())
@@ -899,15 +1153,17 @@ impl<'a> Engine<'a> {
         &mut self,
         sender: SenderRef,
         candidate: Drift,
-        edges: Vec<(NodeId, Drift)>,
+        edges: AckEdges,
     ) -> Result<(), ReplayError> {
         match sender {
             SenderRef::Done => {}
             SenderRef::BlockedSend { rank } => {
                 self.cursors[rank as usize].pending_ack = Some((candidate, edges));
+                // The sender's cursor is stalled on this acknowledgement.
+                self.wake(rank);
             }
             SenderRef::Request { rank, req } => {
-                match self.cursors[rank as usize].reqs.get_mut(&req) {
+                match self.cursors[rank as usize].reqs.get_mut(req) {
                     Some(slot @ ReqState::PendingSend) => {
                         *slot = ReqState::SendReady {
                             candidate: Some(candidate),
@@ -920,6 +1176,8 @@ impl<'a> Engine<'a> {
                         )))
                     }
                 }
+                // The sender may be blocked in a wait on this request.
+                self.wake(rank);
             }
         }
         Ok(())
@@ -940,10 +1198,10 @@ impl<'a> Engine<'a> {
         }
         let arrival = d_posted.max(rec.d_msg);
         let candidate = arrival + rec.ack_lambda;
-        let edges = vec![
+        let edges = AckEdges::two(
             (recv_end_node, rec.ack_lambda),
             (rec.src_node, rec.d_msg - rec.d_src + rec.ack_lambda),
-        ];
+        );
         self.resolve_ack(rec.sender, candidate, edges)
     }
 
@@ -961,7 +1219,7 @@ impl<'a> Engine<'a> {
         let ri = r as usize;
         // Phase 1: all requests resolved?
         for req in reqs {
-            match self.cursors[ri].reqs.get(req) {
+            match self.cursors[ri].reqs.get(*req) {
                 None => {
                     return Err(ReplayError::Corrupt(format!(
                         "rank {r} waits on unknown request {req}"
@@ -974,23 +1232,28 @@ impl<'a> Engine<'a> {
             }
         }
         // Phase 2: fold arms. (Acknowledgements were already resolved at
-        // message arrival, when each request completed.)
+        // message arrival, when each request completed.) Recorder edges are
+        // only collected when a graph is attached — `Vec::new` does not
+        // allocate and stays empty otherwise.
+        let record = self.graph.is_some();
         let wait_end = NodeId::end(r, ev.seq);
         let mut msg_arm_max: Option<Drift> = None;
         let mut edges = Vec::new();
         for req in reqs {
-            match self.cursors[ri].reqs.remove(req).expect("checked above") {
+            match self.cursors[ri].reqs.remove(*req).expect("checked above") {
                 ReqState::RecvReady(rec) => {
                     let cand = self.msg_candidate(&rec, ev.t_end);
                     msg_arm_max = Some(msg_arm_max.map_or(cand, |m| m.max(cand)));
-                    edges.push(Edge {
-                        src: rec.src_node,
-                        dst: wait_end,
-                        base: 0,
-                        class: DeltaClass::MessagePath { bytes: rec.bytes },
-                        sampled: cand - rec.d_src,
-                        is_message: true,
-                    });
+                    if record {
+                        edges.push(Edge {
+                            src: rec.src_node,
+                            dst: wait_end,
+                            base: 0,
+                            class: DeltaClass::MessagePath { bytes: rec.bytes },
+                            sampled: cand - rec.d_src,
+                            is_message: true,
+                        });
+                    }
                 }
                 ReqState::SendReady {
                     candidate,
@@ -998,15 +1261,17 @@ impl<'a> Engine<'a> {
                 } => {
                     if let Some(c) = candidate {
                         msg_arm_max = Some(msg_arm_max.map_or(c, |m| m.max(c)));
-                        for (src, sampled) in ack_edges {
-                            edges.push(Edge {
-                                src,
-                                dst: wait_end,
-                                base: 0,
-                                class: DeltaClass::Lambda,
-                                sampled,
-                                is_message: true,
-                            });
+                        if record {
+                            for &(src, sampled) in ack_edges.as_slice() {
+                                edges.push(Edge {
+                                    src,
+                                    dst: wait_end,
+                                    base: 0,
+                                    class: DeltaClass::Lambda,
+                                    sampled,
+                                    is_message: true,
+                                });
+                            }
                         }
                     }
                 }
@@ -1073,42 +1338,63 @@ impl<'a> Engine<'a> {
                 "alltoall" => p.saturating_sub(1),
                 _ => (p as f64).log2().ceil() as u32,
             };
-            let slot = self.coll_slots.entry(epoch).or_insert_with(|| CollSlot {
-                kind_name,
-                bytes,
-                root_full_rounds: bcast_root,
-                rounds,
-                entries: Vec::new(),
-            });
-            if slot.kind_name != kind_name || slot.bytes != bytes {
-                return Err(ReplayError::CollectiveMismatch(format!(
-                    "epoch {epoch}: rank {r} called {kind_name}({bytes}B) but epoch began \
-                     with {}({}B)",
-                    slot.kind_name, slot.bytes
-                )));
-            }
-            slot.entries.push(CollEntry {
-                rank: r,
-                drift: d0,
-                start_node: NodeId::start(r, ev.seq),
-            });
-            let full = slot.entries.len() == p as usize;
+            let full_slot = {
+                let state = self
+                    .colls
+                    .state_mut(epoch)
+                    .expect("collective epoch cleared while a rank still enters it");
+                if matches!(state, CollState::Vacant) {
+                    *state = CollState::Filling(CollSlot {
+                        kind_name,
+                        bytes,
+                        root_full_rounds: bcast_root,
+                        rounds,
+                        entries: Vec::new(),
+                    });
+                }
+                let CollState::Filling(slot) = state else {
+                    return Err(ReplayError::Corrupt(format!(
+                        "epoch {epoch}: rank {r} entered an already-resolved collective"
+                    )));
+                };
+                if slot.kind_name != kind_name || slot.bytes != bytes {
+                    return Err(ReplayError::CollectiveMismatch(format!(
+                        "epoch {epoch}: rank {r} called {kind_name}({bytes}B) but epoch began \
+                         with {}({}B)",
+                        slot.kind_name, slot.bytes
+                    )));
+                }
+                slot.entries.push(CollEntry {
+                    rank: r,
+                    drift: d0,
+                    start_node: NodeId::start(r, ev.seq),
+                });
+                if slot.entries.len() == p as usize {
+                    let CollState::Filling(slot) = std::mem::replace(state, CollState::Vacant)
+                    else {
+                        unreachable!("checked Filling above")
+                    };
+                    Some(slot)
+                } else {
+                    None
+                }
+            };
             self.coll_entries += 1;
             self.note_window();
-            if full {
-                let slot = self.coll_slots.remove(&epoch).expect("slot just filled");
+            if let Some(slot) = full_slot {
                 self.resolve_collective(epoch, slot);
             }
         }
         let epoch = self.cursors[ri].scratch_epoch;
-        let Some(done) = self.coll_done.get_mut(&epoch) else {
-            return Ok(false); // peers not all arrived
+        let (hub, hub_node, drained) = match self.colls.state_mut(epoch) {
+            Some(CollState::Done(done)) => {
+                done.remaining -= 1;
+                (done.hub, done.hub_node, done.remaining == 0)
+            }
+            _ => return Ok(false), // peers not all arrived
         };
-        let hub = done.hub;
-        let hub_node = done.hub_node;
-        done.remaining -= 1;
-        if done.remaining == 0 {
-            self.coll_done.remove(&epoch);
+        if drained {
+            self.colls.clear(epoch);
         }
         self.coll_entries -= 1;
         let d_end = hub.max(floor);
@@ -1136,6 +1422,7 @@ impl<'a> Engine<'a> {
     fn resolve_collective(&mut self, epoch: u64, mut slot: CollSlot) {
         slot.entries.sort_unstable_by_key(|e| e.rank);
         self.stats.collectives += 1;
+        let record = self.graph.is_some();
         let mut hub = Drift::MIN;
         let hub_anchor = slot.entries.first().expect("non-empty slot");
         let hub_node = NodeId::hub(hub_anchor.rank, hub_anchor.start_node.seq);
@@ -1154,31 +1441,39 @@ impl<'a> Engine<'a> {
             );
             self.stats.injected_total += l_delta;
             hub = hub.max(e.drift + l_delta);
-            edges.push(Edge {
-                src: e.start_node,
-                dst: hub_node,
-                base: 0,
-                class: DeltaClass::CollectiveRounds {
-                    rounds,
-                    bytes: slot.bytes,
-                },
-                sampled: l_delta,
-                is_message: true,
-            });
+            if record {
+                edges.push(Edge {
+                    src: e.start_node,
+                    dst: hub_node,
+                    base: 0,
+                    class: DeltaClass::CollectiveRounds {
+                        rounds,
+                        bytes: slot.bytes,
+                    },
+                    sampled: l_delta,
+                    is_message: true,
+                });
+            }
         }
         if let Some(g) = self.graph.as_mut() {
             for e in edges {
                 g.add_edge(e);
             }
         }
-        self.coll_done.insert(
-            epoch,
-            CollDone {
-                hub,
-                hub_node,
-                remaining: slot.entries.len(),
-            },
-        );
+        let state = self
+            .colls
+            .state_mut(epoch)
+            .expect("epoch slot exists while resolving");
+        *state = CollState::Done(CollDone {
+            hub,
+            hub_node,
+            remaining: slot.entries.len(),
+        });
+        // Every participant either is blocked on this collective right now
+        // or will reach it with the hub already resolved.
+        for e in &slot.entries {
+            self.wake(e.rank);
+        }
     }
 
     /// Finishes an event: advances drift, emits gap edge + labels, samples

@@ -46,6 +46,16 @@ pub struct ReplayStats {
     /// message drift that *propagated* — pushed the receiver's completion
     /// beyond its own schedule ("fully propagated" regions).
     pub propagated_message_drift: Drift,
+    /// Scheduling turns taken by the event-driven engine: how many times a
+    /// rank was popped off the ready queue. Bounded by
+    /// `events + messages_matched + collective entries` — each turn either
+    /// retires at least one event or was triggered by exactly one
+    /// resolution (match, acknowledgement, or collective hub).
+    pub scheduler_wakeups: u64,
+    /// Scheduling turns that elapsed while some rank slept blocked — each
+    /// one is a poll the old round-robin engine would have wasted on that
+    /// rank. A direct measure of what the wakeup queue saves.
+    pub polls_avoided: u64,
 }
 
 /// Outcome of one replay.

@@ -10,10 +10,41 @@
 //! non-overtaking discipline MPI guarantees and the simulator implements.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::graph::NodeId;
 use crate::{Cycles, Drift};
 use mpg_trace::{Rank, ReqId, Tag};
+
+/// Multiply-xor hasher for the channel map (FxHash construction). Channel
+/// keys are small `(src, dst)` rank pairs hashed on every match operation —
+/// the replay hot path — where SipHash's per-lookup cost is measurable and
+/// its DoS resistance buys nothing.
+#[derive(Debug, Default)]
+pub struct ChannelHasher(u64);
+
+impl Hasher for ChannelHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(b as u64);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(n as u64);
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        // 0x51_7c_c1_b7_27_22_0a_95 = (2^64 / phi) rounded to odd.
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+type ChannelMap = HashMap<(Rank, Rank), Channel, BuildHasherDefault<ChannelHasher>>;
 
 /// Who completes the send side of a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,24 +108,71 @@ pub struct PendingRecv {
     pub end_node: NodeId,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Channel {
     sends: VecDeque<SendRecord>,
     pending_recvs: VecDeque<PendingRecv>,
 }
 
+/// Rank counts up to this size get a dense `p × p` channel table (≤ 256 KiB
+/// of empty deques) so hot-path matching is a direct index, no hashing.
+const MAX_DENSE_RANKS: usize = 64;
+
 /// All cross-rank matching state, with window accounting.
 #[derive(Debug, Default)]
 pub struct MatchState {
-    channels: HashMap<(Rank, Rank), Channel>,
+    /// Rank count covered by `dense`; 0 when running hash-only.
+    ranks: usize,
+    /// Dense `src * ranks + dst` channel table for small rank counts.
+    dense: Vec<Channel>,
+    /// Fallback for large rank counts and for out-of-range ranks named by
+    /// corrupt traces (which must keep the old map semantics: queued, never
+    /// matched, reported as unmatched at the end).
+    sparse: ChannelMap,
     retained: usize,
     high_water: usize,
 }
 
 impl MatchState {
-    /// Creates empty state.
+    /// Creates empty, hash-only state (no dense table).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates state for a known rank count, with the dense fast path when
+    /// the count is small enough.
+    pub fn with_ranks(ranks: usize) -> Self {
+        let mut s = Self::default();
+        if ranks <= MAX_DENSE_RANKS {
+            s.ranks = ranks;
+            s.dense = vec![Channel::default(); ranks * ranks];
+        }
+        s
+    }
+
+    fn dense_index(&self, src: Rank, dst: Rank) -> Option<usize> {
+        let (s, d) = (src as usize, dst as usize);
+        if s < self.ranks && d < self.ranks {
+            Some(s * self.ranks + d)
+        } else {
+            None
+        }
+    }
+
+    /// The channel for `(src, dst)`, creating it if absent.
+    fn channel_mut(&mut self, src: Rank, dst: Rank) -> &mut Channel {
+        match self.dense_index(src, dst) {
+            Some(i) => &mut self.dense[i],
+            None => self.sparse.entry((src, dst)).or_default(),
+        }
+    }
+
+    /// The channel for `(src, dst)` if it exists (never allocates).
+    fn channel_lookup_mut(&mut self, src: Rank, dst: Rank) -> Option<&mut Channel> {
+        match self.dense_index(src, dst) {
+            Some(i) => Some(&mut self.dense[i]),
+            None => self.sparse.get_mut(&(src, dst)),
+        }
     }
 
     fn bump(&mut self, delta: isize) {
@@ -127,7 +205,7 @@ impl MatchState {
         dst: Rank,
         rec: SendRecord,
     ) -> Option<(PendingRecv, SendRecord)> {
-        let ch = self.channels.entry((src, dst)).or_default();
+        let ch = self.channel_mut(src, dst);
         if let Some(i) = ch.pending_recvs.iter().position(|p| p.tag == rec.tag) {
             let pr = ch.pending_recvs.remove(i).unwrap();
             self.bump(-1);
@@ -140,7 +218,7 @@ impl MatchState {
 
     /// Takes the earliest queued send with `tag` on `(src, dst)`, if any.
     pub fn take_send(&mut self, src: Rank, dst: Rank, tag: Tag) -> Option<SendRecord> {
-        let ch = self.channels.get_mut(&(src, dst))?;
+        let ch = self.channel_lookup_mut(src, dst)?;
         let i = ch.sends.iter().position(|s| s.tag == tag)?;
         let rec = ch.sends.remove(i).unwrap();
         self.bump(-1);
@@ -151,22 +229,22 @@ impl MatchState {
     /// called in post order per channel so later sends resolve receives in
     /// MPI order.
     pub fn queue_pending_recv(&mut self, src: Rank, dst: Rank, pr: PendingRecv) {
-        self.channels
-            .entry((src, dst))
-            .or_default()
-            .pending_recvs
-            .push_back(pr);
+        self.channel_mut(src, dst).pending_recvs.push_back(pr);
         self.bump(1);
+    }
+
+    fn channels(&self) -> impl Iterator<Item = &Channel> {
+        self.dense.iter().chain(self.sparse.values())
     }
 
     /// Count of unmatched send records (post-replay §4.3 diagnostics).
     pub fn unmatched_sends(&self) -> usize {
-        self.channels.values().map(|c| c.sends.len()).sum()
+        self.channels().map(|c| c.sends.len()).sum()
     }
 
     /// Count of unmatched pending receives.
     pub fn unmatched_recvs(&self) -> usize {
-        self.channels.values().map(|c| c.pending_recvs.len()).sum()
+        self.channels().map(|c| c.pending_recvs.len()).sum()
     }
 }
 
@@ -236,6 +314,33 @@ mod tests {
         m.offer_send(0, 1, rec(5, 10));
         assert!(m.take_send(1, 0, 5).is_none());
         assert!(m.take_send(0, 1, 5).is_some());
+    }
+
+    #[test]
+    fn dense_table_matches_hash_semantics() {
+        let mut m = MatchState::with_ranks(4);
+        assert!(m.offer_send(0, 1, rec(5, 10)).is_none());
+        assert!(m.offer_send(0, 1, rec(5, 20)).is_none());
+        assert!(m.take_send(1, 0, 5).is_none());
+        assert_eq!(m.take_send(0, 1, 5).unwrap().d_msg, 10);
+        m.queue_pending_recv(2, 3, pending(7, 9));
+        let (pr, _) = m.offer_send(2, 3, rec(7, 30)).unwrap();
+        assert_eq!(pr.req, 9);
+        assert_eq!(m.unmatched_sends(), 1);
+        assert_eq!(m.high_water(), 2);
+    }
+
+    #[test]
+    fn dense_table_spills_out_of_range_ranks() {
+        // A corrupt trace can name ranks beyond the table; they must keep
+        // the old map behaviour (queued, counted as unmatched) rather than
+        // panic.
+        let mut m = MatchState::with_ranks(2);
+        m.offer_send(0, 77, rec(5, 10));
+        m.queue_pending_recv(93, 1, pending(5, 1));
+        assert!(m.take_send(0, 77, 5).is_some());
+        assert_eq!(m.unmatched_recvs(), 1);
+        assert!(m.take_send(50, 60, 5).is_none());
     }
 
     #[test]
