@@ -385,6 +385,10 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         report.stats.messages_matched,
         report.stats.polls_avoided
     );
+    println!(
+        "lanes: {} lane(s) shared this traversal, {} traversal(s) saved",
+        report.stats.lanes, report.stats.traversals_saved
+    );
     for w in &report.warnings {
         println!("warning: {w}");
     }
@@ -546,6 +550,22 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
             "{:>16} {:>6} {:>10} {:>14.0} {:>10} {:>13}",
             w.name, w.ranks, w.events, w.events_per_sec, w.scheduler_wakeups, w.polls_avoided
         );
+    }
+    if let Some(s) = &snap.sweep {
+        println!(
+            "sweep: {} configs on {} in {} lane batch(es), {} traversal(s) saved: \
+             {:.1} configs/sec vs {:.1} threads-only ({:.2}x)",
+            s.configs,
+            s.workload,
+            s.lane_batches,
+            s.traversals_saved,
+            s.configs_per_sec,
+            s.threads_only_configs_per_sec,
+            s.speedup_vs_threads()
+        );
+    }
+    for n in &snap.notes {
+        println!("note: {n}");
     }
     if let Some(path) = out {
         if let Err(e) = std::fs::write(&path, snap.to_json()) {

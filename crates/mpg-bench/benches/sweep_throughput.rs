@@ -1,0 +1,36 @@
+//! Sweep throughput: configs/sec replaying the pinned K-config sweep over
+//! one trace, lane-batched vs threads-only (the same measurement `mpgtool
+//! bench` snapshots into `BENCH_replay.json`'s sweep workload).
+//!
+//! The lane path's claim is structural: scheduling and matching are
+//! drift-independent, so one graph traversal carries up to `MAX_LANES`
+//! configs and only the max-plus drift arithmetic scales with K. The
+//! threads-only baseline pays the full traversal once per config.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpg_analysis::perf::{pinned_traces, sweep_configs, SWEEP_CONFIGS};
+use mpg_analysis::{sweep_replays, SweepMode};
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    let (name, _ranks, trace) = pinned_traces().remove(0);
+    for k in [8u32, SWEEP_CONFIGS] {
+        let configs = sweep_configs(k);
+        group.throughput(Throughput::Elements(u64::from(k)));
+        for (mode_name, mode) in [
+            ("lanes", SweepMode::Lanes),
+            ("threads-only", SweepMode::ThreadsOnly),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}-x{k}"), mode_name),
+                &configs,
+                |b, configs| b.iter(|| sweep_replays(&trace, configs, mode)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput);
+criterion_main!(benches);

@@ -64,6 +64,7 @@
 pub mod critical;
 pub mod dot;
 pub mod graph;
+pub mod lane;
 pub mod perturb;
 pub mod regions;
 pub mod replay;
@@ -73,6 +74,7 @@ pub mod timeline;
 
 pub use critical::{critical_path, CriticalPath};
 pub use graph::{Edge, EventGraph, NodeId, Point};
+pub use lane::{lane_replays, plan_lanes, replay_batch, LaneBatch, MAX_LANES};
 pub use perturb::{DeltaClass, PerturbationModel, SignedDist};
 pub use regions::{classify_regions, region_shares, Region, RegionKind};
 pub use replay::{AbsorptionMode, ReplayConfig, Replayer, SlackEstimate, TraceGate};

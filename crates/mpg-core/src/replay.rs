@@ -231,7 +231,12 @@ impl Replayer {
                     .map(Ok as fn(EventRecord) -> Result<EventRecord, TraceError>)
             })
             .collect();
-        Engine::new(&self.config, streams).run()
+        let bank = ScalarBank::new(&self.config, trace.num_ranks());
+        let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams).run()?;
+        Ok(reports
+            .into_iter()
+            .next()
+            .expect("scalar replay yields exactly one report"))
     }
 
     /// Replays per-rank event streams (the arbitrarily-large-trace path:
@@ -240,7 +245,211 @@ impl Replayer {
         &self,
         streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>>,
     ) -> Result<ReplayReport, ReplayError> {
-        Engine::new(&self.config, streams).run()
+        let bank = ScalarBank::new(&self.config, streams.len());
+        let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams).run()?;
+        Ok(reports
+            .into_iter()
+            .next()
+            .expect("scalar replay yields exactly one report"))
+    }
+}
+
+/// The structural knobs shared by every lane of a batch: they decide
+/// *traversal* (which arms exist, how receives bound, whether a graph is
+/// recorded), so configs must agree on them to share one pass. Everything
+/// else in a [`ReplayConfig`] (model, seed, timeline stride) is per-lane.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineKnobs {
+    pub(crate) absorption: AbsorptionMode,
+    pub(crate) ack_arm: bool,
+    pub(crate) arrival_bound: bool,
+    pub(crate) record_graph: bool,
+}
+
+impl EngineKnobs {
+    pub(crate) fn of(cfg: &ReplayConfig) -> Self {
+        Self {
+            absorption: cfg.absorption,
+            ack_arm: cfg.ack_arm,
+            arrival_bound: cfg.arrival_bound,
+            record_graph: cfg.record_graph,
+        }
+    }
+}
+
+/// The per-lane arithmetic and accounting surface the engine is generic
+/// over. The engine's traversal — matching, blocking, wakeups, window
+/// accounting — never consults a [`DriftBank::Val`], so one pass over the
+/// event streams is valid for every lane; only the max-plus arithmetic and
+/// the RNG streams behind the `sample*` hooks differ per lane.
+///
+/// [`ScalarBank`] (`Val = Drift`) monomorphizes to exactly the pre-lane
+/// engine; [`VecBank`](crate::lane) carries up to
+/// [`MAX_LANES`](crate::lane::MAX_LANES) drift lanes through one traversal.
+pub(crate) trait DriftBank {
+    /// Drift payload threaded through cursors, requests and channels.
+    type Val: Copy + std::fmt::Debug;
+
+    /// Broadcast of a structural (lane-independent) drift.
+    fn splat(d: Drift) -> Self::Val;
+    /// Elementwise sum.
+    fn add(a: Self::Val, b: Self::Val) -> Self::Val;
+    /// Elementwise sum with a structural scalar.
+    fn add_scalar(a: Self::Val, d: Drift) -> Self::Val;
+    /// Elementwise max.
+    fn max(a: Self::Val, b: Self::Val) -> Self::Val;
+    /// Lane-0 projection, consumed only by recorded-graph edge annotations.
+    /// Graph recording is a singleton-batch (scalar) knob, where this is
+    /// the identity; lane banks never see a live graph.
+    fn lane0(v: Self::Val) -> Drift;
+
+    /// Draws one injected delta per lane (each lane from its own sampler).
+    fn sample(&mut self, rank: Rank, class: DeltaClass) -> Self::Val;
+    /// Per-lane quantum-scaled OS noise for a `work`-cycle local edge.
+    fn sample_os_scaled(&mut self, rank: Rank, work: u64) -> Self::Val;
+    /// Folds a sampled delta into each lane's `injected_total`.
+    fn tally_injected(&mut self, v: Self::Val);
+    /// Per-lane Eq. 1 arm classification (`arm_wins`).
+    fn note_arm(&mut self, d_end: Self::Val, local: Self::Val, msg: Self::Val, floor: Self::Val);
+    /// Counts a collective-hub completion on every lane.
+    fn note_collective_arm(&mut self);
+    /// Per-lane absorbed/propagated message-drift accounting.
+    fn account_absorption(&mut self, local: Self::Val, msg: Self::Val);
+    /// Per-lane timeline sampling (`events_done` is traversal-shared;
+    /// strides are per-lane).
+    fn sample_timeline(&mut self, rank: usize, events_done: u64, t_end: Cycles, d: Self::Val);
+    /// Builds one report per lane from the shared traversal outcome.
+    fn into_reports(
+        self,
+        final_drift: Vec<Self::Val>,
+        last_end_local: Vec<Cycles>,
+        shared: ReplayStats,
+        warnings: Vec<String>,
+        graph: Option<EventGraph>,
+    ) -> Vec<ReplayReport>;
+}
+
+/// Single-config drift arithmetic: the identity lane bank. Every method
+/// inlines to the operation the pre-lane engine performed, so the scalar
+/// replay path keeps its exact codegen and its exact observable behavior.
+pub(crate) struct ScalarBank {
+    sampler: PerturbSampler,
+    model_name: String,
+    stride: usize,
+    injected: Drift,
+    arm_wins: [u64; 4],
+    absorbed: Drift,
+    propagated: Drift,
+    timeline: Vec<Vec<(Cycles, Drift)>>,
+}
+
+impl ScalarBank {
+    pub(crate) fn new(cfg: &ReplayConfig, ranks: usize) -> Self {
+        Self {
+            sampler: PerturbSampler::new(cfg.model.clone(), ranks, cfg.seed),
+            model_name: cfg.model.name.clone(),
+            stride: cfg.timeline_stride,
+            injected: 0,
+            arm_wins: [0; 4],
+            absorbed: 0,
+            propagated: 0,
+            timeline: vec![Vec::new(); ranks],
+        }
+    }
+}
+
+impl DriftBank for ScalarBank {
+    type Val = Drift;
+
+    fn splat(d: Drift) -> Drift {
+        d
+    }
+
+    fn add(a: Drift, b: Drift) -> Drift {
+        a + b
+    }
+
+    fn add_scalar(a: Drift, d: Drift) -> Drift {
+        a + d
+    }
+
+    fn max(a: Drift, b: Drift) -> Drift {
+        a.max(b)
+    }
+
+    fn lane0(v: Drift) -> Drift {
+        v
+    }
+
+    fn sample(&mut self, rank: Rank, class: DeltaClass) -> Drift {
+        self.sampler.sample(rank, class)
+    }
+
+    fn sample_os_scaled(&mut self, rank: Rank, work: u64) -> Drift {
+        self.sampler.sample_os_scaled(rank, work)
+    }
+
+    fn tally_injected(&mut self, v: Drift) {
+        self.injected += v;
+    }
+
+    fn note_arm(&mut self, d_end: Drift, local: Drift, msg: Drift, floor: Drift) {
+        let arm = if d_end == floor && floor > local && floor > msg {
+            ArmKind::Floor
+        } else if msg >= local {
+            ArmKind::Message
+        } else {
+            ArmKind::Local
+        };
+        self.arm_wins[arm as usize] += 1;
+    }
+
+    fn note_collective_arm(&mut self) {
+        self.arm_wins[ArmKind::Collective as usize] += 1;
+    }
+
+    /// §4.2 sensitivity accounting: how much incoming message drift was
+    /// hidden behind the receiver's own delay (absorbed) vs pushed its
+    /// completion later (propagated).
+    fn account_absorption(&mut self, local: Drift, msg: Drift) {
+        self.absorbed += msg.min(local).max(0);
+        self.propagated += (msg - local).max(0);
+    }
+
+    fn sample_timeline(&mut self, rank: usize, events_done: u64, t_end: Cycles, d: Drift) {
+        if self.stride > 0 && events_done.is_multiple_of(self.stride as u64) {
+            self.timeline[rank].push((t_end, d));
+        }
+    }
+
+    fn into_reports(
+        self,
+        final_drift: Vec<Drift>,
+        last_end_local: Vec<Cycles>,
+        mut shared: ReplayStats,
+        warnings: Vec<String>,
+        graph: Option<EventGraph>,
+    ) -> Vec<ReplayReport> {
+        shared.injected_total = self.injected;
+        shared.arm_wins = self.arm_wins;
+        shared.absorbed_message_drift = self.absorbed;
+        shared.propagated_message_drift = self.propagated;
+        shared.lanes = 1;
+        shared.traversals_saved = 0;
+        let projected_finish_local = last_end_local
+            .iter()
+            .zip(&final_drift)
+            .map(|(&t, &d)| t.saturating_add_signed(d))
+            .collect();
+        vec![ReplayReport {
+            model_name: self.model_name,
+            final_drift,
+            projected_finish_local,
+            warnings,
+            stats: shared,
+            timeline: self.timeline,
+            graph,
+        }]
     }
 }
 
@@ -283,18 +492,18 @@ impl AckEdges {
 }
 
 #[derive(Debug)]
-enum ReqState {
+enum ReqState<V> {
     /// Isend awaiting acknowledgement.
     PendingSend,
     /// Irecv queued in the match state, message record not yet arrived.
     PendingRecvWaiting,
     /// Irecv's message record available; the wait computes the arm.
-    RecvReady(SendRecord),
+    RecvReady(SendRecord<V>),
     /// Send request resolved. `candidate` (if any) is the ack arm; `edges`
     /// are `(source node, sampled delta)` pairs whose max reproduces the
     /// candidate in the recorded graph.
     SendReady {
-        candidate: Option<Drift>,
+        candidate: Option<V>,
         edges: AckEdges,
     },
 }
@@ -309,20 +518,32 @@ const REQ_DENSE_GAP: u64 = 1024;
 /// Ids far outside the window — possible only in corrupt or handwritten
 /// traces — spill into a small linear-scan side table, so adversarial
 /// inputs cannot force huge allocations.
-#[derive(Debug, Default)]
-struct ReqTable {
+#[derive(Debug)]
+struct ReqTable<V> {
     base: ReqId,
-    slots: VecDeque<Option<ReqState>>,
+    slots: VecDeque<Option<ReqState<V>>>,
     live: usize,
-    spill: Vec<(ReqId, ReqState)>,
+    spill: Vec<(ReqId, ReqState<V>)>,
 }
 
-impl ReqTable {
+// Hand-written so the table defaults empty without a `V: Default` bound.
+impl<V> Default for ReqTable<V> {
+    fn default() -> Self {
+        Self {
+            base: 0,
+            slots: VecDeque::new(),
+            live: 0,
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl<V> ReqTable<V> {
     fn len(&self) -> usize {
         self.live + self.spill.len()
     }
 
-    fn get(&self, req: ReqId) -> Option<&ReqState> {
+    fn get(&self, req: ReqId) -> Option<&ReqState<V>> {
         if req >= self.base {
             let off = req - self.base;
             if off < self.slots.len() as u64 {
@@ -332,7 +553,7 @@ impl ReqTable {
         self.spill.iter().find(|(k, _)| *k == req).map(|(_, s)| s)
     }
 
-    fn get_mut(&mut self, req: ReqId) -> Option<&mut ReqState> {
+    fn get_mut(&mut self, req: ReqId) -> Option<&mut ReqState<V>> {
         if req >= self.base {
             let off = req - self.base;
             if off < self.slots.len() as u64 {
@@ -347,7 +568,7 @@ impl ReqTable {
 
     /// Inserts `st` under `req`, replacing (without complaint, matching
     /// the map it replaces) any state a corrupt trace left there.
-    fn insert(&mut self, req: ReqId, st: ReqState) {
+    fn insert(&mut self, req: ReqId, st: ReqState<V>) {
         if self.live == 0 && self.spill.is_empty() {
             self.slots.clear();
             self.base = req;
@@ -377,14 +598,14 @@ impl ReqTable {
         }
     }
 
-    fn spill_insert(&mut self, req: ReqId, st: ReqState) {
+    fn spill_insert(&mut self, req: ReqId, st: ReqState<V>) {
         match self.spill.iter_mut().find(|(k, _)| *k == req) {
             Some(slot) => slot.1 = st,
             None => self.spill.push((req, st)),
         }
     }
 
-    fn remove(&mut self, req: ReqId) -> Option<ReqState> {
+    fn remove(&mut self, req: ReqId) -> Option<ReqState<V>> {
         if req >= self.base {
             let off = req - self.base;
             if off < self.slots.len() as u64 {
@@ -406,55 +627,64 @@ impl ReqTable {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct CollEntry {
+#[derive(Debug)]
+struct CollEntry<V> {
     rank: Rank,
-    drift: Drift,
+    drift: V,
     start_node: NodeId,
 }
 
 #[derive(Debug)]
-struct CollSlot {
+struct CollSlot<V> {
     kind_name: &'static str,
     bytes: u64,
     root_full_rounds: Option<Rank>, // Bcast: only the root samples rounds
     rounds: u32,
-    entries: Vec<CollEntry>,
+    entries: Vec<CollEntry<V>>,
 }
 
 #[derive(Debug)]
-struct CollDone {
-    hub: Drift,
+struct CollDone<V> {
+    hub: V,
     hub_node: NodeId,
     remaining: usize,
 }
 
 /// Lifecycle of one collective epoch.
 #[derive(Debug)]
-enum CollState {
+enum CollState<V> {
     /// No rank has entered this epoch yet (or it fully drained).
     Vacant,
     /// Entries accumulating until all `p` ranks arrive.
-    Filling(CollSlot),
+    Filling(CollSlot<V>),
     /// Hub resolved; participants drain until `remaining` hits zero.
-    Done(CollDone),
+    Done(CollDone<V>),
 }
 
 /// Dense epoch-indexed collective state. Epochs are handed out
 /// sequentially per rank, so the live ones occupy a sliding window; a
 /// deque indexed by `epoch - base` replaces the hash maps the polling
 /// engine kept.
-#[derive(Debug, Default)]
-struct CollTable {
+#[derive(Debug)]
+struct CollTable<V> {
     base: u64,
-    slots: VecDeque<CollState>,
+    slots: VecDeque<CollState<V>>,
 }
 
-impl CollTable {
+impl<V> Default for CollTable<V> {
+    fn default() -> Self {
+        Self {
+            base: 0,
+            slots: VecDeque::new(),
+        }
+    }
+}
+
+impl<V> CollTable<V> {
     /// The state cell for `epoch`, growing the window as needed. `None`
     /// only for an epoch that already fully drained (unreachable through
     /// the engine's sequential epoch counters, but kept panic-free).
-    fn state_mut(&mut self, epoch: u64) -> Option<&mut CollState> {
+    fn state_mut(&mut self, epoch: u64) -> Option<&mut CollState<V>> {
         let off = epoch.checked_sub(self.base)? as usize;
         while self.slots.len() <= off {
             self.slots.push_back(CollState::Vacant);
@@ -476,21 +706,21 @@ impl CollTable {
     }
 }
 
-struct Cursor<I> {
+struct Cursor<I, V> {
     it: I,
     current: Option<EventRecord>,
-    drift: Drift,
+    drift: V,
     last_end_local: Cycles,
     last_end_node: Option<NodeId>,
     done: bool,
-    reqs: ReqTable,
+    reqs: ReqTable<V>,
     coll_epoch: u64,
     scratch_epoch: u64,
     posted: bool,
-    scratch_os1: Drift,
+    scratch_os1: V,
     /// Resolved ack for a blocked synchronous send: the candidate drift and
     /// the graph edges reproducing it.
-    pending_ack: Option<(Drift, AckEdges)>,
+    pending_ack: Option<(V, AckEdges)>,
     events_done: u64,
     /// Scheduler turn count when this rank went to sleep (blocked); used
     /// for the polls-avoided estimate.
@@ -565,12 +795,12 @@ impl ReadySet {
     }
 }
 
-struct Engine<'a, I> {
-    cfg: &'a ReplayConfig,
-    sampler: PerturbSampler,
-    matches: MatchState,
-    cursors: Vec<Cursor<I>>,
-    colls: CollTable,
+pub(crate) struct Engine<B: DriftBank, I> {
+    knobs: EngineKnobs,
+    bank: B,
+    matches: MatchState<B::Val>,
+    cursors: Vec<Cursor<I, B::Val>>,
+    colls: CollTable<B::Val>,
     open_reqs: usize,
     coll_entries: usize,
     /// Ranks able to make progress, popped in circular rank order.
@@ -581,24 +811,24 @@ struct Engine<'a, I> {
     running: Rank,
     /// Scheduler turns taken so far (for the polls-avoided estimate).
     pops: u64,
+    /// Traversal-shared counters (events, matches, window, scheduler);
+    /// per-lane tallies live in the bank.
     stats: ReplayStats,
     warnings: Vec<String>,
     graph: Option<EventGraph>,
-    timeline: Vec<Vec<(Cycles, Drift)>>,
 }
 
-impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
-    fn new(cfg: &'a ReplayConfig, streams: Vec<I>) -> Self {
+impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B, I> {
+    pub(crate) fn new(knobs: EngineKnobs, bank: B, streams: Vec<I>) -> Self {
         let p = streams.len();
         Self {
-            sampler: PerturbSampler::new(cfg.model.clone(), p, cfg.seed),
             matches: MatchState::with_ranks(p),
             cursors: streams
                 .into_iter()
                 .map(|it| Cursor {
                     it,
                     current: None,
-                    drift: 0,
+                    drift: B::splat(0),
                     last_end_local: 0,
                     last_end_node: None,
                     done: false,
@@ -606,7 +836,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                     coll_epoch: 0,
                     scratch_epoch: 0,
                     posted: false,
-                    scratch_os1: 0,
+                    scratch_os1: B::splat(0),
                     pending_ack: None,
                     events_done: 0,
                     slept_at: None,
@@ -620,13 +850,13 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
             pops: 0,
             stats: ReplayStats::default(),
             warnings: Vec::new(),
-            graph: cfg.record_graph.then(|| EventGraph::new(p)),
-            timeline: vec![Vec::new(); p],
-            cfg,
+            graph: knobs.record_graph.then(|| EventGraph::new(p)),
+            knobs,
+            bank,
         }
     }
 
-    fn run(mut self) -> Result<ReplayReport, ReplayError> {
+    pub(crate) fn run(mut self) -> Result<Vec<ReplayReport>, ReplayError> {
         // Seed the ready set: initially every rank can make progress.
         for r in 0..self.cursors.len() {
             self.ready.insert(r);
@@ -691,7 +921,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
         self.ready.insert(ri);
     }
 
-    fn finish(mut self) -> Result<ReplayReport, ReplayError> {
+    fn finish(mut self) -> Result<Vec<ReplayReport>, ReplayError> {
         let leaked: usize = self.cursors.iter().map(|c| c.reqs.len()).sum();
         if leaked > 0 || self.matches.unmatched_sends() > 0 || self.matches.unmatched_recvs() > 0 {
             // §4.3: both sides used asynchronous calls without completing
@@ -706,21 +936,15 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
             ));
         }
         self.stats.window_high_water = self.matches.high_water();
-        let final_drift: Vec<Drift> = self.cursors.iter().map(|c| c.drift).collect();
-        let projected_finish_local = self
-            .cursors
-            .iter()
-            .map(|c| c.last_end_local.saturating_add_signed(c.drift))
-            .collect();
-        Ok(ReplayReport {
-            model_name: self.cfg.model.name.clone(),
+        let final_drift: Vec<B::Val> = self.cursors.iter().map(|c| c.drift).collect();
+        let last_end_local: Vec<Cycles> = self.cursors.iter().map(|c| c.last_end_local).collect();
+        Ok(self.bank.into_reports(
             final_drift,
-            projected_finish_local,
-            warnings: self.warnings,
-            stats: self.stats,
-            timeline: self.timeline,
-            graph: self.graph,
-        })
+            last_end_local,
+            self.stats,
+            self.warnings,
+            self.graph,
+        ))
     }
 
     /// Attempts to make progress on rank `r`; returns true when an event
@@ -785,27 +1009,27 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
         // local duration a cycle shorter than the work (the floor must never
         // *add* time).
         let floor = match ev.kind {
-            EventKind::Compute { work } => d0 + (work as Drift - dur).min(0),
-            _ => d0 - dur,
+            EventKind::Compute { work } => B::add_scalar(d0, (work as Drift - dur).min(0)),
+            _ => B::add_scalar(d0, -dur),
         };
 
         let completed = match &ev.kind {
             EventKind::Init | EventKind::Finalize => {
                 self.intra_edge(r, &ev, DeltaClass::None, 0);
-                self.complete(r, &ev, d0.max(floor), None);
+                self.complete(r, &ev, B::max(d0, floor), None);
                 true
             }
             EventKind::Compute { work } => {
-                let delta = self.sampler.sample_os_scaled(r, *work);
-                self.stats.injected_total += delta;
-                let d_end = (d0 + delta).max(floor);
+                let delta = self.bank.sample_os_scaled(r, *work);
+                self.bank.tally_injected(delta);
+                let d_end = B::max(B::add(d0, delta), floor);
                 if let Some(g) = self.graph.as_mut() {
                     g.add_edge(Edge {
                         src: NodeId::start(r, ev.seq),
                         dst: NodeId::end(r, ev.seq),
                         base: ev.duration(),
                         class: DeltaClass::OsLocal,
-                        sampled: delta,
+                        sampled: B::lane0(delta),
                         is_message: false,
                     });
                 }
@@ -822,7 +1046,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                 // §3.1.1: the send variant decides whether the completion is
                 // coupled to the receiver (the Eq. 1 acknowledgement arm).
                 let acked = match protocol {
-                    mpg_trace::SendProtocol::Standard => self.cfg.ack_arm,
+                    mpg_trace::SendProtocol::Standard => self.knobs.ack_arm,
                     mpg_trace::SendProtocol::Synchronous => true,
                     mpg_trace::SendProtocol::Buffered | mpg_trace::SendProtocol::Ready => false,
                 };
@@ -845,19 +1069,19 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                         None => false, // awaiting acknowledgement
                         Some((candidate, ack_edges)) => {
                             let os1 = self.cursors[ri].scratch_os1;
-                            let local_arm = if self.cfg.arrival_bound {
+                            let local_arm = if self.knobs.arrival_bound {
                                 floor
                             } else {
-                                d0 + os1
+                                B::add(d0, os1)
                             };
-                            let d_end = local_arm.max(candidate).max(floor);
+                            let d_end = B::max(B::max(local_arm, candidate), floor);
                             if let Some(g) = self.graph.as_mut() {
                                 g.add_edge(Edge {
                                     src: NodeId::start(r, ev.seq),
                                     dst: NodeId::end(r, ev.seq),
                                     base: ev.duration(),
                                     class: DeltaClass::OsLocal,
-                                    sampled: os1,
+                                    sampled: B::lane0(os1),
                                     is_message: false,
                                 });
                                 for &(src, sampled) in ack_edges.as_slice() {
@@ -871,21 +1095,21 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                                     });
                                 }
                             }
-                            self.note_arm(d_end, local_arm, candidate, floor);
+                            self.bank.note_arm(d_end, local_arm, candidate, floor);
                             self.complete(r, &ev, d_end, None);
                             true
                         }
                     }
                 } else {
                     let os1 = self.cursors[ri].scratch_os1;
-                    let d_end = (d0 + os1).max(floor);
+                    let d_end = B::max(B::add(d0, os1), floor);
                     if let Some(g) = self.graph.as_mut() {
                         g.add_edge(Edge {
                             src: NodeId::start(r, ev.seq),
                             dst: NodeId::end(r, ev.seq),
                             base: ev.duration(),
                             class: DeltaClass::OsLocal,
-                            sampled: os1,
+                            sampled: B::lane0(os1),
                             is_message: false,
                         });
                     }
@@ -903,8 +1127,8 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                     Some(rec) => {
                         self.stats.messages_matched += 1;
                         let msg_arm = self.msg_candidate(&rec, ev.t_end);
-                        let local_arm = if self.cfg.arrival_bound { floor } else { d0 };
-                        let d_end = local_arm.max(msg_arm).max(floor);
+                        let local_arm = if self.knobs.arrival_bound { floor } else { d0 };
+                        let d_end = B::max(B::max(local_arm, msg_arm), floor);
                         let recv_node = NodeId::end(r, ev.seq);
                         if let Some(g) = self.graph.as_mut() {
                             g.add_edge(Edge {
@@ -920,16 +1144,16 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                                 dst: recv_node,
                                 base: 0,
                                 class: DeltaClass::MessagePath { bytes: *bytes },
-                                sampled: msg_arm - rec.d_src,
+                                sampled: B::lane0(msg_arm) - B::lane0(rec.d_src),
                                 is_message: true,
                             });
                         }
-                        self.note_arm(d_end, local_arm, msg_arm, floor);
-                        self.account_absorption(local_arm, msg_arm);
+                        self.bank.note_arm(d_end, local_arm, msg_arm, floor);
+                        self.bank.account_absorption(local_arm, msg_arm);
                         self.resolve_ack(
                             rec.sender,
-                            d_end + rec.ack_lambda,
-                            AckEdges::one((recv_node, rec.ack_lambda)),
+                            B::add(d_end, rec.ack_lambda),
+                            AckEdges::one((recv_node, B::lane0(rec.ack_lambda))),
                         )?;
                         self.complete(r, &ev, d_end, None);
                         true
@@ -946,7 +1170,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                 // Register the request before offering the send: a pending
                 // receive on the peer can resolve the acknowledgement
                 // synchronously inside post_send.
-                let state = if self.cfg.ack_arm {
+                let state = if self.knobs.ack_arm {
                     ReqState::PendingSend
                 } else {
                     ReqState::SendReady {
@@ -961,7 +1185,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                     peer,
                     tag,
                     bytes,
-                    if self.cfg.ack_arm {
+                    if self.knobs.ack_arm {
                         SenderRef::Request { rank: r, req }
                     } else {
                         SenderRef::Done
@@ -1067,7 +1291,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                 } else {
                     // A failed probe is a local no-op; the request stays open.
                     self.intra_edge(r, &ev, DeltaClass::None, 0);
-                    self.complete(r, &ev, d0.max(floor), None);
+                    self.complete(r, &ev, B::max(d0, floor), None);
                     true
                 }
             }
@@ -1092,17 +1316,18 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
     ) -> Result<(), ReplayError> {
         let ri = r as usize;
         let d0 = self.cursors[ri].drift;
-        let os1 = self.sampler.sample_os_scaled(r, ev.duration());
-        let d_path = self.sampler.sample(r, DeltaClass::MessagePath { bytes });
-        let lambda2 = self.sampler.sample(r, DeltaClass::Lambda);
-        self.stats.injected_total += os1 + d_path + lambda2;
+        let os1 = self.bank.sample_os_scaled(r, ev.duration());
+        let d_path = self.bank.sample(r, DeltaClass::MessagePath { bytes });
+        let lambda2 = self.bank.sample(r, DeltaClass::Lambda);
+        self.bank
+            .tally_injected(B::add(B::add(os1, d_path), lambda2));
         self.cursors[ri].scratch_os1 = os1;
         self.cursors[ri].posted = true;
         let rec = SendRecord {
             tag,
             bytes,
             d_src: d0,
-            d_msg: d0 + d_path,
+            d_msg: B::add(d0, d_path),
             ack_lambda: lambda2,
             sender,
             src_node: NodeId::start(r, ev.seq),
@@ -1134,14 +1359,16 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
     }
 
     /// Message-arm candidate for a record completing at `recv_end_local`.
-    fn msg_candidate(&self, rec: &SendRecord, recv_end_local: Cycles) -> Drift {
-        match self.cfg.absorption {
+    /// The measured slack is structural (computed from traced local clocks,
+    /// identical for every lane), so it subtracts as a scalar.
+    fn msg_candidate(&self, rec: &SendRecord<B::Val>, recv_end_local: Cycles) -> B::Val {
+        match self.knobs.absorption {
             AbsorptionMode::Conservative => rec.d_msg,
             AbsorptionMode::MeasuredSlack(est) => {
                 let slack =
                     (recv_end_local as f64 - rec.send_start_local as f64 - est.transfer(rec.bytes))
                         .max(0.0) as Drift;
-                rec.d_msg - slack
+                B::add_scalar(rec.d_msg, -slack)
             }
         }
     }
@@ -1152,7 +1379,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
     fn resolve_ack(
         &mut self,
         sender: SenderRef,
-        candidate: Drift,
+        candidate: B::Val,
         edges: AckEdges,
     ) -> Result<(), ReplayError> {
         match sender {
@@ -1189,18 +1416,21 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
     /// receiver eventually waits.
     fn ack_at_arrival(
         &mut self,
-        rec: &SendRecord,
-        d_posted: Drift,
+        rec: &SendRecord<B::Val>,
+        d_posted: B::Val,
         recv_end_node: NodeId,
     ) -> Result<(), ReplayError> {
         if matches!(rec.sender, SenderRef::Done) {
             return Ok(());
         }
-        let arrival = d_posted.max(rec.d_msg);
-        let candidate = arrival + rec.ack_lambda;
+        let arrival = B::max(d_posted, rec.d_msg);
+        let candidate = B::add(arrival, rec.ack_lambda);
         let edges = AckEdges::two(
-            (recv_end_node, rec.ack_lambda),
-            (rec.src_node, rec.d_msg - rec.d_src + rec.ack_lambda),
+            (recv_end_node, B::lane0(rec.ack_lambda)),
+            (
+                rec.src_node,
+                B::lane0(rec.d_msg) - B::lane0(rec.d_src) + B::lane0(rec.ack_lambda),
+            ),
         );
         self.resolve_ack(rec.sender, candidate, edges)
     }
@@ -1213,8 +1443,8 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
         r: Rank,
         ev: &EventRecord,
         reqs: &[ReqId],
-        d0: Drift,
-        floor: Drift,
+        d0: B::Val,
+        floor: B::Val,
     ) -> Result<bool, ReplayError> {
         let ri = r as usize;
         // Phase 1: all requests resolved?
@@ -1237,20 +1467,20 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
         // allocate and stays empty otherwise.
         let record = self.graph.is_some();
         let wait_end = NodeId::end(r, ev.seq);
-        let mut msg_arm_max: Option<Drift> = None;
+        let mut msg_arm_max: Option<B::Val> = None;
         let mut edges = Vec::new();
         for req in reqs {
             match self.cursors[ri].reqs.remove(*req).expect("checked above") {
                 ReqState::RecvReady(rec) => {
                     let cand = self.msg_candidate(&rec, ev.t_end);
-                    msg_arm_max = Some(msg_arm_max.map_or(cand, |m| m.max(cand)));
+                    msg_arm_max = Some(msg_arm_max.map_or(cand, |m| B::max(m, cand)));
                     if record {
                         edges.push(Edge {
                             src: rec.src_node,
                             dst: wait_end,
                             base: 0,
                             class: DeltaClass::MessagePath { bytes: rec.bytes },
-                            sampled: cand - rec.d_src,
+                            sampled: B::lane0(cand) - B::lane0(rec.d_src),
                             is_message: true,
                         });
                     }
@@ -1260,7 +1490,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                     edges: ack_edges,
                 } => {
                     if let Some(c) = candidate {
-                        msg_arm_max = Some(msg_arm_max.map_or(c, |m| m.max(c)));
+                        msg_arm_max = Some(msg_arm_max.map_or(c, |m| B::max(m, c)));
                         if record {
                             for &(src, sampled) in ack_edges.as_slice() {
                                 edges.push(Edge {
@@ -1279,14 +1509,14 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
             }
             self.open_reqs -= 1;
         }
-        let local_arm = if self.cfg.arrival_bound && msg_arm_max.is_some() {
+        let local_arm = if self.knobs.arrival_bound && msg_arm_max.is_some() {
             floor
         } else {
             d0
         };
         let d_end = match msg_arm_max {
-            Some(m) => local_arm.max(m).max(floor),
-            None => local_arm.max(floor),
+            Some(m) => B::max(B::max(local_arm, m), floor),
+            None => B::max(local_arm, floor),
         };
         if let Some(g) = self.graph.as_mut() {
             g.add_edge(Edge {
@@ -1302,8 +1532,8 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
             }
         }
         if let Some(m) = msg_arm_max {
-            self.note_arm(d_end, local_arm, m, floor);
-            self.account_absorption(local_arm, m);
+            self.bank.note_arm(d_end, local_arm, m, floor);
+            self.bank.account_absorption(local_arm, m);
         }
         self.complete(r, ev, d_end, None);
         Ok(true)
@@ -1318,8 +1548,8 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
         bytes: u64,
         comm_size: u32,
         bcast_root: Option<Rank>,
-        d0: Drift,
-        floor: Drift,
+        d0: B::Val,
+        floor: B::Val,
     ) -> Result<bool, ReplayError> {
         let p = self.cursors.len() as u32;
         if comm_size != p {
@@ -1397,7 +1627,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
             self.colls.clear(epoch);
         }
         self.coll_entries -= 1;
-        let d_end = hub.max(floor);
+        let d_end = B::max(hub, floor);
         if let Some(g) = self.graph.as_mut() {
             g.add_edge(Edge {
                 src: hub_node,
@@ -1408,22 +1638,22 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                 is_message: true,
             });
         }
-        self.stats.arm_wins[ArmKind::Collective as usize] += 1;
+        self.bank.note_collective_arm();
         // The hub is this rank's incoming arm: drift below it was imposed by
         // the slowest participant (propagated), drift it already had is
         // hidden behind the hub (absorbed). Same accounting as p2p arms.
-        self.account_absorption(d0, hub);
+        self.bank.account_absorption(d0, hub);
         self.complete(r, ev, d_end, None);
         Ok(true)
     }
 
     /// Computes the hub drift for a filled collective slot (Fig. 4):
     /// `hub = max_i(D(enter_i) + lδ_i)`.
-    fn resolve_collective(&mut self, epoch: u64, mut slot: CollSlot) {
+    fn resolve_collective(&mut self, epoch: u64, mut slot: CollSlot<B::Val>) {
         slot.entries.sort_unstable_by_key(|e| e.rank);
         self.stats.collectives += 1;
         let record = self.graph.is_some();
-        let mut hub = Drift::MIN;
+        let mut hub = B::splat(Drift::MIN);
         let hub_anchor = slot.entries.first().expect("non-empty slot");
         let hub_node = NodeId::hub(hub_anchor.rank, hub_anchor.start_node.seq);
         let mut edges = Vec::new();
@@ -1432,15 +1662,15 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                 Some(root) if e.rank != root => 0,
                 _ => slot.rounds,
             };
-            let l_delta = self.sampler.sample(
+            let l_delta = self.bank.sample(
                 e.rank,
                 DeltaClass::CollectiveRounds {
                     rounds,
                     bytes: slot.bytes,
                 },
             );
-            self.stats.injected_total += l_delta;
-            hub = hub.max(e.drift + l_delta);
+            self.bank.tally_injected(l_delta);
+            hub = B::max(hub, B::add(e.drift, l_delta));
             if record {
                 edges.push(Edge {
                     src: e.start_node,
@@ -1450,7 +1680,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
                         rounds,
                         bytes: slot.bytes,
                     },
-                    sampled: l_delta,
+                    sampled: B::lane0(l_delta),
                     is_message: true,
                 });
             }
@@ -1478,7 +1708,7 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
 
     /// Finishes an event: advances drift, emits gap edge + labels, samples
     /// the timeline, clears the cursor.
-    fn complete(&mut self, r: Rank, ev: &EventRecord, d_end: Drift, _info: Option<()>) {
+    fn complete(&mut self, r: Rank, ev: &EventRecord, d_end: B::Val, _info: Option<()>) {
         let ri = r as usize;
         if let Some(g) = self.graph.as_mut() {
             g.label(NodeId::end(r, ev.seq), ev.kind.name(), ev.t_end);
@@ -1490,13 +1720,9 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
         c.current = None;
         c.posted = false;
         c.events_done += 1;
+        let events_done = c.events_done;
         self.stats.events += 1;
-        if self.cfg.timeline_stride > 0
-            && c.events_done
-                .is_multiple_of(self.cfg.timeline_stride as u64)
-        {
-            self.timeline[ri].push((ev.t_end, d_end));
-        }
+        self.bank.sample_timeline(ri, events_done, ev.t_end, d_end);
     }
 
     fn intra_edge(&mut self, r: Rank, ev: &EventRecord, class: DeltaClass, sampled: Drift) {
@@ -1515,25 +1741,6 @@ impl<'a, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<'a, I> {
     fn note_window(&mut self) {
         self.matches
             .note_external(self.open_reqs + self.coll_entries);
-    }
-
-    fn note_arm(&mut self, d_end: Drift, local: Drift, msg: Drift, floor: Drift) {
-        let arm = if d_end == floor && floor > local && floor > msg {
-            ArmKind::Floor
-        } else if msg >= local {
-            ArmKind::Message
-        } else {
-            ArmKind::Local
-        };
-        self.stats.arm_wins[arm as usize] += 1;
-    }
-
-    /// §4.2 sensitivity accounting: how much incoming message drift was
-    /// hidden behind the receiver's own delay (absorbed) vs pushed its
-    /// completion later (propagated).
-    fn account_absorption(&mut self, local_arm: Drift, msg_arm: Drift) {
-        self.stats.absorbed_message_drift += msg_arm.min(local_arm).max(0);
-        self.stats.propagated_message_drift += (msg_arm - local_arm).max(0);
     }
 }
 

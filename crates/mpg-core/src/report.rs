@@ -56,6 +56,14 @@ pub struct ReplayStats {
     /// one is a poll the old round-robin engine would have wasted on that
     /// rank. A direct measure of what the wakeup queue saves.
     pub polls_avoided: u64,
+    /// Number of drift lanes that shared the traversal producing this
+    /// report: 1 for a scalar replay, the batch width for a lane-batched
+    /// sweep replay ([`lane_replays`](crate::lane::lane_replays)).
+    pub lanes: u32,
+    /// Graph traversals this report's batch avoided (`lanes − 1`): every
+    /// lane beyond the first rode the same matching/scheduling pass instead
+    /// of paying for its own.
+    pub traversals_saved: u64,
 }
 
 /// Outcome of one replay.

@@ -8,6 +8,13 @@
 //! are resolved by the run itself), so replay matching reduces to per
 //! `(src, dst)` channel FIFOs with tag-selective scans — the same
 //! non-overtaking discipline MPI guarantees and the simulator implements.
+//!
+//! Matching consults **only** ranks, tags and queue order — never drift
+//! values — which is what lets the lane-batched engine evaluate K
+//! perturbation configs over one traversal: the state here is generic over
+//! the drift payload `V` (a scalar [`Drift`] for single replays, a
+//! [`MAX_LANES`](crate::lane::MAX_LANES)-wide lane vector for sweeps) and
+//! every decision is identical for every lane by construction.
 
 use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
@@ -44,7 +51,7 @@ impl Hasher for ChannelHasher {
     }
 }
 
-type ChannelMap = HashMap<(Rank, Rank), Channel, BuildHasherDefault<ChannelHasher>>;
+type ChannelMap<V> = HashMap<(Rank, Rank), Channel<V>, BuildHasherDefault<ChannelHasher>>;
 
 /// Who completes the send side of a message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,19 +75,21 @@ pub enum SenderRef {
 }
 
 /// One message offered by a processed send event, waiting for its receive.
+/// Generic over the drift payload: `Drift` for scalar replays, a lane
+/// vector for batched sweeps.
 #[derive(Debug, Clone)]
-pub struct SendRecord {
+pub struct SendRecord<V = Drift> {
     /// Message tag.
     pub tag: Tag,
     /// Payload size.
     pub bytes: u64,
     /// Drift of the send's start subevent, `D(send_start)`.
-    pub d_src: Drift,
+    pub d_src: V,
     /// Drift candidate carried by the forward message path:
     /// `D(send_start) + δ_λ1 + δ_t(d) + δ_os2` (already sampled).
-    pub d_msg: Drift,
+    pub d_msg: V,
     /// Pre-sampled acknowledgement latency `δ_λ2`.
-    pub ack_lambda: Drift,
+    pub ack_lambda: V,
     /// How the sender completes.
     pub sender: SenderRef,
     /// The send's start subevent (graph recording).
@@ -92,7 +101,7 @@ pub struct SendRecord {
 
 /// A receive posted before its message record arrived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PendingRecv {
+pub struct PendingRecv<V = Drift> {
     /// Matched tag (exact — resolved by the original run).
     pub tag: Tag,
     /// The irecv request this will resolve (pending receives are only
@@ -103,15 +112,26 @@ pub struct PendingRecv {
     pub rank: Rank,
     /// Drift of the irecv's end subevent (the receive-side arrival anchor
     /// for acknowledgements).
-    pub d_posted: Drift,
+    pub d_posted: V,
     /// The irecv's end subevent (graph recording).
     pub end_node: NodeId,
 }
 
-#[derive(Debug, Default, Clone)]
-struct Channel {
-    sends: VecDeque<SendRecord>,
-    pending_recvs: VecDeque<PendingRecv>,
+#[derive(Debug, Clone)]
+struct Channel<V> {
+    sends: VecDeque<SendRecord<V>>,
+    pending_recvs: VecDeque<PendingRecv<V>>,
+}
+
+// Hand-written so `Channel<V>: Default` holds without a `V: Default` bound
+// (the deques start empty either way).
+impl<V> Default for Channel<V> {
+    fn default() -> Self {
+        Self {
+            sends: VecDeque::new(),
+            pending_recvs: VecDeque::new(),
+        }
+    }
 }
 
 /// Rank counts up to this size get a dense `p × p` channel table (≤ 256 KiB
@@ -119,21 +139,33 @@ struct Channel {
 const MAX_DENSE_RANKS: usize = 64;
 
 /// All cross-rank matching state, with window accounting.
-#[derive(Debug, Default)]
-pub struct MatchState {
+#[derive(Debug)]
+pub struct MatchState<V = Drift> {
     /// Rank count covered by `dense`; 0 when running hash-only.
     ranks: usize,
     /// Dense `src * ranks + dst` channel table for small rank counts.
-    dense: Vec<Channel>,
+    dense: Vec<Channel<V>>,
     /// Fallback for large rank counts and for out-of-range ranks named by
     /// corrupt traces (which must keep the old map semantics: queued, never
     /// matched, reported as unmatched at the end).
-    sparse: ChannelMap,
+    sparse: ChannelMap<V>,
     retained: usize,
     high_water: usize,
 }
 
-impl MatchState {
+impl<V> Default for MatchState<V> {
+    fn default() -> Self {
+        Self {
+            ranks: 0,
+            dense: Vec::new(),
+            sparse: ChannelMap::default(),
+            retained: 0,
+            high_water: 0,
+        }
+    }
+}
+
+impl<V> MatchState<V> {
     /// Creates empty, hash-only state (no dense table).
     pub fn new() -> Self {
         Self::default()
@@ -145,7 +177,7 @@ impl MatchState {
         let mut s = Self::default();
         if ranks <= MAX_DENSE_RANKS {
             s.ranks = ranks;
-            s.dense = vec![Channel::default(); ranks * ranks];
+            s.dense = (0..ranks * ranks).map(|_| Channel::default()).collect();
         }
         s
     }
@@ -160,7 +192,7 @@ impl MatchState {
     }
 
     /// The channel for `(src, dst)`, creating it if absent.
-    fn channel_mut(&mut self, src: Rank, dst: Rank) -> &mut Channel {
+    fn channel_mut(&mut self, src: Rank, dst: Rank) -> &mut Channel<V> {
         match self.dense_index(src, dst) {
             Some(i) => &mut self.dense[i],
             None => self.sparse.entry((src, dst)).or_default(),
@@ -168,7 +200,7 @@ impl MatchState {
     }
 
     /// The channel for `(src, dst)` if it exists (never allocates).
-    fn channel_lookup_mut(&mut self, src: Rank, dst: Rank) -> Option<&mut Channel> {
+    fn channel_lookup_mut(&mut self, src: Rank, dst: Rank) -> Option<&mut Channel<V>> {
         match self.dense_index(src, dst) {
             Some(i) => Some(&mut self.dense[i]),
             None => self.sparse.get_mut(&(src, dst)),
@@ -203,8 +235,8 @@ impl MatchState {
         &mut self,
         src: Rank,
         dst: Rank,
-        rec: SendRecord,
-    ) -> Option<(PendingRecv, SendRecord)> {
+        rec: SendRecord<V>,
+    ) -> Option<(PendingRecv<V>, SendRecord<V>)> {
         let ch = self.channel_mut(src, dst);
         if let Some(i) = ch.pending_recvs.iter().position(|p| p.tag == rec.tag) {
             let pr = ch.pending_recvs.remove(i).unwrap();
@@ -217,7 +249,7 @@ impl MatchState {
     }
 
     /// Takes the earliest queued send with `tag` on `(src, dst)`, if any.
-    pub fn take_send(&mut self, src: Rank, dst: Rank, tag: Tag) -> Option<SendRecord> {
+    pub fn take_send(&mut self, src: Rank, dst: Rank, tag: Tag) -> Option<SendRecord<V>> {
         let ch = self.channel_lookup_mut(src, dst)?;
         let i = ch.sends.iter().position(|s| s.tag == tag)?;
         let rec = ch.sends.remove(i).unwrap();
@@ -228,12 +260,12 @@ impl MatchState {
     /// Queues a nonblocking receive that found no send record yet. Must be
     /// called in post order per channel so later sends resolve receives in
     /// MPI order.
-    pub fn queue_pending_recv(&mut self, src: Rank, dst: Rank, pr: PendingRecv) {
+    pub fn queue_pending_recv(&mut self, src: Rank, dst: Rank, pr: PendingRecv<V>) {
         self.channel_mut(src, dst).pending_recvs.push_back(pr);
         self.bump(1);
     }
 
-    fn channels(&self) -> impl Iterator<Item = &Channel> {
+    fn channels(&self) -> impl Iterator<Item = &Channel<V>> {
         self.dense.iter().chain(self.sparse.values())
     }
 

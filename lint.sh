@@ -14,8 +14,9 @@ cargo fmt --all -- --check
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-# Replay-throughput regression gate: re-measure the pinned workloads and
-# fail if any falls >20% below the tracked BENCH_replay.json numbers.
+# Replay-throughput regression gate: re-measure the pinned workloads plus
+# the lane-batched sweep (configs/sec, lanes vs threads-only) and fail if
+# any falls >20% below the tracked BENCH_replay.json numbers.
 # Best-of-9 so transient machine load doesn't masquerade as a regression.
 if [ -f BENCH_replay.json ]; then
     echo "==> mpgtool bench --check BENCH_replay.json --threshold 20"
