@@ -13,20 +13,34 @@
 //!     Structural validation (§4.3 preconditions), reported as MPG-* rule
 //!     diagnostics.
 //!
-//! mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]...
+//! mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage]
 //!     Static defect analysis: match resolution, deadlock cycles, graph
 //!     causality, wildcard races, collective consistency. Advisory
 //!     (info-severity) findings are hidden unless --all is given; --deny
-//!     escalates a rule to error severity. Exit code contract: 0 when no
-//!     error-severity diagnostic fired, 1 when at least one did, 2 on
-//!     usage or I/O errors.
+//!     escalates a rule to error severity. With --salvage, read the trace
+//!     through the salvage path and merge MPG-TRUNCATED-TRACE /
+//!     MPG-MISSING-RANK findings (deny those codes to reject salvaged
+//!     input). Exit code contract: 0 when no error-severity diagnostic
+//!     fired, 1 when at least one did, 2 on usage or I/O errors.
+//!
+//! mpgtool fsck <trace-dir> [--json] [--inject KIND [--seed S] [--out DIR]]
+//!     Integrity-check a trace directory against the MPG2 framing: per-frame
+//!     CRCs, sealed footers, missing rank files. Exit 0 when every rank is
+//!     clean, 1 when damage was found but records were salvaged, 2 when the
+//!     directory is unrecoverable. With --inject, first copy the trace to
+//!     DIR (default `<trace-dir>-injected`), apply one deterministic fault
+//!     (truncate, bitflip, frame-drop, frame-dup, frame-swap, splice,
+//!     delete-rank), then fsck the damaged copy — the self-test harness.
 //!
 //! mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES]
 //!                [--per-byte CPB] [--seed S] [--history FILE] [--lint]
+//!                [--salvage]
 //!     Replay under an injected-perturbation model; print per-rank drifts.
 //!     With --history, append the result to an analysis-history log (§7).
 //!     With --lint, refuse to replay a trace that has error-severity lint
-//!     diagnostics.
+//!     diagnostics. With --salvage, accept a damaged/partial trace: read it
+//!     through the salvage path and replay crash-tolerantly to the crash
+//!     frontier, printing the degradation report.
 //!
 //! mpgtool dot <trace-dir>
 //!     Print the message-passing graph as Graphviz DOT (Fig. 5).
@@ -62,8 +76,9 @@ use mpg_core::{dot, PerturbationModel, ReplayConfig, Replayer};
 use mpg_noise::{Dist, PlatformSignature};
 use mpg_sim::Simulation;
 use mpg_trace::{
-    sort_diagnostics, text_to_trace, trace_stats, trace_to_text, validate_trace,
-    validate_trace_diagnostics, Diagnostic, FileTraceSet, Rule, Severity,
+    inject_dir, sort_diagnostics, text_to_trace, trace_stats, trace_to_text, validate_trace,
+    validate_trace_diagnostics, Diagnostic, FaultKind, FileTraceSet, Rule, SalvageReport, Severity,
+    TraceError,
 };
 
 fn fail(msg: &str) -> ExitCode {
@@ -80,10 +95,11 @@ fn usage() -> ExitCode {
     );
     eprintln!("  mpgtool stats <trace-dir>");
     eprintln!("  mpgtool validate <trace-dir> [--json]");
-    eprintln!("  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]...");
+    eprintln!("  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage]");
+    eprintln!("  mpgtool fsck <trace-dir> [--json] [--inject KIND [--seed S] [--out DIR]]");
     eprintln!(
         "  mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES] [--per-byte CPB] \
-         [--seed S] [--history FILE] [--lint]"
+         [--seed S] [--history FILE] [--lint] [--salvage]"
     );
     eprintln!("  mpgtool dot <trace-dir>");
     eprintln!("  mpgtool export <trace-dir>");
@@ -168,8 +184,23 @@ fn workload_by_name(name: &str) -> Option<Box<dyn Workload>> {
 }
 
 fn open_trace(dir: &str) -> Result<mpg_trace::MemTrace, String> {
-    let set = FileTraceSet::open(Path::new(dir)).map_err(|e| e.to_string())?;
-    set.load().map_err(|e| e.to_string())
+    let open_err = |e: TraceError| match &e {
+        // Strict-read failures that the salvage path can usually work
+        // around: point the user at fsck. (MissingRanks' own Display
+        // already carries the suggestion.)
+        TraceError::Checksum(_) | TraceError::Unsealed(_) | TraceError::Corrupt(_) => {
+            format!("{e} — try `mpgtool fsck {dir}`")
+        }
+        _ => e.to_string(),
+    };
+    let set = FileTraceSet::open(Path::new(dir)).map_err(open_err)?;
+    set.load().map_err(open_err)
+}
+
+/// Loads a trace through the salvage path, failing only on unrecoverable
+/// directories. Prints nothing; callers decide how to surface the report.
+fn open_salvage(dir: &str) -> Result<(mpg_trace::MemTrace, SalvageReport), String> {
+    FileTraceSet::load_salvage(Path::new(dir)).map_err(|e| format!("unrecoverable trace: {e}"))
 }
 
 fn cmd_demo(mut args: Vec<String>) -> ExitCode {
@@ -221,31 +252,40 @@ fn cmd_validate(mut args: Vec<String>) -> ExitCode {
     let [dir] = args.as_slice() else {
         return fail("validate needs a trace directory");
     };
-    match open_trace(dir) {
-        Ok(trace) => {
-            let mut diags = validate_trace_diagnostics(&trace);
-            sort_diagnostics(&mut diags);
-            let shown: Vec<&Diagnostic> = diags.iter().collect();
-            if json {
-                println!("{}", diags_to_json(&shown));
-            } else if diags.is_empty() {
-                println!(
-                    "ok: {} events across {} ranks",
-                    trace.total_events(),
-                    trace.num_ranks()
-                );
-            } else {
-                for d in &shown {
-                    println!("{d}");
-                }
-            }
-            if diags.is_empty() {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            }
+    // Strict read first; when it fails, fall back to the salvage path so
+    // validate can still report *which* rank files are missing, short, or
+    // corrupt (as MPG-MISSING-RANK / MPG-TRUNCATED-TRACE diagnostics)
+    // instead of dying on the first bad byte.
+    let (trace, salvage) = match open_trace(dir) {
+        Ok(trace) => (trace, None),
+        Err(strict_err) => match open_salvage(dir) {
+            Ok((trace, report)) => (trace, Some(report)),
+            Err(_) => return fail(&strict_err),
+        },
+    };
+    let mut diags = validate_trace_diagnostics(&trace);
+    if let Some(report) = &salvage {
+        diags.extend(report.diagnostics());
+    }
+    sort_diagnostics(&mut diags);
+    let shown: Vec<&Diagnostic> = diags.iter().collect();
+    if json {
+        println!("{}", diags_to_json(&shown));
+    } else if diags.is_empty() {
+        println!(
+            "ok: {} events across {} ranks",
+            trace.total_events(),
+            trace.num_ranks()
+        );
+    } else {
+        for d in &shown {
+            println!("{d}");
         }
-        Err(e) => fail(&e),
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -256,6 +296,7 @@ fn cmd_validate(mut args: Vec<String>) -> ExitCode {
 fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     let json = take_switch(&mut args, "--json");
     let all = take_switch(&mut args, "--all");
+    let salvage = take_switch(&mut args, "--salvage");
     let mut deny: Vec<Rule> = Vec::new();
     while let Some(code) = take_flag(&mut args, "--deny") {
         match Rule::from_code(&code) {
@@ -266,11 +307,23 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     let [dir] = args.as_slice() else {
         return fail("lint needs a trace directory");
     };
-    let trace = match open_trace(dir) {
-        Ok(t) => t,
-        Err(e) => return fail(&e),
+    let (trace, mut diags) = if salvage {
+        match open_salvage(dir) {
+            Ok((t, report)) => {
+                let d = mpg_lint::lint_salvaged(&t, &report);
+                (t, d)
+            }
+            Err(e) => return fail(&e),
+        }
+    } else {
+        match open_trace(dir) {
+            Ok(t) => {
+                let d = mpg_lint::lint_full(&t);
+                (t, d)
+            }
+            Err(e) => return fail(&e),
+        }
     };
-    let mut diags = mpg_lint::lint_full(&trace);
     for d in &mut diags {
         if deny.contains(&d.rule) {
             d.severity = Severity::Error;
@@ -327,12 +380,31 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         .unwrap_or(0);
     let history = take_flag(&mut args, "--history");
     let lint = take_switch(&mut args, "--lint");
+    let salvage = take_switch(&mut args, "--salvage");
+    if lint && salvage {
+        // A salvaged partial trace cannot pass the completed-run lint gate
+        // (missing finalizes, unmatched tails) — the combination would
+        // always refuse to replay.
+        return fail("--lint and --salvage are mutually exclusive");
+    }
     let [dir] = args.as_slice() else {
         return fail("replay needs a trace directory");
     };
-    let trace = match open_trace(dir) {
-        Ok(t) => t,
-        Err(e) => return fail(&e),
+    let trace = if salvage {
+        match open_salvage(dir) {
+            Ok((t, report)) => {
+                if !report.is_clean() {
+                    println!("salvage: {report}");
+                }
+                t
+            }
+            Err(e) => return fail(&e),
+        }
+    } else {
+        match open_trace(dir) {
+            Ok(t) => t,
+            Err(e) => return fail(&e),
+        }
     };
 
     let mut model = PerturbationModel::quiet("mpgtool");
@@ -345,7 +417,7 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     model.per_byte = per_byte;
     model.name = format!("os={os_mean} latency={latency} per_byte={per_byte}");
 
-    let mut cfg = ReplayConfig::new(model).seed(seed);
+    let mut cfg = ReplayConfig::new(model).seed(seed).crash_tolerant(salvage);
     if lint {
         cfg = cfg.gate(mpg_lint::replay_gate());
     }
@@ -392,6 +464,21 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     for w in &report.warnings {
         println!("warning: {w}");
     }
+    if let Some(deg) = &report.degradation {
+        println!("degradation: {}", deg.summary());
+        for f in &deg.frontiers {
+            let at = match &f.stuck_at {
+                Some((seq, kind)) => format!("stuck at seq {seq} ({kind})"),
+                None => "stream ended (crash point)".to_string(),
+            };
+            println!(
+                "  rank {:>4}: {} events completed, {at}{}",
+                f.rank,
+                f.events_completed,
+                if f.finalized { "" } else { ", no finalize" }
+            );
+        }
+    }
     if let Some(hist) = history {
         let store = HistoryStore::at(Path::new(&hist));
         let rec = record_from_report(dir, seed, &report, "mpgtool replay");
@@ -402,6 +489,81 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         println!("history: appended to {hist} ({n} record(s) for this trace)");
     }
     ExitCode::SUCCESS
+}
+
+/// Copies the flat trace directory `src` into `dst` (created fresh).
+fn copy_trace_dir(src: &Path, dst: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dst)?;
+    for entry in std::fs::read_dir(src)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name()))?;
+        }
+    }
+    Ok(())
+}
+
+/// `mpgtool fsck`: integrity-check (and optionally fault-inject) a trace
+/// directory.
+///
+/// Exit code contract: 0 clean, 1 damaged-but-salvaged, 2 unrecoverable
+/// (or usage/I/O error). Scripts rely on this — see `lint.sh`.
+fn cmd_fsck(mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
+    let inject = take_flag(&mut args, "--inject");
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let out = take_flag(&mut args, "--out");
+    let [dir] = args.as_slice() else {
+        return fail("fsck needs a trace directory");
+    };
+    let mut target = PathBuf::from(dir);
+    if let Some(kind_name) = inject {
+        let Some(kind) = FaultKind::from_name(&kind_name) else {
+            let names: Vec<&str> = FaultKind::ALL.iter().map(|k| k.name()).collect();
+            return fail(&format!(
+                "unknown fault kind '{kind_name}' (one of: {})",
+                names.join(", ")
+            ));
+        };
+        let dst = out.map_or_else(|| PathBuf::from(format!("{dir}-injected")), PathBuf::from);
+        if let Err(e) = copy_trace_dir(&target, &dst) {
+            return fail(&format!("copying {dir} -> {}: {e}", dst.display()));
+        }
+        match inject_dir(&dst, kind, seed) {
+            Ok(plan) => eprintln!(
+                "fsck: injected into {}: {} (rank {})",
+                dst.display(),
+                plan.description,
+                plan.rank
+            ),
+            Err(e) => return fail(&format!("injecting fault: {e}")),
+        }
+        target = dst;
+    }
+    match FileTraceSet::load_salvage(&target) {
+        Ok((_, report)) => {
+            let status = report.status();
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
+            ExitCode::from(status.exit_code() as u8)
+        }
+        Err(e) => {
+            if json {
+                println!(
+                    "{{\"status\":\"unrecoverable\",\"error\":\"{}\"}}",
+                    e.to_string().replace('\\', "\\\\").replace('"', "\\\"")
+                );
+            } else {
+                eprintln!("mpgtool: unrecoverable trace: {e}");
+            }
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn cmd_dot(args: Vec<String>) -> ExitCode {
@@ -602,6 +764,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(args),
         "validate" => cmd_validate(args),
         "lint" => cmd_lint(args),
+        "fsck" => cmd_fsck(args),
         "replay" => cmd_replay(args),
         "dot" => cmd_dot(args),
         "export" => cmd_export(args),

@@ -55,7 +55,12 @@ pub struct LaneBatch {
 /// True when two configs agree on every traversal-shaping knob and may
 /// share a lane batch.
 fn same_structure(a: &ReplayConfig, b: &ReplayConfig) -> bool {
-    a.ack_arm == b.ack_arm && a.arrival_bound == b.arrival_bound && a.absorption == b.absorption
+    a.ack_arm == b.ack_arm
+        && a.arrival_bound == b.arrival_bound
+        && a.absorption == b.absorption
+        // Crash tolerance changes what a drained-but-stuck matching means
+        // (crash frontier vs. batch-wide error), so lanes must agree on it.
+        && a.crash_tolerant == b.crash_tolerant
 }
 
 /// Groups configs into lane batches: structurally compatible configs pack
@@ -316,6 +321,7 @@ impl DriftBank for VecBank {
                 stats,
                 timeline: std::mem::take(&mut self.timelines[lane]),
                 graph: None,
+                degradation: None,
             });
         }
         reports
@@ -413,6 +419,21 @@ mod tests {
             members,
             vec![vec![0, 2], vec![1, 5], vec![3], vec![4], vec![6]]
         );
+    }
+
+    #[test]
+    fn plan_splits_on_crash_tolerance() {
+        // A crash-tolerant config must not share a traversal with a strict
+        // one: on a partial trace the lanes would diverge error-vs-success.
+        let m = PerturbationModel::quiet("q");
+        let configs = vec![
+            ReplayConfig::new(m.clone()),
+            ReplayConfig::new(m.clone()).crash_tolerant(true),
+            ReplayConfig::new(m.clone()).seed(1).crash_tolerant(true),
+        ];
+        let plan = plan_lanes(&configs);
+        let members: Vec<Vec<usize>> = plan.into_iter().map(|b| b.members).collect();
+        assert_eq!(members, vec![vec![0], vec![1, 2]]);
     }
 
     #[test]

@@ -78,7 +78,9 @@ pub use lane::{lane_replays, plan_lanes, replay_batch, LaneBatch, MAX_LANES};
 pub use perturb::{DeltaClass, PerturbationModel, SignedDist};
 pub use regions::{classify_regions, region_shares, Region, RegionKind};
 pub use replay::{AbsorptionMode, ReplayConfig, Replayer, SlackEstimate, TraceGate};
-pub use report::{ArmKind, ReplayError, ReplayReport, ReplayStats};
+pub use report::{
+    ArmKind, DegradationReport, RankFrontier, ReplayError, ReplayReport, ReplayStats,
+};
 pub use timeline::{phases, render_phases, Phase, PhaseKind};
 
 /// Cycle-denominated time (same unit across the workspace).

@@ -35,7 +35,9 @@ use std::collections::VecDeque;
 
 use crate::graph::{Edge, EventGraph, NodeId};
 use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel};
-use crate::report::{ArmKind, ReplayError, ReplayReport, ReplayStats};
+use crate::report::{
+    ArmKind, DegradationReport, RankFrontier, ReplayError, ReplayReport, ReplayStats,
+};
 use crate::stream::{MatchState, PendingRecv, SendRecord, SenderRef};
 use std::sync::Arc;
 
@@ -134,6 +136,13 @@ pub struct ReplayConfig {
     /// Applies only to in-memory traces (streamed replays cannot be
     /// pre-scanned without buffering).
     pub gate: Option<TraceGate>,
+    /// Accept partial rank streams (salvaged traces): when matching drains
+    /// with ranks still blocked — their partners are in a lost tail — the
+    /// replay stops at the crash frontier and reports per-rank degradation
+    /// instead of failing with the no-progress diagnostic. Ranks whose
+    /// stream ends before `Finalize` get a synthesized crash-exit at their
+    /// last valid record. Default `false` (a stuck matching is an error).
+    pub crash_tolerant: bool,
 }
 
 impl ReplayConfig {
@@ -149,6 +158,7 @@ impl ReplayConfig {
             timeline_stride: 0,
             arrival_bound: false,
             gate: None,
+            crash_tolerant: false,
         }
     }
 
@@ -191,6 +201,12 @@ impl ReplayConfig {
     /// Installs a pre-replay admission gate.
     pub fn gate(mut self, gate: TraceGate) -> Self {
         self.gate = Some(gate);
+        self
+    }
+
+    /// Enables crash-tolerant replay of partial (salvaged) traces.
+    pub fn crash_tolerant(mut self, on: bool) -> Self {
+        self.crash_tolerant = on;
         self
     }
 }
@@ -264,6 +280,7 @@ pub(crate) struct EngineKnobs {
     pub(crate) ack_arm: bool,
     pub(crate) arrival_bound: bool,
     pub(crate) record_graph: bool,
+    pub(crate) crash_tolerant: bool,
 }
 
 impl EngineKnobs {
@@ -273,6 +290,7 @@ impl EngineKnobs {
             ack_arm: cfg.ack_arm,
             arrival_bound: cfg.arrival_bound,
             record_graph: cfg.record_graph,
+            crash_tolerant: cfg.crash_tolerant,
         }
     }
 }
@@ -449,6 +467,7 @@ impl DriftBank for ScalarBank {
             stats: shared,
             timeline: self.timeline,
             graph,
+            degradation: None,
         }]
     }
 }
@@ -725,6 +744,10 @@ struct Cursor<I, V> {
     /// Scheduler turn count when this rank went to sleep (blocked); used
     /// for the polls-avoided estimate.
     slept_at: Option<u64>,
+    /// Whether this rank completed its `Finalize` event; a rank ending
+    /// without one crashed (or its tail was lost), which crash-tolerant
+    /// replay reports as a frontier.
+    finalized: bool,
 }
 
 /// Sentinel for "no rank is currently draining".
@@ -840,6 +863,7 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
                     pending_ack: None,
                     events_done: 0,
                     slept_at: None,
+                    finalized: false,
                 })
                 .collect(),
             colls: CollTable::default(),
@@ -887,7 +911,7 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         // fire again, so the remaining ranks are deadlocked (the polling
         // engine's no-progress diagnostic, reached without O(p·events)
         // polling).
-        if self.cursors.iter().any(|c| !c.done) {
+        if self.cursors.iter().any(|c| !c.done) && !self.knobs.crash_tolerant {
             let stuck: Vec<String> = self
                 .cursors
                 .iter()
@@ -903,7 +927,65 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
                 stuck.join("; ")
             )));
         }
-        self.finish()
+        // Crash-tolerant mode: a drained queue with blocked or unfinalized
+        // ranks is the crash frontier, not an error. Each such rank keeps
+        // the drift of its last completed record (the synthesized
+        // crash-exit); the lost tail is accounted in the degradation
+        // report attached to every lane's report.
+        let degradation = self
+            .knobs
+            .crash_tolerant
+            .then(|| self.degradation())
+            .filter(|d| !d.frontiers.is_empty());
+        if let Some(d) = &degradation {
+            self.warnings.push(format!(
+                "partial trace: replay stopped at the crash frontier; {}",
+                d.summary()
+            ));
+        }
+        let mut reports = self.finish()?;
+        if degradation.is_some() {
+            for rep in &mut reports {
+                rep.degradation = degradation.clone();
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Crash-frontier accounting over the engine's terminal state: one
+    /// frontier per rank that is still blocked or never reached `Finalize`.
+    fn degradation(&self) -> DegradationReport {
+        let frontiers: Vec<RankFrontier> = self
+            .cursors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.current.is_some() || !c.finalized)
+            .map(|(r, c)| RankFrontier {
+                rank: r as u32,
+                events_completed: c.events_done,
+                stuck_at: c
+                    .current
+                    .as_ref()
+                    .map(|e| (e.seq, e.kind.name().to_string())),
+                finalized: c.finalized,
+            })
+            .collect();
+        // The matcher holds dangling *queued* state (sends nobody took,
+        // posted irecvs); a blocked blocking Send/Recv lives only in its
+        // cursor, so count those too.
+        let blocked = |want: &str| {
+            self.cursors
+                .iter()
+                .filter(|c| matches!(&c.current, Some(e) if e.kind.name() == want))
+                .count()
+        };
+        DegradationReport {
+            ranks_stuck: frontiers.iter().filter(|f| f.stuck_at.is_some()).count(),
+            unmatched_sends: self.matches.unmatched_sends() + blocked("send"),
+            unmatched_recvs: self.matches.unmatched_recvs() + blocked("recv"),
+            open_requests: self.cursors.iter().map(|c| c.reqs.len()).sum(),
+            frontiers,
+        }
     }
 
     /// Enqueues `r` for another scheduling turn. Called exactly when one
@@ -1720,6 +1802,9 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         c.current = None;
         c.posted = false;
         c.events_done += 1;
+        if matches!(ev.kind, EventKind::Finalize) {
+            c.finalized = true;
+        }
         let events_done = c.events_done;
         self.stats.events += 1;
         self.bank.sample_timeline(ri, events_done, ev.t_end, d_end);
@@ -2131,6 +2216,126 @@ mod tests {
         assert!(tl.len() >= 9, "{}", tl.len());
         // Drift grows monotonically for pure local noise.
         assert!(tl.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    /// A partial trace: rank 0 blocks on a receive whose matching send is
+    /// in rank 1's lost tail (rank 1's stream stops after `Init`).
+    fn truncated_trace() -> MemTrace {
+        use mpg_trace::EventKind;
+        let mut mt = MemTrace::new(2);
+        for r in 0..2u32 {
+            mt.push(EventRecord {
+                rank: r,
+                seq: 0,
+                t_start: 0,
+                t_end: 10,
+                kind: EventKind::Init,
+            });
+        }
+        mt.push(EventRecord {
+            rank: 0,
+            seq: 1,
+            t_start: 10,
+            t_end: 20,
+            kind: EventKind::Recv {
+                peer: 1,
+                tag: 0,
+                bytes: 8,
+                posted_any: false,
+            },
+        });
+        mt
+    }
+
+    #[test]
+    fn truncated_trace_errors_by_default() {
+        let err = Replayer::new(ReplayConfig::new(PerturbationModel::quiet("m")))
+            .run(&truncated_trace())
+            .unwrap_err();
+        assert!(
+            matches!(&err, ReplayError::Corrupt(m) if m.contains("no progress")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn crash_tolerant_replay_stops_at_frontier() {
+        let report =
+            Replayer::new(ReplayConfig::new(PerturbationModel::quiet("m")).crash_tolerant(true))
+                .run(&truncated_trace())
+                .unwrap();
+        let deg = report.degradation.as_ref().expect("degradation report");
+        // Both ranks are incomplete: 0 is stuck on the lost send, 1 never
+        // reached Finalize (the crash point).
+        assert_eq!(deg.frontiers.len(), 2);
+        assert_eq!(deg.ranks_stuck, 1);
+        assert_eq!(deg.unmatched_recvs, 1);
+        let f0 = deg.frontiers.iter().find(|f| f.rank == 0).unwrap();
+        let (seq, kind) = f0.stuck_at.as_ref().expect("rank 0 blocked");
+        assert_eq!(*seq, 1);
+        assert_eq!(kind, "recv");
+        assert!(!f0.finalized);
+        let f1 = deg.frontiers.iter().find(|f| f.rank == 1).unwrap();
+        assert!(f1.stuck_at.is_none(), "rank 1 simply ended early");
+        assert!(!f1.finalized);
+        assert_eq!(f1.events_completed, 1); // only Init
+        assert!(
+            report.warnings.iter().any(|w| w.contains("crash frontier")),
+            "{:?}",
+            report.warnings
+        );
+    }
+
+    #[test]
+    fn crash_tolerant_without_deadlock_still_reports_unfinalized_ranks() {
+        use mpg_trace::EventKind;
+        // Rank 1 crashes after Init, but nothing in rank 0 depends on it —
+        // matching never deadlocks, yet the degradation report must still
+        // flag the synthesized crash-exit.
+        let mut mt = MemTrace::new(2);
+        for r in 0..2u32 {
+            mt.push(EventRecord {
+                rank: r,
+                seq: 0,
+                t_start: 0,
+                t_end: 10,
+                kind: EventKind::Init,
+            });
+        }
+        mt.push(EventRecord {
+            rank: 0,
+            seq: 1,
+            t_start: 10,
+            t_end: 20,
+            kind: EventKind::Finalize,
+        });
+        let report =
+            Replayer::new(ReplayConfig::new(PerturbationModel::quiet("m")).crash_tolerant(true))
+                .run(&mt)
+                .unwrap();
+        let deg = report.degradation.as_ref().expect("degradation report");
+        assert_eq!(deg.frontiers.len(), 1);
+        assert_eq!(deg.frontiers[0].rank, 1);
+        assert_eq!(deg.ranks_stuck, 0);
+    }
+
+    #[test]
+    fn crash_tolerant_is_inert_on_complete_traces() {
+        let trace = quiet_sim(4, |ctx| {
+            ctx.compute(5_000);
+            ctx.allreduce(32);
+        });
+        let mut model = PerturbationModel::quiet("m");
+        model.os_local = Dist::Exponential { mean: 400.0 }.into();
+        let plain = Replayer::new(ReplayConfig::new(model.clone()).seed(9))
+            .run(&trace)
+            .unwrap();
+        let tolerant = Replayer::new(ReplayConfig::new(model).seed(9).crash_tolerant(true))
+            .run(&trace)
+            .unwrap();
+        assert!(tolerant.degradation.is_none());
+        assert_eq!(plain.final_drift, tolerant.final_drift);
+        assert_eq!(plain.warnings, tolerant.warnings);
     }
 
     #[test]

@@ -66,6 +66,56 @@ pub struct ReplayStats {
     pub traversals_saved: u64,
 }
 
+/// Where one rank's replay stopped when the trace could not describe a
+/// completed run (crash-tolerant mode).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFrontier {
+    /// The rank.
+    pub rank: u32,
+    /// Events this rank completed before the frontier.
+    pub events_completed: u64,
+    /// `(seq, kind)` of the event the rank was blocked on when matching
+    /// drained — its partner is in the lost tail of another rank. `None`
+    /// when the rank's stream simply ended early (the crash point itself).
+    pub stuck_at: Option<(u64, String)>,
+    /// Whether the rank reached its `Finalize` event. A `false` here is
+    /// the synthesized crash-exit: the rank's final drift is taken at its
+    /// last completed record instead of at `Finalize`.
+    pub finalized: bool,
+}
+
+/// Degradation accounting for a crash-tolerant replay of a partial trace:
+/// how far each damaged rank got and what was left dangling. Present on a
+/// [`ReplayReport`] only when the replay actually hit a crash frontier.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegradationReport {
+    /// One entry per rank that did not complete normally.
+    pub frontiers: Vec<RankFrontier>,
+    /// Ranks still blocked on a partner when matching drained.
+    pub ranks_stuck: usize,
+    /// Sends whose receive never arrived (attributable to lost tails).
+    pub unmatched_sends: usize,
+    /// Receives whose send never arrived.
+    pub unmatched_recvs: usize,
+    /// Requests still open at the frontier.
+    pub open_requests: usize,
+}
+
+impl DegradationReport {
+    /// One-line summary for CLI output.
+    pub fn summary(&self) -> String {
+        format!(
+            "crash frontier: {} rank(s) incomplete ({} stuck on lost partners), \
+             {} unmatched send(s), {} unmatched receive(s), {} open request(s)",
+            self.frontiers.len(),
+            self.ranks_stuck,
+            self.unmatched_sends,
+            self.unmatched_recvs,
+            self.open_requests
+        )
+    }
+}
+
 /// Outcome of one replay.
 #[derive(Debug, Clone)]
 pub struct ReplayReport {
@@ -89,6 +139,10 @@ pub struct ReplayReport {
     /// The recorded message-passing graph when
     /// [`record_graph`](crate::ReplayConfig::record_graph) was set.
     pub graph: Option<EventGraph>,
+    /// Crash-frontier accounting, set only when a
+    /// [`crash_tolerant`](crate::ReplayConfig::crash_tolerant) replay ran
+    /// against a partial trace. `None` means the replay completed normally.
+    pub degradation: Option<DegradationReport>,
 }
 
 impl ReplayReport {
@@ -166,6 +220,7 @@ mod tests {
             stats: ReplayStats::default(),
             timeline: vec![],
             graph: None,
+            degradation: None,
         }
     }
 

@@ -79,6 +79,19 @@ pub fn lint_full(trace: &MemTrace) -> Vec<Diagnostic> {
     diags
 }
 
+/// Lints a trace recovered by the salvage reader
+/// ([`FileTraceSet::load_salvage`](mpg_trace::FileTraceSet::load_salvage)),
+/// merging the salvage findings (`MPG-TRUNCATED-TRACE`, `MPG-MISSING-RANK`)
+/// into the static-analysis output. The salvage rules default to warning
+/// severity so a recovered trace still lints; pass them to `--deny` (or
+/// escalate them before gating) to make salvaged input a hard failure.
+pub fn lint_salvaged(trace: &MemTrace, salvage: &mpg_trace::SalvageReport) -> Vec<Diagnostic> {
+    let mut diags = salvage.diagnostics();
+    diags.extend(lint_full(trace));
+    sort_diagnostics(&mut diags);
+    diags
+}
+
 /// A [`TraceGate`] that runs [`lint_trace`]; install it with
 /// [`ReplayConfig::gate`](mpg_core::ReplayConfig::gate) to make
 /// `Replayer::run` fail with `ReplayError::Gated` on error-severity
@@ -116,6 +129,27 @@ mod tests {
         ]);
         assert!(lint_trace(&mt).is_empty());
         assert!(lint_full(&mt).is_empty());
+    }
+
+    #[test]
+    fn salvaged_lint_merges_salvage_findings() {
+        use mpg_trace::{RankSalvage, SalvageReport};
+        // A clean single-rank trace, but the salvage report says rank 1's
+        // file was missing: the lint output must carry MPG-MISSING-RANK so
+        // `--deny MPG-MISSING-RANK` can reject salvaged input.
+        let mt = one_rank_trace(vec![
+            EventKind::Init,
+            EventKind::Compute { work: 10 },
+            EventKind::Finalize,
+        ]);
+        let salvage = SalvageReport {
+            ranks: vec![RankSalvage::missing(1)],
+        };
+        let diags = lint_salvaged(&mt, &salvage);
+        assert!(
+            diags.iter().any(|d| d.rule == Rule::MissingRank),
+            "{diags:?}"
+        );
     }
 
     #[test]

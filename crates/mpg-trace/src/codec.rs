@@ -229,6 +229,20 @@ impl Decoder {
         }
     }
 
+    /// Resets per-frame state at a v2 frame boundary: the timestamp delta
+    /// base returns to 0 (each frame's first record carries an absolute
+    /// timestamp) and sequence numbering continues from the frame's
+    /// recorded `first_seq`, so frames decode independently.
+    pub fn reset_frame(&mut self, first_seq: u64) {
+        self.last_t = 0;
+        self.next_seq = first_seq;
+    }
+
+    /// Sequence number the next decoded record will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     /// Decodes one record from the front of `input`, advancing it.
     /// Returns `None` when `input` is empty.
     pub fn decode(&mut self, input: &mut &[u8]) -> Result<Option<EventRecord>, TraceError> {
@@ -239,7 +253,11 @@ impl Decoder {
         let dt_start = get_varint(input)?;
         let dur = get_varint(input)?;
         let t_start = self.last_t.wrapping_add(dt_start);
-        let t_end = t_start + dur;
+        // Untrusted input: a garbage duration must surface as a decode
+        // error, not an overflow panic.
+        let t_end = t_start
+            .checked_add(dur)
+            .ok_or_else(|| TraceError::Corrupt("timestamp overflow".into()))?;
         // State commits (last_t, next_seq) happen only after the whole record
         // decodes: a partial decode must leave the decoder reusable so the
         // streaming reader can retry once more bytes arrive.

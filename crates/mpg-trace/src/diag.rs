@@ -89,6 +89,12 @@ pub enum Rule {
     WildRace,
     /// Ranks disagree on collective op/root/participants.
     CollectiveSkew,
+    // ---- capture-integrity defects (salvage reader) ----
+    /// A rank's stream was salvaged: frames dropped, bytes skipped,
+    /// records lost, or an unsealed tail.
+    TruncatedTrace,
+    /// A rank file named by `meta.txt` is absent from the trace directory.
+    MissingRank,
 }
 
 impl Rule {
@@ -113,6 +119,8 @@ impl Rule {
         Rule::Causality,
         Rule::WildRace,
         Rule::CollectiveSkew,
+        Rule::TruncatedTrace,
+        Rule::MissingRank,
     ];
 
     /// The stable `MPG-*` code.
@@ -137,6 +145,8 @@ impl Rule {
             Rule::Causality => "MPG-CAUSALITY",
             Rule::WildRace => "MPG-WILD-RACE",
             Rule::CollectiveSkew => "MPG-COLLECTIVE-SKEW",
+            Rule::TruncatedTrace => "MPG-TRUNCATED-TRACE",
+            Rule::MissingRank => "MPG-MISSING-RANK",
         }
     }
 
@@ -150,6 +160,10 @@ impl Rule {
             // A leaked request or a byte-count mismatch degrades fidelity
             // but the graph still stitches.
             Rule::LeakedRequest | Rule::CountMismatch => Severity::Warning,
+            // Salvaged capture defects: replay to the crash frontier is
+            // still meaningful, but strict pipelines escalate these with
+            // `--deny` to reject salvaged traces outright.
+            Rule::TruncatedTrace | Rule::MissingRank => Severity::Warning,
             _ => Severity::Error,
         }
     }

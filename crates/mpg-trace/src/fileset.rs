@@ -6,12 +6,15 @@
 //! `meta.txt` in a directory and streams on read, preserving the paper's
 //! arbitrarily-large-trace property.
 
+use std::fmt;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Write as _};
 use std::path::{Path, PathBuf};
 
+use crate::diag::{json_escape_into, Diagnostic, Rule};
 use crate::event::EventRecord;
 use crate::reader::TraceReader;
+use crate::salvage::{salvage_bytes, RankSalvage};
 use crate::writer::TraceWriter;
 use crate::TraceError;
 
@@ -103,24 +106,67 @@ impl FileTraceSet {
         dir.join(format!("rank-{rank}.mpg"))
     }
 
-    /// Opens an existing trace directory, reading `meta.txt` for the rank
-    /// count.
-    pub fn open(dir: &Path) -> Result<Self, TraceError> {
+    fn read_meta(dir: &Path) -> Result<usize, TraceError> {
         let meta = fs::read_to_string(dir.join("meta.txt"))?;
-        let ranks = meta
-            .lines()
+        meta.lines()
             .find_map(|l| l.strip_prefix("ranks="))
             .and_then(|v| v.trim().parse::<usize>().ok())
-            .ok_or_else(|| TraceError::Corrupt("meta.txt missing ranks=".into()))?;
-        for r in 0..ranks {
-            if !Self::rank_path(dir, r).exists() {
-                return Err(TraceError::Corrupt(format!("missing trace for rank {r}")));
-            }
+            .ok_or_else(|| TraceError::Corrupt("meta.txt missing ranks=".into()))
+    }
+
+    /// Opens an existing trace directory, reading `meta.txt` for the rank
+    /// count. Strict: every rank file must be present; the error names
+    /// *all* missing ranks, not just the first.
+    pub fn open(dir: &Path) -> Result<Self, TraceError> {
+        let ranks = Self::read_meta(dir)?;
+        let missing: Vec<u32> = (0..ranks)
+            .filter(|&r| !Self::rank_path(dir, r).exists())
+            .map(|r| r as u32)
+            .collect();
+        if !missing.is_empty() {
+            return Err(TraceError::MissingRanks(missing));
         }
         Ok(Self {
             dir: dir.to_path_buf(),
             ranks,
         })
+    }
+
+    /// Opens a trace directory in recovery mode and salvages every rank
+    /// stream: missing files, torn frames, and corrupt bytes are reported
+    /// in the [`SalvageReport`] instead of raised. Fails only when the
+    /// directory itself is unusable (no readable `meta.txt`) — that is the
+    /// unrecoverable case.
+    pub fn load_salvage(dir: &Path) -> Result<(MemTrace, SalvageReport), TraceError> {
+        let ranks = Self::read_meta(dir)?;
+        let mut events = Vec::with_capacity(ranks);
+        let mut reports = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            match fs::read(Self::rank_path(dir, r)) {
+                Ok(bytes) => {
+                    let (recs, rep) = salvage_bytes(r as u32, &bytes);
+                    events.push(recs);
+                    reports.push(rep);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    events.push(Vec::new());
+                    reports.push(RankSalvage::missing(r as u32));
+                }
+                Err(e) => {
+                    // Present but unreadable (permissions, I/O failure):
+                    // degrade like a missing rank rather than aborting the
+                    // whole recovery.
+                    let mut rep = RankSalvage::missing(r as u32);
+                    rep.notes = vec![format!("rank file unreadable: {e}")];
+                    events.push(Vec::new());
+                    reports.push(rep);
+                }
+            }
+        }
+        Ok((
+            MemTrace::from_ranks(events),
+            SalvageReport { ranks: reports },
+        ))
     }
 
     /// Number of ranks.
@@ -151,6 +197,163 @@ impl FileTraceSet {
             events.push(self.reader(r)?.collect::<Result<Vec<_>, _>>()?);
         }
         Ok(MemTrace::from_ranks(events))
+    }
+}
+
+/// `mpgtool fsck` verdict — doubles as the subcommand's exit code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsckStatus {
+    /// Every rank stream read back without any recovery (exit 0).
+    Clean,
+    /// Damage was found but records were recovered; analysis may proceed
+    /// at degraded fidelity (exit 1).
+    Salvaged,
+    /// Nothing usable could be recovered (exit 2).
+    Unrecoverable,
+}
+
+impl FsckStatus {
+    /// Stable lower-case name for reports and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsckStatus::Clean => "clean",
+            FsckStatus::Salvaged => "salvaged",
+            FsckStatus::Unrecoverable => "unrecoverable",
+        }
+    }
+
+    /// The fsck exit-contract code: 0 clean, 1 salvaged, 2 unrecoverable.
+    pub fn exit_code(self) -> i32 {
+        match self {
+            FsckStatus::Clean => 0,
+            FsckStatus::Salvaged => 1,
+            FsckStatus::Unrecoverable => 2,
+        }
+    }
+}
+
+/// Aggregate damage report for a salvaged trace directory.
+#[derive(Debug, Clone)]
+pub struct SalvageReport {
+    /// One entry per rank named by `meta.txt`, in rank order.
+    pub ranks: Vec<RankSalvage>,
+}
+
+impl SalvageReport {
+    /// Overall verdict across all ranks.
+    pub fn status(&self) -> FsckStatus {
+        if self.ranks.iter().all(|r| r.is_clean()) {
+            return FsckStatus::Clean;
+        }
+        let recovered: u64 = self.ranks.iter().map(|r| r.records_recovered).sum();
+        let any_intact = self.ranks.iter().any(|r| r.is_clean());
+        if recovered == 0 && !any_intact {
+            FsckStatus::Unrecoverable
+        } else {
+            FsckStatus::Salvaged
+        }
+    }
+
+    /// True when no recovery was needed anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.status() == FsckStatus::Clean
+    }
+
+    /// Ranks whose files were missing or unreadable.
+    pub fn missing_ranks(&self) -> Vec<u32> {
+        self.ranks
+            .iter()
+            .filter(|r| !r.present)
+            .map(|r| r.rank)
+            .collect()
+    }
+
+    /// Total records recovered across ranks.
+    pub fn records_recovered(&self) -> u64 {
+        self.ranks.iter().map(|r| r.records_recovered).sum()
+    }
+
+    /// Total records known lost across ranks.
+    pub fn records_lost(&self) -> u64 {
+        self.ranks.iter().map(|r| r.records_lost).sum()
+    }
+
+    /// Capture-integrity diagnostics ([`Rule::TruncatedTrace`] /
+    /// [`Rule::MissingRank`]) for the lint pipeline, so `lint --deny` can
+    /// reject salvaged traces.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for r in &self.ranks {
+            if !r.present {
+                out.push(Diagnostic::new(Rule::MissingRank, r.summary()).involving([r.rank]));
+            } else if !r.is_clean() {
+                out.push(Diagnostic::new(Rule::TruncatedTrace, r.summary()).involving([r.rank]));
+            }
+        }
+        out
+    }
+
+    /// Render as one JSON object (hand-rolled; this crate is
+    /// dependency-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"status\":\"");
+        s.push_str(self.status().name());
+        s.push_str("\",\"records_recovered\":");
+        s.push_str(&self.records_recovered().to_string());
+        s.push_str(",\"records_lost\":");
+        s.push_str(&self.records_lost().to_string());
+        s.push_str(",\"ranks\":[");
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rank\":{},\"present\":{},\"file_len\":{},\"seal\":\"{}\",\
+                 \"frames_recovered\":{},\"frames_dropped\":{},\"bytes_skipped\":{},\
+                 \"records_recovered\":{},\"records_lost\":{},\"truncated_tail\":{},\"notes\":[",
+                r.rank,
+                r.present,
+                r.file_len,
+                r.seal.name(),
+                r.frames_recovered,
+                r.frames_dropped,
+                r.bytes_skipped,
+                r.records_recovered,
+                r.records_lost,
+                r.truncated_tail,
+            ));
+            for (j, note) in r.notes.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push('"');
+                json_escape_into(note, &mut s);
+                s.push('"');
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+impl fmt::Display for SalvageReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} record(s) recovered, {} lost, {} rank(s) missing",
+            self.status().name(),
+            self.records_recovered(),
+            self.records_lost(),
+            self.missing_ranks().len()
+        )?;
+        for r in &self.ranks {
+            if !r.is_clean() {
+                writeln!(f, "  {}", r.summary())?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -220,5 +423,69 @@ mod tests {
     #[test]
     fn total_events() {
         assert_eq!(sample_trace().total_events(), 6);
+    }
+
+    #[test]
+    fn open_reports_all_missing_ranks() {
+        let dir = std::env::temp_dir().join(format!("mpg-missing-{}", std::process::id()));
+        sample_trace().save(&dir).unwrap();
+        fs::remove_file(dir.join("rank-0.mpg")).unwrap();
+        fs::remove_file(dir.join("rank-1.mpg")).unwrap();
+        match FileTraceSet::open(&dir) {
+            Err(TraceError::MissingRanks(ranks)) => assert_eq!(ranks, vec![0, 1]),
+            other => panic!("expected MissingRanks, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_tolerates_missing_rank() {
+        let dir = std::env::temp_dir().join(format!("mpg-salvage-{}", std::process::id()));
+        let t = sample_trace();
+        t.save(&dir).unwrap();
+        fs::remove_file(dir.join("rank-1.mpg")).unwrap();
+        let (loaded, report) = FileTraceSet::load_salvage(&dir).unwrap();
+        assert_eq!(loaded.rank(0), t.rank(0));
+        assert!(loaded.rank(1).is_empty());
+        assert_eq!(report.status(), FsckStatus::Salvaged);
+        assert_eq!(report.missing_ranks(), vec![1]);
+        let diags = report.diagnostics();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::MissingRank);
+        assert!(report.to_json().contains("\"status\":\"salvaged\""));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_clean_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mpg-salvage-clean-{}", std::process::id()));
+        let t = sample_trace();
+        t.save(&dir).unwrap();
+        let (loaded, report) = FileTraceSet::load_salvage(&dir).unwrap();
+        assert_eq!(loaded, t);
+        assert!(report.is_clean(), "{report}");
+        assert_eq!(report.status().exit_code(), 0);
+        assert!(report.diagnostics().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_all_ranks_gone_is_unrecoverable() {
+        let dir = std::env::temp_dir().join(format!("mpg-salvage-gone-{}", std::process::id()));
+        sample_trace().save(&dir).unwrap();
+        fs::remove_file(dir.join("rank-0.mpg")).unwrap();
+        fs::remove_file(dir.join("rank-1.mpg")).unwrap();
+        let (_, report) = FileTraceSet::load_salvage(&dir).unwrap();
+        assert_eq!(report.status(), FsckStatus::Unrecoverable);
+        assert_eq!(report.status().exit_code(), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_missing_meta_fails() {
+        let dir = std::env::temp_dir().join(format!("mpg-salvage-nometa-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        assert!(FileTraceSet::load_salvage(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
     }
 }

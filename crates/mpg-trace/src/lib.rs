@@ -20,8 +20,11 @@ pub mod clock;
 pub mod codec;
 pub mod diag;
 pub mod event;
+pub mod faultgen;
 pub mod fileset;
+pub mod frame;
 pub mod reader;
+pub mod salvage;
 pub mod stats;
 pub mod text;
 pub mod validate;
@@ -30,8 +33,10 @@ pub mod writer;
 pub use clock::ClockModel;
 pub use diag::{sort_diagnostics, validate_trace_diagnostics, Diagnostic, Rule, Severity};
 pub use event::{EventKind, EventRecord, Rank, ReqId, SendProtocol, Seq, Tag, ANY_SOURCE, ANY_TAG};
-pub use fileset::{FileTraceSet, MemTrace};
+pub use faultgen::{inject_dir, mutate_bytes, FaultKind, FaultPlan};
+pub use fileset::{FileTraceSet, FsckStatus, MemTrace, SalvageReport};
 pub use reader::TraceReader;
+pub use salvage::{salvage_bytes, RankSalvage, SealStatus};
 pub use stats::{trace_stats, TraceStats};
 pub use text::{text_to_trace, trace_to_text};
 pub use validate::{validate_rank_trace, validate_trace, Violation};
@@ -48,6 +53,16 @@ pub enum TraceError {
     Io(std::io::Error),
     /// Malformed or truncated record stream.
     Corrupt(String),
+    /// A CRC32C check failed: a frame payload, the whole-file checksum, or
+    /// the footer's own checksum.
+    Checksum(String),
+    /// A v2 stream ended without a valid sealed footer — the writer most
+    /// likely crashed mid-run. The salvage reader can recover the intact
+    /// frames.
+    Unsealed(String),
+    /// A trace directory's `meta.txt` promises ranks whose files are
+    /// absent; carries every missing rank, not just the first.
+    MissingRanks(Vec<u32>),
 }
 
 impl std::fmt::Display for TraceError {
@@ -55,6 +70,16 @@ impl std::fmt::Display for TraceError {
         match self {
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceError::Corrupt(m) => write!(f, "corrupt trace: {m}"),
+            TraceError::Checksum(m) => write!(f, "trace checksum mismatch: {m}"),
+            TraceError::Unsealed(m) => write!(f, "unsealed trace: {m}"),
+            TraceError::MissingRanks(ranks) => {
+                let list: Vec<String> = ranks.iter().map(|r| r.to_string()).collect();
+                write!(
+                    f,
+                    "missing trace file(s) for rank(s) {} — run `mpgtool fsck` to salvage",
+                    list.join(", ")
+                )
+            }
         }
     }
 }

@@ -3,15 +3,37 @@
 //! §1.1 point 3: "we handle arbitrarily large trace files by streaming the
 //! trace through the simulator instead of loading it all in core." The
 //! reader pulls fixed-size chunks from the underlying `Read` and decodes
-//! records incrementally; peak memory is one chunk plus one partial record.
+//! records incrementally; peak memory is one chunk plus one frame.
+//!
+//! Two formats are sniffed from the magic header:
+//!
+//! * `MPG2` — the framed, checksummed format ([`crate::frame`]). This is
+//!   the *strict* reader: every frame CRC must validate, frames must be
+//!   sequence-contiguous, and the stream must end in a sealed footer whose
+//!   counts and whole-file checksum match. Any deviation is a typed error —
+//!   recovery from damage is the salvage reader's job
+//!   ([`crate::salvage`]), not this one's.
+//! * `MPG1` — the legacy unframed record stream, kept so old fixtures
+//!   still read. It has no checksums and no seal.
 
 use std::io::Read;
 
-use crate::codec::{Decoder, MAGIC};
+use crate::codec::{get_varint, Decoder, MAGIC};
 use crate::event::EventRecord;
+use crate::frame::{
+    crc32c, crc32c_append, parse_frame_header, Footer, FOOTER_LEN, FOOTER_MARKER, FRAME_HEADER_LEN,
+    FRAME_MARKER, MAGIC2,
+};
 use crate::TraceError;
 
 const CHUNK: usize = 64 * 1024;
+
+enum Mode {
+    /// Legacy v1: one undelimited record stream.
+    Legacy,
+    /// v2: checksummed frames plus sealed footer.
+    Framed,
+}
 
 /// Iterator of [`EventRecord`]s decoded from a byte stream.
 pub struct TraceReader<R: Read> {
@@ -21,25 +43,53 @@ pub struct TraceReader<R: Read> {
     pending: Vec<u8>,
     eof: bool,
     failed: bool,
+    mode: Mode,
+    /// Current v2 frame payload (first_seq varint stripped) being decoded.
+    frame: Vec<u8>,
+    frame_pos: usize,
+    records_seen: u64,
+    frames_seen: u64,
+    payload_crc: u32,
+    last_t_end: u64,
+    sealed: bool,
 }
 
 impl<R: Read> TraceReader<R> {
-    /// Opens a stream, checking the magic header. Records are attributed to
-    /// `rank` (per-rank files do not repeat the rank in every record).
+    /// Opens a stream, sniffing the magic header for the format version.
+    /// Records are attributed to `rank` (per-rank files do not repeat the
+    /// rank in every record).
     pub fn new(mut source: R, rank: u32) -> Result<Self, TraceError> {
         let mut magic = [0u8; 4];
-        source.read_exact(&mut magic)?;
-        if &magic != MAGIC {
+        source.read_exact(&mut magic).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TraceError::Corrupt("file shorter than magic header".into())
+            } else {
+                TraceError::Io(e)
+            }
+        })?;
+        let mode = if &magic == MAGIC2 {
+            Mode::Framed
+        } else if &magic == MAGIC {
+            Mode::Legacy
+        } else {
             return Err(TraceError::Corrupt(format!(
-                "bad magic {magic:?}, expected {MAGIC:?}"
+                "bad magic {magic:?}, expected {MAGIC2:?} or legacy {MAGIC:?}"
             )));
-        }
+        };
         Ok(Self {
             source,
             decoder: Decoder::new(rank),
             pending: Vec::new(),
             eof: false,
             failed: false,
+            mode,
+            frame: Vec::new(),
+            frame_pos: 0,
+            records_seen: 0,
+            frames_seen: 0,
+            payload_crc: 0,
+            last_t_end: 0,
+            sealed: false,
         })
     }
 
@@ -54,7 +104,16 @@ impl<R: Read> TraceReader<R> {
         Ok(n)
     }
 
-    fn try_decode(&mut self) -> Result<Option<EventRecord>, TraceError> {
+    /// Reads until `pending` holds at least `n` bytes or the source is
+    /// exhausted. Returns whether `n` bytes are available.
+    fn fill_at_least(&mut self, n: usize) -> Result<bool, TraceError> {
+        while self.pending.len() < n && !self.eof {
+            self.refill()?;
+        }
+        Ok(self.pending.len() >= n)
+    }
+
+    fn try_decode_legacy(&mut self) -> Result<Option<EventRecord>, TraceError> {
         loop {
             // Attempt to decode from what we have; a truncated-varint error
             // before EOF just means "need more bytes".
@@ -94,6 +153,118 @@ impl<R: Read> TraceReader<R> {
             }
         }
     }
+
+    fn try_decode_framed(&mut self) -> Result<Option<EventRecord>, TraceError> {
+        loop {
+            // Drain the current frame first.
+            if self.frame_pos < self.frame.len() {
+                let mut slice = &self.frame[self.frame_pos..];
+                match self.decoder.decode(&mut slice)? {
+                    Some(rec) => {
+                        self.frame_pos = self.frame.len() - slice.len();
+                        self.records_seen += 1;
+                        self.last_t_end = rec.t_end;
+                        return Ok(Some(rec));
+                    }
+                    // CRC validated the payload, so running out of bytes
+                    // mid-record means the writer emitted a torn frame.
+                    None => unreachable!("decode consumed an empty slice it was not given"),
+                }
+            }
+
+            if self.sealed {
+                // Footer already consumed: only EOF may follow.
+                if !self.fill_at_least(1)? {
+                    return Ok(None);
+                }
+                return Err(TraceError::Corrupt(
+                    "trailing bytes after sealed footer".into(),
+                ));
+            }
+
+            if !self.fill_at_least(1)? {
+                return Err(TraceError::Unsealed(
+                    "stream ended without a sealed footer (writer crashed?)".into(),
+                ));
+            }
+            match self.pending[0] {
+                FRAME_MARKER => {
+                    if !self.fill_at_least(FRAME_HEADER_LEN)? {
+                        return Err(TraceError::Unsealed("truncated frame header".into()));
+                    }
+                    let hdr = parse_frame_header(&self.pending).ok_or_else(|| {
+                        TraceError::Corrupt("frame length exceeds maximum".into())
+                    })?;
+                    let total = FRAME_HEADER_LEN + hdr.len;
+                    if !self.fill_at_least(total)? {
+                        return Err(TraceError::Unsealed("truncated frame payload".into()));
+                    }
+                    let payload = &self.pending[FRAME_HEADER_LEN..total];
+                    if crc32c(payload) != hdr.crc {
+                        return Err(TraceError::Checksum(format!(
+                            "frame {} payload checksum mismatch",
+                            self.frames_seen
+                        )));
+                    }
+                    self.payload_crc = crc32c_append(self.payload_crc, payload);
+                    let mut body = payload;
+                    let first_seq = get_varint(&mut body)?;
+                    if first_seq != self.decoder.next_seq() {
+                        return Err(TraceError::Corrupt(format!(
+                            "frame sequence gap: expected {}, found {}",
+                            self.decoder.next_seq(),
+                            first_seq
+                        )));
+                    }
+                    self.decoder.reset_frame(first_seq);
+                    self.frame = body.to_vec();
+                    self.frame_pos = 0;
+                    self.frames_seen += 1;
+                    self.pending.drain(..total);
+                }
+                FOOTER_MARKER => {
+                    if !self.fill_at_least(FOOTER_LEN)? {
+                        return Err(TraceError::Unsealed("truncated footer".into()));
+                    }
+                    let footer = Footer::parse_strict(&self.pending)?;
+                    if footer.records != self.records_seen
+                        || footer.frames != self.frames_seen
+                        || footer.last_t_end != self.last_t_end
+                    {
+                        return Err(TraceError::Corrupt(format!(
+                            "footer counts disagree with stream: footer says \
+                             {} records / {} frames / last t_end {}, stream had {} / {} / {}",
+                            footer.records,
+                            footer.frames,
+                            footer.last_t_end,
+                            self.records_seen,
+                            self.frames_seen,
+                            self.last_t_end
+                        )));
+                    }
+                    if footer.payload_crc != self.payload_crc {
+                        return Err(TraceError::Checksum(
+                            "whole-file payload checksum mismatch".into(),
+                        ));
+                    }
+                    self.sealed = true;
+                    self.pending.drain(..FOOTER_LEN);
+                }
+                other => {
+                    return Err(TraceError::Corrupt(format!(
+                        "expected frame or footer marker, found byte {other:#04x}"
+                    )));
+                }
+            }
+        }
+    }
+
+    fn try_decode(&mut self) -> Result<Option<EventRecord>, TraceError> {
+        match self.mode {
+            Mode::Legacy => self.try_decode_legacy(),
+            Mode::Framed => self.try_decode_framed(),
+        }
+    }
 }
 
 impl<R: Read> Iterator for TraceReader<R> {
@@ -119,7 +290,9 @@ mod tests {
     use super::*;
     use crate::codec::Encoder;
     use crate::event::EventKind;
+    use crate::writer::TraceWriter;
 
+    /// Legacy v1 encoding: magic + raw record stream.
     fn encode(records: &[EventRecord]) -> Vec<u8> {
         let mut buf = MAGIC.to_vec();
         let mut enc = Encoder::new();
@@ -127,6 +300,14 @@ mod tests {
             enc.encode(r, &mut buf);
         }
         buf
+    }
+
+    fn encode_v2(records: &[EventRecord], buffer_bytes: usize) -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), buffer_bytes);
+        for r in records {
+            w.record(r).unwrap();
+        }
+        w.finish().unwrap()
     }
 
     fn rec(seq: u64, t: u64, kind: EventKind) -> EventRecord {
@@ -140,11 +321,26 @@ mod tests {
     }
 
     #[test]
-    fn reads_back_records() {
+    fn reads_back_legacy_records() {
         let records: Vec<_> = (0..5)
             .map(|i| rec(i, i * 100, EventKind::Compute { work: 3 }))
             .collect();
         let bytes = encode(&records);
+        let out: Vec<_> = TraceReader::new(bytes.as_slice(), 2)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn reads_back_framed_records() {
+        let records: Vec<_> = (0..500)
+            .map(|i| rec(i, i * 100, EventKind::Compute { work: 3 }))
+            .collect();
+        // Small buffer forces many frames; seq and timestamps must survive
+        // the per-frame encoder resets.
+        let bytes = encode_v2(&records, 64);
         let out: Vec<_> = TraceReader::new(bytes.as_slice(), 2)
             .unwrap()
             .collect::<Result<_, _>>()
@@ -162,7 +358,18 @@ mod tests {
     }
 
     #[test]
-    fn truncated_stream_errors() {
+    fn short_file_rejected_without_panic() {
+        for n in 0..4 {
+            let bytes = vec![b'M'; n];
+            assert!(matches!(
+                TraceReader::new(bytes.as_slice(), 0),
+                Err(TraceError::Corrupt(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn truncated_legacy_stream_errors() {
         let records: Vec<_> = (0..3)
             .map(|i| {
                 rec(
@@ -181,6 +388,48 @@ mod tests {
         bytes.truncate(bytes.len() - 2);
         let results: Vec<_> = TraceReader::new(bytes.as_slice(), 2).unwrap().collect();
         assert!(results.iter().take(results.len() - 1).all(|r| r.is_ok()));
+        assert!(results.last().unwrap().is_err());
+    }
+
+    #[test]
+    fn unsealed_framed_stream_errors() {
+        let records: Vec<_> = (0..100)
+            .map(|i| rec(i, i * 100, EventKind::Compute { work: 3 }))
+            .collect();
+        let mut bytes = encode_v2(&records, 64);
+        // Drop the footer plus a bit of the last frame: strict reading must
+        // fail with the typed Unsealed error.
+        bytes.truncate(bytes.len() - FOOTER_LEN - 3);
+        let results: Vec<_> = TraceReader::new(bytes.as_slice(), 2).unwrap().collect();
+        assert!(matches!(
+            results.last().unwrap(),
+            Err(TraceError::Unsealed(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_frame_payload_errors_with_checksum() {
+        let records: Vec<_> = (0..100)
+            .map(|i| rec(i, i * 100, EventKind::Compute { work: 3 }))
+            .collect();
+        let mut bytes = encode_v2(&records, 64);
+        // Flip a bit inside the first frame's payload.
+        bytes[4 + FRAME_HEADER_LEN + 2] ^= 0x40;
+        let results: Vec<_> = TraceReader::new(bytes.as_slice(), 2).unwrap().collect();
+        assert!(matches!(
+            results.first().unwrap(),
+            Err(TraceError::Checksum(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_after_footer_errors() {
+        let records: Vec<_> = (0..10)
+            .map(|i| rec(i, i * 100, EventKind::Compute { work: 3 }))
+            .collect();
+        let mut bytes = encode_v2(&records, 1 << 16);
+        bytes.extend_from_slice(b"junk");
+        let results: Vec<_> = TraceReader::new(bytes.as_slice(), 2).unwrap().collect();
         assert!(results.last().unwrap().is_err());
     }
 
@@ -211,12 +460,13 @@ mod tests {
                 )
             })
             .collect();
-        let bytes = encode(&records);
-        let out: Vec<_> = TraceReader::new(Dribble(&bytes), 2)
-            .unwrap()
-            .collect::<Result<_, _>>()
-            .unwrap();
-        assert_eq!(out, records);
+        for bytes in [encode(&records), encode_v2(&records, 128)] {
+            let out: Vec<_> = TraceReader::new(Dribble(&bytes), 2)
+                .unwrap()
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(out, records);
+        }
     }
 
     #[test]
@@ -225,7 +475,7 @@ mod tests {
         let records: Vec<_> = (0..100_000u64)
             .map(|i| rec(i, i * 10, EventKind::Compute { work: 3 }))
             .collect();
-        let bytes = encode(&records);
+        let bytes = encode_v2(&records, 1 << 16);
         assert!(bytes.len() > CHUNK);
         let n = TraceReader::new(bytes.as_slice(), 2).unwrap().count();
         assert_eq!(n, 100_000);

@@ -4,11 +4,21 @@
 //! an event trace file when it becomes full, and is then reset to empty for
 //! future events. The size of this buffer can be tuned to compensate for
 //! event frequency and overhead for I/O."
+//!
+//! Since format v2 every buffer dump becomes one self-delimiting,
+//! CRC32C-checksummed frame (see [`crate::frame`]), and [`finish`] seals the
+//! stream with a footer. A writer killed mid-run therefore leaves behind a
+//! file whose complete frames are all still recoverable by the salvage
+//! reader; only the records still sitting in the memory-resident buffer are
+//! lost — exactly the paper's crash exposure, now bounded and detectable.
+//!
+//! [`finish`]: TraceWriter::finish
 
 use std::io::Write;
 
-use crate::codec::{Encoder, MAGIC};
+use crate::codec::{put_varint, Encoder, MAGIC};
 use crate::event::EventRecord;
+use crate::frame::{put_frame, Footer, MAGIC2};
 use crate::TraceError;
 
 /// Buffered, flush-on-full writer for one rank's event stream.
@@ -20,11 +30,23 @@ pub struct TraceWriter<W: Write> {
     flushes: u64,
     records: u64,
     wrote_header: bool,
+    /// Sequence number of the first record in the current (unflushed)
+    /// buffer; written at the head of the frame payload.
+    frame_first_seq: u64,
+    /// CRC32C chained over every flushed frame payload.
+    payload_crc: u32,
+    /// `t_end` of the last record written (the footer's clock summary).
+    last_t_end: u64,
+    /// When set, write the legacy v1 format: raw record stream, no frames,
+    /// no footer. Exists so tests can produce v1 fixtures for the legacy
+    /// decoder; new traces are always framed.
+    legacy_v1: bool,
 }
 
 impl<W: Write> TraceWriter<W> {
     /// Creates a writer whose memory-resident buffer holds roughly
-    /// `buffer_bytes` of encoded records before spilling to `sink`.
+    /// `buffer_bytes` of encoded records before spilling to `sink` as one
+    /// checksummed frame.
     pub fn new(sink: W, buffer_bytes: usize) -> Self {
         Self {
             sink,
@@ -34,17 +56,38 @@ impl<W: Write> TraceWriter<W> {
             flushes: 0,
             records: 0,
             wrote_header: false,
+            frame_first_seq: 0,
+            payload_crc: 0,
+            last_t_end: 0,
+            legacy_v1: false,
         }
     }
 
-    /// Records one event; spills the buffer when full.
-    pub fn record(&mut self, rec: &EventRecord) -> Result<(), TraceError> {
+    /// Creates a writer emitting the legacy v1 (`MPG1`) format — an
+    /// unframed, unsealed record stream. Only for producing fixtures that
+    /// exercise the legacy decoder.
+    pub fn legacy_v1(sink: W, buffer_bytes: usize) -> Self {
+        Self {
+            legacy_v1: true,
+            ..Self::new(sink, buffer_bytes)
+        }
+    }
+
+    fn write_header(&mut self) -> Result<(), TraceError> {
         if !self.wrote_header {
-            self.sink.write_all(MAGIC)?;
+            self.sink
+                .write_all(if self.legacy_v1 { MAGIC } else { MAGIC2 })?;
             self.wrote_header = true;
         }
+        Ok(())
+    }
+
+    /// Records one event; spills the buffer as a frame when full.
+    pub fn record(&mut self, rec: &EventRecord) -> Result<(), TraceError> {
+        self.write_header()?;
         self.encoder.encode(rec, &mut self.buf);
         self.records += 1;
+        self.last_t_end = rec.t_end;
         if self.buf.len() >= self.capacity {
             self.spill()?;
         }
@@ -52,25 +95,51 @@ impl<W: Write> TraceWriter<W> {
     }
 
     fn spill(&mut self) -> Result<(), TraceError> {
-        if !self.buf.is_empty() {
-            self.sink.write_all(&self.buf)?;
-            self.buf.clear();
-            self.flushes += 1;
+        if self.buf.is_empty() {
+            return Ok(());
         }
+        if self.legacy_v1 {
+            self.sink.write_all(&self.buf)?;
+        } else {
+            let mut payload = Vec::with_capacity(self.buf.len() + 10);
+            put_varint(&mut payload, self.frame_first_seq);
+            payload.extend_from_slice(&self.buf);
+            let mut framed = Vec::with_capacity(payload.len() + 9);
+            put_frame(&mut framed, &payload);
+            self.sink.write_all(&framed)?;
+            self.payload_crc = crate::frame::crc32c_append(self.payload_crc, &payload);
+            // The next frame must decode standalone: restart the timestamp
+            // delta base and note where its sequence numbering begins.
+            self.encoder = Encoder::new();
+            self.frame_first_seq = self.records;
+        }
+        self.buf.clear();
+        self.flushes += 1;
         Ok(())
     }
 
-    /// Flushes remaining buffered records and the sink; returns the sink.
+    /// Flushes remaining buffered records, seals the stream with the
+    /// footer (v2), and returns the sink.
     pub fn finish(mut self) -> Result<W, TraceError> {
-        if !self.wrote_header {
-            self.sink.write_all(MAGIC)?;
-        }
+        self.write_header()?;
         self.spill()?;
+        if !self.legacy_v1 {
+            let footer = Footer {
+                records: self.records,
+                frames: self.flushes,
+                last_t_end: self.last_t_end,
+                payload_crc: self.payload_crc,
+            };
+            let mut buf = Vec::new();
+            footer.put(&mut buf);
+            self.sink.write_all(&buf)?;
+        }
         self.sink.flush()?;
         Ok(self.sink)
     }
 
-    /// Number of buffer spills so far (tracer-overhead diagnostics).
+    /// Number of buffer spills (= frames written) so far
+    /// (tracer-overhead diagnostics).
     pub fn flush_count(&self) -> u64 {
         self.flushes
     }
@@ -85,6 +154,7 @@ impl<W: Write> TraceWriter<W> {
 mod tests {
     use super::*;
     use crate::event::EventKind;
+    use crate::frame::{checked_frame_at, FOOTER_LEN};
     use crate::reader::TraceReader;
 
     fn rec(seq: u64, t: u64) -> EventRecord {
@@ -104,7 +174,7 @@ mod tests {
             w.record(&rec(i, i * 10)).unwrap();
         }
         let bytes = w.finish().unwrap();
-        assert_eq!(&bytes[..4], MAGIC);
+        assert_eq!(&bytes[..4], MAGIC2);
         let out: Vec<_> = TraceReader::new(bytes.as_slice(), 0)
             .unwrap()
             .collect::<Result<_, _>>()
@@ -127,10 +197,48 @@ mod tests {
     }
 
     #[test]
-    fn empty_trace_still_has_header() {
+    fn empty_trace_still_has_header_and_seal() {
         let w = TraceWriter::new(Vec::new(), 1024);
         let bytes = w.finish().unwrap();
-        assert_eq!(&bytes[..], MAGIC);
+        assert_eq!(&bytes[..4], MAGIC2);
+        assert_eq!(bytes.len(), 4 + FOOTER_LEN);
         assert_eq!(TraceReader::new(bytes.as_slice(), 0).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn frames_validate_and_footer_counts_match() {
+        let mut w = TraceWriter::new(Vec::new(), 64);
+        for i in 0..100 {
+            w.record(&rec(i, i * 10)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        // Walk the frames by hand.
+        let mut pos = 4;
+        let mut frames = 0u64;
+        while bytes[pos] == crate::frame::FRAME_MARKER {
+            let (_, total) = checked_frame_at(&bytes[pos..]).expect("frame must validate");
+            pos += total;
+            frames += 1;
+        }
+        let footer = Footer::parse(&bytes[pos..]).expect("footer must validate");
+        assert_eq!(pos + FOOTER_LEN, bytes.len());
+        assert_eq!(footer.records, 100);
+        assert_eq!(footer.frames, frames);
+        assert_eq!(footer.last_t_end, 99 * 10 + 5);
+    }
+
+    #[test]
+    fn legacy_v1_writer_roundtrips_unsealed() {
+        let mut w = TraceWriter::legacy_v1(Vec::new(), 64);
+        for i in 0..20 {
+            w.record(&rec(i, i * 10)).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        assert_eq!(&bytes[..4], MAGIC);
+        let out: Vec<_> = TraceReader::new(bytes.as_slice(), 0)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(out.len(), 20);
     }
 }

@@ -1,0 +1,250 @@
+//! Golden corrupt-trace fixtures: one deterministic damage scenario per
+//! `faultgen` operator, with the exact recovery outcome pinned. The
+//! property tests (`faultgen_proptest.rs`) sweep the operator × seed
+//! space; these fixtures keep each operator's *characteristic* outcome
+//! readable and bisectable — if salvage behavior shifts, the failing
+//! fixture names the operator.
+
+use mpg_trace::frame::{checked_frame_at, FOOTER_LEN, FOOTER_MARKER, MAGIC2};
+use mpg_trace::{
+    inject_dir, mutate_bytes, salvage_bytes, EventKind, EventRecord, FaultKind, FileTraceSet,
+    FsckStatus, MemTrace, SealStatus, TraceWriter,
+};
+
+/// Pinned seed for every fixture: goldens must never roll.
+const SEED: u64 = 7;
+
+fn rec(rank: u32, seq: u64) -> EventRecord {
+    EventRecord {
+        rank,
+        seq,
+        t_start: seq * 10,
+        t_end: seq * 10 + 5,
+        kind: EventKind::Compute { work: 5 },
+    }
+}
+
+/// A sealed v2 stream with many small frames (64-byte buffer), plus the
+/// records it carries.
+fn fixture(n: u64) -> (Vec<EventRecord>, Vec<u8>) {
+    let records: Vec<_> = (0..n).map(|i| rec(1, i)).collect();
+    let mut w = TraceWriter::new(Vec::new(), 64);
+    for r in &records {
+        w.record(r).unwrap();
+    }
+    (records, w.finish().unwrap())
+}
+
+/// LEB128 varint at the head of a frame payload: the frame's first seq.
+fn first_seq(payload: &[u8]) -> u64 {
+    let (mut v, mut shift) = (0u64, 0u32);
+    for &b in payload {
+        v |= u64::from(b & 0x7F) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+    panic!("payload ended inside varint");
+}
+
+/// Byte ranges and first-seqs of every frame in a valid v2 stream.
+fn frames_of(bytes: &[u8]) -> Vec<(std::ops::Range<usize>, u64)> {
+    assert_eq!(&bytes[..4], MAGIC2);
+    let mut out = Vec::new();
+    let mut pos = 4;
+    while pos < bytes.len() && bytes[pos] != FOOTER_MARKER {
+        let (payload, total) = checked_frame_at(&bytes[pos..]).expect("fixture frame");
+        out.push((pos..pos + total, first_seq(payload)));
+        pos += total;
+    }
+    assert_eq!(bytes.len() - pos, FOOTER_LEN, "fixture ends in a footer");
+    out
+}
+
+/// Every recovered record must be byte-identical to the original at its
+/// seq, with seqs strictly increasing (no duplicates, no reordering).
+fn assert_sound(recovered: &[EventRecord], original: &[EventRecord]) {
+    for r in recovered {
+        assert_eq!(*r, original[r.seq as usize], "seq {} diverged", r.seq);
+    }
+    assert!(
+        recovered.windows(2).all(|w| w[0].seq < w[1].seq),
+        "recovered seqs not strictly increasing"
+    );
+}
+
+#[test]
+fn golden_truncate_keeps_the_frame_prefix() {
+    let (records, bytes) = fixture(300);
+    let (cut, _) = mutate_bytes(&bytes, FaultKind::Truncate, SEED).unwrap();
+    assert!(cut.len() < bytes.len());
+    let (out, report) = salvage_bytes(1, &cut);
+    // Truncation loses the seal and the torn tail, nothing before it:
+    // recovery is exactly the whole frames that survived the cut.
+    // First frame the cut tore apart: recovery stops at its first seq.
+    // (A cut inside the footer leaves every frame whole.)
+    let whole: u64 = frames_of(&bytes)
+        .iter()
+        .find(|(r, _)| r.end > cut.len())
+        .map_or(records.len() as u64, |(_, fs)| *fs);
+    assert_eq!(out.len() as u64, whole);
+    assert_eq!(out, records[..out.len()]);
+    assert_eq!(report.seal, SealStatus::Unsealed);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn golden_bitflip_costs_at_most_one_frame() {
+    let (records, bytes) = fixture(300);
+    let (bad, desc) = mutate_bytes(&bytes, FaultKind::BitFlip, SEED).unwrap();
+    let (out, report) = salvage_bytes(1, &bad);
+    assert_sound(&out, &records);
+    assert!(!report.is_clean(), "{desc}: flip went unnoticed");
+    if report.seal == SealStatus::Sealed {
+        // Flip landed in a frame: that frame alone is lost, and the loss
+        // is fully accounted against the footer's record count.
+        assert_eq!(
+            report.records_recovered + report.records_lost,
+            records.len() as u64,
+            "{desc}"
+        );
+        assert_eq!(report.frames_recovered, frames_of(&bytes).len() as u64 - 1);
+    } else {
+        // Flip landed in the footer region: every record survives.
+        assert_eq!(out.len(), records.len(), "{desc}");
+    }
+}
+
+#[test]
+fn golden_frame_drop_is_one_contiguous_gap() {
+    let (records, bytes) = fixture(300);
+    let (bad, desc) = mutate_bytes(&bytes, FaultKind::FrameDrop, SEED).unwrap();
+    let (out, report) = salvage_bytes(1, &bad);
+    assert_sound(&out, &records);
+    assert_eq!(report.seal, SealStatus::Sealed, "{desc}");
+    assert!(report.records_lost > 0, "{desc}");
+    assert_eq!(
+        report.records_recovered + report.records_lost,
+        records.len() as u64,
+        "{desc}"
+    );
+    // The lost seqs form one contiguous run — exactly the dropped frame.
+    let have: Vec<u64> = out.iter().map(|r| r.seq).collect();
+    let missing: Vec<u64> = (0..records.len() as u64)
+        .filter(|s| !have.contains(s))
+        .collect();
+    assert!(
+        missing.windows(2).all(|w| w[1] == w[0] + 1),
+        "{desc}: lost seqs not contiguous: {missing:?}"
+    );
+}
+
+#[test]
+fn golden_frame_dup_recovers_every_record_once() {
+    let (records, bytes) = fixture(300);
+    let (bad, desc) = mutate_bytes(&bytes, FaultKind::FrameDup, SEED).unwrap();
+    let (out, report) = salvage_bytes(1, &bad);
+    assert_eq!(out, records, "{desc}");
+    assert_eq!(report.records_lost, 0);
+    assert!(report.frames_dropped >= 1, "{desc}: duplicate not dropped");
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn golden_frame_swap_recovers_in_order_but_is_not_clean() {
+    let (records, bytes) = fixture(300);
+    let (bad, desc) = mutate_bytes(&bytes, FaultKind::FrameSwap, SEED).unwrap();
+    let (out, report) = salvage_bytes(1, &bad);
+    // Pass 2's sort undoes the reorder completely…
+    assert_eq!(out, records, "{desc}");
+    assert_eq!(report.records_lost, 0);
+    // …but the file must not count as clean: the strict reader refuses it.
+    assert!(!report.is_clean(), "{desc}: swap reported clean");
+    assert!(
+        report.notes.iter().any(|n| n.contains("order violation")),
+        "{desc}: {:?}",
+        report.notes
+    );
+}
+
+#[test]
+fn golden_garbage_splice_skips_the_garbage() {
+    let (records, bytes) = fixture(300);
+    let (bad, desc) = mutate_bytes(&bytes, FaultKind::GarbageSplice, SEED).unwrap();
+    assert!(bad.len() > bytes.len());
+    let (out, report) = salvage_bytes(1, &bad);
+    assert_sound(&out, &records);
+    assert!(report.bytes_skipped > 0, "{desc}: no bytes skipped");
+    assert!(!report.is_clean());
+    // At worst the splice lands mid-frame and costs that one frame.
+    assert!(
+        report.records_recovered + report.records_lost >= records.len() as u64,
+        "{desc}: unaccounted loss"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Directory-level goldens: the fsck status/exit contract on clean, salvaged
+// and unrecoverable trace sets.
+// ---------------------------------------------------------------------------
+
+fn trace_dir(tag: &str, ranks: u32) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpg-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut t = MemTrace::new(ranks as usize);
+    for r in 0..ranks {
+        for i in 0..120u64 {
+            t.push(rec(r, i));
+        }
+    }
+    t.save(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn golden_fsck_exit_contract() {
+    assert_eq!(FsckStatus::Clean.exit_code(), 0);
+    assert_eq!(FsckStatus::Salvaged.exit_code(), 1);
+    assert_eq!(FsckStatus::Unrecoverable.exit_code(), 2);
+
+    // Clean directory -> Clean.
+    let dir = trace_dir("clean", 3);
+    let (_, report) = FileTraceSet::load_salvage(&dir).unwrap();
+    assert_eq!(report.status(), FsckStatus::Clean);
+    assert!(report.is_clean());
+
+    // Damaged rank file -> Salvaged, and the strict loader refuses it.
+    inject_dir(&dir, FaultKind::Truncate, SEED).unwrap();
+    let (_, report) = FileTraceSet::load_salvage(&dir).unwrap();
+    assert_eq!(report.status(), FsckStatus::Salvaged);
+    assert!(FileTraceSet::open(&dir).unwrap().load().is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn golden_fsck_missing_rank_is_salvaged_with_diagnostic() {
+    let dir = trace_dir("delrank", 3);
+    let plan = inject_dir(&dir, FaultKind::DeleteRank, SEED).unwrap();
+    let (trace, report) = FileTraceSet::load_salvage(&dir).unwrap();
+    assert_eq!(report.status(), FsckStatus::Salvaged);
+    assert_eq!(report.missing_ranks(), vec![plan.rank]);
+    assert!(trace.rank(plan.rank as usize).is_empty());
+    // The missing rank surfaces as an MPG-MISSING-RANK diagnostic.
+    let diags = report.diagnostics();
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == mpg_trace::Rule::MissingRank && d.ranks.contains(&plan.rank)),
+        "{diags:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn golden_fsck_unrecoverable_without_meta() {
+    let dir = trace_dir("nometa", 2);
+    std::fs::remove_file(dir.join("meta.txt")).unwrap();
+    assert!(FileTraceSet::load_salvage(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

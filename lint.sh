@@ -24,4 +24,53 @@ if [ -f BENCH_replay.json ]; then
         bench --check BENCH_replay.json --threshold 20 --reps 9
 fi
 
+# Fault-injection smoke suite: trace every demo workload, fsck it clean,
+# inject one deterministic fault per operator, and check the 0/1/2 exit
+# contract (0 clean, 1 salvaged, 2 unrecoverable) plus the salvage-mode
+# pipeline end to end. Scripts and CI depend on these exit codes.
+echo "==> fsck fault-injection smoke suite"
+cargo build --release -q -p mpg-analysis --bin mpgtool
+MPGTOOL=target/release/mpgtool
+FSCK_TMP="$(mktemp -d)"
+trap 'rm -rf "$FSCK_TMP"' EXIT
+
+expect_exit() {
+    want="$1"; shift
+    set +e
+    "$@" >/dev/null 2>&1
+    got=$?
+    set -e
+    if [ "$got" -ne "$want" ]; then
+        echo "lint: FAIL: exit $got (want $want): $*" >&2
+        exit 1
+    fi
+}
+
+for wl in ring stencil master-worker solver pipeline transpose summa; do
+    dir="$FSCK_TMP/$wl"
+    "$MPGTOOL" demo "$wl" --ranks 8 "$dir" >/dev/null
+    expect_exit 0 "$MPGTOOL" fsck "$dir"
+    for fault in truncate bitflip frame-drop frame-dup frame-swap splice delete-rank; do
+        bad="$dir-$fault"
+        expect_exit 1 "$MPGTOOL" fsck "$dir" --inject "$fault" --seed 7 --out "$bad"
+        # Salvage-mode pipeline must terminate on the damaged copy:
+        # crash-tolerant replay exits 0, lint honors 0-or-1.
+        expect_exit 0 "$MPGTOOL" replay "$bad" --salvage
+        set +e
+        "$MPGTOOL" lint "$bad" --salvage >/dev/null 2>&1
+        lint_got=$?
+        set -e
+        if [ "$lint_got" -gt 1 ]; then
+            echo "lint: FAIL: lint --salvage exited $lint_got on $bad" >&2
+            exit 1
+        fi
+        rm -rf "$bad"
+    done
+    # Unrecoverable: no meta.txt.
+    rm "$dir/meta.txt"
+    expect_exit 2 "$MPGTOOL" fsck "$dir"
+    rm -rf "$dir"
+done
+echo "    fsck exit contract holds across 7 workloads x 7 faults"
+
 echo "lint: clean"

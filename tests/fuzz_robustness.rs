@@ -387,6 +387,67 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Crash-tolerance end to end: save a good trace, damage it with every
+// faultgen operator, salvage-load it, and replay crash-tolerantly. The
+// pipeline must always terminate — cleanly or at a reported crash frontier —
+// and never panic, hang, or deadlock.
+// ---------------------------------------------------------------------------
+
+use mpg::trace::{inject_dir, FaultKind, FileTraceSet};
+
+fn fault_strategy() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::Truncate),
+        Just(FaultKind::BitFlip),
+        Just(FaultKind::FrameDrop),
+        Just(FaultKind::FrameDup),
+        Just(FaultKind::FrameSwap),
+        Just(FaultKind::GarbageSplice),
+        Just(FaultKind::DeleteRank),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn damaged_traces_replay_to_a_crash_frontier(
+        workload in 0usize..4,
+        kind in fault_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "mpg-crashfuzz-{}-{workload}-{}-{seed}",
+            std::process::id(),
+            kind.name(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        good_traces()[workload].save(&dir).expect("fixture saves");
+        inject_dir(&dir, kind, seed).expect("fault injects");
+        let loaded = FileTraceSet::load_salvage(&dir);
+        std::fs::remove_dir_all(&dir).ok();
+        let (trace, report) = loaded.expect("single-fault damage stays recoverable");
+        let cfg = ReplayConfig::new(PerturbationModel::quiet("crashfuzz")).crash_tolerant(true);
+        // Salvage can leave per-rank streams the matcher still rejects
+        // (e.g. a collective participant lost mid-operation on some
+        // workload shapes). An error is an acceptable terminal outcome;
+        // only panics/hangs are not.
+        if let Ok(rep) = Replayer::new(cfg).run(&trace) {
+            // Identity model: whatever survived must replay drift-free.
+            prop_assert!(rep.final_drift.iter().all(|&d| d == 0));
+            // A rank whose file vanished has no Finalize, so its
+            // crash-exit must show up as a degradation frontier.
+            if !report.missing_ranks().is_empty() {
+                prop_assert!(
+                    rep.degradation.is_some(),
+                    "missing rank but no degradation: {report}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn unmutated_workload_traces_lint_clean() {
     for (i, trace) in good_traces().iter().enumerate() {
