@@ -15,13 +15,24 @@
 //!
 //! mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage]
 //!     Static defect analysis: match resolution, deadlock cycles, graph
-//!     causality, wildcard races, collective consistency. Advisory
-//!     (info-severity) findings are hidden unless --all is given; --deny
-//!     escalates a rule to error severity. With --salvage, read the trace
-//!     through the salvage path and merge MPG-TRUNCATED-TRACE /
-//!     MPG-MISSING-RANK findings (deny those codes to reject salvaged
-//!     input). Exit code contract: 0 when no error-severity diagnostic
-//!     fired, 1 when at least one did, 2 on usage or I/O errors.
+//!     causality, wildcard races, collective consistency, wait-state
+//!     performance findings. Advisory (info-severity) findings are hidden
+//!     unless --all is given; --deny escalates a rule to error severity.
+//!     With --salvage, read the trace through the salvage path and merge
+//!     MPG-TRUNCATED-TRACE / MPG-MISSING-RANK findings (deny those codes
+//!     to reject salvaged input). `mpgtool lint --rules` prints the full
+//!     rule registry (code, default severity, doc line). Exit code
+//!     contract: 0 when no error-severity diagnostic fired, 1 when at
+//!     least one did, 2 on usage or I/O errors.
+//!
+//! mpgtool analyze <trace-dir> [--json] [--top K] [--salvage]
+//!     Static wait-state & slack analysis (no perturbation): decompose
+//!     every rank's time into compute / transfer / wait classes (late
+//!     sender, late receiver, wait-at-collective, imbalance, exit skew),
+//!     identify root-cause ranks, and print the static critical path and
+//!     the top-K tight chains. The decomposition is exact:
+//!     compute + transfer + waits == makespan × ranks. With --salvage,
+//!     analyze a damaged trace to its crash frontier.
 //!
 //! mpgtool fsck <trace-dir> [--json] [--inject KIND [--seed S] [--out DIR]]
 //!     Integrity-check a trace directory against the MPG2 framing: per-frame
@@ -68,6 +79,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use mpg_analysis::history::{record_from_report, HistoryStore};
+use mpg_analysis::Table;
 use mpg_apps::{
     AllreduceSolver, GridSumma, MasterWorker, Pipeline, Stencil, TokenRing, Transpose, Workload,
 };
@@ -96,6 +108,8 @@ fn usage() -> ExitCode {
     eprintln!("  mpgtool stats <trace-dir>");
     eprintln!("  mpgtool validate <trace-dir> [--json]");
     eprintln!("  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage]");
+    eprintln!("  mpgtool lint --help       (print the MPG-* rule registry)");
+    eprintln!("  mpgtool analyze <trace-dir> [--json] [--top K] [--salvage]");
     eprintln!("  mpgtool fsck <trace-dir> [--json] [--inject KIND [--seed S] [--out DIR]]");
     eprintln!(
         "  mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES] [--per-byte CPB] \
@@ -294,6 +308,16 @@ fn cmd_validate(mut args: Vec<String>) -> ExitCode {
 /// Exit code contract (also used by `validate`): 0 when no error-severity
 /// diagnostic fired, 1 when at least one did, 2 on usage or I/O errors.
 fn cmd_lint(mut args: Vec<String>) -> ExitCode {
+    if take_switch(&mut args, "--help") || take_switch(&mut args, "--rules") {
+        // The registry itself (Rule::ALL + Rule::doc) is the single source
+        // of truth; DESIGN.md §7 renders the same table and a consistency
+        // test keeps the two in sync.
+        println!(
+            "{}",
+            mpg_analysis::Table::rule_registry(mpg_trace::Rule::ALL).render()
+        );
+        return ExitCode::SUCCESS;
+    }
     let json = take_switch(&mut args, "--json");
     let all = take_switch(&mut args, "--all");
     let salvage = take_switch(&mut args, "--salvage");
@@ -363,6 +387,207 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `mpgtool analyze`: static wait-state & slack analysis of a trace — no
+/// perturbation, no sweep; just "where does the time go?".
+///
+/// Records a quiet replay graph (identical to the `lint` pass-3 /
+/// `dot` path), runs the zero-drift slack sweep, and renders the exact
+/// compute/transfer/wait decomposition, root causes, and tight chains.
+/// Exit 0 on success (findings are advisory), 2 on usage/I-O errors or if
+/// the accounting identity fails (which would mean the analyzer is wrong
+/// about this trace, so no report is better than a lying one).
+fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
+    let salvage = take_switch(&mut args, "--salvage");
+    let top: usize = take_flag(&mut args, "--top")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let [dir] = args.as_slice() else {
+        return fail("analyze needs a trace directory");
+    };
+    let trace = if salvage {
+        match open_salvage(dir) {
+            Ok((t, report)) => {
+                if !report.is_clean() && !json {
+                    println!("salvage: {report}");
+                }
+                t
+            }
+            Err(e) => return fail(&e),
+        }
+    } else {
+        match open_trace(dir) {
+            Ok(t) => t,
+            Err(e) => return fail(&e),
+        }
+    };
+    let cfg = ReplayConfig::new(PerturbationModel::quiet("analyze"))
+        .seed(0)
+        .record_graph(true)
+        .crash_tolerant(salvage);
+    let graph = match Replayer::new(cfg).run(&trace) {
+        Ok(r) => r.graph.expect("graph recorded"),
+        Err(e) => return fail(&format!("replay failed: {e}")),
+    };
+    let report = mpg_lint::analyze_graph(&trace, &graph);
+    if !report.identity_holds() {
+        return fail(&format!(
+            "accounting identity violated: compute {} + transfer {} + waits {} != makespan {} x {} ranks",
+            report.compute,
+            report.transfer,
+            report.wait_total(),
+            report.makespan,
+            report.ranks
+        ));
+    }
+    if json {
+        println!("{}", report.to_json());
+        return ExitCode::SUCCESS;
+    }
+
+    let total = report.makespan * report.ranks as u64;
+    let share = |c: u64| {
+        if total == 0 {
+            "0.0%".to_string()
+        } else {
+            mpg_analysis::table::pct(c as f64 / total as f64)
+        }
+    };
+    println!(
+        "analyze: {} ranks, makespan {} cycles, efficiency {} (identity exact: busy + waits == makespan x ranks)",
+        report.ranks,
+        report.makespan,
+        mpg_analysis::table::pct(report.efficiency()),
+    );
+    if report.causality_clamps > 0 || report.retime_mismatches > 0 {
+        println!(
+            "warning: clock skew defeated {} cross-rank comparison(s) ({} re-time mismatch(es)); cross-rank attributions are approximate",
+            report.causality_clamps, report.retime_mismatches
+        );
+    }
+    let mut t = Table::new("where the time goes", &["bucket", "cycles", "share"]);
+    t.row(vec![
+        "compute".into(),
+        report.compute.to_string(),
+        share(report.compute),
+    ]);
+    t.row(vec![
+        "transfer".into(),
+        report.transfer.to_string(),
+        share(report.transfer),
+    ]);
+    for class in mpg_lint::WaitClass::ALL {
+        t.row(vec![
+            format!("wait:{}", class.label()),
+            report.wait[class.idx()].to_string(),
+            share(report.wait[class.idx()]),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let mut t = Table::new("per rank", &["rank", "compute", "transfer", "wait", "busy"]);
+    for r in &report.per_rank {
+        let busy = r.compute + r.transfer;
+        t.row(vec![
+            r.rank.to_string(),
+            r.compute.to_string(),
+            r.transfer.to_string(),
+            r.wait_total().to_string(),
+            if report.makespan == 0 {
+                "100.0%".into()
+            } else {
+                mpg_analysis::table::pct(busy as f64 / report.makespan as f64)
+            },
+        ]);
+    }
+    print!("{}", t.render());
+
+    if !report.by_op.is_empty() {
+        let mut t = Table::new("waits by operation", &["op", "count", "cycles"]);
+        for k in report.by_op.iter().take(top) {
+            t.row(vec![k.key.clone(), k.count.to_string(), k.wait.to_string()]);
+        }
+        print!("{}", t.render());
+    }
+    if !report.by_tag.is_empty() {
+        let mut t = Table::new("waits by tag", &["tag", "count", "cycles"]);
+        for k in report.by_tag.iter().take(top) {
+            t.row(vec![k.key.clone(), k.count.to_string(), k.wait.to_string()]);
+        }
+        print!("{}", t.render());
+    }
+    if !report.collectives.is_empty() {
+        let mut worst: Vec<_> = report.collectives.iter().collect();
+        worst.sort_by_key(|c| std::cmp::Reverse(c.total_wait));
+        let mut t = Table::new(
+            "collectives by wasted cycles",
+            &[
+                "op",
+                "members",
+                "wait",
+                "cause rank",
+                "saved by cause",
+                "verdict",
+            ],
+        );
+        for c in worst.iter().take(top) {
+            t.row(vec![
+                c.op.to_string(),
+                c.members.to_string(),
+                c.total_wait.to_string(),
+                c.cause.0.to_string(),
+                c.saved.to_string(),
+                if c.dominated {
+                    "late rank"
+                } else {
+                    "imbalance"
+                }
+                .to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    if !report.chains.is_empty() {
+        let mut t = Table::new(
+            "tight chains (index 0 = static critical path)",
+            &[
+                "anchor rank",
+                "finish",
+                "steps",
+                "msg hops",
+                "ranks",
+                "chain waits",
+            ],
+        );
+        for c in report.chains.iter().take(top) {
+            t.row(vec![
+                c.rank.to_string(),
+                c.finish.to_string(),
+                c.steps.to_string(),
+                c.message_hops.to_string(),
+                c.ranks_touched.to_string(),
+                c.wait_cycles.to_string(),
+            ]);
+        }
+        print!("{}", t.render());
+    }
+    println!(
+        "slack: {} of {} edges are zero-slack (the static critical network); perturbations below an edge's slack are absorbed before reaching the finish",
+        report.zero_slack_edges, report.edge_count
+    );
+    let findings = {
+        let thresholds = mpg_lint::PerfThresholds::default();
+        let mut d = mpg_lint::lint_waitstates(&report, &thresholds);
+        d.extend(mpg_lint::lint_chains(&report, &thresholds));
+        sort_diagnostics(&mut d);
+        d
+    };
+    for d in &findings {
+        println!("{d}");
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_replay(mut args: Vec<String>) -> ExitCode {
@@ -764,6 +989,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(args),
         "validate" => cmd_validate(args),
         "lint" => cmd_lint(args),
+        "analyze" => cmd_analyze(args),
         "fsck" => cmd_fsck(args),
         "replay" => cmd_replay(args),
         "dot" => cmd_dot(args),

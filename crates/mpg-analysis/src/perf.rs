@@ -368,7 +368,8 @@ impl PerfSnapshot {
     }
 
     /// Extracts `(name, events_per_sec)` pairs from a snapshot document
-    /// written by [`to_json`]. Deliberately tolerant: it scans for the
+    /// written by [`PerfSnapshot::to_json`]. Deliberately tolerant: it
+    /// scans for the
     /// keys rather than parsing full JSON, since both ends of the format
     /// live in this file.
     pub fn parse_events_per_sec(json: &str) -> Vec<(String, f64)> {

@@ -1,0 +1,227 @@
+//! Golden wait-state/slack analysis suite over the demo workloads.
+//!
+//! Every mpg-apps demo workload is simulated (seed 1, quiet platform,
+//! ideal clocks, 8 ranks) and quiet-replayed into a recorded graph; the
+//! static analyzer's decomposition is pinned below and its accounting
+//! identity must hold *exactly*: compute + transfer + waits ==
+//! makespan × ranks, in u64 arithmetic.
+//!
+//! The same workloads then exercise the static ⇄ dynamic critical-path
+//! oracle end-to-end: under a constant perturbation model the critical
+//! path of [`mpg_core::predicted_graph`] (no replay) must equal the
+//! critical path of a real recording replay, with the pinned final drift.
+
+use mpg_apps::{
+    AllreduceSolver, GridSumma, MasterWorker, Pipeline, Stencil, TokenRing, Transpose, Workload,
+};
+use mpg_core::{
+    critical_path, predicted_graph, EventGraph, PerturbationModel, ReplayConfig, Replayer,
+};
+use mpg_lint::analyze_graph;
+use mpg_noise::{Dist, PlatformSignature};
+use mpg_sim::Simulation;
+use mpg_trace::MemTrace;
+
+fn record(w: &dyn Workload) -> (MemTrace, EventGraph) {
+    let trace = Simulation::new(8, PlatformSignature::quiet("golden"))
+        .ideal_clocks()
+        .seed(1)
+        .run(|ctx| w.run(ctx))
+        .expect("workload simulates")
+        .trace;
+    let graph = Replayer::new(
+        ReplayConfig::new(PerturbationModel::quiet("golden"))
+            .seed(0)
+            .record_graph(true),
+    )
+    .run(&trace)
+    .expect("quiet replay succeeds")
+    .graph
+    .expect("graph recorded");
+    (trace, graph)
+}
+
+/// Pinned analyzer observables:
+/// (name, makespan, compute, transfer, wait[5], zero_slack_edges).
+type Golden = (&'static str, u64, u64, u64, [u64; 5], usize);
+
+/// Pinned constant-model critical path: (final_drift, steps, ranks_touched).
+type GoldenPath = (i64, usize, usize);
+
+fn constant_model() -> PerturbationModel {
+    let mut m = PerturbationModel::quiet("const");
+    m.os_local = Dist::Constant(300.0).into();
+    m.latency = Dist::Constant(500.0).into();
+    m
+}
+
+fn check(w: &dyn Workload, golden: Golden, path: GoldenPath) {
+    let (name, makespan, compute, transfer, wait, zero_slack) = golden;
+    let (trace, graph) = record(w);
+    let report = analyze_graph(&trace, &graph);
+
+    // The analyzer may not lose or invent a single cycle.
+    assert!(
+        report.identity_holds(),
+        "{name}: busy {} + waits {} != makespan {} x ranks {}",
+        report.busy(),
+        report.wait_total(),
+        report.makespan,
+        report.ranks
+    );
+    // Ideal clocks: perfect re-timing, no causality clamps.
+    assert_eq!(report.retime_mismatches, 0, "{name}: retime_mismatches");
+    assert_eq!(report.causality_clamps, 0, "{name}: causality_clamps");
+
+    assert_eq!(report.makespan, makespan, "{name}: makespan diverged");
+    assert_eq!(report.compute, compute, "{name}: compute diverged");
+    assert_eq!(report.transfer, transfer, "{name}: transfer diverged");
+    assert_eq!(report.wait, wait, "{name}: wait decomposition diverged");
+    assert_eq!(
+        report.zero_slack_edges, zero_slack,
+        "{name}: zero-slack edge count diverged"
+    );
+    // The static critical path anchors the chain table and finishes at the
+    // makespan.
+    let main = report.chains.first().expect("chains nonempty");
+    assert_eq!(main.finish, report.makespan, "{name}: chain finish");
+
+    // Static ⇄ dynamic oracle: prediction equals a real constant replay.
+    let (want_drift, want_steps, want_ranks) = path;
+    let model = constant_model();
+    let predicted = predicted_graph(&graph, &model).expect("constant model predicts");
+    let real = Replayer::new(ReplayConfig::new(model).seed(42).record_graph(true))
+        .run(&trace)
+        .expect("constant replay succeeds")
+        .graph
+        .expect("graph recorded");
+    let cp_pred = critical_path(&predicted).expect("drift accumulated");
+    let cp_real = critical_path(&real).expect("drift accumulated");
+    assert_eq!(cp_pred, cp_real, "{name}: predicted path != replayed path");
+    assert_eq!(cp_real.final_drift, want_drift, "{name}: final drift");
+    assert_eq!(cp_real.steps.len(), want_steps, "{name}: path steps");
+    assert_eq!(cp_real.ranks_touched, want_ranks, "{name}: path ranks");
+}
+
+#[test]
+fn token_ring_analysis() {
+    check(
+        &TokenRing {
+            traversals: 3,
+            particles_per_rank: 8,
+            work_per_pair: 25,
+        },
+        ("token-ring", 156176, 323200, 926208, [0, 0, 0, 0, 0], 1944),
+        (31200, 145, 1),
+    );
+}
+
+#[test]
+fn stencil_analysis() {
+    check(
+        &Stencil {
+            iters: 8,
+            cells_per_rank: 200,
+            work_per_cell: 20,
+            halo_bytes: 512,
+        },
+        ("stencil", 46320, 274560, 91312, [0, 0, 0, 0, 4688], 690),
+        (10400, 47, 1),
+    );
+}
+
+#[test]
+fn master_worker_analysis() {
+    check(
+        &MasterWorker {
+            tasks: 24,
+            task_work: 50_000,
+            task_bytes: 64,
+            result_bytes: 64,
+        },
+        (
+            "master-worker",
+            234220,
+            1216000,
+            149556,
+            [173636, 134336, 0, 0, 200232],
+            49,
+        ),
+        (31000, 166, 8),
+    );
+}
+
+#[test]
+fn allreduce_solver_analysis() {
+    check(
+        &AllreduceSolver {
+            iters: 10,
+            local_work: 100_000,
+            vector_bytes: 128,
+        },
+        (
+            "allreduce-solver",
+            1395520,
+            10016000,
+            1148160,
+            [0, 0, 0, 0, 0],
+            824,
+        ),
+        (54000, 101, 2),
+    );
+}
+
+#[test]
+fn pipeline_analysis() {
+    check(
+        &Pipeline {
+            waves: 10,
+            work_per_stage: 50_000,
+            payload: 256,
+        },
+        (
+            "pipeline",
+            911548,
+            4016000,
+            216048,
+            [1471688, 151660, 0, 0, 1436988],
+            96,
+        ),
+        (17800, 93, 8),
+    );
+}
+
+#[test]
+fn transpose_analysis() {
+    check(
+        &Transpose {
+            steps: 5,
+            rows_per_rank: 16,
+            work_per_element: 10,
+            block_bytes: 256,
+        },
+        ("transpose", 109640, 169600, 707520, [0, 0, 0, 0, 0], 304),
+        (31000, 36, 2),
+    );
+}
+
+#[test]
+fn grid_summa_analysis() {
+    check(
+        &GridSumma {
+            rows: 2,
+            cols: 4,
+            panel_bytes: 1_024,
+            local_work: 50_000,
+        },
+        (
+            "grid-summa",
+            318836,
+            1616000,
+            737216,
+            [60992, 112480, 24000, 0, 0],
+            530,
+        ),
+        (26600, 97, 8),
+    );
+}

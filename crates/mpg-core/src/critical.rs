@@ -42,6 +42,40 @@ pub struct CriticalPath {
 }
 
 impl CriticalPath {
+    /// Builds a path from its walked steps, deriving every aggregate —
+    /// per-class contributions and `ranks_touched` — from the steps plus
+    /// the anchor rank. Centralizing the derivation here guarantees the
+    /// anchor rank is always counted: a zero-step path (all drift injected
+    /// at the final node itself) still touches one rank.
+    pub fn from_steps(rank: u32, final_drift: Drift, steps: Vec<CriticalStep>) -> Self {
+        let mut local = 0;
+        let mut message = 0;
+        let mut collective = 0;
+        let mut ranks = std::collections::BTreeSet::new();
+        ranks.insert(rank);
+        for step in &steps {
+            let e = &step.edge;
+            match e.class {
+                DeltaClass::None => {}
+                DeltaClass::OsLocal | DeltaClass::OsRemote => local += e.sampled,
+                DeltaClass::Lambda
+                | DeltaClass::Transfer { .. }
+                | DeltaClass::MessagePath { .. } => message += e.sampled,
+                DeltaClass::CollectiveRounds { .. } => collective += e.sampled,
+            }
+            ranks.insert(e.src.rank);
+        }
+        Self {
+            rank,
+            final_drift,
+            steps,
+            local_contribution: local,
+            message_contribution: message,
+            collective_contribution: collective,
+            ranks_touched: ranks.len(),
+        }
+    }
+
     /// Human-readable one-line summary.
     pub fn summary(&self) -> String {
         format!(
@@ -95,11 +129,6 @@ pub fn critical_path(graph: &EventGraph) -> Option<CriticalPath> {
     }
 
     let mut steps = Vec::new();
-    let mut local = 0;
-    let mut message = 0;
-    let mut collective = 0;
-    let mut ranks = std::collections::BTreeSet::new();
-    ranks.insert(rank);
 
     loop {
         let d_cur = drifts.get(&current).copied().unwrap_or(0);
@@ -121,15 +150,6 @@ pub fn critical_path(graph: &EventGraph) -> Option<CriticalPath> {
             break; // drift came from the zero anchor
         };
         let (_, e) = best;
-        match e.class {
-            DeltaClass::None => {}
-            DeltaClass::OsLocal | DeltaClass::OsRemote => local += e.sampled,
-            DeltaClass::Lambda | DeltaClass::Transfer { .. } | DeltaClass::MessagePath { .. } => {
-                message += e.sampled
-            }
-            DeltaClass::CollectiveRounds { .. } => collective += e.sampled,
-        }
-        ranks.insert(e.src.rank);
         steps.push(CriticalStep {
             edge: e.clone(),
             drift_at_dst: d_cur,
@@ -141,15 +161,7 @@ pub fn critical_path(graph: &EventGraph) -> Option<CriticalPath> {
         }
     }
 
-    Some(CriticalPath {
-        rank,
-        final_drift,
-        steps,
-        local_contribution: local,
-        message_contribution: message,
-        collective_contribution: collective,
-        ranks_touched: ranks.len(),
-    })
+    Some(CriticalPath::from_steps(rank, final_drift, steps))
 }
 
 #[cfg(test)]
@@ -172,6 +184,18 @@ mod tests {
         Replayer::new(ReplayConfig::new(model).seed(1).record_graph(true))
             .run(&trace)
             .unwrap()
+    }
+
+    #[test]
+    fn empty_step_path_counts_anchor_rank() {
+        // A path whose drift was injected entirely at the final node has
+        // no steps — it must still report the anchor's own rank.
+        let cp = CriticalPath::from_steps(2, 100, Vec::new());
+        assert_eq!(cp.ranks_touched, 1);
+        assert_eq!(cp.local_contribution, 0);
+        assert_eq!(cp.message_contribution, 0);
+        assert_eq!(cp.collective_contribution, 0);
+        assert!(cp.summary().contains("(1 ranks)"));
     }
 
     #[test]

@@ -1,0 +1,775 @@
+//! Zero-drift feasibility sweep: earliest/latest times and per-edge slack.
+//!
+//! The replay pipeline answers "where is this program sensitive?"
+//! *dynamically* — inject noise, propagate, walk the binding chain
+//! ([`crate::critical`]). This module answers the same question
+//! *statically*, from the recorded graph alone, Scalasca-style: a forward
+//! sweep reconstructs every subevent's earliest feasible time from
+//! effective edge costs, a backward sweep computes the latest time each
+//! subevent may occur without growing the makespan, and the difference
+//! assigns every edge a **slack** — the largest delay that edge can absorb
+//! before the run as a whole gets slower. Zero-slack edges form the static
+//! critical path.
+//!
+//! # Time space, not drift space
+//!
+//! Unlike replay (which works in per-rank drift space and never compares
+//! timestamps across ranks, §4.1), slack is inherently a *time-space*
+//! notion: "how late may this message arrive?" only makes sense on a
+//! common clock. The sweep therefore re-times the trace first: each rank's
+//! timestamps are shifted so its first subevent sits at 0. Because every
+//! rank enters `Init` at the same global instant, this cancels constant
+//! clock offsets exactly; only oscillator *rate* error (±100 ppm on real
+//! hardware) survives, and any resulting causality violation (a message
+//! "arriving" before it was sent, or after its receiver completed) is
+//! clamped and counted in [`SlackSweep::causality_clamps`] — the analyzer's
+//! honesty counter, in the same spirit as
+//! [`AbsorptionMode::MeasuredSlack`](crate::replay::AbsorptionMode)'s
+//! documented clock trust.
+//!
+//! # Effective costs
+//!
+//! Raw local-edge weights include time spent *blocked*, so scheduling the
+//! graph against them would be tautologically tight everywhere. The sweep
+//! instead derives effective costs that separate work from waiting:
+//!
+//! * a blocking operation's intra edge costs its duration **minus** the
+//!   wait interval (the part spent blocked on the latest incoming message
+//!   arm);
+//! * every incoming message arm costs the op window's post-wait residue,
+//!   so exactly the latest-arriving arm is tight;
+//! * collective entry edges cost 0 (only the last rank into the hub is
+//!   tight) and hub→exit edges cost the member's post-hub residue.
+//!
+//! Under these costs the forward sweep reproduces the observed schedule
+//! exactly (checked per node; [`SlackSweep::retime_mismatches`] counts
+//! violations), which is what makes the backward sweep's slack a faithful
+//! "maximum absorbable delay" — a property the test suite brute-forces.
+//!
+//! # Static ⇄ dynamic equivalence oracle
+//!
+//! For *constant* perturbation models the drift a replay would sample on
+//! each edge is a deterministic function of the edge's [`DeltaClass`]
+//! alone, so the whole replay can be predicted without running it:
+//! [`predicted_graph`] stamps the predicted deltas onto a quiet-recorded
+//! graph, and [`critical_path`](crate::critical::critical_path) over the
+//! prediction must equal the critical path of a real replay under that
+//! model. Together with [`drift_slack`] (zero drift-slack ⇔ on the binding
+//! chain) this is the correctness oracle tying the static analyzer to the
+//! dynamic engine.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mpg_noise::Dist;
+
+use crate::graph::{EventGraph, NodeId, Point};
+use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel, SignedDist};
+use crate::{Cycles, Drift};
+
+/// Result of the zero-drift forward/backward feasibility sweep.
+#[derive(Debug, Clone)]
+pub struct SlackSweep {
+    /// Re-timed observed time per node (per-rank offsets removed; hub
+    /// nodes get the max of their entry times).
+    time: HashMap<NodeId, Cycles>,
+    /// Earliest feasible time per node under the effective costs.
+    earliest: HashMap<NodeId, Cycles>,
+    /// Latest feasible time per node that keeps the makespan.
+    latest: HashMap<NodeId, Cycles>,
+    /// Effective cost per edge (parallel to `graph.edges()`).
+    cost: Vec<Cycles>,
+    /// Slack per edge (parallel to `graph.edges()`).
+    slack: Vec<Cycles>,
+    /// Wait interval per blocking-op end node (absent ⇒ 0).
+    wait: HashMap<NodeId, Cycles>,
+    /// Binding incoming message arm per end node: the edge index whose
+    /// source time defines the wait interval.
+    binding: HashMap<NodeId, usize>,
+    /// Re-timed finish of the whole run: max over final end nodes.
+    pub makespan: Cycles,
+    /// The final end node realizing the makespan (ties: lowest rank).
+    /// `None` for an empty graph.
+    pub anchor: Option<NodeId>,
+    /// Labeled nodes whose forward-sweep time differs from the observed
+    /// (re-timed) time — nonzero only when clocks lie about causality.
+    pub retime_mismatches: usize,
+    /// Cross-rank time comparisons that violated causality and were
+    /// clamped (message later than its receiving window, or earlier than
+    /// its send).
+    pub causality_clamps: usize,
+}
+
+/// A chain of tight (zero-residue) edges extracted by walking backwards
+/// from an anchor node along the static schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaticPath {
+    /// The end node the walk started from.
+    pub anchor: NodeId,
+    /// Earliest feasible (== observed) time of the anchor.
+    pub finish: Cycles,
+    /// Edge indices into `graph.edges()`, anchor-first (reverse order).
+    pub edges: Vec<usize>,
+    /// Distinct non-hub ranks the chain traverses (anchor included).
+    pub ranks_touched: usize,
+    /// How many chain edges are message edges (cross-rank or hub).
+    pub message_hops: usize,
+    /// Total wait-state cycles absorbed along the chain: for every chain
+    /// node whose binding message arm is the chain edge, the node's wait
+    /// interval.
+    pub wait_cycles: Cycles,
+}
+
+impl SlackSweep {
+    /// Runs the forward/backward sweep over a recorded graph.
+    pub fn sweep(graph: &EventGraph) -> Self {
+        let edges = graph.edges();
+
+        // -- Re-time: per-rank offset removal -------------------------------
+        let mut base: Vec<Option<Cycles>> = vec![None; graph.num_ranks()];
+        for (node, label) in graph.nodes() {
+            if node.hub {
+                continue;
+            }
+            let slot = &mut base[node.rank as usize];
+            *slot = Some(slot.map_or(label.t, |b| b.min(label.t)));
+        }
+        let mut time: HashMap<NodeId, Cycles> = HashMap::with_capacity(graph.node_count());
+        for (node, label) in graph.nodes() {
+            if node.hub {
+                continue;
+            }
+            let b = base[node.rank as usize].unwrap_or(0);
+            time.insert(*node, label.t - b);
+        }
+        // Hub times: max over entry-edge sources. Entry edges precede the
+        // hub's outgoing edges in creation order, so one pass suffices.
+        for e in edges {
+            if e.dst.hub && !e.src.hub {
+                let src_t = time.get(&e.src).copied().unwrap_or(0);
+                let slot = time.entry(e.dst).or_insert(0);
+                *slot = (*slot).max(src_t);
+            }
+        }
+
+        // -- Wait intervals & binding arms ----------------------------------
+        // An incoming message arm is remote when its source is another
+        // rank's node or a collective hub; an acknowledgement edge from the
+        // rank's *own* send-start (arrival-resolved ack) is not a cause of
+        // waiting and is excluded.
+        let mut wait: HashMap<NodeId, Cycles> = HashMap::new();
+        let mut binding: HashMap<NodeId, usize> = HashMap::new();
+        let mut arrival: HashMap<NodeId, Cycles> = HashMap::new();
+        let mut causality_clamps = 0usize;
+        for (i, e) in edges.iter().enumerate() {
+            if !e.is_message || e.dst.hub {
+                continue;
+            }
+            if !e.src.hub && e.src.rank == e.dst.rank {
+                continue;
+            }
+            let src_t = time.get(&e.src).copied().unwrap_or(0);
+            let slot = arrival.entry(e.dst).or_insert(0);
+            if !binding.contains_key(&e.dst) || src_t > *slot {
+                *slot = (*slot).max(src_t);
+                binding.insert(e.dst, i);
+            }
+        }
+        for (&end, &m) in &arrival {
+            let start = NodeId::start(end.rank, end.seq);
+            let (Some(&t_start), Some(&t_end)) = (time.get(&start), time.get(&end)) else {
+                continue;
+            };
+            if m > t_end {
+                causality_clamps += 1;
+            }
+            let w = m.saturating_sub(t_start).min(t_end - t_start);
+            if w > 0 {
+                wait.insert(end, w);
+            }
+        }
+
+        // -- Effective edge costs -------------------------------------------
+        let mut cost: Vec<Cycles> = Vec::with_capacity(edges.len());
+        for e in edges {
+            let c = if e.is_message {
+                if e.dst.hub {
+                    // Entry into the hub: only the last rank in is tight.
+                    0
+                } else {
+                    // Post-wait residue of the receiving op's window; the
+                    // same for every arm, so tightness is decided by the
+                    // arm's source time alone.
+                    let start = NodeId::start(e.dst.rank, e.dst.seq);
+                    let dur = match (time.get(&start), time.get(&e.dst)) {
+                        (Some(&s), Some(&t)) => t - s,
+                        _ => 0,
+                    };
+                    dur.saturating_sub(wait.get(&e.dst).copied().unwrap_or(0))
+                }
+            } else if e.src.rank == e.dst.rank
+                && e.src.seq == e.dst.seq
+                && e.src.point == Point::Start
+                && e.dst.point == Point::End
+            {
+                // Intra edge of an op: its duration minus time spent
+                // blocked (zero for ops with no remote arm).
+                e.base
+                    .saturating_sub(wait.get(&e.dst).copied().unwrap_or(0))
+            } else {
+                // Gap edges and other local structure: traced interval.
+                e.base
+            };
+            cost.push(c);
+        }
+
+        // -- Forward sweep (earliest) ---------------------------------------
+        let mut earliest: HashMap<NodeId, Cycles> = HashMap::with_capacity(time.len());
+        for (i, e) in edges.iter().enumerate() {
+            let src_e = earliest.get(&e.src).copied().unwrap_or(0);
+            let cand = src_e + cost[i];
+            let slot = earliest.entry(e.dst).or_insert(0);
+            *slot = (*slot).max(cand);
+        }
+        let mut retime_mismatches = 0usize;
+        for (n, &t) in &time {
+            if earliest.get(n).copied().unwrap_or(0) != t {
+                retime_mismatches += 1;
+            }
+        }
+
+        // -- Makespan & anchor ----------------------------------------------
+        let mut finals: HashMap<u32, NodeId> = HashMap::new();
+        for (node, _) in graph.nodes() {
+            if node.hub || node.point != Point::End {
+                continue;
+            }
+            let slot = finals.entry(node.rank).or_insert(*node);
+            if node.seq > slot.seq {
+                *slot = *node;
+            }
+        }
+        let mut makespan = 0;
+        let mut anchor: Option<NodeId> = None;
+        for n in finals.values() {
+            let t = earliest.get(n).copied().unwrap_or(0);
+            let better = match anchor {
+                None => true,
+                Some(a) => t > makespan || (t == makespan && n.rank < a.rank),
+            };
+            if better {
+                makespan = t;
+                anchor = Some(*n);
+            }
+        }
+
+        // -- Backward sweep (latest) ----------------------------------------
+        // Reverse creation order is a reverse topological order, so each
+        // node's outgoing edges are all visited before any incoming edge
+        // reads its latest time.
+        let mut latest: HashMap<NodeId, Cycles> = HashMap::with_capacity(time.len());
+        for (i, e) in edges.iter().enumerate().rev() {
+            let dst_l = latest.get(&e.dst).copied().unwrap_or(makespan);
+            let cand = dst_l.saturating_sub(cost[i]);
+            let slot = latest.entry(e.src).or_insert(cand);
+            *slot = (*slot).min(cand);
+        }
+
+        // -- Per-edge slack --------------------------------------------------
+        let slack: Vec<Cycles> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let dst_l = latest.get(&e.dst).copied().unwrap_or(makespan);
+                let src_e = earliest.get(&e.src).copied().unwrap_or(0);
+                dst_l.saturating_sub(src_e + cost[i])
+            })
+            .collect();
+
+        Self {
+            time,
+            earliest,
+            latest,
+            cost,
+            slack,
+            wait,
+            binding,
+            makespan,
+            anchor,
+            retime_mismatches,
+            causality_clamps,
+        }
+    }
+
+    /// Re-timed observed time of a node (offset-normalized local clock).
+    pub fn time(&self, node: NodeId) -> Option<Cycles> {
+        self.time.get(&node).copied()
+    }
+
+    /// Earliest feasible time of a node (equals the observed time when the
+    /// trace clocks respect causality).
+    pub fn earliest(&self, node: NodeId) -> Cycles {
+        self.earliest.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Latest time the node may occur without growing the makespan.
+    pub fn latest(&self, node: NodeId) -> Cycles {
+        self.latest.get(&node).copied().unwrap_or(self.makespan)
+    }
+
+    /// Effective cost of edge `i` (index into `graph.edges()`).
+    pub fn cost(&self, i: usize) -> Cycles {
+        self.cost[i]
+    }
+
+    /// Slack of edge `i`: the largest delay injectable on that edge alone
+    /// that leaves the makespan unchanged.
+    pub fn slack(&self, i: usize) -> Cycles {
+        self.slack[i]
+    }
+
+    /// Wait interval of a blocking op's end node: the part of its duration
+    /// spent blocked on the latest incoming message arm. Zero for nodes
+    /// with no remote arm.
+    pub fn wait(&self, end: NodeId) -> Cycles {
+        self.wait.get(&end).copied().unwrap_or(0)
+    }
+
+    /// The binding incoming message arm of an end node: the edge whose
+    /// source time defines the node's wait interval.
+    pub fn binding_arm(&self, end: NodeId) -> Option<usize> {
+        self.binding.get(&end).copied()
+    }
+
+    /// Number of zero-slack edges (the static critical network).
+    pub fn zero_slack_edges(&self) -> usize {
+        self.slack.iter().filter(|&&s| s == 0).count()
+    }
+
+    /// How many edges a perturbation of `magnitude` cycles could propagate
+    /// through (slack below the magnitude) — the "analyze first, then only
+    /// sweep where it matters" count.
+    pub fn perturbable_edges(&self, magnitude: Cycles) -> usize {
+        self.slack.iter().filter(|&&s| s < magnitude).count()
+    }
+
+    /// Walks the static critical path: from the makespan anchor backwards
+    /// along tight arms to time zero. Returns `None` for an empty graph.
+    pub fn static_critical_path(&self, graph: &EventGraph) -> Option<StaticPath> {
+        Some(self.chain_from(graph, self.anchor?))
+    }
+
+    /// Walks a tight chain backwards from an arbitrary anchor node. Every
+    /// edge on the chain satisfies `earliest(src) + cost == earliest(dst)`;
+    /// when the anchor realizes the makespan these are exactly zero-slack
+    /// edges.
+    pub fn chain_from(&self, graph: &EventGraph, anchor: NodeId) -> StaticPath {
+        let edges = graph.edges();
+        let mut incoming: HashMap<NodeId, Vec<usize>> = HashMap::new();
+        for (i, e) in edges.iter().enumerate() {
+            incoming.entry(e.dst).or_default().push(i);
+        }
+        let mut chain = Vec::new();
+        let mut ranks = BTreeSet::new();
+        let mut message_hops = 0usize;
+        let mut wait_cycles = 0;
+        if !anchor.hub {
+            ranks.insert(anchor.rank);
+        }
+        let mut current = anchor;
+        loop {
+            let e_cur = self.earliest(current);
+            if e_cur == 0 {
+                break;
+            }
+            // Prefer the binding message arm when it is tight (it names
+            // the true cause of a wait); otherwise any tight arm, message
+            // edges first, later sources first — deterministic because the
+            // edge order is fixed.
+            let candidates = incoming.get(&current);
+            let tight = |i: &usize| self.earliest(edges[*i].src) + self.cost[*i] == e_cur;
+            let chosen = match self.binding.get(&current) {
+                Some(&b) if tight(&b) => Some(b),
+                _ => candidates.and_then(|c| {
+                    c.iter()
+                        .filter(|i| tight(i))
+                        .max_by_key(|&&i| (edges[i].is_message, self.earliest(edges[i].src), i))
+                        .copied()
+                }),
+            };
+            let Some(i) = chosen else {
+                break;
+            };
+            let e = &edges[i];
+            if e.is_message {
+                message_hops += 1;
+            }
+            if self.binding.get(&current) == Some(&i) {
+                wait_cycles += self.wait(current);
+            }
+            if !e.src.hub {
+                ranks.insert(e.src.rank);
+            }
+            chain.push(i);
+            current = e.src;
+            if chain.len() > edges.len() {
+                break; // defensive: a cycle would indicate a recording bug
+            }
+        }
+        StaticPath {
+            anchor,
+            finish: self.earliest(anchor),
+            edges: chain,
+            ranks_touched: ranks.len(),
+            message_hops,
+            wait_cycles,
+        }
+    }
+}
+
+/// True when every delta a replay under `model` would sample is a
+/// deterministic constant: all component distributions are `Zero` or
+/// `Constant` and no quantum scaling is configured (quantum scaling reads
+/// each edge's *work*, which the recorded graph does not carry).
+pub fn predictable(model: &PerturbationModel) -> bool {
+    fn constant(d: &SignedDist) -> bool {
+        matches!(d.dist, Dist::Zero | Dist::Constant(_))
+    }
+    constant(&model.os_local)
+        && constant(&model.os_remote)
+        && constant(&model.latency)
+        && constant(&model.transfer_jitter)
+        && model.os_quantum.is_none()
+}
+
+/// Predicts the graph a recording replay under `model` would produce,
+/// without replaying: the quiet-recorded `graph`'s structure with every
+/// edge's sampled delta replaced by the constant the engine's sampler
+/// would draw for its [`DeltaClass`]. Exact because constant draws are
+/// independent of stream and order — the same property that lets lane
+/// batching share one traversal across models.
+///
+/// Returns `None` when the model is not [`predictable`], or when the graph
+/// contains an arrival-resolved acknowledgement edge (a `Lambda`-classed
+/// message edge leaving a *start* subevent, whose delta composes the full
+/// forward path) and the model has a size-dependent `per_byte` term — the
+/// edge does not carry the payload size needed to predict it.
+pub fn predicted_graph(graph: &EventGraph, model: &PerturbationModel) -> Option<EventGraph> {
+    if !predictable(model) {
+        return None;
+    }
+    let mut sampler = PerturbSampler::new(model.clone(), 1, 0);
+    let mut out = EventGraph::new(graph.num_ranks());
+    for (node, label) in graph.nodes() {
+        out.label(*node, label.kind, label.t);
+    }
+    for e in graph.edges() {
+        let sampled = match e.class {
+            DeltaClass::None => 0,
+            // An acknowledgement arm anchored at the sender's own start
+            // subevent stands for the full forward path plus the return
+            // hop (the engine records `d_msg − d_src + λ_ack` on it).
+            DeltaClass::Lambda if e.src.point == Point::Start && !e.src.hub => {
+                if model.per_byte != 0.0 {
+                    return None;
+                }
+                sampler.sample(0, DeltaClass::MessagePath { bytes: 0 })
+                    + sampler.sample(0, DeltaClass::Lambda)
+            }
+            class => sampler.sample(0, class),
+        };
+        let mut edge = e.clone();
+        edge.sampled = sampled;
+        out.add_edge(edge);
+    }
+    Some(out)
+}
+
+/// Per-edge slack in *drift space*: how much more delta an edge could have
+/// sampled before the binding chain into the maximally drifted final node
+/// would run through it. Edges on the replay critical path have zero
+/// drift-slack; edges that cannot reach the anchor at all have `None`
+/// (infinite slack). Returns `None` when no drift accumulated (quiet
+/// replay — every chain is trivial).
+pub fn drift_slack(graph: &EventGraph) -> Option<DriftSlack> {
+    let drifts = graph.propagate();
+    let finals = graph.final_drifts();
+    let (anchor_rank, &anchor_drift) = finals.iter().enumerate().max_by_key(|&(_, &d)| d)?;
+    if anchor_drift <= 0 {
+        return None;
+    }
+    let mut anchor: Option<NodeId> = None;
+    for (node, _) in graph.nodes() {
+        if node.rank == anchor_rank as u32
+            && node.point == Point::End
+            && !node.hub
+            && anchor.is_none_or(|a| node.seq > a.seq)
+        {
+            anchor = Some(*node);
+        }
+    }
+    let anchor = anchor?;
+    // Best achievable delta-sum from each node to the anchor.
+    let mut reach: HashMap<NodeId, Drift> = HashMap::new();
+    reach.insert(anchor, 0);
+    let edges = graph.edges();
+    let mut slack = vec![None; edges.len()];
+    for (i, e) in edges.iter().enumerate().rev() {
+        if let Some(&r_dst) = reach.get(&e.dst) {
+            let through = e.sampled + r_dst;
+            let slot = reach.entry(e.src).or_insert(through);
+            *slot = (*slot).max(through);
+            let f_src = drifts.get(&e.src).copied().unwrap_or(0).max(0);
+            slack[i] = Some(anchor_drift - (f_src + through));
+        }
+    }
+    Some(DriftSlack {
+        anchor,
+        anchor_drift,
+        slack,
+    })
+}
+
+/// Result of [`drift_slack`].
+#[derive(Debug, Clone)]
+pub struct DriftSlack {
+    /// The maximally drifted final end node.
+    pub anchor: NodeId,
+    /// Its drift.
+    pub anchor_drift: Drift,
+    /// Per-edge drift-slack (parallel to `graph.edges()`); `None` when the
+    /// edge cannot reach the anchor.
+    pub slack: Vec<Option<Drift>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+
+    /// Hand-built two-rank late-sender scenario:
+    ///
+    /// ```text
+    /// rank 0: [init 0..10] [compute 10..100] [send 100..110]
+    /// rank 1: [init 0..10] [recv 10..115]
+    /// ```
+    ///
+    /// Rank 1 posts its receive at 10 but the message only leaves rank 0
+    /// at 100; the receive's 105-cycle duration is mostly wait.
+    fn late_sender_graph() -> EventGraph {
+        let mut g = EventGraph::new(2);
+        let e = |src, dst, base, is_message| Edge {
+            src,
+            dst,
+            base,
+            class: DeltaClass::None,
+            sampled: 0,
+            is_message,
+        };
+        // rank 0
+        g.label(NodeId::start(0, 0), "init", 0);
+        g.label(NodeId::end(0, 0), "init", 10);
+        g.label(NodeId::start(0, 1), "compute", 10);
+        g.label(NodeId::end(0, 1), "compute", 100);
+        g.label(NodeId::start(0, 2), "send", 100);
+        g.label(NodeId::end(0, 2), "send", 110);
+        g.add_edge(e(NodeId::start(0, 0), NodeId::end(0, 0), 10, false));
+        g.add_edge(e(NodeId::end(0, 0), NodeId::start(0, 1), 0, false));
+        g.add_edge(e(NodeId::start(0, 1), NodeId::end(0, 1), 90, false));
+        g.add_edge(e(NodeId::end(0, 1), NodeId::start(0, 2), 0, false));
+        g.add_edge(e(NodeId::start(0, 2), NodeId::end(0, 2), 10, false));
+        // rank 1 (clock offset +1000 to exercise re-timing)
+        g.label(NodeId::start(1, 0), "init", 1000);
+        g.label(NodeId::end(1, 0), "init", 1010);
+        g.label(NodeId::start(1, 1), "recv", 1010);
+        g.label(NodeId::end(1, 1), "recv", 1115);
+        g.add_edge(e(NodeId::start(1, 0), NodeId::end(1, 0), 10, false));
+        g.add_edge(e(NodeId::end(1, 0), NodeId::start(1, 1), 0, false));
+        g.add_edge(e(NodeId::start(1, 1), NodeId::end(1, 1), 105, false));
+        // message edge: send start -> recv end
+        g.add_edge(e(NodeId::start(0, 2), NodeId::end(1, 1), 0, true));
+        g
+    }
+
+    #[test]
+    fn late_sender_wait_and_slack() {
+        let g = late_sender_graph();
+        let s = SlackSweep::sweep(&g);
+        assert_eq!(s.retime_mismatches, 0);
+        assert_eq!(s.causality_clamps, 0);
+        // Re-timing removed rank 1's offset.
+        assert_eq!(s.time(NodeId::start(1, 1)), Some(10));
+        // The receive blocked from 100 (send start) with a 15-cycle
+        // post-wait residue: wait = 100 - 10 = 90.
+        assert_eq!(s.wait(NodeId::end(1, 1)), 90);
+        let arm = s.binding_arm(NodeId::end(1, 1)).expect("binding arm");
+        assert!(g.edges()[arm].is_message);
+        // Makespan anchored on rank 1's receive end.
+        assert_eq!(s.makespan, 115);
+        assert_eq!(s.anchor, Some(NodeId::end(1, 1)));
+        // The message arm is tight; rank 1's intra edge has slack (its
+        // effective cost is 105 - 90 = 15, placed after the wait).
+        assert_eq!(s.slack(arm), 0);
+        assert_eq!(s.cost(arm), 15);
+        // Rank 0's send local edge is NOT on the critical path: the chain
+        // leaves rank 0 at the send *start*.
+        let path = s.static_critical_path(&g).expect("path");
+        assert_eq!(path.finish, 115);
+        assert_eq!(path.ranks_touched, 2);
+        assert_eq!(path.message_hops, 1);
+        assert_eq!(path.wait_cycles, 90);
+        // Chain: recv_end <- msg <- send_start <- gap <- compute ...
+        assert!(path.edges.len() >= 4, "{path:?}");
+        // Rank 1's early phases are off the path: its init intra edge has
+        // slack (it could run 90 cycles later).
+        let init1 = g
+            .edges()
+            .iter()
+            .position(|e| e.src == NodeId::start(1, 0) && !e.is_message)
+            .unwrap();
+        assert_eq!(s.slack(init1), 90);
+    }
+
+    #[test]
+    fn slack_is_max_absorbable_delay() {
+        // Brute-force the slack semantics: adding exactly slack(e) to an
+        // edge's cost keeps the makespan; slack(e)+1 grows it by 1.
+        let g = late_sender_graph();
+        let s = SlackSweep::sweep(&g);
+        let resweep = |extra_on: usize, extra: Cycles| -> Cycles {
+            let mut earliest: HashMap<NodeId, Cycles> = HashMap::new();
+            for (i, e) in g.edges().iter().enumerate() {
+                let c = s.cost(i) + if i == extra_on { extra } else { 0 };
+                let cand = earliest.get(&e.src).copied().unwrap_or(0) + c;
+                let slot = earliest.entry(e.dst).or_insert(0);
+                *slot = (*slot).max(cand);
+            }
+            [NodeId::end(0, 2), NodeId::end(1, 1)]
+                .iter()
+                .map(|n| earliest.get(n).copied().unwrap_or(0))
+                .max()
+                .unwrap()
+        };
+        for i in 0..g.edge_count() {
+            let sl = s.slack(i);
+            assert_eq!(resweep(i, sl), s.makespan, "edge {i} slack {sl}");
+            assert_eq!(resweep(i, sl + 1), s.makespan + 1, "edge {i}");
+        }
+    }
+
+    #[test]
+    fn collective_hub_wait_classifies_members() {
+        // Three ranks into a barrier hub; rank 2 arrives last.
+        let mut g = EventGraph::new(3);
+        let hub = NodeId::hub(0, 1);
+        let e = |src, dst, base, is_message| Edge {
+            src,
+            dst,
+            base,
+            class: DeltaClass::None,
+            sampled: 0,
+            is_message,
+        };
+        for r in 0..3u32 {
+            g.label(NodeId::start(r, 0), "init", 0);
+            g.label(NodeId::end(r, 0), "init", 10);
+            g.add_edge(e(NodeId::start(r, 0), NodeId::end(r, 0), 10, false));
+        }
+        let entry = [10, 40, 100];
+        for r in 0..3u32 {
+            let t = entry[r as usize];
+            g.label(NodeId::start(r, 1), "barrier", t);
+            g.label(NodeId::end(r, 1), "barrier", 105);
+            g.add_edge(e(NodeId::end(r, 0), NodeId::start(r, 1), t - 10, false));
+        }
+        for r in 0..3u32 {
+            g.add_edge(e(NodeId::start(r, 1), hub, 0, true));
+        }
+        for r in 0..3u32 {
+            g.add_edge(e(hub, NodeId::end(r, 1), 0, true));
+        }
+        let s = SlackSweep::sweep(&g);
+        assert_eq!(s.retime_mismatches, 0);
+        assert_eq!(s.time(hub), Some(100));
+        // Waits: hub(100) - entry, clamped into each member's window.
+        assert_eq!(s.wait(NodeId::end(0, 1)), 90);
+        assert_eq!(s.wait(NodeId::end(1, 1)), 60);
+        assert_eq!(s.wait(NodeId::end(2, 1)), 0);
+        // Only the last entrant's entry edge is tight.
+        let entry_edge = |r: u32| {
+            g.edges()
+                .iter()
+                .position(|e| e.src == NodeId::start(r, 1) && e.dst == hub)
+                .unwrap()
+        };
+        assert!(s.slack(entry_edge(0)) > 0);
+        assert!(s.slack(entry_edge(1)) > 0);
+        assert_eq!(s.slack(entry_edge(2)), 0);
+        // The critical path runs through rank 2's entry.
+        let path = s.static_critical_path(&g).expect("path");
+        assert!(path.edges.contains(&entry_edge(2)), "{path:?}");
+        assert!(!path.edges.contains(&entry_edge(0)));
+    }
+
+    #[test]
+    fn predictable_classifies_models() {
+        assert!(predictable(&PerturbationModel::quiet("q")));
+        assert!(predictable(&PerturbationModel::per_message_constant(
+            "c", 700.0
+        )));
+        let mut m = PerturbationModel::quiet("exp");
+        m.os_local = Dist::Exponential { mean: 100.0 }.into();
+        assert!(!predictable(&m));
+        let mut m = PerturbationModel::quiet("quantum");
+        m.os_quantum = Some(1000);
+        assert!(!predictable(&m));
+    }
+
+    #[test]
+    fn predicted_graph_stamps_constants() {
+        let mut g = EventGraph::new(2);
+        g.label(NodeId::start(0, 0), "send", 0);
+        g.label(NodeId::end(1, 0), "recv", 50);
+        g.add_edge(Edge {
+            src: NodeId::start(0, 0),
+            dst: NodeId::end(1, 0),
+            base: 0,
+            class: DeltaClass::MessagePath { bytes: 64 },
+            sampled: 0,
+            is_message: true,
+        });
+        let m = PerturbationModel::per_message_constant("c", 700.0);
+        let p = predicted_graph(&g, &m).expect("predictable");
+        assert_eq!(p.edges()[0].sampled, 700);
+        assert_eq!(p.node_count(), 2);
+        // Unpredictable model refuses.
+        let mut bad = PerturbationModel::quiet("n");
+        bad.latency = Dist::Normal {
+            mean: 10.0,
+            std_dev: 1.0,
+        }
+        .into();
+        assert!(predicted_graph(&g, &bad).is_none());
+    }
+
+    #[test]
+    fn drift_slack_zero_on_binding_chain() {
+        let mut g = EventGraph::new(2);
+        g.label(NodeId::end(0, 0), "compute", 10);
+        g.label(NodeId::end(1, 1), "recv", 50);
+        let e = |src, dst, sampled| Edge {
+            src,
+            dst,
+            base: 0,
+            class: DeltaClass::Lambda,
+            sampled,
+            is_message: true,
+        };
+        // Two arms into the final node: one drifted 100, one 30.
+        g.add_edge(e(NodeId::end(0, 0), NodeId::end(1, 1), 100));
+        g.add_edge(e(NodeId::start(1, 0), NodeId::end(1, 1), 30));
+        let ds = drift_slack(&g).expect("drift accumulated");
+        assert_eq!(ds.anchor_drift, 100);
+        assert_eq!(ds.slack[0], Some(0));
+        assert_eq!(ds.slack[1], Some(70));
+    }
+}

@@ -11,7 +11,7 @@
 //!
 //! [`lane_replays`] exploits that: configs are grouped into batches of up
 //! to [`MAX_LANES`] by [`plan_lanes`], and each batch runs the ready-queue
-//! engine once with a [`VecBank`] — an SoA bank of K drift lanes threaded
+//! engine once with a `VecBank` — an SoA bank of K drift lanes threaded
 //! through every cursor, request slot and collective entry. Each lane owns
 //! its own [`PerturbSampler`], which observes exactly the per-(rank, class)
 //! call sequence a scalar replay of that config would make, so every lane's

@@ -63,6 +63,7 @@
 
 pub mod critical;
 pub mod dot;
+pub mod feasible;
 pub mod graph;
 pub mod lane;
 pub mod perturb;
@@ -73,6 +74,7 @@ pub mod stream;
 pub mod timeline;
 
 pub use critical::{critical_path, CriticalPath};
+pub use feasible::{drift_slack, predictable, predicted_graph, DriftSlack, SlackSweep, StaticPath};
 pub use graph::{Edge, EventGraph, NodeId, Point};
 pub use lane::{lane_replays, plan_lanes, replay_batch, LaneBatch, MAX_LANES};
 pub use perturb::{DeltaClass, PerturbationModel, SignedDist};

@@ -17,6 +17,7 @@
 //! | 3 (causality) | recorded-graph sanity | `MPG-CYCLE`, `MPG-CAUSALITY` |
 //! | 4 (wildcard) | nondeterministic matching | `MPG-WILD-RACE` |
 //! | 5 (collective) | collective consistency | `MPG-COLLECTIVE-SKEW` |
+//! | 6 (performance) | wait-state & slack analysis | `MPG-LATE-SENDER`, `MPG-COLLECTIVE-IMBALANCE`, `MPG-SERIAL-CHAIN` |
 //!
 //! Passes 1, 2, 4 and 5 run off one lockstep progress simulation
 //! ([`progress::lint_progress`]) that reuses the simulator's
@@ -26,15 +27,22 @@
 //! [`EventGraph`](mpg_core::EventGraph).
 //!
 //! [`replay_gate`] packages [`lint_trace`] as a
-//! [`TraceGate`](mpg_core::TraceGate) so `Replayer::run` can refuse traces
+//! [`TraceGate`] so `Replayer::run` can refuse traces
 //! with error-severity defects.
 
 mod envelope;
 pub mod graphcheck;
 pub mod progress;
+pub mod slack;
+pub mod waitstate;
 
 pub use graphcheck::lint_graph;
 pub use progress::lint_progress;
+pub use slack::{lint_chains, rank_chains, ChainSummary};
+pub use waitstate::{
+    analyze_graph, lint_waitstates, CollectiveWait, KeyedWait, PerfReport, PerfThresholds,
+    RankBreakdown, WaitClass, WaitInterval,
+};
 
 use mpg_core::{PerturbationModel, ReplayConfig, Replayer, TraceGate};
 use mpg_trace::{sort_diagnostics, Diagnostic, MemTrace, Rule, Severity};
@@ -66,6 +74,10 @@ pub fn lint_full(trace: &MemTrace) -> Vec<Diagnostic> {
         Ok(report) => {
             if let Some(graph) = report.graph {
                 diags.extend(lint_graph(&graph));
+                // Pass 6: wait-state & slack analysis. Advisory findings
+                // about a slow-but-correct run; thresholds keep trivial
+                // traces clean.
+                diags.extend(lint_perf(trace, &graph, &PerfThresholds::default()));
             }
         }
         Err(e) => {
@@ -89,6 +101,22 @@ pub fn lint_salvaged(trace: &MemTrace, salvage: &mpg_trace::SalvageReport) -> Ve
     let mut diags = salvage.diagnostics();
     diags.extend(lint_full(trace));
     sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Pass 6 on its own: runs the wait-state/slack analysis over a recorded
+/// graph and returns the threshold-gated performance findings
+/// (`MPG-LATE-SENDER`, `MPG-COLLECTIVE-IMBALANCE`, `MPG-SERIAL-CHAIN`).
+/// Used by [`lint_full`] and by `mpgtool analyze` (which also renders the
+/// underlying [`PerfReport`]).
+pub fn lint_perf(
+    trace: &MemTrace,
+    graph: &mpg_core::EventGraph,
+    thresholds: &PerfThresholds,
+) -> Vec<Diagnostic> {
+    let report = analyze_graph(trace, graph);
+    let mut diags = lint_waitstates(&report, thresholds);
+    diags.extend(lint_chains(&report, thresholds));
     diags
 }
 

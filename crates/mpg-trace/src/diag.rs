@@ -95,6 +95,16 @@ pub enum Rule {
     TruncatedTrace,
     /// A rank file named by `meta.txt` is absent from the trace directory.
     MissingRank,
+    // ---- performance findings (wait-state/slack analysis) ----
+    /// A receive spent most of its window blocked on a sender that posted
+    /// late; the wait is on the static critical path.
+    LateSender,
+    /// A collective's cost is dominated by entry imbalance: one rank's
+    /// late arrival made every other participant wait.
+    CollectiveImbalance,
+    /// The static critical path serializes through many ranks with heavy
+    /// wait states — the run is chain-dominated, not compute-dominated.
+    SerialChain,
 }
 
 impl Rule {
@@ -121,6 +131,9 @@ impl Rule {
         Rule::CollectiveSkew,
         Rule::TruncatedTrace,
         Rule::MissingRank,
+        Rule::LateSender,
+        Rule::CollectiveImbalance,
+        Rule::SerialChain,
     ];
 
     /// The stable `MPG-*` code.
@@ -147,6 +160,42 @@ impl Rule {
             Rule::CollectiveSkew => "MPG-COLLECTIVE-SKEW",
             Rule::TruncatedTrace => "MPG-TRUNCATED-TRACE",
             Rule::MissingRank => "MPG-MISSING-RANK",
+            Rule::LateSender => "MPG-LATE-SENDER",
+            Rule::CollectiveImbalance => "MPG-COLLECTIVE-IMBALANCE",
+            Rule::SerialChain => "MPG-SERIAL-CHAIN",
+        }
+    }
+
+    /// One-line description of the defect class, shared by
+    /// `mpgtool lint --help` and the DESIGN.md rule table (a consistency
+    /// test keeps the two in sync so a new rule cannot silently miss its
+    /// documentation).
+    pub fn doc(self) -> &'static str {
+        match self {
+            Rule::ClockNonMono => "local clock runs backwards or events overlap",
+            Rule::BadSeq => "sequence numbers not dense from zero",
+            Rule::MissingInit => "first event is not Init",
+            Rule::MissingFinalize => "last event is not Finalize",
+            Rule::WrongRank => "record's rank disagrees with its stream",
+            Rule::DupRequest => "request id initiated twice before completion",
+            Rule::UnknownRequest => "wait references an unknown or completed request",
+            Rule::LeakedRequest => "request initiated but never completed",
+            Rule::SelfMessage => "event names its own rank as peer",
+            Rule::UnmatchedSend => "send with no matching receive anywhere in the trace",
+            Rule::UnmatchedRecv => "receive with no matching send anywhere in the trace",
+            Rule::TagMismatch => "send/receive pair agree on channel but disagree on tag",
+            Rule::CountMismatch => "matched send/receive disagree on byte count",
+            Rule::BadPeer => "peer rank outside the communicator",
+            Rule::Deadlock => "cycle in the wait-for graph over blocking operations",
+            Rule::Cycle => "stitched event graph is not a DAG",
+            Rule::Causality => "message edge points backwards in per-rank program order",
+            Rule::WildRace => "wildcard receive with 2+ statically feasible senders",
+            Rule::CollectiveSkew => "ranks disagree on collective op/root/participants",
+            Rule::TruncatedTrace => "rank stream was salvaged; frames or records lost",
+            Rule::MissingRank => "rank file named by meta.txt is absent",
+            Rule::LateSender => "receive blocked most of its window on a late sender",
+            Rule::CollectiveImbalance => "collective cost dominated by one rank's late entry",
+            Rule::SerialChain => "critical path serializes through many ranks via waits",
         }
     }
 
@@ -164,6 +213,9 @@ impl Rule {
             // still meaningful, but strict pipelines escalate these with
             // `--deny` to reject salvaged traces outright.
             Rule::TruncatedTrace | Rule::MissingRank => Severity::Warning,
+            // Performance findings describe a slow-but-correct run; they
+            // never block replay unless escalated with `--deny`.
+            Rule::LateSender | Rule::CollectiveImbalance | Rule::SerialChain => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -376,6 +428,38 @@ mod tests {
             assert_eq!(Rule::from_code(&rule.code().to_lowercase()), Some(rule));
         }
         assert_eq!(Rule::from_code("MPG-NOT-A-RULE"), None);
+    }
+
+    #[test]
+    fn every_rule_has_a_doc_line() {
+        for &rule in Rule::ALL {
+            assert!(!rule.doc().is_empty(), "{} has no doc", rule.code());
+            // Doc lines are table cells: single line, no pipes.
+            assert!(!rule.doc().contains('\n'), "{} doc multiline", rule.code());
+            assert!(!rule.doc().contains('|'), "{} doc has pipe", rule.code());
+        }
+    }
+
+    #[test]
+    fn design_doc_rule_table_matches_registry() {
+        // DESIGN.md §7 renders the registry as a table with one
+        // `| MPG-… | severity | doc |` row per rule. Regenerating the rows
+        // here and requiring each verbatim in the document means a new
+        // rule cannot ship without its documentation line.
+        let design = include_str!("../../../DESIGN.md");
+        for &rule in Rule::ALL {
+            let row = format!(
+                "| `{}` | {} | {} |",
+                rule.code(),
+                rule.default_severity().label(),
+                rule.doc()
+            );
+            assert!(
+                design.contains(&row),
+                "DESIGN.md is missing the registry row for {}:\n{row}",
+                rule.code()
+            );
+        }
     }
 
     #[test]

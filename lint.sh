@@ -11,6 +11,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo doc --workspace --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
@@ -24,15 +27,14 @@ if [ -f BENCH_replay.json ]; then
         bench --check BENCH_replay.json --threshold 20 --reps 9
 fi
 
-# Fault-injection smoke suite: trace every demo workload, fsck it clean,
-# inject one deterministic fault per operator, and check the 0/1/2 exit
-# contract (0 clean, 1 salvaged, 2 unrecoverable) plus the salvage-mode
-# pipeline end to end. Scripts and CI depend on these exit codes.
-echo "==> fsck fault-injection smoke suite"
+# Per-workload smoke suites. Every demo workload is traced once; the trace
+# then feeds (a) the wait-state analyzer and (b) the fsck fault-injection
+# matrix. Scripts and CI depend on the exit codes checked here.
+echo "==> analyze + fsck smoke suite"
 cargo build --release -q -p mpg-analysis --bin mpgtool
 MPGTOOL=target/release/mpgtool
-FSCK_TMP="$(mktemp -d)"
-trap 'rm -rf "$FSCK_TMP"' EXIT
+SMOKE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_TMP"' EXIT
 
 expect_exit() {
     want="$1"; shift
@@ -46,9 +48,24 @@ expect_exit() {
     fi
 }
 
-for wl in ring stencil master-worker solver pipeline transpose summa; do
-    dir="$FSCK_TMP/$wl"
-    "$MPGTOOL" demo "$wl" --ranks 8 "$dir" >/dev/null
+# Wait-state & slack analysis must terminate cleanly on every workload
+# (exit 0 ⇒ the accounting identity held exactly) and produce JSON.
+analyze_workload() {
+    dir="$1"
+    out="$dir-analyze.json"
+    expect_exit 0 "$MPGTOOL" analyze "$dir"
+    if ! "$MPGTOOL" analyze "$dir" --json > "$out" || [ ! -s "$out" ]; then
+        echo "lint: FAIL: analyze --json produced no output for $dir" >&2
+        exit 1
+    fi
+    rm -f "$out"
+}
+
+# Fault-injection matrix: fsck the clean trace, inject one deterministic
+# fault per operator, and check the 0/1/2 exit contract (0 clean, 1
+# salvaged, 2 unrecoverable) plus the salvage-mode pipeline end to end.
+fsck_workload() {
+    dir="$1"
     expect_exit 0 "$MPGTOOL" fsck "$dir"
     for fault in truncate bitflip frame-drop frame-dup frame-swap splice delete-rank; do
         bad="$dir-$fault"
@@ -70,7 +87,14 @@ for wl in ring stencil master-worker solver pipeline transpose summa; do
     rm "$dir/meta.txt"
     expect_exit 2 "$MPGTOOL" fsck "$dir"
     rm -rf "$dir"
+}
+
+for wl in ring stencil master-worker solver pipeline transpose summa; do
+    dir="$SMOKE_TMP/$wl"
+    "$MPGTOOL" demo "$wl" --ranks 8 "$dir" >/dev/null
+    analyze_workload "$dir"
+    fsck_workload "$dir"
 done
-echo "    fsck exit contract holds across 7 workloads x 7 faults"
+echo "    analyze identity + fsck exit contract hold across 7 workloads"
 
 echo "lint: clean"
