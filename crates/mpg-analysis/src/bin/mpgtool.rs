@@ -21,9 +21,11 @@
 //!     With --salvage, read the trace through the salvage path and merge
 //!     MPG-TRUNCATED-TRACE / MPG-MISSING-RANK findings (deny those codes
 //!     to reject salvaged input). `mpgtool lint --rules` prints the full
-//!     rule registry (code, default severity, doc line). Exit code
-//!     contract: 0 when no error-severity diagnostic fired, 1 when at
-//!     least one did, 2 on usage or I/O errors.
+//!     rule registry (code, default severity, owning pass, doc line) —
+//!     add --json for machine-readable output; `mpgtool lint --explain
+//!     MPG-RULE` prints one entry. Exit code contract: 0 when no
+//!     error-severity diagnostic fired, 1 when at least one did, 2 on
+//!     usage or I/O errors.
 //!
 //! mpgtool analyze <trace-dir> [--json] [--top K] [--salvage]
 //!     Static wait-state & slack analysis (no perturbation): decompose
@@ -68,11 +70,13 @@
 //! mpgtool diff <trace-dir-a> <trace-dir-b>
 //!     Compare two traces' per-kind time accounting.
 //!
-//! mpgtool bench [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
+//! mpgtool bench [--lint] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
 //!     Measure replay throughput (events/sec) on the pinned seed workloads.
 //!     With --out, write the machine-readable snapshot (BENCH_replay.json).
 //!     With --check, compare against a recorded snapshot and exit nonzero
 //!     if any workload regressed by more than PCT percent (default 20).
+//!     With --lint, measure full static-analysis (`lint_full`) throughput
+//!     on the pinned lint workloads instead (snapshot BENCH_lint.json).
 //! ```
 
 use std::path::{Path, PathBuf};
@@ -108,7 +112,8 @@ fn usage() -> ExitCode {
     eprintln!("  mpgtool stats <trace-dir>");
     eprintln!("  mpgtool validate <trace-dir> [--json]");
     eprintln!("  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage]");
-    eprintln!("  mpgtool lint --help       (print the MPG-* rule registry)");
+    eprintln!("  mpgtool lint --rules [--json]   (print the MPG-* rule registry)");
+    eprintln!("  mpgtool lint --explain <MPG-RULE> [--json]");
     eprintln!("  mpgtool analyze <trace-dir> [--json] [--top K] [--salvage]");
     eprintln!("  mpgtool fsck <trace-dir> [--json] [--inject KIND [--seed S] [--out DIR]]");
     eprintln!(
@@ -120,7 +125,7 @@ fn usage() -> ExitCode {
     eprintln!("  mpgtool import <text-file> <trace-dir>");
     eprintln!("  mpgtool timeline <trace-dir> [--width N]");
     eprintln!("  mpgtool diff <trace-dir-a> <trace-dir-b>");
-    eprintln!("  mpgtool bench [--out FILE] [--check FILE] [--threshold PCT] [--reps N]");
+    eprintln!("  mpgtool bench [--lint] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]");
     ExitCode::from(2)
 }
 
@@ -148,6 +153,28 @@ fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
 /// Renders diagnostics as a JSON array (one object per diagnostic).
 fn diags_to_json(diags: &[&Diagnostic]) -> String {
     let objs: Vec<String> = diags.iter().map(|d| d.to_json()).collect();
+    format!("[{}]", objs.join(","))
+}
+
+/// One registry entry as a JSON object, from the same single source of
+/// truth (`Rule::ALL` + code/severity/pass/doc) as `lint --help` and the
+/// DESIGN.md §7 table.
+fn rule_to_json(rule: Rule) -> String {
+    let mut s = String::from("{\"code\":\"");
+    mpg_trace::json_escape_into(rule.code(), &mut s);
+    s.push_str("\",\"severity\":\"");
+    mpg_trace::json_escape_into(rule.default_severity().label(), &mut s);
+    s.push_str("\",\"pass\":\"");
+    mpg_trace::json_escape_into(rule.pass(), &mut s);
+    s.push_str("\",\"doc\":\"");
+    mpg_trace::json_escape_into(rule.doc(), &mut s);
+    s.push_str("\"}");
+    s
+}
+
+/// The whole registry as a JSON array (`mpgtool lint --rules --json`).
+fn rules_to_json(rules: &[Rule]) -> String {
+    let objs: Vec<String> = rules.iter().map(|&r| rule_to_json(r)).collect();
     format!("[{}]", objs.join(","))
 }
 
@@ -308,17 +335,35 @@ fn cmd_validate(mut args: Vec<String>) -> ExitCode {
 /// Exit code contract (also used by `validate`): 0 when no error-severity
 /// diagnostic fired, 1 when at least one did, 2 on usage or I/O errors.
 fn cmd_lint(mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
     if take_switch(&mut args, "--help") || take_switch(&mut args, "--rules") {
-        // The registry itself (Rule::ALL + Rule::doc) is the single source
-        // of truth; DESIGN.md §7 renders the same table and a consistency
-        // test keeps the two in sync.
-        println!(
-            "{}",
-            mpg_analysis::Table::rule_registry(mpg_trace::Rule::ALL).render()
-        );
+        // The registry itself (Rule::ALL + Rule::doc/pass) is the single
+        // source of truth; DESIGN.md §7 renders the same table and a
+        // consistency test keeps the two in sync.
+        if json {
+            println!("{}", rules_to_json(mpg_trace::Rule::ALL));
+        } else {
+            println!(
+                "{}",
+                mpg_analysis::Table::rule_registry(mpg_trace::Rule::ALL).render()
+            );
+        }
         return ExitCode::SUCCESS;
     }
-    let json = take_switch(&mut args, "--json");
+    if let Some(code) = take_flag(&mut args, "--explain") {
+        let Some(rule) = Rule::from_code(&code) else {
+            return fail(&format!("unknown rule '{code}' for --explain"));
+        };
+        if json {
+            println!("{}", rule_to_json(rule));
+        } else {
+            println!("{}", rule.code());
+            println!("  severity: {}", rule.default_severity().label());
+            println!("  pass:     {}", rule.pass());
+            println!("  meaning:  {}", rule.doc());
+        }
+        return ExitCode::SUCCESS;
+    }
     let all = take_switch(&mut args, "--all");
     let salvage = take_switch(&mut args, "--salvage");
     let mut deny: Vec<Rule> = Vec::new();
@@ -914,8 +959,10 @@ fn cmd_diff(args: Vec<String>) -> ExitCode {
 
 /// `mpgtool bench`: measure replay throughput on the pinned workloads,
 /// optionally writing the `BENCH_replay.json` snapshot and/or gating
-/// against a recorded one.
+/// against a recorded one. With `--lint`, measure `lint_full` throughput
+/// instead (snapshot `BENCH_lint.json`), same `--out`/`--check` contract.
 fn cmd_bench(mut args: Vec<String>) -> ExitCode {
+    let lint = take_switch(&mut args, "--lint");
     let out = take_flag(&mut args, "--out");
     let check = take_flag(&mut args, "--check");
     let threshold: f64 = take_flag(&mut args, "--threshold")
@@ -926,6 +973,41 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
         .unwrap_or(5);
     if !args.is_empty() {
         return fail(&format!("bench: unexpected argument '{}'", args[0]));
+    }
+    if lint {
+        let snap = mpg_analysis::lintperf::measure(reps);
+        println!(
+            "{:>16} {:>6} {:>10} {:>14}",
+            "workload", "ranks", "events", "lint ev/sec"
+        );
+        for w in &snap.workloads {
+            println!(
+                "{:>16} {:>6} {:>10} {:>14.0}",
+                w.name, w.ranks, w.events, w.events_per_sec
+            );
+        }
+        if let Some(path) = out {
+            if let Err(e) = std::fs::write(&path, snap.to_json()) {
+                return fail(&format!("writing {path}: {e}"));
+            }
+            println!("snapshot: wrote {path}");
+        }
+        if let Some(path) = check {
+            let recorded = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => return fail(&format!("reading {path}: {e}")),
+            };
+            let msgs = mpg_analysis::lintperf::regressions(&recorded, &snap, threshold);
+            if msgs.is_empty() {
+                println!("check: within {threshold}% of {path}");
+            } else {
+                for m in &msgs {
+                    eprintln!("mpgtool: bench regression: {m}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
     }
     let snap = mpg_analysis::perf::measure(reps);
     println!(

@@ -31,6 +31,7 @@
 
 pub mod experiments;
 pub mod history;
+pub mod lintperf;
 pub mod perf;
 pub mod sweep;
 pub mod table;

@@ -1,0 +1,242 @@
+//! Lint-throughput measurement and the tracked `BENCH_lint.json` perf
+//! snapshot.
+//!
+//! The §12 pass manager's pitch is that the *whole* static-analysis
+//! pipeline — progress matching, quiet recorded replay, happens-before
+//! index, and the parallel graph passes (causality, HB races with witness
+//! replays, perf, sync) — stays a near-linear pass over the trace. This
+//! module pins three lint-heavy workloads (including the wildcard-heavy
+//! master-worker, whose every task receive is an `ANY_SOURCE` race
+//! candidate), measures `lint_full` events/sec, and round-trips the
+//! results through the same snapshot format as `BENCH_replay.json` so
+//! `lint.sh` can fail a change that regresses lint throughput by more than
+//! a threshold. The gate reuses [`perf::calibrate`](crate::perf::calibrate)
+//! host-speed scaling, so a loaded box loosens the floor instead of
+//! producing false failures.
+
+use std::time::Instant;
+
+use crate::perf::{calibrate, PerfSnapshot, WorkloadPerf};
+use mpg_apps::{MasterWorker, Stencil, TokenRing, Workload};
+use mpg_noise::PlatformSignature;
+use mpg_sim::Simulation;
+use mpg_trace::MemTrace;
+
+fn trace_of(w: &dyn Workload, p: u32) -> MemTrace {
+    Simulation::new(p, PlatformSignature::quiet("lintperf"))
+        .ideal_clocks()
+        .seed(1)
+        .run(|ctx| w.run(ctx))
+        .expect("pinned lint workload runs")
+        .trace
+}
+
+/// The pinned lint workloads: the wildcard-heavy master-worker (every task
+/// pull is an `ANY_SOURCE` receive, so pass 4 enumerates and witness-
+/// replays real candidates), a waitall-heavy stencil (nonblocking request
+/// bookkeeping), and a long blocking token ring (matcher + wait-for graph).
+pub fn pinned_traces() -> Vec<(&'static str, u32, MemTrace)> {
+    let mw = MasterWorker {
+        tasks: 60,
+        task_work: 20,
+        task_bytes: 64,
+        result_bytes: 32,
+    };
+    let stencil = Stencil {
+        iters: 150,
+        cells_per_rank: 10,
+        work_per_cell: 5,
+        halo_bytes: 256,
+    };
+    let ring = TokenRing {
+        traversals: 40,
+        particles_per_rank: 2,
+        work_per_pair: 1,
+    };
+    vec![
+        ("master-worker-8", 8, trace_of(&mw, 8)),
+        ("stencil-8", 8, trace_of(&stencil, 8)),
+        ("token-ring-16", 16, trace_of(&ring, 16)),
+    ]
+}
+
+/// A lint-throughput snapshot (what `BENCH_lint.json` holds). Same
+/// workload/calibration keys as [`PerfSnapshot`], so the tolerant
+/// line-scanning parsers are shared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintPerfSnapshot {
+    /// Timed repetitions per workload (best is kept).
+    pub reps: u32,
+    /// Host-speed calibration taken with the measurement.
+    pub calibration: f64,
+    /// Per-workload results (`events_per_sec` = trace events / `lint_full`
+    /// wall time; `scheduler_wakeups`/`polls_avoided` are unused here and
+    /// recorded as 0).
+    pub workloads: Vec<WorkloadPerf>,
+}
+
+/// Measures `lint_full` over every pinned workload: one warmup, then
+/// `reps` timed runs, keeping the best.
+pub fn measure(reps: u32) -> LintPerfSnapshot {
+    let reps = reps.max(1);
+    let mut workloads = Vec::new();
+    for (name, ranks, trace) in pinned_traces() {
+        let warm = mpg_lint::lint_full(&trace);
+        // The pinned workloads are clean traces: only advisory findings
+        // (races on master-worker) may appear. An error here means the
+        // bench is measuring a broken pipeline, not a slow one.
+        assert!(
+            warm.iter().all(|d| d.severity < mpg_trace::Severity::Error),
+            "pinned lint workload {name} has error diagnostics: {warm:?}"
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(mpg_lint::lint_full(&trace));
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        let events = trace.total_events() as u64;
+        workloads.push(WorkloadPerf {
+            name: name.to_string(),
+            ranks,
+            events,
+            events_per_sec: events as f64 / best,
+            scheduler_wakeups: 0,
+            polls_avoided: 0,
+        });
+    }
+    LintPerfSnapshot {
+        reps,
+        calibration: calibrate(),
+        workloads,
+    }
+}
+
+impl LintPerfSnapshot {
+    /// Renders the snapshot as the `BENCH_lint.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"lint_throughput\",\n");
+        out.push_str(&format!("  \"reps\": {},\n", self.reps));
+        out.push_str(&format!(
+            "  \"calibration_iters_per_sec\": {:.0},\n",
+            self.calibration
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, w) in self.workloads.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+            out.push_str(&format!("      \"ranks\": {},\n", w.ranks));
+            out.push_str(&format!("      \"events\": {},\n", w.events));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {:.0}\n",
+                w.events_per_sec
+            ));
+            out.push_str(if i + 1 == self.workloads.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Compares a fresh lint measurement against a recorded `BENCH_lint.json`.
+/// Same contract and host-speed scaling as
+/// [`perf::regressions`](crate::perf::regressions): one message per
+/// workload more than `threshold_pct` percent below the (scaled) recorded
+/// throughput; empty means the gate passes.
+pub fn regressions(
+    recorded_json: &str,
+    current: &LintPerfSnapshot,
+    threshold_pct: f64,
+) -> Vec<String> {
+    let recorded = PerfSnapshot::parse_events_per_sec(recorded_json);
+    let host_scale = PerfSnapshot::parse_calibration(recorded_json)
+        .filter(|rec_cal| *rec_cal > 0.0 && current.calibration > 0.0)
+        .map_or(1.0, |rec_cal| (current.calibration / rec_cal).min(1.0));
+    let mut msgs = Vec::new();
+    for w in &current.workloads {
+        let Some((_, rec_eps)) = recorded.iter().find(|(n, _)| *n == w.name) else {
+            continue;
+        };
+        let scaled = rec_eps * host_scale;
+        let floor = scaled * (1.0 - threshold_pct / 100.0);
+        if w.events_per_sec < floor {
+            msgs.push(format!(
+                "{}: {:.0} lint events/sec is {:.1}% below the recorded {:.0} \
+                 (host-speed scale {:.2}, allowed drop {:.0}%)",
+                w.name,
+                w.events_per_sec,
+                (1.0 - w.events_per_sec / scaled) * 100.0,
+                rec_eps,
+                host_scale,
+                threshold_pct
+            ));
+        }
+    }
+    msgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(eps: &[(&str, f64)], calibration: f64) -> LintPerfSnapshot {
+        LintPerfSnapshot {
+            reps: 1,
+            calibration,
+            workloads: eps
+                .iter()
+                .map(|(n, e)| WorkloadPerf {
+                    name: (*n).into(),
+                    ranks: 8,
+                    events: 1000,
+                    events_per_sec: *e,
+                    scheduler_wakeups: 0,
+                    polls_avoided: 0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_through_shared_parsers() {
+        let snap = snapshot(&[("master-worker-8", 2.0e6), ("stencil-8", 1.0e6)], 1.0e9);
+        let json = snap.to_json();
+        assert_eq!(
+            PerfSnapshot::parse_events_per_sec(&json),
+            vec![
+                ("master-worker-8".to_string(), 2.0e6),
+                ("stencil-8".to_string(), 1.0e6)
+            ]
+        );
+        assert_eq!(PerfSnapshot::parse_calibration(&json), Some(1.0e9));
+    }
+
+    #[test]
+    fn gate_fires_only_past_threshold_with_host_scaling() {
+        let recorded = snapshot(&[("a", 1.0e6)], 1.0e9).to_json();
+        // 10% down: within a 20% allowance.
+        assert!(regressions(&recorded, &snapshot(&[("a", 9.0e5)], 1.0e9), 20.0).is_empty());
+        // 30% down at full host speed: the gate names it.
+        let msgs = regressions(&recorded, &snapshot(&[("a", 7.0e5)], 1.0e9), 20.0);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].starts_with("a:"), "{msgs:?}");
+        // Same drop on a half-speed host: forgiven.
+        assert!(regressions(&recorded, &snapshot(&[("a", 7.0e5)], 0.5e9), 20.0).is_empty());
+        // Unknown workloads are ignored (the pinned set may grow).
+        assert!(regressions(&recorded, &snapshot(&[("new", 1.0)], 1.0e9), 20.0).is_empty());
+    }
+
+    #[test]
+    fn measure_smoke() {
+        let snap = measure(1);
+        assert_eq!(snap.workloads.len(), 3);
+        for w in &snap.workloads {
+            assert!(w.events > 0 && w.events_per_sec > 0.0, "{w:?}");
+        }
+    }
+}

@@ -47,16 +47,21 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// The `MPG-*` rule registry (code → default severity → doc line) as
-    /// a table. `mpgtool lint --help` renders this from the same source
-    /// of truth (`Rule::ALL` + [`mpg_trace::Rule::doc`]) that the
-    /// DESIGN.md §7 table is consistency-checked against.
+    /// The `MPG-*` rule registry (code → default severity → owning pass →
+    /// doc line) as a table. `mpgtool lint --help` renders this from the
+    /// same source of truth (`Rule::ALL` + [`mpg_trace::Rule::doc`] +
+    /// [`mpg_trace::Rule::pass`]) that the DESIGN.md §7 table is
+    /// consistency-checked against.
     pub fn rule_registry(rules: &[mpg_trace::Rule]) -> Self {
-        let mut t = Table::new("MPG-* rule registry", &["rule", "severity", "meaning"]);
+        let mut t = Table::new(
+            "MPG-* rule registry",
+            &["rule", "severity", "pass", "meaning"],
+        );
         for &r in rules {
             t.row(vec![
                 r.code().to_string(),
                 r.default_severity().label().to_string(),
+                r.pass().to_string(),
                 r.doc().to_string(),
             ]);
         }

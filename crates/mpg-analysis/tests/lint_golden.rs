@@ -1,0 +1,160 @@
+//! Golden lint suite over the demo workloads.
+//!
+//! Every mpg-apps demo workload is simulated (seed 1, quiet platform,
+//! ideal clocks, 8 ranks) and pushed through the full pass manager
+//! (`lint_full`); the rendered diagnostics are pinned below. This pins the
+//! upgraded `MPG-WILD-RACE` output — each race names its concrete
+//! alternate-match witness (rank/seq of the send that could have matched
+//! instead) — so a change to the happens-before engine, the witness
+//! replay, or the diagnostic text shows up as a diff here, not as silent
+//! drift. Workloads with no findings are pinned as exactly empty.
+
+use mpg_apps::{
+    AllreduceSolver, GridSumma, MasterWorker, Pipeline, Stencil, TokenRing, Transpose, Workload,
+};
+use mpg_lint::lint_full;
+use mpg_noise::PlatformSignature;
+use mpg_sim::Simulation;
+
+fn lint_workload(w: &dyn Workload) -> Vec<String> {
+    let trace = Simulation::new(8, PlatformSignature::quiet("golden"))
+        .ideal_clocks()
+        .seed(1)
+        .run(|ctx| w.run(ctx))
+        .expect("workload simulates")
+        .trace;
+    lint_full(&trace).iter().map(|d| d.to_string()).collect()
+}
+
+#[track_caller]
+fn check(w: &dyn Workload, want: &[&str]) {
+    let got = lint_workload(w);
+    assert_eq!(
+        got,
+        want.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        "{} lint output diverged",
+        w.name()
+    );
+}
+
+#[test]
+fn token_ring_lint() {
+    check(
+        &TokenRing {
+            traversals: 3,
+            particles_per_rank: 8,
+            work_per_pair: 25,
+        },
+        &[],
+    );
+}
+
+#[test]
+fn stencil_lint() {
+    check(
+        &Stencil {
+            iters: 8,
+            cells_per_rank: 200,
+            work_per_cell: 20,
+            halo_bytes: 512,
+        },
+        &[],
+    );
+}
+
+#[test]
+fn master_worker_lint() {
+    // Every task pull on rank 0 is an ANY_SOURCE receive; with all workers
+    // racing to return results, each resolution has the other six workers'
+    // result sends as validated concurrent alternates. The witness text
+    // pins the exact (rank, seq) of every alternate match.
+    check(
+        &MasterWorker {
+            tasks: 8,
+            task_work: 50_000,
+            task_bytes: 64,
+            result_bytes: 64,
+        },
+        &[
+            "info[MPG-LATE-SENDER] rank 0 seq 22: recv blocked 20400 of 22732 cycles on late sender rank 1 (zero-slack arm: shortening this wait shortens the run)",
+            "info[MPG-WILD-RACE] rank 0 seq 8: wildcard receive (tag 2) matched the send from rank 1 seq 3, but rank 2 seq 3, rank 3 seq 3, rank 4 seq 3, rank 5 seq 3, rank 6 seq 3, rank 7 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+            "info[MPG-WILD-RACE] rank 0 seq 10: wildcard receive (tag 2) matched the send from rank 2 seq 3, but rank 1 seq 3, rank 3 seq 3, rank 4 seq 3, rank 5 seq 3, rank 6 seq 3, rank 7 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+            "info[MPG-WILD-RACE] rank 0 seq 12: wildcard receive (tag 2) matched the send from rank 3 seq 3, but rank 1 seq 3, rank 2 seq 3, rank 4 seq 3, rank 5 seq 3, rank 6 seq 3, rank 7 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+            "info[MPG-WILD-RACE] rank 0 seq 14: wildcard receive (tag 2) matched the send from rank 4 seq 3, but rank 1 seq 3, rank 2 seq 3, rank 3 seq 3, rank 5 seq 3, rank 6 seq 3, rank 7 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+            "info[MPG-WILD-RACE] rank 0 seq 16: wildcard receive (tag 2) matched the send from rank 5 seq 3, but rank 1 seq 3, rank 2 seq 3, rank 3 seq 3, rank 4 seq 3, rank 6 seq 3, rank 7 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+            "info[MPG-WILD-RACE] rank 0 seq 18: wildcard receive (tag 2) matched the send from rank 6 seq 3, but rank 1 seq 3, rank 2 seq 3, rank 3 seq 3, rank 4 seq 3, rank 5 seq 3, rank 7 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+            "info[MPG-WILD-RACE] rank 0 seq 20: wildcard receive (tag 2) matched the send from rank 7 seq 3, but rank 1 seq 3, rank 2 seq 3, rank 3 seq 3, rank 4 seq 3, rank 5 seq 3, rank 6 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+            "info[MPG-WILD-RACE] rank 0 seq 22: wildcard receive (tag 2) matched the send from rank 1 seq 6, but rank 2 seq 3, rank 3 seq 3, rank 4 seq 3, rank 5 seq 3, rank 6 seq 3, rank 7 seq 3 are concurrent and envelope-compatible; forcing the alternate match replays to completion, so the resolution depends on arrival timing",
+        ],
+    );
+}
+
+#[test]
+fn allreduce_solver_lint() {
+    check(
+        &AllreduceSolver {
+            iters: 10,
+            local_work: 100_000,
+            vector_bytes: 128,
+        },
+        &[],
+    );
+}
+
+#[test]
+fn pipeline_lint() {
+    // Ten waves of eager stage-to-stage sends outrun each downstream
+    // stage's consumption (watermark 10 > 8 at every interior rank), and
+    // the wavefront's serial critical path trips the perf pass.
+    check(
+        &Pipeline {
+            waves: 10,
+            work_per_stage: 50_000,
+            payload: 256,
+        },
+        &[
+            "info[MPG-BUFFER-WATERMARK] rank 1 seq 1: rank 1 may hold up to 10 in-flight eager sends at once (high-water at receive completing seq 1, advisory threshold 8); senders outrun the receiver's consumption",
+            "info[MPG-BUFFER-WATERMARK] rank 2 seq 1: rank 2 may hold up to 10 in-flight eager sends at once (high-water at receive completing seq 1, advisory threshold 8); senders outrun the receiver's consumption",
+            "info[MPG-BUFFER-WATERMARK] rank 3 seq 1: rank 3 may hold up to 10 in-flight eager sends at once (high-water at receive completing seq 1, advisory threshold 8); senders outrun the receiver's consumption",
+            "info[MPG-BUFFER-WATERMARK] rank 4 seq 1: rank 4 may hold up to 10 in-flight eager sends at once (high-water at receive completing seq 1, advisory threshold 8); senders outrun the receiver's consumption",
+            "info[MPG-BUFFER-WATERMARK] rank 5 seq 1: rank 5 may hold up to 10 in-flight eager sends at once (high-water at receive completing seq 1, advisory threshold 8); senders outrun the receiver's consumption",
+            "info[MPG-BUFFER-WATERMARK] rank 6 seq 1: rank 6 may hold up to 10 in-flight eager sends at once (high-water at receive completing seq 1, advisory threshold 8); senders outrun the receiver's consumption",
+            "info[MPG-BUFFER-WATERMARK] rank 7 seq 1: rank 7 may hold up to 10 in-flight eager sends at once (high-water at receive completing seq 1, advisory threshold 8); senders outrun the receiver's consumption",
+            "info[MPG-LATE-SENDER] rank 1 seq 1: recv blocked 50000 of 52428 cycles on late sender rank 0 (zero-slack arm: shortening this wait shortens the run)",
+            "info[MPG-LATE-SENDER] rank 2 seq 1: recv blocked 102428 of 104856 cycles on late sender rank 1 (zero-slack arm: shortening this wait shortens the run)",
+            "info[MPG-LATE-SENDER] rank 3 seq 1: recv blocked 154856 of 157284 cycles on late sender rank 2 (zero-slack arm: shortening this wait shortens the run)",
+            "info[MPG-LATE-SENDER] rank 4 seq 1: recv blocked 207284 of 209712 cycles on late sender rank 3 (zero-slack arm: shortening this wait shortens the run)",
+            "info[MPG-LATE-SENDER] rank 5 seq 1: recv blocked 259712 of 262140 cycles on late sender rank 4 (zero-slack arm: shortening this wait shortens the run)",
+            "info[MPG-LATE-SENDER] rank 6 seq 1: recv blocked 312140 of 314568 cycles on late sender rank 5 (zero-slack arm: shortening this wait shortens the run)",
+            "info[MPG-SERIAL-CHAIN] ranks [7]: critical path serializes through 8 ranks over 7 message hops; its wait states total 1088720 cycles against a 911548-cycle makespan (blocked intervals on different ranks overlap in time)",
+        ],
+    );
+}
+
+#[test]
+fn transpose_lint() {
+    check(
+        &Transpose {
+            steps: 5,
+            rows_per_rank: 16,
+            work_per_element: 10,
+            block_bytes: 256,
+        },
+        &[],
+    );
+}
+
+#[test]
+fn grid_summa_lint() {
+    check(
+        &GridSumma {
+            rows: 2,
+            cols: 4,
+            panel_bytes: 1_024,
+            local_work: 50_000,
+        },
+        &[
+            "info[MPG-COLLECTIVE-IMBALANCE] rank 7 seq 71: allreduce over 8 ranks wasted 24000 cycles waiting; rank 7's late entry explains 14000 of them",
+        ],
+    );
+}

@@ -1,0 +1,305 @@
+//! Exact happens-before over a recorded [`EventGraph`].
+//!
+//! The replayed graph is one *timed* execution, but its edges — program
+//! order, message arrivals, collective hubs — encode the *order* constraints
+//! every execution consistent with the trace must respect. This module
+//! distils those edges into per-event vector clocks so lint passes can ask
+//! "must a precede b?" in O(1) after a single O(edges · ranks) build.
+//!
+//! Two relations are exposed, both derived from subevent reachability
+//! (§4.2 splits each event into a start and an end subevent):
+//!
+//! * [`HbIndex::happens_before`] — *issue order*: `start(a) ⇝ start(b)`.
+//!   `a` must have been issued before `b` could be issued.
+//! * [`HbIndex::completes_before`] — *completion order*:
+//!   `end(a) ⇝ start(b)`. `a` must have finished before `b` could begin;
+//!   this is the relation that constrains which sends a receive can match.
+//!
+//! The build walks `graph.edges()` once. Recorded edge order is a valid
+//! topological order by construction (see [`EventGraph`]), so a single
+//! forward pass of component-wise `max` joins computes, for every node `n`
+//! and rank `r`, how many of rank `r`'s start (resp. end) subevents reach
+//! `n`. Program order within a rank is seeded directly from sequence
+//! numbers: `start(r, s)` is reached by starts `0..=s` and ends `0..s` of
+//! its own rank, which the gap edges (`end(prev) → start(next)`) would
+//! derive anyway on a well-formed recorded graph.
+
+use crate::graph::{EventGraph, NodeId, Point};
+use mpg_trace::{Rank, Seq};
+use std::collections::HashMap;
+
+/// An event named positionally, as everywhere else in the codebase:
+/// `(rank, per-rank sequence number)`.
+pub type EventId = (Rank, Seq);
+
+/// Per-event vector clocks answering happens-before queries in O(1).
+///
+/// Memory is `O(events · ranks)`: two `u64` clock rows (issue and
+/// completion counts) per event. Queries on events outside the graph
+/// return `false` (nothing is known to be ordered with them).
+#[derive(Debug, Clone)]
+pub struct HbIndex {
+    p: usize,
+    /// Events per rank (max seq + 1 over nodes seen in the graph).
+    counts: Vec<u64>,
+    /// Prefix sums of `counts` — row index of `(r, 0)` in the clock arrays.
+    offsets: Vec<usize>,
+    /// `issue[row(b)*p + r] >= s+1` ⟺ `start(r, s) ⇝ start(b)`.
+    issue: Vec<u64>,
+    /// `complete[row(b)*p + r] >= s+1` ⟺ `end(r, s) ⇝ start(b)`.
+    complete: Vec<u64>,
+}
+
+impl HbIndex {
+    /// Builds the index from a recorded graph.
+    pub fn build(graph: &EventGraph) -> Self {
+        Self::build_inner(graph, None)
+    }
+
+    /// Builds the index with one collective hub *bypassed*: the hub's exit
+    /// edges are dropped and each participant's arrival edge is replaced by
+    /// a local `start → end` passthrough, i.e. the collective still takes
+    /// its turn in program order but synchronizes nobody. Comparing this
+    /// index against [`HbIndex::build`] tells whether the collective's
+    /// ordering is implied by the rest of the graph (`MPG-REDUNDANT-SYNC`).
+    pub fn build_bypassing(graph: &EventGraph, hub: NodeId) -> Self {
+        Self::build_inner(graph, Some(hub))
+    }
+
+    fn build_inner(graph: &EventGraph, bypass: Option<NodeId>) -> Self {
+        let p = graph.num_ranks();
+        let mut counts = vec![0u64; p];
+        let mut note = |n: &NodeId| {
+            if !n.hub && (n.rank as usize) < p {
+                let c = &mut counts[n.rank as usize];
+                *c = (*c).max(n.seq + 1);
+            }
+        };
+        for e in graph.edges() {
+            note(&e.src);
+            note(&e.dst);
+        }
+        for (n, _) in graph.nodes() {
+            note(n);
+        }
+        let mut offsets = vec![0usize; p + 1];
+        for r in 0..p {
+            offsets[r + 1] = offsets[r] + counts[r] as usize;
+        }
+        let rows = offsets[p];
+
+        // Transient per-node clocks: `[0..p]` issue counts, `[p..2p]`
+        // completion counts.
+        let seed = |n: &NodeId| -> Vec<u64> {
+            let mut c = vec![0u64; 2 * p];
+            if !n.hub && (n.rank as usize) < p {
+                let r = n.rank as usize;
+                match n.point {
+                    Point::Start => {
+                        c[r] = n.seq + 1;
+                        c[p + r] = n.seq;
+                    }
+                    Point::End => {
+                        c[r] = n.seq + 1;
+                        c[p + r] = n.seq + 1;
+                    }
+                }
+            }
+            c
+        };
+        let mut clocks: HashMap<NodeId, Vec<u64>> = HashMap::new();
+        for e in graph.edges() {
+            let (src, dst) = match bypass {
+                Some(h) if e.dst == h => (e.src, NodeId::end(e.src.rank, e.src.seq)),
+                Some(h) if e.src == h => continue,
+                _ => (e.src, e.dst),
+            };
+            let from = clocks.entry(src).or_insert_with(|| seed(&src)).clone();
+            let into = clocks.entry(dst).or_insert_with(|| seed(&dst));
+            for (a, b) in into.iter_mut().zip(&from) {
+                *a = (*a).max(*b);
+            }
+        }
+
+        let mut issue = vec![0u64; rows * p];
+        let mut complete = vec![0u64; rows * p];
+        for r in 0..p {
+            for s in 0..counts[r] {
+                let start = NodeId::start(r as Rank, s);
+                let row = offsets[r] + s as usize;
+                let seeded;
+                let clock = match clocks.get(&start) {
+                    Some(c) => c,
+                    None => {
+                        seeded = seed(&start);
+                        &seeded
+                    }
+                };
+                issue[row * p..(row + 1) * p].copy_from_slice(&clock[..p]);
+                complete[row * p..(row + 1) * p].copy_from_slice(&clock[p..]);
+            }
+        }
+        HbIndex {
+            p,
+            counts,
+            offsets,
+            issue,
+            complete,
+        }
+    }
+
+    /// Number of ranks the index covers.
+    pub fn num_ranks(&self) -> usize {
+        self.p
+    }
+
+    /// Number of events of `rank` seen in the graph.
+    pub fn num_events(&self, rank: Rank) -> u64 {
+        self.counts.get(rank as usize).copied().unwrap_or(0)
+    }
+
+    fn row(&self, clocks: &[u64], e: EventId) -> Option<usize> {
+        let r = e.0 as usize;
+        if r >= self.p || e.1 >= self.counts[r] {
+            return None;
+        }
+        let row = self.offsets[r] + e.1 as usize;
+        debug_assert!((row + 1) * self.p <= clocks.len());
+        Some(row)
+    }
+
+    /// Issue order: must `a` have started before `b` could start?
+    ///
+    /// Irreflexive and transitive; same-rank events are ordered by sequence
+    /// number (MPI program order). Returns `false` for unknown events.
+    pub fn happens_before(&self, a: EventId, b: EventId) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.0 == b.0 {
+            return a.1 < b.1 && self.row(&self.issue, b).is_some();
+        }
+        if a.0 as usize >= self.p {
+            return false;
+        }
+        match self.row(&self.issue, b) {
+            Some(row) => self.issue[row * self.p + a.0 as usize] > a.1,
+            None => false,
+        }
+    }
+
+    /// Completion order: must `a` have *finished* before `b` could start?
+    ///
+    /// Stronger than [`Self::happens_before`]: a send's message can be in
+    /// flight (issued, not completed) across many of the receiver's events.
+    pub fn completes_before(&self, a: EventId, b: EventId) -> bool {
+        if a == b {
+            return false;
+        }
+        if a.0 == b.0 {
+            return a.1 < b.1 && self.row(&self.complete, b).is_some();
+        }
+        if a.0 as usize >= self.p {
+            return false;
+        }
+        match self.row(&self.complete, b) {
+            Some(row) => self.complete[row * self.p + a.0 as usize] > a.1,
+            None => false,
+        }
+    }
+
+    /// Neither event's issue must precede the other's: the trace admits
+    /// executions with either order.
+    pub fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        a != b && !self.happens_before(a, b) && !self.happens_before(b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Edge;
+    use crate::perturb::DeltaClass;
+
+    fn edge(src: NodeId, dst: NodeId, is_message: bool) -> Edge {
+        Edge {
+            src,
+            dst,
+            base: 0,
+            class: DeltaClass::None,
+            sampled: 0,
+            is_message,
+        }
+    }
+
+    /// Two ranks, one message 0→1: send (0,1) start reaches recv (1,1) end.
+    /// Edges are emitted in a topological order, as the recorder guarantees.
+    fn two_rank_message() -> EventGraph {
+        let mut g = EventGraph::new(2);
+        for s in 0..3u64 {
+            for r in 0..2u32 {
+                if s > 0 {
+                    g.add_edge(edge(NodeId::end(r, s - 1), NodeId::start(r, s), false));
+                }
+                if (r, s) == (1, 1) {
+                    g.add_edge(edge(NodeId::start(0, 1), NodeId::end(1, 1), true));
+                }
+                g.add_edge(edge(NodeId::start(r, s), NodeId::end(r, s), false));
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn program_order_and_message_order() {
+        let hb = HbIndex::build(&two_rank_message());
+        assert!(hb.happens_before((0, 0), (0, 2)));
+        assert!(!hb.happens_before((0, 2), (0, 0)));
+        assert!(!hb.happens_before((0, 0), (0, 0)));
+        // start(send 0,1) ⇝ end(recv 1,1) ⇝ start(1,2): issue order holds.
+        assert!(hb.happens_before((0, 1), (1, 2)));
+        // ...but the send's *completion* is not ordered before (1,2)...
+        assert!(!hb.completes_before((0, 1), (1, 2)));
+        // ...while the send's predecessor completed before issuing it.
+        assert!(hb.completes_before((0, 0), (1, 2)));
+        // Reverse direction stays concurrent.
+        assert!(hb.concurrent((1, 0), (0, 2)));
+        assert!(!hb.concurrent((0, 1), (1, 2)));
+    }
+
+    /// A barrier hub between seq-1 events orders everything across it; the
+    /// bypassed build removes exactly that ordering.
+    #[test]
+    fn hub_orders_and_bypass_removes() {
+        let mut g = EventGraph::new(2);
+        let hub = NodeId::hub(0, 1);
+        for r in 0..2u32 {
+            g.add_edge(edge(NodeId::start(r, 0), NodeId::end(r, 0), false));
+            g.add_edge(edge(NodeId::end(r, 0), NodeId::start(r, 1), false));
+            g.add_edge(edge(NodeId::start(r, 1), hub, true));
+            g.add_edge(edge(hub, NodeId::end(r, 1), true));
+            g.add_edge(edge(NodeId::end(r, 1), NodeId::start(r, 2), false));
+            g.add_edge(edge(NodeId::start(r, 2), NodeId::end(r, 2), false));
+        }
+        let hb = HbIndex::build(&g);
+        assert!(hb.happens_before((0, 0), (1, 2)));
+        assert!(hb.completes_before((0, 0), (1, 2)));
+        assert!(hb.happens_before((0, 1), (1, 2)));
+        let without = HbIndex::build_bypassing(&g, hub);
+        assert!(!without.happens_before((0, 0), (1, 2)));
+        assert!(!without.completes_before((0, 0), (1, 2)));
+        // Program order survives the bypass (passthrough edge).
+        assert!(without.happens_before((0, 0), (0, 2)));
+        assert!(without.completes_before((0, 1), (0, 2)));
+    }
+
+    #[test]
+    fn unknown_events_are_unordered() {
+        let hb = HbIndex::build(&two_rank_message());
+        assert!(!hb.happens_before((0, 1), (5, 0)));
+        assert!(!hb.happens_before((5, 0), (0, 1)));
+        assert!(!hb.happens_before((0, 1), (0, 99)));
+        assert_eq!(hb.num_events(0), 3);
+        assert_eq!(hb.num_events(7), 0);
+    }
+}

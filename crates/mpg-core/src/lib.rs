@@ -65,6 +65,7 @@ pub mod critical;
 pub mod dot;
 pub mod feasible;
 pub mod graph;
+pub mod hb;
 pub mod lane;
 pub mod perturb;
 pub mod regions;
@@ -76,6 +77,7 @@ pub mod timeline;
 pub use critical::{critical_path, CriticalPath};
 pub use feasible::{drift_slack, predictable, predicted_graph, DriftSlack, SlackSweep, StaticPath};
 pub use graph::{Edge, EventGraph, NodeId, Point};
+pub use hb::{EventId, HbIndex};
 pub use lane::{lane_replays, plan_lanes, replay_batch, LaneBatch, MAX_LANES};
 pub use perturb::{DeltaClass, PerturbationModel, SignedDist};
 pub use regions::{classify_regions, region_shares, Region, RegionKind};

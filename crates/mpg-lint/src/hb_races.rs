@@ -1,0 +1,180 @@
+//! Pass 4: per-trace wildcard race detection on the happens-before index.
+//!
+//! A trace records *one* resolution of every wildcard receive, but the
+//! program admits any resolution consistent with the happens-before
+//! relation of the recorded graph. For each wildcard receive `R` that
+//! matched send `S`, this pass enumerates every envelope-compatible send
+//! `S'` whose issue is **concurrent** with `S` — by the HB relation
+//! neither must precede the other, so an execution exists in which `S'`
+//! arrives first. (Sends from `S`'s own source are never alternates:
+//! MPI's non-overtaking rule orders them behind `S` on the channel.)
+//!
+//! Concurrency alone over-approximates: the surrounding program can pin a
+//! concurrent message elsewhere (e.g. a later receive that *specifically*
+//! names that source has no other way to complete). Every candidate is
+//! therefore validated by **witness replay**: the progress simulation is
+//! re-run under a [`MatchPolicy::Witness`] that forces `R` onto `S'`'s
+//! source (and the wildcard receive that originally consumed `S'` onto
+//! `S`'s source, swapping the two messages). Only candidates whose forced
+//! schedule runs every rank to completion are reported, so each
+//! `MPG-WILD-RACE` diagnostic carries a concrete, replayable alternate
+//! match — never a hypothetical one.
+
+use crate::progress::{run_progress, MatchPair, MatchPolicy, Matching};
+use mpg_core::HbIndex;
+use mpg_trace::{Diagnostic, EventKind, MemTrace, Rank, Rule, Seq, ANY_TAG};
+use std::collections::{BTreeMap, HashMap};
+
+/// One validated alternate match for a racy wildcard receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceWitness {
+    /// The wildcard receive, `(rank, seq)`.
+    pub recv: (Rank, Seq),
+    /// The send the trace recorded as matched.
+    pub matched: (Rank, Seq),
+    /// The concurrent, envelope-compatible send `recv` could have taken.
+    pub alternate: (Rank, Seq),
+    /// The wildcard receive that consumed `alternate` in the recorded
+    /// schedule (swapped onto `matched` during witness replay); `None`
+    /// when `alternate` went unmatched.
+    pub displaced: Option<(Rank, Seq)>,
+}
+
+/// One wildcard receive with at least one validated alternate match.
+#[derive(Debug, Clone)]
+pub struct RaceFinding {
+    /// The wildcard receive, `(rank, seq)`.
+    pub recv: (Rank, Seq),
+    /// The recorded match.
+    pub matched: (Rank, Seq),
+    /// Tag of the matched message.
+    pub tag: mpg_trace::Tag,
+    /// Every validated alternate, one per alternate source, ascending.
+    pub witnesses: Vec<RaceWitness>,
+}
+
+/// Replays the progress simulation with the witness's matching forced.
+/// Returns the resulting [`Matching`] when the forced schedule completes
+/// *and* the racy receive really did take the alternate source; `None`
+/// when the witness is infeasible.
+pub fn witness_matching(trace: &MemTrace, w: &RaceWitness) -> Option<Matching> {
+    let mut forced = vec![(w.recv, w.alternate.0)];
+    if let Some(displaced) = w.displaced {
+        forced.push((displaced, w.matched.0));
+    }
+    let outcome = run_progress(trace, &MatchPolicy::Witness(forced));
+    let m = outcome.matching;
+    if !m.completed {
+        return None;
+    }
+    let took_alternate = m
+        .pairs
+        .iter()
+        .any(|p| p.recv == w.recv && p.send.0 == w.alternate.0);
+    took_alternate.then_some(m)
+}
+
+/// The receive's *posted* tag pattern (traces record the matched tag for
+/// the diagnostic text, but compatibility is against the pattern).
+fn posted_tag(trace: &MemTrace, recv: (Rank, Seq)) -> Option<mpg_trace::Tag> {
+    match trace.rank(recv.0 as usize).get(recv.1 as usize)?.kind {
+        EventKind::Recv { tag, .. } | EventKind::Irecv { tag, .. } => Some(tag),
+        _ => None,
+    }
+}
+
+/// Finds every wildcard receive with a validated concurrent alternate.
+pub fn find_races(trace: &MemTrace, matching: &Matching, hb: &HbIndex) -> Vec<RaceFinding> {
+    let consumer_of: HashMap<(Rank, Seq), &MatchPair> =
+        matching.pairs.iter().map(|p| (p.send, p)).collect();
+    let mut findings = Vec::new();
+    for pair in matching.pairs.iter().filter(|p| p.posted_any) {
+        let (recv, matched) = (pair.recv, pair.send);
+        let Some(tag_pattern) = posted_tag(trace, recv) else {
+            continue;
+        };
+        // Earliest concurrent compatible send per alternate source — the
+        // non-overtaking rule hands a forced pattern the earliest
+        // unconsumed message of that source, so later ones are subsumed.
+        let mut candidates: BTreeMap<Rank, RaceWitness> = BTreeMap::new();
+        for s in &matching.sends {
+            if s.src == matched.0
+                || s.dst != recv.0
+                || (tag_pattern != ANY_TAG && s.tag != tag_pattern)
+                || !hb.concurrent((s.src, s.seq), matched)
+            {
+                continue;
+            }
+            let displaced = match consumer_of.get(&(s.src, s.seq)) {
+                // A specific (non-wildcard) receive pinned this message;
+                // swapping it would need a cascade of reassignments, so it
+                // is not a single-swap alternate.
+                Some(p) if !p.posted_any => continue,
+                Some(p) => Some(p.recv),
+                None => None,
+            };
+            let w = RaceWitness {
+                recv,
+                matched,
+                alternate: (s.src, s.seq),
+                displaced,
+            };
+            candidates
+                .entry(s.src)
+                .and_modify(|held| {
+                    if s.seq < held.alternate.1 {
+                        *held = w;
+                    }
+                })
+                .or_insert(w);
+        }
+        let witnesses: Vec<RaceWitness> = candidates
+            .into_values()
+            .filter(|w| witness_matching(trace, w).is_some())
+            .collect();
+        if !witnesses.is_empty() {
+            findings.push(RaceFinding {
+                recv,
+                matched,
+                tag: pair.tag,
+                witnesses,
+            });
+        }
+    }
+    findings
+}
+
+/// Pass 4 entry point: renders [`find_races`] as diagnostics.
+pub fn lint_races(trace: &MemTrace, matching: &Matching, hb: &HbIndex) -> Vec<Diagnostic> {
+    find_races(trace, matching, hb)
+        .into_iter()
+        .map(|f| {
+            let alts = f
+                .witnesses
+                .iter()
+                .map(|w| format!("rank {} seq {}", w.alternate.0, w.alternate.1))
+                .collect::<Vec<_>>()
+                .join(", ");
+            Diagnostic::new(
+                Rule::WildRace,
+                format!(
+                    "wildcard receive (tag {}) matched the send from rank {} seq {}, but \
+                     {alts} {} concurrent and envelope-compatible; forcing the alternate \
+                     match replays to completion, so the resolution depends on arrival \
+                     timing",
+                    f.tag,
+                    f.matched.0,
+                    f.matched.1,
+                    if f.witnesses.len() == 1 { "is" } else { "are" },
+                ),
+            )
+            .at(f.recv.0, f.recv.1)
+            .involving(
+                f.witnesses
+                    .iter()
+                    .map(|w| w.alternate.0)
+                    .chain([f.matched.0]),
+            )
+        })
+        .collect()
+}

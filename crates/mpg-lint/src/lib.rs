@@ -15,16 +15,36 @@
 //! | 1 (match) | cross-rank match resolution | `MPG-UNMATCHED-SEND`, `MPG-UNMATCHED-RECV`, `MPG-TAG-MISMATCH`, `MPG-COUNT-MISMATCH`, `MPG-BAD-PEER` |
 //! | 2 (deadlock) | wait-for-graph cycles | `MPG-DEADLOCK` |
 //! | 3 (causality) | recorded-graph sanity | `MPG-CYCLE`, `MPG-CAUSALITY` |
-//! | 4 (wildcard) | nondeterministic matching | `MPG-WILD-RACE` |
+//! | 4 (race) | nondeterministic matching | `MPG-WILD-RACE` |
 //! | 5 (collective) | collective consistency | `MPG-COLLECTIVE-SKEW` |
 //! | 6 (performance) | wait-state & slack analysis | `MPG-LATE-SENDER`, `MPG-COLLECTIVE-IMBALANCE`, `MPG-SERIAL-CHAIN` |
+//! | 7 (sync) | removable/overloaded synchronization | `MPG-REDUNDANT-SYNC`, `MPG-BUFFER-WATERMARK` |
 //!
-//! Passes 1, 2, 4 and 5 run off one lockstep progress simulation
-//! ([`progress::lint_progress`]) that reuses the simulator's
-//! [`EnvelopeMatcher`](mpg_sim::EnvelopeMatcher) — the lint and the runtime
-//! share a single implementation of the MPI matching rules. Pass 3
-//! ([`graphcheck::lint_graph`]) inspects a recorded
-//! [`EventGraph`](mpg_core::EventGraph).
+//! # Pass manager
+//!
+//! [`lint_full`] runs the passes over a shared [`LintContext`] holding the
+//! expensive artifacts exactly once:
+//!
+//! * the **progress outcome** — diagnostics plus the send/receive
+//!   [`Matching`] from the lockstep simulation ([`progress::run_progress`]),
+//! * the **recorded graph** — one quiet recording replay
+//!   ([`Replayer`]), and
+//! * the **happens-before index** — [`HbIndex`] built from that graph.
+//!
+//! The progress simulation and the recording replay are independent, so
+//! the context builds them on two threads; passes declare which artifacts
+//! they need ([`LintPass::needs`]) and the independent passes then run in
+//! parallel over the immutable context. Passes 4 and 7 are the
+//! happens-before consumers: [`hb_races`] upgrades the wildcard-race
+//! heuristic to exact concurrent-alternate enumeration with replayable
+//! witnesses, and [`sync`] reports removable barriers and eager-buffer
+//! high-water marks.
+//!
+//! Passes 1, 2 and 5 run off one lockstep progress simulation that reuses
+//! the simulator's [`EnvelopeMatcher`](mpg_sim::EnvelopeMatcher) — the
+//! lint and the runtime share a single implementation of the MPI matching
+//! rules. Pass 3 ([`graphcheck::lint_graph`]) inspects the recorded
+//! [`EventGraph`].
 //!
 //! [`replay_gate`] packages [`lint_trace`] as a
 //! [`TraceGate`] so `Replayer::run` can refuse traces
@@ -32,24 +52,31 @@
 
 mod envelope;
 pub mod graphcheck;
+pub mod hb_races;
 pub mod progress;
 pub mod slack;
+pub mod sync;
 pub mod waitstate;
 
 pub use graphcheck::lint_graph;
-pub use progress::lint_progress;
+pub use hb_races::{find_races, lint_races, witness_matching, RaceFinding, RaceWitness};
+pub use progress::{
+    lint_progress, run_progress, MatchPair, MatchPolicy, Matching, ProgressOutcome, SendRec,
+};
 pub use slack::{lint_chains, rank_chains, ChainSummary};
+pub use sync::{lint_sync, SyncOptions};
 pub use waitstate::{
     analyze_graph, lint_waitstates, CollectiveWait, KeyedWait, PerfReport, PerfThresholds,
     RankBreakdown, WaitClass, WaitInterval,
 };
 
-use mpg_core::{PerturbationModel, ReplayConfig, Replayer, TraceGate};
+use mpg_core::{EventGraph, HbIndex, PerturbationModel, ReplayConfig, Replayer, TraceGate};
 use mpg_trace::{sort_diagnostics, Diagnostic, MemTrace, Rule, Severity};
 
 /// Lints an in-memory trace: validation (pass 0) plus the progress-
-/// simulation passes (1, 2, 4, 5). Diagnostics come back sorted worst
-/// first ([`sort_diagnostics`]).
+/// simulation passes (1, 2, 5). Diagnostics come back sorted worst first
+/// ([`sort_diagnostics`]). The graph-backed passes (3, 4, 6, 7) need a
+/// recording replay and therefore run only under [`lint_full`].
 pub fn lint_trace(trace: &MemTrace) -> Vec<Diagnostic> {
     let mut diags = mpg_trace::validate_trace_diagnostics(trace);
     diags.extend(lint_progress(trace));
@@ -57,35 +84,204 @@ pub fn lint_trace(trace: &MemTrace) -> Vec<Diagnostic> {
     diags
 }
 
-/// [`lint_trace`], then — when no error-severity defect was found — a
-/// quiet recording replay to stitch the event graph and run the causality
-/// pass (3) over it. If the replayer itself rejects a trace the earlier
-/// passes accepted, that is reported as `MPG-CYCLE` (the graph could not
-/// be stitched).
+/// Which artifacts a [`LintPass`] reads from the [`LintContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Needs(u8);
+
+impl Needs {
+    /// The progress simulation's [`ProgressOutcome`].
+    pub const PROGRESS: Needs = Needs(1);
+    /// The recorded [`EventGraph`] from the quiet replay.
+    pub const GRAPH: Needs = Needs(2);
+    /// The [`HbIndex`] over that graph.
+    pub const HB: Needs = Needs(4);
+
+    /// Union of two requirement sets.
+    pub const fn and(self, other: Needs) -> Needs {
+        Needs(self.0 | other.0)
+    }
+
+    /// Does `self` include every requirement in `other`?
+    pub fn includes(self, other: Needs) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+/// Shared artifacts every graph-backed pass reads. Built once per lint
+/// run; immutable afterwards so independent passes can run in parallel.
+pub struct LintContext<'t> {
+    /// The trace under analysis.
+    pub trace: &'t MemTrace,
+    /// Diagnostics + matching from the lockstep progress simulation.
+    pub progress: ProgressOutcome,
+    /// The recorded graph, when the quiet replay succeeded.
+    pub graph: Option<EventGraph>,
+    /// Why the graph is absent, when it is.
+    pub graph_error: Option<String>,
+    /// Happens-before index over `graph`.
+    pub hb: Option<HbIndex>,
+}
+
+impl<'t> LintContext<'t> {
+    /// Builds the artifacts: the progress simulation and the quiet
+    /// recording replay run concurrently (they are independent), then the
+    /// happens-before index is derived from the graph.
+    pub fn build(trace: &'t MemTrace) -> Self {
+        let (progress, replayed) = std::thread::scope(|scope| {
+            let graph_thread = scope.spawn(|| {
+                // `ack_arm(false)`: model standard sends as eager. The
+                // default acknowledgement arm would order every send after
+                // its matching receive — sound for conservative *timing*,
+                // but wrong for *happens-before*: it would suppress
+                // legitimate wildcard races and all eager-buffer pile-up.
+                // Synchronous sends keep their acknowledgement coupling.
+                let cfg = ReplayConfig::new(PerturbationModel::quiet("lint"))
+                    .seed(0)
+                    .ack_arm(false)
+                    .record_graph(true);
+                Replayer::new(cfg).run(trace)
+            });
+            let progress = run_progress(trace, &MatchPolicy::Recorded);
+            (progress, graph_thread.join().expect("replay panicked"))
+        });
+        let (graph, graph_error) = match replayed {
+            Ok(report) => (report.graph, None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        let hb = graph.as_ref().map(HbIndex::build);
+        LintContext {
+            trace,
+            progress,
+            graph,
+            graph_error,
+            hb,
+        }
+    }
+
+    /// The artifacts this context actually has.
+    fn available(&self) -> Needs {
+        let mut n = Needs::PROGRESS;
+        if self.graph.is_some() {
+            n = n.and(Needs::GRAPH);
+        }
+        if self.hb.is_some() {
+            n = n.and(Needs::HB);
+        }
+        n
+    }
+}
+
+/// One lint pass: a name, the artifacts it declares, and its runner. A
+/// pass whose needs are not satisfied (e.g. the graph could not be
+/// stitched) is skipped.
+pub struct LintPass {
+    /// Short pass label (matches [`Rule::pass`](mpg_trace::Rule::pass)).
+    pub name: &'static str,
+    /// Artifacts the pass reads.
+    pub needs: Needs,
+    /// Runs the pass over the shared context.
+    pub run: fn(&LintContext<'_>) -> Vec<Diagnostic>,
+}
+
+/// The graph-era passes [`lint_full`] schedules over one [`LintContext`].
+/// (Pass 0, validation, runs before the context is built; the progress
+/// diagnostics of passes 1/2/5 are computed during the build and surfaced
+/// by the `progress` entry here.)
+pub const PASSES: &[LintPass] = &[
+    LintPass {
+        name: "progress",
+        needs: Needs::PROGRESS,
+        run: |ctx| ctx.progress.diags.clone(),
+    },
+    LintPass {
+        name: "causality",
+        needs: Needs::GRAPH,
+        run: |ctx| lint_graph(ctx.graph.as_ref().expect("needs GRAPH")),
+    },
+    LintPass {
+        name: "race",
+        needs: Needs::PROGRESS.and(Needs::HB),
+        run: |ctx| {
+            lint_races(
+                ctx.trace,
+                &ctx.progress.matching,
+                ctx.hb.as_ref().expect("needs HB"),
+            )
+        },
+    },
+    LintPass {
+        name: "perf",
+        needs: Needs::GRAPH,
+        run: |ctx| {
+            lint_perf(
+                ctx.trace,
+                ctx.graph.as_ref().expect("needs GRAPH"),
+                &PerfThresholds::default(),
+            )
+        },
+    },
+    LintPass {
+        name: "sync",
+        needs: Needs::PROGRESS.and(Needs::GRAPH).and(Needs::HB),
+        run: |ctx| {
+            lint_sync(
+                ctx.trace,
+                ctx.graph.as_ref().expect("needs GRAPH"),
+                ctx.hb.as_ref().expect("needs HB"),
+                &ctx.progress.matching,
+                &SyncOptions::default(),
+            )
+        },
+    },
+];
+
+/// Full lint: validation, then the pass manager over a shared
+/// [`LintContext`].
+///
+/// Error-severity validation findings short-circuit (the trace cannot be
+/// simulated faithfully); error-severity progress findings (deadlock,
+/// unmatched traffic, …) suppress the graph-backed passes, since the
+/// recording replay of a defective trace would only echo the same defect
+/// as an unhelpful `MPG-CYCLE`. When the earlier passes are clean but the
+/// replayer still rejects the trace, that *is* reported as `MPG-CYCLE`.
+/// Passes with satisfied needs run in parallel over the immutable context.
 pub fn lint_full(trace: &MemTrace) -> Vec<Diagnostic> {
-    let mut diags = lint_trace(trace);
+    let mut diags = mpg_trace::validate_trace_diagnostics(trace);
     if diags.iter().any(|d| d.severity == Severity::Error) {
+        sort_diagnostics(&mut diags);
         return diags;
     }
-    let cfg = ReplayConfig::new(PerturbationModel::quiet("lint"))
-        .seed(0)
-        .record_graph(true);
-    match Replayer::new(cfg).run(trace) {
-        Ok(report) => {
-            if let Some(graph) = report.graph {
-                diags.extend(lint_graph(&graph));
-                // Pass 6: wait-state & slack analysis. Advisory findings
-                // about a slow-but-correct run; thresholds keep trivial
-                // traces clean.
-                diags.extend(lint_perf(trace, &graph, &PerfThresholds::default()));
-            }
-        }
-        Err(e) => {
-            diags.push(Diagnostic::new(
-                Rule::Cycle,
-                format!("event graph could not be stitched: {e}"),
-            ));
-        }
+    let ctx = LintContext::build(trace);
+    let progress_errors = ctx
+        .progress
+        .diags
+        .iter()
+        .any(|d| d.severity == Severity::Error);
+    if progress_errors {
+        diags.extend(ctx.progress.diags);
+        sort_diagnostics(&mut diags);
+        return diags;
+    }
+    let available = ctx.available();
+    if let Some(e) = &ctx.graph_error {
+        diags.push(Diagnostic::new(
+            Rule::Cycle,
+            format!("event graph could not be stitched: {e}"),
+        ));
+    }
+    let results = std::thread::scope(|scope| {
+        let handles: Vec<_> = PASSES
+            .iter()
+            .filter(|pass| available.includes(pass.needs))
+            .map(|pass| scope.spawn(|| (pass.run)(&ctx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("lint pass panicked"))
+            .collect::<Vec<_>>()
+    });
+    for r in results {
+        diags.extend(r);
     }
     sort_diagnostics(&mut diags);
     diags
@@ -157,6 +353,37 @@ mod tests {
         ]);
         assert!(lint_trace(&mt).is_empty());
         assert!(lint_full(&mt).is_empty());
+    }
+
+    #[test]
+    fn context_builds_all_artifacts_on_clean_trace() {
+        let mt = one_rank_trace(vec![
+            EventKind::Init,
+            EventKind::Compute { work: 10 },
+            EventKind::Finalize,
+        ]);
+        let ctx = LintContext::build(&mt);
+        assert!(ctx.graph.is_some());
+        assert!(ctx.hb.is_some());
+        assert!(ctx.graph_error.is_none());
+        assert!(ctx.progress.matching.completed);
+        let available = ctx.available();
+        for pass in PASSES {
+            assert!(
+                available.includes(pass.needs),
+                "pass {} should be runnable on a clean trace",
+                pass.name
+            );
+        }
+    }
+
+    #[test]
+    fn needs_algebra() {
+        let both = Needs::PROGRESS.and(Needs::GRAPH);
+        assert!(both.includes(Needs::PROGRESS));
+        assert!(both.includes(Needs::GRAPH));
+        assert!(!both.includes(Needs::HB));
+        assert!(both.includes(both));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The lockstep progress simulation behind lint passes 1, 2, 4 and 5.
+//! The lockstep progress simulation behind lint passes 1, 2 and 5.
 //!
 //! §4.1 assumes traces describe a *completed* run: "every message event has
 //! a counterpart". This module checks that assumption constructively by
@@ -15,16 +15,21 @@
 //! * peers outside the communicator (`MPG-BAD-PEER`);
 //! * cycles in the wait-for graph at quiescence (`MPG-DEADLOCK`, Tarjan
 //!   SCC, naming the ranks and blocked operations on the cycle);
-//! * wildcard receives with two or more statically feasible senders
-//!   (`MPG-WILD-RACE`, advisory — legal MPI whose replay predictions
-//!   depend on message timing, §4.3's stability caveat);
 //! * ranks disagreeing on the collective sequence (`MPG-COLLECTIVE-SKEW`).
+//!
+//! Beyond diagnostics, the simulation returns the [`Matching`] it
+//! computed — every offered send and every matched send/receive pair with
+//! its completion point — which the happens-before passes (`hb_races`,
+//! `sync`) consume. A [`MatchPolicy`] can force chosen wildcard receives
+//! onto alternate sources: re-running under such a policy and checking
+//! [`Matching::completed`] is how a race witness is validated as a real
+//! alternate schedule.
 //!
 //! Matching reuses the simulator's [`EnvelopeMatcher`] so the lint passes
 //! and the runtime share one implementation of the non-overtaking,
 //! posted-order, wildcard-arbitration rules.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use crate::envelope::{LintRecv, LintSend};
@@ -34,12 +39,104 @@ use mpg_trace::{
     ANY_SOURCE, ANY_TAG,
 };
 
-/// Runs passes 1, 2, 4 and 5 over an in-memory trace.
-pub fn lint_progress(trace: &MemTrace) -> Vec<Diagnostic> {
-    if trace.num_ranks() == 0 {
-        return Vec::new();
+/// How the simulation resolves receive patterns.
+#[derive(Debug, Clone, Default)]
+pub enum MatchPolicy {
+    /// Every receive posts its recorded (matched) source — the schedule
+    /// the trace itself describes.
+    #[default]
+    Recorded,
+    /// The listed receives (`(rank, seq)` of the receive event) post the
+    /// given source pattern instead of their recorded one; all other
+    /// receives stay recorded. Used to replay a race witness: force the
+    /// racy wildcard onto its alternate sender (and the receive that
+    /// originally consumed that sender onto the displaced one) and see
+    /// whether the program still runs to completion.
+    Witness(Vec<((Rank, Seq), Rank)>),
+}
+
+impl MatchPolicy {
+    fn src_pattern(&self, rank: Rank, seq: Seq, recorded: Rank) -> Rank {
+        match self {
+            MatchPolicy::Recorded => recorded,
+            MatchPolicy::Witness(forced) => forced
+                .iter()
+                .find(|(at, _)| *at == (rank, seq))
+                .map(|&(_, src)| src)
+                .unwrap_or(recorded),
+        }
     }
-    let mut sim = Sim::new(trace);
+}
+
+/// One send the simulation offered to the matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SendRec {
+    /// Sending rank.
+    pub src: Rank,
+    /// Sequence number of the send event.
+    pub seq: Seq,
+    /// Destination rank.
+    pub dst: Rank,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload size.
+    pub bytes: u64,
+    /// True when the send completes without a rendezvous (standard /
+    /// buffered / ready blocking sends and every isend): the message can
+    /// sit in the receiver's eager buffer until consumed.
+    pub eager: bool,
+}
+
+/// One matched send/receive pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatchPair {
+    /// `(rank, seq)` of the send event.
+    pub send: (Rank, Seq),
+    /// `(rank, seq)` of the receive event (the irecv for nonblocking).
+    pub recv: (Rank, Seq),
+    /// Sequence number, on the receiving rank, of the event that
+    /// *completed* the receive: the recv itself when blocking, the wait
+    /// that resolved the request when nonblocking.
+    pub completion: Seq,
+    /// Tag of the matched message.
+    pub tag: Tag,
+    /// True when the receive was posted with `MPI_ANY_SOURCE`.
+    pub posted_any: bool,
+}
+
+/// The communication structure the simulation established.
+#[derive(Debug, Clone, Default)]
+pub struct Matching {
+    /// Every send offered to the matcher, in issue order.
+    pub sends: Vec<SendRec>,
+    /// Every matched pair, in match order.
+    pub pairs: Vec<MatchPair>,
+    /// True when every rank ran its program to the end (no rank stuck at
+    /// quiescence). Witness replays key off this.
+    pub completed: bool,
+}
+
+/// Diagnostics plus the matching they were derived from.
+#[derive(Debug, Clone, Default)]
+pub struct ProgressOutcome {
+    /// Findings of passes 1, 2 and 5.
+    pub diags: Vec<Diagnostic>,
+    /// The send/receive structure, for the happens-before passes.
+    pub matching: Matching,
+}
+
+/// Runs passes 1, 2 and 5 over an in-memory trace (diagnostics only).
+pub fn lint_progress(trace: &MemTrace) -> Vec<Diagnostic> {
+    run_progress(trace, &MatchPolicy::Recorded).diags
+}
+
+/// Runs the progress simulation under `policy`, returning diagnostics and
+/// the matching.
+pub fn run_progress(trace: &MemTrace, policy: &MatchPolicy) -> ProgressOutcome {
+    if trace.num_ranks() == 0 {
+        return ProgressOutcome::default();
+    }
+    let mut sim = Sim::new(trace, policy);
     sim.prescan();
     sim.run();
     sim.finish()
@@ -57,8 +154,12 @@ enum ReqState {
         /// Sequence number of the initiating irecv.
         seq: Seq,
     },
-    /// An irecv whose message arrived.
-    RecvDone,
+    /// An irecv whose message arrived; `pair` indexes the matching's pair
+    /// list so the resolving wait can stamp the completion point.
+    RecvDone {
+        /// Index into `Sim::pairs`, when the irecv actually matched.
+        pair: Option<usize>,
+    },
 }
 
 /// Signature a rank presents when arriving at a collective epoch.
@@ -130,18 +231,10 @@ struct EpochSlot {
     skews: Vec<String>,
 }
 
-/// How one wildcard receive resolved, for the race analysis.
-struct WildEvent {
-    dst: Rank,
-    seq: Seq,
-    tag: Tag,
-    matched_src: Rank,
-    feasible: Vec<Rank>,
-}
-
 struct Sim<'a> {
     ranks: Vec<&'a [EventRecord]>,
     p: usize,
+    policy: &'a MatchPolicy,
     pc: Vec<usize>,
     offered: Vec<bool>,
     matcher: EnvelopeMatcher<LintSend, LintRecv>,
@@ -149,19 +242,20 @@ struct Sim<'a> {
     matched: HashSet<(Rank, Seq)>,
     reqs: Vec<HashMap<ReqId, ReqState>>,
     coll_count: Vec<u64>,
-    coll_seqs: Vec<Vec<Seq>>,
     epochs: BTreeMap<u64, EpochSlot>,
     skip: HashSet<(Rank, Seq)>,
-    wild: Vec<WildEvent>,
+    sends: Vec<SendRec>,
+    pairs: Vec<MatchPair>,
     diags: Vec<Diagnostic>,
 }
 
 impl<'a> Sim<'a> {
-    fn new(trace: &'a MemTrace) -> Self {
+    fn new(trace: &'a MemTrace, policy: &'a MatchPolicy) -> Self {
         let p = trace.num_ranks();
         Sim {
             ranks: (0..p).map(|r| trace.rank(r)).collect(),
             p,
+            policy,
             pc: vec![0; p],
             offered: vec![false; p],
             matcher: EnvelopeMatcher::new(),
@@ -169,10 +263,10 @@ impl<'a> Sim<'a> {
             matched: HashSet::new(),
             reqs: vec![HashMap::new(); p],
             coll_count: vec![0; p],
-            coll_seqs: vec![Vec::new(); p],
             epochs: BTreeMap::new(),
             skip: HashSet::new(),
-            wild: Vec::new(),
+            sends: Vec::new(),
+            pairs: Vec::new(),
             diags: Vec::new(),
         }
     }
@@ -267,35 +361,26 @@ impl<'a> Sim<'a> {
         }
         self.matched.insert((s.src, s.seq));
         self.matched.insert((r.dst, r.seq));
+        let pair = self.pairs.len();
+        self.pairs.push(MatchPair {
+            send: (s.src, s.seq),
+            recv: (r.dst, r.seq),
+            completion: r.seq,
+            tag: s.tag,
+            posted_any: r.posted_any,
+        });
         if let Some(req) = r.req {
             if let Some(st) = self.reqs[r.dst as usize].get_mut(&req) {
-                *st = ReqState::RecvDone;
+                *st = ReqState::RecvDone { pair: Some(pair) };
             }
         }
-        if r.posted_any {
-            // Feasibility probe: which other sources have an in-flight
-            // message this wildcard could have taken instead?
-            let probe = LintRecv {
-                dst: r.dst,
-                src_pattern: ANY_SOURCE,
-                tag_pattern: r.tag_pattern,
-                bytes: 0,
-                seq: r.seq,
-                posted_any: true,
-                req: None,
-            };
-            let mut feasible = self.matcher.candidate_sources(&probe);
-            if !feasible.contains(&s.src) {
-                feasible.push(s.src);
-                feasible.sort_unstable();
-            }
-            self.wild.push(WildEvent {
-                dst: r.dst,
-                seq: r.seq,
-                tag: r.tag_pattern,
-                matched_src: s.src,
-                feasible,
-            });
+    }
+
+    /// A wait at `seq` resolved `req`: stamp the completion point on the
+    /// irecv's pair (if it matched) and drop the request.
+    fn resolve_req(&mut self, r: usize, req: &ReqId, seq: Seq) {
+        if let Some(ReqState::RecvDone { pair: Some(idx) }) = self.reqs[r].remove(req) {
+            self.pairs[idx].completion = seq;
         }
     }
 
@@ -321,7 +406,7 @@ impl<'a> Sim<'a> {
             EventKind::Init | EventKind::Finalize | EventKind::Compute { .. } => true,
             EventKind::Test { req, completed } => {
                 if *completed {
-                    self.reqs[r].remove(req);
+                    self.resolve_req(r, req, seq);
                 }
                 true
             }
@@ -337,6 +422,14 @@ impl<'a> Sim<'a> {
                     if !self.offered[r] {
                         self.offered[r] = true;
                         let issue = self.next_issue();
+                        self.sends.push(SendRec {
+                            src: rank,
+                            seq,
+                            dst: *peer,
+                            tag: *tag,
+                            bytes: *bytes,
+                            eager: *protocol != SendProtocol::Synchronous,
+                        });
                         let env = LintSend {
                             src: rank,
                             dst: *peer,
@@ -366,7 +459,7 @@ impl<'a> Sim<'a> {
                         self.offered[r] = true;
                         let env = LintRecv {
                             dst: rank,
-                            src_pattern: *peer,
+                            src_pattern: self.policy.src_pattern(rank, seq, *peer),
                             tag_pattern: *tag,
                             bytes: *bytes,
                             seq,
@@ -387,6 +480,14 @@ impl<'a> Sim<'a> {
                 self.reqs[r].insert(*req, ReqState::SendDone);
                 if !self.skip.contains(&(rank, seq)) {
                     let issue = self.next_issue();
+                    self.sends.push(SendRec {
+                        src: rank,
+                        seq,
+                        dst: *peer,
+                        tag: *tag,
+                        bytes: *bytes,
+                        eager: true,
+                    });
                     let env = LintSend {
                         src: rank,
                         dst: *peer,
@@ -407,12 +508,12 @@ impl<'a> Sim<'a> {
                 posted_any,
             } => {
                 if self.skip.contains(&(rank, seq)) {
-                    self.reqs[r].insert(*req, ReqState::RecvDone);
+                    self.reqs[r].insert(*req, ReqState::RecvDone { pair: None });
                 } else {
                     self.reqs[r].insert(*req, ReqState::RecvPending { src: *peer, seq });
                     let env = LintRecv {
                         dst: rank,
-                        src_pattern: *peer,
+                        src_pattern: self.policy.src_pattern(rank, seq, *peer),
                         tag_pattern: *tag,
                         bytes: *bytes,
                         seq,
@@ -427,7 +528,7 @@ impl<'a> Sim<'a> {
                 if self.req_pending(r, req).is_some() {
                     false
                 } else {
-                    self.reqs[r].remove(req);
+                    self.resolve_req(r, req, seq);
                     true
                 }
             }
@@ -436,7 +537,7 @@ impl<'a> Sim<'a> {
                     false
                 } else {
                     for q in reqs {
-                        self.reqs[r].remove(q);
+                        self.resolve_req(r, q, seq);
                     }
                     true
                 }
@@ -446,7 +547,7 @@ impl<'a> Sim<'a> {
                     false
                 } else {
                     for q in completed {
-                        self.reqs[r].remove(q);
+                        self.resolve_req(r, q, seq);
                     }
                     true
                 }
@@ -475,7 +576,6 @@ impl<'a> Sim<'a> {
         let sig = coll_sig(&ev.kind).expect("collective event");
         let k = self.coll_count[r];
         self.coll_count[r] += 1;
-        self.coll_seqs[r].push(ev.seq);
         let world_bad = sig.comm_size as usize != self.p;
         let slot = self.epochs.entry(k).or_insert_with(|| EpochSlot {
             sig: sig.clone(),
@@ -554,11 +654,12 @@ impl<'a> Sim<'a> {
         ops
     }
 
-    fn finish(mut self) -> Vec<Diagnostic> {
+    fn finish(mut self) -> ProgressOutcome {
         let p = self.p;
         let stuck: Vec<usize> = (0..p)
             .filter(|&r| self.pc[r] < self.ranks[r].len())
             .collect();
+        let completed = stuck.is_empty();
 
         // Pass 2: wait-for graph over the stuck ranks, Tarjan SCC.
         let mut cycle_ops: HashSet<(Rank, Seq)> = HashSet::new();
@@ -637,53 +738,6 @@ impl<'a> Sim<'a> {
             }
         }
 
-        // Pass 4: wildcard race analysis over how wildcard receives
-        // resolved, grouped per (receiver, tag) message class.
-        let mut groups: BTreeMap<(Rank, Tag), Vec<WildEvent>> = BTreeMap::new();
-        for w in std::mem::take(&mut self.wild) {
-            groups.entry((w.dst, w.tag)).or_default().push(w);
-        }
-        for ((dst, tag), mut evs) in groups {
-            evs.sort_by_key(|w| w.seq);
-            let mut sources: BTreeSet<Rank> = BTreeSet::new();
-            // Signal 1: several feasible in-flight senders at match time.
-            for w in &evs {
-                if w.feasible.len() >= 2 {
-                    sources.extend(w.feasible.iter().copied());
-                }
-            }
-            // Signal 2: consecutive wildcard receives of the same class
-            // resolved to different senders with no collective barrier
-            // between them — the arrival order, not the program, decided.
-            for pair in evs.windows(2) {
-                let (a, b) = (&pair[0], &pair[1]);
-                if a.matched_src != b.matched_src
-                    && !self.coll_seqs[dst as usize]
-                        .iter()
-                        .any(|&s| s > a.seq && s < b.seq)
-                {
-                    sources.insert(a.matched_src);
-                    sources.insert(b.matched_src);
-                }
-            }
-            if sources.len() >= 2 {
-                let srcs: Vec<Rank> = sources.iter().copied().collect();
-                self.diags.push(
-                    Diagnostic::new(
-                        Rule::WildRace,
-                        format!(
-                            "wildcard receives on rank {dst} (tag {tag}) have {} feasible \
-                             senders {srcs:?}; match order depends on message timing, so \
-                             replay predictions may not be stable",
-                            srcs.len()
-                        ),
-                    )
-                    .at(dst, evs[0].seq)
-                    .involving(srcs),
-                );
-            }
-        }
-
         // Pass 1 residue: leftover envelopes, refined into tag mismatches
         // where a send/receive pair agrees on the channel.
         let (sends, recvs) = std::mem::take(&mut self.matcher).into_unmatched();
@@ -751,7 +805,14 @@ impl<'a> Sim<'a> {
             }
         }
 
-        self.diags
+        ProgressOutcome {
+            diags: self.diags,
+            matching: Matching {
+                sends: self.sends,
+                pairs: self.pairs,
+                completed,
+            },
+        }
     }
 }
 

@@ -1,0 +1,239 @@
+//! Pass 7: HB-powered synchronization findings.
+//!
+//! **`MPG-REDUNDANT-SYNC`** — a barrier is *removable* when deleting it
+//! cannot enlarge the set of feasible matchings. A barrier constrains
+//! matching in exactly one way: a receive that completes before the
+//! barrier can never match a send issued after it. The pass collects every
+//! envelope-compatible `(receive, send)` pair whose match is forbidden by
+//! the full graph's completion order, then rebuilds the happens-before
+//! index with the barrier's hub bypassed ([`HbIndex::build_bypassing`]);
+//! if every forbidden pair stays forbidden, the barrier orders no
+//! communication and is flagged. Consecutive barriers are each tested with
+//! the other still present, so two back-to-back barriers are *individually*
+//! removable even though removing both could differ — the diagnostic says
+//! as much. Data-carrying collectives (bcast, reduce, …) are never
+//! flagged: they move payload, so removal is not a pure-synchronization
+//! question.
+//!
+//! **`MPG-BUFFER-WATERMARK`** — eager sends (standard/buffered/ready and
+//! every isend) complete without a rendezvous; until the matching receive
+//! completes, the payload occupies the receiver's eager buffer. For each
+//! receiver the pass computes, at every receive-completion point, how many
+//! eager messages could simultaneously be resident: message `j` counts
+//! when its consuming receive has not yet completed and the happens-before
+//! relation does **not** force its send to issue only after this point
+//! (`!completes_before`). The per-rank high-water mark above the advisory
+//! threshold means senders can outrun the receiver's consumption.
+
+use crate::progress::{Matching, SendRec};
+use mpg_core::{EventGraph, HbIndex, NodeId};
+use mpg_trace::{Diagnostic, EventKind, MemTrace, Rank, Rule, Seq, Tag, ANY_SOURCE, ANY_TAG};
+use std::collections::{BTreeMap, HashMap};
+
+/// Tunables for the synchronization pass.
+#[derive(Debug, Clone, Copy)]
+pub struct SyncOptions {
+    /// `MPG-BUFFER-WATERMARK` fires when a receiver's in-flight eager-send
+    /// high-water mark strictly exceeds this.
+    pub watermark: usize,
+}
+
+impl Default for SyncOptions {
+    fn default() -> Self {
+        SyncOptions { watermark: 8 }
+    }
+}
+
+/// A collective hub and its per-rank entry events, in resolution order.
+struct Hub {
+    node: NodeId,
+    entries: Vec<(Rank, Seq)>,
+}
+
+fn collect_hubs(graph: &EventGraph) -> Vec<Hub> {
+    let mut order: Vec<NodeId> = Vec::new();
+    let mut entries: HashMap<NodeId, Vec<(Rank, Seq)>> = HashMap::new();
+    for e in graph.edges() {
+        if e.dst.hub {
+            entries.entry(e.dst).or_insert_with(|| {
+                order.push(e.dst);
+                Vec::new()
+            });
+            entries
+                .get_mut(&e.dst)
+                .expect("just inserted")
+                .push((e.src.rank, e.src.seq));
+        }
+    }
+    order
+        .into_iter()
+        .map(|node| {
+            let mut ent = entries.remove(&node).unwrap_or_default();
+            ent.sort_unstable();
+            Hub { node, entries: ent }
+        })
+        .collect()
+}
+
+/// The matches the recorded graph forbids: envelope-compatible
+/// `(receive-completion event, send event)` pairs where the receive must
+/// complete before the send can issue.
+fn forbidden_matches(
+    trace: &MemTrace,
+    matching: &Matching,
+    hb: &HbIndex,
+) -> Vec<((Rank, Seq), (Rank, Seq))> {
+    // Posted patterns of every matched receive, keyed by the receive event.
+    let mut out = Vec::new();
+    for pair in &matching.pairs {
+        let (rrank, rseq) = pair.recv;
+        let Some(ev) = trace.rank(rrank as usize).get(rseq as usize) else {
+            continue;
+        };
+        let (src_pat, tag_pat): (Rank, Tag) = match ev.kind {
+            EventKind::Recv {
+                peer,
+                tag,
+                posted_any,
+                ..
+            }
+            | EventKind::Irecv {
+                peer,
+                tag,
+                posted_any,
+                ..
+            } => (if posted_any { ANY_SOURCE } else { peer }, tag),
+            _ => continue,
+        };
+        let completion = (rrank, pair.completion);
+        for s in &matching.sends {
+            if s.dst != rrank
+                || (src_pat != ANY_SOURCE && s.src != src_pat)
+                || (tag_pat != ANY_TAG && s.tag != tag_pat)
+            {
+                continue;
+            }
+            if hb.completes_before(completion, (s.src, s.seq)) {
+                out.push((completion, (s.src, s.seq)));
+            }
+        }
+    }
+    out
+}
+
+/// `MPG-REDUNDANT-SYNC` over every barrier epoch in the graph.
+fn redundant_barriers(
+    trace: &MemTrace,
+    graph: &EventGraph,
+    hb: &HbIndex,
+    matching: &Matching,
+) -> Vec<Diagnostic> {
+    let hubs = collect_hubs(graph);
+    let barriers: Vec<&Hub> = hubs
+        .iter()
+        .filter(|h| {
+            !h.entries.is_empty()
+                && h.entries.iter().all(|&(r, s)| {
+                    matches!(
+                        trace.rank(r as usize).get(s as usize).map(|e| &e.kind),
+                        Some(EventKind::Barrier { .. })
+                    )
+                })
+        })
+        .collect();
+    if barriers.is_empty() {
+        return Vec::new();
+    }
+    let forbidden = forbidden_matches(trace, matching, hb);
+    let mut diags = Vec::new();
+    for hub in barriers {
+        let without = HbIndex::build_bypassing(graph, hub.node);
+        let preserved = forbidden
+            .iter()
+            .all(|&(recv, send)| without.completes_before(recv, send));
+        if preserved {
+            let (rank, seq) = (hub.node.rank, hub.node.seq);
+            diags.push(
+                Diagnostic::new(
+                    Rule::RedundantSync,
+                    format!(
+                        "barrier (seq {seq} on rank {rank}) orders no communication: every \
+                         send/receive match it forbids is already forbidden by the rest of \
+                         the graph, so this barrier alone can be removed without enabling \
+                         any new schedule"
+                    ),
+                )
+                .at(rank, seq)
+                .involving(hub.entries.iter().map(|&(r, _)| r)),
+            );
+        }
+    }
+    diags
+}
+
+/// `MPG-BUFFER-WATERMARK` per receiving rank.
+fn buffer_watermarks(hb: &HbIndex, matching: &Matching, opts: &SyncOptions) -> Vec<Diagnostic> {
+    let send_info: HashMap<(Rank, Seq), &SendRec> =
+        matching.sends.iter().map(|s| ((s.src, s.seq), s)).collect();
+    // Eager matched traffic per receiver: (completion seq, send event).
+    type EagerMsg = (Seq, (Rank, Seq));
+    let mut per_dst: BTreeMap<Rank, Vec<EagerMsg>> = BTreeMap::new();
+    for pair in &matching.pairs {
+        if send_info
+            .get(&pair.send)
+            .is_some_and(|s| s.eager && s.src != pair.recv.0)
+        {
+            per_dst
+                .entry(pair.recv.0)
+                .or_default()
+                .push((pair.completion, pair.send));
+        }
+    }
+    let mut diags = Vec::new();
+    for (dst, msgs) in per_dst {
+        let mut peak = 0usize;
+        let mut peak_at: Seq = 0;
+        let mut peak_srcs: Vec<Rank> = Vec::new();
+        for &(c_i, _) in &msgs {
+            let resident: Vec<(Rank, Seq)> = msgs
+                .iter()
+                .filter(|&&(c_j, send_j)| c_j >= c_i && !hb.completes_before((dst, c_i), send_j))
+                .map(|&(_, send_j)| send_j)
+                .collect();
+            if resident.len() > peak {
+                peak = resident.len();
+                peak_at = c_i;
+                peak_srcs = resident.iter().map(|&(r, _)| r).collect();
+            }
+        }
+        if peak > opts.watermark {
+            diags.push(
+                Diagnostic::new(
+                    Rule::BufferWatermark,
+                    format!(
+                        "rank {dst} may hold up to {peak} in-flight eager sends at once \
+                         (high-water at receive completing seq {peak_at}, advisory \
+                         threshold {}); senders outrun the receiver's consumption",
+                        opts.watermark
+                    ),
+                )
+                .at(dst, peak_at)
+                .involving(peak_srcs),
+            );
+        }
+    }
+    diags
+}
+
+/// Pass 7 entry point.
+pub fn lint_sync(
+    trace: &MemTrace,
+    graph: &EventGraph,
+    hb: &HbIndex,
+    matching: &Matching,
+    opts: &SyncOptions,
+) -> Vec<Diagnostic> {
+    let mut diags = redundant_barriers(trace, graph, hb, matching);
+    diags.extend(buffer_watermarks(hb, matching, opts));
+    diags
+}

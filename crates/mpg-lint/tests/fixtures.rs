@@ -1,7 +1,7 @@
 //! Hand-built defective traces, one per lint rule, asserting the exact
 //! rule code and set of ranks each pass reports.
 
-use mpg_lint::lint_trace;
+use mpg_lint::{lint_full, lint_trace};
 use mpg_trace::{Diagnostic, EventKind, EventRecord, MemTrace, Rank, Rule, SendProtocol, Severity};
 
 /// Builds a trace from per-rank event-kind programs, wrapping each rank in
@@ -71,6 +71,10 @@ struct Fixture {
     /// When set, the fixture must produce diagnostics of this rule and
     /// nothing else.
     exclusive: bool,
+    /// Rules of graph-backed passes need [`lint_full`]; the rest are
+    /// asserted against [`lint_trace`] so a defective trace never has to
+    /// survive a recording replay.
+    full: bool,
 }
 
 fn fixtures() -> Vec<Fixture> {
@@ -86,6 +90,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::Deadlock,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Synchronous sends head-to-head also cycle: each Ssend waits
@@ -98,6 +103,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::Deadlock,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Rank 0 sends; rank 1 never posts a receive.
@@ -106,6 +112,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::UnmatchedSend,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Rank 1 expects a message rank 0 never sends.
@@ -114,6 +121,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::UnmatchedRecv,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Channel agrees, tag does not: the leftover pair is reported
@@ -123,6 +131,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::TagMismatch,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Matched pair disagreeing on payload size (warning).
@@ -131,6 +140,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::CountMismatch,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Destination outside the communicator.
@@ -139,6 +149,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::BadPeer,
             ranks: vec![0],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Two wildcard receives on rank 0 resolved to different
@@ -152,6 +163,64 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::WildRace,
             ranks: vec![0, 1, 2],
             exclusive: true,
+            full: true,
+        },
+        Fixture {
+            // The barrier's ordering is already implied: the synchronous
+            // send/receive pair before it and the reply after it are
+            // point-to-point ordered, so no match the barrier forbids
+            // becomes feasible without it.
+            name: "redundant-barrier",
+            trace: trace_of(vec![
+                vec![
+                    ssend(1, 0, 8),
+                    EventKind::Barrier { comm_size: 2 },
+                    recv(1, 1, 8),
+                ],
+                vec![
+                    recv(0, 0, 8),
+                    EventKind::Barrier { comm_size: 2 },
+                    send(0, 1, 8),
+                ],
+            ]),
+            rule: Rule::RedundantSync,
+            ranks: vec![0, 1],
+            exclusive: true,
+            full: true,
+        },
+        Fixture {
+            // Nine eager standard sends race ahead of a receiver that
+            // drains them one by one: the in-flight high-water mark (9)
+            // crosses the advisory threshold (8).
+            name: "buffer-watermark",
+            trace: trace_of(vec![
+                vec![
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                    recv(1, 0, 8),
+                ],
+                vec![
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                    send(0, 0, 8),
+                ],
+            ]),
+            rule: Rule::BufferWatermark,
+            ranks: vec![0, 1],
+            exclusive: true,
+            full: true,
         },
         Fixture {
             // Ranks disagree on which collective epoch 0 is.
@@ -166,6 +235,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::CollectiveSkew,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Ranks agree on the op but disagree on the root.
@@ -185,6 +255,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::CollectiveSkew,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // A collective naming a communicator larger than the trace:
@@ -198,6 +269,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::CollectiveSkew,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Rank 1 exits without ever reaching the barrier rank 0 (and
@@ -207,6 +279,7 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::CollectiveSkew,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
         Fixture {
             // Wait on an irecv whose sender never shows up: the request
@@ -228,14 +301,23 @@ fn fixtures() -> Vec<Fixture> {
             rule: Rule::UnmatchedRecv,
             ranks: vec![0, 1],
             exclusive: true,
+            full: false,
         },
     ]
+}
+
+fn lint_fixture(f: &Fixture) -> Vec<Diagnostic> {
+    if f.full {
+        lint_full(&f.trace)
+    } else {
+        lint_trace(&f.trace)
+    }
 }
 
 #[test]
 fn fixtures_trigger_exactly_their_rule() {
     for f in fixtures() {
-        let diags = lint_trace(&f.trace);
+        let diags = lint_fixture(&f);
         let hits: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == f.rule).collect();
         assert!(
             !hits.is_empty(),
@@ -265,7 +347,7 @@ fn fixtures_trigger_exactly_their_rule() {
 #[test]
 fn fixture_severities_follow_rule_defaults() {
     for f in fixtures() {
-        let diags = lint_trace(&f.trace);
+        let diags = lint_fixture(&f);
         for d in diags.iter().filter(|d| d.rule == f.rule) {
             assert_eq!(d.severity, f.rule.default_severity(), "fixture {}", f.name);
         }
@@ -305,13 +387,14 @@ fn three_rank_deadlock_ring_is_one_cycle() {
 #[test]
 fn wildcard_single_feasible_sender_is_not_a_race() {
     // Wildcard receives that always resolve to the same sender carry no
-    // nondeterminism worth reporting.
+    // nondeterminism worth reporting (non-overtaking pins the order).
     let t = trace_of(vec![
         vec![recv_any(1, 5, 8), recv_any(1, 5, 8)],
         vec![send(0, 5, 8), send(0, 5, 8)],
         vec![],
     ]);
-    assert!(lint_trace(&t).is_empty());
+    let diags = lint_full(&t);
+    assert!(!diags.iter().any(|d| d.rule == Rule::WildRace), "{diags:?}");
 }
 
 #[test]
@@ -322,10 +405,32 @@ fn wildcard_resolutions_separated_by_barrier_are_not_a_race() {
         vec![send(0, 5, 8), barrier()],
         vec![barrier(), send(0, 5, 8)],
     ]);
-    let diags = lint_trace(&t);
+    let diags = lint_full(&t);
     assert!(
         !diags.iter().any(|d| d.rule == Rule::WildRace),
         "phases separated by a collective are ordered: {diags:?}"
+    );
+}
+
+#[test]
+fn race_diagnostic_names_a_concrete_alternate() {
+    // The acceptance shape: one wildcard receive, two concurrent
+    // envelope-compatible senders. The diagnostic must carry the alternate
+    // match as a concrete (rank, seq) witness, not just "a race exists".
+    let t = trace_of(vec![
+        vec![recv_any(1, 5, 8), recv_any(2, 5, 8)],
+        vec![send(0, 5, 8)],
+        vec![send(0, 5, 8)],
+    ]);
+    let diags = lint_full(&t);
+    let race = diags
+        .iter()
+        .find(|d| d.rule == Rule::WildRace)
+        .expect("race expected");
+    assert!(
+        race.message.contains("rank 2 seq 1") || race.message.contains("rank 1 seq 1"),
+        "witness missing from: {}",
+        race.message
     );
 }
 

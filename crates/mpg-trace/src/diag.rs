@@ -89,6 +89,12 @@ pub enum Rule {
     WildRace,
     /// Ranks disagree on collective op/root/participants.
     CollectiveSkew,
+    /// Barrier whose cross-rank ordering is already implied by the rest of
+    /// the graph: removable synchronization.
+    RedundantSync,
+    /// A receiver's in-flight eager-send occupancy high-water mark crossed
+    /// the advisory threshold.
+    BufferWatermark,
     // ---- capture-integrity defects (salvage reader) ----
     /// A rank's stream was salvaged: frames dropped, bytes skipped,
     /// records lost, or an unsealed tail.
@@ -129,6 +135,8 @@ impl Rule {
         Rule::Causality,
         Rule::WildRace,
         Rule::CollectiveSkew,
+        Rule::RedundantSync,
+        Rule::BufferWatermark,
         Rule::TruncatedTrace,
         Rule::MissingRank,
         Rule::LateSender,
@@ -158,6 +166,8 @@ impl Rule {
             Rule::Causality => "MPG-CAUSALITY",
             Rule::WildRace => "MPG-WILD-RACE",
             Rule::CollectiveSkew => "MPG-COLLECTIVE-SKEW",
+            Rule::RedundantSync => "MPG-REDUNDANT-SYNC",
+            Rule::BufferWatermark => "MPG-BUFFER-WATERMARK",
             Rule::TruncatedTrace => "MPG-TRUNCATED-TRACE",
             Rule::MissingRank => "MPG-MISSING-RANK",
             Rule::LateSender => "MPG-LATE-SENDER",
@@ -189,8 +199,10 @@ impl Rule {
             Rule::Deadlock => "cycle in the wait-for graph over blocking operations",
             Rule::Cycle => "stitched event graph is not a DAG",
             Rule::Causality => "message edge points backwards in per-rank program order",
-            Rule::WildRace => "wildcard receive with 2+ statically feasible senders",
+            Rule::WildRace => "wildcard receive with a concurrent alternate match",
             Rule::CollectiveSkew => "ranks disagree on collective op/root/participants",
+            Rule::RedundantSync => "barrier whose ordering is already implied; removable sync",
+            Rule::BufferWatermark => "receiver's in-flight eager-send occupancy crossed threshold",
             Rule::TruncatedTrace => "rank stream was salvaged; frames or records lost",
             Rule::MissingRank => "rank file named by meta.txt is absent",
             Rule::LateSender => "receive blocked most of its window on a late sender",
@@ -204,8 +216,9 @@ impl Rule {
         match self {
             // Wildcard nondeterminism is legal MPI and common in
             // master/worker load balancing; it only threatens replay
-            // *stability*, so it is advisory by default.
-            Rule::WildRace => Severity::Info,
+            // *stability*, so it is advisory by default. The HB-powered
+            // synchronization findings are likewise legal-but-noteworthy.
+            Rule::WildRace | Rule::RedundantSync | Rule::BufferWatermark => Severity::Info,
             // A leaked request or a byte-count mismatch degrades fidelity
             // but the graph still stitches.
             Rule::LeakedRequest | Rule::CountMismatch => Severity::Warning,
@@ -217,6 +230,34 @@ impl Rule {
             // never block replay unless escalated with `--deny`.
             Rule::LateSender | Rule::CollectiveImbalance | Rule::SerialChain => Severity::Info,
             _ => Severity::Error,
+        }
+    }
+
+    /// Which analysis pass owns the rule — the label shown in the rule
+    /// registry (`mpgtool lint --rules`) and the DESIGN.md §7 table.
+    pub fn pass(self) -> &'static str {
+        match self {
+            Rule::ClockNonMono
+            | Rule::BadSeq
+            | Rule::MissingInit
+            | Rule::MissingFinalize
+            | Rule::WrongRank
+            | Rule::DupRequest
+            | Rule::UnknownRequest
+            | Rule::LeakedRequest
+            | Rule::SelfMessage => "validate",
+            Rule::UnmatchedSend
+            | Rule::UnmatchedRecv
+            | Rule::TagMismatch
+            | Rule::CountMismatch
+            | Rule::BadPeer => "match",
+            Rule::Deadlock => "deadlock",
+            Rule::Cycle | Rule::Causality => "causality",
+            Rule::WildRace => "race",
+            Rule::CollectiveSkew => "collective",
+            Rule::RedundantSync | Rule::BufferWatermark => "sync",
+            Rule::TruncatedTrace | Rule::MissingRank => "ingest",
+            Rule::LateSender | Rule::CollectiveImbalance | Rule::SerialChain => "perf",
         }
     }
 
@@ -437,21 +478,23 @@ mod tests {
             // Doc lines are table cells: single line, no pipes.
             assert!(!rule.doc().contains('\n'), "{} doc multiline", rule.code());
             assert!(!rule.doc().contains('|'), "{} doc has pipe", rule.code());
+            assert!(!rule.pass().is_empty(), "{} has no pass", rule.code());
         }
     }
 
     #[test]
     fn design_doc_rule_table_matches_registry() {
         // DESIGN.md §7 renders the registry as a table with one
-        // `| MPG-… | severity | doc |` row per rule. Regenerating the rows
-        // here and requiring each verbatim in the document means a new
-        // rule cannot ship without its documentation line.
+        // `| MPG-… | severity | pass | doc |` row per rule. Regenerating
+        // the rows here and requiring each verbatim in the document means a
+        // new rule cannot ship without its documentation line.
         let design = include_str!("../../../DESIGN.md");
         for &rule in Rule::ALL {
             let row = format!(
-                "| `{}` | {} | {} |",
+                "| `{}` | {} | {} | {} |",
                 rule.code(),
                 rule.default_severity().label(),
+                rule.pass(),
                 rule.doc()
             );
             assert!(

@@ -31,7 +31,9 @@ pub mod validate;
 pub mod writer;
 
 pub use clock::ClockModel;
-pub use diag::{sort_diagnostics, validate_trace_diagnostics, Diagnostic, Rule, Severity};
+pub use diag::{
+    json_escape_into, sort_diagnostics, validate_trace_diagnostics, Diagnostic, Rule, Severity,
+};
 pub use event::{EventKind, EventRecord, Rank, ReqId, SendProtocol, Seq, Tag, ANY_SOURCE, ANY_TAG};
 pub use faultgen::{inject_dir, mutate_bytes, FaultKind, FaultPlan};
 pub use fileset::{FileTraceSet, FsckStatus, MemTrace, SalvageReport};

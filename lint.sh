@@ -27,6 +27,16 @@ if [ -f BENCH_replay.json ]; then
         bench --check BENCH_replay.json --threshold 20 --reps 9
 fi
 
+# Lint-throughput regression gate: same contract, over the full pass
+# manager (progress matching + recorded graph + happens-before index +
+# parallel passes, including witness replays on the wildcard-heavy
+# master-worker) against the tracked BENCH_lint.json numbers.
+if [ -f BENCH_lint.json ]; then
+    echo "==> mpgtool bench --lint --check BENCH_lint.json --threshold 20"
+    cargo run --release -q -p mpg-analysis --bin mpgtool -- \
+        bench --lint --check BENCH_lint.json --threshold 20 --reps 9
+fi
+
 # Per-workload smoke suites. Every demo workload is traced once; the trace
 # then feeds (a) the wait-state analyzer and (b) the fsck fault-injection
 # matrix. Scripts and CI depend on the exit codes checked here.
