@@ -47,13 +47,23 @@
 //!
 //! mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES]
 //!                [--per-byte CPB] [--seed S] [--history FILE] [--lint]
-//!                [--salvage]
+//!                [--salvage] [--ooc] [--shards N]
 //!     Replay under an injected-perturbation model; print per-rank drifts.
 //!     With --history, append the result to an analysis-history log (§7).
 //!     With --lint, refuse to replay a trace that has error-severity lint
 //!     diagnostics. With --salvage, accept a damaged/partial trace: read it
 //!     through the salvage path and replay crash-tolerantly to the crash
-//!     frontier, printing the degradation report.
+//!     frontier, printing the degradation report. With --ooc, mmap the
+//!     trace files and stream frames lazily instead of loading the trace —
+//!     peak memory stays flat however big the trace is. With --shards N,
+//!     partition the ranks over N worker threads; results are bit-identical
+//!     to the single-threaded replay.
+//!
+//! mpgtool gen [--workload W] [--ranks N] [--scale S] [--seed S] <trace-dir>
+//!     Synthesize a large trace for out-of-core experiments: one of the
+//!     demo workloads with its iteration count multiplied by --scale
+//!     (default workload: stencil, whose event volume is ranks x 7 x 20 x
+//!     scale).
 //!
 //! mpgtool dot <trace-dir>
 //!     Print the message-passing graph as Graphviz DOT (Fig. 5).
@@ -70,7 +80,7 @@
 //! mpgtool diff <trace-dir-a> <trace-dir-b>
 //!     Compare two traces' per-kind time accounting.
 //!
-//! mpgtool bench [--lint] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
+//! mpgtool bench [--lint] [--no-ooc] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
 //!     Measure replay throughput (events/sec) on the pinned seed workloads.
 //!     With --out, write the machine-readable snapshot (BENCH_replay.json).
 //!     With --check, compare against a recorded snapshot and exit nonzero
@@ -93,8 +103,8 @@ use mpg_noise::{Dist, PlatformSignature};
 use mpg_sim::Simulation;
 use mpg_trace::{
     inject_dir, sort_diagnostics, text_to_trace, trace_stats, trace_to_text, validate_trace,
-    validate_trace_diagnostics, Diagnostic, FaultKind, FileTraceSet, Rule, SalvageReport, Severity,
-    TraceError,
+    validate_trace_diagnostics, Diagnostic, FaultKind, FileTraceSet, OocTraceSet, Rule,
+    SalvageReport, Severity, TraceError,
 };
 
 fn fail(msg: &str) -> ExitCode {
@@ -109,6 +119,10 @@ fn usage() -> ExitCode {
         "  mpgtool demo <ring|stencil|master-worker|solver|pipeline|transpose|summa> \
          [--ranks N] [--seed S] <trace-dir>"
     );
+    eprintln!(
+        "  mpgtool gen [--workload W] [--ranks N] [--scale S] [--seed S] <trace-dir> \
+         (synthesize a large trace)"
+    );
     eprintln!("  mpgtool stats <trace-dir>");
     eprintln!("  mpgtool validate <trace-dir> [--json]");
     eprintln!("  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage]");
@@ -118,14 +132,17 @@ fn usage() -> ExitCode {
     eprintln!("  mpgtool fsck <trace-dir> [--json] [--inject KIND [--seed S] [--out DIR]]");
     eprintln!(
         "  mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES] [--per-byte CPB] \
-         [--seed S] [--history FILE] [--lint] [--salvage]"
+         [--seed S] [--history FILE] [--lint] [--salvage] [--ooc] [--shards N]"
     );
     eprintln!("  mpgtool dot <trace-dir>");
     eprintln!("  mpgtool export <trace-dir>");
     eprintln!("  mpgtool import <text-file> <trace-dir>");
     eprintln!("  mpgtool timeline <trace-dir> [--width N]");
     eprintln!("  mpgtool diff <trace-dir-a> <trace-dir-b>");
-    eprintln!("  mpgtool bench [--lint] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]");
+    eprintln!(
+        "  mpgtool bench [--lint] [--no-ooc] [--out FILE] [--check FILE] \
+         [--threshold PCT] [--reps N]"
+    );
     ExitCode::from(2)
 }
 
@@ -242,6 +259,98 @@ fn open_trace(dir: &str) -> Result<mpg_trace::MemTrace, String> {
 /// directories. Prints nothing; callers decide how to surface the report.
 fn open_salvage(dir: &str) -> Result<(mpg_trace::MemTrace, SalvageReport), String> {
     FileTraceSet::load_salvage(Path::new(dir)).map_err(|e| format!("unrecoverable trace: {e}"))
+}
+
+/// A workload sized for trace synthesis: `scale` multiplies the
+/// iteration-count knob, so event volume grows linearly with it (and with
+/// `--ranks` for the per-rank patterns). `summa` has no iteration knob and
+/// is not synthesizable.
+fn scaled_workload(name: &str, scale: u64) -> Option<Box<dyn Workload>> {
+    let s = |base: u64| -> u32 { base.saturating_mul(scale).min(u64::from(u32::MAX)) as u32 };
+    Some(match name {
+        "ring" => Box::new(TokenRing {
+            traversals: s(5),
+            particles_per_rank: 16,
+            work_per_pair: 25,
+        }),
+        "stencil" => Box::new(Stencil {
+            iters: s(20),
+            cells_per_rank: 2_000,
+            work_per_cell: 40,
+            halo_bytes: 1_024,
+        }),
+        "master-worker" => Box::new(MasterWorker {
+            tasks: s(64),
+            task_work: 200_000,
+            task_bytes: 128,
+            result_bytes: 128,
+        }),
+        "solver" => Box::new(AllreduceSolver {
+            iters: s(20),
+            local_work: 200_000,
+            vector_bytes: 256,
+        }),
+        "pipeline" => Box::new(Pipeline {
+            waves: s(20),
+            work_per_stage: 100_000,
+            payload: 512,
+        }),
+        "transpose" => Box::new(Transpose {
+            steps: s(10),
+            rows_per_rank: 32,
+            work_per_element: 10,
+            block_bytes: 512,
+        }),
+        _ => return None,
+    })
+}
+
+/// `mpgtool gen`: synthesize an arbitrarily large trace for out-of-core
+/// replay experiments — a `demo` whose event volume is dialed by `--scale`.
+fn cmd_gen(mut args: Vec<String>) -> ExitCode {
+    let workload = take_flag(&mut args, "--workload").unwrap_or_else(|| "stencil".into());
+    let ranks: u32 = take_flag(&mut args, "--ranks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let scale: u64 = take_flag(&mut args, "--scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let seed: u64 = take_flag(&mut args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let [dir] = args.as_slice() else {
+        return fail("gen needs a trace directory");
+    };
+    let Some(w) = scaled_workload(&workload, scale.max(1)) else {
+        return fail(&format!(
+            "unknown or unscalable workload '{workload}' \
+             (one of: ring, stencil, master-worker, solver, pipeline, transpose)"
+        ));
+    };
+    let outcome = match Simulation::new(ranks, PlatformSignature::quiet("mpgtool-gen"))
+        .seed(seed)
+        .run(|ctx| w.run(ctx))
+    {
+        Ok(o) => o,
+        Err(e) => return fail(&format!("simulation failed: {e}")),
+    };
+    if let Err(e) = outcome.trace.save(&PathBuf::from(dir)) {
+        return fail(&format!("writing trace: {e}"));
+    }
+    let bytes: u64 = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.flatten()
+                .filter_map(|e| e.metadata().ok())
+                .map(|m| m.len())
+                .sum()
+        })
+        .unwrap_or(0);
+    println!(
+        "generated '{workload}' x{scale} on {ranks} ranks: {} events, {} MiB on disk -> {dir}",
+        outcome.trace.total_events(),
+        bytes / (1 << 20),
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_demo(mut args: Vec<String>) -> ExitCode {
@@ -651,30 +760,23 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     let history = take_flag(&mut args, "--history");
     let lint = take_switch(&mut args, "--lint");
     let salvage = take_switch(&mut args, "--salvage");
+    let ooc = take_switch(&mut args, "--ooc");
+    let shards: usize = take_flag(&mut args, "--shards")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
     if lint && salvage {
         // A salvaged partial trace cannot pass the completed-run lint gate
         // (missing finalizes, unmatched tails) — the combination would
         // always refuse to replay.
         return fail("--lint and --salvage are mutually exclusive");
     }
+    if ooc && (lint || salvage) {
+        // Both need the whole trace in memory (the gate pre-scans it, the
+        // salvage path rewrites it), which defeats out-of-core streaming.
+        return fail("--ooc is incompatible with --lint and --salvage");
+    }
     let [dir] = args.as_slice() else {
         return fail("replay needs a trace directory");
-    };
-    let trace = if salvage {
-        match open_salvage(dir) {
-            Ok((t, report)) => {
-                if !report.is_clean() {
-                    println!("salvage: {report}");
-                }
-                t
-            }
-            Err(e) => return fail(&e),
-        }
-    } else {
-        match open_trace(dir) {
-            Ok(t) => t,
-            Err(e) => return fail(&e),
-        }
     };
 
     let mut model = PerturbationModel::quiet("mpgtool");
@@ -691,7 +793,53 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     if lint {
         cfg = cfg.gate(mpg_lint::replay_gate());
     }
-    let report = match Replayer::new(cfg).run(&trace) {
+
+    let run = if ooc {
+        // Out-of-core: mmap the MPG2 files and stream frames lazily —
+        // the trace is never materialized in memory.
+        let set = match OocTraceSet::open(Path::new(dir)) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("{e} — try `mpgtool fsck {dir}`")),
+        };
+        println!(
+            "out-of-core: {} ranks, {} records, {} MiB mapped, {} shard(s)",
+            set.num_ranks(),
+            set.total_records(),
+            set.total_bytes() / (1 << 20),
+            shards.max(1),
+        );
+        let streams: Vec<_> = (0..set.num_ranks()).map(|r| set.cursor(r)).collect();
+        Replayer::new(cfg).run_streams_parallel(streams, shards)
+    } else {
+        let trace = if salvage {
+            match open_salvage(dir) {
+                Ok((t, report)) => {
+                    if !report.is_clean() {
+                        println!("salvage: {report}");
+                    }
+                    t
+                }
+                Err(e) => return fail(&e),
+            }
+        } else {
+            match open_trace(dir) {
+                Ok(t) => t,
+                Err(e) => return fail(&e),
+            }
+        };
+        if shards > 1 {
+            let streams: Vec<Vec<mpg_trace::EventRecord>> = (0..trace.num_ranks())
+                .map(|r| trace.rank(r).to_vec())
+                .collect();
+            Replayer::new(cfg).run_streams_parallel(
+                streams.into_iter().map(|v| v.into_iter().map(Ok)).collect(),
+                shards,
+            )
+        } else {
+            Replayer::new(cfg).run(&trace)
+        }
+    };
+    let report = match run {
         Ok(r) => r,
         Err(mpg_core::ReplayError::Gated(diags)) => {
             for d in &diags {
@@ -706,13 +854,22 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         Err(e) => return fail(&format!("replay failed: {e}")),
     };
     println!("model: {}", report.model_name);
+    let shown = if report.final_drift.len() > 16 {
+        8
+    } else {
+        report.final_drift.len()
+    };
     for (r, (drift, finish)) in report
         .final_drift
         .iter()
         .zip(&report.projected_finish_local)
+        .take(shown)
         .enumerate()
     {
         println!("rank {r:>4}: drift {drift:>12}  projected finish {finish}");
+    }
+    if shown < report.final_drift.len() {
+        println!("  ... ({} more ranks)", report.final_drift.len() - shown);
     }
     println!(
         "max drift {}, mean {:.0}, message domination {:.2}",
@@ -812,8 +969,11 @@ fn cmd_fsck(mut args: Vec<String>) -> ExitCode {
         }
         target = dst;
     }
-    match FileTraceSet::load_salvage(&target) {
-        Ok((_, report)) => {
+    // Streaming scan: frames are CRC-checked and counted without ever
+    // buffering the decoded records, so fsck runs in O(frame) memory even
+    // on traces far bigger than RAM.
+    match FileTraceSet::scan_salvage(&target) {
+        Ok(report) => {
             let status = report.status();
             if json {
                 println!("{}", report.to_json());
@@ -963,6 +1123,7 @@ fn cmd_diff(args: Vec<String>) -> ExitCode {
 /// instead (snapshot `BENCH_lint.json`), same `--out`/`--check` contract.
 fn cmd_bench(mut args: Vec<String>) -> ExitCode {
     let lint = take_switch(&mut args, "--lint");
+    let no_ooc = take_switch(&mut args, "--no-ooc");
     let out = take_flag(&mut args, "--out");
     let check = take_flag(&mut args, "--check");
     let threshold: f64 = take_flag(&mut args, "--threshold")
@@ -1009,7 +1170,15 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let snap = mpg_analysis::perf::measure(reps);
+    let mut snap = mpg_analysis::perf::measure(reps);
+    if !no_ooc {
+        // The out-of-core section replays ~10⁷ events per rep over a
+        // (cached) 93 MiB trace; cap reps so the gate stays minutes-scale.
+        match mpg_analysis::perf::measure_ooc(&mpg_analysis::perf::pinned_ooc(), reps.min(3)) {
+            Ok(o) => snap.ooc = Some(o),
+            Err(e) => return fail(&format!("ooc bench: {e}")),
+        }
+    }
     println!(
         "{:>16} {:>6} {:>10} {:>14} {:>10} {:>13}",
         "workload", "ranks", "events", "events/sec", "wakeups", "polls avoided"
@@ -1031,6 +1200,23 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
             s.configs_per_sec,
             s.threads_only_configs_per_sec,
             s.speedup_vs_threads()
+        );
+    }
+    if let Some(o) = &snap.ooc {
+        println!(
+            "ooc: {} on {} ranks, {} events ({:.0} MiB mapped): \
+             {:.0} ev/sec windowed, {:.0} ev/sec at {} shards ({:.2}x, {} cpu(s)), \
+             peak RSS +{:.1} MiB",
+            o.name,
+            o.ranks,
+            o.events,
+            o.trace_mib,
+            o.events_per_sec_1shard,
+            o.events_per_sec_sharded,
+            o.shards,
+            o.shard_speedup(),
+            o.host_cpus,
+            o.peak_rss_growth_mib
         );
     }
     for n in &snap.notes {
@@ -1068,6 +1254,7 @@ fn main() -> ExitCode {
     let cmd = args.remove(0);
     match cmd.as_str() {
         "demo" => cmd_demo(args),
+        "gen" => cmd_gen(args),
         "stats" => cmd_stats(args),
         "validate" => cmd_validate(args),
         "lint" => cmd_lint(args),

@@ -62,7 +62,7 @@ impl Experiment for DotExport {
             "graph size",
             &["ranks", "nodes", "edges", "message edges", "local edges"],
         );
-        let msg_edges = graph.edges().iter().filter(|e| e.is_message).count();
+        let msg_edges = graph.edges().filter(|e| e.is_message).count();
         table.row(vec![
             graph.num_ranks().to_string(),
             graph.node_count().to_string(),

@@ -10,6 +10,9 @@
 //! engine's numbers, preserving the speedup evidence for the event-driven
 //! rewrite.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::sweep::{sweep_replays, SweepMode};
@@ -17,7 +20,7 @@ use mpg_apps::{Pipeline, Stencil, TokenRing, Workload};
 use mpg_core::{plan_lanes, PerturbationModel, ReplayConfig, Replayer};
 use mpg_noise::{Dist, PlatformSignature};
 use mpg_sim::Simulation;
-use mpg_trace::MemTrace;
+use mpg_trace::{MemTrace, OocTraceSet};
 
 /// Events/sec of the pre-scheduler round-robin polling engine on the same
 /// pinned workloads (best of 5, recorded immediately before the
@@ -157,6 +160,186 @@ impl SweepPerf {
     }
 }
 
+/// Parameters of an out-of-core measurement: a synthesized stencil trace
+/// replayed through the mmap-backed frame cursors, once single-threaded
+/// and once partition-parallel.
+#[derive(Debug, Clone, Copy)]
+pub struct OocSpec {
+    /// Snapshot name prefix.
+    pub name: &'static str,
+    /// Rank count.
+    pub ranks: u32,
+    /// Stencil iteration multiplier (`iters = 20 × scale`); event volume is
+    /// roughly `ranks × 140 × scale`.
+    pub scale: u64,
+    /// Shard count of the partition-parallel run.
+    pub shards: usize,
+}
+
+/// The pinned out-of-core workload: a 1024-rank stencil of ~10⁷ events
+/// (~93 MiB of MPG2 frames on disk), replayed at 1 and
+/// [`shards`](OocSpec::shards) shards.
+pub fn pinned_ooc() -> OocSpec {
+    OocSpec {
+        name: "ooc-stencil-1024",
+        ranks: 1024,
+        scale: 70,
+        shards: 4,
+    }
+}
+
+/// One out-of-core measurement (the `"ooc"` section of
+/// `BENCH_replay.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OocPerf {
+    /// Workload name ([`OocSpec::name`]).
+    pub name: String,
+    /// Rank count.
+    pub ranks: u32,
+    /// Events replayed per run.
+    pub events: u64,
+    /// On-disk trace size (MiB) — what a non-out-of-core replay would have
+    /// to buffer, before decode expansion.
+    pub trace_mib: f64,
+    /// Shard count of the parallel run.
+    pub shards: usize,
+    /// CPUs available to this process when measured; wall-clock shard
+    /// speedup is only meaningful (and only gated) when this is > 1.
+    pub host_cpus: u32,
+    /// Best-of-reps single-shard (windowed, single-threaded) throughput.
+    pub events_per_sec_1shard: f64,
+    /// Best-of-reps sharded throughput.
+    pub events_per_sec_sharded: f64,
+    /// Resident set when the out-of-core section began (MiB).
+    pub baseline_rss_mib: f64,
+    /// Peak resident growth across all out-of-core replays (MiB). The flat
+    /// peak-RSS claim: this must stay far below both `trace_mib` and the
+    /// decoded trace size, however large the trace is.
+    pub peak_rss_growth_mib: f64,
+}
+
+impl OocPerf {
+    /// Sharded over single-shard wall-clock speedup.
+    pub fn shard_speedup(&self) -> f64 {
+        if self.events_per_sec_1shard > 0.0 {
+            self.events_per_sec_sharded / self.events_per_sec_1shard
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Current resident set of this process in MiB (`/proc/self/statm`);
+/// `None` where procfs is unavailable (the RSS gate then passes trivially).
+fn resident_mib() -> Option<f64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: f64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096.0 / (1024.0 * 1024.0))
+}
+
+/// Runs `f` while a sampler thread tracks the process's resident set,
+/// returning `(result, baseline_mib, peak_mib)`. Sampling (every ~2 ms)
+/// rather than `VmHWM` is deliberate: the high-water mark remembers the
+/// trace *generation* phase, which would mask any growth the replay adds.
+fn with_peak_rss<R>(f: impl FnOnce() -> R) -> (R, f64, f64) {
+    let baseline = resident_mib().unwrap_or(0.0);
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut peak: f64 = 0.0;
+            while !stop.load(Ordering::Relaxed) {
+                if let Some(r) = resident_mib() {
+                    peak = peak.max(r);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            peak
+        })
+    };
+    let result = f();
+    stop.store(true, Ordering::Relaxed);
+    let peak = sampler.join().unwrap_or(0.0).max(baseline);
+    (result, baseline, peak)
+}
+
+/// The cached on-disk home of a synthesized bench trace. Generation costs
+/// minutes at 1024 ranks (the simulator runs one OS thread per rank), so
+/// repeated bench/gate runs reuse the files; the version tag guards
+/// against stale caches across format or workload changes.
+fn ooc_trace_dir(spec: &OocSpec) -> PathBuf {
+    std::env::temp_dir().join(format!("mpg-bench-ooc-v1-{}x{}", spec.ranks, spec.scale))
+}
+
+/// Generates (or reuses) the pinned out-of-core trace, returning its
+/// directory. Reuse requires a scannable trace with the right rank count;
+/// anything else is regenerated from scratch.
+fn ensure_ooc_trace(spec: &OocSpec) -> Result<PathBuf, String> {
+    let dir = ooc_trace_dir(spec);
+    if let Ok(set) = OocTraceSet::open(&dir) {
+        if set.num_ranks() == spec.ranks as usize && set.total_records() > 0 {
+            return Ok(dir);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let stencil = Stencil {
+        iters: (20 * spec.scale).min(u64::from(u32::MAX)) as u32,
+        cells_per_rank: 2_000,
+        work_per_cell: 40,
+        halo_bytes: 1_024,
+    };
+    let trace = Simulation::new(spec.ranks, PlatformSignature::quiet("perf-ooc"))
+        .seed(1)
+        .run(|ctx| stencil.run(ctx))
+        .map_err(|e| format!("ooc bench simulation failed: {e}"))?
+        .trace;
+    trace
+        .save(&dir)
+        .map_err(|e| format!("writing ooc bench trace: {e}"))?;
+    Ok(dir)
+}
+
+/// Measures the out-of-core replay path: `reps` timed replays at 1 shard
+/// and at [`OocSpec::shards`] shards over the mmap-backed cursors, with the
+/// resident-set sampler running across the whole section. The trace is
+/// generated once and cached in the system temp dir.
+pub fn measure_ooc(spec: &OocSpec, reps: u32) -> Result<OocPerf, String> {
+    let reps = reps.max(1);
+    let dir = ensure_ooc_trace(spec)?;
+    let set = OocTraceSet::open(&dir).map_err(|e| format!("opening ooc bench trace: {e}"))?;
+    let trace_mib = set.total_bytes() as f64 / (1024.0 * 1024.0);
+    let replayer = Replayer::new(ReplayConfig::new(perf_model()).seed(42));
+    let timed = |shards: usize| -> Result<(u64, f64), String> {
+        let mut best = f64::INFINITY;
+        let mut events = 0;
+        for _ in 0..reps {
+            let streams: Vec<_> = (0..set.num_ranks()).map(|r| set.cursor(r)).collect();
+            let t = Instant::now();
+            let rep = replayer
+                .run_streams_parallel(streams, shards)
+                .map_err(|e| format!("ooc bench replay failed: {e}"))?;
+            best = best.min(t.elapsed().as_secs_f64());
+            events = rep.stats.events;
+        }
+        Ok((events, events as f64 / best))
+    };
+    let (runs, baseline, peak) =
+        with_peak_rss(|| Ok::<_, String>((timed(1)?, timed(spec.shards)?)));
+    let ((events, eps_1shard), (_, eps_sharded)) = runs?;
+    Ok(OocPerf {
+        name: spec.name.to_string(),
+        ranks: spec.ranks,
+        events,
+        trace_mib,
+        shards: spec.shards,
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u32),
+        events_per_sec_1shard: eps_1shard,
+        events_per_sec_sharded: eps_sharded,
+        baseline_rss_mib: baseline,
+        peak_rss_growth_mib: (peak - baseline).max(0.0),
+    })
+}
+
 /// A full measurement snapshot (what `BENCH_replay.json` holds).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfSnapshot {
@@ -170,6 +353,9 @@ pub struct PerfSnapshot {
     pub notes: Vec<String>,
     /// The multi-config sweep measurement (lane path vs threads-only).
     pub sweep: Option<SweepPerf>,
+    /// The out-of-core replay measurement (mmap-backed windowed +
+    /// partition-parallel path over the pinned 10⁷-event trace).
+    pub ooc: Option<OocPerf>,
     /// Per-workload results.
     pub workloads: Vec<WorkloadPerf>,
 }
@@ -255,6 +441,9 @@ pub fn measure(reps: u32) -> PerfSnapshot {
         calibration: calibrate(),
         notes: BENCH_NOTES.iter().map(|n| (*n).to_string()).collect(),
         sweep: Some(sweep),
+        // The out-of-core section costs minutes (10⁷-event trace); callers
+        // that want it attach it separately via [`measure_ooc`].
+        ooc: None,
         workloads,
     }
 }
@@ -298,6 +487,36 @@ impl PerfSnapshot {
             out.push_str(&format!(
                 "    \"speedup_vs_threads\": {:.2}\n",
                 s.speedup_vs_threads()
+            ));
+            out.push_str("  },\n");
+        }
+        if let Some(o) = &self.ooc {
+            out.push_str("  \"ooc\": {\n");
+            out.push_str(&format!("    \"name\": \"{}\",\n", o.name));
+            out.push_str(&format!("    \"ranks\": {},\n", o.ranks));
+            out.push_str(&format!("    \"events\": {},\n", o.events));
+            out.push_str(&format!("    \"trace_mib\": {:.1},\n", o.trace_mib));
+            out.push_str(&format!("    \"shards\": {},\n", o.shards));
+            out.push_str(&format!("    \"host_cpus\": {},\n", o.host_cpus));
+            out.push_str(&format!(
+                "    \"events_per_sec_1shard\": {:.0},\n",
+                o.events_per_sec_1shard
+            ));
+            out.push_str(&format!(
+                "    \"events_per_sec_sharded\": {:.0},\n",
+                o.events_per_sec_sharded
+            ));
+            out.push_str(&format!(
+                "    \"shard_speedup\": {:.2},\n",
+                o.shard_speedup()
+            ));
+            out.push_str(&format!(
+                "    \"baseline_rss_mib\": {:.1},\n",
+                o.baseline_rss_mib
+            ));
+            out.push_str(&format!(
+                "    \"peak_rss_growth_mib\": {:.1}\n",
+                o.peak_rss_growth_mib
             ));
             out.push_str("  },\n");
         }
@@ -365,6 +584,30 @@ impl PerfSnapshot {
                 .parse::<f64>()
                 .ok()
         })
+    }
+
+    /// Extracts the first numeric value stored under `key` in a snapshot
+    /// document (line-scanned, like the other parsers here).
+    pub fn parse_number(json: &str, key: &str) -> Option<f64> {
+        let prefix = format!("\"{key}\":");
+        json.lines().find_map(|line| {
+            line.trim()
+                .strip_prefix(prefix.as_str())?
+                .trim()
+                .trim_end_matches(',')
+                .parse::<f64>()
+                .ok()
+        })
+    }
+
+    /// Extracts the recorded out-of-core throughputs `(1-shard, sharded)`,
+    /// if the snapshot carries an `"ooc"` section. The key names are
+    /// unique to that section, so no scoping is needed.
+    pub fn parse_ooc_events_per_sec(json: &str) -> Option<(f64, f64)> {
+        Some((
+            Self::parse_number(json, "events_per_sec_1shard")?,
+            Self::parse_number(json, "events_per_sec_sharded")?,
+        ))
     }
 
     /// Extracts `(name, events_per_sec)` pairs from a snapshot document
@@ -452,6 +695,60 @@ pub fn regressions(recorded_json: &str, current: &PerfSnapshot, threshold_pct: f
             ));
         }
     }
+    // Out-of-core gates. Throughput compares against the recorded snapshot
+    // (host-scaled, like the workloads above); the RSS-flatness and
+    // shard-speedup checks are absolute properties of the current
+    // measurement, so they run whenever one was taken.
+    if let Some(cur) = current.ooc.as_ref() {
+        if let Some((rec_1shard, rec_sharded)) =
+            PerfSnapshot::parse_ooc_events_per_sec(recorded_json)
+        {
+            for (what, rec, got) in [
+                ("1-shard", rec_1shard, cur.events_per_sec_1shard),
+                ("sharded", rec_sharded, cur.events_per_sec_sharded),
+            ] {
+                let scaled = rec * host_scale;
+                let floor = scaled * (1.0 - threshold_pct / 100.0);
+                if got < floor {
+                    msgs.push(format!(
+                        "ooc({}, {what}): {:.0} events/sec is {:.1}% below the recorded \
+                         {:.0} (host-speed scale {:.2}, allowed drop {:.0}%)",
+                        cur.name,
+                        got,
+                        (1.0 - got / scaled) * 100.0,
+                        rec,
+                        host_scale,
+                        threshold_pct
+                    ));
+                }
+            }
+        }
+        // Flat peak RSS: resident growth across the out-of-core replays
+        // must stay well under the on-disk trace size, else the windowed
+        // cursor path is silently buffering (superlinear RSS). The floor
+        // term absorbs allocator noise on small traces.
+        let rss_cap = (0.5 * cur.trace_mib).max(48.0);
+        if cur.peak_rss_growth_mib > rss_cap {
+            msgs.push(format!(
+                "ooc({}): peak RSS grew {:.1} MiB over a {:.1} MiB trace \
+                 (flat-RSS cap {:.1} MiB) — the windowed replay is buffering",
+                cur.name, cur.peak_rss_growth_mib, cur.trace_mib, rss_cap
+            ));
+        }
+        // Shard speedup only means anything with real CPUs under it; a
+        // 1-core container serializes the shards (and pays exchange
+        // overhead), so the check arms at 4 cores.
+        if cur.host_cpus >= 4 && cur.shards >= 4 && cur.shard_speedup() < 1.2 {
+            msgs.push(format!(
+                "ooc({}): {} shards on {} CPUs yields {:.2}x over 1 shard \
+                 (expected > 1.2x) — partition-parallel replay is not scaling",
+                cur.name,
+                cur.shards,
+                cur.host_cpus,
+                cur.shard_speedup()
+            ));
+        }
+    }
     msgs
 }
 
@@ -477,6 +774,7 @@ mod tests {
                 configs_per_sec: 400.0,
                 threads_only_configs_per_sec: 100.0,
             }),
+            ooc: None,
             workloads: eps
                 .iter()
                 .map(|(n, e)| WorkloadPerf {
@@ -604,5 +902,90 @@ mod tests {
         );
         assert!(sweep.configs_per_sec > 0.0 && sweep.threads_only_configs_per_sec > 0.0);
         assert!(!snap.notes.is_empty());
+    }
+
+    fn ooc_perf(eps_1: f64, eps_n: f64, rss_growth: f64, cpus: u32) -> OocPerf {
+        OocPerf {
+            name: "ooc-test".into(),
+            ranks: 64,
+            events: 100_000,
+            trace_mib: 100.0,
+            shards: 4,
+            host_cpus: cpus,
+            events_per_sec_1shard: eps_1,
+            events_per_sec_sharded: eps_n,
+            baseline_rss_mib: 20.0,
+            peak_rss_growth_mib: rss_growth,
+        }
+    }
+
+    #[test]
+    fn ooc_roundtrips_and_gates() {
+        let mut recorded = snapshot(&[("a", 1.0e6)]);
+        recorded.ooc = Some(ooc_perf(4.0e6, 3.5e6, 10.0, 1));
+        let json = recorded.to_json();
+        assert_eq!(
+            PerfSnapshot::parse_ooc_events_per_sec(&json),
+            Some((4.0e6, 3.5e6))
+        );
+        // Unchanged numbers pass; the workload "name" inside the ooc
+        // section must not confuse the per-workload parser.
+        assert!(regressions(&json, &recorded, 20.0).is_empty());
+        assert_eq!(PerfSnapshot::parse_events_per_sec(&json).len(), 1);
+        // 1-shard throughput 30% down: the ooc gate names it.
+        let mut slow = recorded.clone();
+        slow.ooc.as_mut().unwrap().events_per_sec_1shard = 2.8e6;
+        let msgs = regressions(&json, &slow, 20.0);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].starts_with("ooc(ooc-test, 1-shard):"), "{msgs:?}");
+        // A pre-ooc snapshot gates nothing on ooc throughput.
+        let legacy: String = json
+            .lines()
+            .filter(|l| !l.trim_start().starts_with("\"events_per_sec_1shard\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(regressions(&legacy, &slow, 20.0).is_empty());
+    }
+
+    #[test]
+    fn ooc_absolute_gates() {
+        let recorded = snapshot(&[("a", 1.0e6)]).to_json();
+        // RSS growth past the cap (0.5 × 100 MiB trace) fires even against
+        // a recorded snapshot with no ooc section — it's an absolute check.
+        let mut bloated = snapshot(&[("a", 1.0e6)]);
+        bloated.ooc = Some(ooc_perf(4.0e6, 3.5e6, 80.0, 1));
+        let msgs = regressions(&recorded, &bloated, 20.0);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("flat-RSS"), "{msgs:?}");
+        // No shard speedup on a 1-core host: forgiven. Same numbers on an
+        // 8-core host: the scaling gate fires.
+        let mut serial = snapshot(&[("a", 1.0e6)]);
+        serial.ooc = Some(ooc_perf(4.0e6, 3.5e6, 10.0, 1));
+        assert!(regressions(&recorded, &serial, 20.0).is_empty());
+        serial.ooc.as_mut().unwrap().host_cpus = 8;
+        let msgs = regressions(&recorded, &serial, 20.0);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("not scaling"), "{msgs:?}");
+    }
+
+    #[test]
+    fn measure_ooc_smoke() {
+        // A miniature spec (distinct cache dir from the pinned one): the
+        // full mmap → windowed replay → sharded replay → RSS-sample path.
+        let spec = OocSpec {
+            name: "ooc-smoke",
+            ranks: 8,
+            scale: 1,
+            shards: 2,
+        };
+        let perf = measure_ooc(&spec, 1).expect("ooc measurement");
+        assert_eq!(perf.ranks, 8);
+        assert!(perf.events > 0);
+        assert!(perf.trace_mib > 0.0);
+        assert!(perf.events_per_sec_1shard > 0.0 && perf.events_per_sec_sharded > 0.0);
+        assert!(perf.peak_rss_growth_mib >= 0.0);
+        // Cached trace reuse: a second measurement opens the same files.
+        let again = measure_ooc(&spec, 1).expect("cached ooc measurement");
+        assert_eq!(again.events, perf.events);
     }
 }

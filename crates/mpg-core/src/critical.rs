@@ -7,8 +7,6 @@
 //! drifted finalize, always following the arm that produced each node's
 //! drift, yields that chain.
 
-use std::collections::HashMap;
-
 use crate::graph::{Edge, EventGraph, NodeId, Point};
 use crate::perturb::DeltaClass;
 use crate::Drift;
@@ -117,44 +115,44 @@ pub fn critical_path(graph: &EventGraph) -> Option<CriticalPath> {
             && !node.hub
             && anchor.is_none_or(|a| node.seq > a.seq)
         {
-            anchor = Some(*node);
+            anchor = Some(node);
         }
     }
-    let mut current = anchor?;
+    let arena = graph.arena();
+    let mut current = arena.node_index(&anchor?)?;
 
-    // Reverse adjacency.
-    let mut incoming: HashMap<NodeId, Vec<&Edge>> = HashMap::new();
-    for e in graph.edges() {
-        incoming.entry(e.dst).or_default().push(e);
-    }
+    // Reverse adjacency straight from the arena — no per-pass map.
+    let incoming = arena.incoming();
 
     let mut steps = Vec::new();
 
     loop {
-        let d_cur = drifts.get(&current).copied().unwrap_or(0);
+        let d_cur = drifts.at(current);
         if d_cur <= 0 {
             break;
         }
         // The binding arm: the incoming edge whose source drift + sampled
         // delta reproduces this node's drift.
-        let Some(best) = incoming.get(&current).and_then(|edges| {
-            edges
-                .iter()
-                .map(|e| {
-                    let cand = drifts.get(&e.src).copied().unwrap_or(0) + e.sampled;
-                    (cand, *e)
-                })
-                .max_by_key(|&(cand, e)| (cand, e.src))
-                .filter(|&(cand, _)| cand >= d_cur)
-        }) else {
+        let Some(best) = incoming
+            .of(current)
+            .iter()
+            .map(|&e| {
+                let i = e as usize;
+                let src = arena.edge_src(i);
+                let cand = drifts.at(src) + arena.edge_sampled(i);
+                (cand, i, src)
+            })
+            .max_by_key(|&(cand, i, _)| (cand, arena.node_id(arena.edge_src(i))))
+            .filter(|&(cand, _, _)| cand >= d_cur)
+        else {
             break; // drift came from the zero anchor
         };
-        let (_, e) = best;
+        let (_, e, src) = best;
         steps.push(CriticalStep {
-            edge: e.clone(),
+            edge: arena.edge(e),
             drift_at_dst: d_cur,
         });
-        current = e.src;
+        current = src;
         if steps.len() > graph.edge_count() {
             // Defensive: a cycle would indicate a recording bug.
             break;

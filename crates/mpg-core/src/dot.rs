@@ -48,7 +48,7 @@ pub fn to_dot(graph: &EventGraph, title: &str) -> String {
     writeln!(out, "  node [shape=box, fontsize=9];").unwrap();
 
     // Cluster per rank, nodes in (seq, point) order.
-    let mut nodes: Vec<(&NodeId, &crate::graph::NodeLabel)> = graph.nodes().collect();
+    let mut nodes: Vec<(NodeId, crate::graph::NodeLabel)> = graph.nodes().collect();
     nodes.sort_by_key(|(n, _)| (n.rank, n.seq, n.point, n.hub));
     let ranks: Vec<u32> = {
         let mut r: Vec<u32> = nodes.iter().map(|(n, _)| n.rank).collect();

@@ -11,6 +11,10 @@
 //! before the run as a whole gets slower. Zero-slack edges form the static
 //! critical path.
 //!
+//! All sweep state lives in flat columns indexed by the graph arena's
+//! dense [`NodeIdx`] / edge positions — the sweep allocates no per-node
+//! maps and does no hashing after the initial anchor lookups.
+//!
 //! # Time space, not drift space
 //!
 //! Unlike replay (which works in per-rank drift space and never compares
@@ -58,33 +62,41 @@
 //! chain) this is the correctness oracle tying the static analyzer to the
 //! dynamic engine.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 use mpg_noise::Dist;
 
+use crate::arena::{GraphArena, NodeIdx};
 use crate::graph::{EventGraph, NodeId, Point};
 use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel, SignedDist};
 use crate::{Cycles, Drift};
 
-/// Result of the zero-drift forward/backward feasibility sweep.
+/// Sentinel for "no binding arm" in the dense binding column.
+const NO_ARM: u32 = u32::MAX;
+
+/// Result of the zero-drift forward/backward feasibility sweep. Borrows
+/// the swept graph's arena so queries by [`NodeId`] resolve through the
+/// arena's interner onto flat columns.
 #[derive(Debug, Clone)]
-pub struct SlackSweep {
+pub struct SlackSweep<'g> {
+    arena: &'g GraphArena,
     /// Re-timed observed time per node (per-rank offsets removed; hub
-    /// nodes get the max of their entry times).
-    time: HashMap<NodeId, Cycles>,
+    /// nodes get the max of their entry times). Valid where `has_time`.
+    time: Vec<Cycles>,
+    has_time: Vec<bool>,
     /// Earliest feasible time per node under the effective costs.
-    earliest: HashMap<NodeId, Cycles>,
+    earliest: Vec<Cycles>,
     /// Latest feasible time per node that keeps the makespan.
-    latest: HashMap<NodeId, Cycles>,
-    /// Effective cost per edge (parallel to `graph.edges()`).
+    latest: Vec<Cycles>,
+    /// Effective cost per edge (parallel to edge positions).
     cost: Vec<Cycles>,
-    /// Slack per edge (parallel to `graph.edges()`).
+    /// Slack per edge (parallel to edge positions).
     slack: Vec<Cycles>,
-    /// Wait interval per blocking-op end node (absent ⇒ 0).
-    wait: HashMap<NodeId, Cycles>,
-    /// Binding incoming message arm per end node: the edge index whose
-    /// source time defines the wait interval.
-    binding: HashMap<NodeId, usize>,
+    /// Wait interval per blocking-op end node (0 ⇒ none).
+    wait: Vec<Cycles>,
+    /// Binding incoming message arm per end node: the edge position whose
+    /// source time defines the wait interval (`NO_ARM` ⇒ none).
+    binding: Vec<u32>,
     /// Re-timed finish of the whole run: max over final end nodes.
     pub makespan: Cycles,
     /// The final end node realizing the makespan (ties: lowest rank).
@@ -107,7 +119,7 @@ pub struct StaticPath {
     pub anchor: NodeId,
     /// Earliest feasible (== observed) time of the anchor.
     pub finish: Cycles,
-    /// Edge indices into `graph.edges()`, anchor-first (reverse order).
+    /// Edge positions (creation order), anchor-first (reverse order).
     pub edges: Vec<usize>,
     /// Distinct non-hub ranks the chain traverses (anchor included).
     pub ranks_touched: usize,
@@ -119,34 +131,53 @@ pub struct StaticPath {
     pub wait_cycles: Cycles,
 }
 
-impl SlackSweep {
+impl<'g> SlackSweep<'g> {
     /// Runs the forward/backward sweep over a recorded graph.
-    pub fn sweep(graph: &EventGraph) -> Self {
-        let edges = graph.edges();
+    pub fn sweep(graph: &'g EventGraph) -> Self {
+        let arena = graph.arena();
+        let n_nodes = arena.num_nodes();
+        let n_edges = arena.num_edges();
 
         // -- Re-time: per-rank offset removal -------------------------------
         let mut base: Vec<Option<Cycles>> = vec![None; graph.num_ranks()];
-        for (node, label) in graph.nodes() {
-            if node.hub {
+        for i in 0..n_nodes as NodeIdx {
+            let Some(label) = arena.label_of(i) else {
+                continue;
+            };
+            if arena.is_hub(i) {
                 continue;
             }
-            let slot = &mut base[node.rank as usize];
+            let slot = &mut base[arena.node_id(i).rank as usize];
             *slot = Some(slot.map_or(label.t, |b| b.min(label.t)));
         }
-        let mut time: HashMap<NodeId, Cycles> = HashMap::with_capacity(graph.node_count());
-        for (node, label) in graph.nodes() {
-            if node.hub {
+        let mut time = vec![0 as Cycles; n_nodes];
+        let mut has_time = vec![false; n_nodes];
+        for i in 0..n_nodes as NodeIdx {
+            let Some(label) = arena.label_of(i) else {
+                continue;
+            };
+            if arena.is_hub(i) {
                 continue;
             }
-            let b = base[node.rank as usize].unwrap_or(0);
-            time.insert(*node, label.t - b);
+            let b = base[arena.node_id(i).rank as usize].unwrap_or(0);
+            time[i as usize] = label.t - b;
+            has_time[i as usize] = true;
         }
         // Hub times: max over entry-edge sources. Entry edges precede the
         // hub's outgoing edges in creation order, so one pass suffices.
-        for e in edges {
-            if e.dst.hub && !e.src.hub {
-                let src_t = time.get(&e.src).copied().unwrap_or(0);
-                let slot = time.entry(e.dst).or_insert(0);
+        for e in 0..n_edges {
+            let (src, dst) = (arena.edge_src(e), arena.edge_dst(e));
+            if arena.is_hub(dst) && !arena.is_hub(src) {
+                let src_t = if has_time[src as usize] {
+                    time[src as usize]
+                } else {
+                    0
+                };
+                if !has_time[dst as usize] {
+                    has_time[dst as usize] = true;
+                    time[dst as usize] = 0;
+                }
+                let slot = &mut time[dst as usize];
                 *slot = (*slot).max(src_t);
             }
         }
@@ -156,137 +187,163 @@ impl SlackSweep {
         // rank's node or a collective hub; an acknowledgement edge from the
         // rank's *own* send-start (arrival-resolved ack) is not a cause of
         // waiting and is excluded.
-        let mut wait: HashMap<NodeId, Cycles> = HashMap::new();
-        let mut binding: HashMap<NodeId, usize> = HashMap::new();
-        let mut arrival: HashMap<NodeId, Cycles> = HashMap::new();
+        let mut wait = vec![0 as Cycles; n_nodes];
+        let mut binding = vec![NO_ARM; n_nodes];
+        let mut arrival = vec![0 as Cycles; n_nodes];
+        let mut has_arrival = vec![false; n_nodes];
         let mut causality_clamps = 0usize;
-        for (i, e) in edges.iter().enumerate() {
-            if !e.is_message || e.dst.hub {
+        for e in 0..n_edges {
+            let (src, dst) = (arena.edge_src(e), arena.edge_dst(e));
+            if !arena.edge_is_message(e) || arena.is_hub(dst) {
                 continue;
             }
-            if !e.src.hub && e.src.rank == e.dst.rank {
+            let src_id = arena.node_id(src);
+            let dst_id = arena.node_id(dst);
+            if !src_id.hub && src_id.rank == dst_id.rank {
                 continue;
             }
-            let src_t = time.get(&e.src).copied().unwrap_or(0);
-            let slot = arrival.entry(e.dst).or_insert(0);
-            if !binding.contains_key(&e.dst) || src_t > *slot {
-                *slot = (*slot).max(src_t);
-                binding.insert(e.dst, i);
+            let src_t = if has_time[src as usize] {
+                time[src as usize]
+            } else {
+                0
+            };
+            if binding[dst as usize] == NO_ARM || src_t > arrival[dst as usize] {
+                arrival[dst as usize] = arrival[dst as usize].max(src_t);
+                has_arrival[dst as usize] = true;
+                binding[dst as usize] = e as u32;
             }
         }
-        for (&end, &m) in &arrival {
-            let start = NodeId::start(end.rank, end.seq);
-            let (Some(&t_start), Some(&t_end)) = (time.get(&start), time.get(&end)) else {
+        for end in 0..n_nodes as NodeIdx {
+            if !has_arrival[end as usize] {
+                continue;
+            }
+            let m = arrival[end as usize];
+            let end_id = arena.node_id(end);
+            let start = NodeId::start(end_id.rank, end_id.seq);
+            let Some(start_idx) = arena.node_index(&start) else {
                 continue;
             };
+            if !(has_time[start_idx as usize] && has_time[end as usize]) {
+                continue;
+            }
+            let (t_start, t_end) = (time[start_idx as usize], time[end as usize]);
             if m > t_end {
                 causality_clamps += 1;
             }
-            let w = m.saturating_sub(t_start).min(t_end - t_start);
-            if w > 0 {
-                wait.insert(end, w);
-            }
+            wait[end as usize] = m.saturating_sub(t_start).min(t_end - t_start);
         }
 
         // -- Effective edge costs -------------------------------------------
-        let mut cost: Vec<Cycles> = Vec::with_capacity(edges.len());
-        for e in edges {
-            let c = if e.is_message {
-                if e.dst.hub {
+        let mut cost: Vec<Cycles> = Vec::with_capacity(n_edges);
+        for e in 0..n_edges {
+            let (src, dst) = (arena.edge_src(e), arena.edge_dst(e));
+            let c = if arena.edge_is_message(e) {
+                if arena.is_hub(dst) {
                     // Entry into the hub: only the last rank in is tight.
                     0
                 } else {
                     // Post-wait residue of the receiving op's window; the
                     // same for every arm, so tightness is decided by the
                     // arm's source time alone.
-                    let start = NodeId::start(e.dst.rank, e.dst.seq);
-                    let dur = match (time.get(&start), time.get(&e.dst)) {
-                        (Some(&s), Some(&t)) => t - s,
+                    let dst_id = arena.node_id(dst);
+                    let start = NodeId::start(dst_id.rank, dst_id.seq);
+                    let dur = match arena.node_index(&start) {
+                        Some(s) if has_time[s as usize] && has_time[dst as usize] => {
+                            time[dst as usize] - time[s as usize]
+                        }
                         _ => 0,
                     };
-                    dur.saturating_sub(wait.get(&e.dst).copied().unwrap_or(0))
+                    dur.saturating_sub(wait[dst as usize])
                 }
-            } else if e.src.rank == e.dst.rank
-                && e.src.seq == e.dst.seq
-                && e.src.point == Point::Start
-                && e.dst.point == Point::End
-            {
-                // Intra edge of an op: its duration minus time spent
-                // blocked (zero for ops with no remote arm).
-                e.base
-                    .saturating_sub(wait.get(&e.dst).copied().unwrap_or(0))
             } else {
-                // Gap edges and other local structure: traced interval.
-                e.base
+                let src_id = arena.node_id(src);
+                let dst_id = arena.node_id(dst);
+                if src_id.rank == dst_id.rank
+                    && src_id.seq == dst_id.seq
+                    && src_id.point == Point::Start
+                    && dst_id.point == Point::End
+                {
+                    // Intra edge of an op: its duration minus time spent
+                    // blocked (zero for ops with no remote arm).
+                    arena.edge_base(e).saturating_sub(wait[dst as usize])
+                } else {
+                    // Gap edges and other local structure: traced interval.
+                    arena.edge_base(e)
+                }
             };
             cost.push(c);
         }
 
         // -- Forward sweep (earliest) ---------------------------------------
-        let mut earliest: HashMap<NodeId, Cycles> = HashMap::with_capacity(time.len());
-        for (i, e) in edges.iter().enumerate() {
-            let src_e = earliest.get(&e.src).copied().unwrap_or(0);
-            let cand = src_e + cost[i];
-            let slot = earliest.entry(e.dst).or_insert(0);
+        let mut earliest = vec![0 as Cycles; n_nodes];
+        for e in 0..n_edges {
+            let cand = earliest[arena.edge_src(e) as usize] + cost[e];
+            let slot = &mut earliest[arena.edge_dst(e) as usize];
             *slot = (*slot).max(cand);
         }
         let mut retime_mismatches = 0usize;
-        for (n, &t) in &time {
-            if earliest.get(n).copied().unwrap_or(0) != t {
+        for i in 0..n_nodes {
+            if has_time[i] && earliest[i] != time[i] {
                 retime_mismatches += 1;
             }
         }
 
         // -- Makespan & anchor ----------------------------------------------
-        let mut finals: HashMap<u32, NodeId> = HashMap::new();
-        for (node, _) in graph.nodes() {
-            if node.hub || node.point != Point::End {
+        let mut finals: Vec<Option<NodeIdx>> = vec![None; graph.num_ranks()];
+        for i in 0..n_nodes as NodeIdx {
+            if arena.label_of(i).is_none() || arena.is_hub(i) {
                 continue;
             }
-            let slot = finals.entry(node.rank).or_insert(*node);
-            if node.seq > slot.seq {
-                *slot = *node;
+            let node = arena.node_id(i);
+            if node.point != Point::End {
+                continue;
+            }
+            let slot = &mut finals[node.rank as usize];
+            match slot {
+                Some(cur) if arena.node_id(*cur).seq >= node.seq => {}
+                _ => *slot = Some(i),
             }
         }
         let mut makespan = 0;
         let mut anchor: Option<NodeId> = None;
-        for n in finals.values() {
-            let t = earliest.get(n).copied().unwrap_or(0);
+        for idx in finals.iter().flatten() {
+            let n = arena.node_id(*idx);
+            let t = earliest[*idx as usize];
             let better = match anchor {
                 None => true,
                 Some(a) => t > makespan || (t == makespan && n.rank < a.rank),
             };
             if better {
                 makespan = t;
-                anchor = Some(*n);
+                anchor = Some(n);
             }
         }
 
         // -- Backward sweep (latest) ----------------------------------------
         // Reverse creation order is a reverse topological order, so each
         // node's outgoing edges are all visited before any incoming edge
-        // reads its latest time.
-        let mut latest: HashMap<NodeId, Cycles> = HashMap::with_capacity(time.len());
-        for (i, e) in edges.iter().enumerate().rev() {
-            let dst_l = latest.get(&e.dst).copied().unwrap_or(makespan);
-            let cand = dst_l.saturating_sub(cost[i]);
-            let slot = latest.entry(e.src).or_insert(cand);
+        // reads its latest time. Every candidate is ≤ makespan, so dense
+        // makespan-initialized slots are equivalent to lazy insertion.
+        let mut latest = vec![makespan; n_nodes];
+        for e in (0..n_edges).rev() {
+            let cand = latest[arena.edge_dst(e) as usize].saturating_sub(cost[e]);
+            let slot = &mut latest[arena.edge_src(e) as usize];
             *slot = (*slot).min(cand);
         }
 
         // -- Per-edge slack --------------------------------------------------
-        let slack: Vec<Cycles> = edges
-            .iter()
-            .enumerate()
-            .map(|(i, e)| {
-                let dst_l = latest.get(&e.dst).copied().unwrap_or(makespan);
-                let src_e = earliest.get(&e.src).copied().unwrap_or(0);
-                dst_l.saturating_sub(src_e + cost[i])
+        let slack: Vec<Cycles> = (0..n_edges)
+            .map(|e| {
+                let dst_l = latest[arena.edge_dst(e) as usize];
+                let src_e = earliest[arena.edge_src(e) as usize];
+                dst_l.saturating_sub(src_e + cost[e])
             })
             .collect();
 
         Self {
+            arena,
             time,
+            has_time,
             earliest,
             latest,
             cost,
@@ -300,23 +357,29 @@ impl SlackSweep {
         }
     }
 
+    fn idx(&self, node: &NodeId) -> Option<NodeIdx> {
+        self.arena.node_index(node)
+    }
+
     /// Re-timed observed time of a node (offset-normalized local clock).
     pub fn time(&self, node: NodeId) -> Option<Cycles> {
-        self.time.get(&node).copied()
+        let i = self.idx(&node)? as usize;
+        self.has_time[i].then(|| self.time[i])
     }
 
     /// Earliest feasible time of a node (equals the observed time when the
     /// trace clocks respect causality).
     pub fn earliest(&self, node: NodeId) -> Cycles {
-        self.earliest.get(&node).copied().unwrap_or(0)
+        self.idx(&node).map_or(0, |i| self.earliest[i as usize])
     }
 
     /// Latest time the node may occur without growing the makespan.
     pub fn latest(&self, node: NodeId) -> Cycles {
-        self.latest.get(&node).copied().unwrap_or(self.makespan)
+        self.idx(&node)
+            .map_or(self.makespan, |i| self.latest[i as usize])
     }
 
-    /// Effective cost of edge `i` (index into `graph.edges()`).
+    /// Effective cost of edge `i` (creation-order position).
     pub fn cost(&self, i: usize) -> Cycles {
         self.cost[i]
     }
@@ -331,13 +394,15 @@ impl SlackSweep {
     /// spent blocked on the latest incoming message arm. Zero for nodes
     /// with no remote arm.
     pub fn wait(&self, end: NodeId) -> Cycles {
-        self.wait.get(&end).copied().unwrap_or(0)
+        self.idx(&end).map_or(0, |i| self.wait[i as usize])
     }
 
     /// The binding incoming message arm of an end node: the edge whose
     /// source time defines the node's wait interval.
     pub fn binding_arm(&self, end: NodeId) -> Option<usize> {
-        self.binding.get(&end).copied()
+        let i = self.idx(&end)?;
+        let b = self.binding[i as usize];
+        (b != NO_ARM).then_some(b as usize)
     }
 
     /// Number of zero-slack edges (the static critical network).
@@ -363,11 +428,9 @@ impl SlackSweep {
     /// when the anchor realizes the makespan these are exactly zero-slack
     /// edges.
     pub fn chain_from(&self, graph: &EventGraph, anchor: NodeId) -> StaticPath {
-        let edges = graph.edges();
-        let mut incoming: HashMap<NodeId, Vec<usize>> = HashMap::new();
-        for (i, e) in edges.iter().enumerate() {
-            incoming.entry(e.dst).or_default().push(i);
-        }
+        let arena = graph.arena();
+        let incoming = arena.incoming();
+        let n_edges = arena.num_edges();
         let mut chain = Vec::new();
         let mut ranks = BTreeSet::new();
         let mut message_hops = 0usize;
@@ -375,9 +438,10 @@ impl SlackSweep {
         if !anchor.hub {
             ranks.insert(anchor.rank);
         }
-        let mut current = anchor;
-        loop {
-            let e_cur = self.earliest(current);
+        let finish = self.earliest(anchor);
+        let mut current = arena.node_index(&anchor);
+        while let Some(cur) = current {
+            let e_cur = self.earliest[cur as usize];
             if e_cur == 0 {
                 break;
             }
@@ -385,39 +449,46 @@ impl SlackSweep {
             // the true cause of a wait); otherwise any tight arm, message
             // edges first, later sources first — deterministic because the
             // edge order is fixed.
-            let candidates = incoming.get(&current);
-            let tight = |i: &usize| self.earliest(edges[*i].src) + self.cost[*i] == e_cur;
-            let chosen = match self.binding.get(&current) {
-                Some(&b) if tight(&b) => Some(b),
-                _ => candidates.and_then(|c| {
-                    c.iter()
-                        .filter(|i| tight(i))
-                        .max_by_key(|&&i| (edges[i].is_message, self.earliest(edges[i].src), i))
-                        .copied()
-                }),
+            let tight =
+                |i: usize| self.earliest[arena.edge_src(i) as usize] + self.cost[i] == e_cur;
+            let bound = self.binding[cur as usize];
+            let chosen = match bound {
+                b if b != NO_ARM && tight(b as usize) => Some(b as usize),
+                _ => incoming
+                    .of(cur)
+                    .iter()
+                    .map(|&i| i as usize)
+                    .filter(|&i| tight(i))
+                    .max_by_key(|&i| {
+                        (
+                            arena.edge_is_message(i),
+                            self.earliest[arena.edge_src(i) as usize],
+                            i,
+                        )
+                    }),
             };
             let Some(i) = chosen else {
                 break;
             };
-            let e = &edges[i];
-            if e.is_message {
+            if arena.edge_is_message(i) {
                 message_hops += 1;
             }
-            if self.binding.get(&current) == Some(&i) {
-                wait_cycles += self.wait(current);
+            if bound == i as u32 {
+                wait_cycles += self.wait[cur as usize];
             }
-            if !e.src.hub {
-                ranks.insert(e.src.rank);
+            let src = arena.edge_src(i);
+            if !arena.is_hub(src) {
+                ranks.insert(arena.node_id(src).rank);
             }
             chain.push(i);
-            current = e.src;
-            if chain.len() > edges.len() {
+            current = Some(src);
+            if chain.len() > n_edges {
                 break; // defensive: a cycle would indicate a recording bug
             }
         }
         StaticPath {
             anchor,
-            finish: self.earliest(anchor),
+            finish,
             edges: chain,
             ranks_touched: ranks.len(),
             message_hops,
@@ -460,9 +531,9 @@ pub fn predicted_graph(graph: &EventGraph, model: &PerturbationModel) -> Option<
     let mut sampler = PerturbSampler::new(model.clone(), 1, 0);
     let mut out = EventGraph::new(graph.num_ranks());
     for (node, label) in graph.nodes() {
-        out.label(*node, label.kind, label.t);
+        out.label(node, label.kind, label.t);
     }
-    for e in graph.edges() {
+    for mut e in graph.edges() {
         let sampled = match e.class {
             DeltaClass::None => 0,
             // An acknowledgement arm anchored at the sender's own start
@@ -477,9 +548,8 @@ pub fn predicted_graph(graph: &EventGraph, model: &PerturbationModel) -> Option<
             }
             class => sampler.sample(0, class),
         };
-        let mut edge = e.clone();
-        edge.sampled = sampled;
-        out.add_edge(edge);
+        e.sampled = sampled;
+        out.add_edge(e);
     }
     Some(out)
 }
@@ -491,7 +561,8 @@ pub fn predicted_graph(graph: &EventGraph, model: &PerturbationModel) -> Option<
 /// (infinite slack). Returns `None` when no drift accumulated (quiet
 /// replay — every chain is trivial).
 pub fn drift_slack(graph: &EventGraph) -> Option<DriftSlack> {
-    let drifts = graph.propagate();
+    let arena = graph.arena();
+    let drifts = arena.propagate_dense();
     let finals = graph.final_drifts();
     let (anchor_rank, &anchor_drift) = finals.iter().enumerate().max_by_key(|&(_, &d)| d)?;
     if anchor_drift <= 0 {
@@ -504,21 +575,23 @@ pub fn drift_slack(graph: &EventGraph) -> Option<DriftSlack> {
             && !node.hub
             && anchor.is_none_or(|a| node.seq > a.seq)
         {
-            anchor = Some(*node);
+            anchor = Some(node);
         }
     }
     let anchor = anchor?;
-    // Best achievable delta-sum from each node to the anchor.
-    let mut reach: HashMap<NodeId, Drift> = HashMap::new();
-    reach.insert(anchor, 0);
-    let edges = graph.edges();
-    let mut slack = vec![None; edges.len()];
-    for (i, e) in edges.iter().enumerate().rev() {
-        if let Some(&r_dst) = reach.get(&e.dst) {
-            let through = e.sampled + r_dst;
-            let slot = reach.entry(e.src).or_insert(through);
-            *slot = (*slot).max(through);
-            let f_src = drifts.get(&e.src).copied().unwrap_or(0).max(0);
+    // Best achievable delta-sum from each node to the anchor, dense over
+    // the arena's index space (`None` ⇔ cannot reach the anchor).
+    let mut reach: Vec<Option<Drift>> = vec![None; arena.num_nodes()];
+    reach[arena.node_index(&anchor)? as usize] = Some(0);
+    let n_edges = arena.num_edges();
+    let mut slack = vec![None; n_edges];
+    for i in (0..n_edges).rev() {
+        let (src, dst) = (arena.edge_src(i), arena.edge_dst(i));
+        if let Some(r_dst) = reach[dst as usize] {
+            let through = arena.edge_sampled(i) + r_dst;
+            let slot = &mut reach[src as usize];
+            *slot = Some(slot.map_or(through, |r| r.max(through)));
+            let f_src = drifts[src as usize].max(0);
             slack[i] = Some(anchor_drift - (f_src + through));
         }
     }
@@ -536,7 +609,7 @@ pub struct DriftSlack {
     pub anchor: NodeId,
     /// Its drift.
     pub anchor_drift: Drift,
-    /// Per-edge drift-slack (parallel to `graph.edges()`); `None` when the
+    /// Per-edge drift-slack (parallel to edge positions); `None` when the
     /// edge cannot reach the anchor.
     pub slack: Vec<Option<Drift>>,
 }
@@ -545,6 +618,7 @@ pub struct DriftSlack {
 mod tests {
     use super::*;
     use crate::graph::Edge;
+    use std::collections::HashMap;
 
     /// Hand-built two-rank late-sender scenario:
     ///
@@ -602,7 +676,7 @@ mod tests {
         // post-wait residue: wait = 100 - 10 = 90.
         assert_eq!(s.wait(NodeId::end(1, 1)), 90);
         let arm = s.binding_arm(NodeId::end(1, 1)).expect("binding arm");
-        assert!(g.edges()[arm].is_message);
+        assert!(g.edge(arm).is_message);
         // Makespan anchored on rank 1's receive end.
         assert_eq!(s.makespan, 115);
         assert_eq!(s.anchor, Some(NodeId::end(1, 1)));
@@ -623,7 +697,6 @@ mod tests {
         // slack (it could run 90 cycles later).
         let init1 = g
             .edges()
-            .iter()
             .position(|e| e.src == NodeId::start(1, 0) && !e.is_message)
             .unwrap();
         assert_eq!(s.slack(init1), 90);
@@ -637,7 +710,7 @@ mod tests {
         let s = SlackSweep::sweep(&g);
         let resweep = |extra_on: usize, extra: Cycles| -> Cycles {
             let mut earliest: HashMap<NodeId, Cycles> = HashMap::new();
-            for (i, e) in g.edges().iter().enumerate() {
+            for (i, e) in g.edges().enumerate() {
                 let c = s.cost(i) + if i == extra_on { extra } else { 0 };
                 let cand = earliest.get(&e.src).copied().unwrap_or(0) + c;
                 let slot = earliest.entry(e.dst).or_insert(0);
@@ -697,7 +770,6 @@ mod tests {
         // Only the last entrant's entry edge is tight.
         let entry_edge = |r: u32| {
             g.edges()
-                .iter()
                 .position(|e| e.src == NodeId::start(r, 1) && e.dst == hub)
                 .unwrap()
         };
@@ -739,7 +811,7 @@ mod tests {
         });
         let m = PerturbationModel::per_message_constant("c", 700.0);
         let p = predicted_graph(&g, &m).expect("predictable");
-        assert_eq!(p.edges()[0].sampled, 700);
+        assert_eq!(p.edge(0).sampled, 700);
         assert_eq!(p.node_count(), 2);
         // Unpredictable model refuses.
         let mut bad = PerturbationModel::quiet("n");

@@ -12,9 +12,13 @@
 //! MPI semantics — the paper's "semantics embedded in the graph, not the
 //! walker" design — which the test suite checks against the streaming
 //! engine's drifts.
+//!
+//! Storage lives in a columnar [`GraphArena`] (see [`crate::arena`]):
+//! `EventGraph` is the recorder-facing façade, and analysis passes that
+//! want dense index-based access reach the arena through
+//! [`EventGraph::arena`].
 
-use std::collections::HashMap;
-
+use crate::arena::{GraphArena, NodeDrifts, NodeIdx};
 use crate::perturb::DeltaClass;
 use crate::{Cycles, Drift};
 use mpg_trace::{Rank, Seq};
@@ -75,8 +79,8 @@ impl NodeId {
     }
 }
 
-/// One graph edge.
-#[derive(Debug, Clone, PartialEq)]
+/// One graph edge, materialized by value from the arena's columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// Source subevent.
     pub src: NodeId,
@@ -94,7 +98,7 @@ pub struct Edge {
 }
 
 /// Human-readable node label, for DOT export and debugging.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeLabel {
     /// Event kind name ("send", "recv", "compute", …).
     pub kind: &'static str,
@@ -102,64 +106,73 @@ pub struct NodeLabel {
     pub t: Cycles,
 }
 
-/// The recorded message-passing graph.
+/// The recorded message-passing graph — a façade over [`GraphArena`].
 #[derive(Debug, Default, Clone)]
 pub struct EventGraph {
-    /// Edges in creation order — a valid topological order by construction
-    /// (the recorder only emits an edge once its source drift is resolved).
-    edges: Vec<Edge>,
-    labels: HashMap<NodeId, NodeLabel>,
-    ranks: usize,
+    arena: GraphArena,
 }
 
 impl EventGraph {
     /// Creates an empty graph over `ranks` ranks.
     pub fn new(ranks: usize) -> Self {
         Self {
-            edges: Vec::new(),
-            labels: HashMap::new(),
-            ranks,
+            arena: GraphArena::new(ranks),
         }
     }
 
     /// Number of ranks.
     pub fn num_ranks(&self) -> usize {
-        self.ranks
+        self.arena.num_ranks()
+    }
+
+    /// The columnar storage, for passes that address nodes and edges by
+    /// dense index.
+    pub fn arena(&self) -> &GraphArena {
+        &self.arena
     }
 
     /// Adds an edge (recorder use).
     pub fn add_edge(&mut self, edge: Edge) {
-        self.edges.push(edge);
+        self.arena.push_edge(edge);
     }
 
     /// Attaches a label to a node (recorder use; idempotent).
     pub fn label(&mut self, node: NodeId, kind: &'static str, t: Cycles) {
-        self.labels.entry(node).or_insert(NodeLabel { kind, t });
+        self.arena.label(node, kind, t);
     }
 
-    /// All edges in topological (creation) order.
-    pub fn edges(&self) -> &[Edge] {
-        &self.edges
+    /// All edges in topological (creation) order, materialized by value
+    /// from the columns.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.arena.num_edges()).map(|i| self.arena.edge(i))
+    }
+
+    /// Edge at position `i` (creation order).
+    pub fn edge(&self, i: usize) -> Edge {
+        self.arena.edge(i)
     }
 
     /// Node label lookup.
-    pub fn node_label(&self, node: &NodeId) -> Option<&NodeLabel> {
-        self.labels.get(node)
+    pub fn node_label(&self, node: &NodeId) -> Option<NodeLabel> {
+        self.arena
+            .node_index(node)
+            .and_then(|i| self.arena.label_of(i))
     }
 
-    /// All labeled nodes.
-    pub fn nodes(&self) -> impl Iterator<Item = (&NodeId, &NodeLabel)> {
-        self.labels.iter()
+    /// All labeled nodes, in interning order (deterministic).
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, NodeLabel)> + '_ {
+        (0..self.arena.num_nodes() as NodeIdx)
+            .filter_map(|i| self.arena.label_of(i).map(|l| (self.arena.node_id(i), l)))
     }
 
     /// Number of edges.
     pub fn edge_count(&self) -> usize {
-        self.edges.len()
+        self.arena.num_edges()
     }
 
     /// Number of labeled nodes.
     pub fn node_count(&self) -> usize {
-        self.labels.len()
+        self.arena.num_labeled()
     }
 
     /// Generic perturbation propagation: walks edges in topological order
@@ -168,18 +181,10 @@ impl EventGraph {
     /// of Eq. 1 — valid whenever no sampled delta is negative).
     ///
     /// This pass knows nothing about MPI: all semantics were baked into the
-    /// edge structure when the graph was recorded.
-    pub fn propagate(&self) -> HashMap<NodeId, Drift> {
-        let mut drift: HashMap<NodeId, Drift> = HashMap::new();
-        for e in &self.edges {
-            let d_src = drift.get(&e.src).copied().unwrap_or(0);
-            let candidate = d_src + e.sampled;
-            let entry = drift.entry(e.dst).or_insert(0);
-            if candidate > *entry {
-                *entry = candidate;
-            }
-        }
-        drift
+    /// edge structure when the graph was recorded. It runs over the dense
+    /// columns — one flat `Vec` of drifts, no hashing.
+    pub fn propagate(&self) -> NodeDrifts<'_> {
+        NodeDrifts::new(&self.arena, self.arena.propagate_dense())
     }
 
     /// Verifies the recorded graph is a DAG (Kahn's algorithm). On failure
@@ -193,55 +198,25 @@ impl EventGraph {
     /// describe a run that actually happened (§4.1's completed-run
     /// assumption).
     pub fn verify_acyclic(&self) -> Result<(), Vec<NodeId>> {
-        let mut indegree: HashMap<NodeId, usize> = HashMap::new();
-        let mut out: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
-        for e in &self.edges {
-            indegree.entry(e.src).or_insert(0);
-            *indegree.entry(e.dst).or_insert(0) += 1;
-            out.entry(e.src).or_default().push(e.dst);
-        }
-        let mut ready: Vec<NodeId> = indegree
-            .iter()
-            .filter(|&(_, &d)| d == 0)
-            .map(|(&n, _)| n)
-            .collect();
-        let mut remaining = indegree.len();
-        while let Some(n) = ready.pop() {
-            remaining -= 1;
-            for succ in out.get(&n).into_iter().flatten() {
-                let d = indegree.get_mut(succ).unwrap();
-                *d -= 1;
-                if *d == 0 {
-                    ready.push(*succ);
-                }
-            }
-        }
-        if remaining == 0 {
-            return Ok(());
-        }
-        let mut residue: Vec<NodeId> = indegree
-            .into_iter()
-            .filter(|&(_, d)| d > 0)
-            .map(|(n, _)| n)
-            .collect();
-        residue.sort_unstable();
-        Err(residue)
+        self.arena.verify_acyclic()
     }
 
     /// The largest drift over each rank's final (maximum-seq) end node —
     /// the graph-walk equivalent of the streaming report's final drifts.
     pub fn final_drifts(&self) -> Vec<Drift> {
-        let drifts = self.propagate();
-        let mut finals: Vec<(Seq, Drift)> = vec![(0, 0); self.ranks];
-        for (node, label) in &self.labels {
-            let _ = label;
+        let drifts = self.arena.propagate_dense();
+        let mut finals: Vec<(Seq, Drift)> = vec![(0, 0); self.arena.num_ranks()];
+        for i in 0..self.arena.num_nodes() as NodeIdx {
+            if self.arena.label_of(i).is_none() {
+                continue;
+            }
+            let node = self.arena.node_id(i);
             if node.hub || node.point != Point::End {
                 continue;
             }
-            let d = drifts.get(node).copied().unwrap_or(0);
             let slot = &mut finals[node.rank as usize];
             if node.seq >= slot.0 {
-                *slot = (node.seq, d);
+                *slot = (node.seq, drifts[i as usize]);
             }
         }
         finals.into_iter().map(|(_, d)| d).collect()
@@ -325,6 +300,22 @@ mod tests {
     #[test]
     fn hub_nodes_distinct() {
         assert_ne!(NodeId::hub(0, 3), NodeId::end(0, 3));
+    }
+
+    #[test]
+    fn edges_roundtrip_by_index() {
+        let mut g = EventGraph::new(2);
+        let e = Edge {
+            src: NodeId::start(0, 1),
+            dst: NodeId::end(1, 1),
+            base: 9,
+            class: DeltaClass::Transfer { bytes: 64 },
+            sampled: 2,
+            is_message: true,
+        };
+        g.add_edge(e);
+        assert_eq!(g.edge(0), e);
+        assert_eq!(g.edges().collect::<Vec<_>>(), vec![e]);
     }
 
     #[test]

@@ -15,18 +15,22 @@
 //!   `end(a) ⇝ start(b)`. `a` must have finished before `b` could begin;
 //!   this is the relation that constrains which sends a receive can match.
 //!
-//! The build walks `graph.edges()` once. Recorded edge order is a valid
-//! topological order by construction (see [`EventGraph`]), so a single
-//! forward pass of component-wise `max` joins computes, for every node `n`
-//! and rank `r`, how many of rank `r`'s start (resp. end) subevents reach
-//! `n`. Program order within a rank is seeded directly from sequence
-//! numbers: `start(r, s)` is reached by starts `0..=s` and ends `0..s` of
-//! its own rank, which the gap edges (`end(prev) → start(next)`) would
-//! derive anyway on a well-formed recorded graph.
+//! The build walks the arena's edge columns once. Recorded edge order is a
+//! valid topological order by construction (see [`EventGraph`]), so a
+//! single forward pass of component-wise `max` joins computes, for every
+//! node `n` and rank `r`, how many of rank `r`'s start (resp. end)
+//! subevents reach `n`. Program order within a rank is seeded directly
+//! from sequence numbers: `start(r, s)` is reached by starts `0..=s` and
+//! ends `0..s` of its own rank, which the gap edges
+//! (`end(prev) → start(next)`) would derive anyway on a well-formed
+//! recorded graph.
+//!
+//! Transient per-node clocks live in one flat column indexed by the
+//! arena's dense [`NodeIdx`] — no node hashing anywhere in the build.
 
+use crate::arena::NodeIdx;
 use crate::graph::{EventGraph, NodeId, Point};
 use mpg_trace::{Rank, Seq};
-use std::collections::HashMap;
 
 /// An event named positionally, as everywhere else in the codebase:
 /// `(rank, per-rank sequence number)`.
@@ -67,20 +71,16 @@ impl HbIndex {
     }
 
     fn build_inner(graph: &EventGraph, bypass: Option<NodeId>) -> Self {
+        let arena = graph.arena();
         let p = graph.num_ranks();
+        let n_nodes = arena.num_nodes();
         let mut counts = vec![0u64; p];
-        let mut note = |n: &NodeId| {
+        for i in 0..n_nodes as NodeIdx {
+            let n = arena.node_id(i);
             if !n.hub && (n.rank as usize) < p {
                 let c = &mut counts[n.rank as usize];
                 *c = (*c).max(n.seq + 1);
             }
-        };
-        for e in graph.edges() {
-            note(&e.src);
-            note(&e.dst);
-        }
-        for (n, _) in graph.nodes() {
-            note(n);
         }
         let mut offsets = vec![0usize; p + 1];
         for r in 0..p {
@@ -88,10 +88,11 @@ impl HbIndex {
         }
         let rows = offsets[p];
 
-        // Transient per-node clocks: `[0..p]` issue counts, `[p..2p]`
-        // completion counts.
-        let seed = |n: &NodeId| -> Vec<u64> {
-            let mut c = vec![0u64; 2 * p];
+        // Transient per-node clocks, one flat column: node `i`'s row is
+        // `clocks[i*2p .. (i+1)*2p]` — `[0..p]` issue counts, `[p..2p]`
+        // completion counts. Seeded lazily on first touch.
+        let seed_into = |c: &mut [u64], n: &NodeId| {
+            c.fill(0);
             if !n.hub && (n.rank as usize) < p {
                 let r = n.rank as usize;
                 match n.point {
@@ -105,17 +106,39 @@ impl HbIndex {
                     }
                 }
             }
-            c
         };
-        let mut clocks: HashMap<NodeId, Vec<u64>> = HashMap::new();
-        for e in graph.edges() {
-            let (src, dst) = match bypass {
-                Some(h) if e.dst == h => (e.src, NodeId::end(e.src.rank, e.src.seq)),
-                Some(h) if e.src == h => continue,
-                _ => (e.src, e.dst),
-            };
-            let from = clocks.entry(src).or_insert_with(|| seed(&src)).clone();
-            let into = clocks.entry(dst).or_insert_with(|| seed(&dst));
+        let mut clocks = vec![0u64; n_nodes * 2 * p];
+        let mut seeded = vec![false; n_nodes];
+        let bypass_idx = bypass.and_then(|h| arena.node_index(&h));
+        let mut from = vec![0u64; 2 * p];
+        for e in 0..arena.num_edges() {
+            let (src, mut dst) = (arena.edge_src(e), arena.edge_dst(e));
+            if let Some(h) = bypass_idx {
+                if src == h {
+                    continue;
+                }
+                if dst == h {
+                    // Local passthrough: the collective still takes its
+                    // turn in program order but synchronizes nobody.
+                    let s = arena.node_id(src);
+                    match arena.node_index(&NodeId::end(s.rank, s.seq)) {
+                        Some(end) => dst = end,
+                        None => continue,
+                    }
+                }
+            }
+            for i in [src, dst] {
+                if !seeded[i as usize] {
+                    let n = arena.node_id(i);
+                    seed_into(
+                        &mut clocks[i as usize * 2 * p..(i as usize + 1) * 2 * p],
+                        &n,
+                    );
+                    seeded[i as usize] = true;
+                }
+            }
+            from.copy_from_slice(&clocks[src as usize * 2 * p..(src as usize + 1) * 2 * p]);
+            let into = &mut clocks[dst as usize * 2 * p..(dst as usize + 1) * 2 * p];
             for (a, b) in into.iter_mut().zip(&from) {
                 *a = (*a).max(*b);
             }
@@ -123,16 +146,18 @@ impl HbIndex {
 
         let mut issue = vec![0u64; rows * p];
         let mut complete = vec![0u64; rows * p];
+        let mut fallback = vec![0u64; 2 * p];
         for r in 0..p {
             for s in 0..counts[r] {
                 let start = NodeId::start(r as Rank, s);
                 let row = offsets[r] + s as usize;
-                let seeded;
-                let clock = match clocks.get(&start) {
-                    Some(c) => c,
-                    None => {
-                        seeded = seed(&start);
-                        &seeded
+                let clock = match arena.node_index(&start) {
+                    Some(i) if seeded[i as usize] => {
+                        &clocks[i as usize * 2 * p..(i as usize + 1) * 2 * p]
+                    }
+                    _ => {
+                        seed_into(&mut fallback, &start);
+                        &fallback[..]
                     }
                 };
                 issue[row * p..(row + 1) * p].copy_from_slice(&clock[..p]);

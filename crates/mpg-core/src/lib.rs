@@ -61,6 +61,7 @@
 //! assert!(report.max_final_drift() > 0);
 //! ```
 
+pub mod arena;
 pub mod critical;
 pub mod dot;
 pub mod feasible;
@@ -71,9 +72,11 @@ pub mod perturb;
 pub mod regions;
 pub mod replay;
 pub mod report;
+pub(crate) mod shard;
 pub mod stream;
 pub mod timeline;
 
+pub use arena::{Csr, GraphArena, NodeDrifts, NodeIdx};
 pub use critical::{critical_path, CriticalPath};
 pub use feasible::{drift_slack, predictable, predicted_graph, DriftSlack, SlackSweep, StaticPath};
 pub use graph::{Edge, EventGraph, NodeId, Point};

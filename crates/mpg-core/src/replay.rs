@@ -38,6 +38,7 @@ use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel};
 use crate::report::{
     ArmKind, DegradationReport, RankFrontier, ReplayError, ReplayReport, ReplayStats,
 };
+use crate::shard::{Envelope, Inbox, ShardCtx};
 use crate::stream::{MatchState, PendingRecv, SendRecord, SenderRef};
 use std::sync::Arc;
 
@@ -268,6 +269,42 @@ impl Replayer {
             .next()
             .expect("scalar replay yields exactly one report"))
     }
+
+    /// Partition-parallel replay: rank streams are sharded across `shards`
+    /// worker threads, cross-shard message/ack/collective traffic flows
+    /// through a deterministic exchange, and the merged report is
+    /// bit-identical to a single-threaded [`run_streams`](Self::run_streams)
+    /// on drifts, warnings, and every statistic except the scheduler-order
+    /// diagnostics (`scheduler_wakeups`, `polls_avoided`,
+    /// `window_high_water`).
+    ///
+    /// Falls back to the single-threaded engine when sharding cannot help or
+    /// cannot preserve semantics: one shard requested, fewer than two ranks,
+    /// graph recording (edge order is a whole-trace total order), an
+    /// admission gate, or crash tolerance.
+    pub fn run_streams_parallel<I>(
+        &self,
+        streams: Vec<I>,
+        shards: usize,
+    ) -> Result<ReplayReport, ReplayError>
+    where
+        I: Iterator<Item = Result<EventRecord, TraceError>> + Send,
+    {
+        if shards <= 1
+            || streams.len() < 2
+            || self.config.record_graph
+            || self.config.gate.is_some()
+            || self.config.crash_tolerant
+        {
+            let bank = ScalarBank::new(&self.config, streams.len());
+            let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams).run()?;
+            return Ok(reports
+                .into_iter()
+                .next()
+                .expect("scalar replay yields exactly one report"));
+        }
+        crate::shard::run_sharded_scalar(&self.config, streams, shards)
+    }
 }
 
 /// The structural knobs shared by every lane of a batch: they decide
@@ -478,13 +515,13 @@ impl DriftBank for ScalarBank {
 /// they live inline: the hot path allocates nothing whether or not
 /// recording is enabled.
 #[derive(Debug, Clone, Copy)]
-struct AckEdges {
+pub(crate) struct AckEdges {
     len: u8,
     items: [(NodeId, Drift); 2],
 }
 
 impl AckEdges {
-    fn none() -> Self {
+    pub(crate) fn none() -> Self {
         Self {
             len: 0,
             items: [(NodeId::start(0, 0), 0); 2],
@@ -839,6 +876,11 @@ pub(crate) struct Engine<B: DriftBank, I> {
     stats: ReplayStats,
     warnings: Vec<String>,
     graph: Option<EventGraph>,
+    /// Set when this engine replays one shard of a partition-parallel run
+    /// (see [`crate::shard`]): cross-shard sends, acknowledgements and
+    /// collective contributions are routed through the exchange instead of
+    /// local state.
+    shard: Option<ShardCtx<B::Val>>,
 }
 
 impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B, I> {
@@ -877,10 +919,21 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
             graph: knobs.record_graph.then(|| EventGraph::new(p)),
             knobs,
             bank,
+            shard: None,
         }
     }
 
+    /// Attaches a shard context: this engine becomes one worker of a
+    /// partition-parallel run and `run` routes through the exchange.
+    pub(crate) fn with_shard(mut self, ctx: ShardCtx<B::Val>) -> Self {
+        self.shard = Some(ctx);
+        self
+    }
+
     pub(crate) fn run(mut self) -> Result<Vec<ReplayReport>, ReplayError> {
+        if self.shard.is_some() {
+            return self.run_sharded();
+        }
         // Seed the ready set: initially every rank can make progress.
         for r in 0..self.cursors.len() {
             self.ready.insert(r);
@@ -952,6 +1005,136 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         Ok(reports)
     }
 
+    /// The shard-mode drain loop: alternate between draining the local
+    /// ready set and blocking on the exchange, until global quiescence.
+    /// Bit-identity with the single-threaded engine is argued on
+    /// [`crate::shard`]; local errors poison the exchange so peers exit.
+    fn run_sharded(mut self) -> Result<Vec<ReplayReport>, ReplayError> {
+        let ctx = self.shard.as_ref().expect("sharded run").clone();
+        for r in 0..self.cursors.len() {
+            if ctx.owns(r as Rank) {
+                self.ready.insert(r);
+            } else {
+                // Non-owned cursors never run; marking them done makes
+                // stray wakes no-ops and keeps the drain checks local.
+                self.cursors[r].done = true;
+            }
+        }
+        loop {
+            while let Some(ri) = self.ready.pop() {
+                let r = ri as Rank;
+                self.running = r;
+                self.stats.scheduler_wakeups += 1;
+                if let Some(slept) = self.cursors[ri].slept_at.take() {
+                    self.stats.polls_avoided += self.pops - slept;
+                }
+                self.pops += 1;
+                loop {
+                    match self.step(r) {
+                        Ok(true) => {}
+                        Ok(false) => break,
+                        Err(e) => {
+                            ctx.exchange.poison(e.to_string());
+                            return Err(e);
+                        }
+                    }
+                }
+                self.running = NO_RANK;
+                if !self.cursors[ri].done {
+                    self.cursors[ri].slept_at = Some(self.pops);
+                }
+            }
+            match ctx.exchange.recv(ctx.me) {
+                Inbox::Messages(msgs) => {
+                    for env in msgs {
+                        if let Err(e) = self.apply_envelope(env) {
+                            ctx.exchange.poison(e.to_string());
+                            return Err(e);
+                        }
+                    }
+                }
+                Inbox::Done => break,
+                Inbox::Poisoned(msg) => {
+                    return Err(ReplayError::Corrupt(format!("peer shard failed: {msg}")))
+                }
+            }
+        }
+        // Global quiescence with owned ranks still live: the distributed
+        // form of the single-engine deadlock diagnostic.
+        if (0..self.cursors.len()).any(|r| ctx.owns(r as Rank) && !self.cursors[r].done) {
+            let stuck: Vec<String> = self
+                .cursors
+                .iter()
+                .enumerate()
+                .filter(|(r, _)| ctx.owns(*r as Rank))
+                .filter_map(|(r, c)| {
+                    c.current
+                        .as_ref()
+                        .map(|e| format!("rank {r} stuck at seq {} ({})", e.seq, e.kind.name()))
+                })
+                .collect();
+            return Err(ReplayError::Corrupt(format!(
+                "matching made no progress: {}",
+                stuck.join("; ")
+            )));
+        }
+        self.finish()
+    }
+
+    /// Applies one cross-shard effect to local state.
+    fn apply_envelope(&mut self, env: Envelope<B::Val>) -> Result<(), ReplayError> {
+        match env {
+            Envelope::Offer { src, dst, rec } => self.deliver_send(src, dst, rec),
+            Envelope::Ack {
+                sender,
+                candidate,
+                edges,
+            } => self.resolve_ack(sender, candidate, edges),
+            Envelope::Coll {
+                epoch,
+                rank,
+                kind_name,
+                bytes,
+                contrib,
+                start_node,
+            } => self.coll_contribution(
+                epoch,
+                kind_name,
+                bytes,
+                CollEntry {
+                    rank,
+                    drift: contrib,
+                    start_node,
+                },
+            ),
+        }
+    }
+
+    /// The shard owning `rank`, when that shard is not this one.
+    fn remote_owner(&self, rank: Rank) -> Option<usize> {
+        let ctx = self.shard.as_ref()?;
+        let owner = ctx.owners.owner(rank);
+        (owner != ctx.me).then_some(owner)
+    }
+
+    fn ship(&self, to: usize, env: Envelope<B::Val>) {
+        self.shard
+            .as_ref()
+            .expect("shipping requires a shard context")
+            .exchange
+            .send(to, env);
+    }
+
+    /// Broadcasts to every other shard (collective contributions).
+    fn ship_all(&self, env: Envelope<B::Val>) {
+        let ctx = self.shard.as_ref().expect("sharded");
+        for s in 0..ctx.owners.shards() {
+            if s != ctx.me {
+                ctx.exchange.send(s, env.clone());
+            }
+        }
+    }
+
     /// Crash-frontier accounting over the engine's terminal state: one
     /// frontier per rank that is still blocked or never reached `Finalize`.
     fn degradation(&self) -> DegradationReport {
@@ -1005,7 +1188,18 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
 
     fn finish(mut self) -> Result<Vec<ReplayReport>, ReplayError> {
         let leaked: usize = self.cursors.iter().map(|c| c.reqs.len()).sum();
-        if leaked > 0 || self.matches.unmatched_sends() > 0 || self.matches.unmatched_recvs() > 0 {
+        if let Some(ctx) = &self.shard {
+            // Leak totals are global: deposit this shard's share and let the
+            // merge synthesize the single warning from the summed counts.
+            ctx.exchange.add_leaks(
+                leaked,
+                self.matches.unmatched_sends(),
+                self.matches.unmatched_recvs(),
+            );
+        } else if leaked > 0
+            || self.matches.unmatched_sends() > 0
+            || self.matches.unmatched_recvs() > 0
+        {
             // §4.3: both sides used asynchronous calls without completing
             // synchronization; perturbed ordering cannot be guaranteed.
             self.warnings.push(format!(
@@ -1415,7 +1609,35 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
             src_node: NodeId::start(r, ev.seq),
             send_start_local: ev.t_start,
         };
-        if let Some((pr, rec)) = self.matches.offer_send(r, peer, rec) {
+        if let Some(to) = self.remote_owner(peer) {
+            // The receiver's matching state lives on another shard; ship
+            // the fully-sampled record there. The acknowledgement, if any,
+            // returns through the exchange the same way.
+            self.ship(
+                to,
+                Envelope::Offer {
+                    src: r,
+                    dst: peer,
+                    rec,
+                },
+            );
+            self.note_window();
+            return Ok(());
+        }
+        self.deliver_send(r, peer, rec)
+    }
+
+    /// Lands a send record on the local `(src, dst)` channel: matches a
+    /// queued nonblocking receive or queues the record, waking whichever
+    /// rank may now progress. Called from `post_send` for local peers and
+    /// from the exchange for records shipped across shards.
+    fn deliver_send(
+        &mut self,
+        src: Rank,
+        dst: Rank,
+        rec: SendRecord<B::Val>,
+    ) -> Result<(), ReplayError> {
+        if let Some((pr, rec)) = self.matches.offer_send(src, dst, rec) {
             self.stats.messages_matched += 1;
             self.ack_at_arrival(&rec, pr.d_posted, pr.end_node)?;
             match self.cursors[pr.rank as usize].reqs.get_mut(pr.req) {
@@ -1434,7 +1656,7 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         } else {
             // The record landed on the channel; the peer may be blocked in
             // a `Recv` waiting for exactly this send.
-            self.wake(peer);
+            self.wake(dst);
         }
         self.note_window();
         Ok(())
@@ -1464,6 +1686,19 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         candidate: B::Val,
         edges: AckEdges,
     ) -> Result<(), ReplayError> {
+        if let SenderRef::BlockedSend { rank } | SenderRef::Request { rank, .. } = sender {
+            if let Some(to) = self.remote_owner(rank) {
+                self.ship(
+                    to,
+                    Envelope::Ack {
+                        sender,
+                        candidate,
+                        edges,
+                    },
+                );
+                return Ok(());
+            }
+        }
         match sender {
             SenderRef::Done => {}
             SenderRef::BlockedSend { rank } => {
@@ -1650,51 +1885,39 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
                 "alltoall" => p.saturating_sub(1),
                 _ => (p as f64).log2().ceil() as u32,
             };
-            let full_slot = {
-                let state = self
-                    .colls
-                    .state_mut(epoch)
-                    .expect("collective epoch cleared while a rank still enters it");
-                if matches!(state, CollState::Vacant) {
-                    *state = CollState::Filling(CollSlot {
-                        kind_name,
-                        bytes,
-                        root_full_rounds: bcast_root,
-                        rounds,
-                        entries: Vec::new(),
-                    });
-                }
-                let CollState::Filling(slot) = state else {
-                    return Err(ReplayError::Corrupt(format!(
-                        "epoch {epoch}: rank {r} entered an already-resolved collective"
-                    )));
+            if self.shard.is_some() {
+                // Sharded: sample this rank's lδ now — it blocks until the
+                // hub resolves, so entry order equals the single-threaded
+                // engine's per-rank draw order — and broadcast the
+                // pre-added contribution so every shard can resolve the
+                // hub locally. Each rank derives its own round count (for
+                // a well-formed trace all members agree on the root).
+                let rounds = match bcast_root {
+                    Some(root) if r != root => 0,
+                    _ => rounds,
                 };
-                if slot.kind_name != kind_name || slot.bytes != bytes {
-                    return Err(ReplayError::CollectiveMismatch(format!(
-                        "epoch {epoch}: rank {r} called {kind_name}({bytes}B) but epoch began \
-                         with {}({}B)",
-                        slot.kind_name, slot.bytes
-                    )));
-                }
-                slot.entries.push(CollEntry {
+                let l_delta = self
+                    .bank
+                    .sample(r, DeltaClass::CollectiveRounds { rounds, bytes });
+                self.bank.tally_injected(l_delta);
+                let entry = CollEntry {
                     rank: r,
-                    drift: d0,
+                    drift: B::add(d0, l_delta),
                     start_node: NodeId::start(r, ev.seq),
+                };
+                self.ship_all(Envelope::Coll {
+                    epoch,
+                    rank: r,
+                    kind_name,
+                    bytes,
+                    contrib: entry.drift,
+                    start_node: entry.start_node,
                 });
-                if slot.entries.len() == p as usize {
-                    let CollState::Filling(slot) = std::mem::replace(state, CollState::Vacant)
-                    else {
-                        unreachable!("checked Filling above")
-                    };
-                    Some(slot)
-                } else {
-                    None
-                }
-            };
-            self.coll_entries += 1;
-            self.note_window();
-            if let Some(slot) = full_slot {
-                self.resolve_collective(epoch, slot);
+                self.coll_entries += 1;
+                self.note_window();
+                self.coll_contribution(epoch, kind_name, bytes, entry)?;
+            } else {
+                self.step_collective_enter(r, ev, kind_name, bytes, bcast_root, rounds, d0, epoch)?;
             }
         }
         let epoch = self.cursors[ri].scratch_epoch;
@@ -1727,6 +1950,69 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         self.bank.account_absorption(d0, hub);
         self.complete(r, ev, d_end, None);
         Ok(true)
+    }
+
+    /// The single-engine collective entry: queue the raw entry drift; the
+    /// lδ deltas are sampled when the slot fills (`resolve_collective`).
+    #[allow(clippy::too_many_arguments)]
+    fn step_collective_enter(
+        &mut self,
+        r: Rank,
+        ev: &EventRecord,
+        kind_name: &'static str,
+        bytes: u64,
+        bcast_root: Option<Rank>,
+        rounds: u32,
+        d0: B::Val,
+        epoch: u64,
+    ) -> Result<(), ReplayError> {
+        let p = self.cursors.len() as u32;
+        let full_slot = {
+            let state = self
+                .colls
+                .state_mut(epoch)
+                .expect("collective epoch cleared while a rank still enters it");
+            if matches!(state, CollState::Vacant) {
+                *state = CollState::Filling(CollSlot {
+                    kind_name,
+                    bytes,
+                    root_full_rounds: bcast_root,
+                    rounds,
+                    entries: Vec::new(),
+                });
+            }
+            let CollState::Filling(slot) = state else {
+                return Err(ReplayError::Corrupt(format!(
+                    "epoch {epoch}: rank {r} entered an already-resolved collective"
+                )));
+            };
+            if slot.kind_name != kind_name || slot.bytes != bytes {
+                return Err(ReplayError::CollectiveMismatch(format!(
+                    "epoch {epoch}: rank {r} called {kind_name}({bytes}B) but epoch began \
+                         with {}({}B)",
+                    slot.kind_name, slot.bytes
+                )));
+            }
+            slot.entries.push(CollEntry {
+                rank: r,
+                drift: d0,
+                start_node: NodeId::start(r, ev.seq),
+            });
+            if slot.entries.len() == p as usize {
+                let CollState::Filling(slot) = std::mem::replace(state, CollState::Vacant) else {
+                    unreachable!("checked Filling above")
+                };
+                Some(slot)
+            } else {
+                None
+            }
+        };
+        self.coll_entries += 1;
+        self.note_window();
+        if let Some(slot) = full_slot {
+            self.resolve_collective(epoch, slot);
+        }
+        Ok(())
     }
 
     /// Computes the hub drift for a filled collective slot (Fig. 4):
@@ -1783,6 +2069,93 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         });
         // Every participant either is blocked on this collective right now
         // or will reach it with the hub already resolved.
+        for e in &slot.entries {
+            self.wake(e.rank);
+        }
+    }
+
+    /// Sharded collective entry: every shard sees every rank's pre-added
+    /// contribution (locally for owned ranks, via `Envelope::Coll` for the
+    /// rest) and resolves the hub independently — the hub is a commutative
+    /// max, so all shards agree bit-for-bit.
+    fn coll_contribution(
+        &mut self,
+        epoch: u64,
+        kind_name: &'static str,
+        bytes: u64,
+        entry: CollEntry<B::Val>,
+    ) -> Result<(), ReplayError> {
+        let p = self.cursors.len();
+        let r = entry.rank;
+        let full_slot = {
+            let state = self
+                .colls
+                .state_mut(epoch)
+                .expect("collective epoch cleared while a rank still enters it");
+            if matches!(state, CollState::Vacant) {
+                *state = CollState::Filling(CollSlot {
+                    kind_name,
+                    bytes,
+                    root_full_rounds: None,
+                    rounds: 0,
+                    entries: Vec::new(),
+                });
+            }
+            let CollState::Filling(slot) = state else {
+                return Err(ReplayError::Corrupt(format!(
+                    "epoch {epoch}: rank {r} entered an already-resolved collective"
+                )));
+            };
+            if slot.kind_name != kind_name || slot.bytes != bytes {
+                return Err(ReplayError::CollectiveMismatch(format!(
+                    "epoch {epoch}: rank {r} called {kind_name}({bytes}B) but epoch began \
+                     with {}({}B)",
+                    slot.kind_name, slot.bytes
+                )));
+            }
+            slot.entries.push(entry);
+            if slot.entries.len() == p {
+                let CollState::Filling(slot) = std::mem::replace(state, CollState::Vacant) else {
+                    unreachable!("checked Filling above")
+                };
+                Some(slot)
+            } else {
+                None
+            }
+        };
+        if let Some(slot) = full_slot {
+            self.resolve_collective_shard(epoch, slot);
+        }
+        Ok(())
+    }
+
+    /// Resolves a filled sharded collective: the deltas were already sampled
+    /// and added by each rank's owner, so the hub is a pure max fold.
+    fn resolve_collective_shard(&mut self, epoch: u64, mut slot: CollSlot<B::Val>) {
+        slot.entries.sort_unstable_by_key(|e| e.rank);
+        self.stats.collectives += 1;
+        let mut hub = B::splat(Drift::MIN);
+        for e in &slot.entries {
+            hub = B::max(hub, e.drift);
+        }
+        let hub_anchor = slot.entries.first().expect("non-empty slot");
+        let hub_node = NodeId::hub(hub_anchor.rank, hub_anchor.start_node.seq);
+        let remaining = self
+            .shard
+            .as_ref()
+            .expect("shard collective resolved without shard context")
+            .owned_count();
+        let state = self
+            .colls
+            .state_mut(epoch)
+            .expect("epoch slot exists while resolving");
+        *state = CollState::Done(CollDone {
+            hub,
+            hub_node,
+            remaining,
+        });
+        // Only owned ranks can be blocked here; wakes for foreign ranks are
+        // dropped by their pre-set `done` cursors.
         for e in &slot.entries {
             self.wake(e.rank);
         }

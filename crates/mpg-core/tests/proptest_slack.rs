@@ -138,9 +138,9 @@ fn final_ends(graph: &EventGraph) -> Vec<NodeId> {
         if node.hub || node.point != Point::End {
             continue;
         }
-        let slot = finals.entry(node.rank).or_insert(*node);
+        let slot = finals.entry(node.rank).or_insert(node);
         if node.seq > slot.seq {
-            *slot = *node;
+            *slot = node;
         }
     }
     finals.into_values().collect()
@@ -149,7 +149,7 @@ fn final_ends(graph: &EventGraph) -> Vec<NodeId> {
 /// Independent forward sweep with one edge's cost inflated by `extra`.
 fn makespan_with(graph: &EventGraph, sweep: &SlackSweep, on: usize, extra: Cycles) -> Cycles {
     let mut earliest: HashMap<NodeId, Cycles> = HashMap::new();
-    for (i, e) in graph.edges().iter().enumerate() {
+    for (i, e) in graph.edges().enumerate() {
         let c = sweep.cost(i) + if i == on { extra } else { 0 };
         let cand = earliest.get(&e.src).copied().unwrap_or(0) + c;
         let slot = earliest.entry(e.dst).or_insert(0);
@@ -262,7 +262,10 @@ proptest! {
         .expect("graph recorded");
 
         // Edge-for-edge equality, sampled deltas included.
-        prop_assert_eq!(predicted.edges(), real.edges());
+        prop_assert_eq!(
+            predicted.edges().collect::<Vec<_>>(),
+            real.edges().collect::<Vec<_>>()
+        );
         let pred_labels: HashMap<_, _> = predicted.nodes().collect();
         let real_labels: HashMap<_, _> = real.nodes().collect();
         prop_assert_eq!(pred_labels, real_labels);
@@ -277,11 +280,10 @@ proptest! {
         let ds = drift_slack(&real);
         prop_assert_eq!(cp_real.is_some(), ds.is_some());
         if let (Some(cp), Some(ds)) = (cp_real, ds) {
-            let edges = real.edges();
             for step in &cp.steps {
-                let i = edges
-                    .iter()
-                    .position(|e| e == &step.edge)
+                let i = real
+                    .edges()
+                    .position(|e| e == step.edge)
                     .expect("critical step is a graph edge");
                 prop_assert_eq!(
                     ds.slack[i],

@@ -50,7 +50,7 @@ pub fn rank_chains(graph: &EventGraph, sweep: &SlackSweep) -> Vec<ChainSummary> 
         }
         let slot = &mut anchors[node.rank as usize];
         if slot.is_none_or(|a| node.seq > a.seq) {
-            *slot = Some(*node);
+            *slot = Some(node);
         }
     }
     let mut chains: Vec<ChainSummary> = anchors

@@ -375,7 +375,6 @@ fn tag_of(kind: &EventKind) -> Option<Tag> {
 /// see [`PerfReport::identity_holds`].
 pub fn analyze_graph(trace: &MemTrace, graph: &EventGraph) -> PerfReport {
     let sweep = SlackSweep::sweep(graph);
-    let edges = graph.edges();
 
     // ---- collective instances: dominance split ----------------------------
     // Entries: src → hub edges; members: hub → end edges. The latest
@@ -384,7 +383,7 @@ pub fn analyze_graph(trace: &MemTrace, graph: &EventGraph) -> PerfReport {
     let mut hub_entries: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     let mut hub_members: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     let mut hub_order: Vec<NodeId> = Vec::new();
-    for e in edges {
+    for e in graph.edges() {
         if e.dst.hub && !e.src.hub {
             let slot = hub_entries.entry(e.dst).or_default();
             if slot.is_empty() {
@@ -460,7 +459,7 @@ pub fn analyze_graph(trace: &MemTrace, graph: &EventGraph) -> PerfReport {
     // The binding arm's class names the culprit.
     let classify = |end: NodeId| -> Option<(WaitClass, Option<u32>, bool)> {
         let arm = sweep.binding_arm(end)?;
-        let e = &edges[arm];
+        let e = graph.edge(arm);
         let on_critical = sweep.slack(arm) == 0;
         if e.src.hub {
             let (class, cause) = coll_class.get(&end).copied()?;

@@ -23,6 +23,7 @@ pub mod event;
 pub mod faultgen;
 pub mod fileset;
 pub mod frame;
+pub mod ooc;
 pub mod reader;
 pub mod salvage;
 pub mod stats;
@@ -37,8 +38,9 @@ pub use diag::{
 pub use event::{EventKind, EventRecord, Rank, ReqId, SendProtocol, Seq, Tag, ANY_SOURCE, ANY_TAG};
 pub use faultgen::{inject_dir, mutate_bytes, FaultKind, FaultPlan};
 pub use fileset::{FileTraceSet, FsckStatus, MemTrace, SalvageReport};
+pub use ooc::{FrameCursor, FrameIndex, MappedFile, OocTraceSet};
 pub use reader::TraceReader;
-pub use salvage::{salvage_bytes, RankSalvage, SealStatus};
+pub use salvage::{salvage_bytes, salvage_into, RankSalvage, SealStatus};
 pub use stats::{trace_stats, TraceStats};
 pub use text::{text_to_trace, trace_to_text};
 pub use validate::{validate_rank_trace, validate_trace, Violation};

@@ -1,0 +1,846 @@
+//! Out-of-core access to framed (`MPG2`) per-rank trace files.
+//!
+//! The streaming reader ([`crate::reader`]) already bounds memory to one
+//! chunk plus one frame, but it still *copies* every byte through a heap
+//! buffer and decodes strictly in file order on the caller's thread. This
+//! module exploits the property the v2 frame layer was designed for — every
+//! frame decodes standalone (absolute `first_seq` head, per-frame codec
+//! reset) — to go further:
+//!
+//! * [`MappedFile`] maps a rank file read-only via `mmap(2)` (falling back
+//!   to a heap read where mapping is unavailable), so trace bytes live in
+//!   the page cache, not the process heap, and the kernel reclaims them
+//!   under pressure;
+//! * [`FrameIndex::scan`] locates every frame boundary in one cheap pass
+//!   that parses only the 9-byte headers and the leading `first_seq`
+//!   varint — no CRC work, no record decode;
+//! * [`FrameCursor`] decodes frames lazily against the map, validating each
+//!   frame's CRC and the chained whole-file checksum exactly as the strict
+//!   reader would, just deferred to the moment the bytes are actually read;
+//! * [`OocTraceSet::streams_prefetch`] decodes each rank on its own worker
+//!   thread with a bounded frame lookahead, so a replay engine consuming
+//!   the streams overlaps decode with traversal while peak memory stays
+//!   `O(ranks × lookahead × frame)`.
+//!
+//! All four compose behind the same [`BoxedEventStream`] shape the replay
+//! engine already consumes, which is what makes replay of traces bigger
+//! than RAM a drop-in path rather than a second engine.
+
+use std::fs::File;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crate::codec::{get_varint, Decoder, MAGIC};
+use crate::event::EventRecord;
+use crate::fileset::BoxedEventStream;
+use crate::frame::{
+    crc32c, crc32c_append, parse_frame_header, Footer, FOOTER_LEN, FOOTER_MARKER, FRAME_HEADER_LEN,
+    FRAME_MARKER, MAGIC2,
+};
+use crate::TraceError;
+
+/// A read-only byte view of a file, memory-mapped when the platform allows
+/// it and heap-buffered otherwise. The view is immutable and shareable
+/// across threads; dropping the last handle unmaps.
+pub struct MappedFile {
+    ptr: *const u8,
+    len: usize,
+    /// Fallback storage when the file could not be mapped (non-unix
+    /// platform, empty file, or a refused `mmap`). `ptr` points into it.
+    heap: Option<Vec<u8>>,
+}
+
+// SAFETY: the mapping is read-only (PROT_READ, MAP_PRIVATE) and never
+// mutated after construction, so shared references from any thread are fine.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        pub fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+    pub const MADV_SEQUENTIAL: c_int = 2;
+    pub const MADV_DONTNEED: c_int = 4;
+}
+
+impl MappedFile {
+    /// Opens and maps `path` read-only. Falls back to reading the whole
+    /// file into a heap buffer when mapping is unavailable; the result is
+    /// then correct but no longer out-of-core.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        #[cfg(unix)]
+        if len > 0 {
+            use std::os::unix::io::AsRawFd;
+            // SAFETY: mapping a freshly-opened fd read-only with a length
+            // taken from its metadata; the fd outlives the call and the
+            // mapping survives its close.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as isize != -1 {
+                // Frames are consumed front to back; tell the kernel so
+                // readahead works for us. Failure is harmless.
+                // SAFETY: ptr/len describe the mapping established above.
+                unsafe { sys::madvise(ptr, len, sys::MADV_SEQUENTIAL) };
+                return Ok(Self {
+                    ptr: ptr as *const u8,
+                    len,
+                    heap: None,
+                });
+            }
+        }
+        let heap = std::fs::read(path)?;
+        Ok(Self {
+            ptr: heap.as_ptr(),
+            len: heap.len(),
+            heap: Some(heap),
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe either a live mapping or the owned heap
+        // buffer; both are valid and immutable for `self`'s lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length file.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when the bytes are backed by a real `mmap` (page cache) rather
+    /// than the heap fallback.
+    pub fn is_mapped(&self) -> bool {
+        self.heap.is_none()
+    }
+
+    /// Tells the kernel the given byte range will not be touched again, so
+    /// its resident pages can be dropped — this is what keeps a streaming
+    /// consumer's RSS flat instead of growing with the file. The range is
+    /// shrunk inward to page boundaries; a re-read after release is still
+    /// correct (the pages refault from the page cache), just slower, so
+    /// concurrent cursors over one shared map stay safe. No-op for the
+    /// heap fallback.
+    pub fn release(&self, range: std::ops::Range<usize>) {
+        #[cfg(unix)]
+        {
+            const PAGE: usize = 4096;
+            if self.heap.is_some() {
+                return;
+            }
+            let start = range.start.div_ceil(PAGE) * PAGE;
+            let end = (range.end.min(self.len) / PAGE) * PAGE;
+            if end <= start {
+                return;
+            }
+            // SAFETY: [start, end) lies inside the live mapping and is
+            // page-aligned; DONTNEED on a read-only private file mapping
+            // only drops residency, never content.
+            unsafe {
+                sys::madvise(
+                    self.ptr.add(start) as *mut std::os::raw::c_void,
+                    end - start,
+                    sys::MADV_DONTNEED,
+                );
+            }
+        }
+        #[cfg(not(unix))]
+        let _ = range;
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.heap.is_none() && self.len > 0 {
+            // SAFETY: ptr/len came from a successful mmap and are unmapped
+            // exactly once.
+            unsafe {
+                sys::munmap(self.ptr as *mut std::os::raw::c_void, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len)
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+/// One frame's location inside a mapped rank file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameEntry {
+    /// Byte offset of the payload (past the 9-byte header).
+    pub payload_off: usize,
+    /// Payload length in bytes.
+    pub payload_len: usize,
+    /// Sequence number of the frame's first record (the payload's leading
+    /// varint), read during the scan so random access can seek by seq.
+    pub first_seq: u64,
+}
+
+/// Frame-boundary index of one sealed `MPG2` file: every frame's location
+/// plus the parsed footer. Built by [`FrameIndex::scan`] in one pass that
+/// reads only headers — CRCs are validated later, lazily, by the cursor.
+#[derive(Debug, Clone)]
+pub struct FrameIndex {
+    frames: Vec<FrameEntry>,
+    footer: Footer,
+}
+
+impl FrameIndex {
+    /// Scans `bytes` (a whole rank file) for frame boundaries. Strict about
+    /// structure — bad magic, a torn tail, a missing or lying footer are
+    /// typed errors, exactly as the streaming reader treats them — but
+    /// deliberately skips all CRC and record-decode work: a 1 GiB file
+    /// indexes by touching ~13 bytes per frame.
+    pub fn scan(bytes: &[u8]) -> Result<Self, TraceError> {
+        if bytes.len() < 4 || &bytes[..4] == MAGIC {
+            return Err(TraceError::Corrupt(
+                "out-of-core access needs a framed (MPG2) file".into(),
+            ));
+        }
+        if &bytes[..4] != MAGIC2 {
+            return Err(TraceError::Corrupt(format!(
+                "bad magic {:?}, expected {MAGIC2:?}",
+                &bytes[..4]
+            )));
+        }
+        let mut frames = Vec::new();
+        let mut pos = 4usize;
+        loop {
+            let Some(&marker) = bytes.get(pos) else {
+                return Err(TraceError::Unsealed(
+                    "stream ended without a sealed footer (writer crashed?)".into(),
+                ));
+            };
+            match marker {
+                FRAME_MARKER => {
+                    let hdr = parse_frame_header(&bytes[pos..]).ok_or_else(|| {
+                        TraceError::Corrupt(format!("bad frame header at offset {pos}"))
+                    })?;
+                    let payload_off = pos + FRAME_HEADER_LEN;
+                    let end = payload_off + hdr.len;
+                    if end > bytes.len() {
+                        return Err(TraceError::Unsealed("truncated frame payload".into()));
+                    }
+                    let mut head = &bytes[payload_off..end];
+                    let first_seq = get_varint(&mut head)?;
+                    frames.push(FrameEntry {
+                        payload_off,
+                        payload_len: hdr.len,
+                        first_seq,
+                    });
+                    pos = end;
+                }
+                FOOTER_MARKER => {
+                    if pos + FOOTER_LEN > bytes.len() {
+                        return Err(TraceError::Unsealed("truncated footer".into()));
+                    }
+                    let footer = Footer::parse_strict(&bytes[pos..])?;
+                    if pos + FOOTER_LEN != bytes.len() {
+                        return Err(TraceError::Corrupt(
+                            "trailing bytes after sealed footer".into(),
+                        ));
+                    }
+                    if footer.frames != frames.len() as u64 {
+                        return Err(TraceError::Corrupt(format!(
+                            "footer says {} frames, index found {}",
+                            footer.frames,
+                            frames.len()
+                        )));
+                    }
+                    return Ok(Self { frames, footer });
+                }
+                other => {
+                    return Err(TraceError::Corrupt(format!(
+                        "expected frame or footer marker at offset {pos}, found byte {other:#04x}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Record count promised by the footer.
+    pub fn num_records(&self) -> u64 {
+        self.footer.records
+    }
+
+    /// The sealed footer.
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// The indexed frames, in file order.
+    pub fn frames(&self) -> &[FrameEntry] {
+        &self.frames
+    }
+}
+
+/// Lazily decodes one rank's records straight off a [`MappedFile`], frame
+/// by frame. CRC validation (per-frame and the chained whole-file
+/// checksum), sequence contiguity and footer counts are enforced exactly
+/// as in the strict streaming reader — only *later*, when each frame is
+/// first touched. Peak heap is the decoder state: payload bytes are read
+/// in place from the map.
+pub struct FrameCursor {
+    map: Arc<MappedFile>,
+    index: Arc<FrameIndex>,
+    decoder: Decoder,
+    /// Next frame to open.
+    next_frame: usize,
+    /// Remaining byte range of the currently open frame's record body.
+    body: std::ops::Range<usize>,
+    payload_crc: u32,
+    records_seen: u64,
+    last_t_end: u64,
+    failed: bool,
+    finished: bool,
+    /// Byte offset below which consumed frames have been released back to
+    /// the kernel ([`MappedFile::release`]).
+    retired: usize,
+}
+
+/// Consumed frames are released to the kernel in chunks of at least this
+/// many bytes — large enough that the `madvise` syscall cost vanishes,
+/// small enough that peak RSS stays within a few MiB of the live window.
+const RETIRE_CHUNK: usize = 1 << 20;
+
+impl FrameCursor {
+    /// Creates a cursor over a scanned file, attributing records to `rank`.
+    pub fn new(map: Arc<MappedFile>, index: Arc<FrameIndex>, rank: u32) -> Self {
+        Self {
+            map,
+            index,
+            decoder: Decoder::new(rank),
+            next_frame: 0,
+            body: 0..0,
+            payload_crc: 0,
+            records_seen: 0,
+            last_t_end: 0,
+            failed: false,
+            finished: false,
+            retired: 0,
+        }
+    }
+
+    /// Opens the next frame: validates its CRC, checks sequence contiguity
+    /// and advances the chained checksum. Returns false at end of frames.
+    fn open_next_frame(&mut self) -> Result<bool, TraceError> {
+        let Some(entry) = self.index.frames().get(self.next_frame).copied() else {
+            // Stream exhausted: everything before the footer is history.
+            self.retire_below(self.map.len());
+            return Ok(false);
+        };
+        // Everything before this frame's header has been fully consumed;
+        // hand those pages back once enough have accumulated.
+        self.retire_below(entry.payload_off.saturating_sub(FRAME_HEADER_LEN));
+        let payload = &self.map.bytes()[entry.payload_off..entry.payload_off + entry.payload_len];
+        let hdr = parse_frame_header(&self.map.bytes()[entry.payload_off - FRAME_HEADER_LEN..])
+            .ok_or_else(|| TraceError::Corrupt("frame header vanished under cursor".into()))?;
+        if crc32c(payload) != hdr.crc {
+            return Err(TraceError::Checksum(format!(
+                "frame {} payload checksum mismatch",
+                self.next_frame
+            )));
+        }
+        self.payload_crc = crc32c_append(self.payload_crc, payload);
+        let mut head = payload;
+        let first_seq = get_varint(&mut head)?;
+        if first_seq != self.decoder.next_seq() {
+            return Err(TraceError::Corrupt(format!(
+                "frame sequence gap: expected {}, found {}",
+                self.decoder.next_seq(),
+                first_seq
+            )));
+        }
+        self.decoder.reset_frame(first_seq);
+        let body_start = entry.payload_off + (entry.payload_len - head.len());
+        self.body = body_start..entry.payload_off + entry.payload_len;
+        self.next_frame += 1;
+        Ok(true)
+    }
+
+    /// Releases consumed bytes below `upto` once at least [`RETIRE_CHUNK`]
+    /// of them have accumulated, keeping the cursor's resident window
+    /// bounded however large the file is.
+    fn retire_below(&mut self, upto: usize) {
+        if upto.saturating_sub(self.retired) >= RETIRE_CHUNK {
+            self.map.release(self.retired..upto);
+            self.retired = upto;
+        }
+    }
+
+    fn check_footer(&self) -> Result<(), TraceError> {
+        let footer = self.index.footer();
+        if footer.records != self.records_seen || footer.last_t_end != self.last_t_end {
+            return Err(TraceError::Corrupt(format!(
+                "footer counts disagree with stream: footer says {} records / last t_end {}, \
+                 stream had {} / {}",
+                footer.records, footer.last_t_end, self.records_seen, self.last_t_end
+            )));
+        }
+        if footer.payload_crc != self.payload_crc {
+            return Err(TraceError::Checksum(
+                "whole-file payload checksum mismatch".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn try_decode(&mut self) -> Result<Option<EventRecord>, TraceError> {
+        loop {
+            if !self.body.is_empty() {
+                let mut slice = &self.map.bytes()[self.body.clone()];
+                match self.decoder.decode(&mut slice)? {
+                    Some(rec) => {
+                        self.body.start = self.body.end - slice.len();
+                        self.records_seen += 1;
+                        self.last_t_end = rec.t_end;
+                        return Ok(Some(rec));
+                    }
+                    None => unreachable!("decode consumed an empty slice it was not given"),
+                }
+            }
+            if !self.open_next_frame()? {
+                if !self.finished {
+                    self.finished = true;
+                    self.check_footer()?;
+                }
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Decodes the remainder of the currently open frame plus the next
+    /// whole frame into `out`. Returns false once the stream is exhausted
+    /// (footer validated). This is the prefetch workers' unit of work: one
+    /// frame per channel send keeps the lookahead bound meaningful.
+    fn next_batch(&mut self, out: &mut Vec<EventRecord>) -> Result<bool, TraceError> {
+        if self.finished {
+            return Ok(false);
+        }
+        let stop_after = self.next_frame;
+        loop {
+            match self.try_decode()? {
+                Some(rec) => {
+                    out.push(rec);
+                    if self.body.is_empty() && self.next_frame > stop_after {
+                        return Ok(true);
+                    }
+                }
+                None => return Ok(!out.is_empty()),
+            }
+        }
+    }
+}
+
+impl Iterator for FrameCursor {
+    type Item = Result<EventRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.try_decode() {
+            Ok(Some(rec)) => Some(Ok(rec)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// A per-rank stream whose frames are decoded ahead of the consumer by a
+/// dedicated worker thread, at most `lookahead` frames deep. Dropping the
+/// stream stops and joins the worker.
+pub struct PrefetchStream {
+    rx: Option<Receiver<Result<Vec<EventRecord>, TraceError>>>,
+    handle: Option<JoinHandle<()>>,
+    current: std::vec::IntoIter<EventRecord>,
+    failed: bool,
+}
+
+impl PrefetchStream {
+    fn spawn(mut cursor: FrameCursor, lookahead: usize) -> Self {
+        let (tx, rx) = sync_channel(lookahead.max(1));
+        let handle = std::thread::spawn(move || loop {
+            let mut batch = Vec::new();
+            match cursor.next_batch(&mut batch) {
+                Ok(true) => {
+                    if tx.send(Ok(batch)).is_err() {
+                        return; // consumer gone
+                    }
+                }
+                Ok(false) => return,
+                Err(e) => {
+                    let _ = tx.send(Err(e));
+                    return;
+                }
+            }
+        });
+        Self {
+            rx: Some(rx),
+            handle: Some(handle),
+            current: Vec::new().into_iter(),
+            failed: false,
+        }
+    }
+}
+
+impl Iterator for PrefetchStream {
+    type Item = Result<EventRecord, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(rec) = self.current.next() {
+                return Some(Ok(rec));
+            }
+            match self.rx.as_ref()?.recv() {
+                Ok(Ok(batch)) => self.current = batch.into_iter(),
+                Ok(Err(e)) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+                Err(_) => return None, // worker finished cleanly
+            }
+        }
+    }
+}
+
+impl Drop for PrefetchStream {
+    fn drop(&mut self) {
+        // Disconnect first so a worker blocked on a full channel wakes up,
+        // then join it.
+        drop(self.rx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// An on-disk trace set opened for out-of-core reading: every rank file
+/// mapped and frame-indexed, nothing decoded. Decode cost is paid lazily,
+/// per frame, by whichever stream (or prefetch worker) first touches it.
+#[derive(Debug)]
+pub struct OocTraceSet {
+    dir: PathBuf,
+    maps: Vec<Arc<MappedFile>>,
+    indexes: Vec<Arc<FrameIndex>>,
+}
+
+impl OocTraceSet {
+    /// Default frame lookahead per rank for [`OocTraceSet::streams_prefetch`].
+    pub const DEFAULT_LOOKAHEAD: usize = 4;
+
+    /// Opens `dir` (a [`crate::FileTraceSet`] directory), mapping and
+    /// indexing every rank file. Strict like `FileTraceSet::open`: all
+    /// ranks must be present, framed and sealed.
+    pub fn open(dir: &Path) -> Result<Self, TraceError> {
+        let ranks = crate::FileTraceSet::read_meta(dir)?;
+        let missing: Vec<u32> = (0..ranks)
+            .filter(|&r| !crate::FileTraceSet::rank_path(dir, r).exists())
+            .map(|r| r as u32)
+            .collect();
+        if !missing.is_empty() {
+            return Err(TraceError::MissingRanks(missing));
+        }
+        let mut maps = Vec::with_capacity(ranks);
+        let mut indexes = Vec::with_capacity(ranks);
+        for r in 0..ranks {
+            let map = MappedFile::open(&crate::FileTraceSet::rank_path(dir, r))?;
+            let index = FrameIndex::scan(map.bytes()).map_err(|e| match e {
+                TraceError::Corrupt(m) => TraceError::Corrupt(format!("rank {r}: {m}")),
+                TraceError::Unsealed(m) => TraceError::Unsealed(format!("rank {r}: {m}")),
+                other => other,
+            })?;
+            maps.push(Arc::new(map));
+            indexes.push(Arc::new(index));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            maps,
+            indexes,
+        })
+    }
+
+    /// The directory this set was opened from.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.maps.len()
+    }
+
+    /// Total records across ranks, from the footers (no decode).
+    pub fn total_records(&self) -> u64 {
+        self.indexes.iter().map(|i| i.num_records()).sum()
+    }
+
+    /// Total file bytes across ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.maps.iter().map(|m| m.len() as u64).sum()
+    }
+
+    /// One rank's frame index.
+    pub fn frame_index(&self, rank: usize) -> &FrameIndex {
+        &self.indexes[rank]
+    }
+
+    /// Lazy (same-thread) cursor over one rank.
+    pub fn cursor(&self, rank: usize) -> FrameCursor {
+        FrameCursor::new(
+            Arc::clone(&self.maps[rank]),
+            Arc::clone(&self.indexes[rank]),
+            rank as u32,
+        )
+    }
+
+    /// Per-rank lazy streams in the shape the replay engine consumes.
+    /// Decoding happens on the consuming thread, frame by frame.
+    pub fn streams(&self) -> Vec<BoxedEventStream<'static>> {
+        (0..self.num_ranks())
+            .map(|r| Box::new(self.cursor(r)) as BoxedEventStream<'static>)
+            .collect()
+    }
+
+    /// Per-rank streams decoded by worker threads with a bounded frame
+    /// lookahead (per rank). The consumer sees the same records in the
+    /// same order as [`OocTraceSet::streams`]; only the decode moves off
+    /// its thread.
+    pub fn streams_prefetch(&self, lookahead: usize) -> Vec<BoxedEventStream<'static>> {
+        (0..self.num_ranks())
+            .map(|r| {
+                Box::new(PrefetchStream::spawn(self.cursor(r), lookahead))
+                    as BoxedEventStream<'static>
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::fileset::MemTrace;
+    use crate::writer::TraceWriter;
+
+    fn rec(rank: u32, seq: u64, t: u64) -> EventRecord {
+        EventRecord {
+            rank,
+            seq,
+            t_start: t,
+            t_end: t + 5,
+            kind: EventKind::Compute { work: 5 },
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mpg-ooc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_set(dir: &Path, ranks: u32, per_rank: u64) -> MemTrace {
+        let mut t = MemTrace::new(ranks as usize);
+        for r in 0..ranks {
+            for s in 0..per_rank {
+                t.push(rec(r, s, s * 10));
+            }
+        }
+        // Small frames so the index has many entries.
+        std::fs::create_dir_all(dir).unwrap();
+        for r in 0..ranks as usize {
+            let f = File::create(crate::FileTraceSet::rank_path(dir, r)).unwrap();
+            let mut w = TraceWriter::new(std::io::BufWriter::new(f), 256);
+            for e in t.rank(r) {
+                w.record(e).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        std::fs::write(dir.join("meta.txt"), format!("ranks={ranks}\n")).unwrap();
+        t
+    }
+
+    #[test]
+    fn mapped_file_reads_back() {
+        let dir = tmp_dir("map");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("f.bin");
+        std::fs::write(&p, b"hello map").unwrap();
+        let m = MappedFile::open(&p).unwrap();
+        assert_eq!(m.bytes(), b"hello map");
+        assert_eq!(m.len(), 9);
+        assert!(!m.is_empty());
+        #[cfg(unix)]
+        assert!(m.is_mapped());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_as_empty() {
+        let dir = tmp_dir("map0");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("f.bin");
+        std::fs::write(&p, b"").unwrap();
+        let m = MappedFile::open(&p).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.bytes(), b"");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_counts_frames_and_records() {
+        let dir = tmp_dir("idx");
+        sample_set(&dir, 1, 500);
+        let set = OocTraceSet::open(&dir).unwrap();
+        assert_eq!(set.num_ranks(), 1);
+        assert_eq!(set.total_records(), 500);
+        let idx = set.frame_index(0);
+        assert!(idx.num_frames() > 3, "want many frames, got {idx:?}");
+        // first_seq values are strictly increasing.
+        let seqs: Vec<u64> = idx.frames().iter().map(|f| f.first_seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(seqs[0], 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cursor_matches_strict_reader() {
+        let dir = tmp_dir("cursor");
+        let t = sample_set(&dir, 2, 300);
+        let set = OocTraceSet::open(&dir).unwrap();
+        for r in 0..2 {
+            let out: Vec<_> = set.cursor(r).collect::<Result<_, _>>().unwrap();
+            assert_eq!(out, t.rank(r));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefetch_streams_match_lazy_streams() {
+        let dir = tmp_dir("prefetch");
+        let t = sample_set(&dir, 3, 400);
+        let set = OocTraceSet::open(&dir).unwrap();
+        for (r, s) in set.streams_prefetch(2).into_iter().enumerate() {
+            let out: Vec<_> = s.collect::<Result<_, _>>().unwrap();
+            assert_eq!(out, t.rank(r), "rank {r}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropping_prefetch_early_joins_worker() {
+        let dir = tmp_dir("drop");
+        sample_set(&dir, 1, 2000);
+        let set = OocTraceSet::open(&dir).unwrap();
+        let mut streams = set.streams_prefetch(1);
+        let mut s = streams.pop().unwrap();
+        // Consume a couple of records, then drop mid-stream: the worker
+        // must unblock and exit (Drop joins it; a deadlock hangs the test).
+        assert!(s.next().unwrap().is_ok());
+        assert!(s.next().unwrap().is_ok());
+        drop(s);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_frame_surfaces_lazily() {
+        let dir = tmp_dir("lazycrc");
+        sample_set(&dir, 1, 500);
+        // Flip a byte inside a late frame's payload: the scan must still
+        // succeed (it reads no payload), the cursor must fail on decode.
+        let p = crate::FileTraceSet::rank_path(&dir, 0);
+        let mut bytes = std::fs::read(&p).unwrap();
+        let set_len = bytes.len();
+        bytes[set_len / 2] ^= 0x20;
+        std::fs::write(&p, &bytes).unwrap();
+        let set = OocTraceSet::open(&dir).expect("scan ignores payload damage");
+        let results: Vec<_> = set.cursor(0).collect();
+        assert!(results.iter().any(|r| r.is_err()));
+        assert!(results.first().unwrap().is_ok(), "early frames still read");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unsealed_file_fails_scan() {
+        let dir = tmp_dir("unsealed");
+        sample_set(&dir, 1, 200);
+        let p = crate::FileTraceSet::rank_path(&dir, 0);
+        let bytes = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &bytes[..bytes.len() - FOOTER_LEN - 1]).unwrap();
+        assert!(matches!(
+            OocTraceSet::open(&dir),
+            Err(TraceError::Unsealed(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn legacy_v1_refused() {
+        let dir = tmp_dir("legacy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut w = TraceWriter::legacy_v1(Vec::new(), 1 << 16);
+        for s in 0..10 {
+            w.record(&rec(0, s, s * 10)).unwrap();
+        }
+        std::fs::write(crate::FileTraceSet::rank_path(&dir, 0), w.finish().unwrap()).unwrap();
+        std::fs::write(dir.join("meta.txt"), "ranks=1\n").unwrap();
+        assert!(matches!(
+            OocTraceSet::open(&dir),
+            Err(TraceError::Corrupt(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -131,26 +131,32 @@ impl RankSalvage {
     }
 }
 
-/// Decodes one frame payload standalone. Returns the frame's first
-/// sequence number, the records that decoded, and an error note if the
-/// payload ended mid-record despite its CRC passing.
-fn decode_payload(
+/// Decodes one frame payload standalone, feeding records to `sink`.
+/// Returns the frame's first sequence number, how many records decoded,
+/// and an error note if the payload ended mid-record despite its CRC
+/// passing. Decoding is deterministic, so a second pass over the same
+/// payload yields the identical records and note.
+fn decode_payload_into(
     rank: u32,
     payload: &[u8],
-) -> Result<(u64, Vec<EventRecord>, Option<String>), ()> {
+    sink: &mut dyn FnMut(EventRecord),
+) -> Result<(u64, u64, Option<String>), ()> {
     let mut body = payload;
     let first_seq = get_varint(&mut body).map_err(|_| ())?;
     let mut dec = Decoder::new(rank);
     dec.reset_frame(first_seq);
-    let mut records = Vec::new();
+    let mut count = 0u64;
     loop {
         match dec.decode(&mut body) {
-            Ok(Some(rec)) => records.push(rec),
-            Ok(None) => return Ok((first_seq, records, None)),
+            Ok(Some(rec)) => {
+                count += 1;
+                sink(rec);
+            }
+            Ok(None) => return Ok((first_seq, count, None)),
             Err(e) => {
                 return Ok((
                     first_seq,
-                    records,
+                    count,
                     Some(format!("record decode failed inside CRC-valid frame: {e}")),
                 ))
             }
@@ -171,11 +177,28 @@ fn resync(bytes: &[u8], from: usize) -> Option<usize> {
 /// Salvages whatever records survive in `bytes`, attributing them to
 /// `rank`. Never fails: damage is reported, not raised.
 pub fn salvage_bytes(rank: u32, bytes: &[u8]) -> (Vec<EventRecord>, RankSalvage) {
+    let mut records = Vec::new();
+    let report = salvage_into(rank, bytes, &mut |rec| records.push(rec));
+    (records, report)
+}
+
+/// Sink-driven salvage core: like [`salvage_bytes`] but recovered records
+/// are pushed to `sink` instead of collected, in recovery order (sorted,
+/// deduplicated). With a discarding sink this produces a damage report
+/// without ever materializing the trace — peak memory is per-frame
+/// metadata, which is what lets `mpgtool fsck` audit rank files far
+/// larger than RAM.
+///
+/// The cost of that bound is one extra decode: pass 1 counts each frame's
+/// records (to do gap accounting before the sort), pass 2 re-decodes the
+/// surviving frames into the sink. Salvage is a cold recovery path, so
+/// the trade goes to memory.
+pub fn salvage_into(rank: u32, bytes: &[u8], sink: &mut dyn FnMut(EventRecord)) -> RankSalvage {
     let mut s = RankSalvage::new(rank);
     s.file_len = bytes.len() as u64;
 
     if bytes.len() >= 4 && &bytes[..4] == MAGIC {
-        return salvage_legacy(rank, bytes, s);
+        return salvage_legacy(rank, bytes, s, sink);
     }
 
     let mut pos = if bytes.len() >= 4 && &bytes[..4] == MAGIC2 {
@@ -187,27 +210,30 @@ pub fn salvage_bytes(rank: u32, bytes: &[u8]) -> (Vec<EventRecord>, RankSalvage)
         0
     };
 
-    // Pass 1: collect every CRC-valid frame and the footer, resyncing
-    // past damaged regions.
-    let mut frames: Vec<(u64, Vec<EventRecord>)> = Vec::new();
+    // Pass 1: locate every CRC-valid frame and the footer, resyncing past
+    // damaged regions. Only each frame's position, first_seq and record
+    // count are kept — records are decoded again into the sink in pass 2,
+    // so memory stays O(frames), not O(records).
+    let mut frames: Vec<(u64, u64, std::ops::Range<usize>)> = Vec::new();
     let mut footer: Option<Footer> = None;
     while pos < bytes.len() {
         if let Some((payload, total)) = checked_frame_at(&bytes[pos..]) {
-            match decode_payload(rank, payload) {
-                Ok((first_seq, records, err_note)) => {
+            match decode_payload_into(rank, payload, &mut |_| {}) {
+                Ok((first_seq, count, err_note)) => {
                     if let Some(note) = err_note {
                         s.notes.push(note);
                     }
                     // Out-of-order frames (reordered writeback) are fully
                     // recoverable via the pass-2 sort, but the file is not
                     // *clean*: the strict reader would refuse it.
-                    if frames.last().is_some_and(|&(p, _)| first_seq < p) {
+                    if frames.last().is_some_and(|(p, _, _)| first_seq < *p) {
                         s.notes.push(format!(
                             "frame order violation: seq {first_seq} arrived late"
                         ));
                     }
                     s.frames_recovered += 1;
-                    frames.push((first_seq, records));
+                    let start = pos + (total - payload.len());
+                    frames.push((first_seq, count, start..start + payload.len()));
                 }
                 Err(()) => {
                     s.frames_dropped += 1;
@@ -259,12 +285,11 @@ pub fn salvage_bytes(rank: u32, bytes: &[u8]) -> (Vec<EventRecord>, RankSalvage)
     // Pass 2: order surviving frames by first sequence number and drop
     // duplicates/overlaps. Frame duplication or reordering (replayed
     // buffers, spliced files) then costs nothing: every record is still
-    // recovered exactly once, in order.
-    frames.sort_by_key(|(first_seq, _)| *first_seq);
-    let mut records: Vec<EventRecord> = Vec::new();
+    // recovered exactly once, in order. Surviving frames are decoded a
+    // second time, straight into the sink.
+    frames.sort_by_key(|(first_seq, _, _)| *first_seq);
     let mut expected_seq = 0u64;
-    for (first_seq, frame_records) in frames {
-        let n = frame_records.len() as u64;
+    for (first_seq, n, payload_range) in frames {
         if first_seq > expected_seq {
             s.records_lost += first_seq - expected_seq;
             s.notes.push(format!(
@@ -278,9 +303,10 @@ pub fn salvage_bytes(rank: u32, bytes: &[u8]) -> (Vec<EventRecord>, RankSalvage)
             continue;
         }
         expected_seq = first_seq + n;
-        records.extend(frame_records);
+        s.records_recovered += n;
+        // The pass-1 note (if any) already covers a mid-payload failure.
+        let _ = decode_payload_into(rank, &bytes[payload_range], sink);
     }
-    s.records_recovered = records.len() as u64;
 
     if let Some(f) = footer {
         if f.records > expected_seq {
@@ -299,17 +325,24 @@ pub fn salvage_bytes(rank: u32, bytes: &[u8]) -> (Vec<EventRecord>, RankSalvage)
             ));
         }
     }
-    (records, s)
+    s
 }
 
-fn salvage_legacy(rank: u32, bytes: &[u8], mut s: RankSalvage) -> (Vec<EventRecord>, RankSalvage) {
+fn salvage_legacy(
+    rank: u32,
+    bytes: &[u8],
+    mut s: RankSalvage,
+    sink: &mut dyn FnMut(EventRecord),
+) -> RankSalvage {
     s.seal = SealStatus::LegacyV1;
     let mut dec = Decoder::new(rank);
     let mut input = &bytes[4..];
-    let mut records = Vec::new();
     loop {
         match dec.decode(&mut input) {
-            Ok(Some(rec)) => records.push(rec),
+            Ok(Some(rec)) => {
+                s.records_recovered += 1;
+                sink(rec);
+            }
             Ok(None) => break,
             Err(e) => {
                 // v1 has no frames to resync to: everything after the
@@ -318,14 +351,13 @@ fn salvage_legacy(rank: u32, bytes: &[u8], mut s: RankSalvage) -> (Vec<EventReco
                 s.truncated_tail = true;
                 s.notes.push(format!(
                     "legacy stream unreadable past record {}: {e}",
-                    records.len()
+                    s.records_recovered
                 ));
                 break;
             }
         }
     }
-    s.records_recovered = records.len() as u64;
-    (records, s)
+    s
 }
 
 #[cfg(test)]

@@ -46,7 +46,7 @@ fn main() {
         "graph: {} nodes, {} edges ({} message edges)",
         graph.node_count(),
         graph.edge_count(),
-        graph.edges().iter().filter(|e| e.is_message).count()
+        graph.edges().filter(|e| e.is_message).count()
     );
     print!("{}", to_dot(&graph, "message-passing graph (Fig. 5)"));
 }
