@@ -1,0 +1,267 @@
+//! Shared reader/writer for the tracked `BENCH_*.json` snapshot
+//! documents.
+//!
+//! [`perf`](crate::perf) (`BENCH_replay.json`) and
+//! [`lintperf`](crate::lintperf) (`BENCH_lint.json`) round-trip through
+//! the same hand-rolled document shape: a flat object with a
+//! `calibration_iters_per_sec` key, optional section objects, and a
+//! `"workloads"` array of named throughput entries. The workspace carries
+//! no JSON dependency, so both the writer and the deliberately tolerant
+//! line-scanning readers live here — in one place — instead of being
+//! copy-pasted per snapshot kind.
+
+use crate::perf::WorkloadPerf;
+
+/// Extracts the first numeric value stored under `key` in a snapshot
+/// document. Line-scanned: each line is trimmed and matched against
+/// `"key":`, so the match is exact on the key (a longer key that merely
+/// ends with `key` does not match).
+pub fn number(json: &str, key: &str) -> Option<f64> {
+    let prefix = format!("\"{key}\":");
+    json.lines().find_map(|line| {
+        line.trim()
+            .strip_prefix(prefix.as_str())?
+            .trim()
+            .trim_end_matches(',')
+            .parse::<f64>()
+            .ok()
+    })
+}
+
+/// Extracts the recorded host calibration, if present (older documents
+/// lack the key).
+pub fn calibration(json: &str) -> Option<f64> {
+    number(json, "calibration_iters_per_sec")
+}
+
+/// Extracts `(name, events_per_sec)` pairs from the `"workloads"` array.
+/// A `"name"` key not followed by an `"events_per_sec"` key (e.g. inside
+/// the `"ooc"` or `"cache"` section) is discarded, not mispaired.
+pub fn events_per_sec(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut pending_name: Option<String> = None;
+    for line in json.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"name\":") {
+            let name = rest.trim().trim_end_matches(',').trim_matches('"');
+            pending_name = Some(name.to_string());
+        } else if let Some(rest) = line.strip_prefix("\"events_per_sec\":") {
+            if let (Some(name), Ok(eps)) = (
+                pending_name.take(),
+                rest.trim().trim_end_matches(',').parse::<f64>(),
+            ) {
+                out.push((name, eps));
+            }
+        }
+    }
+    out
+}
+
+/// The host-speed scale a regression gate applies to recorded floors: the
+/// ratio of the current calibration to the recorded one, capped at 1.0 so
+/// a loaded (or weaker) host loosens the gate but a faster host never
+/// tightens it. A document without a calibration gates unscaled.
+pub fn host_scale(recorded_json: &str, current_calibration: f64) -> f64 {
+    calibration(recorded_json)
+        .filter(|rec_cal| *rec_cal > 0.0 && current_calibration > 0.0)
+        .map_or(1.0, |rec_cal| (current_calibration / rec_cal).min(1.0))
+}
+
+/// Appends the shared document header fields: the `"bench"` tag, the rep
+/// count, and the host calibration.
+pub fn write_header(out: &mut String, bench: &str, reps: u32, calibration: f64) {
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!(
+        "  \"calibration_iters_per_sec\": {calibration:.0},\n"
+    ));
+}
+
+/// Appends a `"notes"` string array (double quotes inside a note are
+/// rewritten to single quotes — the tolerant parsers never unescape).
+/// Writes nothing when `notes` is empty.
+pub fn write_notes(out: &mut String, notes: &[String]) {
+    if notes.is_empty() {
+        return;
+    }
+    out.push_str("  \"notes\": [\n");
+    for (i, n) in notes.iter().enumerate() {
+        let sep = if i + 1 == notes.len() { "" } else { "," };
+        out.push_str(&format!("    \"{}\"{sep}\n", n.replace('"', "'")));
+    }
+    out.push_str("  ],\n");
+}
+
+/// Appends the `"workloads"` array and the closing `}` of the document.
+///
+/// `scheduler` controls the replay-specific keys (`scheduler_wakeups`,
+/// `polls_avoided`); `baselines` supplies per-workload polling baselines
+/// (empty to omit the comparison keys).
+pub fn write_workloads(
+    out: &mut String,
+    workloads: &[WorkloadPerf],
+    scheduler: bool,
+    baselines: &[(&str, f64)],
+) {
+    out.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
+        out.push_str(&format!("      \"ranks\": {},\n", w.ranks));
+        out.push_str(&format!("      \"events\": {},\n", w.events));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {:.0}",
+            w.events_per_sec
+        ));
+        if scheduler {
+            out.push_str(&format!(
+                ",\n      \"scheduler_wakeups\": {},\n",
+                w.scheduler_wakeups
+            ));
+            out.push_str(&format!("      \"polls_avoided\": {}", w.polls_avoided));
+        }
+        let baseline = baselines
+            .iter()
+            .find(|(n, _)| *n == w.name)
+            .map(|(_, eps)| *eps);
+        if let Some(b) = baseline {
+            out.push_str(&format!(
+                ",\n      \"polling_baseline_events_per_sec\": {b:.0},\n"
+            ));
+            out.push_str(&format!(
+                "      \"speedup_vs_polling\": {:.2}\n",
+                w.events_per_sec / b
+            ));
+        } else {
+            out.push('\n');
+        }
+        out.push_str(if i + 1 == workloads.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+}
+
+/// The shared per-workload throughput gate: one message per current
+/// workload whose `events_per_sec` fell more than `threshold_pct` percent
+/// below the recorded value, with the recorded floor scaled by
+/// `host_scale` first. Workloads present on only one side are ignored
+/// (the pinned set may grow). `what` names the measured quantity in the
+/// message ("events/sec", "lint events/sec").
+pub fn throughput_regressions(
+    recorded_json: &str,
+    current: &[WorkloadPerf],
+    host_scale: f64,
+    threshold_pct: f64,
+    what: &str,
+) -> Vec<String> {
+    let recorded = events_per_sec(recorded_json);
+    let mut msgs = Vec::new();
+    for w in current {
+        let Some((_, rec_eps)) = recorded.iter().find(|(n, _)| *n == w.name) else {
+            continue;
+        };
+        let scaled = rec_eps * host_scale;
+        let floor = scaled * (1.0 - threshold_pct / 100.0);
+        if w.events_per_sec < floor {
+            msgs.push(format!(
+                "{}: {:.0} {what} is {:.1}% below the recorded {:.0} \
+                 (host-speed scale {:.2}, allowed drop {:.0}%)",
+                w.name,
+                w.events_per_sec,
+                (1.0 - w.events_per_sec / scaled) * 100.0,
+                rec_eps,
+                host_scale,
+                threshold_pct
+            ));
+        }
+    }
+    msgs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl(name: &str, eps: f64) -> WorkloadPerf {
+        WorkloadPerf {
+            name: name.into(),
+            ranks: 8,
+            events: 1000,
+            events_per_sec: eps,
+            scheduler_wakeups: 10,
+            polls_avoided: 5,
+        }
+    }
+
+    #[test]
+    fn writer_reader_roundtrip_both_shapes() {
+        for scheduler in [false, true] {
+            let mut doc = String::new();
+            write_header(&mut doc, "test_bench", 3, 2.0e9);
+            write_notes(&mut doc, &["has \"quotes\"".to_string()]);
+            write_workloads(
+                &mut doc,
+                &[wl("a", 1.0e6), wl("token-ring-16", 2.0e6)],
+                scheduler,
+                &[("token-ring-16", 1.0e6)],
+            );
+            assert_eq!(calibration(&doc), Some(2.0e9));
+            assert_eq!(number(&doc, "reps"), Some(3.0));
+            assert_eq!(
+                events_per_sec(&doc),
+                vec![
+                    ("a".to_string(), 1.0e6),
+                    ("token-ring-16".to_string(), 2.0e6)
+                ]
+            );
+            assert_eq!(number(&doc, "speedup_vs_polling"), Some(2.0));
+            assert!(doc.contains("has 'quotes'"));
+            assert_eq!(doc.contains("scheduler_wakeups"), scheduler);
+        }
+    }
+
+    #[test]
+    fn key_match_is_exact_not_suffix() {
+        let doc = "{\n  \"threads_only_configs_per_sec\": 100.0,\n  \
+                   \"configs_per_sec\": 400.0\n}\n";
+        assert_eq!(number(doc, "configs_per_sec"), Some(400.0));
+    }
+
+    #[test]
+    fn section_names_do_not_mispair() {
+        let mut doc = String::new();
+        write_header(&mut doc, "t", 1, 1.0e9);
+        // A section object with a "name" but no "events_per_sec", like the
+        // ooc/cache sections.
+        doc.push_str(
+            "  \"cache\": {\n    \"name\": \"ooc-stencil-1024\",\n    \
+                      \"cold_secs\": 10.0\n  },\n",
+        );
+        write_workloads(&mut doc, &[wl("a", 1.0e6)], false, &[]);
+        assert_eq!(events_per_sec(&doc), vec![("a".to_string(), 1.0e6)]);
+    }
+
+    #[test]
+    fn host_scale_caps_at_one_and_defaults_unscaled() {
+        let mut doc = String::new();
+        write_header(&mut doc, "t", 1, 1.0e9);
+        assert_eq!(host_scale(&doc, 0.5e9), 0.5);
+        assert_eq!(host_scale(&doc, 2.0e9), 1.0);
+        assert_eq!(host_scale("{}", 0.5e9), 1.0);
+    }
+
+    #[test]
+    fn gate_messages_name_the_quantity() {
+        let mut doc = String::new();
+        write_header(&mut doc, "t", 1, 1.0e9);
+        write_workloads(&mut doc, &[wl("a", 1.0e6)], false, &[]);
+        let msgs = throughput_regressions(&doc, &[wl("a", 5.0e5)], 1.0, 20.0, "lint events/sec");
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("lint events/sec"), "{msgs:?}");
+        assert!(throughput_regressions(&doc, &[wl("a", 9.0e5)], 1.0, 20.0, "x").is_empty());
+    }
+}

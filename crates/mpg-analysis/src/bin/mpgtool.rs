@@ -80,15 +80,30 @@
 //! mpgtool diff <trace-dir-a> <trace-dir-b>
 //!     Compare two traces' per-kind time accounting.
 //!
-//! mpgtool bench [--lint] [--no-ooc] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
+//! mpgtool cache <ls|gc|clear> [--cache-dir DIR] [--max-mib N]
+//!     Manage the content-addressed artifact cache. `ls` lists entries,
+//!     `gc` evicts oldest-first down to --max-mib (default 512), `clear`
+//!     empties the cache.
+//!
+//! mpgtool bench [--lint] [--no-ooc] [--no-cache] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
 //!     Measure replay throughput (events/sec) on the pinned seed workloads.
 //!     With --out, write the machine-readable snapshot (BENCH_replay.json).
 //!     With --check, compare against a recorded snapshot and exit nonzero
 //!     if any workload regressed by more than PCT percent (default 20).
 //!     With --lint, measure full static-analysis (`lint_full`) throughput
 //!     on the pinned lint workloads instead (snapshot BENCH_lint.json).
+//!     --no-cache skips the cold/warm artifact-cache comparison.
 //! ```
+//!
+//! `lint`, `analyze`, and `replay` accept `--cache` (or `--cache-dir DIR`,
+//! which implies it): finished reports and the recorded graph (as an MPGA
+//! artifact) are memoized in a content-addressed on-disk cache keyed by
+//! the trace's sealed-footer CRC chain, so repeat runs skip frame decode
+//! and graph recording entirely. Cached output is byte-identical to a
+//! cold run; cache status notes go to stderr. Salvaged, unsealed, and
+//! history-logging runs are never cached.
 
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -98,7 +113,10 @@ use mpg_apps::{
     AllreduceSolver, GridSumma, MasterWorker, Pipeline, Stencil, TokenRing, Transpose, Workload,
 };
 use mpg_core::timeline::render_trace_gantt;
-use mpg_core::{dot, PerturbationModel, ReplayConfig, Replayer};
+use mpg_core::{
+    cached_recorded_graph, dot, ArtifactKind, CacheStore, CachedReport, PerturbationModel,
+    ReplayConfig, Replayer,
+};
 use mpg_noise::{Dist, PlatformSignature};
 use mpg_sim::Simulation;
 use mpg_trace::{
@@ -125,25 +143,81 @@ fn usage() -> ExitCode {
     );
     eprintln!("  mpgtool stats <trace-dir>");
     eprintln!("  mpgtool validate <trace-dir> [--json]");
-    eprintln!("  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage]");
+    eprintln!(
+        "  mpgtool lint <trace-dir> [--json] [--all] [--deny <MPG-RULE>]... [--salvage] \
+         [--cache] [--cache-dir DIR]"
+    );
     eprintln!("  mpgtool lint --rules [--json]   (print the MPG-* rule registry)");
     eprintln!("  mpgtool lint --explain <MPG-RULE> [--json]");
-    eprintln!("  mpgtool analyze <trace-dir> [--json] [--top K] [--salvage]");
+    eprintln!(
+        "  mpgtool analyze <trace-dir> [--json] [--top K] [--salvage] \
+         [--cache] [--cache-dir DIR]"
+    );
     eprintln!("  mpgtool fsck <trace-dir> [--json] [--inject KIND [--seed S] [--out DIR]]");
     eprintln!(
         "  mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES] [--per-byte CPB] \
-         [--seed S] [--history FILE] [--lint] [--salvage] [--ooc] [--shards N]"
+         [--seed S] [--history FILE] [--lint] [--salvage] [--ooc] [--shards N] \
+         [--cache] [--cache-dir DIR]"
     );
+    eprintln!("  mpgtool cache <ls|gc|clear> [--cache-dir DIR] [--max-mib N]");
     eprintln!("  mpgtool dot <trace-dir>");
     eprintln!("  mpgtool export <trace-dir>");
     eprintln!("  mpgtool import <text-file> <trace-dir>");
     eprintln!("  mpgtool timeline <trace-dir> [--width N]");
     eprintln!("  mpgtool diff <trace-dir-a> <trace-dir-b>");
     eprintln!(
-        "  mpgtool bench [--lint] [--no-ooc] [--out FILE] [--check FILE] \
+        "  mpgtool bench [--lint] [--no-ooc] [--no-cache] [--out FILE] [--check FILE] \
          [--threshold PCT] [--reps N]"
     );
     ExitCode::from(2)
+}
+
+/// Parses `--cache` / `--cache-dir DIR` (the latter implies the former)
+/// and opens the store. `Ok(None)` when caching was not requested.
+fn take_cache(args: &mut Vec<String>) -> Result<Option<CacheStore>, String> {
+    let dir = take_flag(args, "--cache-dir");
+    if !take_switch(args, "--cache") && dir.is_none() {
+        return Ok(None);
+    }
+    let root = dir.map_or_else(CacheStore::default_dir, PathBuf::from);
+    CacheStore::open(&root)
+        .map(Some)
+        .map_err(|e| format!("opening cache {}: {e}", root.display()))
+}
+
+/// Content fingerprint of a trace directory for cache keying. Traces that
+/// cannot be fingerprinted cheaply — unsealed, salvaged, legacy — run
+/// cold and are never cached; the note goes to stderr so stdout stays
+/// byte-identical to an uncached run.
+fn cache_trace_key(dir: &str) -> Option<String> {
+    match mpg_trace::trace_fingerprint(Path::new(dir)) {
+        Ok(fp) => Some(fp.key()),
+        Err(e) => {
+            eprintln!("mpgtool: cache: {e}; running cold without caching");
+            None
+        }
+    }
+}
+
+///// Warm-path lookup: when a cached report exists for `key`, replays its
+/// stdout and exit code. The hit note goes to stderr.
+fn cached_report_exit(store: &CacheStore, key: &str, what: &str) -> Option<ExitCode> {
+    let rep = store.get_report(key)?;
+    eprintln!("mpgtool: cache: warm hit ({what})");
+    print!("{}", rep.stdout);
+    Some(ExitCode::from(rep.exit_code))
+}
+
+/// Publishes a finished report; failures are nonfatal (the run already
+/// produced its output).
+fn publish_report(store: &CacheStore, key: &str, exit_code: u8, stdout: &str) {
+    let _ = store.put_report(
+        key,
+        &CachedReport {
+            exit_code,
+            stdout: stdout.to_string(),
+        },
+    );
 }
 
 /// Pulls `--flag value` out of `args`, returning the value.
@@ -475,6 +549,10 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     }
     let all = take_switch(&mut args, "--all");
     let salvage = take_switch(&mut args, "--salvage");
+    let cache = match take_cache(&mut args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
     let mut deny: Vec<Rule> = Vec::new();
     while let Some(code) = take_flag(&mut args, "--deny") {
         match Rule::from_code(&code) {
@@ -485,6 +563,31 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     let [dir] = args.as_slice() else {
         return fail("lint needs a trace directory");
     };
+    // Salvaged traces have no trustworthy content fingerprint — never
+    // cached.
+    let cache_ctx: Option<(CacheStore, String)> = if salvage {
+        None
+    } else {
+        cache.and_then(|store| cache_trace_key(dir).map(|key| (store, key)))
+    };
+    let report_key = cache_ctx.as_ref().map(|(_, trace_key)| {
+        let mut deny_codes: Vec<&str> = deny.iter().map(|r| r.code()).collect();
+        deny_codes.sort_unstable();
+        CacheStore::artifact_key(
+            trace_key,
+            ArtifactKind::Report,
+            &format!(
+                "cmd=lint;json={json};all={all};deny={};rules={}",
+                deny_codes.join(","),
+                mpg_lint::ruleset_fingerprint()
+            ),
+        )
+    });
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
+        if let Some(code) = cached_report_exit(store, key, "lint report") {
+            return code;
+        }
+    }
     let (trace, mut diags) = if salvage {
         match open_salvage(dir) {
             Ok((t, report)) => {
@@ -496,7 +599,10 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     } else {
         match open_trace(dir) {
             Ok(t) => {
-                let d = mpg_lint::lint_full(&t);
+                let d = match &cache_ctx {
+                    Some((store, trace_key)) => mpg_lint::lint_full_cached(&t, store, trace_key),
+                    None => mpg_lint::lint_full(&t),
+                };
                 (t, d)
             }
             Err(e) => return fail(&e),
@@ -516,11 +622,12 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .count();
+    let mut out = String::new();
     if json {
-        println!("{}", diags_to_json(&shown));
+        let _ = writeln!(out, "{}", diags_to_json(&shown));
     } else {
         for d in &shown {
-            println!("{d}");
+            let _ = writeln!(out, "{d}");
         }
         let hidden = diags.len() - shown.len();
         let mut summary =
@@ -534,13 +641,14 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
         if hidden > 0 {
             summary.push_str(&format!(" ({hidden} hidden; use --all)"));
         }
-        println!("{summary}");
+        let _ = writeln!(out, "{summary}");
     }
-    if errors > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    let exit_code: u8 = if errors > 0 { 1 } else { 0 };
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
+        publish_report(store, key, exit_code, &out);
     }
+    print!("{out}");
+    ExitCode::from(exit_code)
 }
 
 /// `mpgtool analyze`: static wait-state & slack analysis of a trace — no
@@ -555,17 +663,49 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
 fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
     let json = take_switch(&mut args, "--json");
     let salvage = take_switch(&mut args, "--salvage");
+    let cache = match take_cache(&mut args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
     let top: usize = take_flag(&mut args, "--top")
         .and_then(|v| v.parse().ok())
         .unwrap_or(5);
     let [dir] = args.as_slice() else {
         return fail("analyze needs a trace directory");
     };
+    let cfg = ReplayConfig::new(PerturbationModel::quiet("analyze"))
+        .seed(0)
+        .record_graph(true)
+        .crash_tolerant(salvage);
+    // Salvaged traces have no trustworthy content fingerprint — never
+    // cached.
+    let cache_ctx: Option<(CacheStore, String)> = if salvage {
+        None
+    } else {
+        cache.and_then(|store| cache_trace_key(dir).map(|key| (store, key)))
+    };
+    let report_key = cache_ctx.as_ref().map(|(_, trace_key)| {
+        CacheStore::artifact_key(
+            trace_key,
+            ArtifactKind::Report,
+            &format!(
+                "cmd=analyze;json={json};top={top};thresholds={:?};{}",
+                mpg_lint::PerfThresholds::default(),
+                cfg.fingerprint()
+            ),
+        )
+    });
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
+        if let Some(code) = cached_report_exit(store, key, "analyze report") {
+            return code;
+        }
+    }
+    let mut o = String::new();
     let trace = if salvage {
         match open_salvage(dir) {
             Ok((t, report)) => {
                 if !report.is_clean() && !json {
-                    println!("salvage: {report}");
+                    let _ = writeln!(o, "salvage: {report}");
                 }
                 t
             }
@@ -577,13 +717,21 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
             Err(e) => return fail(&e),
         }
     };
-    let cfg = ReplayConfig::new(PerturbationModel::quiet("analyze"))
-        .seed(0)
-        .record_graph(true)
-        .crash_tolerant(salvage);
-    let graph = match Replayer::new(cfg).run(&trace) {
-        Ok(r) => r.graph.expect("graph recorded"),
-        Err(e) => return fail(&format!("replay failed: {e}")),
+    // On a report miss with caching enabled, the recorded graph itself is
+    // still memoized as an MPGA artifact — a warm arena skips the
+    // recording replay even when the rendered report key changed (e.g. a
+    // different --top).
+    let graph = match &cache_ctx {
+        Some((store, trace_key)) => {
+            match cached_recorded_graph(store, trace_key, &trace, cfg.clone()) {
+                Ok((g, _hit)) => g,
+                Err(e) => return fail(&format!("replay failed: {e}")),
+            }
+        }
+        None => match Replayer::new(cfg).run(&trace) {
+            Ok(r) => r.graph.expect("graph recorded"),
+            Err(e) => return fail(&format!("replay failed: {e}")),
+        },
     };
     let report = mpg_lint::analyze_graph(&trace, &graph);
     if !report.identity_holds() {
@@ -597,7 +745,11 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
         ));
     }
     if json {
-        println!("{}", report.to_json());
+        let _ = writeln!(o, "{}", report.to_json());
+        if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
+            publish_report(store, key, 0, &o);
+        }
+        print!("{o}");
         return ExitCode::SUCCESS;
     }
 
@@ -609,14 +761,16 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
             mpg_analysis::table::pct(c as f64 / total as f64)
         }
     };
-    println!(
+    let _ = writeln!(
+        o,
         "analyze: {} ranks, makespan {} cycles, efficiency {} (identity exact: busy + waits == makespan x ranks)",
         report.ranks,
         report.makespan,
         mpg_analysis::table::pct(report.efficiency()),
     );
     if report.causality_clamps > 0 || report.retime_mismatches > 0 {
-        println!(
+        let _ = writeln!(
+            o,
             "warning: clock skew defeated {} cross-rank comparison(s) ({} re-time mismatch(es)); cross-rank attributions are approximate",
             report.causality_clamps, report.retime_mismatches
         );
@@ -639,7 +793,7 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
             share(report.wait[class.idx()]),
         ]);
     }
-    print!("{}", t.render());
+    let _ = write!(o, "{}", t.render());
 
     let mut t = Table::new("per rank", &["rank", "compute", "transfer", "wait", "busy"]);
     for r in &report.per_rank {
@@ -656,21 +810,21 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
             },
         ]);
     }
-    print!("{}", t.render());
+    let _ = write!(o, "{}", t.render());
 
     if !report.by_op.is_empty() {
         let mut t = Table::new("waits by operation", &["op", "count", "cycles"]);
         for k in report.by_op.iter().take(top) {
             t.row(vec![k.key.clone(), k.count.to_string(), k.wait.to_string()]);
         }
-        print!("{}", t.render());
+        let _ = write!(o, "{}", t.render());
     }
     if !report.by_tag.is_empty() {
         let mut t = Table::new("waits by tag", &["tag", "count", "cycles"]);
         for k in report.by_tag.iter().take(top) {
             t.row(vec![k.key.clone(), k.count.to_string(), k.wait.to_string()]);
         }
-        print!("{}", t.render());
+        let _ = write!(o, "{}", t.render());
     }
     if !report.collectives.is_empty() {
         let mut worst: Vec<_> = report.collectives.iter().collect();
@@ -701,7 +855,7 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
                 .to_string(),
             ]);
         }
-        print!("{}", t.render());
+        let _ = write!(o, "{}", t.render());
     }
     if !report.chains.is_empty() {
         let mut t = Table::new(
@@ -725,9 +879,10 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
                 c.wait_cycles.to_string(),
             ]);
         }
-        print!("{}", t.render());
+        let _ = write!(o, "{}", t.render());
     }
-    println!(
+    let _ = writeln!(
+        o,
         "slack: {} of {} edges are zero-slack (the static critical network); perturbations below an edge's slack are absorbed before reaching the finish",
         report.zero_slack_edges, report.edge_count
     );
@@ -739,8 +894,12 @@ fn cmd_analyze(mut args: Vec<String>) -> ExitCode {
         d
     };
     for d in &findings {
-        println!("{d}");
+        let _ = writeln!(o, "{d}");
     }
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
+        publish_report(store, key, 0, &o);
+    }
+    print!("{o}");
     ExitCode::SUCCESS
 }
 
@@ -761,6 +920,10 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     let lint = take_switch(&mut args, "--lint");
     let salvage = take_switch(&mut args, "--salvage");
     let ooc = take_switch(&mut args, "--ooc");
+    let cache = match take_cache(&mut args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
     let shards: usize = take_flag(&mut args, "--shards")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
@@ -794,6 +957,31 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         cfg = cfg.gate(mpg_lint::replay_gate());
     }
 
+    // Salvaged traces have no trustworthy fingerprint, and --history
+    // appends to an external store on every run — neither may short-circuit
+    // through the cache.
+    let cache_ctx: Option<(CacheStore, String)> = if salvage || history.is_some() {
+        None
+    } else {
+        cache.and_then(|store| cache_trace_key(dir).map(|key| (store, key)))
+    };
+    let report_key = cache_ctx.as_ref().map(|(_, trace_key)| {
+        CacheStore::artifact_key(
+            trace_key,
+            ArtifactKind::Report,
+            &format!(
+                "cmd=replay;os={os_mean};latency={latency};per_byte={per_byte};seed={seed};shards={shards};ooc={ooc};lint={lint};{}",
+                cfg.fingerprint()
+            ),
+        )
+    });
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
+        if let Some(code) = cached_report_exit(store, key, "replay report") {
+            return code;
+        }
+    }
+    let mut o = String::new();
+
     let run = if ooc {
         // Out-of-core: mmap the MPG2 files and stream frames lazily —
         // the trace is never materialized in memory.
@@ -801,7 +989,8 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
             Ok(s) => s,
             Err(e) => return fail(&format!("{e} — try `mpgtool fsck {dir}`")),
         };
-        println!(
+        let _ = writeln!(
+            o,
             "out-of-core: {} ranks, {} records, {} MiB mapped, {} shard(s)",
             set.num_ranks(),
             set.total_records(),
@@ -815,7 +1004,7 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
             match open_salvage(dir) {
                 Ok((t, report)) => {
                     if !report.is_clean() {
-                        println!("salvage: {report}");
+                        let _ = writeln!(o, "salvage: {report}");
                     }
                     t
                 }
@@ -842,6 +1031,7 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
     let report = match run {
         Ok(r) => r,
         Err(mpg_core::ReplayError::Gated(diags)) => {
+            print!("{o}");
             for d in &diags {
                 eprintln!("mpgtool: {d}");
             }
@@ -851,9 +1041,12 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        Err(e) => return fail(&format!("replay failed: {e}")),
+        Err(e) => {
+            print!("{o}");
+            return fail(&format!("replay failed: {e}"));
+        }
     };
-    println!("model: {}", report.model_name);
+    let _ = writeln!(o, "model: {}", report.model_name);
     let shown = if report.final_drift.len() > 16 {
         8
     } else {
@@ -866,39 +1059,46 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         .take(shown)
         .enumerate()
     {
-        println!("rank {r:>4}: drift {drift:>12}  projected finish {finish}");
+        let _ = writeln!(
+            o,
+            "rank {r:>4}: drift {drift:>12}  projected finish {finish}"
+        );
     }
     if shown < report.final_drift.len() {
-        println!("  ... ({} more ranks)", report.final_drift.len() - shown);
+        let _ = writeln!(o, "  ... ({} more ranks)", report.final_drift.len() - shown);
     }
-    println!(
+    let _ = writeln!(
+        o,
         "max drift {}, mean {:.0}, message domination {:.2}",
         report.max_final_drift(),
         report.mean_final_drift(),
         report.message_domination_ratio()
     );
-    println!(
+    let _ = writeln!(
+        o,
         "scheduler: {} wakeups for {} events ({} matches), {} polls avoided",
         report.stats.scheduler_wakeups,
         report.stats.events,
         report.stats.messages_matched,
         report.stats.polls_avoided
     );
-    println!(
+    let _ = writeln!(
+        o,
         "lanes: {} lane(s) shared this traversal, {} traversal(s) saved",
         report.stats.lanes, report.stats.traversals_saved
     );
     for w in &report.warnings {
-        println!("warning: {w}");
+        let _ = writeln!(o, "warning: {w}");
     }
     if let Some(deg) = &report.degradation {
-        println!("degradation: {}", deg.summary());
+        let _ = writeln!(o, "degradation: {}", deg.summary());
         for f in &deg.frontiers {
             let at = match &f.stuck_at {
                 Some((seq, kind)) => format!("stuck at seq {seq} ({kind})"),
                 None => "stream ended (crash point)".to_string(),
             };
-            println!(
+            let _ = writeln!(
+                o,
                 "  rank {:>4}: {} events completed, {at}{}",
                 f.rank,
                 f.events_completed,
@@ -910,11 +1110,19 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         let store = HistoryStore::at(Path::new(&hist));
         let rec = record_from_report(dir, seed, &report, "mpgtool replay");
         if let Err(e) = store.append(&rec) {
+            print!("{o}");
             return fail(&format!("writing history: {e}"));
         }
         let n = store.for_trace(dir).map(|v| v.len()).unwrap_or(0);
-        println!("history: appended to {hist} ({n} record(s) for this trace)");
+        let _ = writeln!(
+            o,
+            "history: appended to {hist} ({n} record(s) for this trace)"
+        );
     }
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
+        publish_report(store, key, 0, &o);
+    }
+    print!("{o}");
     ExitCode::SUCCESS
 }
 
@@ -1124,6 +1332,7 @@ fn cmd_diff(args: Vec<String>) -> ExitCode {
 fn cmd_bench(mut args: Vec<String>) -> ExitCode {
     let lint = take_switch(&mut args, "--lint");
     let no_ooc = take_switch(&mut args, "--no-ooc");
+    let no_cache = take_switch(&mut args, "--no-cache");
     let out = take_flag(&mut args, "--out");
     let check = take_flag(&mut args, "--check");
     let threshold: f64 = take_flag(&mut args, "--threshold")
@@ -1179,6 +1388,14 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
             Err(e) => return fail(&format!("ooc bench: {e}")),
         }
     }
+    if !no_cache {
+        // Cold-vs-warm artifact-cache comparison on the same pinned trace;
+        // one rep each — the cold leg alone is a full 10^7-event analyze.
+        match mpg_analysis::perf::measure_cache(&mpg_analysis::perf::pinned_ooc()) {
+            Ok(c) => snap.cache = Some(c),
+            Err(e) => return fail(&format!("cache bench: {e}")),
+        }
+    }
     println!(
         "{:>16} {:>6} {:>10} {:>14} {:>10} {:>13}",
         "workload", "ranks", "events", "events/sec", "wakeups", "polls avoided"
@@ -1219,6 +1436,17 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
             o.peak_rss_growth_mib
         );
     }
+    if let Some(c) = &snap.cache {
+        println!(
+            "cache: {} on {} ranks, {} events: cold analyze {:.2}s, warm {:.3}s ({:.1}x)",
+            c.name,
+            c.ranks,
+            c.events,
+            c.cold_secs,
+            c.warm_secs,
+            c.warm_speedup()
+        );
+    }
     for n in &snap.notes {
         println!("note: {n}");
     }
@@ -1246,6 +1474,66 @@ fn cmd_bench(mut args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `mpgtool cache`: inspect and maintain the on-disk artifact cache.
+///
+/// `ls` lists entries, `gc --max-mib N` evicts oldest-first down to N MiB
+/// (default 512) and sweeps leftover temp files, `clear` removes
+/// everything. All operate on `--cache-dir DIR`, else `$MPG_CACHE_DIR`,
+/// else the system temp default.
+fn cmd_cache(mut args: Vec<String>) -> ExitCode {
+    if args.is_empty() {
+        return fail("cache needs a subcommand: ls, gc, or clear");
+    }
+    let sub = args.remove(0);
+    let root =
+        take_flag(&mut args, "--cache-dir").map_or_else(CacheStore::default_dir, PathBuf::from);
+    let max_mib: u64 = take_flag(&mut args, "--max-mib")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(512);
+    if !args.is_empty() {
+        return fail(&format!("cache: unexpected argument '{}'", args[0]));
+    }
+    let store = match CacheStore::open(&root) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("opening cache {}: {e}", root.display())),
+    };
+    match sub.as_str() {
+        "ls" => {
+            let entries = store.ls();
+            let total: u64 = entries.iter().map(|e| e.bytes).sum();
+            println!(
+                "cache: {} ({} entries)",
+                store.root().display(),
+                entries.len()
+            );
+            for e in &entries {
+                println!("{:>12} {}", e.bytes, e.key);
+            }
+            println!("{:>12} total bytes", total);
+            ExitCode::SUCCESS
+        }
+        "gc" => {
+            let (removed, freed) = store.gc(max_mib.saturating_mul(1 << 20));
+            println!(
+                "cache: gc removed {removed} entr{} ({freed} bytes) keeping <= {max_mib} MiB",
+                if removed == 1 { "y" } else { "ies" }
+            );
+            ExitCode::SUCCESS
+        }
+        "clear" => {
+            let removed = store.clear();
+            println!(
+                "cache: cleared {removed} entr{}",
+                if removed == 1 { "y" } else { "ies" }
+            );
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!(
+            "unknown cache subcommand '{other}' (ls, gc, clear)"
+        )),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -1267,6 +1555,7 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(args),
         "diff" => cmd_diff(args),
         "bench" => cmd_bench(args),
+        "cache" => cmd_cache(args),
         _ => usage(),
     }
 }

@@ -29,6 +29,7 @@
 //! (the test suite uses that mode). [`history`] implements the paper's
 //! future-work experiment-history store.
 
+pub mod benchjson;
 pub mod experiments;
 pub mod history;
 pub mod lintperf;

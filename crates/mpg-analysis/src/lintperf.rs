@@ -16,7 +16,7 @@
 
 use std::time::Instant;
 
-use crate::perf::{calibrate, PerfSnapshot, WorkloadPerf};
+use crate::perf::{calibrate, WorkloadPerf};
 use mpg_apps::{MasterWorker, Stencil, TokenRing, Workload};
 use mpg_noise::PlatformSignature;
 use mpg_sim::Simulation;
@@ -61,7 +61,8 @@ pub fn pinned_traces() -> Vec<(&'static str, u32, MemTrace)> {
 }
 
 /// A lint-throughput snapshot (what `BENCH_lint.json` holds). Same
-/// workload/calibration keys as [`PerfSnapshot`], so the tolerant
+/// workload/calibration keys as [`PerfSnapshot`](crate::perf::PerfSnapshot),
+/// so the tolerant
 /// line-scanning parsers are shared.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LintPerfSnapshot {
@@ -115,30 +116,9 @@ pub fn measure(reps: u32) -> LintPerfSnapshot {
 impl LintPerfSnapshot {
     /// Renders the snapshot as the `BENCH_lint.json` document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str("  \"bench\": \"lint_throughput\",\n");
-        out.push_str(&format!("  \"reps\": {},\n", self.reps));
-        out.push_str(&format!(
-            "  \"calibration_iters_per_sec\": {:.0},\n",
-            self.calibration
-        ));
-        out.push_str("  \"workloads\": [\n");
-        for (i, w) in self.workloads.iter().enumerate() {
-            out.push_str("    {\n");
-            out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
-            out.push_str(&format!("      \"ranks\": {},\n", w.ranks));
-            out.push_str(&format!("      \"events\": {},\n", w.events));
-            out.push_str(&format!(
-                "      \"events_per_sec\": {:.0}\n",
-                w.events_per_sec
-            ));
-            out.push_str(if i + 1 == self.workloads.len() {
-                "    }\n"
-            } else {
-                "    },\n"
-            });
-        }
-        out.push_str("  ]\n}\n");
+        let mut out = String::new();
+        crate::benchjson::write_header(&mut out, "lint_throughput", self.reps, self.calibration);
+        crate::benchjson::write_workloads(&mut out, &self.workloads, false, &[]);
         out
     }
 }
@@ -153,36 +133,19 @@ pub fn regressions(
     current: &LintPerfSnapshot,
     threshold_pct: f64,
 ) -> Vec<String> {
-    let recorded = PerfSnapshot::parse_events_per_sec(recorded_json);
-    let host_scale = PerfSnapshot::parse_calibration(recorded_json)
-        .filter(|rec_cal| *rec_cal > 0.0 && current.calibration > 0.0)
-        .map_or(1.0, |rec_cal| (current.calibration / rec_cal).min(1.0));
-    let mut msgs = Vec::new();
-    for w in &current.workloads {
-        let Some((_, rec_eps)) = recorded.iter().find(|(n, _)| *n == w.name) else {
-            continue;
-        };
-        let scaled = rec_eps * host_scale;
-        let floor = scaled * (1.0 - threshold_pct / 100.0);
-        if w.events_per_sec < floor {
-            msgs.push(format!(
-                "{}: {:.0} lint events/sec is {:.1}% below the recorded {:.0} \
-                 (host-speed scale {:.2}, allowed drop {:.0}%)",
-                w.name,
-                w.events_per_sec,
-                (1.0 - w.events_per_sec / scaled) * 100.0,
-                rec_eps,
-                host_scale,
-                threshold_pct
-            ));
-        }
-    }
-    msgs
+    crate::benchjson::throughput_regressions(
+        recorded_json,
+        &current.workloads,
+        crate::benchjson::host_scale(recorded_json, current.calibration),
+        threshold_pct,
+        "lint events/sec",
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::perf::PerfSnapshot;
 
     fn snapshot(eps: &[(&str, f64)], calibration: f64) -> LintPerfSnapshot {
         LintPerfSnapshot {

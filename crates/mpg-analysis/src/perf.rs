@@ -17,10 +17,13 @@ use std::time::Instant;
 
 use crate::sweep::{sweep_replays, SweepMode};
 use mpg_apps::{Pipeline, Stencil, TokenRing, Workload};
-use mpg_core::{plan_lanes, PerturbationModel, ReplayConfig, Replayer};
+use mpg_core::{
+    cached_recorded_graph, plan_lanes, ArtifactKind, CacheStore, CachedReport, PerturbationModel,
+    ReplayConfig, Replayer,
+};
 use mpg_noise::{Dist, PlatformSignature};
 use mpg_sim::Simulation;
-use mpg_trace::{MemTrace, OocTraceSet};
+use mpg_trace::{FileTraceSet, MemTrace, OocTraceSet};
 
 /// Events/sec of the pre-scheduler round-robin polling engine on the same
 /// pinned workloads (best of 5, recorded immediately before the
@@ -167,11 +170,19 @@ impl SweepPerf {
 pub struct OocSpec {
     /// Snapshot name prefix.
     pub name: &'static str,
+    /// Workload kind synthesized into the cached trace. Part of the
+    /// trace-cache directory name: two specs differing only in workload
+    /// must not silently reuse each other's files.
+    pub workload: &'static str,
     /// Rank count.
     pub ranks: u32,
     /// Stencil iteration multiplier (`iters = 20 × scale`); event volume is
     /// roughly `ranks × 140 × scale`.
     pub scale: u64,
+    /// Simulation RNG seed. Also part of the trace-cache directory name —
+    /// a reused dir generated under a different seed would silently bench
+    /// the wrong trace.
+    pub seed: u64,
     /// Shard count of the partition-parallel run.
     pub shards: usize,
 }
@@ -182,8 +193,10 @@ pub struct OocSpec {
 pub fn pinned_ooc() -> OocSpec {
     OocSpec {
         name: "ooc-stencil-1024",
+        workload: "stencil",
         ranks: 1024,
         scale: 70,
+        seed: 1,
         shards: 4,
     }
 }
@@ -268,7 +281,14 @@ fn with_peak_rss<R>(f: impl FnOnce() -> R) -> (R, f64, f64) {
 /// repeated bench/gate runs reuse the files; the version tag guards
 /// against stale caches across format or workload changes.
 fn ooc_trace_dir(spec: &OocSpec) -> PathBuf {
-    std::env::temp_dir().join(format!("mpg-bench-ooc-v1-{}x{}", spec.ranks, spec.scale))
+    // Every generation input is part of the name: two specs differing in
+    // workload, size, or seed must land in different directories, or the
+    // reuse check below would hand one spec the other's trace whenever the
+    // rank counts happen to match.
+    std::env::temp_dir().join(format!(
+        "mpg-bench-ooc-v2-{}-{}x{}-s{}",
+        spec.workload, spec.ranks, spec.scale, spec.seed
+    ))
 }
 
 /// Generates (or reuses) the pinned out-of-core trace, returning its
@@ -282,6 +302,12 @@ fn ensure_ooc_trace(spec: &OocSpec) -> Result<PathBuf, String> {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+    if spec.workload != "stencil" {
+        return Err(format!(
+            "unknown ooc bench workload '{}' (only 'stencil' is synthesizable)",
+            spec.workload
+        ));
+    }
     let stencil = Stencil {
         iters: (20 * spec.scale).min(u64::from(u32::MAX)) as u32,
         cells_per_rank: 2_000,
@@ -289,7 +315,7 @@ fn ensure_ooc_trace(spec: &OocSpec) -> Result<PathBuf, String> {
         halo_bytes: 1_024,
     };
     let trace = Simulation::new(spec.ranks, PlatformSignature::quiet("perf-ooc"))
-        .seed(1)
+        .seed(spec.seed)
         .run(|ctx| stencil.run(ctx))
         .map_err(|e| format!("ooc bench simulation failed: {e}"))?
         .trace;
@@ -340,6 +366,109 @@ pub fn measure_ooc(spec: &OocSpec, reps: u32) -> Result<OocPerf, String> {
     })
 }
 
+/// Cold-vs-warm artifact-cache measurement (the `"cache"` section of
+/// `BENCH_replay.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachePerf {
+    /// Workload name ([`OocSpec::name`]).
+    pub name: String,
+    /// Rank count.
+    pub ranks: u32,
+    /// Events in the analyzed trace.
+    pub events: u64,
+    /// Wall time of the cold analyze (fingerprint → load → recording
+    /// replay → wait-state analysis → render + publish).
+    pub cold_secs: f64,
+    /// Wall time of the warm analyze (fingerprint → memoized-report hit).
+    pub warm_secs: f64,
+}
+
+impl CachePerf {
+    /// Cold over warm wall-clock speedup.
+    pub fn warm_speedup(&self) -> f64 {
+        if self.warm_secs > 0.0 {
+            self.cold_secs / self.warm_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measures the artifact cache's warm path on the pinned out-of-core
+/// trace: one cold analyze through the caching pipeline (content
+/// fingerprint → full load → recording replay → wait-state analysis →
+/// published MPGA arena + rendered report), then one warm analyze that
+/// must hit the memoized report. One rep each — the cold leg alone is a
+/// full 10⁷-event analyze, and warm-vs-cold is a ratio of wildly different
+/// magnitudes, not a best-of-N contest.
+///
+/// Runs against a dedicated cache root (emptied first, removed after), so
+/// "cold" is honest and nothing leaks into a user's cache. The warm output
+/// is asserted byte-identical to the cold output before any number is
+/// reported: a speedup that changes the answer is a bug, not a result.
+pub fn measure_cache(spec: &OocSpec) -> Result<CachePerf, String> {
+    let dir = ensure_ooc_trace(spec)?;
+    let events = OocTraceSet::open(&dir)
+        .map_err(|e| format!("opening cache bench trace: {e}"))?
+        .total_records();
+    let root = std::env::temp_dir().join(format!("mpg-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let store = CacheStore::open(&root).map_err(|e| format!("opening bench cache: {e}"))?;
+    let analyze = |store: &CacheStore| -> Result<(String, bool), String> {
+        let key = mpg_trace::trace_fingerprint(&dir)
+            .map_err(|e| format!("fingerprinting cache bench trace: {e}"))?
+            .key();
+        let cfg = ReplayConfig::new(PerturbationModel::quiet("bench-cache"))
+            .seed(0)
+            .record_graph(true);
+        let report_key = CacheStore::artifact_key(
+            &key,
+            ArtifactKind::Report,
+            &format!("bench=cache-analyze;{}", cfg.fingerprint()),
+        );
+        if let Some(rep) = store.get_report(&report_key) {
+            return Ok((rep.stdout, true));
+        }
+        let trace = FileTraceSet::open(&dir)
+            .and_then(|s| s.load())
+            .map_err(|e| format!("loading cache bench trace: {e}"))?;
+        let (graph, _) = cached_recorded_graph(store, &key, &trace, cfg)
+            .map_err(|e| format!("cache bench replay failed: {e}"))?;
+        let report = mpg_lint::analyze_graph(&trace, &graph);
+        let out = report.to_json();
+        let _ = store.put_report(
+            &report_key,
+            &CachedReport {
+                exit_code: 0,
+                stdout: out.clone(),
+            },
+        );
+        Ok((out, false))
+    };
+    let t = Instant::now();
+    let cold = analyze(&store);
+    let cold_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm = analyze(&store);
+    let warm_secs = t.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&root);
+    let (cold_out, cold_hit) = cold?;
+    let (warm_out, warm_hit) = warm?;
+    if cold_hit || !warm_hit {
+        return Err("cache bench: cold run hit or warm run missed the dedicated cache".into());
+    }
+    if cold_out != warm_out {
+        return Err("cache bench: warm output diverged from cold output".into());
+    }
+    Ok(CachePerf {
+        name: spec.name.to_string(),
+        ranks: spec.ranks,
+        events,
+        cold_secs,
+        warm_secs,
+    })
+}
+
 /// A full measurement snapshot (what `BENCH_replay.json` holds).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfSnapshot {
@@ -356,6 +485,9 @@ pub struct PerfSnapshot {
     /// The out-of-core replay measurement (mmap-backed windowed +
     /// partition-parallel path over the pinned 10⁷-event trace).
     pub ooc: Option<OocPerf>,
+    /// The artifact-cache measurement (cold vs warm analyze over the same
+    /// pinned trace).
+    pub cache: Option<CachePerf>,
     /// Per-workload results.
     pub workloads: Vec<WorkloadPerf>,
 }
@@ -441,9 +573,11 @@ pub fn measure(reps: u32) -> PerfSnapshot {
         calibration: calibrate(),
         notes: BENCH_NOTES.iter().map(|n| (*n).to_string()).collect(),
         sweep: Some(sweep),
-        // The out-of-core section costs minutes (10⁷-event trace); callers
-        // that want it attach it separately via [`measure_ooc`].
+        // The out-of-core and cache sections cost minutes (10⁷-event
+        // trace); callers that want them attach them separately via
+        // [`measure_ooc`] and [`measure_cache`].
         ooc: None,
+        cache: None,
         workloads,
     }
 }
@@ -451,22 +585,10 @@ pub fn measure(reps: u32) -> PerfSnapshot {
 impl PerfSnapshot {
     /// Renders the snapshot as the `BENCH_replay.json` document.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str("  \"bench\": \"replay_throughput\",\n");
+        let mut out = String::new();
+        crate::benchjson::write_header(&mut out, "replay_throughput", self.reps, self.calibration);
         out.push_str(&format!("  \"engine\": \"{}\",\n", self.engine));
-        out.push_str(&format!("  \"reps\": {},\n", self.reps));
-        out.push_str(&format!(
-            "  \"calibration_iters_per_sec\": {:.0},\n",
-            self.calibration
-        ));
-        if !self.notes.is_empty() {
-            out.push_str("  \"notes\": [\n");
-            for (i, n) in self.notes.iter().enumerate() {
-                let sep = if i + 1 == self.notes.len() { "" } else { "," };
-                out.push_str(&format!("    \"{}\"{sep}\n", n.replace('"', "'")));
-            }
-            out.push_str("  ],\n");
-        }
+        crate::benchjson::write_notes(&mut out, &self.notes);
         if let Some(s) = &self.sweep {
             out.push_str("  \"sweep\": {\n");
             out.push_str(&format!("    \"workload\": \"{}\",\n", s.workload));
@@ -520,84 +642,38 @@ impl PerfSnapshot {
             ));
             out.push_str("  },\n");
         }
-        out.push_str("  \"workloads\": [\n");
-        for (i, w) in self.workloads.iter().enumerate() {
-            let baseline = POLLING_BASELINE
-                .iter()
-                .find(|(n, _)| *n == w.name)
-                .map(|(_, eps)| *eps);
-            out.push_str("    {\n");
-            out.push_str(&format!("      \"name\": \"{}\",\n", w.name));
-            out.push_str(&format!("      \"ranks\": {},\n", w.ranks));
-            out.push_str(&format!("      \"events\": {},\n", w.events));
-            out.push_str(&format!(
-                "      \"events_per_sec\": {:.0},\n",
-                w.events_per_sec
-            ));
-            out.push_str(&format!(
-                "      \"scheduler_wakeups\": {},\n",
-                w.scheduler_wakeups
-            ));
-            out.push_str(&format!("      \"polls_avoided\": {}", w.polls_avoided));
-            if let Some(b) = baseline {
-                out.push_str(&format!(
-                    ",\n      \"polling_baseline_events_per_sec\": {b:.0},\n"
-                ));
-                out.push_str(&format!(
-                    "      \"speedup_vs_polling\": {:.2}\n",
-                    w.events_per_sec / b
-                ));
-            } else {
-                out.push('\n');
-            }
-            out.push_str(if i + 1 == self.workloads.len() {
-                "    }\n"
-            } else {
-                "    },\n"
-            });
+        if let Some(c) = &self.cache {
+            out.push_str("  \"cache\": {\n");
+            out.push_str(&format!("    \"name\": \"{}\",\n", c.name));
+            out.push_str(&format!("    \"ranks\": {},\n", c.ranks));
+            out.push_str(&format!("    \"events\": {},\n", c.events));
+            out.push_str(&format!("    \"cold_secs\": {:.3},\n", c.cold_secs));
+            out.push_str(&format!("    \"warm_secs\": {:.4},\n", c.warm_secs));
+            out.push_str(&format!("    \"warm_speedup\": {:.1}\n", c.warm_speedup()));
+            out.push_str("  },\n");
         }
-        out.push_str("  ]\n}\n");
+        crate::benchjson::write_workloads(&mut out, &self.workloads, true, &POLLING_BASELINE);
         out
     }
 
     /// Extracts the recorded host calibration from a snapshot document, if
-    /// present (older documents lack the key).
+    /// present (older documents lack the key). Thin shim over
+    /// [`benchjson::calibration`](crate::benchjson::calibration).
     pub fn parse_calibration(json: &str) -> Option<f64> {
-        json.lines().find_map(|line| {
-            line.trim()
-                .strip_prefix("\"calibration_iters_per_sec\":")?
-                .trim()
-                .trim_end_matches(',')
-                .parse::<f64>()
-                .ok()
-        })
+        crate::benchjson::calibration(json)
     }
 
     /// Extracts the recorded lane-path sweep throughput (configs/sec), if
     /// the snapshot carries a sweep measurement.
     pub fn parse_sweep_configs_per_sec(json: &str) -> Option<f64> {
-        json.lines().find_map(|line| {
-            line.trim()
-                .strip_prefix("\"configs_per_sec\":")?
-                .trim()
-                .trim_end_matches(',')
-                .parse::<f64>()
-                .ok()
-        })
+        crate::benchjson::number(json, "configs_per_sec")
     }
 
     /// Extracts the first numeric value stored under `key` in a snapshot
-    /// document (line-scanned, like the other parsers here).
+    /// document. Thin shim over
+    /// [`benchjson::number`](crate::benchjson::number).
     pub fn parse_number(json: &str, key: &str) -> Option<f64> {
-        let prefix = format!("\"{key}\":");
-        json.lines().find_map(|line| {
-            line.trim()
-                .strip_prefix(prefix.as_str())?
-                .trim()
-                .trim_end_matches(',')
-                .parse::<f64>()
-                .ok()
-        })
+        crate::benchjson::number(json, key)
     }
 
     /// Extracts the recorded out-of-core throughputs `(1-shard, sharded)`,
@@ -610,29 +686,11 @@ impl PerfSnapshot {
         ))
     }
 
-    /// Extracts `(name, events_per_sec)` pairs from a snapshot document
-    /// written by [`PerfSnapshot::to_json`]. Deliberately tolerant: it
-    /// scans for the
-    /// keys rather than parsing full JSON, since both ends of the format
-    /// live in this file.
+    /// Extracts `(name, events_per_sec)` pairs from a snapshot document.
+    /// Thin shim over
+    /// [`benchjson::events_per_sec`](crate::benchjson::events_per_sec).
     pub fn parse_events_per_sec(json: &str) -> Vec<(String, f64)> {
-        let mut out = Vec::new();
-        let mut pending_name: Option<String> = None;
-        for line in json.lines() {
-            let line = line.trim();
-            if let Some(rest) = line.strip_prefix("\"name\":") {
-                let name = rest.trim().trim_end_matches(',').trim_matches('"');
-                pending_name = Some(name.to_string());
-            } else if let Some(rest) = line.strip_prefix("\"events_per_sec\":") {
-                if let (Some(name), Ok(eps)) = (
-                    pending_name.take(),
-                    rest.trim().trim_end_matches(',').parse::<f64>(),
-                ) {
-                    out.push((name, eps));
-                }
-            }
-        }
-        out
+        crate::benchjson::events_per_sec(json)
     }
 }
 
@@ -649,30 +707,14 @@ impl PerfSnapshot {
 /// 1.0): a faster host never tightens it, since calibration and replay
 /// don't speed up in lockstep.
 pub fn regressions(recorded_json: &str, current: &PerfSnapshot, threshold_pct: f64) -> Vec<String> {
-    let recorded = PerfSnapshot::parse_events_per_sec(recorded_json);
-    let host_scale = PerfSnapshot::parse_calibration(recorded_json)
-        .filter(|rec_cal| *rec_cal > 0.0 && current.calibration > 0.0)
-        .map_or(1.0, |rec_cal| (current.calibration / rec_cal).min(1.0));
-    let mut msgs = Vec::new();
-    for w in &current.workloads {
-        let Some((_, rec_eps)) = recorded.iter().find(|(n, _)| *n == w.name) else {
-            continue;
-        };
-        let scaled = rec_eps * host_scale;
-        let floor = scaled * (1.0 - threshold_pct / 100.0);
-        if w.events_per_sec < floor {
-            msgs.push(format!(
-                "{}: {:.0} events/sec is {:.1}% below the recorded {:.0} \
-                 (host-speed scale {:.2}, allowed drop {:.0}%)",
-                w.name,
-                w.events_per_sec,
-                (1.0 - w.events_per_sec / scaled) * 100.0,
-                rec_eps,
-                host_scale,
-                threshold_pct
-            ));
-        }
-    }
+    let host_scale = crate::benchjson::host_scale(recorded_json, current.calibration);
+    let mut msgs = crate::benchjson::throughput_regressions(
+        recorded_json,
+        &current.workloads,
+        host_scale,
+        threshold_pct,
+        "events/sec",
+    );
     // The sweep workload gates on configs/sec, same host scale and
     // threshold. A snapshot recorded before the sweep existed gates
     // nothing here (the pinned set may grow).
@@ -749,6 +791,25 @@ pub fn regressions(recorded_json: &str, current: &PerfSnapshot, threshold_pct: f
             ));
         }
     }
+    // Warm-path cache gate: an absolute property of the current
+    // measurement (like the flat-RSS cap), host-calibrated in the
+    // loosening direction only — a loaded box slows the warm leg's
+    // filesystem work more than the ratio's numerator, so the 3x floor
+    // scales down with host speed and never up.
+    if let Some(cur) = current.cache.as_ref() {
+        let floor = 3.0 * host_scale;
+        if cur.warm_speedup() < floor {
+            msgs.push(format!(
+                "cache({}): warm analyze is only {:.1}x faster than cold \
+                 (floor {:.1}x, host-speed scale {:.2}) — the artifact cache \
+                 is not paying for itself",
+                cur.name,
+                cur.warm_speedup(),
+                floor,
+                host_scale
+            ));
+        }
+    }
     msgs
 }
 
@@ -775,6 +836,7 @@ mod tests {
                 threads_only_configs_per_sec: 100.0,
             }),
             ooc: None,
+            cache: None,
             workloads: eps
                 .iter()
                 .map(|(n, e)| WorkloadPerf {
@@ -969,13 +1031,71 @@ mod tests {
     }
 
     #[test]
+    fn cache_roundtrips_and_gates() {
+        let mut recorded = snapshot(&[("a", 1.0e6)]);
+        recorded.cache = Some(CachePerf {
+            name: "cache-test".into(),
+            ranks: 64,
+            events: 100_000,
+            cold_secs: 10.0,
+            warm_secs: 0.1,
+        });
+        let json = recorded.to_json();
+        assert_eq!(PerfSnapshot::parse_number(&json, "cold_secs"), Some(10.0));
+        assert_eq!(
+            PerfSnapshot::parse_number(&json, "warm_speedup"),
+            Some(100.0)
+        );
+        // 100x warm speedup clears the 3x floor.
+        assert!(regressions(&json, &recorded, 20.0).is_empty());
+        // A warm path barely faster than cold: the absolute gate fires even
+        // against a recorded snapshot with no cache section.
+        let mut slow = snapshot(&[("a", 1.0e6)]);
+        slow.cache = Some(CachePerf {
+            name: "cache-test".into(),
+            ranks: 64,
+            events: 100_000,
+            cold_secs: 10.0,
+            warm_secs: 5.0,
+        });
+        let legacy = snapshot(&[("a", 1.0e6)]).to_json();
+        let msgs = regressions(&legacy, &slow, 20.0);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].starts_with("cache(cache-test):"), "{msgs:?}");
+        // Half-speed host: the floor loosens to 1.5x and 2x passes.
+        let mut loaded = slow.clone();
+        loaded.calibration = 0.5e9;
+        assert!(regressions(&legacy, &loaded, 20.0).is_empty());
+    }
+
+    #[test]
+    fn measure_cache_smoke() {
+        // A miniature spec: cold populates the dedicated cache, warm hits
+        // it, outputs match (measure_cache errors otherwise).
+        let spec = OocSpec {
+            name: "cache-smoke",
+            workload: "stencil",
+            ranks: 4,
+            scale: 1,
+            seed: 3,
+            shards: 1,
+        };
+        let perf = measure_cache(&spec).expect("cache measurement");
+        assert_eq!(perf.ranks, 4);
+        assert!(perf.events > 0);
+        assert!(perf.cold_secs > 0.0 && perf.warm_secs > 0.0);
+    }
+
+    #[test]
     fn measure_ooc_smoke() {
         // A miniature spec (distinct cache dir from the pinned one): the
         // full mmap → windowed replay → sharded replay → RSS-sample path.
         let spec = OocSpec {
             name: "ooc-smoke",
+            workload: "stencil",
             ranks: 8,
             scale: 1,
+            seed: 1,
             shards: 2,
         };
         let perf = measure_ooc(&spec, 1).expect("ooc measurement");

@@ -30,9 +30,9 @@ pub type NodeIdx = u32;
 /// Sentinel for "no node".
 pub const NO_NODE: NodeIdx = u32::MAX;
 
-const FLAG_END: u8 = 1 << 0;
-const FLAG_HUB: u8 = 1 << 1;
-const FLAG_LABELED: u8 = 1 << 2;
+pub(crate) const FLAG_END: u8 = 1 << 0;
+pub(crate) const FLAG_HUB: u8 = 1 << 1;
+pub(crate) const FLAG_LABELED: u8 = 1 << 2;
 
 /// Columnar storage for one recorded message-passing graph.
 ///
@@ -41,27 +41,27 @@ const FLAG_LABELED: u8 = 1 << 2;
 /// columns in creation order. All columns are flat `Vec`s.
 #[derive(Debug, Default, Clone)]
 pub struct GraphArena {
-    ranks: usize,
+    pub(crate) ranks: usize,
 
     // ---- node columns, indexed by NodeIdx ----
-    node_rank: Vec<u32>,
-    node_seq: Vec<u64>,
-    node_flags: Vec<u8>,
+    pub(crate) node_rank: Vec<u32>,
+    pub(crate) node_seq: Vec<u64>,
+    pub(crate) node_flags: Vec<u8>,
     /// Label columns; meaningful only when `FLAG_LABELED` is set.
-    label_kind: Vec<&'static str>,
-    label_t: Vec<Cycles>,
-    labeled: usize,
+    pub(crate) label_kind: Vec<&'static str>,
+    pub(crate) label_t: Vec<Cycles>,
+    pub(crate) labeled: usize,
 
     /// Interner: structural id → dense index.
-    index: HashMap<NodeId, NodeIdx>,
+    pub(crate) index: HashMap<NodeId, NodeIdx>,
 
     // ---- edge columns, indexed by edge position (creation order) ----
-    edge_src: Vec<NodeIdx>,
-    edge_dst: Vec<NodeIdx>,
-    edge_base: Vec<Cycles>,
-    edge_class: Vec<DeltaClass>,
-    edge_sampled: Vec<Drift>,
-    edge_msg: Vec<bool>,
+    pub(crate) edge_src: Vec<NodeIdx>,
+    pub(crate) edge_dst: Vec<NodeIdx>,
+    pub(crate) edge_base: Vec<Cycles>,
+    pub(crate) edge_class: Vec<DeltaClass>,
+    pub(crate) edge_sampled: Vec<Drift>,
+    pub(crate) edge_msg: Vec<bool>,
 }
 
 impl GraphArena {

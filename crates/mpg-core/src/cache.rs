@@ -1,0 +1,467 @@
+//! Persistent, content-addressed artifact cache.
+//!
+//! Every artifact the analyzer derives from a trace — the recorded graph
+//! (as an MPGA blob, [`crate::mpga`]), happens-before vector clocks,
+//! drift-slack tables, rendered lint/analyze/replay reports — is a pure
+//! function of (trace content, configuration). The [`CacheStore`]
+//! memoizes them on disk, keyed by the trace's cheap content fingerprint
+//! ([`mpg_trace::trace_fingerprint`], derived from the per-frame CRC32C
+//! chain without a second full read) plus a configuration fingerprint.
+//!
+//! ## Directory protocol
+//!
+//! One flat directory, one file per artifact, named `<key>.mpgc` where
+//! `key = {kind}-{trace_fp}-{config_hash}`. Publication is atomic:
+//! writers fill a `tmp-<pid>-<n>` file and `rename(2)` it into place, so
+//! readers never observe a partial artifact and need no locks — they
+//! either see the old file, the new file, or nothing. Losing a race just
+//! means both writers publish identical bytes.
+//!
+//! ## Envelope
+//!
+//! Each file wraps its payload in a checksummed envelope:
+//!
+//! ```text
+//! file := "MPGC" version:u32le kind:u8 payload_len:u64le
+//!         payload_crc:u32le payload
+//! ```
+//!
+//! `get` re-validates everything (magic, version, kind, length, CRC32C)
+//! and returns `None` on **any** anomaly — a corrupt, truncated, or
+//! foreign-version artifact silently degrades to a cold-path miss, never
+//! an error and never wrong output.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::SystemTime;
+
+use mpg_trace::frame::crc32c;
+use mpg_trace::{fnv1a64, MemTrace};
+
+use crate::feasible::{drift_slack, DriftSlack};
+use crate::graph::EventGraph;
+use crate::hb::HbIndex;
+use crate::mpga::{decode_arena, encode_arena};
+use crate::replay::{ReplayConfig, Replayer};
+use crate::report::ReplayError;
+
+/// Envelope magic bytes.
+const MPGC_MAGIC: &[u8; 4] = b"MPGC";
+
+/// Envelope version; bump on any envelope or payload-schema change.
+const MPGC_VERSION: u32 = 1;
+
+/// Envelope header length: magic + version + kind + len + crc.
+const HEADER_LEN: usize = 4 + 4 + 1 + 8 + 4;
+
+/// Cache-wide schema version folded into every artifact key. Bump when
+/// the *semantics* of a derived artifact change (report wording, graph
+/// recording rules) without a format change — old entries then simply
+/// stop matching instead of serving stale content.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// What a cached artifact contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArtifactKind {
+    /// A rendered CLI report: exit code + stdout bytes.
+    Report,
+    /// An MPGA-encoded [`crate::GraphArena`].
+    Arena,
+    /// Serialized [`crate::HbIndex`] vector clocks.
+    HbClocks,
+    /// Serialized [`crate::DriftSlack`] feasibility table.
+    Slack,
+}
+
+impl ArtifactKind {
+    /// Stable one-byte envelope tag.
+    fn tag(self) -> u8 {
+        match self {
+            ArtifactKind::Report => 1,
+            ArtifactKind::Arena => 2,
+            ArtifactKind::HbClocks => 3,
+            ArtifactKind::Slack => 4,
+        }
+    }
+
+    /// Short name used in artifact keys and `cache ls` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactKind::Report => "report",
+            ArtifactKind::Arena => "arena",
+            ArtifactKind::HbClocks => "hb",
+            ArtifactKind::Slack => "slack",
+        }
+    }
+}
+
+/// One entry in a [`CacheStore::ls`] listing.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Artifact key (file stem).
+    pub key: String,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-modified time.
+    pub modified: SystemTime,
+}
+
+/// A rendered CLI report held in the cache: process exit code plus the
+/// exact stdout bytes, so a warm run replays both.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedReport {
+    /// Exit code the cold run finished with.
+    pub exit_code: u8,
+    /// Byte-exact stdout of the cold run.
+    pub stdout: String,
+}
+
+impl CachedReport {
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.stdout.len());
+        out.push(self.exit_code);
+        out.extend_from_slice(self.stdout.as_bytes());
+        out
+    }
+
+    fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (&exit_code, rest) = bytes.split_first()?;
+        Some(Self {
+            exit_code,
+            stdout: String::from_utf8(rest.to_vec()).ok()?,
+        })
+    }
+}
+
+/// The on-disk artifact cache. Cheap to construct; all state lives in the
+/// directory.
+#[derive(Debug, Clone)]
+pub struct CacheStore {
+    root: PathBuf,
+}
+
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl CacheStore {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    pub fn open(root: &Path) -> std::io::Result<Self> {
+        fs::create_dir_all(root)?;
+        Ok(Self {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The default cache root: `$MPG_CACHE_DIR`, else
+    /// `<system tmp>/mpg-cache`.
+    pub fn default_dir() -> PathBuf {
+        std::env::var_os("MPG_CACHE_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("mpg-cache"))
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Composes an artifact key from the trace fingerprint key, the
+    /// artifact kind, and a configuration fingerprint (any string that
+    /// captures every output-affecting knob). [`CACHE_SCHEMA`] is folded
+    /// in so schema bumps invalidate wholesale.
+    pub fn artifact_key(trace_key: &str, kind: ArtifactKind, config_fp: &str) -> String {
+        let mut seed = format!("schema={CACHE_SCHEMA};{config_fp}");
+        seed.push(';');
+        let h = fnv1a64(seed.as_bytes());
+        format!("{}-{}-{:016x}", kind.name(), trace_key, h)
+    }
+
+    fn path_of(&self, key: &str) -> PathBuf {
+        self.root.join(format!("{key}.mpgc"))
+    }
+
+    /// Fetches an artifact's payload. Returns `None` on a miss **or** on
+    /// any validation failure — corrupt entries degrade to misses.
+    pub fn get(&self, key: &str, kind: ArtifactKind) -> Option<Vec<u8>> {
+        let bytes = fs::read(self.path_of(key)).ok()?;
+        if bytes.len() < HEADER_LEN || &bytes[..4] != MPGC_MAGIC {
+            return None;
+        }
+        let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        if version != MPGC_VERSION || bytes[8] != kind.tag() {
+            return None;
+        }
+        let len = u64::from_le_bytes([
+            bytes[9], bytes[10], bytes[11], bytes[12], bytes[13], bytes[14], bytes[15], bytes[16],
+        ]) as usize;
+        let crc = u32::from_le_bytes([bytes[17], bytes[18], bytes[19], bytes[20]]);
+        let payload = bytes.get(HEADER_LEN..)?;
+        if payload.len() != len || crc32c(payload) != crc {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Publishes an artifact atomically: the envelope is written to a
+    /// temp file in the cache directory and renamed into place, so
+    /// concurrent readers never see a torn entry.
+    pub fn put(&self, key: &str, kind: ArtifactKind, payload: &[u8]) -> std::io::Result<()> {
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(MPGC_MAGIC);
+        out.extend_from_slice(&MPGC_VERSION.to_le_bytes());
+        out.push(kind.tag());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32c(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+
+        let n = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.root.join(format!("tmp-{}-{n}", std::process::id()));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&out)?;
+            f.sync_all()?;
+        }
+        match fs::rename(&tmp, self.path_of(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Fetches a cached report.
+    pub fn get_report(&self, key: &str) -> Option<CachedReport> {
+        CachedReport::from_bytes(&self.get(key, ArtifactKind::Report)?)
+    }
+
+    /// Publishes a report.
+    pub fn put_report(&self, key: &str, report: &CachedReport) -> std::io::Result<()> {
+        self.put(key, ArtifactKind::Report, &report.to_bytes())
+    }
+
+    /// Lists every published artifact, sorted by key. Leftover temp files
+    /// (a crashed writer) are skipped.
+    pub fn ls(&self) -> Vec<CacheEntry> {
+        let mut entries = Vec::new();
+        let Ok(dir) = fs::read_dir(&self.root) else {
+            return entries;
+        };
+        for e in dir.flatten() {
+            let path = e.path();
+            let Some(stem) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix(".mpgc"))
+            else {
+                continue;
+            };
+            let Ok(meta) = e.metadata() else { continue };
+            entries.push(CacheEntry {
+                key: stem.to_string(),
+                bytes: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        entries.sort_by(|a, b| a.key.cmp(&b.key));
+        entries
+    }
+
+    /// Evicts oldest-first until total size is ≤ `max_bytes`. Also sweeps
+    /// leftover temp files. Returns (entries removed, bytes freed).
+    pub fn gc(&self, max_bytes: u64) -> (usize, u64) {
+        let mut removed = 0usize;
+        let mut freed = 0u64;
+        if let Ok(dir) = fs::read_dir(&self.root) {
+            for e in dir.flatten() {
+                let name = e.file_name();
+                if name.to_str().is_some_and(|n| n.starts_with("tmp-")) {
+                    let _ = fs::remove_file(e.path());
+                }
+            }
+        }
+        let mut entries = self.ls();
+        let mut total: u64 = entries.iter().map(|e| e.bytes).sum();
+        entries.sort_by_key(|e| e.modified);
+        for e in entries {
+            if total <= max_bytes {
+                break;
+            }
+            if fs::remove_file(self.path_of(&e.key)).is_ok() {
+                total -= e.bytes;
+                removed += 1;
+                freed += e.bytes;
+            }
+        }
+        (removed, freed)
+    }
+
+    /// Removes every artifact (and temp file). Returns entries removed.
+    pub fn clear(&self) -> usize {
+        let (removed, _) = self.gc(0);
+        removed
+    }
+}
+
+/// The warm path for graph recording: returns the recorded graph for
+/// `(trace, config)`, from the cache when a valid MPGA artifact exists
+/// (skipping the recording replay entirely), recording and publishing it
+/// otherwise. The second return is `true` on a cache hit.
+///
+/// `trace_key` must be the trace's content-fingerprint key; `config` is
+/// forced to record mode. A corrupt or stale artifact is a miss, never an
+/// error.
+pub fn cached_recorded_graph(
+    store: &CacheStore,
+    trace_key: &str,
+    trace: &MemTrace,
+    config: ReplayConfig,
+) -> Result<(EventGraph, bool), ReplayError> {
+    let config = config.record_graph(true);
+    let key = CacheStore::artifact_key(trace_key, ArtifactKind::Arena, &config.fingerprint());
+    if let Some(bytes) = store.get(&key, ArtifactKind::Arena) {
+        if let Ok(arena) = decode_arena(&bytes) {
+            return Ok((EventGraph::from_arena(arena), true));
+        }
+    }
+    let report = Replayer::new(config).run(trace)?;
+    let graph = report
+        .graph
+        .expect("record_graph(true) always yields a graph");
+    let _ = store.put(&key, ArtifactKind::Arena, &encode_arena(graph.arena()));
+    Ok((graph, false))
+}
+
+/// Memoized happens-before clocks: loads the [`HbIndex`] for
+/// `(trace, config)` from the cache when present, building and publishing
+/// it otherwise. The second return is `true` on a hit.
+pub fn cached_hb_index(
+    store: &CacheStore,
+    trace_key: &str,
+    config_fp: &str,
+    graph: &EventGraph,
+) -> (HbIndex, bool) {
+    let key = CacheStore::artifact_key(trace_key, ArtifactKind::HbClocks, config_fp);
+    if let Some(bytes) = store.get(&key, ArtifactKind::HbClocks) {
+        if let Some(hb) = HbIndex::from_bytes(&bytes) {
+            return (hb, true);
+        }
+    }
+    let hb = HbIndex::build(graph);
+    let _ = store.put(&key, ArtifactKind::HbClocks, &hb.to_bytes());
+    (hb, false)
+}
+
+/// Memoized drift-slack table: loads the [`DriftSlack`] result for
+/// `(trace, config)` from the cache when present, computing and
+/// publishing it otherwise. `drift_slack`'s `None` (quiet replay, no
+/// drift) is cached too, as an empty payload. The second return is `true`
+/// on a hit.
+pub fn cached_drift_slack(
+    store: &CacheStore,
+    trace_key: &str,
+    config_fp: &str,
+    graph: &EventGraph,
+) -> (Option<DriftSlack>, bool) {
+    let key = CacheStore::artifact_key(trace_key, ArtifactKind::Slack, config_fp);
+    if let Some(bytes) = store.get(&key, ArtifactKind::Slack) {
+        if bytes.is_empty() {
+            return (None, true);
+        }
+        if let Some(s) = DriftSlack::from_bytes(&bytes) {
+            return (Some(s), true);
+        }
+    }
+    let slack = drift_slack(graph);
+    let payload = slack.as_ref().map(DriftSlack::to_bytes).unwrap_or_default();
+    let _ = store.put(&key, ArtifactKind::Slack, &payload);
+    (slack, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> CacheStore {
+        let d = std::env::temp_dir().join(format!("mpg-cache-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        CacheStore::open(&d).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_kind_mismatch() {
+        let s = temp_store("roundtrip");
+        s.put("k1", ArtifactKind::Arena, b"payload").unwrap();
+        assert_eq!(
+            s.get("k1", ArtifactKind::Arena).as_deref(),
+            Some(&b"payload"[..])
+        );
+        // Asking for the same key under a different kind is a miss.
+        assert!(s.get("k1", ArtifactKind::Report).is_none());
+        assert!(s.get("absent", ArtifactKind::Arena).is_none());
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn corrupt_entry_degrades_to_miss() {
+        let s = temp_store("corrupt");
+        s.put("k", ArtifactKind::Slack, b"0123456789").unwrap();
+        let p = s.root().join("k.mpgc");
+        let mut bytes = fs::read(&p).unwrap();
+        for i in 0..bytes.len() {
+            let orig = bytes[i];
+            bytes[i] ^= 0x08;
+            fs::write(&p, &bytes).unwrap();
+            assert!(
+                s.get("k", ArtifactKind::Slack).is_none(),
+                "flip at {i} served corrupt payload"
+            );
+            bytes[i] = orig;
+        }
+        // Truncations too.
+        fs::write(&p, &bytes[..bytes.len() - 1]).unwrap();
+        assert!(s.get("k", ArtifactKind::Slack).is_none());
+        fs::write(&p, b"").unwrap();
+        assert!(s.get("k", ArtifactKind::Slack).is_none());
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let s = temp_store("report");
+        let r = CachedReport {
+            exit_code: 1,
+            stdout: "warnings: 3\n".into(),
+        };
+        s.put_report("rep", &r).unwrap();
+        assert_eq!(s.get_report("rep"), Some(r));
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn ls_gc_clear() {
+        let s = temp_store("gc");
+        s.put("a", ArtifactKind::Report, &[0u8; 100]).unwrap();
+        s.put("b", ArtifactKind::Report, &[0u8; 100]).unwrap();
+        // A leftover temp file from a "crashed writer".
+        fs::write(s.root().join("tmp-999-0"), b"torn").unwrap();
+        assert_eq!(s.ls().len(), 2);
+        let (removed, freed) = s.gc(u64::MAX);
+        assert_eq!((removed, freed), (0, 0));
+        assert!(!s.root().join("tmp-999-0").exists(), "gc sweeps temp files");
+        assert_eq!(s.clear(), 2);
+        assert!(s.ls().is_empty());
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    #[test]
+    fn artifact_keys_separate_kinds_and_configs() {
+        let k1 = CacheStore::artifact_key("t", ArtifactKind::Arena, "cfg-a");
+        let k2 = CacheStore::artifact_key("t", ArtifactKind::Arena, "cfg-b");
+        let k3 = CacheStore::artifact_key("t", ArtifactKind::Report, "cfg-a");
+        assert_ne!(k1, k2);
+        assert_ne!(k1, k3);
+        assert!(k1.starts_with("arena-t-"));
+    }
+}

@@ -120,6 +120,13 @@ impl EventGraph {
         }
     }
 
+    /// Wraps an already-built arena — the warm path: a graph decoded from
+    /// an MPGA artifact (see [`crate::mpga`]) instead of recorded by
+    /// replay.
+    pub fn from_arena(arena: GraphArena) -> Self {
+        Self { arena }
+    }
+
     /// Number of ranks.
     pub fn num_ranks(&self) -> usize {
         self.arena.num_ranks()

@@ -178,6 +178,62 @@ impl HbIndex {
         self.p
     }
 
+    /// Serializes the index to a flat little-endian blob for cache
+    /// storage (`p`, then `counts`, then the clock matrices; `offsets`
+    /// are prefix sums and recomputed on load). Integrity is the cache
+    /// envelope's job — this layer only guards structure.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            8 + self.counts.len() * 8 + (self.issue.len() + self.complete.len()) * 8,
+        );
+        out.extend_from_slice(&(self.p as u64).to_le_bytes());
+        for &c in &self.counts {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        for &x in self.issue.iter().chain(&self.complete) {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds an index from [`HbIndex::to_bytes`] output. `None` on any
+    /// structural inconsistency (wrong length, overflowing counts).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if !bytes.len().is_multiple_of(8) || bytes.is_empty() {
+            return None;
+        }
+        let mut words = bytes.chunks_exact(8).map(|c| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            u64::from_le_bytes(b)
+        });
+        let p = usize::try_from(words.next()?).ok()?;
+        let total_words = bytes.len() / 8;
+        if p.checked_add(1)? > total_words {
+            return None;
+        }
+        let counts: Vec<u64> = words.by_ref().take(p).collect();
+        let mut offsets = vec![0usize; p + 1];
+        for r in 0..p {
+            let c = usize::try_from(counts[r]).ok()?;
+            offsets[r + 1] = offsets[r].checked_add(c)?;
+        }
+        let rows = offsets[p];
+        let matrix = rows.checked_mul(p)?;
+        if total_words != 1 + p + 2 * matrix {
+            return None;
+        }
+        let issue: Vec<u64> = words.by_ref().take(matrix).collect();
+        let complete: Vec<u64> = words.collect();
+        Some(HbIndex {
+            p,
+            counts,
+            offsets,
+            issue,
+            complete,
+        })
+    }
+
     /// Number of events of `rank` seen in the graph.
     pub fn num_events(&self, rank: Rank) -> u64 {
         self.counts.get(rank as usize).copied().unwrap_or(0)

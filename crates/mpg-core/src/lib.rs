@@ -62,12 +62,14 @@
 //! ```
 
 pub mod arena;
+pub mod cache;
 pub mod critical;
 pub mod dot;
 pub mod feasible;
 pub mod graph;
 pub mod hb;
 pub mod lane;
+pub mod mpga;
 pub mod perturb;
 pub mod regions;
 pub mod replay;
@@ -77,11 +79,16 @@ pub mod stream;
 pub mod timeline;
 
 pub use arena::{Csr, GraphArena, NodeDrifts, NodeIdx};
+pub use cache::{
+    cached_drift_slack, cached_hb_index, cached_recorded_graph, ArtifactKind, CacheEntry,
+    CacheStore, CachedReport, CACHE_SCHEMA,
+};
 pub use critical::{critical_path, CriticalPath};
 pub use feasible::{drift_slack, predictable, predicted_graph, DriftSlack, SlackSweep, StaticPath};
 pub use graph::{Edge, EventGraph, NodeId, Point};
 pub use hb::{EventId, HbIndex};
 pub use lane::{lane_replays, plan_lanes, replay_batch, LaneBatch, MAX_LANES};
+pub use mpga::{decode_arena, encode_arena, MpgaError, MPGA_VERSION};
 pub use perturb::{DeltaClass, PerturbationModel, SignedDist};
 pub use regions::{classify_regions, region_shares, Region, RegionKind};
 pub use replay::{AbsorptionMode, ReplayConfig, Replayer, SlackEstimate, TraceGate};

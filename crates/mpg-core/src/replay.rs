@@ -210,6 +210,26 @@ impl ReplayConfig {
         self.crash_tolerant = on;
         self
     }
+
+    /// Canonical fingerprint of every replay knob that can change the
+    /// recorded graph or the report, for cache keying
+    /// (see [`crate::cache`]). Two configs with equal fingerprints
+    /// produce identical replays of the same trace; distributions render
+    /// through `Debug`, which is deterministic for a given value.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "model={:?};seed={};absorption={:?};ack={};record={};stride={};arrival={};gate={};crash={}",
+            self.model,
+            self.seed,
+            self.absorption,
+            self.ack_arm,
+            self.record_graph,
+            self.timeline_stride,
+            self.arrival_bound,
+            self.gate.is_some(),
+            self.crash_tolerant,
+        )
+    }
 }
 
 /// The replay driver.

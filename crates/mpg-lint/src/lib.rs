@@ -70,8 +70,40 @@ pub use waitstate::{
     RankBreakdown, WaitClass, WaitInterval,
 };
 
-use mpg_core::{EventGraph, HbIndex, PerturbationModel, ReplayConfig, Replayer, TraceGate};
+use mpg_core::{
+    cached_hb_index, cached_recorded_graph, CacheStore, EventGraph, HbIndex, PerturbationModel,
+    ReplayConfig, Replayer, TraceGate,
+};
 use mpg_trace::{sort_diagnostics, Diagnostic, MemTrace, Rule, Severity};
+
+/// The quiet recording-replay configuration behind every lint context —
+/// one definition so the cold and cached builds can never diverge.
+///
+/// `ack_arm(false)`: model standard sends as eager. The default
+/// acknowledgement arm would order every send after its matching receive —
+/// sound for conservative *timing*, but wrong for *happens-before*: it
+/// would suppress legitimate wildcard races and all eager-buffer pile-up.
+/// Synchronous sends keep their acknowledgement coupling.
+fn lint_replay_config() -> ReplayConfig {
+    ReplayConfig::new(PerturbationModel::quiet("lint"))
+        .seed(0)
+        .ack_arm(false)
+        .record_graph(true)
+}
+
+/// Fingerprint of the lint rule set and its tunables, for report-level
+/// cache keys: a cached lint report is only valid while the passes, their
+/// default thresholds, and the replay configuration are all unchanged.
+pub fn ruleset_fingerprint() -> String {
+    let passes: Vec<&str> = PASSES.iter().map(|p| p.name).collect();
+    format!(
+        "passes={};thresholds={:?};sync={:?};replay={}",
+        passes.join(","),
+        PerfThresholds::default(),
+        SyncOptions::default(),
+        lint_replay_config().fingerprint(),
+    )
+}
 
 /// Lints an in-memory trace: validation (pass 0) plus the progress-
 /// simulation passes (1, 2, 5). Diagnostics come back sorted worst first
@@ -128,19 +160,7 @@ impl<'t> LintContext<'t> {
     /// happens-before index is derived from the graph.
     pub fn build(trace: &'t MemTrace) -> Self {
         let (progress, replayed) = std::thread::scope(|scope| {
-            let graph_thread = scope.spawn(|| {
-                // `ack_arm(false)`: model standard sends as eager. The
-                // default acknowledgement arm would order every send after
-                // its matching receive — sound for conservative *timing*,
-                // but wrong for *happens-before*: it would suppress
-                // legitimate wildcard races and all eager-buffer pile-up.
-                // Synchronous sends keep their acknowledgement coupling.
-                let cfg = ReplayConfig::new(PerturbationModel::quiet("lint"))
-                    .seed(0)
-                    .ack_arm(false)
-                    .record_graph(true);
-                Replayer::new(cfg).run(trace)
-            });
+            let graph_thread = scope.spawn(|| Replayer::new(lint_replay_config()).run(trace));
             let progress = run_progress(trace, &MatchPolicy::Recorded);
             (progress, graph_thread.join().expect("replay panicked"))
         });
@@ -149,6 +169,38 @@ impl<'t> LintContext<'t> {
             Err(e) => (None, Some(e.to_string())),
         };
         let hb = graph.as_ref().map(HbIndex::build);
+        LintContext {
+            trace,
+            progress,
+            graph,
+            graph_error,
+            hb,
+        }
+    }
+
+    /// Like [`LintContext::build`], but with the expensive artifacts
+    /// memoized through a [`CacheStore`]: the recorded graph loads from
+    /// its MPGA artifact when cached (skipping the recording replay) and
+    /// the happens-before index from its clock blob (skipping the clock
+    /// propagation). `trace_key` must be the trace's content-fingerprint
+    /// key. Artifacts produced cold are published for the next run.
+    /// Output is identical to the cold build by construction — the cache
+    /// stores exactly what the cold path computes.
+    pub fn build_cached(trace: &'t MemTrace, store: &CacheStore, trace_key: &str) -> Self {
+        let cfg = lint_replay_config();
+        let (progress, replayed) = std::thread::scope(|scope| {
+            let graph_thread =
+                scope.spawn(|| cached_recorded_graph(store, trace_key, trace, cfg.clone()));
+            let progress = run_progress(trace, &MatchPolicy::Recorded);
+            (progress, graph_thread.join().expect("replay panicked"))
+        });
+        let (graph, graph_error) = match replayed {
+            Ok((graph, _hit)) => (Some(graph), None),
+            Err(e) => (None, Some(e.to_string())),
+        };
+        let hb = graph
+            .as_ref()
+            .map(|g| cached_hb_index(store, trace_key, &cfg.fingerprint(), g).0);
         LintContext {
             trace,
             progress,
@@ -246,12 +298,27 @@ pub const PASSES: &[LintPass] = &[
 /// replayer still rejects the trace, that *is* reported as `MPG-CYCLE`.
 /// Passes with satisfied needs run in parallel over the immutable context.
 pub fn lint_full(trace: &MemTrace) -> Vec<Diagnostic> {
+    lint_full_impl(trace, None)
+}
+
+/// [`lint_full`] with the graph and happens-before artifacts memoized
+/// through a [`CacheStore`] (see [`LintContext::build_cached`]).
+/// Diagnostics are identical to the cold path; only the artifact
+/// construction is skipped on a warm cache.
+pub fn lint_full_cached(trace: &MemTrace, store: &CacheStore, trace_key: &str) -> Vec<Diagnostic> {
+    lint_full_impl(trace, Some((store, trace_key)))
+}
+
+fn lint_full_impl(trace: &MemTrace, cache: Option<(&CacheStore, &str)>) -> Vec<Diagnostic> {
     let mut diags = mpg_trace::validate_trace_diagnostics(trace);
     if diags.iter().any(|d| d.severity == Severity::Error) {
         sort_diagnostics(&mut diags);
         return diags;
     }
-    let ctx = LintContext::build(trace);
+    let ctx = match cache {
+        Some((store, trace_key)) => LintContext::build_cached(trace, store, trace_key),
+        None => LintContext::build(trace),
+    };
     let progress_errors = ctx
         .progress
         .diags
@@ -375,6 +442,42 @@ mod tests {
                 pass.name
             );
         }
+    }
+
+    #[test]
+    fn cached_lint_matches_cold_on_miss_and_hit() {
+        let mt = {
+            let mut t = MemTrace::new(2);
+            let mut push = |rank, seq, t0, kind| {
+                t.push(mpg_trace::EventRecord {
+                    rank,
+                    seq,
+                    t_start: t0,
+                    t_end: t0 + 10,
+                    kind,
+                })
+            };
+            push(0, 0, 0, EventKind::Init);
+            push(0, 1, 10, EventKind::Compute { work: 10 });
+            push(0, 2, 20, EventKind::Finalize);
+            push(1, 0, 0, EventKind::Init);
+            push(1, 1, 10, EventKind::Compute { work: 10 });
+            push(1, 2, 20, EventKind::Finalize);
+            t
+        };
+        let dir = std::env::temp_dir().join(format!("mpg-lint-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CacheStore::open(&dir).unwrap();
+        let cold = lint_full(&mt);
+        let miss = lint_full_cached(&mt, &store, "unit-key");
+        let hit = lint_full_cached(&mt, &store, "unit-key");
+        assert_eq!(cold, miss);
+        assert_eq!(cold, hit);
+        assert!(
+            !store.ls().is_empty(),
+            "cached lint should publish artifacts"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -107,4 +107,76 @@ for wl in ring stencil master-worker solver pipeline transpose summa; do
 done
 echo "    analyze identity + fsck exit contract hold across 7 workloads"
 
+# Artifact-cache end-to-end: for each cached command, the cold run (which
+# populates the cache) and the warm run (which serves the memoized report)
+# must print stdout byte-identical to the uncached run; a corrupted
+# artifact must fall back cold — still identical — and self-repair; and
+# `cache gc`/`cache clear` must manage the directory. Correctness only:
+# the warm-speedup timing gate is the `"cache"` section of
+# `bench --check` above.
+echo "==> artifact cache e2e (cold = warm = corrupt-fallback, gc, clear)"
+CACHE_DIR="$SMOKE_TMP/cache"
+CACHE_TRACE="$SMOKE_TMP/cache-trace"
+"$MPGTOOL" demo stencil --ranks 8 --seed 3 "$CACHE_TRACE" >/dev/null
+
+# cache_check LABEL WANT_STDOUT_FILE WANT_WARM(yes|no) CMD...
+cache_check() {
+    label="$1"; want_out="$2"; want_warm="$3"; shift 3
+    set +e
+    "$MPGTOOL" "$@" > "$SMOKE_TMP/cache-out.txt" 2> "$SMOKE_TMP/cache-err.txt"
+    got=$?
+    set -e
+    if [ "$got" -ne 0 ]; then
+        echo "lint: FAIL: $label exited $got" >&2
+        exit 1
+    fi
+    if ! cmp -s "$want_out" "$SMOKE_TMP/cache-out.txt"; then
+        echo "lint: FAIL: $label stdout diverged from the uncached run" >&2
+        exit 1
+    fi
+    if [ "$want_warm" = yes ]; then
+        grep -q "warm hit" "$SMOKE_TMP/cache-err.txt" || {
+            echo "lint: FAIL: $label missed the cache" >&2; exit 1; }
+    else
+        if grep -q "warm hit" "$SMOKE_TMP/cache-err.txt"; then
+            echo "lint: FAIL: $label claimed a warm hit" >&2; exit 1
+        fi
+    fi
+}
+
+# Adds 128 (mod 256) to one payload byte of every cached artifact — a
+# guaranteed change the MPGC envelope CRC must catch.
+corrupt_cache() {
+    for art in "$CACHE_DIR"/*.mpgc; do
+        b=$(dd if="$art" bs=1 skip=30 count=1 2>/dev/null | od -An -tu1 | tr -d ' \n')
+        b="${b:-0}"
+        printf "\\$(printf '%03o' $(( (b + 128) % 256 )))" \
+            | dd of="$art" bs=1 seek=30 conv=notrunc 2>/dev/null
+    done
+}
+
+for cmd in replay lint analyze; do
+    base="$SMOKE_TMP/cache-$cmd-base.txt"
+    "$MPGTOOL" "$cmd" "$CACHE_TRACE" > "$base"
+    cache_check "$cmd cold" "$base" no \
+        "$cmd" "$CACHE_TRACE" --cache --cache-dir "$CACHE_DIR"
+    cache_check "$cmd warm" "$base" yes \
+        "$cmd" "$CACHE_TRACE" --cache --cache-dir "$CACHE_DIR"
+    corrupt_cache
+    cache_check "$cmd corrupt-fallback" "$base" no \
+        "$cmd" "$CACHE_TRACE" --cache --cache-dir "$CACHE_DIR"
+    cache_check "$cmd repaired-warm" "$base" yes \
+        "$cmd" "$CACHE_TRACE" --cache --cache-dir "$CACHE_DIR"
+done
+
+"$MPGTOOL" cache ls --cache-dir "$CACHE_DIR" | grep -q "report-" || {
+    echo "lint: FAIL: cache ls shows no report artifacts" >&2; exit 1; }
+"$MPGTOOL" cache gc --cache-dir "$CACHE_DIR" --max-mib 0 | grep -q "gc removed" || {
+    echo "lint: FAIL: cache gc removed nothing" >&2; exit 1; }
+"$MPGTOOL" cache ls --cache-dir "$CACHE_DIR" | grep -q "(0 entries)" || {
+    echo "lint: FAIL: cache not empty after gc --max-mib 0" >&2; exit 1; }
+"$MPGTOOL" cache clear --cache-dir "$CACHE_DIR" | grep -q "cleared 0" || {
+    echo "lint: FAIL: cache clear on an empty cache misreported" >&2; exit 1; }
+echo "    warm = cold across replay/lint/analyze; corruption falls back; gc/clear ok"
+
 echo "lint: clean"
