@@ -43,7 +43,8 @@
 //!     directory is unrecoverable. With --inject, first copy the trace to
 //!     DIR (default `<trace-dir>-injected`), apply one deterministic fault
 //!     (truncate, bitflip, frame-drop, frame-dup, frame-swap, splice,
-//!     delete-rank), then fsck the damaged copy — the self-test harness.
+//!     delete-rank, io-error, delay), then fsck the damaged copy — the
+//!     self-test harness.
 //!
 //! mpgtool replay <trace-dir> [--os MEAN] [--latency CYCLES]
 //!                [--per-byte CPB] [--seed S] [--history FILE] [--lint]
@@ -85,6 +86,19 @@
 //!     `gc` evicts oldest-first down to --max-mib (default 512), `clear`
 //!     empties the cache.
 //!
+//! mpgtool serve [--script FILE] [--workers N] [--queue N] [--deadline-ms N]
+//!               [--retries N] [--chaos OPS --chaos-seed S] [--cache] [--cache-dir DIR]
+//!     Run the supervised job runtime: a bounded-queue worker pool with
+//!     per-job deadlines, cooperative cancellation (partial frontier
+//!     reports, not errors), panic quarantine with worker respawn, and
+//!     transient-failure retries, driven by a line protocol (submit /
+//!     status / wait / result / cancel / stats / quarantine / check /
+//!     shutdown) from stdin or --script. Completed job output is
+//!     byte-identical to the solo CLI run and shares the --cache artifact
+//!     store with it. --chaos enables the seeded fault-injection harness
+//!     (operators: panic, delay, io-error, corrupt-artifact); `check`
+//!     audits the runtime invariants afterwards.
+//!
 //! mpgtool bench [--lint] [--no-ooc] [--no-cache] [--out FILE] [--check FILE] [--threshold PCT] [--reps N]
 //!     Measure replay throughput (events/sec) on the pinned seed workloads.
 //!     With --out, write the machine-readable snapshot (BENCH_replay.json).
@@ -117,7 +131,7 @@ use mpg_core::{
     cached_recorded_graph, dot, ArtifactKind, CacheStore, CachedReport, PerturbationModel,
     ReplayConfig, Replayer,
 };
-use mpg_noise::{Dist, PlatformSignature};
+use mpg_noise::PlatformSignature;
 use mpg_sim::Simulation;
 use mpg_trace::{
     inject_dir, sort_diagnostics, text_to_trace, trace_stats, trace_to_text, validate_trace,
@@ -160,6 +174,10 @@ fn usage() -> ExitCode {
          [--cache] [--cache-dir DIR]"
     );
     eprintln!("  mpgtool cache <ls|gc|clear> [--cache-dir DIR] [--max-mib N]");
+    eprintln!(
+        "  mpgtool serve [--script FILE] [--workers N] [--queue N] [--deadline-ms N] \
+         [--retries N] [--chaos OPS --chaos-seed S] [--cache] [--cache-dir DIR]"
+    );
     eprintln!("  mpgtool dot <trace-dir>");
     eprintln!("  mpgtool export <trace-dir>");
     eprintln!("  mpgtool import <text-file> <trace-dir>");
@@ -626,22 +644,14 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     if json {
         let _ = writeln!(out, "{}", diags_to_json(&shown));
     } else {
-        for d in &shown {
-            let _ = writeln!(out, "{d}");
-        }
-        let hidden = diags.len() - shown.len();
-        let mut summary =
-            format!(
-            "lint: {errors} error(s), {} warning(s), {} advisory(ies) in {} events across {} ranks",
-            diags.iter().filter(|d| d.severity == Severity::Warning).count(),
-            diags.iter().filter(|d| d.severity == Severity::Info).count(),
+        // Shared with `mpgtool serve` — service lint output must stay
+        // byte-identical to this path.
+        out.push_str(&mpg_serve::render_lint_report(
+            &diags,
+            all,
             trace.total_events(),
-            trace.num_ranks()
-        );
-        if hidden > 0 {
-            summary.push_str(&format!(" ({hidden} hidden; use --all)"));
-        }
-        let _ = writeln!(out, "{summary}");
+            trace.num_ranks(),
+        ));
     }
     let exit_code: u8 = if errors > 0 { 1 } else { 0 };
     if let (Some((store, _)), Some(key)) = (&cache_ctx, &report_key) {
@@ -942,17 +952,9 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
         return fail("replay needs a trace directory");
     };
 
-    let mut model = PerturbationModel::quiet("mpgtool");
-    if os_mean > 0.0 {
-        model.os_local = Dist::Exponential { mean: os_mean }.into();
-    }
-    if latency > 0.0 {
-        model.latency = Dist::Constant(latency).into();
-    }
-    model.per_byte = per_byte;
-    model.name = format!("os={os_mean} latency={latency} per_byte={per_byte}");
-
-    let mut cfg = ReplayConfig::new(model).seed(seed).crash_tolerant(salvage);
+    // Model + config construction shared with `mpgtool serve`.
+    let mut cfg =
+        mpg_serve::replay_config(os_mean, latency, per_byte, seed).crash_tolerant(salvage);
     if lint {
         cfg = cfg.gate(mpg_lint::replay_gate());
     }
@@ -1046,66 +1048,9 @@ fn cmd_replay(mut args: Vec<String>) -> ExitCode {
             return fail(&format!("replay failed: {e}"));
         }
     };
-    let _ = writeln!(o, "model: {}", report.model_name);
-    let shown = if report.final_drift.len() > 16 {
-        8
-    } else {
-        report.final_drift.len()
-    };
-    for (r, (drift, finish)) in report
-        .final_drift
-        .iter()
-        .zip(&report.projected_finish_local)
-        .take(shown)
-        .enumerate()
-    {
-        let _ = writeln!(
-            o,
-            "rank {r:>4}: drift {drift:>12}  projected finish {finish}"
-        );
-    }
-    if shown < report.final_drift.len() {
-        let _ = writeln!(o, "  ... ({} more ranks)", report.final_drift.len() - shown);
-    }
-    let _ = writeln!(
-        o,
-        "max drift {}, mean {:.0}, message domination {:.2}",
-        report.max_final_drift(),
-        report.mean_final_drift(),
-        report.message_domination_ratio()
-    );
-    let _ = writeln!(
-        o,
-        "scheduler: {} wakeups for {} events ({} matches), {} polls avoided",
-        report.stats.scheduler_wakeups,
-        report.stats.events,
-        report.stats.messages_matched,
-        report.stats.polls_avoided
-    );
-    let _ = writeln!(
-        o,
-        "lanes: {} lane(s) shared this traversal, {} traversal(s) saved",
-        report.stats.lanes, report.stats.traversals_saved
-    );
-    for w in &report.warnings {
-        let _ = writeln!(o, "warning: {w}");
-    }
-    if let Some(deg) = &report.degradation {
-        let _ = writeln!(o, "degradation: {}", deg.summary());
-        for f in &deg.frontiers {
-            let at = match &f.stuck_at {
-                Some((seq, kind)) => format!("stuck at seq {seq} ({kind})"),
-                None => "stream ended (crash point)".to_string(),
-            };
-            let _ = writeln!(
-                o,
-                "  rank {:>4}: {} events completed, {at}{}",
-                f.rank,
-                f.events_completed,
-                if f.finalized { "" } else { ", no finalize" }
-            );
-        }
-    }
+    // Shared with `mpgtool serve` — service output must stay
+    // byte-identical to this path.
+    o.push_str(&mpg_serve::render_replay_report(&report));
     if let Some(hist) = history {
         let store = HistoryStore::at(Path::new(&hist));
         let rec = record_from_report(dir, seed, &report, "mpgtool replay");
@@ -1534,6 +1479,79 @@ fn cmd_cache(mut args: Vec<String>) -> ExitCode {
     }
 }
 
+/// `mpgtool serve`: the supervised job runtime driven by the line
+/// protocol (submit/status/result/cancel/wait/stats/check/shutdown — see
+/// `mpg_serve::proto`). `--script FILE` reads the command stream from a
+/// file; `-` or no flag reads stdin. Exit 0 on a completed stream
+/// (protocol-level errors are in-band `err` lines), 2 on usage or I/O
+/// failure.
+fn cmd_serve(mut args: Vec<String>) -> ExitCode {
+    use std::time::Duration;
+    let script = take_flag(&mut args, "--script");
+    let workers: usize = take_flag(&mut args, "--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let queue: usize = take_flag(&mut args, "--queue")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let deadline_ms: Option<u64> =
+        take_flag(&mut args, "--deadline-ms").and_then(|v| v.parse().ok());
+    let retries: u32 = take_flag(&mut args, "--retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let retry_base_ms: u64 = take_flag(&mut args, "--retry-base-ms")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let chaos_seed: u64 = take_flag(&mut args, "--chaos-seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let chaos_ops = take_flag(&mut args, "--chaos");
+    let cache = match take_cache(&mut args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    if let Some(extra) = args.first() {
+        return fail(&format!("serve: unexpected argument '{extra}'"));
+    }
+    let chaos = match chaos_ops {
+        Some(list) => {
+            let fams: Vec<&str> = list.split(',').filter(|s| !s.is_empty()).collect();
+            match mpg_serve::ChaosPlan::seeded(chaos_seed, &fams) {
+                Ok(p) => p,
+                Err(e) => return fail(&e),
+            }
+        }
+        None => mpg_serve::ChaosPlan::none(),
+    };
+    let rt = mpg_serve::JobRuntime::start(mpg_serve::RuntimeConfig {
+        workers,
+        queue_depth: queue,
+        default_deadline: deadline_ms.map(Duration::from_millis),
+        retry: mpg_serve::RetryPolicy {
+            attempts: retries.max(1),
+            base: Duration::from_millis(retry_base_ms),
+            seed: chaos_seed,
+        },
+        cache,
+        chaos,
+    });
+    let stdout = std::io::stdout();
+    let res = match script.as_deref() {
+        None | Some("-") => {
+            mpg_serve::serve_script(std::io::stdin().lock(), &mut stdout.lock(), &rt)
+        }
+        Some(path) => match std::fs::File::open(path) {
+            Ok(f) => mpg_serve::serve_script(std::io::BufReader::new(f), &mut stdout.lock(), &rt),
+            Err(e) => return fail(&format!("serve: opening {path}: {e}")),
+        },
+    };
+    rt.shutdown(Duration::from_secs(60));
+    match res {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&format!("serve: {e}")),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -1556,6 +1574,7 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(args),
         "bench" => cmd_bench(args),
         "cache" => cmd_cache(args),
+        "serve" => cmd_serve(args),
         _ => usage(),
     }
 }

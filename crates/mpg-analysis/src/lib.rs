@@ -40,7 +40,7 @@ pub mod table;
 pub use experiments::{all_experiments, Experiment, ExperimentResult};
 pub use history::{record_from_report, AnalysisRecord, HistoryStore};
 pub use perf::{measure as measure_perf, regressions as perf_regressions, PerfSnapshot};
-pub use sweep::{parallel_replays, sweep_replays, SweepMode};
+pub use sweep::{parallel_replays, sweep_replays, sweep_replays_cancellable, SweepMode};
 pub use table::Table;
 
 /// Cycle unit shared across the workspace.

@@ -35,7 +35,7 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::SystemTime;
+use std::time::{Duration, SystemTime};
 
 use mpg_trace::frame::crc32c;
 use mpg_trace::{fnv1a64, MemTrace};
@@ -143,6 +143,12 @@ pub struct CacheStore {
 }
 
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// How old a `tmp-*` file must be before [`CacheStore::gc`] treats it as a
+/// crashed writer's leftover rather than an in-flight publish. Writers
+/// hold a temp file for milliseconds (write + fsync + rename); minutes of
+/// grace keeps even a heavily descheduled writer safe.
+const TMP_GRACE: Duration = Duration::from_secs(300);
 
 impl CacheStore {
     /// Opens (creating if needed) a cache rooted at `root`.
@@ -269,14 +275,39 @@ impl CacheStore {
     }
 
     /// Evicts oldest-first until total size is ≤ `max_bytes`. Also sweeps
-    /// leftover temp files. Returns (entries removed, bytes freed).
+    /// *stale* leftover temp files — a temp file younger than the grace
+    /// period (`TMP_GRACE`, 5 minutes) may belong to a writer mid-publish
+    /// (between its tmp-write and the atomic rename), so gc must leave it
+    /// alone or the writer's `rename(2)` would fail under its feet.
+    /// Returns (entries removed, bytes freed).
     pub fn gc(&self, max_bytes: u64) -> (usize, u64) {
+        self.gc_with_grace(max_bytes, TMP_GRACE)
+    }
+
+    /// [`CacheStore::gc`] with an explicit temp-file grace period (tests
+    /// sweep stale temps with `Duration::ZERO`; production uses the
+    /// default `TMP_GRACE`).
+    pub fn gc_with_grace(&self, max_bytes: u64, tmp_grace: Duration) -> (usize, u64) {
         let mut removed = 0usize;
         let mut freed = 0u64;
+        let now = SystemTime::now();
         if let Ok(dir) = fs::read_dir(&self.root) {
             for e in dir.flatten() {
                 let name = e.file_name();
-                if name.to_str().is_some_and(|n| n.starts_with("tmp-")) {
+                if !name.to_str().is_some_and(|n| n.starts_with("tmp-")) {
+                    continue;
+                }
+                // Only a temp file whose mtime is safely in the past can be
+                // a crashed writer's leftover; anything fresher may still
+                // be renamed into place. Unreadable metadata counts as
+                // fresh — deleting on doubt is the race we are fixing.
+                let stale = e
+                    .metadata()
+                    .and_then(|m| m.modified())
+                    .ok()
+                    .and_then(|mtime| now.duration_since(mtime).ok())
+                    .is_some_and(|age| age >= tmp_grace);
+                if stale {
                     let _ = fs::remove_file(e.path());
                 }
             }
@@ -288,7 +319,20 @@ impl CacheStore {
             if total <= max_bytes {
                 break;
             }
-            if fs::remove_file(self.path_of(&e.key)).is_ok() {
+            let path = self.path_of(&e.key);
+            // Re-stat before deleting: a concurrent writer may have
+            // republished this key since the listing snapshot, and
+            // evicting the *fresh* artifact would throw away its work.
+            // A changed (or vanished) file is simply skipped — the next
+            // gc sees the new mtime and ages it normally.
+            let republished = fs::metadata(&path)
+                .and_then(|m| m.modified())
+                .map(|mtime| mtime != e.modified)
+                .unwrap_or(true);
+            if republished {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
                 total -= e.bytes;
                 removed += 1;
                 freed += e.bytes;
@@ -297,9 +341,22 @@ impl CacheStore {
         (removed, freed)
     }
 
-    /// Removes every artifact (and temp file). Returns entries removed.
+    /// Removes every artifact and every temp file, fresh or not — a full
+    /// wipe is an explicit administrative action, not a background sweep,
+    /// so no grace period applies. Returns entries removed.
     pub fn clear(&self) -> usize {
-        let (removed, _) = self.gc(0);
+        let mut removed = 0usize;
+        if let Ok(dir) = fs::read_dir(&self.root) {
+            for e in dir.flatten() {
+                let name = e.file_name();
+                let Some(name) = name.to_str() else { continue };
+                if name.starts_with("tmp-") {
+                    let _ = fs::remove_file(e.path());
+                } else if name.ends_with(".mpgc") && fs::remove_file(e.path()).is_ok() {
+                    removed += 1;
+                }
+            }
+        }
         removed
     }
 }
@@ -444,14 +501,72 @@ mod tests {
         let s = temp_store("gc");
         s.put("a", ArtifactKind::Report, &[0u8; 100]).unwrap();
         s.put("b", ArtifactKind::Report, &[0u8; 100]).unwrap();
-        // A leftover temp file from a "crashed writer".
+        // A just-written temp file: indistinguishable from an in-flight
+        // publish, so gc must leave it alone...
         fs::write(s.root().join("tmp-999-0"), b"torn").unwrap();
         assert_eq!(s.ls().len(), 2);
         let (removed, freed) = s.gc(u64::MAX);
         assert_eq!((removed, freed), (0, 0));
-        assert!(!s.root().join("tmp-999-0").exists(), "gc sweeps temp files");
+        assert!(
+            s.root().join("tmp-999-0").exists(),
+            "gc must not sweep fresh temp files"
+        );
+        // ...until it is stale (grace elapsed — simulated with zero grace).
+        let _ = s.gc_with_grace(u64::MAX, Duration::ZERO);
+        assert!(
+            !s.root().join("tmp-999-0").exists(),
+            "gc sweeps stale temp files"
+        );
+        // clear() is a full wipe: temp files go regardless of age.
+        fs::write(s.root().join("tmp-999-1"), b"torn").unwrap();
         assert_eq!(s.clear(), 2);
         assert!(s.ls().is_empty());
+        assert!(!s.root().join("tmp-999-1").exists());
+        let _ = fs::remove_dir_all(s.root());
+    }
+
+    /// The publish/gc race the grace period exists for: one thread
+    /// republishes the same key in a tight loop while another runs gc
+    /// continuously. Every publish must succeed (gc may never unlink a
+    /// temp file between its write and its rename), and the key must be
+    /// readable once the dust settles.
+    #[test]
+    fn gc_never_breaks_a_concurrent_publish() {
+        use std::sync::atomic::AtomicBool;
+
+        let s = temp_store("gc-race");
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            let store = s.clone();
+            let writer = scope.spawn(move || {
+                for i in 0..400u32 {
+                    store
+                        .put("hot", ArtifactKind::Report, &i.to_le_bytes())
+                        .unwrap_or_else(|e| panic!("publish {i} failed under gc: {e}"));
+                }
+            });
+            let store = s.clone();
+            let collector = {
+                let stop = &stop;
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        // Aggressive budget: evicts published entries, but
+                        // must never touch a fresh temp file.
+                        let _ = store.gc(0);
+                        std::thread::yield_now();
+                    }
+                })
+            };
+            writer.join().expect("writer panicked");
+            stop.store(true, Ordering::Relaxed);
+            collector.join().expect("gc thread panicked");
+        });
+        // After the race, a final publish must be visible.
+        s.put("hot", ArtifactKind::Report, b"final").unwrap();
+        assert_eq!(
+            s.get("hot", ArtifactKind::Report).as_deref(),
+            Some(&b"final"[..])
+        );
         let _ = fs::remove_dir_all(s.root());
     }
 

@@ -1,0 +1,193 @@
+//! Cooperative cancellation for long-running analyses.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between a
+//! supervisor (a deadline timer, a user's cancel request, a test harness)
+//! and the engine hot loops. The loops never block on it: they poll
+//! [`CancelToken::fired`] once every [`CHECK_INTERVAL`] events — one
+//! relaxed atomic load amortized over thousands of events, so the
+//! bit-identical fast path stays allocation-free and branch-predictable —
+//! and, on a hit, stop at a clean frontier instead of tearing down the
+//! process. A cancelled replay reuses the crash-frontier machinery
+//! ([`crate::report::DegradationReport`]) to report exactly how far it got.
+//!
+//! Determinism: wall-clock deadlines are inherently racy against event
+//! counts, so tests use [`CancelToken::fire_after_checks`], which fires on
+//! the N-th *poll* — a pure function of the event stream. The token never
+//! participates in [`crate::ReplayConfig::fingerprint`]: a run that
+//! completes without the token firing is byte-identical to a run without a
+//! token, which is what lets cancelled-capable services share the artifact
+//! cache with solo CLI runs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many completed events elapse between cancellation polls in the
+/// engine hot loops. Cancellation latency is bounded by one interval
+/// (plus the cost of the events in it).
+pub const CHECK_INTERVAL: u64 = 1024;
+
+/// Why a cancellable computation stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// [`CancelToken::cancel`] was called (user request, supervisor
+    /// shutdown, or a deterministic test firing).
+    Cancelled,
+    /// The token's deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::Cancelled => f.write_str("cancelled"),
+            CancelReason::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Why `cancelled` was set: `false` = explicit cancel, `true` = the
+    /// deadline poll tripped it. Written before `cancelled` (Release) so
+    /// a reader seeing the flag sees the reason.
+    by_deadline: AtomicBool,
+    deadline: Option<Instant>,
+    /// Deterministic test mode: fire on the N-th `fired` poll
+    /// (`u64::MAX` = disabled).
+    fire_at_check: AtomicU64,
+    checks: AtomicU64,
+}
+
+/// A shared cancellation flag with an optional deadline. Clones observe
+/// the same state; see the module docs for the polling contract.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token that only fires on an explicit [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self::with_deadline_at(None)
+    }
+
+    /// A token that also fires once `timeout` has elapsed from now.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        Self::with_deadline_at(Instant::now().checked_add(timeout))
+    }
+
+    fn with_deadline_at(deadline: Option<Instant>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                by_deadline: AtomicBool::new(false),
+                deadline,
+                fire_at_check: AtomicU64::new(u64::MAX),
+                checks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Arms the deterministic test mode: the token fires on the `n`-th
+    /// subsequent [`CancelToken::fired`] poll (1-based; `0` fires on the
+    /// next poll). Replay polls once before the drain and then every
+    /// [`CHECK_INTERVAL`] events, so the firing point is a pure function
+    /// of the event stream.
+    pub fn fire_after_checks(&self, n: u64) {
+        let at = self.inner.checks.load(Ordering::Relaxed).saturating_add(n);
+        self.inner.fire_at_check.store(at, Ordering::Release);
+    }
+
+    /// Has the token fired (by any mechanism)? Does not count as a poll.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Polls the token: the call the engine hot loops amortize. Counts
+    /// toward [`CancelToken::fire_after_checks`]; checks the explicit
+    /// flag first, then the deterministic firing point, then the
+    /// wall-clock deadline.
+    pub fn fired(&self) -> Option<CancelReason> {
+        let n = self.inner.checks.fetch_add(1, Ordering::Relaxed);
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(if self.inner.by_deadline.load(Ordering::Acquire) {
+                CancelReason::DeadlineExceeded
+            } else {
+                CancelReason::Cancelled
+            });
+        }
+        if n.saturating_add(1) >= self.inner.fire_at_check.load(Ordering::Acquire) {
+            self.inner.cancelled.store(true, Ordering::Release);
+            return Some(CancelReason::Cancelled);
+        }
+        if self.inner.deadline.is_some_and(|d| Instant::now() >= d) {
+            self.inner.by_deadline.store(true, Ordering::Release);
+            self.inner.cancelled.store(true, Ordering::Release);
+            return Some(CancelReason::DeadlineExceeded);
+        }
+        None
+    }
+
+    /// How many polls this token has absorbed (test introspection).
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_cancel_fires_every_clone() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert_eq!(t.fired(), None);
+        assert!(!u.is_cancelled());
+        u.cancel();
+        assert_eq!(t.fired(), Some(CancelReason::Cancelled));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deterministic_firing_point() {
+        let t = CancelToken::new();
+        t.fire_after_checks(3);
+        assert_eq!(t.fired(), None);
+        assert_eq!(t.fired(), None);
+        assert_eq!(t.fired(), Some(CancelReason::Cancelled));
+        // Latched: later polls keep firing.
+        assert_eq!(t.fired(), Some(CancelReason::Cancelled));
+        assert_eq!(t.checks(), 4);
+    }
+
+    #[test]
+    fn zero_deadline_fires_as_deadline() {
+        let t = CancelToken::with_deadline(Duration::ZERO);
+        assert_eq!(t.fired(), Some(CancelReason::DeadlineExceeded));
+        // The reason is latched, not reclassified.
+        assert_eq!(t.fired(), Some(CancelReason::DeadlineExceeded));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn far_deadline_does_not_fire() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert_eq!(t.fired(), None);
+        assert!(!t.is_cancelled());
+    }
+}

@@ -67,6 +67,7 @@ use std::collections::BTreeSet;
 use mpg_noise::Dist;
 
 use crate::arena::{GraphArena, NodeIdx};
+use crate::cancel::{CancelReason, CancelToken, CHECK_INTERVAL};
 use crate::graph::{EventGraph, NodeId, Point};
 use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel, SignedDist};
 use crate::{Cycles, Drift};
@@ -561,12 +562,33 @@ pub fn predicted_graph(graph: &EventGraph, model: &PerturbationModel) -> Option<
 /// (infinite slack). Returns `None` when no drift accumulated (quiet
 /// replay — every chain is trivial).
 pub fn drift_slack(graph: &EventGraph) -> Option<DriftSlack> {
+    drift_slack_inner(graph, None).expect("uncancellable slack sweep completes")
+}
+
+/// [`drift_slack`] with a cooperative [`CancelToken`] polled every
+/// [`CHECK_INTERVAL`] edges of the backward reach pass. A partial slack
+/// table would silently mislabel edges as critical, so a fired token
+/// aborts the computation instead of degrading.
+pub fn drift_slack_cancellable(
+    graph: &EventGraph,
+    cancel: &CancelToken,
+) -> Result<Option<DriftSlack>, CancelReason> {
+    drift_slack_inner(graph, Some(cancel))
+}
+
+fn drift_slack_inner(
+    graph: &EventGraph,
+    cancel: Option<&CancelToken>,
+) -> Result<Option<DriftSlack>, CancelReason> {
     let arena = graph.arena();
     let drifts = arena.propagate_dense();
     let finals = graph.final_drifts();
-    let (anchor_rank, &anchor_drift) = finals.iter().enumerate().max_by_key(|&(_, &d)| d)?;
+    let Some((anchor_rank, &anchor_drift)) = finals.iter().enumerate().max_by_key(|&(_, &d)| d)
+    else {
+        return Ok(None);
+    };
     if anchor_drift <= 0 {
-        return None;
+        return Ok(None);
     }
     let mut anchor: Option<NodeId> = None;
     for (node, _) in graph.nodes() {
@@ -578,14 +600,26 @@ pub fn drift_slack(graph: &EventGraph) -> Option<DriftSlack> {
             anchor = Some(node);
         }
     }
-    let anchor = anchor?;
+    let Some(anchor) = anchor else {
+        return Ok(None);
+    };
     // Best achievable delta-sum from each node to the anchor, dense over
     // the arena's index space (`None` ⇔ cannot reach the anchor).
     let mut reach: Vec<Option<Drift>> = vec![None; arena.num_nodes()];
-    reach[arena.node_index(&anchor)? as usize] = Some(0);
+    let Some(anchor_idx) = arena.node_index(&anchor) else {
+        return Ok(None);
+    };
+    reach[anchor_idx as usize] = Some(0);
     let n_edges = arena.num_edges();
     let mut slack = vec![None; n_edges];
     for i in (0..n_edges).rev() {
+        if let Some(token) = cancel {
+            if (i as u64).is_multiple_of(CHECK_INTERVAL) {
+                if let Some(reason) = token.fired() {
+                    return Err(reason);
+                }
+            }
+        }
         let (src, dst) = (arena.edge_src(i), arena.edge_dst(i));
         if let Some(r_dst) = reach[dst as usize] {
             let through = arena.edge_sampled(i) + r_dst;
@@ -595,11 +629,11 @@ pub fn drift_slack(graph: &EventGraph) -> Option<DriftSlack> {
             slack[i] = Some(anchor_drift - (f_src + through));
         }
     }
-    Some(DriftSlack {
+    Ok(Some(DriftSlack {
         anchor,
         anchor_drift,
         slack,
-    })
+    }))
 }
 
 /// Result of [`drift_slack`].

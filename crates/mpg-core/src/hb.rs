@@ -29,6 +29,7 @@
 //! arena's dense [`NodeIdx`] — no node hashing anywhere in the build.
 
 use crate::arena::NodeIdx;
+use crate::cancel::{CancelReason, CancelToken, CHECK_INTERVAL};
 use crate::graph::{EventGraph, NodeId, Point};
 use mpg_trace::{Rank, Seq};
 
@@ -57,7 +58,18 @@ pub struct HbIndex {
 impl HbIndex {
     /// Builds the index from a recorded graph.
     pub fn build(graph: &EventGraph) -> Self {
-        Self::build_inner(graph, None)
+        Self::build_inner(graph, None, None).expect("uncancellable build completes")
+    }
+
+    /// [`HbIndex::build`] with a cooperative [`CancelToken`] polled every
+    /// [`CHECK_INTERVAL`] edges of the forward pass. A partial clock
+    /// matrix is useless (queries would silently under-order), so a fired
+    /// token aborts the build entirely rather than degrading.
+    pub fn build_cancellable(
+        graph: &EventGraph,
+        cancel: &CancelToken,
+    ) -> Result<Self, CancelReason> {
+        Self::build_inner(graph, None, Some(cancel))
     }
 
     /// Builds the index with one collective hub *bypassed*: the hub's exit
@@ -67,10 +79,14 @@ impl HbIndex {
     /// index against [`HbIndex::build`] tells whether the collective's
     /// ordering is implied by the rest of the graph (`MPG-REDUNDANT-SYNC`).
     pub fn build_bypassing(graph: &EventGraph, hub: NodeId) -> Self {
-        Self::build_inner(graph, Some(hub))
+        Self::build_inner(graph, Some(hub), None).expect("uncancellable build completes")
     }
 
-    fn build_inner(graph: &EventGraph, bypass: Option<NodeId>) -> Self {
+    fn build_inner(
+        graph: &EventGraph,
+        bypass: Option<NodeId>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Self, CancelReason> {
         let arena = graph.arena();
         let p = graph.num_ranks();
         let n_nodes = arena.num_nodes();
@@ -112,6 +128,13 @@ impl HbIndex {
         let bypass_idx = bypass.and_then(|h| arena.node_index(&h));
         let mut from = vec![0u64; 2 * p];
         for e in 0..arena.num_edges() {
+            if let Some(token) = cancel {
+                if (e as u64).is_multiple_of(CHECK_INTERVAL) {
+                    if let Some(reason) = token.fired() {
+                        return Err(reason);
+                    }
+                }
+            }
             let (src, mut dst) = (arena.edge_src(e), arena.edge_dst(e));
             if let Some(h) = bypass_idx {
                 if src == h {
@@ -164,13 +187,13 @@ impl HbIndex {
                 complete[row * p..(row + 1) * p].copy_from_slice(&clock[p..]);
             }
         }
-        HbIndex {
+        Ok(HbIndex {
             p,
             counts,
             offsets,
             issue,
             complete,
-        }
+        })
     }
 
     /// Number of ranks the index covers.
@@ -372,6 +395,30 @@ mod tests {
         // Program order survives the bypass (passthrough edge).
         assert!(without.happens_before((0, 0), (0, 2)));
         assert!(without.completes_before((0, 1), (0, 2)));
+    }
+
+    #[test]
+    fn cancellable_build_matches_and_aborts() {
+        let g = two_rank_message();
+        let live = crate::cancel::CancelToken::new();
+        let hb = HbIndex::build_cancellable(&g, &live).expect("live token completes");
+        let plain = HbIndex::build(&g);
+        for a in 0..3u64 {
+            for b in 0..3u64 {
+                for (ra, rb) in [(0u32, 1u32), (1, 0), (0, 0)] {
+                    assert_eq!(
+                        hb.happens_before((ra, a), (rb, b)),
+                        plain.happens_before((ra, a), (rb, b)),
+                    );
+                }
+            }
+        }
+        let fired = crate::cancel::CancelToken::new();
+        fired.cancel();
+        assert_eq!(
+            HbIndex::build_cancellable(&g, &fired).err(),
+            Some(crate::cancel::CancelReason::Cancelled),
+        );
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn plan_lanes(configs: &[ReplayConfig]) -> Vec<LaneBatch> {
     // hashing a key that contains floats.
     let mut open: Vec<(usize, usize)> = Vec::new();
     for (i, cfg) in configs.iter().enumerate() {
-        if cfg.record_graph || cfg.gate.is_some() {
+        // Cancel-bearing configs stay singletons: a fired token must not
+        // truncate innocent lane-mates sharing the traversal.
+        if cfg.record_graph || cfg.gate.is_some() || cfg.cancel.is_some() {
             batches.push(LaneBatch { members: vec![i] });
             continue;
         }
@@ -322,6 +324,7 @@ impl DriftBank for VecBank {
                 timeline: std::mem::take(&mut self.timelines[lane]),
                 graph: None,
                 degradation: None,
+                cancelled: None,
             });
         }
         reports

@@ -63,6 +63,7 @@
 
 pub mod arena;
 pub mod cache;
+pub mod cancel;
 pub mod critical;
 pub mod dot;
 pub mod feasible;
@@ -83,8 +84,12 @@ pub use cache::{
     cached_drift_slack, cached_hb_index, cached_recorded_graph, ArtifactKind, CacheEntry,
     CacheStore, CachedReport, CACHE_SCHEMA,
 };
+pub use cancel::{CancelReason, CancelToken, CHECK_INTERVAL};
 pub use critical::{critical_path, CriticalPath};
-pub use feasible::{drift_slack, predictable, predicted_graph, DriftSlack, SlackSweep, StaticPath};
+pub use feasible::{
+    drift_slack, drift_slack_cancellable, predictable, predicted_graph, DriftSlack, SlackSweep,
+    StaticPath,
+};
 pub use graph::{Edge, EventGraph, NodeId, Point};
 pub use hb::{EventId, HbIndex};
 pub use lane::{lane_replays, plan_lanes, replay_batch, LaneBatch, MAX_LANES};

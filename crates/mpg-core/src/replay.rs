@@ -33,6 +33,7 @@
 
 use std::collections::VecDeque;
 
+use crate::cancel::{CancelReason, CancelToken, CHECK_INTERVAL};
 use crate::graph::{Edge, EventGraph, NodeId};
 use crate::perturb::{DeltaClass, PerturbSampler, PerturbationModel};
 use crate::report::{
@@ -144,6 +145,14 @@ pub struct ReplayConfig {
     /// stream ends before `Finalize` get a synthesized crash-exit at their
     /// last valid record. Default `false` (a stuck matching is an error).
     pub crash_tolerant: bool,
+    /// Cooperative cancellation: when set, the engine polls the token
+    /// every [`CHECK_INTERVAL`] events and, on a hit, stops at a clean
+    /// frontier, returning a partial report with
+    /// [`ReplayReport::cancelled`] set and crash-frontier degradation
+    /// accounting. Deliberately excluded from [`ReplayConfig::fingerprint`]:
+    /// a run the token never interrupts is byte-identical to a token-free
+    /// run (cancelled runs must not be cached).
+    pub cancel: Option<CancelToken>,
 }
 
 impl ReplayConfig {
@@ -160,6 +169,7 @@ impl ReplayConfig {
             arrival_bound: false,
             gate: None,
             crash_tolerant: false,
+            cancel: None,
         }
     }
 
@@ -208,6 +218,12 @@ impl ReplayConfig {
     /// Enables crash-tolerant replay of partial (salvaged) traces.
     pub fn crash_tolerant(mut self, on: bool) -> Self {
         self.crash_tolerant = on;
+        self
+    }
+
+    /// Installs a cooperative [`CancelToken`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -269,7 +285,9 @@ impl Replayer {
             })
             .collect();
         let bank = ScalarBank::new(&self.config, trace.num_ranks());
-        let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams).run()?;
+        let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams)
+            .with_cancel(self.config.cancel.clone())
+            .run()?;
         Ok(reports
             .into_iter()
             .next()
@@ -283,7 +301,9 @@ impl Replayer {
         streams: Vec<Box<dyn Iterator<Item = Result<EventRecord, TraceError>> + 'a>>,
     ) -> Result<ReplayReport, ReplayError> {
         let bank = ScalarBank::new(&self.config, streams.len());
-        let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams).run()?;
+        let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams)
+            .with_cancel(self.config.cancel.clone())
+            .run()?;
         Ok(reports
             .into_iter()
             .next()
@@ -301,7 +321,9 @@ impl Replayer {
     /// Falls back to the single-threaded engine when sharding cannot help or
     /// cannot preserve semantics: one shard requested, fewer than two ranks,
     /// graph recording (edge order is a whole-trace total order), an
-    /// admission gate, or crash tolerance.
+    /// admission gate, crash tolerance, or a cancel token (a cancelled
+    /// partial frontier must be a single engine's clean state, not a
+    /// mid-exchange snapshot).
     pub fn run_streams_parallel<I>(
         &self,
         streams: Vec<I>,
@@ -315,9 +337,12 @@ impl Replayer {
             || self.config.record_graph
             || self.config.gate.is_some()
             || self.config.crash_tolerant
+            || self.config.cancel.is_some()
         {
             let bank = ScalarBank::new(&self.config, streams.len());
-            let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams).run()?;
+            let reports = Engine::new(EngineKnobs::of(&self.config), bank, streams)
+                .with_cancel(self.config.cancel.clone())
+                .run()?;
             return Ok(reports
                 .into_iter()
                 .next()
@@ -525,6 +550,7 @@ impl DriftBank for ScalarBank {
             timeline: self.timeline,
             graph,
             degradation: None,
+            cancelled: None,
         }]
     }
 }
@@ -901,6 +927,12 @@ pub(crate) struct Engine<B: DriftBank, I> {
     /// collective contributions are routed through the exchange instead of
     /// local state.
     shard: Option<ShardCtx<B::Val>>,
+    /// Cooperative cancellation handle; `None` on the fast path.
+    cancel: Option<CancelToken>,
+    /// Event count at which the token is next polled. `u64::MAX` when no
+    /// token is installed, so the per-step guard is one always-false
+    /// compare and the fast path stays bit-identical.
+    next_cancel_check: u64,
 }
 
 impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B, I> {
@@ -940,6 +972,8 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
             knobs,
             bank,
             shard: None,
+            cancel: None,
+            next_cancel_check: u64::MAX,
         }
     }
 
@@ -948,6 +982,24 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
     pub(crate) fn with_shard(mut self, ctx: ShardCtx<B::Val>) -> Self {
         self.shard = Some(ctx);
         self
+    }
+
+    /// Installs a cooperative cancel token (no-op when `None`).
+    pub(crate) fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.next_cancel_check = if cancel.is_some() { 0 } else { u64::MAX };
+        self.cancel = cancel;
+        self
+    }
+
+    /// Amortized cancellation poll: cheap guard on the event counter,
+    /// real token poll at most once per [`CHECK_INTERVAL`] events.
+    #[inline]
+    fn poll_cancel(&mut self) -> Option<CancelReason> {
+        if self.stats.events < self.next_cancel_check {
+            return None;
+        }
+        self.next_cancel_check = self.stats.events + CHECK_INTERVAL;
+        self.cancel.as_ref().and_then(|t| t.fired())
     }
 
     pub(crate) fn run(mut self) -> Result<Vec<ReplayReport>, ReplayError> {
@@ -963,22 +1015,38 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
         // fired (acknowledgement delivered, matching send offered, a
         // wait-family request resolved, collective epoch filled). Each pop
         // runs the rank until it blocks again or its stream ends.
-        while let Some(ri) = self.ready.pop() {
-            let r = ri as Rank;
-            self.running = r;
-            self.stats.scheduler_wakeups += 1;
-            if let Some(slept) = self.cursors[ri].slept_at.take() {
-                // Every scheduler turn that elapsed while this rank slept
-                // is a pass on which the round-robin engine would have
-                // re-polled it to no effect.
-                self.stats.polls_avoided += self.pops - slept;
+        let mut cancelled = self.poll_cancel();
+        if cancelled.is_none() {
+            'drain: while let Some(ri) = self.ready.pop() {
+                let r = ri as Rank;
+                self.running = r;
+                self.stats.scheduler_wakeups += 1;
+                if let Some(slept) = self.cursors[ri].slept_at.take() {
+                    // Every scheduler turn that elapsed while this rank
+                    // slept is a pass on which the round-robin engine
+                    // would have re-polled it to no effect.
+                    self.stats.polls_avoided += self.pops - slept;
+                }
+                self.pops += 1;
+                // The inner drain can retire one rank's whole stream in a
+                // single turn, so the amortized poll lives here — the
+                // cancellation latency bound is one CHECK_INTERVAL of
+                // events, not one scheduler turn.
+                while self.step(r)? {
+                    if let Some(reason) = self.poll_cancel() {
+                        cancelled = Some(reason);
+                        self.running = NO_RANK;
+                        break 'drain;
+                    }
+                }
+                self.running = NO_RANK;
+                if !self.cursors[ri].done {
+                    self.cursors[ri].slept_at = Some(self.pops);
+                }
             }
-            self.pops += 1;
-            while self.step(r)? {}
-            self.running = NO_RANK;
-            if !self.cursors[ri].done {
-                self.cursors[ri].slept_at = Some(self.pops);
-            }
+        }
+        if let Some(reason) = cancelled {
+            return self.finish_cancelled(reason);
         }
         // The queue drained with live cursors: no wakeup source can ever
         // fire again, so the remaining ranks are deadlocked (the polling
@@ -1189,6 +1257,28 @@ impl<B: DriftBank, I: Iterator<Item = Result<EventRecord, TraceError>>> Engine<B
             open_requests: self.cursors.iter().map(|c| c.reqs.len()).sum(),
             frontiers,
         }
+    }
+
+    /// Terminal path for a cancelled or deadline-hit drain: a partial
+    /// report built from the clean frontier the engine stopped at, with
+    /// crash-frontier degradation accounting and the cancellation reason
+    /// attached. Never an error — graceful degradation is the contract.
+    fn finish_cancelled(mut self, reason: CancelReason) -> Result<Vec<ReplayReport>, ReplayError> {
+        let degradation = Some(self.degradation()).filter(|d| !d.frontiers.is_empty());
+        let detail = degradation
+            .as_ref()
+            .map(|d| format!("; {}", d.summary()))
+            .unwrap_or_default();
+        self.warnings.push(format!(
+            "replay {reason} after {} event(s); drifts describe the partial frontier{detail}",
+            self.stats.events,
+        ));
+        let mut reports = self.finish()?;
+        for rep in &mut reports {
+            rep.degradation = degradation.clone();
+            rep.cancelled = Some(reason);
+        }
+        Ok(reports)
     }
 
     /// Enqueues `r` for another scheduling turn. Called exactly when one

@@ -1,6 +1,7 @@
 //! Replay results: modified completion times, sensitivity accounting,
 //! warnings, and error types.
 
+use crate::cancel::CancelReason;
 use crate::graph::EventGraph;
 use crate::{Cycles, Drift};
 
@@ -143,6 +144,12 @@ pub struct ReplayReport {
     /// [`crash_tolerant`](crate::ReplayConfig::crash_tolerant) replay ran
     /// against a partial trace. `None` means the replay completed normally.
     pub degradation: Option<DegradationReport>,
+    /// Set when a [`CancelToken`](crate::CancelToken) or deadline stopped
+    /// the replay early: the report is a clean partial frontier (see
+    /// `degradation` for how far each rank got). `None` means the replay
+    /// ran to completion — such reports are byte-identical to token-free
+    /// runs.
+    pub cancelled: Option<CancelReason>,
 }
 
 impl ReplayReport {
@@ -221,6 +228,7 @@ mod tests {
             timeline: vec![],
             graph: None,
             degradation: None,
+            cancelled: None,
         }
     }
 

@@ -71,8 +71,8 @@ pub use waitstate::{
 };
 
 use mpg_core::{
-    cached_hb_index, cached_recorded_graph, CacheStore, EventGraph, HbIndex, PerturbationModel,
-    ReplayConfig, Replayer, TraceGate,
+    cached_hb_index, cached_recorded_graph, CacheStore, CancelReason, CancelToken, EventGraph,
+    HbIndex, PerturbationModel, ReplayConfig, Replayer, TraceGate,
 };
 use mpg_trace::{sort_diagnostics, Diagnostic, MemTrace, Rule, Severity};
 
@@ -210,6 +210,56 @@ impl<'t> LintContext<'t> {
         }
     }
 
+    /// Like [`LintContext::build`], but cooperatively cancellable: the
+    /// token is installed into the recording replay (checked every
+    /// [`CHECK_INTERVAL`](mpg_core::CHECK_INTERVAL) events) and into the
+    /// happens-before construction. When the token fires mid-build the
+    /// partial graph is *discarded* — a half-stitched graph would make the
+    /// graph-backed passes report phantom defects — and the context
+    /// degrades to the salvage shape (progress artifacts only), exactly as
+    /// if the graph could not be built. The second return value reports
+    /// whether (and why) the build was cut short.
+    pub fn build_cancellable(
+        trace: &'t MemTrace,
+        cancel: &CancelToken,
+    ) -> (Self, Option<CancelReason>) {
+        let cfg = lint_replay_config().cancel_token(cancel.clone());
+        let (progress, replayed) = std::thread::scope(|scope| {
+            let graph_thread = scope.spawn(|| Replayer::new(cfg).run(trace));
+            let progress = run_progress(trace, &MatchPolicy::Recorded);
+            (progress, graph_thread.join().expect("replay panicked"))
+        });
+        let (graph, graph_error, mut cancelled) = match replayed {
+            Ok(report) => match report.cancelled {
+                Some(reason) => (None, None, Some(reason)),
+                None => (report.graph, None, None),
+            },
+            Err(e) => (None, Some(e.to_string()), None),
+        };
+        let hb = match (&graph, cancelled) {
+            (Some(g), None) => match HbIndex::build_cancellable(g, cancel) {
+                Ok(hb) => Some(hb),
+                Err(reason) => {
+                    cancelled = Some(reason);
+                    None
+                }
+            },
+            _ => None,
+        };
+        // A fired token invalidates the graph for pass scheduling too.
+        let graph = if cancelled.is_some() { None } else { graph };
+        (
+            LintContext {
+                trace,
+                progress,
+                graph,
+                graph_error,
+                hb,
+            },
+            cancelled,
+        )
+    }
+
     /// The artifacts this context actually has.
     fn available(&self) -> Needs {
         let mut n = Needs::PROGRESS;
@@ -309,6 +359,40 @@ pub fn lint_full_cached(trace: &MemTrace, store: &CacheStore, trace_key: &str) -
     lint_full_impl(trace, Some((store, trace_key)))
 }
 
+/// Result of a cancellable full lint ([`lint_full_cancellable`]).
+///
+/// `cancelled: Some(_)` means the run was cut short: `diags` still carries
+/// everything computed before the cut — validation plus, when the progress
+/// simulation finished, the progress-pass findings — but the graph-backed
+/// passes (3, 4, 6, 7) were skipped. The rule set is deliberately *not*
+/// extended with a "cancelled" diagnostic: a cut-short lint is an incomplete
+/// answer, not a defect in the trace.
+#[derive(Debug, Clone)]
+pub struct LintOutcome {
+    /// Diagnostics found before the cut (sorted worst first).
+    pub diags: Vec<Diagnostic>,
+    /// Why the run was cut short, when it was.
+    pub cancelled: Option<CancelReason>,
+}
+
+/// [`lint_full`] under a [`CancelToken`]: deadline- and cancel-aware for
+/// supervised (service) runs. A fired token degrades the output to the
+/// salvage path — validation and progress findings only — rather than
+/// erroring; see [`LintOutcome`].
+pub fn lint_full_cancellable(trace: &MemTrace, cancel: &CancelToken) -> LintOutcome {
+    let mut diags = mpg_trace::validate_trace_diagnostics(trace);
+    if diags.iter().any(|d| d.severity == Severity::Error) {
+        sort_diagnostics(&mut diags);
+        return LintOutcome {
+            diags,
+            cancelled: None,
+        };
+    }
+    let (ctx, cancelled) = LintContext::build_cancellable(trace, cancel);
+    let diags = lint_over_context(diags, ctx);
+    LintOutcome { diags, cancelled }
+}
+
 fn lint_full_impl(trace: &MemTrace, cache: Option<(&CacheStore, &str)>) -> Vec<Diagnostic> {
     let mut diags = mpg_trace::validate_trace_diagnostics(trace);
     if diags.iter().any(|d| d.severity == Severity::Error) {
@@ -319,6 +403,13 @@ fn lint_full_impl(trace: &MemTrace, cache: Option<(&CacheStore, &str)>) -> Vec<D
         Some((store, trace_key)) => LintContext::build_cached(trace, store, trace_key),
         None => LintContext::build(trace),
     };
+    lint_over_context(diags, ctx)
+}
+
+/// Shared back half of [`lint_full_impl`] and [`lint_full_cancellable`]:
+/// progress-error short-circuit, graph-stitch reporting, then the parallel
+/// pass schedule over whatever artifacts the context has.
+fn lint_over_context(mut diags: Vec<Diagnostic>, ctx: LintContext<'_>) -> Vec<Diagnostic> {
     let progress_errors = ctx
         .progress
         .diags
@@ -478,6 +569,27 @@ mod tests {
             "cached lint should publish artifacts"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancellable_lint_matches_and_degrades() {
+        let mt = one_rank_trace(vec![
+            EventKind::Init,
+            EventKind::Compute { work: 10 },
+            EventKind::Finalize,
+        ]);
+        // Live token: identical to the plain full lint.
+        let live = CancelToken::new();
+        let out = lint_full_cancellable(&mt, &live);
+        assert!(out.cancelled.is_none());
+        assert_eq!(out.diags, lint_full(&mt));
+        // Pre-fired token: degrades to the salvage shape (progress-only),
+        // reports the cut, and never invents diagnostics.
+        let fired = CancelToken::new();
+        fired.cancel();
+        let out = lint_full_cancellable(&mt, &fired);
+        assert_eq!(out.cancelled, Some(CancelReason::Cancelled));
+        assert_eq!(out.diags, lint_trace(&mt));
     }
 
     #[test]

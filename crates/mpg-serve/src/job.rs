@@ -1,0 +1,201 @@
+//! Job identity, specification, lifecycle states, and the service error
+//! contract.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use mpg_core::CancelReason;
+
+/// Opaque job handle, unique within one [`JobRuntime`](crate::JobRuntime).
+///
+/// Ids are allocated sequentially from 1, so scripts and tests can predict
+/// them; display form is `job-N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What a job does. Each kind mirrors one `mpgtool` subcommand and renders
+/// its result through the same code path ([`crate::render`]), so a
+/// completed job's output is byte-identical to the solo CLI run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobKind {
+    /// Perturbation replay of a trace directory (≙ `mpgtool replay`).
+    Replay {
+        /// Trace directory.
+        dir: PathBuf,
+        /// Mean of the exponential OS-noise distribution (0 = none).
+        os_mean: f64,
+        /// Constant extra message latency in cycles (0 = none).
+        latency: f64,
+        /// Extra cycles per message byte.
+        per_byte: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// Full static lint of a trace directory (≙ `mpgtool lint`).
+    Lint {
+        /// Trace directory.
+        dir: PathBuf,
+    },
+}
+
+impl JobKind {
+    /// The trace directory the job reads.
+    pub fn dir(&self) -> &PathBuf {
+        match self {
+            JobKind::Replay { dir, .. } | JobKind::Lint { dir } => dir,
+        }
+    }
+
+    /// Short label for status lines.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            JobKind::Replay { .. } => "replay",
+            JobKind::Lint { .. } => "lint",
+        }
+    }
+}
+
+/// A submitted unit of work: the kind plus its per-job deadline (measured
+/// from submission, so queue wait counts against it — an overloaded
+/// service must not grant slow jobs more wall clock than a fast one).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// What to run.
+    pub kind: JobKind,
+    /// Wall-clock budget from submission; `None` = unbounded.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A spec with no deadline.
+    pub fn new(kind: JobKind) -> Self {
+        JobSpec {
+            kind,
+            deadline: None,
+        }
+    }
+
+    /// Sets the deadline.
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// Job lifecycle. Transitions are strictly forward:
+///
+/// ```text
+/// Queued ──► Running ──► Done
+///    │          ├──────► Failed            (typed error, retries exhausted)
+///    │          ├──────► Cancelled         (token fired; partial output)
+///    │          ├──────► DeadlineExceeded  (deadline fired; partial output)
+///    │          └──────► Crashed           (panic; quarantined, worker respawned)
+///    └─────────────────► Cancelled         (cancelled while still queued)
+/// ```
+///
+/// The four right-hand states are terminal; see DESIGN.md §15 for the
+/// full contract table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished cleanly; full output available.
+    Done,
+    /// Finished with a typed error (after any retries).
+    Failed,
+    /// Cut short by explicit cancellation; partial output available.
+    Cancelled,
+    /// Cut short by its deadline; partial output available.
+    DeadlineExceeded,
+    /// The job panicked; it is quarantined and produced no output.
+    Crashed,
+}
+
+impl JobState {
+    /// Stable lower-case protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::DeadlineExceeded => "deadline-exceeded",
+            JobState::Crashed => "crashed",
+        }
+    }
+
+    /// No further transitions happen out of this state.
+    pub fn is_terminal(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<CancelReason> for JobState {
+    fn from(r: CancelReason) -> Self {
+        match r {
+            CancelReason::Cancelled => JobState::Cancelled,
+            CancelReason::DeadlineExceeded => JobState::DeadlineExceeded,
+        }
+    }
+}
+
+/// A point-in-time view of a job, as returned by
+/// [`JobRuntime::status`](crate::JobRuntime::status).
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// The job.
+    pub id: JobId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Rendered output: full for `Done`, partial for `Cancelled` /
+    /// `DeadlineExceeded`, absent otherwise.
+    pub output: Option<String>,
+    /// Error or panic message for `Failed` / `Crashed`.
+    pub error: Option<String>,
+    /// Execution attempts so far (>1 means transient retries happened).
+    pub attempts: u32,
+}
+
+/// Typed service errors — the admission-control and lookup contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The bounded queue is full; the caller must back off and resubmit.
+    Overloaded {
+        /// The configured queue depth that was hit.
+        depth: usize,
+    },
+    /// The runtime is shutting down and accepts no new work.
+    ShuttingDown,
+    /// No such job id.
+    UnknownJob(JobId),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded { depth } => {
+                write!(f, "overloaded: queue depth {depth} reached; resubmit later")
+            }
+            ServeError::ShuttingDown => write!(f, "shutting down; not accepting work"),
+            ServeError::UnknownJob(id) => write!(f, "unknown job {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

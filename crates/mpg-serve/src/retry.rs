@@ -1,0 +1,92 @@
+//! Bounded retries with seeded, jittered exponential backoff for
+//! transient I/O failures.
+//!
+//! Jitter is deterministic — a pure function of `(seed, job, attempt)` —
+//! so a chaos run replays byte-identically under the same seed; the jitter
+//! still decorrelates concurrent retriers the way randomized backoff is
+//! meant to.
+
+use std::time::Duration;
+
+/// SplitMix64, re-declared privately (the faultgen copy is private to
+/// mpg-trace, and two small copies beat a public RNG API).
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Retry budget and backoff shape for transient failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total execution attempts (1 = no retries).
+    pub attempts: u32,
+    /// Backoff base; attempt `n` (0-based) sleeps `base·2ⁿ` plus jitter.
+    pub base: Duration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base: Duration::from_millis(10),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based: the sleep taken
+    /// *after* that many failed attempts) of `job`: exponential in the
+    /// attempt with up to +50% deterministic jitter.
+    pub fn backoff(&self, job: u64, attempt: u32) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << attempt.min(16));
+        let jitter_ns = if exp.is_zero() {
+            0
+        } else {
+            let mut rng = SplitMix64(self.seed ^ job.rotate_left(17) ^ u64::from(attempt));
+            rng.next_u64() % (exp.as_nanos() as u64 / 2).max(1)
+        };
+        exp + Duration::from_nanos(jitter_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(10),
+            seed: 9,
+        };
+        for attempt in 1..4 {
+            assert_eq!(p.backoff(5, attempt), p.backoff(5, attempt));
+            // Exponential floor: jitter only adds.
+            assert!(p.backoff(5, attempt) >= p.base * (1 << attempt));
+            assert!(p.backoff(5, attempt) < p.base * (1 << attempt) * 3 / 2 + p.base);
+        }
+        // Different jobs take different jitter.
+        assert_ne!(p.backoff(5, 1), p.backoff(6, 1));
+    }
+
+    #[test]
+    fn zero_base_never_sleeps() {
+        let p = RetryPolicy {
+            attempts: 3,
+            base: Duration::ZERO,
+            seed: 1,
+        };
+        assert_eq!(p.backoff(1, 1), Duration::ZERO);
+    }
+}

@@ -1,0 +1,699 @@
+//! The supervised job runtime: bounded admission, worker pool, deadlines,
+//! cooperative cancellation, panic quarantine, and transient-failure
+//! retries.
+//!
+//! Supervision model: worker threads pull jobs from a bounded queue; each
+//! job body runs under `catch_unwind`. A panicking job is **quarantined**
+//! (recorded with its panic message, marked `crashed`) and its worker
+//! exits — the thread's state is conservatively treated as poisoned — to
+//! be respawned by the next supervision pass ([`JobRuntime::supervise`],
+//! folded into every public entry point). Cancellation and deadlines ride
+//! the engines' [`CancelToken`] plumbing, so a cut-short replay comes back
+//! as a *partial frontier report*, not an error.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mpg_core::{ArtifactKind, CacheStore, CancelToken, ReplayError, Replayer};
+use mpg_trace::{FileTraceSet, TraceError};
+
+use crate::chaos::{ChaosOp, ChaosPlan};
+use crate::job::{JobId, JobKind, JobSpec, JobState, JobStatus, ServeError};
+use crate::render;
+use crate::retry::RetryPolicy;
+
+/// Runtime tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads.
+    pub workers: usize,
+    /// Bounded queue depth; submissions beyond it get
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Deadline applied to jobs that don't carry their own.
+    pub default_deadline: Option<Duration>,
+    /// Transient-failure retry budget and backoff shape.
+    pub retry: RetryPolicy,
+    /// Artifact cache for warm replays (shared with solo `mpgtool` runs).
+    pub cache: Option<CacheStore>,
+    /// Chaos plan (tests / `--chaos`); [`ChaosPlan::none`] in production.
+    pub chaos: ChaosPlan,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: 2,
+            queue_depth: 16,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            cache: None,
+            chaos: ChaosPlan::none(),
+        }
+    }
+}
+
+/// Aggregate counters for `STATS` and the invariant checker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Terminal-state counts.
+    pub done: u64,
+    /// Jobs that failed with a typed error.
+    pub failed: u64,
+    /// Jobs cut short by explicit cancellation.
+    pub cancelled: u64,
+    /// Jobs cut short by their deadline.
+    pub deadline_exceeded: u64,
+    /// Jobs that panicked (= quarantine length).
+    pub crashed: u64,
+    /// Workers respawned after a crash.
+    pub respawns: u64,
+    /// Warm report-cache hits.
+    pub cache_hits: u64,
+}
+
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    output: Option<String>,
+    error: Option<String>,
+    attempts: u32,
+    started: bool,
+    token: CancelToken,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<JobId>>,
+    work_cv: Condvar,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    done_cv: Condvar,
+    quarantine: Mutex<Vec<(JobId, String)>>,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    respawns: AtomicU64,
+    cache_hits: AtomicU64,
+    retry: RetryPolicy,
+    cache: Option<CacheStore>,
+    chaos: ChaosPlan,
+}
+
+/// Locks a mutex, recovering from poisoning: the runtime's shared state is
+/// only mutated under short, panic-free critical sections, so a poisoned
+/// lock means a *worker* died elsewhere — the data is still consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The supervised job runtime. Dropping it shuts down ungracefully; call
+/// [`JobRuntime::shutdown`] to drain first.
+pub struct JobRuntime {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    target_workers: usize,
+    queue_depth: usize,
+    default_deadline: Option<Duration>,
+}
+
+impl JobRuntime {
+    /// Starts the worker pool.
+    pub fn start(cfg: RuntimeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            jobs: Mutex::new(HashMap::new()),
+            done_cv: Condvar::new(),
+            quarantine: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+            respawns: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            retry: cfg.retry,
+            cache: cfg.cache,
+            chaos: cfg.chaos,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| spawn_worker(Arc::clone(&shared)))
+            .collect();
+        JobRuntime {
+            shared,
+            workers: Mutex::new(workers),
+            target_workers: cfg.workers.max(1),
+            queue_depth: cfg.queue_depth.max(1),
+            default_deadline: cfg.default_deadline,
+        }
+    }
+
+    /// Submits a job. `Err(Overloaded)` when the queue is full — the
+    /// backpressure contract; `Err(ShuttingDown)` after
+    /// [`JobRuntime::shutdown`] began.
+    pub fn submit(&self, mut spec: JobSpec) -> Result<JobId, ServeError> {
+        self.supervise();
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if spec.deadline.is_none() {
+            spec.deadline = self.default_deadline;
+        }
+        let mut queue = lock(&self.shared.queue);
+        let depth = self.queue_depth;
+        if queue.len() >= depth {
+            return Err(ServeError::Overloaded { depth });
+        }
+        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let token = match spec.deadline {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::new(),
+        };
+        lock(&self.shared.jobs).insert(
+            id.0,
+            JobRecord {
+                spec,
+                state: JobState::Queued,
+                output: None,
+                error: None,
+                attempts: 0,
+                started: false,
+                token,
+            },
+        );
+        queue.push_back(id);
+        drop(queue);
+        self.shared.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Requests cancellation. Queued jobs transition immediately; running
+    /// jobs observe the token within one engine check interval and come
+    /// back with a partial report.
+    pub fn cancel(&self, id: JobId) -> Result<(), ServeError> {
+        self.supervise();
+        let mut jobs = lock(&self.shared.jobs);
+        let rec = jobs.get_mut(&id.0).ok_or(ServeError::UnknownJob(id))?;
+        rec.token.cancel();
+        if rec.state == JobState::Queued {
+            rec.state = JobState::Cancelled;
+            drop(jobs);
+            self.shared.done_cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Point-in-time view of a job.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, ServeError> {
+        self.supervise();
+        let jobs = lock(&self.shared.jobs);
+        let rec = jobs.get(&id.0).ok_or(ServeError::UnknownJob(id))?;
+        Ok(JobStatus {
+            id,
+            state: rec.state,
+            output: rec.output.clone(),
+            error: rec.error.clone(),
+            attempts: rec.attempts,
+        })
+    }
+
+    /// Blocks until the job reaches a terminal state (or `timeout`
+    /// passes); returns the final status either way.
+    pub fn wait(&self, id: JobId, timeout: Duration) -> Result<JobStatus, ServeError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let st = self.status(id)?; // supervises each turn
+            if st.state.is_terminal() || Instant::now() >= deadline {
+                return Ok(st);
+            }
+            let jobs = lock(&self.shared.jobs);
+            let _ = self
+                .shared
+                .done_cv
+                .wait_timeout(jobs, Duration::from_millis(20))
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks until every accepted job is terminal.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            self.supervise();
+            let all_terminal = lock(&self.shared.jobs)
+                .values()
+                .all(|r| r.state.is_terminal());
+            if all_terminal {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Drains, then stops and joins the workers.
+    pub fn shutdown(&self, timeout: Duration) -> bool {
+        let drained = self.drain(timeout);
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        for h in lock(&self.workers).drain(..) {
+            let _ = h.join();
+        }
+        drained
+    }
+
+    /// Respawns workers that died (a quarantined panic kills its worker).
+    /// Folded into every public entry point, so the pool self-heals on the
+    /// next interaction; tests may also call it directly.
+    pub fn supervise(&self) {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut workers = lock(&self.workers);
+        for slot in workers.iter_mut() {
+            if slot.is_finished() {
+                let dead = std::mem::replace(slot, spawn_worker(Arc::clone(&self.shared)));
+                let _ = dead.join();
+                self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        while workers.len() < self.target_workers {
+            workers.push(spawn_worker(Arc::clone(&self.shared)));
+            self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Quarantined jobs: id plus panic message. Never cleared — the
+    /// quarantine is the service's crash ledger.
+    pub fn quarantine(&self) -> Vec<(JobId, String)> {
+        lock(&self.shared.quarantine).clone()
+    }
+
+    /// Live (non-finished) worker threads.
+    pub fn live_workers(&self) -> usize {
+        lock(&self.workers)
+            .iter()
+            .filter(|h| !h.is_finished())
+            .count()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> RuntimeStats {
+        let jobs = lock(&self.shared.jobs);
+        let count = |s: JobState| jobs.values().filter(|r| r.state == s).count() as u64;
+        RuntimeStats {
+            submitted: jobs.len() as u64,
+            done: count(JobState::Done),
+            failed: count(JobState::Failed),
+            cancelled: count(JobState::Cancelled),
+            deadline_exceeded: count(JobState::DeadlineExceeded),
+            crashed: count(JobState::Crashed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The chaos-harness invariant checker. Call after [`JobRuntime::drain`];
+    /// returns human-readable violations (empty = healthy):
+    ///
+    /// 1. every job reached a terminal state (nothing wedged),
+    /// 2. the quarantine ledger matches the crashed jobs exactly (no leak,
+    ///    no loss),
+    /// 3. the worker pool is back at full strength,
+    /// 4. every terminal state carries its contractual payload (`done` ⇒
+    ///    output, started `cancelled`/`deadline-exceeded` ⇒ partial
+    ///    output, `failed`/`crashed` ⇒ error).
+    pub fn invariant_violations(&self) -> Vec<String> {
+        self.supervise();
+        let mut v = Vec::new();
+        let jobs = lock(&self.shared.jobs);
+        for (raw, rec) in jobs.iter() {
+            let id = JobId(*raw);
+            if !rec.state.is_terminal() {
+                v.push(format!("{id} wedged in state {}", rec.state));
+            }
+            match rec.state {
+                JobState::Done if rec.output.is_none() => {
+                    v.push(format!("{id} done without output"));
+                }
+                JobState::Cancelled | JobState::DeadlineExceeded
+                    if rec.started && rec.output.is_none() =>
+                {
+                    v.push(format!(
+                        "{id} cut short after starting but has no partial output"
+                    ));
+                }
+                JobState::Failed | JobState::Crashed if rec.error.is_none() => {
+                    v.push(format!("{id} {} without an error message", rec.state));
+                }
+                _ => {}
+            }
+        }
+        let crashed: Vec<u64> = jobs
+            .iter()
+            .filter(|(_, r)| r.state == JobState::Crashed)
+            .map(|(id, _)| *id)
+            .collect();
+        drop(jobs);
+        let quarantine = lock(&self.shared.quarantine);
+        if quarantine.len() != crashed.len() {
+            v.push(format!(
+                "quarantine leak: {} entries for {} crashed job(s)",
+                quarantine.len(),
+                crashed.len()
+            ));
+        }
+        for id in &crashed {
+            if !quarantine.iter().any(|(q, _)| q.0 == *id) {
+                v.push(format!(
+                    "{} crashed but is missing from quarantine",
+                    JobId(*id)
+                ));
+            }
+        }
+        drop(quarantine);
+        let live = self.live_workers();
+        if live != self.target_workers {
+            v.push(format!(
+                "worker pool degraded: {live}/{} alive",
+                self.target_workers
+            ));
+        }
+        v
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>) -> JoinHandle<()> {
+    std::thread::spawn(move || worker_loop(shared))
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let id = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .work_cv
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+        };
+        if run_one(&shared, id) == WorkerVerdict::Die {
+            return;
+        }
+    }
+}
+
+/// After a job, does the worker keep serving or retire?
+#[derive(PartialEq)]
+enum WorkerVerdict {
+    Continue,
+    /// The worker caught a job panic: its thread state is conservatively
+    /// poisoned, so it retires and the supervisor respawns a clean one.
+    Die,
+}
+
+/// Executes one job under `catch_unwind`; a panic quarantines the job and
+/// kills this worker (poisoned-state conservatism — the supervisor
+/// respawns a fresh one).
+fn run_one(shared: &Arc<Shared>, id: JobId) -> WorkerVerdict {
+    let (spec, token) = {
+        let mut jobs = lock(&shared.jobs);
+        let Some(rec) = jobs.get_mut(&id.0) else {
+            return WorkerVerdict::Continue;
+        };
+        if rec.state != JobState::Queued {
+            return WorkerVerdict::Continue; // cancelled while queued
+        }
+        // Deadline may have passed while queued.
+        if let Some(reason) = rec.token.fired() {
+            rec.state = reason.into();
+            drop(jobs);
+            shared.done_cv.notify_all();
+            return WorkerVerdict::Continue;
+        }
+        rec.state = JobState::Running;
+        rec.started = true;
+        (rec.spec.clone(), rec.token.clone())
+    };
+    let chaos = shared.chaos.op_for(id.0);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        execute_with_retries(shared, id, &spec, &token, chaos.as_ref())
+    }));
+    match result {
+        Ok(outcome) => {
+            let mut jobs = lock(&shared.jobs);
+            if let Some(rec) = jobs.get_mut(&id.0) {
+                rec.state = outcome.state;
+                rec.output = outcome.output;
+                rec.error = outcome.error;
+                rec.attempts = outcome.attempts;
+            }
+            drop(jobs);
+            shared.done_cv.notify_all();
+            WorkerVerdict::Continue
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            lock(&shared.quarantine).push((id, msg.clone()));
+            let mut jobs = lock(&shared.jobs);
+            if let Some(rec) = jobs.get_mut(&id.0) {
+                rec.state = JobState::Crashed;
+                rec.error = Some(msg);
+            }
+            drop(jobs);
+            shared.done_cv.notify_all();
+            WorkerVerdict::Die
+        }
+    }
+}
+
+struct Outcome {
+    state: JobState,
+    output: Option<String>,
+    error: Option<String>,
+    attempts: u32,
+}
+
+struct RunFailure {
+    transient: bool,
+    msg: String,
+}
+
+fn execute_with_retries(
+    shared: &Shared,
+    id: JobId,
+    spec: &JobSpec,
+    token: &CancelToken,
+    chaos: Option<&ChaosOp>,
+) -> Outcome {
+    if let Some(ChaosOp::Delay(d)) = chaos {
+        std::thread::sleep(*d);
+    }
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        // A token fired during queueing, chaos delay, or backoff: stop
+        // before burning another attempt.
+        if let Some(reason) = token.fired() {
+            return Outcome {
+                state: reason.into(),
+                output: Some(String::new()),
+                error: None,
+                attempts,
+            };
+        }
+        match run_once(shared, id, spec, token, chaos, attempts) {
+            Ok(mut outcome) => {
+                outcome.attempts = attempts;
+                return outcome;
+            }
+            Err(f) if f.transient && attempts < shared.retry.attempts => {
+                std::thread::sleep(shared.retry.backoff(id.0, attempts));
+            }
+            Err(f) => {
+                return Outcome {
+                    state: JobState::Failed,
+                    output: None,
+                    error: Some(f.msg),
+                    attempts,
+                };
+            }
+        }
+    }
+}
+
+fn run_once(
+    shared: &Shared,
+    id: JobId,
+    spec: &JobSpec,
+    token: &CancelToken,
+    chaos: Option<&ChaosOp>,
+    attempt: u32,
+) -> Result<Outcome, RunFailure> {
+    match chaos {
+        Some(ChaosOp::PanicOnOpen) => panic!("chaos: injected panic on open ({id})"),
+        Some(ChaosOp::IoError { failures }) if attempt <= *failures => {
+            return Err(RunFailure {
+                transient: true,
+                msg: format!("chaos: injected transient I/O error (attempt {attempt})"),
+            });
+        }
+        Some(ChaosOp::CorruptArtifact) => {
+            if let Some(store) = &shared.cache {
+                corrupt_cache(store.root());
+            }
+        }
+        _ => {}
+    }
+    match &spec.kind {
+        JobKind::Replay {
+            dir,
+            os_mean,
+            latency,
+            per_byte,
+            seed,
+        } => run_replay(
+            shared,
+            token,
+            chaos,
+            dir.as_path(),
+            (*os_mean, *latency, *per_byte, *seed),
+        ),
+        JobKind::Lint { dir } => run_lint(token, dir.as_path()),
+    }
+}
+
+fn open_trace(dir: &Path) -> Result<mpg_trace::MemTrace, RunFailure> {
+    let classify = |e: TraceError| RunFailure {
+        // I/O-level failures (vanished file, EIO) are the transient class
+        // the retry loop exists for; structural damage is permanent.
+        transient: matches!(e, TraceError::Io(_)),
+        msg: e.to_string(),
+    };
+    let set = FileTraceSet::open(dir).map_err(classify)?;
+    set.load().map_err(classify)
+}
+
+fn run_replay(
+    shared: &Shared,
+    token: &CancelToken,
+    chaos: Option<&ChaosOp>,
+    dir: &Path,
+    (os_mean, latency, per_byte, seed): (f64, f64, f64, u64),
+) -> Result<Outcome, RunFailure> {
+    let cfg = render::replay_config(os_mean, latency, per_byte, seed);
+    // Warm path: same key scheme as `mpgtool replay --cache`, so service
+    // and CLI share artifacts. Any cache anomaly is a silent miss.
+    let report_key = shared.cache.as_ref().and_then(|_| {
+        let trace_key = mpg_trace::trace_fingerprint(dir).ok()?.key();
+        Some(CacheStore::artifact_key(
+            &trace_key,
+            ArtifactKind::Report,
+            &format!(
+                "cmd=replay;os={os_mean};latency={latency};per_byte={per_byte};seed={seed};shards=1;ooc=false;lint=false;{}",
+                cfg.fingerprint()
+            ),
+        ))
+    });
+    if let (Some(store), Some(key)) = (&shared.cache, &report_key) {
+        if let Some(rep) = store.get_report(key) {
+            shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Outcome {
+                state: JobState::Done,
+                output: Some(rep.stdout),
+                error: None,
+                attempts: 0,
+            });
+        }
+    }
+    let trace = open_trace(dir)?;
+    if let Some(ChaosOp::PanicAtCheck(k)) = chaos {
+        token.fire_after_checks(*k);
+    }
+    let report = Replayer::new(cfg.cancel_token(token.clone()))
+        .run(&trace)
+        .map_err(|e: ReplayError| RunFailure {
+            transient: false,
+            msg: format!("replay failed: {e}"),
+        })?;
+    let output = render::render_replay_report(&report);
+    if let Some(reason) = report.cancelled {
+        if matches!(chaos, Some(ChaosOp::PanicAtCheck(_))) {
+            panic!(
+                "chaos: injected panic after {} cancellation check(s)",
+                token.checks()
+            );
+        }
+        return Ok(Outcome {
+            state: reason.into(),
+            output: Some(output),
+            error: None,
+            attempts: 0,
+        });
+    }
+    // Publish only completed runs — a partial frontier must never warm a
+    // future run.
+    if let (Some(store), Some(key)) = (&shared.cache, &report_key) {
+        let _ = store.put_report(
+            key,
+            &mpg_core::CachedReport {
+                exit_code: 0,
+                stdout: output.clone(),
+            },
+        );
+    }
+    Ok(Outcome {
+        state: JobState::Done,
+        output: Some(output),
+        error: None,
+        attempts: 0,
+    })
+}
+
+fn run_lint(token: &CancelToken, dir: &Path) -> Result<Outcome, RunFailure> {
+    let trace = open_trace(dir)?;
+    let out = mpg_lint::lint_full_cancellable(&trace, token);
+    let output =
+        render::render_lint_report(&out.diags, false, trace.total_events(), trace.num_ranks());
+    Ok(Outcome {
+        state: out.cancelled.map_or(JobState::Done, Into::into),
+        output: Some(output),
+        error: None,
+        attempts: 0,
+    })
+}
+
+/// Chaos `corrupt-artifact`: flip a byte in every published artifact so
+/// the CRC check fails. The cache contract turns this into silent misses.
+fn corrupt_cache(root: &Path) {
+    let Ok(dir) = std::fs::read_dir(root) else {
+        return;
+    };
+    for e in dir.flatten() {
+        let path = e.path();
+        if path.extension().is_some_and(|x| x == "mpgc") {
+            if let Ok(mut bytes) = std::fs::read(&path) {
+                if let Some(last) = bytes.last_mut() {
+                    *last ^= 0xFF;
+                    let _ = std::fs::write(&path, bytes);
+                }
+            }
+        }
+    }
+}

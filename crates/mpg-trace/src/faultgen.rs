@@ -30,6 +30,13 @@ pub enum FaultKind {
     GarbageSplice,
     /// Delete a whole rank file (lost node-local storage).
     DeleteRank,
+    /// Overwrite one extent with garbage in place (unreadable sector /
+    /// failed DMA): the classic transient-I/O error surfaced as data.
+    IoError,
+    /// Cut the file at a frame boundary, dropping the tail and the footer
+    /// (a delayed or stalled writer whose final flush never landed — the
+    /// in-progress-upload shape the service retries around).
+    Delay,
 }
 
 impl FaultKind {
@@ -42,6 +49,8 @@ impl FaultKind {
         FaultKind::FrameSwap,
         FaultKind::GarbageSplice,
         FaultKind::DeleteRank,
+        FaultKind::IoError,
+        FaultKind::Delay,
     ];
 
     /// Stable CLI name.
@@ -54,6 +63,8 @@ impl FaultKind {
             FaultKind::FrameSwap => "frame-swap",
             FaultKind::GarbageSplice => "splice",
             FaultKind::DeleteRank => "delete-rank",
+            FaultKind::IoError => "io-error",
+            FaultKind::Delay => "delay",
         }
     }
 
@@ -214,6 +225,47 @@ pub fn mutate_bytes(bytes: &[u8], kind: FaultKind, seed: u64) -> Option<(Vec<u8>
                 (out, format!("swapped frames {i} and {}", i + 1))
             }
         }
+        FaultKind::IoError => {
+            // A failed read/DMA surfaces as one unreadable extent: overwrite
+            // a sector-sized span in place with garbage. Length is preserved,
+            // so everything after the extent stays frame-aligned for resync.
+            if bytes.len() <= 5 {
+                bitflip(bytes, &mut rng)
+            } else {
+                let pos = 4 + rng.below(bytes.len() - 5);
+                let count = (8 + rng.below(504)).min(bytes.len() - pos);
+                let mut out = bytes.to_vec();
+                for b in &mut out[pos..pos + count] {
+                    *b = rng.next_u64() as u8;
+                }
+                if out == bytes {
+                    bitflip(bytes, &mut rng)
+                } else {
+                    (
+                        out,
+                        format!("overwrote {count}-byte extent at offset {pos} with garbage"),
+                    )
+                }
+            }
+        }
+        FaultKind::Delay => {
+            // A delayed/stalled writer: the tail flush (and the footer) never
+            // landed. Cut at a frame boundary so the surviving prefix is
+            // clean — the transient shape retries are meant to ride out.
+            if frames.is_empty() {
+                bitflip(bytes, &mut rng)
+            } else {
+                let keep = rng.below(frames.len());
+                let end = if keep == 0 { 4 } else { frames[keep - 1].end };
+                (
+                    bytes[..end].to_vec(),
+                    format!(
+                        "delayed writer: kept {keep}/{} frame(s), dropped tail and footer",
+                        frames.len()
+                    ),
+                )
+            }
+        }
     };
     Some((out, desc))
 }
@@ -324,6 +376,33 @@ mod tests {
             frames.len()
         );
         assert_eq!(frames[0].start, 4);
+    }
+
+    #[test]
+    fn io_error_and_delay_shapes() {
+        let bytes = sample_bytes(200);
+        let frames = scan_frames(&bytes);
+        for seed in 0..20u64 {
+            // io-error: in-place extent overwrite keeps the length.
+            let (io, _) = mutate_bytes(&bytes, FaultKind::IoError, seed).unwrap();
+            assert_eq!(io.len(), bytes.len(), "seed {seed}: io-error resized file");
+            // delay: clean cut at a frame boundary — prefix bytes identical,
+            // surviving frames all rescan as valid, footer gone.
+            let (cut, _) = mutate_bytes(&bytes, FaultKind::Delay, seed).unwrap();
+            assert!(cut.len() < bytes.len());
+            assert_eq!(
+                &bytes[..cut.len()],
+                &cut[..],
+                "seed {seed}: delay not a prefix"
+            );
+            let kept = scan_frames(&cut);
+            assert!(kept.len() < frames.len());
+            assert_eq!(
+                kept,
+                frames[..kept.len()],
+                "seed {seed}: kept frames differ"
+            );
+        }
     }
 
     #[test]

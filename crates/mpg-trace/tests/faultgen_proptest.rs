@@ -52,6 +52,8 @@ fn kind_strategy() -> impl Strategy<Value = FaultKind> {
         Just(FaultKind::FrameDup),
         Just(FaultKind::FrameSwap),
         Just(FaultKind::GarbageSplice),
+        Just(FaultKind::IoError),
+        Just(FaultKind::Delay),
     ]
 }
 

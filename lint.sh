@@ -77,7 +77,7 @@ analyze_workload() {
 fsck_workload() {
     dir="$1"
     expect_exit 0 "$MPGTOOL" fsck "$dir"
-    for fault in truncate bitflip frame-drop frame-dup frame-swap splice delete-rank; do
+    for fault in truncate bitflip frame-drop frame-dup frame-swap splice delete-rank io-error delay; do
         bad="$dir-$fault"
         expect_exit 1 "$MPGTOOL" fsck "$dir" --inject "$fault" --seed 7 --out "$bad"
         # Salvage-mode pipeline must terminate on the damaged copy:
@@ -178,5 +178,68 @@ done
 "$MPGTOOL" cache clear --cache-dir "$CACHE_DIR" | grep -q "cleared 0" || {
     echo "lint: FAIL: cache clear on an empty cache misreported" >&2; exit 1; }
 echo "    warm = cold across replay/lint/analyze; corruption falls back; gc/clear ok"
+
+# Supervised service smoke: drive `mpgtool serve` over the line protocol.
+# Leg 1 — seeded chaos storm (panics, stalls, transient I/O, artifact
+# corruption) across 12 jobs: nothing may wedge and the invariant checker
+# must come back clean. Leg 2 — chaos-free byte-identity + warm cache:
+# a service job's `result` bytes must equal the solo CLI run's stdout,
+# and the second submission must be a cache hit.
+echo "==> serve chaos smoke (invariants + byte-identity vs solo run)"
+SERVE_TRACE="$SMOKE_TMP/serve-trace"
+SERVE_CACHE="$SMOKE_TMP/serve-cache"
+"$MPGTOOL" demo ring --ranks 4 --seed 5 "$SERVE_TRACE" >/dev/null
+"$MPGTOOL" replay "$SERVE_TRACE" --os 400 --latency 150 --seed 2 \
+    > "$SMOKE_TMP/serve-solo.txt"
+
+{
+    i=1
+    while [ "$i" -le 12 ]; do
+        echo "submit replay $SERVE_TRACE os=400 latency=150 seed=2"
+        i=$((i + 1))
+    done
+    i=1
+    while [ "$i" -le 12 ]; do
+        echo "wait job-$i"
+        i=$((i + 1))
+    done
+    echo "stats"
+    echo "check"
+    echo "shutdown"
+} > "$SMOKE_TMP/serve-storm.txt"
+"$MPGTOOL" serve --script "$SMOKE_TMP/serve-storm.txt" \
+    --workers 3 --chaos panic,delay,io-error,corrupt-artifact --chaos-seed 7 \
+    --cache --cache-dir "$SERVE_CACHE" > "$SMOKE_TMP/serve-storm-out.txt"
+grep -q "^ok check clean$" "$SMOKE_TMP/serve-storm-out.txt" || {
+    echo "lint: FAIL: chaos storm broke a service invariant:" >&2
+    cat "$SMOKE_TMP/serve-storm-out.txt" >&2
+    exit 1
+}
+grep -q "^ok shutdown drained=true$" "$SMOKE_TMP/serve-storm-out.txt" || {
+    echo "lint: FAIL: chaos storm did not drain on shutdown" >&2; exit 1; }
+
+rm -rf "$SERVE_CACHE"
+{
+    echo "submit replay $SERVE_TRACE os=400 latency=150 seed=2"
+    echo "wait job-1"
+    echo "result job-1 out=$SMOKE_TMP/serve-cold.txt"
+    echo "submit replay $SERVE_TRACE os=400 latency=150 seed=2"
+    echo "wait job-2"
+    echo "result job-2 out=$SMOKE_TMP/serve-warm.txt"
+    echo "stats"
+    echo "check"
+    echo "shutdown"
+} > "$SMOKE_TMP/serve-ident.txt"
+"$MPGTOOL" serve --script "$SMOKE_TMP/serve-ident.txt" \
+    --cache --cache-dir "$SERVE_CACHE" > "$SMOKE_TMP/serve-ident-out.txt"
+cmp -s "$SMOKE_TMP/serve-solo.txt" "$SMOKE_TMP/serve-cold.txt" || {
+    echo "lint: FAIL: service replay diverged from the solo CLI run" >&2; exit 1; }
+cmp -s "$SMOKE_TMP/serve-solo.txt" "$SMOKE_TMP/serve-warm.txt" || {
+    echo "lint: FAIL: warm service replay diverged from the solo CLI run" >&2; exit 1; }
+grep -q "cache-hits=1" "$SMOKE_TMP/serve-ident-out.txt" || {
+    echo "lint: FAIL: second service submission was not a warm cache hit" >&2; exit 1; }
+grep -q "^ok check clean$" "$SMOKE_TMP/serve-ident-out.txt" || {
+    echo "lint: FAIL: identity leg broke a service invariant" >&2; exit 1; }
+echo "    chaos storm clean; service bytes = solo bytes; warm hit on resubmit"
 
 echo "lint: clean"

@@ -13,5 +13,6 @@ pub use mpg_des as des;
 pub use mpg_lint as lint;
 pub use mpg_micro as micro;
 pub use mpg_noise as noise;
+pub use mpg_serve as serve;
 pub use mpg_sim as sim;
 pub use mpg_trace as trace;

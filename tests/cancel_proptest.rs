@@ -1,0 +1,178 @@
+//! Cooperative-cancellation robustness: firing a [`CancelToken`] at an
+//! arbitrary point of any demo workload's replay must yield a clean
+//! partial report — never a panic, hang, or error — and an unfired token
+//! must leave the replay bit-identical to a token-free run.
+
+use proptest::prelude::*;
+
+use mpg::apps::{
+    AllreduceSolver, GridSumma, MasterWorker, Pipeline, Stencil, TokenRing, Transpose, Workload,
+};
+use mpg::core::{CancelReason, CancelToken, PerturbationModel, ReplayConfig, Replayer};
+use mpg::noise::{Dist, PlatformSignature};
+use mpg::sim::Simulation;
+use mpg::trace::MemTrace;
+
+/// The seven demo workloads `mpgtool demo` ships, at reduced sizes.
+/// `summa` needs 8 ranks (a 2×4 grid); everything else runs on 4.
+fn demo_workloads() -> Vec<(&'static str, u32, Box<dyn Workload>)> {
+    vec![
+        (
+            "ring",
+            4,
+            Box::new(TokenRing {
+                traversals: 3,
+                particles_per_rank: 8,
+                work_per_pair: 25,
+            }),
+        ),
+        (
+            "stencil",
+            4,
+            Box::new(Stencil {
+                iters: 6,
+                cells_per_rank: 500,
+                work_per_cell: 30,
+                halo_bytes: 256,
+            }),
+        ),
+        (
+            "master-worker",
+            4,
+            Box::new(MasterWorker {
+                tasks: 16,
+                task_work: 20_000,
+                task_bytes: 128,
+                result_bytes: 128,
+            }),
+        ),
+        (
+            "solver",
+            4,
+            Box::new(AllreduceSolver {
+                iters: 6,
+                local_work: 20_000,
+                vector_bytes: 128,
+            }),
+        ),
+        (
+            "pipeline",
+            4,
+            Box::new(Pipeline {
+                waves: 6,
+                work_per_stage: 10_000,
+                payload: 256,
+            }),
+        ),
+        (
+            "transpose",
+            4,
+            Box::new(Transpose {
+                steps: 4,
+                rows_per_rank: 16,
+                work_per_element: 10,
+                block_bytes: 256,
+            }),
+        ),
+        (
+            "summa",
+            8,
+            Box::new(GridSumma {
+                rows: 2,
+                cols: 4,
+                panel_bytes: 1_024,
+                local_work: 20_000,
+            }),
+        ),
+    ]
+}
+
+fn demo_trace(index: usize) -> MemTrace {
+    use std::sync::OnceLock;
+    static TRACES: OnceLock<Vec<MemTrace>> = OnceLock::new();
+    TRACES.get_or_init(|| {
+        demo_workloads()
+            .iter()
+            .map(|(name, ranks, w)| {
+                Simulation::new(*ranks, PlatformSignature::quiet("cancel-prop"))
+                    .seed(29)
+                    .run(|ctx| w.run(ctx))
+                    .unwrap_or_else(|e| panic!("{name} must simulate cleanly: {e}"))
+                    .trace
+            })
+            .collect()
+    })[index]
+        .clone()
+}
+
+fn noisy_config(seed: u64) -> ReplayConfig {
+    let mut model = PerturbationModel::quiet("cancel-prop");
+    model.os_local = Dist::Exponential { mean: 250.0 }.into();
+    model.latency = Dist::Constant(100.0).into();
+    ReplayConfig::new(model).seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 28, ..ProptestConfig::default() })]
+
+    /// Firing the token after a random number of engine checks always
+    /// produces `Ok` with a clean partial frontier: the cancelled report
+    /// never claims more events than the full run, and its reason is
+    /// latched as `Cancelled`.
+    #[test]
+    fn random_fire_point_yields_clean_partial_report(
+        workload in 0usize..7,
+        fire_at in 1u64..12,
+        seed in 0u64..64,
+    ) {
+        let trace = demo_trace(workload);
+        let full = Replayer::new(noisy_config(seed))
+            .run(&trace)
+            .expect("token-free replay completes");
+        prop_assert!(full.cancelled.is_none());
+
+        let token = CancelToken::new();
+        token.fire_after_checks(fire_at);
+        let partial = Replayer::new(noisy_config(seed).cancel_token(token))
+            .run(&trace)
+            .expect("cancelled replay must still return Ok");
+        match partial.cancelled {
+            // Fired mid-flight: a partial frontier, bounded by the full run.
+            Some(reason) => {
+                prop_assert_eq!(reason, CancelReason::Cancelled);
+                prop_assert!(partial.stats.events <= full.stats.events);
+                let deg = partial.degradation.expect("partial report carries a frontier");
+                prop_assert!(!deg.frontiers.is_empty());
+                for f in &deg.frontiers {
+                    prop_assert!(f.events_completed <= full.stats.events);
+                }
+            }
+            // The trace finished before `fire_at` checks accumulated —
+            // then the report must be indistinguishable from token-free.
+            None => {
+                prop_assert_eq!(&partial.final_drift, &full.final_drift);
+                prop_assert_eq!(&partial.stats, &full.stats);
+                prop_assert!(partial.degradation.is_none());
+            }
+        }
+    }
+
+    /// An armed-but-never-fired token is invisible: bit-identical drifts,
+    /// stats, and warnings versus the token-free run.
+    #[test]
+    fn unfired_token_is_invisible(
+        workload in 0usize..7,
+        seed in 0u64..64,
+    ) {
+        let trace = demo_trace(workload);
+        let full = Replayer::new(noisy_config(seed)).run(&trace).unwrap();
+        let tokened = Replayer::new(noisy_config(seed).cancel_token(CancelToken::new()))
+            .run(&trace)
+            .unwrap();
+        prop_assert!(tokened.cancelled.is_none());
+        prop_assert_eq!(&tokened.final_drift, &full.final_drift);
+        prop_assert_eq!(&tokened.stats, &full.stats);
+        prop_assert_eq!(&tokened.warnings, &full.warnings);
+        prop_assert_eq!(&tokened.projected_finish_local, &full.projected_finish_local);
+    }
+}

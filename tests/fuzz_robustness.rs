@@ -405,6 +405,8 @@ fn fault_strategy() -> impl Strategy<Value = FaultKind> {
         Just(FaultKind::FrameSwap),
         Just(FaultKind::GarbageSplice),
         Just(FaultKind::DeleteRank),
+        Just(FaultKind::IoError),
+        Just(FaultKind::Delay),
     ]
 }
 
