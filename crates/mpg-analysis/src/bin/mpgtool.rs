@@ -27,6 +27,24 @@
 //!     error-severity diagnostic fired, 1 when at least one did, 2 on
 //!     usage or I/O errors.
 //!
+//! mpgtool explore <trace-dir> [--budget N] [--depth N] [--threshold PCT]
+//!                 [--seed S] [--json] [--all] [--deny <MPG-RULE>]...
+//!     Schedule-space exploration (lint pass 8 with a real budget): run
+//!     the full lint, then systematically re-replay the trace under forced
+//!     alternate wildcard matchings — up to --budget forced replays (default
+//!     64), --depth match decisions per schedule (default 3) — reporting
+//!     MPG-MAY-DEADLOCK when an alternate matching reaches a wait-for cycle
+//!     (the finding names the exact forced match sequence, independently
+//!     re-replayable) and MPG-SCHEDULE-DIVERGENCE when it shifts the
+//!     estimated makespan past --threshold percent (default 10). Every
+//!     report carries one coverage line (schedules replayed / pruned /
+//!     frontier left unexplored) so an exhausted budget is never silent.
+//!     Same exit contract as lint; `mpgtool lint <dir> --explore` is a
+//!     shorthand. With --cache, the merged report is checkpointed as a
+//!     frontier artifact keyed by (trace, budget, depth, threshold, seed);
+//!     a warm run re-renders it byte-identically without reopening the
+//!     trace.
+//!
 //! mpgtool analyze <trace-dir> [--json] [--top K] [--salvage]
 //!     Static wait-state & slack analysis (no perturbation): decompose
 //!     every rank's time into compute / transfer / wait classes (late
@@ -163,6 +181,10 @@ fn usage() -> ExitCode {
     );
     eprintln!("  mpgtool lint --rules [--json]   (print the MPG-* rule registry)");
     eprintln!("  mpgtool lint --explain <MPG-RULE> [--json]");
+    eprintln!(
+        "  mpgtool explore <trace-dir> [--budget N] [--depth N] [--threshold PCT] [--seed S] \
+         [--json] [--all] [--deny <MPG-RULE>]... [--cache] [--cache-dir DIR]"
+    );
     eprintln!(
         "  mpgtool analyze <trace-dir> [--json] [--top K] [--salvage] \
          [--cache] [--cache-dir DIR]"
@@ -536,6 +558,11 @@ fn cmd_validate(mut args: Vec<String>) -> ExitCode {
 /// Exit code contract (also used by `validate`): 0 when no error-severity
 /// diagnostic fired, 1 when at least one did, 2 on usage or I/O errors.
 fn cmd_lint(mut args: Vec<String>) -> ExitCode {
+    // `lint --explore` is a shorthand for the explore subcommand with its
+    // defaults; explore's own flags (--budget etc.) pass straight through.
+    if take_switch(&mut args, "--explore") {
+        return cmd_explore(args);
+    }
     let json = take_switch(&mut args, "--json");
     if take_switch(&mut args, "--help") || take_switch(&mut args, "--rules") {
         // The registry itself (Rule::ALL + Rule::doc/pass) is the single
@@ -659,6 +686,132 @@ fn cmd_lint(mut args: Vec<String>) -> ExitCode {
     }
     print!("{out}");
     ExitCode::from(exit_code)
+}
+
+/// `mpgtool explore`: full lint plus the bounded pass-8 schedule-space
+/// walk. Exit contract matches lint (0 clean / 1 errors / 2 usage). With
+/// `--cache`, the merged report is checkpointed as a `frontier` artifact;
+/// a warm run decodes and re-renders it byte-identically without
+/// reopening the trace.
+fn cmd_explore(mut args: Vec<String>) -> ExitCode {
+    let json = take_switch(&mut args, "--json");
+    let all = take_switch(&mut args, "--all");
+    let cache = match take_cache(&mut args) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let mut deny: Vec<Rule> = Vec::new();
+    while let Some(code) = take_flag(&mut args, "--deny") {
+        match Rule::from_code(&code) {
+            Some(r) => deny.push(r),
+            None => return fail(&format!("unknown rule '{code}' for --deny")),
+        }
+    }
+    let mut opts = mpg_lint::ExploreOptions::cli_default();
+    macro_rules! parse_flag {
+        ($flag:literal, $field:ident, $what:literal) => {
+            if let Some(v) = take_flag(&mut args, $flag) {
+                match v.parse() {
+                    Ok(x) => opts.$field = x,
+                    Err(_) => return fail(&format!(concat!("bad ", $what, " '{}'"), v)),
+                }
+            }
+        };
+    }
+    parse_flag!("--budget", budget, "--budget");
+    parse_flag!("--depth", depth, "--depth");
+    parse_flag!("--threshold", divergence_pct, "--threshold");
+    parse_flag!("--seed", seed, "--seed");
+    if !opts.divergence_pct.is_finite() || opts.divergence_pct < 0.0 {
+        return fail("--threshold must be a non-negative percentage");
+    }
+    let [dir] = args.as_slice() else {
+        return fail("explore needs a trace directory");
+    };
+    let cache_ctx: Option<(CacheStore, String)> =
+        cache.and_then(|store| cache_trace_key(dir).map(|key| (store, key)));
+    let frontier_key = cache_ctx.as_ref().map(|(_, trace_key)| {
+        let mut deny_codes: Vec<&str> = deny.iter().map(|r| r.code()).collect();
+        deny_codes.sort_unstable();
+        CacheStore::artifact_key(
+            trace_key,
+            ArtifactKind::Frontier,
+            &format!(
+                "cmd=explore;json={json};all={all};deny={};{};rules={}",
+                deny_codes.join(","),
+                opts.fingerprint(),
+                mpg_lint::ruleset_fingerprint()
+            ),
+        )
+    });
+    let render = |diags: &[Diagnostic],
+                  stats: &mpg_lint::ExploreStats,
+                  total_events: usize,
+                  num_ranks: usize| {
+        if json {
+            let shown: Vec<Diagnostic> = diags
+                .iter()
+                .filter(|d| all || d.severity >= Severity::Warning)
+                .cloned()
+                .collect();
+            format!("{}\n", mpg_lint::explore_json(&shown, stats))
+        } else {
+            mpg_serve::render_explore_report(diags, stats, all, total_events, num_ranks)
+        }
+    };
+    let exit_of = |diags: &[Diagnostic]| -> u8 {
+        u8::from(diags.iter().any(|d| d.severity == Severity::Error))
+    };
+    // Warm path: decode the checkpointed frontier and re-render — no
+    // trace open, no replay. Any decode anomaly is a silent miss.
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &frontier_key) {
+        if let Some((diags, stats, total_events, num_ranks)) = store
+            .get(key, ArtifactKind::Frontier)
+            .and_then(|bytes| mpg_lint::decode_frontier(&bytes))
+        {
+            eprintln!("mpgtool: cache: warm hit (explore frontier)");
+            let out = render(&diags, &stats, total_events as usize, num_ranks as usize);
+            print!("{out}");
+            return ExitCode::from(exit_of(&diags));
+        }
+    }
+    let trace = match open_trace(dir) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let mut out = match &cache_ctx {
+        Some((store, trace_key)) => {
+            mpg_lint::lint_explore_with(&trace, &opts, Some((store, trace_key)))
+        }
+        None => mpg_lint::lint_explore(&trace, &opts),
+    };
+    for d in &mut out.diags {
+        if deny.contains(&d.rule) {
+            d.severity = Severity::Error;
+        }
+    }
+    sort_diagnostics(&mut out.diags);
+    let rendered = render(
+        &out.diags,
+        &out.stats,
+        trace.total_events(),
+        trace.num_ranks(),
+    );
+    if let (Some((store, _)), Some(key)) = (&cache_ctx, &frontier_key) {
+        // Only complete walks are checkpointed (uncancellable here, but
+        // the contract is the same as the service's: a partial frontier
+        // must never warm a future run).
+        if out.cancelled.is_none() {
+            let blob = mpg_lint::encode_frontier(
+                &out,
+                trace.total_events() as u64,
+                trace.num_ranks() as u32,
+            );
+            let _ = store.put(key, ArtifactKind::Frontier, &blob);
+        }
+    }
+    print!("{rendered}");
+    ExitCode::from(exit_of(&out.diags))
 }
 
 /// `mpgtool analyze`: static wait-state & slack analysis of a trace — no
@@ -1564,6 +1717,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(args),
         "validate" => cmd_validate(args),
         "lint" => cmd_lint(args),
+        "explore" => cmd_explore(args),
         "analyze" => cmd_analyze(args),
         "fsck" => cmd_fsck(args),
         "replay" => cmd_replay(args),

@@ -10,7 +10,9 @@
 //! candidate), measures `lint_full` events/sec, and round-trips the
 //! results through the same snapshot format as `BENCH_replay.json` so
 //! `lint.sh` can fail a change that regresses lint throughput by more than
-//! a threshold. The gate reuses [`perf::calibrate`](crate::perf::calibrate)
+//! a threshold. A fourth row times the pass-8 schedule explorer
+//! (`lint_explore`, budget 256) in forced replays per second, gating the explorer's per-schedule cost under the same
+//! host-calibrated threshold. The gate reuses [`perf::calibrate`](crate::perf::calibrate)
 //! host-speed scaling, so a loaded box loosens the floor instead of
 //! producing false failures.
 
@@ -106,6 +108,39 @@ pub fn measure(reps: u32) -> LintPerfSnapshot {
             polls_avoided: 0,
         });
     }
+    // Explore throughput: the bounded pass-8 schedule walk over the
+    // wildcard-heavy master-worker (its frontier
+    // always exhausts the budget, so every rep forces the same number of
+    // alternate-matching replays). `events` here counts schedules
+    // replayed, not trace events — the unit the explorer's cost scales
+    // with — so `events_per_sec` is forced replays per second.
+    {
+        let (_, ranks, trace) = pinned_traces().swap_remove(0);
+        // Budget 256 (vs the CLI default 64) keeps each timed rep long
+        // enough (~100ms) that thread-pool spawn jitter doesn't dominate
+        // the measurement on a loaded box.
+        let opts = mpg_lint::ExploreOptions::cli_default().budget(256);
+        let warm = mpg_lint::lint_explore(&trace, &opts);
+        assert!(
+            warm.stats.budget_exhausted && warm.stats.explored == opts.budget,
+            "explore bench workload no longer saturates its budget: {:?}",
+            warm.stats
+        );
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t = Instant::now();
+            std::hint::black_box(mpg_lint::lint_explore(&trace, &opts));
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        workloads.push(WorkloadPerf {
+            name: "explore-master-worker-8".to_string(),
+            ranks,
+            events: warm.stats.explored,
+            events_per_sec: warm.stats.explored as f64 / best,
+            scheduler_wakeups: 0,
+            polls_avoided: 0,
+        });
+    }
     LintPerfSnapshot {
         reps,
         calibration: calibrate(),
@@ -197,7 +232,7 @@ mod tests {
     #[test]
     fn measure_smoke() {
         let snap = measure(1);
-        assert_eq!(snap.workloads.len(), 3);
+        assert_eq!(snap.workloads.len(), 4);
         for w in &snap.workloads {
             assert!(w.events > 0 && w.events_per_sec > 0.0, "{w:?}");
         }

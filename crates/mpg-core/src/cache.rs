@@ -73,6 +73,9 @@ pub enum ArtifactKind {
     HbClocks,
     /// Serialized [`crate::DriftSlack`] feasibility table.
     Slack,
+    /// An explored-frontier checkpoint from the schedule-space explorer:
+    /// findings + coverage stats for a `(trace, budget, seed)` triple.
+    Frontier,
 }
 
 impl ArtifactKind {
@@ -83,6 +86,7 @@ impl ArtifactKind {
             ArtifactKind::Arena => 2,
             ArtifactKind::HbClocks => 3,
             ArtifactKind::Slack => 4,
+            ArtifactKind::Frontier => 5,
         }
     }
 
@@ -93,6 +97,7 @@ impl ArtifactKind {
             ArtifactKind::Arena => "arena",
             ArtifactKind::HbClocks => "hb",
             ArtifactKind::Slack => "slack",
+            ArtifactKind::Frontier => "frontier",
         }
     }
 }

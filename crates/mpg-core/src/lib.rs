@@ -67,6 +67,7 @@ pub mod cancel;
 pub mod critical;
 pub mod dot;
 pub mod feasible;
+pub mod forced;
 pub mod graph;
 pub mod hb;
 pub mod lane;
@@ -90,6 +91,7 @@ pub use feasible::{
     drift_slack, drift_slack_cancellable, predictable, predicted_graph, DriftSlack, SlackSweep,
     StaticPath,
 };
+pub use forced::{ForcedMatch, ForcedOutcome, MatchPlan};
 pub use graph::{Edge, EventGraph, NodeId, Point};
 pub use hb::{EventId, HbIndex};
 pub use lane::{lane_replays, plan_lanes, replay_batch, LaneBatch, MAX_LANES};

@@ -13,14 +13,15 @@
 //! concurrent message elsewhere (e.g. a later receive that *specifically*
 //! names that source has no other way to complete). Every candidate is
 //! therefore validated by **witness replay**: the progress simulation is
-//! re-run under a [`MatchPolicy::Witness`] that forces `R` onto `S'`'s
+//! re-run under a witness `MatchPolicy` that forces `R` onto `S'`'s
 //! source (and the wildcard receive that originally consumed `S'` onto
 //! `S`'s source, swapping the two messages). Only candidates whose forced
 //! schedule runs every rank to completion are reported, so each
 //! `MPG-WILD-RACE` diagnostic carries a concrete, replayable alternate
 //! match — never a hypothetical one.
 
-use crate::progress::{run_progress, MatchPair, MatchPolicy, Matching};
+use crate::progress::{forced_replay, MatchPair, Matching};
+use mpg_core::forced::MatchPlan;
 use mpg_core::HbIndex;
 use mpg_trace::{Diagnostic, EventKind, MemTrace, Rank, Rule, Seq, ANY_TAG};
 use std::collections::{BTreeMap, HashMap};
@@ -53,17 +54,25 @@ pub struct RaceFinding {
     pub witnesses: Vec<RaceWitness>,
 }
 
-/// Replays the progress simulation with the witness's matching forced.
-/// Returns the resulting [`Matching`] when the forced schedule completes
-/// *and* the racy receive really did take the alternate source; `None`
-/// when the witness is infeasible.
-pub fn witness_matching(trace: &MemTrace, w: &RaceWitness) -> Option<Matching> {
-    let mut forced = vec![(w.recv, w.alternate.0)];
+/// The forced-match plan a witness describes: the racy receive onto the
+/// alternate source, and the displaced wildcard (if any) onto the
+/// recorded source — the two messages swap.
+pub fn witness_plan(w: &RaceWitness) -> MatchPlan {
+    let mut plan = MatchPlan::new().force(w.recv, w.alternate.0);
     if let Some(displaced) = w.displaced {
-        forced.push((displaced, w.matched.0));
+        plan = plan.force(displaced, w.matched.0);
     }
-    let outcome = run_progress(trace, &MatchPolicy::Witness(forced));
-    let m = outcome.matching;
+    plan
+}
+
+/// Replays the progress simulation with the witness's matching forced,
+/// through the shared [`forced_replay`] path. Returns the resulting
+/// [`Matching`] when the forced schedule completes *and* the racy
+/// receive really did take the alternate source; `None` when the witness
+/// is infeasible.
+pub fn witness_matching(trace: &MemTrace, w: &RaceWitness) -> Option<Matching> {
+    let rep = forced_replay(trace, &witness_plan(w));
+    let m = rep.matching;
     if !m.completed {
         return None;
     }
@@ -83,19 +92,31 @@ fn posted_tag(trace: &MemTrace, recv: (Rank, Seq)) -> Option<mpg_trace::Tag> {
     }
 }
 
-/// Finds every wildcard receive with a validated concurrent alternate.
-pub fn find_races(trace: &MemTrace, matching: &Matching, hb: &HbIndex) -> Vec<RaceFinding> {
+/// Enumerates the unvalidated alternate-match candidates of every
+/// wildcard pair in `matching`: envelope-compatible sends concurrent
+/// with the recorded match, earliest per alternate source (the
+/// non-overtaking rule hands a forced pattern the earliest unconsumed
+/// message of that source, so later ones are subsumed). With
+/// `include_pinned` false, alternates whose recorded consumer is a
+/// *specific* (non-wildcard) receive are skipped — swapping them would
+/// need a cascade of reassignments, so they are not single-swap
+/// alternates for pass 4. The pass-8 explorer sets it true: forcing the
+/// wildcard anyway and watching the specific receive starve is exactly
+/// how alternate-schedule deadlocks are found.
+pub(crate) fn wildcard_candidates(
+    trace: &MemTrace,
+    matching: &Matching,
+    hb: &HbIndex,
+    include_pinned: bool,
+) -> Vec<(MatchPair, Vec<RaceWitness>)> {
     let consumer_of: HashMap<(Rank, Seq), &MatchPair> =
         matching.pairs.iter().map(|p| (p.send, p)).collect();
-    let mut findings = Vec::new();
+    let mut out = Vec::new();
     for pair in matching.pairs.iter().filter(|p| p.posted_any) {
         let (recv, matched) = (pair.recv, pair.send);
         let Some(tag_pattern) = posted_tag(trace, recv) else {
             continue;
         };
-        // Earliest concurrent compatible send per alternate source — the
-        // non-overtaking rule hands a forced pattern the earliest
-        // unconsumed message of that source, so later ones are subsumed.
         let mut candidates: BTreeMap<Rank, RaceWitness> = BTreeMap::new();
         for s in &matching.sends {
             if s.src == matched.0
@@ -106,10 +127,14 @@ pub fn find_races(trace: &MemTrace, matching: &Matching, hb: &HbIndex) -> Vec<Ra
                 continue;
             }
             let displaced = match consumer_of.get(&(s.src, s.seq)) {
-                // A specific (non-wildcard) receive pinned this message;
-                // swapping it would need a cascade of reassignments, so it
-                // is not a single-swap alternate.
-                Some(p) if !p.posted_any => continue,
+                Some(p) if !p.posted_any => {
+                    if !include_pinned {
+                        continue;
+                    }
+                    // The specific receive cannot be re-pointed; force
+                    // only the wildcard and let the replay decide.
+                    None
+                }
                 Some(p) => Some(p.recv),
                 None => None,
             };
@@ -128,14 +153,25 @@ pub fn find_races(trace: &MemTrace, matching: &Matching, hb: &HbIndex) -> Vec<Ra
                 })
                 .or_insert(w);
         }
+        if !candidates.is_empty() {
+            out.push((*pair, candidates.into_values().collect()));
+        }
+    }
+    out
+}
+
+/// Finds every wildcard receive with a validated concurrent alternate.
+pub fn find_races(trace: &MemTrace, matching: &Matching, hb: &HbIndex) -> Vec<RaceFinding> {
+    let mut findings = Vec::new();
+    for (pair, candidates) in wildcard_candidates(trace, matching, hb, false) {
         let witnesses: Vec<RaceWitness> = candidates
-            .into_values()
+            .into_iter()
             .filter(|w| witness_matching(trace, w).is_some())
             .collect();
         if !witnesses.is_empty() {
             findings.push(RaceFinding {
-                recv,
-                matched,
+                recv: pair.recv,
+                matched: pair.send,
                 tag: pair.tag,
                 witnesses,
             });

@@ -19,6 +19,7 @@
 //! | 5 (collective) | collective consistency | `MPG-COLLECTIVE-SKEW` |
 //! | 6 (performance) | wait-state & slack analysis | `MPG-LATE-SENDER`, `MPG-COLLECTIVE-IMBALANCE`, `MPG-SERIAL-CHAIN` |
 //! | 7 (sync) | removable/overloaded synchronization | `MPG-REDUNDANT-SYNC`, `MPG-BUFFER-WATERMARK` |
+//! | 8 (explore) | schedule-space exploration | `MPG-MAY-DEADLOCK`, `MPG-SCHEDULE-DIVERGENCE` |
 //!
 //! # Pass manager
 //!
@@ -38,7 +39,10 @@
 //! happens-before consumers: [`hb_races`] upgrades the wildcard-race
 //! heuristic to exact concurrent-alternate enumeration with replayable
 //! witnesses, and [`sync`] reports removable barriers and eager-buffer
-//! high-water marks.
+//! high-water marks. Pass 8 ([`explore`](mod@explore)) generalizes pass 4 from single
+//! swaps to a bounded walk of the schedule space; it ships disabled
+//! (budget 0) in [`lint_full`] and is driven with a real budget through
+//! [`lint_explore`] / `mpgtool explore`.
 //!
 //! Passes 1, 2 and 5 run off one lockstep progress simulation that reuses
 //! the simulator's [`EnvelopeMatcher`](mpg_sim::EnvelopeMatcher) — the
@@ -51,6 +55,7 @@
 //! with error-severity defects.
 
 mod envelope;
+pub mod explore;
 pub mod graphcheck;
 pub mod hb_races;
 pub mod progress;
@@ -58,10 +63,18 @@ pub mod slack;
 pub mod sync;
 pub mod waitstate;
 
+pub use explore::{
+    decode_frontier, encode_frontier, explore, explore_json, lint_explore, lint_explore_with,
+    matching_makespan, ExploreFinding, ExploreFindingKind, ExploreOptions, ExploreOutcome,
+    ExploreReport, ExploreStats,
+};
 pub use graphcheck::lint_graph;
-pub use hb_races::{find_races, lint_races, witness_matching, RaceFinding, RaceWitness};
+pub use hb_races::{
+    find_races, lint_races, witness_matching, witness_plan, RaceFinding, RaceWitness,
+};
 pub use progress::{
-    lint_progress, run_progress, MatchPair, MatchPolicy, Matching, ProgressOutcome, SendRec,
+    forced_replay, lint_progress, run_progress, ForcedReplay, MatchPair, MatchPolicy, Matching,
+    ProgressOutcome, SendRec,
 };
 pub use slack::{lint_chains, rank_chains, ChainSummary};
 pub use sync::{lint_sync, SyncOptions};
@@ -334,6 +347,15 @@ pub const PASSES: &[LintPass] = &[
                 &SyncOptions::default(),
             )
         },
+    },
+    // Pass 8 ships with a zero budget: registered (so the ruleset
+    // fingerprint and `--rules` advertise it) but inert under plain
+    // `lint_full`, whose output stays bit-identical. `lint_explore`
+    // drives it with a real budget.
+    LintPass {
+        name: "explore",
+        needs: Needs::PROGRESS.and(Needs::HB),
+        run: |ctx| explore::explore(ctx, &ExploreOptions::default()).diags(),
     },
 ];
 

@@ -33,6 +33,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 
 use crate::envelope::{LintRecv, LintSend};
+use mpg_core::forced::{ForcedOutcome, MatchPlan};
 use mpg_sim::EnvelopeMatcher;
 use mpg_trace::{
     Diagnostic, EventKind, EventRecord, MemTrace, Rank, ReqId, Rule, SendProtocol, Seq, Tag,
@@ -46,24 +47,20 @@ pub enum MatchPolicy {
     /// the trace itself describes.
     #[default]
     Recorded,
-    /// The listed receives (`(rank, seq)` of the receive event) post the
-    /// given source pattern instead of their recorded one; all other
-    /// receives stay recorded. Used to replay a race witness: force the
-    /// racy wildcard onto its alternate sender (and the receive that
-    /// originally consumed that sender onto the displaced one) and see
-    /// whether the program still runs to completion.
-    Witness(Vec<((Rank, Seq), Rank)>),
+    /// The receives named by the [`MatchPlan`] post their forced source
+    /// pattern instead of the recorded one; all other receives stay
+    /// recorded. Used to replay a race witness: force the racy wildcard
+    /// onto its alternate sender (and the receive that originally
+    /// consumed that sender onto the displaced one) and see whether the
+    /// program still runs to completion.
+    Witness(MatchPlan),
 }
 
 impl MatchPolicy {
     fn src_pattern(&self, rank: Rank, seq: Seq, recorded: Rank) -> Rank {
         match self {
             MatchPolicy::Recorded => recorded,
-            MatchPolicy::Witness(forced) => forced
-                .iter()
-                .find(|(at, _)| *at == (rank, seq))
-                .map(|&(_, src)| src)
-                .unwrap_or(recorded),
+            MatchPolicy::Witness(plan) => plan.source_for((rank, seq), recorded),
         }
     }
 }
@@ -140,6 +137,41 @@ pub fn run_progress(trace: &MemTrace, policy: &MatchPolicy) -> ProgressOutcome {
     sim.prescan();
     sim.run();
     sim.finish()
+}
+
+/// Result of re-replaying the trace under a forced-match plan: the
+/// matching the forced schedule established plus its classified
+/// [`ForcedOutcome`].
+#[derive(Debug, Clone)]
+pub struct ForcedReplay {
+    /// What the forced schedule did.
+    pub outcome: ForcedOutcome,
+    /// The matching the forced replay established.
+    pub matching: Matching,
+    /// Diagnostics the forced replay raised (deadlock cycles, leftover
+    /// envelopes). For a `Deadlocked` outcome the `MPG-DEADLOCK` entries
+    /// name the concrete wait-for cycle.
+    pub diags: Vec<Diagnostic>,
+}
+
+/// The single forced-replay code path: re-executes the trace under
+/// `plan` and classifies what happened. Pass 4's witness validation and
+/// the pass-8 explorer both go through here, so a forced-match sequence
+/// printed by any finding re-replays identically everywhere.
+pub fn forced_replay(trace: &MemTrace, plan: &MatchPlan) -> ForcedReplay {
+    let out = run_progress(trace, &MatchPolicy::Witness(plan.clone()));
+    let outcome = if out.matching.completed {
+        ForcedOutcome::Completed
+    } else if out.diags.iter().any(|d| d.rule == Rule::Deadlock) {
+        ForcedOutcome::Deadlocked
+    } else {
+        ForcedOutcome::Stuck
+    };
+    ForcedReplay {
+        outcome,
+        matching: out.matching,
+        diags: out.diags,
+    }
 }
 
 /// State of one nonblocking request during the simulation.

@@ -43,13 +43,25 @@ pub enum JobKind {
         /// Trace directory.
         dir: PathBuf,
     },
+    /// Schedule-space exploration of a trace directory (≙ `mpgtool
+    /// explore`): full lint plus the bounded pass-8 walk.
+    Explore {
+        /// Trace directory.
+        dir: PathBuf,
+        /// Forced-replay budget (0 degenerates to a plain lint).
+        budget: u64,
+        /// Seed-frontier rotation.
+        seed: u64,
+    },
 }
 
 impl JobKind {
     /// The trace directory the job reads.
     pub fn dir(&self) -> &PathBuf {
         match self {
-            JobKind::Replay { dir, .. } | JobKind::Lint { dir } => dir,
+            JobKind::Replay { dir, .. } | JobKind::Lint { dir } | JobKind::Explore { dir, .. } => {
+                dir
+            }
         }
     }
 
@@ -58,6 +70,7 @@ impl JobKind {
         match self {
             JobKind::Replay { .. } => "replay",
             JobKind::Lint { .. } => "lint",
+            JobKind::Explore { .. } => "explore",
         }
     }
 }

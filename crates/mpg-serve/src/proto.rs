@@ -4,6 +4,7 @@
 //! ```text
 //! submit replay <dir> [os=F] [latency=F] [per-byte=F] [seed=N] [deadline-ms=N]
 //! submit lint <dir> [deadline-ms=N]
+//! submit explore <dir> [budget=N] [seed=N] [deadline-ms=N]
 //! status <job>                      # job = job-N or N
 //! wait <job> [timeout-ms=N]         # block until terminal (default 30000)
 //! result <job> [out=PATH]           # status line + raw output (or to PATH)
@@ -41,7 +42,7 @@ fn opt<'a>(parts: &'a [&str], key: &str) -> Option<&'a str> {
 fn parse_submit(parts: &[&str]) -> Result<JobSpec, String> {
     let (&verb, rest) = parts
         .split_first()
-        .ok_or("submit needs a job kind (replay|lint)")?;
+        .ok_or("submit needs a job kind (replay|lint|explore)")?;
     let (&dir, opts) = rest.split_first().ok_or("submit needs a trace directory")?;
     if dir.contains('=') {
         return Err(format!("expected a trace directory, got option '{dir}'"));
@@ -63,7 +64,19 @@ fn parse_submit(parts: &[&str]) -> Result<JobSpec, String> {
         "lint" => JobKind::Lint {
             dir: PathBuf::from(dir),
         },
-        other => return Err(format!("unknown job kind '{other}' (replay|lint)")),
+        "explore" => {
+            let int = |key: &str, default: u64| -> Result<u64, String> {
+                opt(opts, key).map_or(Ok(default), |v| {
+                    v.parse().map_err(|_| format!("bad {key}={v}"))
+                })
+            };
+            JobKind::Explore {
+                dir: PathBuf::from(dir),
+                budget: int("budget", 64)?,
+                seed: int("seed", 0)?,
+            }
+        }
+        other => return Err(format!("unknown job kind '{other}' (replay|lint|explore)")),
     };
     let mut spec = JobSpec::new(kind);
     if let Some(v) = opt(opts, "deadline-ms") {

@@ -107,15 +107,30 @@ pub fn render_lint_report(
         .iter()
         .filter(|d| show_all || d.severity >= Severity::Warning)
         .collect();
-    let errors = diags
-        .iter()
-        .filter(|d| d.severity == Severity::Error)
-        .count();
     let mut out = String::new();
     for d in &shown {
         let _ = writeln!(out, "{d}");
     }
     let hidden = diags.len() - shown.len();
+    let _ = writeln!(
+        out,
+        "{}",
+        lint_summary(diags, hidden, total_events, num_ranks)
+    );
+    out
+}
+
+/// The lint summary line (shared tail of the lint and explore reports).
+fn lint_summary(
+    diags: &[Diagnostic],
+    hidden: usize,
+    total_events: usize,
+    num_ranks: usize,
+) -> String {
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
     let mut summary = format!(
         "lint: {errors} error(s), {} warning(s), {} advisory(ies) in {} events across {} ranks",
         diags
@@ -132,6 +147,44 @@ pub fn render_lint_report(
     if hidden > 0 {
         summary.push_str(&format!(" ({hidden} hidden; use --all)"));
     }
-    let _ = writeln!(out, "{summary}");
+    summary
+}
+
+/// Renders a schedule-exploration report exactly as `mpgtool explore`
+/// prints it (the non-JSON branch): the merged lint + explore
+/// diagnostics, one coverage line — always present, so a truncated walk
+/// is never silent — then the lint summary. Shared by the solo CLI, the
+/// frontier-checkpoint warm path, and `submit explore` service jobs;
+/// byte-identity across the three is a test invariant.
+pub fn render_explore_report(
+    diags: &[Diagnostic],
+    stats: &mpg_lint::ExploreStats,
+    show_all: bool,
+    total_events: usize,
+    num_ranks: usize,
+) -> String {
+    let shown: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| show_all || d.severity >= Severity::Warning)
+        .collect();
+    let mut out = String::new();
+    for d in &shown {
+        let _ = writeln!(out, "{d}");
+    }
+    let _ = writeln!(
+        out,
+        "explore: {} schedule(s) replayed ({} infeasible), {} pruned, max depth {}; {}",
+        stats.explored,
+        stats.infeasible,
+        stats.pruned,
+        stats.max_depth,
+        stats.coverage()
+    );
+    let hidden = diags.len() - shown.len();
+    let _ = writeln!(
+        out,
+        "{}",
+        lint_summary(diags, hidden, total_events, num_ranks)
+    );
     out
 }

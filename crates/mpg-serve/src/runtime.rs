@@ -576,6 +576,7 @@ fn run_once(
             (*os_mean, *latency, *per_byte, *seed),
         ),
         JobKind::Lint { dir } => run_lint(token, dir.as_path()),
+        JobKind::Explore { dir, budget, seed } => run_explore(token, dir.as_path(), *budget, *seed),
     }
 }
 
@@ -671,6 +672,34 @@ fn run_lint(token: &CancelToken, dir: &Path) -> Result<Outcome, RunFailure> {
     let out = mpg_lint::lint_full_cancellable(&trace, token);
     let output =
         render::render_lint_report(&out.diags, false, trace.total_events(), trace.num_ranks());
+    Ok(Outcome {
+        state: out.cancelled.map_or(JobState::Done, Into::into),
+        output: Some(output),
+        error: None,
+        attempts: 0,
+    })
+}
+
+fn run_explore(
+    token: &CancelToken,
+    dir: &Path,
+    budget: u64,
+    seed: u64,
+) -> Result<Outcome, RunFailure> {
+    let trace = open_trace(dir)?;
+    let opts = mpg_lint::ExploreOptions {
+        seed,
+        cancel: Some(token.clone()),
+        ..mpg_lint::ExploreOptions::cli_default().budget(budget)
+    };
+    let out = mpg_lint::lint_explore(&trace, &opts);
+    let output = render::render_explore_report(
+        &out.diags,
+        &out.stats,
+        false,
+        trace.total_events(),
+        trace.num_ranks(),
+    );
     Ok(Outcome {
         state: out.cancelled.map_or(JobState::Done, Into::into),
         output: Some(output),

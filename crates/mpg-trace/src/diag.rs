@@ -111,6 +111,15 @@ pub enum Rule {
     /// The static critical path serializes through many ranks with heavy
     /// wait states — the run is chain-dominated, not compute-dominated.
     SerialChain,
+    // ---- predictive findings (schedule-space exploration) ----
+    /// An alternate wildcard matching — forced and re-replayed by the
+    /// explorer — reaches a wait-for cycle: the recorded run completed,
+    /// but a different arrival order deadlocks.
+    MayDeadlock,
+    /// An alternate wildcard matching completes but shifts the estimated
+    /// makespan beyond the divergence threshold: predictions from the
+    /// recorded schedule are schedule-sensitive.
+    ScheduleDivergence,
 }
 
 impl Rule {
@@ -142,6 +151,8 @@ impl Rule {
         Rule::LateSender,
         Rule::CollectiveImbalance,
         Rule::SerialChain,
+        Rule::MayDeadlock,
+        Rule::ScheduleDivergence,
     ];
 
     /// The stable `MPG-*` code.
@@ -173,6 +184,8 @@ impl Rule {
             Rule::LateSender => "MPG-LATE-SENDER",
             Rule::CollectiveImbalance => "MPG-COLLECTIVE-IMBALANCE",
             Rule::SerialChain => "MPG-SERIAL-CHAIN",
+            Rule::MayDeadlock => "MPG-MAY-DEADLOCK",
+            Rule::ScheduleDivergence => "MPG-SCHEDULE-DIVERGENCE",
         }
     }
 
@@ -208,6 +221,10 @@ impl Rule {
             Rule::LateSender => "receive blocked most of its window on a late sender",
             Rule::CollectiveImbalance => "collective cost dominated by one rank's late entry",
             Rule::SerialChain => "critical path serializes through many ranks via waits",
+            Rule::MayDeadlock => "an alternate wildcard matching replays to a wait-for cycle",
+            Rule::ScheduleDivergence => {
+                "alternate matching shifts estimated makespan past threshold"
+            }
         }
     }
 
@@ -229,6 +246,12 @@ impl Rule {
             // Performance findings describe a slow-but-correct run; they
             // never block replay unless escalated with `--deny`.
             Rule::LateSender | Rule::CollectiveImbalance | Rule::SerialChain => Severity::Info,
+            // Predictive findings: the recorded run completed — these
+            // describe what a *different* schedule would have done. A
+            // may-deadlock is a real program defect (warning; escalate
+            // with `--deny` to gate CI); divergence is advisory.
+            Rule::MayDeadlock => Severity::Warning,
+            Rule::ScheduleDivergence => Severity::Info,
             _ => Severity::Error,
         }
     }
@@ -258,6 +281,7 @@ impl Rule {
             Rule::RedundantSync | Rule::BufferWatermark => "sync",
             Rule::TruncatedTrace | Rule::MissingRank => "ingest",
             Rule::LateSender | Rule::CollectiveImbalance | Rule::SerialChain => "perf",
+            Rule::MayDeadlock | Rule::ScheduleDivergence => "explore",
         }
     }
 
@@ -503,6 +527,31 @@ mod tests {
                 rule.code()
             );
         }
+    }
+
+    #[test]
+    fn explore_rules_registered_and_documented() {
+        // The pass-8 predictive rules must be in the registry with the
+        // `explore` pass label, and DESIGN.md must document both the pass
+        // (§7 pass table) and the algorithm (§16). The generic
+        // registry⇄docs test above already requires their verbatim table
+        // rows; this pins the pass wiring itself.
+        for rule in [Rule::MayDeadlock, Rule::ScheduleDivergence] {
+            assert!(Rule::ALL.contains(&rule));
+            assert_eq!(rule.pass(), "explore");
+            assert_eq!(Rule::from_code(rule.code()), Some(rule));
+        }
+        assert_eq!(Rule::MayDeadlock.default_severity(), Severity::Warning);
+        assert_eq!(Rule::ScheduleDivergence.default_severity(), Severity::Info);
+        let design = include_str!("../../../DESIGN.md");
+        assert!(
+            design.contains("schedule exploration"),
+            "DESIGN.md §7 pass table is missing the explore pass row"
+        );
+        assert!(
+            design.contains("## 16."),
+            "DESIGN.md is missing §16 (schedule-space exploration)"
+        );
     }
 
     #[test]

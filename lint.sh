@@ -179,6 +179,28 @@ done
     echo "lint: FAIL: cache clear on an empty cache misreported" >&2; exit 1; }
 echo "    warm = cold across replay/lint/analyze; corruption falls back; gc/clear ok"
 
+# Schedule-explorer smoke: exit contract (0 clean / 2 usage), cached
+# frontier warm run byte-identical to the cold run, and budget 0 leaving
+# plain-lint stdout untouched (pass 8 registered but inert).
+echo "==> explore exit contract + frontier warm-run byte-identity"
+EXP_TRACE="$SMOKE_TMP/explore-trace"
+EXP_CACHE="$SMOKE_TMP/explore-cache"
+"$MPGTOOL" demo master-worker --ranks 8 "$EXP_TRACE" >/dev/null
+expect_exit 0 "$MPGTOOL" explore "$EXP_TRACE" --budget 16
+expect_exit 2 "$MPGTOOL" explore "$EXP_TRACE" --budget nonsense
+expect_exit 2 "$MPGTOOL" explore
+"$MPGTOOL" explore "$EXP_TRACE" --budget 16 > "$SMOKE_TMP/explore-base.txt"
+cache_check "explore cold" "$SMOKE_TMP/explore-base.txt" no \
+    explore "$EXP_TRACE" --budget 16 --cache --cache-dir "$EXP_CACHE"
+cache_check "explore warm" "$SMOKE_TMP/explore-base.txt" yes \
+    explore "$EXP_TRACE" --budget 16 --cache --cache-dir "$EXP_CACHE"
+"$MPGTOOL" lint "$EXP_TRACE" > "$SMOKE_TMP/explore-lint.txt"
+"$MPGTOOL" explore "$EXP_TRACE" --budget 0 | grep -v "^explore:" \
+    > "$SMOKE_TMP/explore-b0.txt"
+cmp -s "$SMOKE_TMP/explore-lint.txt" "$SMOKE_TMP/explore-b0.txt" || {
+    echo "lint: FAIL: budget-0 explore diverged from plain lint" >&2; exit 1; }
+echo "    exit contract holds; warm frontier = cold bytes; budget 0 inert"
+
 # Supervised service smoke: drive `mpgtool serve` over the line protocol.
 # Leg 1 — seeded chaos storm (panics, stalls, transient I/O, artifact
 # corruption) across 12 jobs: nothing may wedge and the invariant checker
